@@ -1,0 +1,27 @@
+//! Fig 5 regeneration bench: ping RTT vs link latency. The benchmark
+//! times one full latency point (8-node cluster, RTL blades); the row
+//! values themselves are printed once at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig5_ping;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_ping");
+    g.sample_size(10);
+    g.bench_function("latency_2us_5pings", |b| {
+        b.iter(|| fig5_ping(&[2.0], 5))
+    });
+    g.finish();
+
+    let rows = fig5_ping(&[1.0, 2.0, 4.0], 10);
+    println!("\nFig 5 rows (latency_us, ideal_us, measured_us):");
+    for r in &rows {
+        println!(
+            "  {:>5.1} {:>8.2} {:>8.2}",
+            r.link_latency_us, r.ideal_rtt_us, r.measured_rtt_us
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

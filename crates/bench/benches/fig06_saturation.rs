@@ -1,0 +1,22 @@
+//! Fig 6 regeneration bench: multi-node bandwidth saturation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig6_saturation;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_saturation");
+    g.sample_size(10);
+    g.bench_function("senders_100g_short", |b| {
+        b.iter(|| fig6_saturation(&[100.0], 10, 40))
+    });
+    g.finish();
+
+    let series = fig6_saturation(&[1.0, 10.0, 40.0, 100.0], 25, 100);
+    println!("\nFig 6 series (sender Gbit/s -> steady aggregate Gbit/s):");
+    for s in &series {
+        println!("  {:>5.0} -> {:>6.1}", s.sender_gbps, s.steady_gbps);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 7 regeneration bench: memcached thread imbalance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig7_memcached;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_memcached");
+    g.sample_size(10);
+    g.bench_function("one_point_250k", |b| {
+        b.iter(|| fig7_memcached(&[250_000.0], 100))
+    });
+    g.finish();
+
+    let rows = fig7_memcached(&[250_000.0, 350_000.0], 300);
+    println!("\nFig 7 rows (case, qps, p50_us, p95_us):");
+    for r in &rows {
+        println!(
+            "  {:>18} {:>8.0} {:>7.1} {:>7.1}",
+            r.case, r.target_qps, r.p50_us, r.p95_us
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

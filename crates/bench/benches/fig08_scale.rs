@@ -1,0 +1,29 @@
+//! Fig 8 regeneration bench: simulation rate vs simulated cluster size.
+//! Criterion times the simulation itself, which IS the quantity Fig 8
+//! reports (target cycles per wall second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig8_scale;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_scale");
+    g.sample_size(10);
+    g.bench_function("nodes_8_standard", |b| {
+        b.iter(|| fig8_scale(&[8], 16_000))
+    });
+    g.finish();
+
+    let rows = fig8_scale(&[4, 16, 64], 64_000);
+    println!("\nFig 8 rows (nodes, mapping, sim MHz):");
+    for r in &rows {
+        println!(
+            "  {:>5} {:>10} {:>8.3}",
+            r.nodes,
+            if r.supernode { "supernode" } else { "standard" },
+            r.sim_rate_mhz
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig 9 regeneration bench: simulation rate vs target link latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig9_latency;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_latency");
+    g.sample_size(10);
+    g.bench_function("latency_2us", |b| b.iter(|| fig9_latency(&[2.0], 64_000)));
+    g.finish();
+
+    let rows = fig9_latency(&[0.05, 0.1, 0.5, 2.0], 256_000);
+    println!("\nFig 9 rows (latency_us, measured MHz, modeled-EC2 MHz):");
+    for r in &rows {
+        println!(
+            "  {:>6.2} {:>8.3} {:>8.3}",
+            r.link_latency_us, r.sim_rate_mhz, r.modeled_ec2_mhz
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig 11 regeneration bench: PFA vs software paging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::fig11_pfa;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_pfa");
+    g.sample_size(10);
+    g.bench_function("genome_small", |b| {
+        b.iter(|| fig11_pfa(128, 800, &[0.25]))
+    });
+    g.finish();
+
+    let rows = fig11_pfa(1_024, 8_000, &[0.125, 0.5]);
+    println!("\nFig 11 rows (workload, mode, local, normalized runtime):");
+    for r in &rows {
+        println!(
+            "  {:>7} {:>9} {:>6.3} {:>7.3}",
+            r.workload, r.mode, r.local_fraction, r.normalized_runtime
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

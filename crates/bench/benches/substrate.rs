@@ -1,0 +1,142 @@
+//! Substrate microbenchmarks (ablations): how fast are the pieces the
+//! scale experiments are built from?
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use firesim_blade::{programs, BladeConfig, RtlBlade};
+use firesim_core::{AgentCtx, Cycle, SimAgent, TokenWindow};
+use firesim_net::{EtherType, EthernetFrame, Flit, FrameFramer, MacAddr, Switch, SwitchConfig};
+use firesim_riscv::asm::Assembler;
+use firesim_riscv::exec::Cpu;
+use firesim_riscv::mem::Memory;
+use firesim_uarch::{Cache, CacheConfig, Dram, DramConfig};
+
+/// Functional RISC-V executor: millions of instructions per second.
+fn bench_isa(c: &mut Criterion) {
+    let mut a = Assembler::new(0x8000_0000);
+    a.li(1, 0);
+    a.li(2, 1_000);
+    a.label("l");
+    a.addi(1, 1, 1);
+    a.xor(3, 1, 2);
+    a.and(4, 3, 1);
+    a.blt(1, 2, "l");
+    a.label("spin");
+    a.j("spin");
+    let image = a.assemble().unwrap();
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(4_000));
+    g.bench_function("riscv_functional_4k_insts", |b| {
+        b.iter(|| {
+            let mut mem = Memory::new(0x8000_0000, 1 << 16);
+            mem.write_bytes(0x8000_0000, &image).unwrap();
+            let mut cpu = Cpu::new(0, 0x8000_0000);
+            for _ in 0..4_000 {
+                cpu.step(&mut mem).unwrap();
+            }
+            cpu.read_reg(1)
+        })
+    });
+    g.finish();
+}
+
+/// Full blade: cycles per host second.
+fn bench_blade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(6_400));
+    g.bench_function("rtl_blade_one_window", |b| {
+        let prog = programs::boot_poweroff(1 << 40);
+        let mut blade = RtlBlade::new(
+            "b",
+            MacAddr::from_node_index(0),
+            BladeConfig::single_core().with_dram_bytes(1 << 20),
+        );
+        prog.install(&mut blade);
+        let mut now = 0u64;
+        b.iter(|| {
+            let mut ctx = AgentCtx::standalone(
+                Cycle::new(now),
+                6_400,
+                vec![TokenWindow::new(6_400)],
+                1,
+            );
+            blade.advance(&mut ctx);
+            now += 6_400;
+        })
+    });
+    g.finish();
+}
+
+/// Switch model: frames per second through a loaded port.
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    let frame = EthernetFrame::new(
+        MacAddr::from_node_index(1),
+        MacAddr::from_node_index(0),
+        EtherType::Stream,
+        bytes::Bytes::from_static(&[0xAA; 1486]),
+    );
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("switch_window_32_frames", |b| {
+        let mut sw = Switch::new("tor", SwitchConfig::new(8));
+        sw.add_route(MacAddr::from_node_index(1), 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            // One window per port with ~4 frames per active port.
+            let mut inputs: Vec<TokenWindow<Flit>> =
+                (0..8).map(|_| TokenWindow::new(6_400)).collect();
+            for w in inputs.iter_mut().take(8) {
+                let mut framer = FrameFramer::new();
+                for _ in 0..4 {
+                    framer.enqueue(frame.clone());
+                }
+                let mut off = 0;
+                while let Some(f) = framer.next_flit() {
+                    w.push(off, f).unwrap();
+                    off += 1;
+                }
+            }
+            let mut ctx = AgentCtx::standalone(Cycle::new(now), 6_400, inputs, 8);
+            sw.advance(&mut ctx);
+            now += 6_400;
+            ctx.into_outputs().len()
+        })
+    });
+    g.finish();
+}
+
+/// Cache and DRAM timing models.
+fn bench_mem_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("cache_10k_accesses", |b| {
+        let mut cache = Cache::new(CacheConfig::rocket_l1());
+        let mut addr = 0u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if cache.access(addr % (1 << 20), false).hit {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("dram_10k_accesses", |b| {
+        let mut dram = Dram::new(DramConfig::default());
+        let mut addr = 0u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(64);
+                now = dram.access(now, addr % (1 << 24));
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_isa, bench_blade, bench_switch, bench_mem_models);
+criterion_main!(benches);

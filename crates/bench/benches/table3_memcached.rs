@@ -1,0 +1,23 @@
+//! Table III regeneration bench: datacenter-wide memcached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firesim_bench::experiments::table3_memcached;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_memcached");
+    g.sample_size(10);
+    g.bench_function("scaled_down", |b| b.iter(|| table3_memcached(16, 40)));
+    g.finish();
+
+    let rows = table3_memcached(8, 150);
+    println!("\nTable III rows (config, p50_us, p95_us, aggregate QPS):");
+    for r in &rows {
+        println!(
+            "  {:>20} {:>8.2} {:>8.2} {:>12.0}",
+            r.config, r.p50_us, r.p95_us, r.aggregate_qps
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Simulation-performance experiments: Fig 8 (rate vs scale), Fig 9
+//! (rate vs link latency), the §V-C datacenter plan, and the §III-A5
+//! FPGA utilisation numbers.
+
+use firesim_blade::programs;
+use firesim_core::Cycle;
+use firesim_manager::{BladeSpec, SimConfig, Simulation, Topology};
+use firesim_platform::{DeploymentPlan, FpgaModel, Transport, TransportKind};
+
+use super::CLOCK;
+
+/// One point of Fig 8.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Row {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Supernode packing?
+    pub supernode: bool,
+    /// Measured simulation rate in target-MHz.
+    pub sim_rate_mhz: f64,
+}
+
+/// Builds the paper's idle-boot cluster: `nodes` single-core RTL blades
+/// that boot, do a little work, and power down, under ToR switches of up
+/// to 32 nodes with a root switch above when needed.
+fn boot_cluster(
+    nodes: usize,
+    supernode: bool,
+    link_latency: Cycle,
+    program: &programs::Program,
+) -> Simulation {
+    let mut topo = Topology::new();
+    let tor_count = nodes.div_ceil(32);
+    let tors: Vec<_> = (0..tor_count)
+        .map(|i| topo.add_switch(format!("tor{i}")))
+        .collect();
+    if tor_count > 1 {
+        let root = topo.add_switch("root");
+        for &t in &tors {
+            topo.add_downlink(root, t).unwrap();
+        }
+    }
+    for i in 0..nodes {
+        let n = topo.add_server(
+            format!("node{i}"),
+            BladeSpec::rtl_single_core(program.clone()),
+        );
+        topo.add_downlink(tors[i / 32], n).unwrap();
+    }
+    topo.build(SimConfig {
+        link_latency,
+        supernode,
+        host_threads: crate::host_threads(),
+        ..SimConfig::default()
+    })
+    .expect("valid topology")
+}
+
+/// Fig 8: measures the achieved simulation rate (target MHz) while all
+/// token channels stay fully exercised (the target is "Linux boot then
+/// power off" — no network traffic, but every empty token still moves,
+/// exactly as the paper measures). Standard and supernode host mappings
+/// are both measured.
+pub fn fig8_scale(node_counts: &[usize], target_cycles: u64) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for &supernode in &[false, true] {
+        for &nodes in node_counts {
+            // Enough boot work to keep every core busy through the
+            // measurement window, as in the paper's Linux-boot runs.
+            let program = programs::boot_poweroff(1 << 40);
+            let mut sim = boot_cluster(nodes, supernode, Cycle::new(6_400), &program);
+            // Warm-up window, then the measured run.
+            sim.run_for(Cycle::new(6_400)).expect("warmup");
+            let summary = sim.run_for(Cycle::new(target_cycles)).expect("runs");
+            rows.push(Fig8Row {
+                nodes,
+                supernode,
+                sim_rate_mhz: summary.sim_rate_mhz(),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Fig 9.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    /// Target link latency in microseconds (= token batch size).
+    pub link_latency_us: f64,
+    /// Measured simulation rate of our in-process simulator, target-MHz.
+    pub sim_rate_mhz: f64,
+    /// The same target mapped onto the paper's EC2 F1 host platform
+    /// (FPGA execution + PCIe token transport), via the platform model.
+    pub modeled_ec2_mhz: f64,
+}
+
+/// Single-node FPGA simulation rate assumed by the EC2 model (the paper
+/// reports "10s to 100s of MHz" for unthrottled FAME-1 blades).
+const FPGA_INTRINSIC_MHZ: f64 = 90.0;
+
+/// Fig 9: simulation rate of an 8-node cluster as a function of the
+/// target link latency. Since FireSim batches one link-latency of tokens
+/// per transfer, longer links amortise per-transfer latency.
+///
+/// Two curves are produced. `sim_rate_mhz` is the measured rate of this
+/// software simulator, whose "PCIe" is a shared-memory channel — so fast
+/// relative to software blade models that the batching effect is mostly
+/// invisible (documented in EXPERIMENTS.md). `modeled_ec2_mhz` applies
+/// the paper's host-platform parameters (FPGA-speed blades + real PCIe
+/// batch transfers) through [`firesim_platform::Transport`], reproducing
+/// the paper's rising curve mechanistically.
+pub fn fig9_latency(latencies_us: &[f64], target_cycles: u64) -> Vec<Fig9Row> {
+    let pcie = Transport::of(TransportKind::Pcie);
+    let mut rows = Vec::new();
+    for &lat_us in latencies_us {
+        let latency = CLOCK.cycles_from_nanos((lat_us * 1000.0) as u64);
+        let program = programs::park();
+        let mut sim = boot_cluster(8, false, latency, &program);
+        sim.run_for(latency).expect("warmup");
+        let summary = sim.run_for(Cycle::new(target_cycles)).expect("runs");
+        // EC2 model: FPGA cycle time in series with the amortised PCIe
+        // batch transfer (one batch in, one out, per link latency).
+        let transport_hz = pcie.sim_rate_bound_hz(latency.as_u64(), 8);
+        let modeled_hz =
+            1.0 / (1.0 / (FPGA_INTRINSIC_MHZ * 1e6) + 1.0 / transport_hz);
+        rows.push(Fig9Row {
+            link_latency_us: lat_us,
+            sim_rate_mhz: summary.sim_rate_mhz(),
+            modeled_ec2_mhz: modeled_hz / 1e6,
+        });
+    }
+    rows
+}
+
+/// §V-C / Fig 10: builds the full 1024-node datacenter topology through
+/// the manager (32 nodes per ToR, 32 ToRs, 4 aggregation switches, one
+/// root) and returns its deployment plan — fleet and cost.
+pub fn datacenter_plan() -> DeploymentPlan {
+    let mut topo = Topology::new();
+    let root = topo.add_switch("root");
+    for a in 0..4 {
+        let agg = topo.add_switch(format!("agg{a}"));
+        topo.add_downlink(root, agg).unwrap();
+        for t in 0..8 {
+            let tor = topo.add_switch(format!("tor{a}_{t}"));
+            topo.add_downlink(agg, tor).unwrap();
+            for n in 0..32 {
+                let node = topo.add_server(
+                    format!("node{a}_{t}_{n}"),
+                    BladeSpec::rtl_quad_core(programs::boot_poweroff(1)),
+                );
+                topo.add_downlink(tor, node).unwrap();
+            }
+        }
+    }
+    assert_eq!(topo.server_count(), 1024);
+    let sim = topo
+        .build(SimConfig {
+            supernode: true,
+            ..SimConfig::default()
+        })
+        .expect("valid topology");
+    sim.plan().clone()
+}
+
+/// §III-A5: FPGA LUT utilisation for the standard and supernode
+/// configurations. Returns `(blades, blade_luts_pct, total_luts_pct)`.
+pub fn utilization() -> Vec<(usize, f64, f64)> {
+    let fpga = FpgaModel::default();
+    [1usize, 4]
+        .iter()
+        .map(|&n| {
+            let u = fpga.utilization(n);
+            (n, u.blade_luts * 100.0, u.total_luts * 100.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_rate_decreases_with_scale() {
+        let rows = fig8_scale(&[2, 16], 32_000);
+        let rate = |nodes, sn| {
+            rows.iter()
+                .find(|r| r.nodes == nodes && r.supernode == sn)
+                .unwrap()
+                .sim_rate_mhz
+        };
+        assert!(rate(2, false) > 0.0);
+        // More nodes on the same host -> lower rate.
+        assert!(
+            rate(16, false) < rate(2, false),
+            "2 nodes {:.2} MHz vs 16 nodes {:.2} MHz",
+            rate(2, false),
+            rate(16, false)
+        );
+    }
+
+    #[test]
+    fn fig9_modeled_rate_increases_with_latency() {
+        let rows = fig9_latency(&[0.05, 2.0], 64_000);
+        // The EC2-platform model shows the paper's batching effect
+        // deterministically; the measured in-process rate is positive but
+        // nearly flat (shared-memory transport), see EXPERIMENTS.md.
+        assert!(
+            rows[1].modeled_ec2_mhz > 2.0 * rows[0].modeled_ec2_mhz,
+            "{rows:?}"
+        );
+        assert!(rows.iter().all(|r| r.sim_rate_mhz > 0.0));
+    }
+
+    #[test]
+    fn plan_matches_paper() {
+        let plan = datacenter_plan();
+        assert_eq!(plan.f1_16xlarge, 32);
+        assert_eq!(plan.m4_16xlarge, 5);
+        assert_eq!(plan.fpgas, 256);
+    }
+
+    #[test]
+    fn utilization_matches_paper() {
+        let rows = utilization();
+        assert!((rows[0].2 - 32.6).abs() < 0.1); // standard total
+        assert!((rows[1].1 - 57.7).abs() < 0.2); // supernode blades
+        assert!((rows[1].2 - 75.8).abs() < 0.5); // supernode total ~76%
+    }
+}

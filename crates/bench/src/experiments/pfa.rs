@@ -1,0 +1,165 @@
+//! Fig 11: the page-fault accelerator vs software paging (§VI).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use firesim_blade::model::OsConfig;
+use firesim_blade::paging::{
+    AccessStream, MemBlade, MemBladeConfig, PagedWorkload, PagingCosts, PagingMode, PagingStats,
+};
+use firesim_core::Cycle;
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+
+/// One bar of Fig 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Workload name (`genome` or `qsort`).
+    pub workload: &'static str,
+    /// Paging mechanism.
+    pub mode: &'static str,
+    /// Local memory as a fraction of the working set.
+    pub local_fraction: f64,
+    /// Runtime in cycles.
+    pub runtime_cycles: u64,
+    /// Runtime normalised to the all-local run of the same workload.
+    pub normalized_runtime: f64,
+    /// Page faults taken.
+    pub faults: u64,
+    /// Cycles charged to metadata management.
+    pub metadata_cycles: u64,
+}
+
+fn run_one(
+    mode: PagingMode,
+    stream: AccessStream,
+    local_pages: u64,
+) -> (u64, u64, u64) {
+    let wl_mac = MacAddr::from_node_index(0);
+    let mb_mac = MacAddr::from_node_index(1);
+    let stats_cell: Arc<Mutex<Option<Arc<Mutex<PagingStats>>>>> = Arc::new(Mutex::new(None));
+    let stats_out = Arc::clone(&stats_cell);
+
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let os = OsConfig {
+        cores: 1,
+        ctx_switch_cycles: 0,
+        misplace_prob: 0.0,
+        ..OsConfig::default()
+    };
+    let stream_cell = Mutex::new(Some(stream));
+    let wl = topo.add_server(
+        "compute",
+        BladeSpec::model(os, 1, true, move |mac, _| {
+            let wl = PagedWorkload::new(
+                mac,
+                mb_mac,
+                mode,
+                PagingCosts::default(),
+                stream_cell.lock().take().expect("single instantiation"),
+                local_pages,
+            );
+            *stats_out.lock() = Some(wl.stats());
+            Box::new(wl)
+        }),
+    );
+    let mb = topo.add_server(
+        "memblade",
+        BladeSpec::model(os, 1, true, move |mac, _| {
+            Box::new(MemBlade::new(mac, MemBladeConfig::default()))
+        }),
+    );
+    topo.add_downlinks(tor, [wl, mb]).unwrap();
+    let _ = wl_mac;
+
+    let mut sim = topo
+        .build(SimConfig::default())
+        .expect("valid topology");
+    sim.run_until_done(Cycle::new(500_000_000_000)).expect("runs");
+
+    let stats = stats_cell.lock().take().expect("factory ran");
+    let s = stats.lock();
+    (
+        s.runtime().expect("workload finished"),
+        s.faults,
+        s.metadata_cycles,
+    )
+}
+
+/// Fig 11: for each workload (genome, qsort) and each local-memory
+/// fraction, runs software paging and the PFA against the same memory
+/// blade and reports runtimes normalised to the all-local run.
+///
+/// `working_set_pages` is the workload size (the paper uses 64 MiB =
+/// 16384 x 4 KiB pages); `genome_accesses` scales the genome run length.
+pub fn fig11_pfa(
+    working_set_pages: u64,
+    genome_accesses: u64,
+    fractions: &[f64],
+) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for workload in ["genome", "qsort"] {
+        let stream = |seed: u64| match workload {
+            "genome" => AccessStream::genome(working_set_pages, genome_accesses, seed),
+            _ => AccessStream::qsort(working_set_pages),
+        };
+        // Baseline: everything local.
+        let (base_sw, _, _) = run_one(PagingMode::Software, stream(5), working_set_pages);
+        let (base_pfa, _, _) = run_one(PagingMode::Pfa, stream(5), working_set_pages);
+        for &frac in fractions {
+            let local = ((working_set_pages as f64 * frac) as u64).max(1);
+            for (mode, mode_name, base) in [
+                (PagingMode::Software, "software", base_sw),
+                (PagingMode::Pfa, "pfa", base_pfa),
+            ] {
+                let (runtime, faults, metadata) = run_one(mode, stream(5), local);
+                rows.push(Fig11Row {
+                    workload,
+                    mode: mode_name,
+                    local_fraction: frac,
+                    runtime_cycles: runtime,
+                    normalized_runtime: runtime as f64 / base as f64,
+                    faults,
+                    metadata_cycles: metadata,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_shape_holds_at_small_scale() {
+        let rows = fig11_pfa(256, 1_200, &[0.125, 0.5]);
+        let get = |w: &str, m: &str, f: f64| {
+            rows.iter()
+                .find(|r| r.workload == w && r.mode == m && (r.local_fraction - f).abs() < 1e-9)
+                .cloned()
+                .unwrap()
+        };
+        // PFA is at least as fast as software paging everywhere, and
+        // meaningfully faster for fault-heavy genome at small memory.
+        let g_sw = get("genome", "software", 0.125);
+        let g_pfa = get("genome", "pfa", 0.125);
+        let speedup = g_sw.runtime_cycles as f64 / g_pfa.runtime_cycles as f64;
+        assert!(speedup > 1.1, "genome speedup {speedup:.2}");
+        assert_eq!(g_sw.faults, g_pfa.faults, "same access stream");
+        // Metadata reduction ~2.5x (allowing model slack).
+        let meta_ratio = g_sw.metadata_cycles as f64 / g_pfa.metadata_cycles as f64;
+        assert!(meta_ratio > 1.8, "metadata ratio {meta_ratio:.2}");
+        // Genome degrades more than qsort as memory shrinks.
+        let q_sw = get("qsort", "software", 0.125);
+        assert!(
+            g_sw.normalized_runtime > q_sw.normalized_runtime,
+            "genome {:.2} vs qsort {:.2}",
+            g_sw.normalized_runtime,
+            q_sw.normalized_runtime
+        );
+    }
+}

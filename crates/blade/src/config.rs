@@ -1,0 +1,110 @@
+//! Blade configuration (paper Table I).
+
+use firesim_core::Frequency;
+use firesim_devices::{BlockDeviceConfig, NicConfig};
+use firesim_uarch::{MemSystemConfig, TimingConfig};
+
+/// Configuration of one server blade.
+///
+/// Defaults reproduce Table I of the paper: 4 RISC-V Rocket cores at
+/// 3.2 GHz, 16 KiB L1I/L1D, 256 KiB L2, DDR3-modeled DRAM, a 200 Gbit/s
+/// Ethernet NIC, and a block device — except that simulated DRAM capacity
+/// defaults to 256 MiB instead of 16 GiB so that thousands of blades fit
+/// in host memory (the paper's FPGAs have physical DRAM to back each
+/// blade; we document this substitution in DESIGN.md). Programs that need
+/// more can raise it.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_blade::BladeConfig;
+///
+/// let quad = BladeConfig::quad_core();
+/// assert_eq!(quad.cores, 4);
+/// let uni = BladeConfig::single_core();
+/// assert_eq!(uni.cores, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BladeConfig {
+    /// Number of cores (1-4 in the paper).
+    pub cores: usize,
+    /// Target clock; all timing (network, DRAM) is derived from it.
+    pub frequency: Frequency,
+    /// Simulated DRAM bytes.
+    pub dram_bytes: usize,
+    /// Memory-hierarchy geometry and timing.
+    pub mem: MemSystemConfig,
+    /// Pipeline timing parameters.
+    pub timing: TimingConfig,
+    /// NIC parameters.
+    pub nic: NicConfig,
+    /// Block device parameters.
+    pub blockdev: BlockDeviceConfig,
+    /// Attach the DMA copy/fill accelerator (Table II's "Optional RoCC
+    /// Accel." slot).
+    pub accel: bool,
+}
+
+impl BladeConfig {
+    /// The paper's quad-core server blade.
+    pub fn quad_core() -> Self {
+        BladeConfig {
+            cores: 4,
+            frequency: Frequency::GHZ_3_2,
+            dram_bytes: 256 << 20,
+            mem: MemSystemConfig::default(),
+            timing: TimingConfig::default(),
+            nic: NicConfig::default(),
+            blockdev: BlockDeviceConfig::default(),
+            accel: false,
+        }
+    }
+
+    /// A single-core blade (used by fast-running validation experiments).
+    pub fn single_core() -> Self {
+        BladeConfig {
+            cores: 1,
+            ..Self::quad_core()
+        }
+    }
+
+    /// Overrides the DRAM capacity.
+    pub fn with_dram_bytes(mut self, bytes: usize) -> Self {
+        self.dram_bytes = bytes;
+        self
+    }
+
+    /// Attaches the DMA copy/fill accelerator.
+    pub fn with_accel(mut self) -> Self {
+        self.accel = true;
+        self
+    }
+}
+
+impl Default for BladeConfig {
+    fn default() -> Self {
+        Self::quad_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_one() {
+        let c = BladeConfig::default();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.frequency, Frequency::GHZ_3_2);
+        assert_eq!(c.mem.l1i.size_bytes, 16 * 1024);
+        assert_eq!(c.mem.l1d.size_bytes, 16 * 1024);
+        assert_eq!(c.mem.l2.size_bytes, 256 * 1024);
+    }
+
+    #[test]
+    fn builders() {
+        let c = BladeConfig::single_core().with_dram_bytes(1 << 20);
+        assert_eq!(c.cores, 1);
+        assert_eq!(c.dram_bytes, 1 << 20);
+    }
+}

@@ -1,0 +1,654 @@
+//! Remote memory paging and the Page-Fault Accelerator (paper §VI).
+//!
+//! In the paper's case study, each compute node has a modest amount of
+//! fast local memory and pages to a remote *memory blade* (another node
+//! running a bare-metal memory server) over the simulated network. Two
+//! mechanisms are compared on the same workloads:
+//!
+//! * **Software paging** (the Infiniswap-style baseline): every remote
+//!   access traps; the kernel fault handler runs synchronously — trap
+//!   entry, eviction selection, metadata management — before the page
+//!   request even leaves the node, and more metadata work runs inline
+//!   when the page arrives.
+//! * **PFA** (the paper's hardware/software co-design): the
+//!   latency-critical fetch path is handled in hardware via a queue of
+//!   free frames (`freeQ`), while the OS processes new-page descriptors
+//!   (`newQ`) asynchronously in batches, with better cache locality —
+//!   the paper measured a 2.5x reduction in metadata-management time and
+//!   up to 1.4x end-to-end speedup.
+//!
+//! Both paths run over the same network, memory blade, and access
+//! streams, so the comparison isolates the mechanism — mirroring Fig 11.
+//!
+//! Workloads follow the paper: **Genome** (de-novo assembly: random
+//! probes into a large hash table — poor locality) and **Qsort**
+//! (quicksort: recursive partitioning, most work in subranges that fit
+//! in local memory — good locality).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use firesim_core::SimRng;
+use firesim_net::{EtherType, EthernetFrame, MacAddr};
+
+use crate::model::{Actions, NodeApp};
+
+/// Page size in bytes (frame payloads carry this much data on fetches).
+pub const PAGE_BYTES: usize = 4096;
+
+const RM_GET: u8 = 0;
+const RM_GET_RESP: u8 = 1;
+const RM_PUT: u8 = 2;
+
+fn rm_frame(dst: MacAddr, src: MacAddr, kind: u8, page: u64, with_data: bool) -> EthernetFrame {
+    let mut p = Vec::with_capacity(9 + if with_data { PAGE_BYTES } else { 0 });
+    p.push(kind);
+    p.extend_from_slice(&page.to_le_bytes());
+    if with_data {
+        p.extend_from_slice(&[0u8; PAGE_BYTES]);
+    }
+    EthernetFrame::new(dst, src, EtherType::RemoteMem, Bytes::from(p))
+}
+
+fn rm_parse(frame: &EthernetFrame) -> Option<(u8, u64)> {
+    if frame.ethertype != EtherType::RemoteMem || frame.payload.len() < 9 {
+        return None;
+    }
+    let page = u64::from_le_bytes(frame.payload[1..9].try_into().expect("len checked"));
+    Some((frame.payload[0], page))
+}
+
+// ---------------------------------------------------------------------
+// Memory blade
+// ---------------------------------------------------------------------
+
+/// Configuration of the memory-blade server.
+#[derive(Debug, Clone, Copy)]
+pub struct MemBladeConfig {
+    /// Cycles of service per GET (bare-metal server request handling).
+    pub get_cycles: u64,
+    /// Cycles of service per PUT.
+    pub put_cycles: u64,
+}
+
+impl Default for MemBladeConfig {
+    fn default() -> Self {
+        MemBladeConfig {
+            get_cycles: 1_500,
+            put_cycles: 1_000,
+        }
+    }
+}
+
+/// The bare-metal memory server (the paper implements it as another
+/// Rocket core running a custom network protocol).
+#[derive(Debug)]
+pub struct MemBlade {
+    mac: MacAddr,
+    config: MemBladeConfig,
+    pending: HashMap<u64, (MacAddr, u64)>,
+    next_tag: u64,
+    /// GETs served.
+    pub gets: Arc<Mutex<u64>>,
+    /// PUTs absorbed.
+    pub puts: Arc<Mutex<u64>>,
+}
+
+impl MemBlade {
+    /// Creates a memory blade.
+    pub fn new(mac: MacAddr, config: MemBladeConfig) -> Self {
+        MemBlade {
+            mac,
+            config,
+            pending: HashMap::new(),
+            next_tag: 0,
+            gets: Arc::new(Mutex::new(0)),
+            puts: Arc::new(Mutex::new(0)),
+        }
+    }
+}
+
+impl NodeApp for MemBlade {
+    fn on_frame(&mut self, _cycle: u64, frame: &EthernetFrame, out: &mut Actions) {
+        match rm_parse(frame) {
+            Some((RM_GET, page)) => {
+                *self.gets.lock() += 1;
+                let tag = self.next_tag;
+                self.next_tag += 1;
+                self.pending.insert(tag, (frame.src, page));
+                out.work_on(0, self.config.get_cycles, tag);
+            }
+            Some((RM_PUT, _page)) => {
+                *self.puts.lock() += 1;
+                // Absorb: charge CPU but nothing to send back.
+                let tag = self.next_tag | (1 << 63);
+                self.next_tag += 1;
+                out.work_on(0, self.config.put_cycles, tag);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_work_done(&mut self, cycle: u64, tag: u64, out: &mut Actions) {
+        if tag & (1 << 63) != 0 {
+            return; // PUT completion
+        }
+        if let Some((client, page)) = self.pending.remove(&tag) {
+            out.send_at(cycle, rm_frame(client, self.mac, RM_GET_RESP, page, true));
+        }
+    }
+
+    fn poll(&mut self, _f: u64, _t: u64, _o: &mut Actions) {}
+
+    fn done(&self) -> bool {
+        true // passive
+    }
+}
+
+// ---------------------------------------------------------------------
+// Access streams (workloads)
+// ---------------------------------------------------------------------
+
+/// A page-granular access stream.
+#[derive(Debug)]
+pub enum AccessStream {
+    /// Genome assembly: uniform random probes into `pages` pages.
+    Genome {
+        /// Working-set size in pages.
+        pages: u64,
+        /// Accesses remaining.
+        remaining: u64,
+        /// Probe randomness.
+        rng: SimRng,
+    },
+    /// Quicksort: depth-first partition scans; ranges at or below
+    /// `leaf_pages` are leaves, scanned `leaf_reps` times (the
+    /// insertion-sort-like tail where quicksort spends most of its time,
+    /// and the reason it behaves well under paging).
+    Qsort {
+        /// Explicit recursion stack of `(lo, hi)` page ranges.
+        stack: Vec<(u64, u64)>,
+        /// Current scan: `(pos, lo, hi, repetitions left)`.
+        scan: Option<(u64, u64, u64, u64)>,
+        /// Ranges this small are leaves.
+        leaf_pages: u64,
+        /// Scans per leaf.
+        leaf_reps: u64,
+    },
+}
+
+impl AccessStream {
+    /// A genome-style random-probe stream.
+    pub fn genome(pages: u64, accesses: u64, seed: u64) -> Self {
+        AccessStream::Genome {
+            pages,
+            remaining: accesses,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// A quicksort-style stream over `pages` pages.
+    pub fn qsort(pages: u64) -> Self {
+        AccessStream::Qsort {
+            stack: vec![(0, pages)],
+            scan: None,
+            leaf_pages: 16,
+            leaf_reps: 16,
+        }
+    }
+
+    /// The next page accessed, or `None` at the end of the workload.
+    pub fn next_page(&mut self) -> Option<u64> {
+        match self {
+            AccessStream::Genome {
+                pages,
+                remaining,
+                rng,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                Some(rng.next_below(*pages))
+            }
+            AccessStream::Qsort {
+                stack,
+                scan,
+                leaf_pages,
+                leaf_reps,
+            } => loop {
+                if let Some((pos, lo, hi, reps)) = scan {
+                    if *pos < *hi {
+                        let page = *pos;
+                        *pos += 1;
+                        return Some(page);
+                    }
+                    if *reps > 1 {
+                        *scan = Some((*lo, *lo, *hi, *reps - 1));
+                        continue;
+                    }
+                    *scan = None;
+                }
+                let (lo, hi) = stack.pop()?;
+                if hi - lo > *leaf_pages {
+                    // Partition pass: one scan, then recurse depth-first.
+                    let mid = lo + (hi - lo) / 2;
+                    stack.push((mid, hi));
+                    stack.push((lo, mid));
+                    *scan = Some((lo, lo, hi, 1));
+                } else {
+                    // Leaf: repeated in-cache scans.
+                    *scan = Some((lo, lo, hi, *leaf_reps));
+                }
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paged workload node
+// ---------------------------------------------------------------------
+
+/// Which remote-paging mechanism the node uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingMode {
+    /// Kernel-only paging (baseline, Infiniswap-style).
+    Software,
+    /// The page-fault accelerator.
+    Pfa,
+}
+
+/// Cost parameters of the two paging paths.
+#[derive(Debug, Clone, Copy)]
+pub struct PagingCosts {
+    /// CPU cycles per access when the page is resident.
+    pub compute_cycles: u64,
+    /// SW path: trap entry + fault handler, paid before the GET leaves.
+    pub sw_fault_cycles: u64,
+    /// SW path: inline metadata management when the page arrives.
+    pub sw_metadata_cycles: u64,
+    /// SW path: inline eviction-selection work per eviction.
+    pub sw_evict_cycles: u64,
+    /// PFA path: hardware fault detection + freeQ pop before the GET.
+    pub pfa_fault_cycles: u64,
+    /// PFA path: resume cost when the page arrives.
+    pub pfa_resume_cycles: u64,
+    /// PFA path: per-page metadata cost, paid in newQ batches (2.5x
+    /// cheaper than the SW path thanks to batching locality).
+    pub pfa_metadata_cycles: u64,
+    /// PFA newQ batch size.
+    pub pfa_newq_batch: u64,
+    /// PFA path: asynchronous eviction bookkeeping per eviction.
+    pub pfa_evict_cycles: u64,
+}
+
+impl Default for PagingCosts {
+    fn default() -> Self {
+        PagingCosts {
+            compute_cycles: 400,
+            sw_fault_cycles: 8_000,
+            sw_metadata_cycles: 4_000,
+            sw_evict_cycles: 2_000,
+            pfa_fault_cycles: 300,
+            pfa_resume_cycles: 600,
+            pfa_metadata_cycles: 1_600,
+            pfa_newq_batch: 16,
+            pfa_evict_cycles: 800,
+        }
+    }
+}
+
+/// Shared results of a [`PagedWorkload`] run.
+#[derive(Debug, Default)]
+pub struct PagingStats {
+    /// Cycle at which the workload finished.
+    pub finished_at: Option<u64>,
+    /// Cycle at which the workload started.
+    pub started_at: u64,
+    /// Accesses performed.
+    pub accesses: u64,
+    /// Page faults (remote fetches).
+    pub faults: u64,
+    /// Evictions (dirty page writebacks to the memory blade).
+    pub evictions: u64,
+    /// Total cycles charged to metadata management.
+    pub metadata_cycles: u64,
+}
+
+impl PagingStats {
+    /// Total runtime in cycles, if finished.
+    pub fn runtime(&self) -> Option<u64> {
+        self.finished_at.map(|f| f - self.started_at)
+    }
+}
+
+const TAG_STEP: u64 = 1;
+const TAG_FAULT: u64 = 2;
+const TAG_RESUME: u64 = 3;
+const TAG_ASYNC: u64 = 4; // newQ batch / async eviction (PFA)
+
+/// A compute node running a paged workload against a memory blade.
+#[derive(Debug)]
+pub struct PagedWorkload {
+    mac: MacAddr,
+    mem_blade: MacAddr,
+    mode: PagingMode,
+    costs: PagingCosts,
+    stream: AccessStream,
+    /// Resident pages: page -> LRU stamp (all pages dirty by policy: both
+    /// workloads write).
+    resident: HashMap<u64, u64>,
+    lru: BTreeMap<u64, u64>, // stamp -> page
+    stamp: u64,
+    local_pages: u64,
+    /// The page currently being faulted in.
+    faulting: Option<u64>,
+    newq_backlog: u64,
+    started: bool,
+    stats: Arc<Mutex<PagingStats>>,
+}
+
+impl PagedWorkload {
+    /// Creates the node. `local_pages` is the fast local memory size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_pages` is zero.
+    pub fn new(
+        mac: MacAddr,
+        mem_blade: MacAddr,
+        mode: PagingMode,
+        costs: PagingCosts,
+        stream: AccessStream,
+        local_pages: u64,
+    ) -> Self {
+        assert!(local_pages > 0, "need at least one local frame");
+        PagedWorkload {
+            mac,
+            mem_blade,
+            mode,
+            costs,
+            stream,
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            stamp: 0,
+            local_pages,
+            faulting: None,
+            newq_backlog: 0,
+            started: false,
+            stats: Arc::new(Mutex::new(PagingStats::default())),
+        }
+    }
+
+    /// Shared results handle.
+    pub fn stats(&self) -> Arc<Mutex<PagingStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    fn touch(&mut self, page: u64) {
+        self.stamp += 1;
+        if let Some(old) = self.resident.insert(page, self.stamp) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(self.stamp, page);
+    }
+
+    /// Installs `page`, evicting the LRU page if full. Returns whether an
+    /// eviction (writeback) happened.
+    fn install(&mut self, page: u64) -> bool {
+        let mut evicted = false;
+        if self.resident.len() as u64 >= self.local_pages {
+            if let Some((&old_stamp, &victim)) = self.lru.iter().next() {
+                self.lru.remove(&old_stamp);
+                self.resident.remove(&victim);
+                evicted = true;
+            }
+        }
+        self.touch(page);
+        evicted
+    }
+
+    /// Advances to the next access; issues work or finishes.
+    fn step(&mut self, cycle: u64, out: &mut Actions) {
+        match self.stream.next_page() {
+            None => {
+                let mut s = self.stats.lock();
+                s.finished_at = Some(cycle);
+                out.stop = true;
+            }
+            Some(page) => {
+                self.stats.lock().accesses += 1;
+                if self.resident.contains_key(&page) {
+                    self.touch(page);
+                    out.work_on(0, self.costs.compute_cycles, TAG_STEP);
+                } else {
+                    self.stats.lock().faults += 1;
+                    self.faulting = Some(page);
+                    let fault_cost = match self.mode {
+                        PagingMode::Software => {
+                            self.costs.compute_cycles + self.costs.sw_fault_cycles
+                        }
+                        PagingMode::Pfa => {
+                            self.costs.compute_cycles + self.costs.pfa_fault_cycles
+                        }
+                    };
+                    out.work_on(0, fault_cost, TAG_FAULT);
+                }
+            }
+        }
+    }
+}
+
+impl NodeApp for PagedWorkload {
+    fn on_frame(&mut self, cycle: u64, frame: &EthernetFrame, out: &mut Actions) {
+        let Some((RM_GET_RESP, page)) = rm_parse(frame) else {
+            return;
+        };
+        if self.faulting != Some(page) {
+            return;
+        }
+        self.faulting = None;
+        let evicted = self.install(page);
+        if evicted {
+            self.stats.lock().evictions += 1;
+            // Dirty victim: write it back to the memory blade.
+            out.send_at(cycle, rm_frame(self.mem_blade, self.mac, RM_PUT, page, true));
+        }
+        match self.mode {
+            PagingMode::Software => {
+                // Inline: map + metadata (+ eviction bookkeeping).
+                let mut cost = self.costs.sw_metadata_cycles;
+                if evicted {
+                    cost += self.costs.sw_evict_cycles;
+                }
+                self.stats.lock().metadata_cycles += cost;
+                out.work_on(0, cost, TAG_RESUME);
+            }
+            PagingMode::Pfa => {
+                // Resume quickly; metadata is deferred to newQ batches.
+                self.newq_backlog += 1;
+                if self.newq_backlog >= self.costs.pfa_newq_batch {
+                    let batch = self.newq_backlog;
+                    self.newq_backlog = 0;
+                    let mut cost = batch * self.costs.pfa_metadata_cycles;
+                    if evicted {
+                        cost += self.costs.pfa_evict_cycles;
+                    }
+                    self.stats.lock().metadata_cycles += cost;
+                    // Batched processing runs as separate (lower-priority)
+                    // work; it still contends for the CPU but off the
+                    // critical fault path.
+                    out.work_on(0, cost, TAG_ASYNC);
+                } else if evicted {
+                    self.stats.lock().metadata_cycles += self.costs.pfa_evict_cycles;
+                    out.work_on(0, self.costs.pfa_evict_cycles, TAG_ASYNC);
+                }
+                out.work_on(0, self.costs.pfa_resume_cycles, TAG_RESUME);
+            }
+        }
+    }
+
+    fn on_work_done(&mut self, cycle: u64, tag: u64, out: &mut Actions) {
+        match tag {
+            TAG_STEP | TAG_RESUME => self.step(cycle, out),
+            TAG_FAULT => {
+                let page = self.faulting.expect("fault in progress");
+                out.send_at(cycle, rm_frame(self.mem_blade, self.mac, RM_GET, page, false));
+            }
+            TAG_ASYNC => {}
+            _ => {}
+        }
+    }
+
+    fn poll(&mut self, from: u64, _to: u64, out: &mut Actions) {
+        if !self.started {
+            self.started = true;
+            self.stats.lock().started_at = from;
+            self.step(from, out);
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.started && self.stats.lock().finished_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModeledBlade, OsConfig, OsModel};
+    use firesim_core::{Cycle, Engine};
+    use firesim_net::Flit;
+
+    fn run_paging(
+        mode: PagingMode,
+        stream: AccessStream,
+        local_pages: u64,
+    ) -> (u64, u64, u64, u64) {
+        let wl_mac = MacAddr::from_node_index(0);
+        let mb_mac = MacAddr::from_node_index(1);
+        let wl = PagedWorkload::new(
+            wl_mac,
+            mb_mac,
+            mode,
+            PagingCosts::default(),
+            stream,
+            local_pages,
+        );
+        let stats = wl.stats();
+        let mb = MemBlade::new(mb_mac, MemBladeConfig::default());
+        let os_cfg = OsConfig {
+            cores: 1,
+            ctx_switch_cycles: 0,
+            misplace_prob: 0.0,
+            ..OsConfig::default()
+        };
+        let wl_blade = ModeledBlade::new(
+            "wl",
+            wl_mac,
+            OsModel::new(os_cfg, 1, true),
+            Box::new(wl),
+        );
+        let mb_blade = ModeledBlade::new(
+            "mb",
+            mb_mac,
+            OsModel::new(os_cfg, 1, true),
+            Box::new(mb),
+        );
+        let mut engine: Engine<Flit> = Engine::new(6_400);
+        let w = engine.add_agent(Box::new(wl_blade));
+        let m = engine.add_agent(Box::new(mb_blade));
+        engine.connect(w, 0, m, 0, Cycle::new(6_400)).unwrap();
+        engine.connect(m, 0, w, 0, Cycle::new(6_400)).unwrap();
+        engine
+            .run_until_done(Cycle::new(20_000_000_000))
+            .unwrap();
+        let s = stats.lock();
+        (
+            s.runtime().expect("finished"),
+            s.faults,
+            s.evictions,
+            s.metadata_cycles,
+        )
+    }
+
+    #[test]
+    fn all_local_memory_means_no_faults() {
+        let (rt, faults, evictions, _) = run_paging(
+            PagingMode::Software,
+            AccessStream::genome(64, 500, 11),
+            64,
+        );
+        // Cold faults only (some of the 64 pages may go untouched).
+        assert!((48..=64).contains(&faults), "faults {faults}");
+        assert_eq!(evictions, 0);
+        assert!(rt > 0);
+    }
+
+    #[test]
+    fn pfa_beats_software_paging_when_fault_bound() {
+        let stream = || AccessStream::genome(256, 1_500, 5);
+        let (rt_sw, faults_sw, _, meta_sw) =
+            run_paging(PagingMode::Software, stream(), 32);
+        let (rt_pfa, faults_pfa, _, meta_pfa) = run_paging(PagingMode::Pfa, stream(), 32);
+        // Identical access streams and replacement: identical faults.
+        assert_eq!(faults_sw, faults_pfa);
+        // PFA reduces metadata-management time (paper: ~2.5x).
+        assert!(
+            meta_sw as f64 / meta_pfa as f64 > 1.8,
+            "metadata ratio {:.2}",
+            meta_sw as f64 / meta_pfa as f64
+        );
+        // End-to-end speedup.
+        let speedup = rt_sw as f64 / rt_pfa as f64;
+        assert!(speedup > 1.1, "speedup {speedup:.3}");
+    }
+
+    #[test]
+    fn qsort_is_less_sensitive_than_genome() {
+        // Shrinking local memory 8x should hurt genome (random) much more
+        // than qsort (mostly-local recursion).
+        let genome = |local| {
+            run_paging(PagingMode::Software, AccessStream::genome(256, 1_500, 5), local).0 as f64
+        };
+        let qsort = |local| {
+            run_paging(PagingMode::Software, AccessStream::qsort(256), local).0 as f64
+        };
+        let genome_slowdown = genome(32) / genome(256);
+        let qsort_slowdown = qsort(32) / qsort(256);
+        assert!(
+            genome_slowdown > qsort_slowdown * 1.5,
+            "genome {genome_slowdown:.2} vs qsort {qsort_slowdown:.2}"
+        );
+    }
+
+    #[test]
+    fn qsort_stream_terminates_and_covers_pages() {
+        let mut s = AccessStream::qsort(64);
+        let mut count = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = s.next_page() {
+            assert!(p < 64);
+            seen.insert(p);
+            count += 1;
+            assert!(count < 100_000, "stream does not terminate");
+        }
+        assert_eq!(seen.len(), 64);
+        // log2(64/16) subdivision levels: 64 + 2*32 + 4*16... roughly
+        // pages * (levels + 1).
+        assert!(count >= 64 * 3, "count {count}");
+    }
+
+    #[test]
+    fn genome_stream_is_deterministic() {
+        let collect = || {
+            let mut s = AccessStream::genome(128, 50, 9);
+            std::iter::from_fn(move || s.next_page()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+        assert_eq!(collect().len(), 50);
+    }
+}

@@ -1,0 +1,655 @@
+//! The cycle-exact server blade SoC.
+//!
+//! [`RtlBlade`] composes the pieces the paper's Rocket Chip blades have
+//! (Fig 2): 1-4 cores with L1s, a shared L2, DDR3-modeled DRAM, and the
+//! NIC/block-device/UART peripherals, and exposes the whole node as a
+//! [`SimAgent`] with a FAME-1 decoupled network interface: one token in
+//! and one token out per target cycle (port 0 on both sides).
+//!
+//! The blade is "powered off" by a store to [`crate::POWEROFF_ADDR`],
+//! which records an exit code, snapshots the probe, and makes
+//! [`SimAgent::done`] true — the mechanism behind the paper's
+//! boot-then-power-off simulation-rate benchmark (Fig 8).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use firesim_core::{AgentCtx, SimAgent};
+use firesim_net::Flit;
+use firesim_devices::{map, BlockDevice, Clint, CopyAccel, MmioDevice, Nic, NicStats, Uart};
+use firesim_riscv::exec::Cpu;
+use firesim_riscv::mem::{Bus, MemFault, Memory};
+use firesim_riscv::{Interrupt, DRAM_BASE};
+use firesim_uarch::{MemSystem, TickEvent, TimingCore, TraceEntry};
+
+use crate::config::BladeConfig;
+use crate::POWEROFF_ADDR;
+
+/// Observable state of a blade, shared with the harness while the engine
+/// owns the blade itself.
+#[derive(Debug, Default, Clone)]
+pub struct BladeProbe {
+    /// Console output so far.
+    pub uart: String,
+    /// Exit code once powered off.
+    pub exit_code: Option<u8>,
+    /// Copy of the mailbox memory region, captured at power-off.
+    pub mailbox: Vec<u8>,
+    /// Total instructions retired across cores.
+    pub retired: u64,
+    /// Target cycles simulated.
+    pub cycles: u64,
+    /// NIC statistics.
+    pub nic: NicStats,
+    /// AutoCounter-style samples: `(cycle, instructions retired so far)`,
+    /// one per simulation window. IPC over an interval is the retired
+    /// delta divided by the cycle delta.
+    pub retired_samples: Vec<(u64, u64)>,
+    /// TracerV-style trace of the last retired instructions per core
+    /// (enabled with [`RtlBlade::enable_trace`]).
+    pub trace: Vec<Vec<TraceEntry>>,
+}
+
+/// The SoC bus: dispatches physical addresses to DRAM and MMIO devices.
+struct SocBus<'a> {
+    mem: &'a mut Memory,
+    nic: &'a mut Nic,
+    blockdev: &'a mut BlockDevice,
+    uart: &'a mut Uart,
+    clint: &'a mut Clint,
+    accel: Option<&'a mut CopyAccel>,
+    poweroff: &'a mut Option<u8>,
+    /// Store addresses performed this instruction (for LR/SC clobbering).
+    stores: &'a mut Vec<u64>,
+}
+
+impl SocBus<'_> {
+    fn device_for(&mut self, addr: u64) -> Option<(&mut dyn MmioDevice, u64)> {
+        if (map::CLINT_BASE..map::CLINT_BASE + map::CLINT_SIZE).contains(&addr) {
+            Some((self.clint, addr - map::CLINT_BASE))
+        } else if (map::UART_BASE..map::UART_BASE + map::UART_SIZE).contains(&addr) {
+            Some((self.uart, addr - map::UART_BASE))
+        } else if (map::NIC_BASE..map::NIC_BASE + map::NIC_SIZE).contains(&addr) {
+            Some((self.nic, addr - map::NIC_BASE))
+        } else if (map::BLKDEV_BASE..map::BLKDEV_BASE + map::BLKDEV_SIZE).contains(&addr) {
+            Some((self.blockdev, addr - map::BLKDEV_BASE))
+        } else if (map::ACCEL_BASE..map::ACCEL_BASE + map::ACCEL_SIZE).contains(&addr) {
+            match &mut self.accel {
+                Some(a) => Some((*a, addr - map::ACCEL_BASE)),
+                None => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+impl Bus for SocBus<'_> {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, MemFault> {
+        if self.mem.contains(addr, size) {
+            return self.mem.load(addr, size);
+        }
+        if let Some((dev, off)) = self.device_for(addr) {
+            return Ok(dev.read(off, size));
+        }
+        Err(MemFault {
+            addr,
+            is_store: false,
+        })
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), MemFault> {
+        if self.mem.contains(addr, size) {
+            self.stores.push(addr);
+            return self.mem.store(addr, size, value);
+        }
+        if addr == POWEROFF_ADDR {
+            *self.poweroff = Some(value as u8);
+            return Ok(());
+        }
+        if let Some((dev, off)) = self.device_for(addr) {
+            dev.write(off, size, value);
+            return Ok(());
+        }
+        Err(MemFault {
+            addr,
+            is_store: true,
+        })
+    }
+}
+
+/// A cycle-exact server blade. See the [module docs](self).
+pub struct RtlBlade {
+    name: String,
+    cores: Vec<TimingCore>,
+    memsys: MemSystem,
+    mem: Memory,
+    nic: Nic,
+    blockdev: BlockDevice,
+    uart: Uart,
+    clint: Clint,
+    accel: Option<CopyAccel>,
+    cycle: u64,
+    powered_off: Option<u8>,
+    mailbox: Option<(u64, usize)>,
+    autocounter: bool,
+    uart_read: usize,
+    probe: Arc<Mutex<BladeProbe>>,
+    store_scratch: Vec<u64>,
+}
+
+impl std::fmt::Debug for RtlBlade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtlBlade")
+            .field("name", &self.name)
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .field("powered_off", &self.powered_off)
+            .finish()
+    }
+}
+
+impl RtlBlade {
+    /// Builds a blade with the given NIC MAC address.
+    pub fn new(name: impl Into<String>, mac: firesim_net::MacAddr, config: BladeConfig) -> Self {
+        let cores = (0..config.cores)
+            .map(|i| TimingCore::new(Cpu::new(i as u64, DRAM_BASE), config.timing))
+            .collect();
+        RtlBlade {
+            name: name.into(),
+            cores,
+            memsys: MemSystem::new(config.cores, config.mem),
+            mem: Memory::new(DRAM_BASE, config.dram_bytes),
+            nic: Nic::new(mac, config.nic),
+            blockdev: BlockDevice::new(config.blockdev),
+            uart: Uart::new(),
+            clint: Clint::new(config.cores, 3200),
+            accel: config.accel.then(CopyAccel::new),
+            cycle: 0,
+            powered_off: None,
+            mailbox: None,
+            autocounter: false,
+            uart_read: 0,
+            probe: Arc::new(Mutex::new(BladeProbe::default())),
+            store_scratch: Vec::new(),
+        }
+    }
+
+    /// Loads a bare-metal program image at the reset vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit in DRAM.
+    pub fn load_program(&mut self, image: &[u8]) {
+        self.mem
+            .write_bytes(DRAM_BASE, image)
+            .expect("program image must fit in DRAM");
+    }
+
+    /// Writes raw bytes into blade DRAM (program arguments, data sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is outside DRAM.
+    pub fn write_dram(&mut self, addr: u64, bytes: &[u8]) {
+        self.mem
+            .write_bytes(addr, bytes)
+            .expect("address range must be inside DRAM");
+    }
+
+    /// Declares a mailbox region to be snapshotted into the probe at
+    /// power-off (how benchmark programs return measurements).
+    pub fn set_mailbox(&mut self, addr: u64, len: usize) {
+        self.mailbox = Some((addr, len));
+    }
+
+    /// Pre-loads the block device with an image.
+    pub fn load_disk_image(&mut self, image: &[u8]) {
+        self.blockdev.load_image(image);
+    }
+
+    /// Enables TracerV-style instruction tracing on every core, keeping
+    /// the last `depth` records per core in the probe.
+    pub fn enable_trace(&mut self, depth: usize) {
+        for core in &mut self.cores {
+            core.enable_trace(depth);
+        }
+    }
+
+    /// Enables AutoCounter-style sampling: one `(cycle, retired)` sample
+    /// per simulation window appears in the probe.
+    pub fn enable_autocounter(&mut self) {
+        self.autocounter = true;
+    }
+
+    /// Shared probe handle for reading results while/after the engine runs.
+    pub fn probe(&self) -> Arc<Mutex<BladeProbe>> {
+        Arc::clone(&self.probe)
+    }
+
+    /// The blade's MAC address.
+    pub fn mac(&self) -> firesim_net::MacAddr {
+        self.nic.mac()
+    }
+
+    fn sync_probe(&mut self) {
+        let mut p = self.probe.lock();
+        let out = self.uart.output();
+        if out.len() > self.uart_read {
+            p.uart
+                .push_str(&String::from_utf8_lossy(&out[self.uart_read..]));
+            self.uart_read = out.len();
+        }
+        p.exit_code = self.powered_off;
+        p.retired = self.cores.iter().map(TimingCore::retired).sum();
+        p.cycles = self.cycle;
+        p.nic = self.nic.stats();
+        if self.autocounter {
+            let retired = p.retired;
+            p.retired_samples.push((self.cycle, retired));
+        }
+        if self.powered_off.is_some() && p.trace.is_empty() {
+            p.trace = self
+                .cores
+                .iter()
+                .map(|c| c.trace().copied().collect())
+                .collect();
+        }
+        if self.powered_off.is_some() && p.mailbox.is_empty() {
+            if let Some((addr, len)) = self.mailbox {
+                if let Ok(bytes) = self.mem.read_bytes(addr, len) {
+                    p.mailbox = bytes.to_vec();
+                }
+            }
+        }
+    }
+}
+
+impl SimAgent for RtlBlade {
+    type Token = Flit;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn done(&self) -> bool {
+        self.powered_off.is_some()
+    }
+
+    fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
+        let window = ctx.window();
+        let input = ctx.take_input(0);
+        let mut rx_iter = input.into_iter().peekable();
+
+        for off in 0..window {
+            if self.powered_off.is_none() {
+                // Wire interrupt lines.
+                let ext = self.nic.interrupt()
+                    || self.blockdev.interrupt()
+                    || self.accel.as_ref().is_some_and(MmioDevice::interrupt);
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    let csrs = &mut core.cpu_mut().csrs;
+                    csrs.set_interrupt(Interrupt::External, ext);
+                    csrs.set_interrupt(Interrupt::Timer, self.clint.timer_pending(i));
+                    csrs.set_interrupt(Interrupt::Software, self.clint.software_pending(i));
+                    csrs.time = self.clint.mtime();
+                }
+
+                // Tick each core one cycle.
+                for i in 0..self.cores.len() {
+                    self.store_scratch.clear();
+                    let mut bus = SocBus {
+                        mem: &mut self.mem,
+                        nic: &mut self.nic,
+                        blockdev: &mut self.blockdev,
+                        uart: &mut self.uart,
+                        clint: &mut self.clint,
+                        accel: self.accel.as_mut(),
+                        poweroff: &mut self.powered_off,
+                        stores: &mut self.store_scratch,
+                    };
+                    let ev = self.cores[i].tick(&mut bus, &mut self.memsys, i, self.cycle);
+                    if let TickEvent::Issued(_) = ev {
+                        // LR/SC coherence: stores clobber other harts'
+                        // reservations and shoot down their L1 lines.
+                        for k in 0..self.store_scratch.len() {
+                            let addr = self.store_scratch[k];
+                            for (j, other) in self.cores.iter_mut().enumerate() {
+                                if j != i {
+                                    other.cpu_mut().clobber_reservation(addr);
+                                }
+                            }
+                            self.memsys.shootdown(addr, Some(i));
+                        }
+                    }
+                }
+                self.blockdev.tick(&mut self.mem);
+                if let Some(accel) = &mut self.accel {
+                    accel.tick(&mut self.mem);
+                }
+                self.clint.advance(1);
+            }
+
+            // NIC keeps exchanging tokens even when powered off (the
+            // paper's token discipline: every cycle consumes and produces
+            // a token; a powered-off node just produces empty ones).
+            let rx = match rx_iter.peek() {
+                Some(&(o, _)) if o == off => rx_iter.next().map(|(_, f)| f),
+                _ => None,
+            };
+            let tx = self.nic.tick(&mut self.mem, rx);
+            if let Some(flit) = tx {
+                ctx.push_output(0, off, flit);
+            }
+
+            self.cycle += 1;
+        }
+        self.sync_probe();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firesim_core::{Cycle, Engine};
+    use firesim_net::MacAddr;
+    use firesim_riscv::asm::Assembler;
+
+    fn mk_blade(name: &str, idx: u64, image: &[u8]) -> RtlBlade {
+        let mut b = RtlBlade::new(
+            name,
+            MacAddr::from_node_index(idx),
+            BladeConfig::single_core().with_dram_bytes(1 << 20),
+        );
+        b.load_program(image);
+        b
+    }
+
+    /// A program that prints "ok\n", stores 42 in the mailbox, and powers
+    /// off.
+    fn hello_image() -> Vec<u8> {
+        let mut a = Assembler::new(DRAM_BASE);
+        a.li(5, map::UART_BASE as i64);
+        for ch in b"ok\n" {
+            a.li(6, i64::from(*ch));
+            a.sd(6, 5, 0);
+        }
+        a.li(5, DRAM_BASE as i64 + 0x8000);
+        a.li(6, 42);
+        a.sd(6, 5, 0);
+        a.li(5, POWEROFF_ADDR as i64);
+        a.li(6, 0); // exit code 0
+        a.sd(6, 5, 0);
+        a.label("spin");
+        a.j("spin");
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn boots_prints_and_powers_off() {
+        let mut b = mk_blade("node0", 0, &hello_image());
+        b.set_mailbox(DRAM_BASE + 0x8000, 8);
+        let probe = b.probe();
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let b0 = engine.add_agent(Box::new(b));
+        let mut b1 = mk_blade("node1", 1, &hello_image());
+        b1.set_mailbox(DRAM_BASE + 0x8000, 8);
+        let b1 = engine.add_agent(Box::new(b1));
+        engine.connect(b0, 0, b1, 0, Cycle::new(100)).unwrap();
+        engine.connect(b1, 0, b0, 0, Cycle::new(100)).unwrap();
+        let summary = engine.run_until_done(Cycle::new(1_000_000)).unwrap();
+        assert!(summary.cycles < Cycle::new(1_000_000));
+        let p = probe.lock();
+        assert_eq!(p.uart, "ok\n");
+        assert_eq!(p.exit_code, Some(0));
+        assert_eq!(&p.mailbox[..], &42u64.to_le_bytes());
+        assert!(p.retired > 10);
+    }
+
+    /// TracerV + AutoCounter: the probe carries an instruction trace and
+    /// per-window retirement samples.
+    #[test]
+    fn trace_and_autocounter_instrumentation() {
+        let mut b = mk_blade("traced", 0, &hello_image());
+        b.set_mailbox(DRAM_BASE + 0x8000, 8);
+        b.enable_trace(32);
+        b.enable_autocounter();
+        let probe = b.probe();
+        let peer = mk_blade("peer", 1, &hello_image());
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let b0 = engine.add_agent(Box::new(b));
+        let b1 = engine.add_agent(Box::new(peer));
+        engine.connect(b0, 0, b1, 0, Cycle::new(100)).unwrap();
+        engine.connect(b1, 0, b0, 0, Cycle::new(100)).unwrap();
+        engine.run_until_done(Cycle::new(1_000_000)).unwrap();
+
+        let p = probe.lock();
+        assert_eq!(p.exit_code, Some(0));
+        // Trace: one ring per core; entries have increasing cycles and
+        // DRAM-resident PCs.
+        assert_eq!(p.trace.len(), 1);
+        let trace = &p.trace[0];
+        assert!(!trace.is_empty() && trace.len() <= 32);
+        for w in trace.windows(2) {
+            assert!(w[1].cycle > w[0].cycle, "{w:?}");
+        }
+        assert!(trace.iter().all(|e| e.pc >= DRAM_BASE));
+        // AutoCounter: cumulative samples, nondecreasing in both fields.
+        assert!(p.retired_samples.len() >= 2);
+        for w in p.retired_samples.windows(2) {
+            assert!(w[1].0 > w[0].0 && w[1].1 >= w[0].1, "{w:?}");
+        }
+        assert_eq!(p.retired_samples.last().unwrap().1, p.retired);
+    }
+
+    /// A timer interrupt flows CLINT -> mip -> trap handler: the program
+    /// arms mtimecmp, parks in WFI, and powers off from the handler.
+    #[test]
+    fn clint_timer_interrupt_wakes_wfi() {
+        use firesim_riscv::csr::addr as csr;
+        let mtimecmp = (map::CLINT_BASE + firesim_devices::clint::MTIMECMP_BASE) as i64;
+        let mut a = Assembler::new(DRAM_BASE);
+        a.la(5, "handler");
+        a.csrw(csr::MTVEC, 5);
+        // Arm the timer ~50 RTC ticks out (RTC = core/3200).
+        a.li(6, mtimecmp);
+        a.li(7, 50);
+        a.sd(7, 6, 0);
+        a.li(7, 0x080); // MTIE
+        a.csrw(csr::MIE, 7);
+        a.csrsi(csr::MSTATUS, 8); // MIE
+        a.label("sleep");
+        a.wfi();
+        a.j("sleep");
+        a.label("handler");
+        // Record mtime progress and power off.
+        a.csrr(8, csr::TIME);
+        a.li(13, DRAM_BASE as i64 + 0x8000);
+        a.sd(8, 13, 0);
+        a.li(5, POWEROFF_ADDR as i64);
+        a.sd(0, 5, 0);
+        a.label("spin");
+        a.j("spin");
+        let image = a.assemble().unwrap();
+
+        let mut b = mk_blade("timer", 0, &image);
+        b.set_mailbox(DRAM_BASE + 0x8000, 8);
+        let probe = b.probe();
+        let peer = mk_blade("peer", 1, &hello_image());
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let b0 = engine.add_agent(Box::new(b));
+        let b1 = engine.add_agent(Box::new(peer));
+        engine.connect(b0, 0, b1, 0, Cycle::new(100)).unwrap();
+        engine.connect(b1, 0, b0, 0, Cycle::new(100)).unwrap();
+        let summary = engine.run_until_done(Cycle::new(5_000_000)).unwrap();
+        assert!(summary.cycles < Cycle::new(5_000_000));
+        let p = probe.lock();
+        assert_eq!(p.exit_code, Some(0));
+        let mtime = u64::from_le_bytes(p.mailbox[0..8].try_into().unwrap());
+        assert!(mtime >= 50, "handler ran before mtimecmp: mtime {mtime}");
+    }
+
+    /// Four harts atomically increment a shared counter with AMOADD while
+    /// hart 0 spins until all contributions land — exercising multicore
+    /// scheduling, atomics, and the L1 shoot-down path.
+    #[test]
+    fn quad_core_atomic_counter() {
+        let n = 200i64;
+        let counter = DRAM_BASE as i64 + 0x9000;
+        let mut a = Assembler::new(DRAM_BASE);
+        a.csrr(5, firesim_riscv::csr::addr::MHARTID);
+        a.li(10, counter);
+        a.li(7, 1);
+        a.li(8, n);
+        a.label("work");
+        a.amoadd_d(6, 7, 10);
+        a.addi(8, 8, -1);
+        a.bnez(8, "work");
+        a.bnez(5, "park"); // non-zero harts park
+        // Hart 0: wait for all 4 harts' contributions.
+        a.li(9, 4 * n);
+        a.label("wait");
+        a.ld(6, 10, 0);
+        a.bne(6, 9, "wait");
+        a.li(13, DRAM_BASE as i64 + 0x8000);
+        a.sd(6, 13, 0);
+        a.li(5, POWEROFF_ADDR as i64);
+        a.sd(0, 5, 0);
+        a.label("park");
+        a.label("spin");
+        a.j("spin");
+        let image = a.assemble().unwrap();
+
+        let mut blade = RtlBlade::new(
+            "quad",
+            MacAddr::from_node_index(0),
+            BladeConfig::quad_core().with_dram_bytes(1 << 20),
+        );
+        blade.load_program(&image);
+        blade.set_mailbox(DRAM_BASE + 0x8000, 8);
+        let probe = blade.probe();
+        let peer = mk_blade("peer", 1, &hello_image());
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let b0 = engine.add_agent(Box::new(blade));
+        let b1 = engine.add_agent(Box::new(peer));
+        engine.connect(b0, 0, b1, 0, Cycle::new(100)).unwrap();
+        engine.connect(b1, 0, b0, 0, Cycle::new(100)).unwrap();
+        engine.run_until_done(Cycle::new(50_000_000)).unwrap();
+
+        let p = probe.lock();
+        assert_eq!(p.exit_code, Some(0), "hart 0 never saw the full count");
+        assert_eq!(
+            u64::from_le_bytes(p.mailbox[0..8].try_into().unwrap()),
+            4 * n as u64
+        );
+    }
+
+    #[test]
+    fn two_blades_exchange_a_packet() {
+        // Node 0 sends one raw Ethernet frame to node 1 via the NICs,
+        // wired back-to-back with a 100-cycle link; node 1 busy-polls its
+        // NIC and powers off once the frame lands in memory.
+        use firesim_devices::nic::reg;
+
+        let payload_len = 32u32;
+        let frame_len = 14 + payload_len;
+
+        // Sender: builds a frame in DRAM, posts a send request, waits for
+        // the completion, powers off.
+        let mut a = Assembler::new(DRAM_BASE);
+        let buf = DRAM_BASE as i64 + 0x4000;
+        // dst MAC = node 1.
+        a.li(5, buf);
+        a.li(6, 0x02); // dst byte 0
+        a.sb(6, 5, 0);
+        for i in 1..5 {
+            a.sb(0, 5, i);
+        }
+        a.li(6, 0x01);
+        a.sb(6, 5, 5);
+        // src MAC = node 0 (zeros beyond the 0x02 prefix).
+        a.li(6, 0x02);
+        a.sb(6, 5, 6);
+        for i in 7..12 {
+            a.sb(0, 5, i);
+        }
+        // Ethertype 0x88B7 (stream) big-endian.
+        a.li(6, 0x88);
+        a.sb(6, 5, 12);
+        a.li(6, 0xB7);
+        a.sb(6, 5, 13);
+        // Payload: bytes 0xA5.
+        a.li(6, 0xA5);
+        for i in 0..payload_len as i64 {
+            a.sb(6, 5, 14 + i);
+        }
+        // Send request.
+        a.li(7, map::NIC_BASE as i64 + reg::SEND_REQ as i64);
+        a.li(6, buf | ((frame_len as i64) << 48));
+        a.sd(6, 7, 0);
+        // Wait for send completion.
+        a.li(7, map::NIC_BASE as i64 + reg::SEND_COMP as i64);
+        a.label("wait");
+        a.ld(6, 7, 0);
+        a.beqz(6, "wait");
+        a.li(5, POWEROFF_ADDR as i64);
+        a.sd(0, 5, 0);
+        a.label("spin");
+        a.j("spin");
+        let sender = a.assemble().unwrap();
+
+        // Receiver: posts a receive buffer, polls the receive completion,
+        // copies the length to the mailbox, powers off.
+        let mut a = Assembler::new(DRAM_BASE);
+        let rxbuf = DRAM_BASE as i64 + 0x6000;
+        a.li(7, map::NIC_BASE as i64 + reg::RECV_REQ as i64);
+        a.li(6, rxbuf);
+        a.sd(6, 7, 0);
+        a.li(7, map::NIC_BASE as i64 + reg::RECV_COMP as i64);
+        a.label("wait");
+        a.ld(6, 7, 0);
+        a.beqz(6, "wait");
+        // mailbox <- completion value (len + 1), first payload byte.
+        a.li(5, DRAM_BASE as i64 + 0x8000);
+        a.sd(6, 5, 0);
+        a.li(8, rxbuf);
+        a.lbu(9, 8, 14);
+        a.sd(9, 5, 8);
+        a.li(5, POWEROFF_ADDR as i64);
+        a.sd(0, 5, 0);
+        a.label("spin");
+        a.j("spin");
+        let receiver = a.assemble().unwrap();
+
+        let s = mk_blade("sender", 0, &sender);
+        let mut r = mk_blade("receiver", 1, &receiver);
+        r.set_mailbox(DRAM_BASE + 0x8000, 16);
+        let r_probe = r.probe();
+        let s_probe = s.probe();
+
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let sid = engine.add_agent(Box::new(s));
+        let rid = engine.add_agent(Box::new(r));
+        engine.connect(sid, 0, rid, 0, Cycle::new(100)).unwrap();
+        engine.connect(rid, 0, sid, 0, Cycle::new(100)).unwrap();
+        engine.run_until_done(Cycle::new(2_000_000)).unwrap();
+
+        let rp = r_probe.lock();
+        assert_eq!(rp.exit_code, Some(0));
+        let comp = u64::from_le_bytes(rp.mailbox[0..8].try_into().unwrap());
+        assert_eq!(comp, u64::from(frame_len) + 1);
+        assert_eq!(rp.mailbox[8], 0xA5);
+        let sp = s_probe.lock();
+        assert_eq!(sp.nic.tx_packets, 1);
+        assert_eq!(rp.nic.rx_packets, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Supernode packing (§III-A5): multiple blades per host execution unit.
+//!
+//! FireSim's supernode configuration packs four simulated nodes onto one
+//! FPGA, multiplexing their network token streams over a single PCIe
+//! link. The host-side analogue here is [`Supernode`]: one simulation
+//! agent that advances up to four [`RtlBlade`]s, exposing one network
+//! port per blade. Fewer agents means fewer host channels and less
+//! scheduling overhead — the same lever the paper pulls to scale to 1024
+//! nodes, and the second curve in Fig 8.
+
+use firesim_core::{AgentCtx, SimAgent};
+use firesim_net::Flit;
+
+use crate::soc::RtlBlade;
+
+/// Up to four RTL blades advancing as one host unit.
+pub struct Supernode {
+    name: String,
+    blades: Vec<RtlBlade>,
+}
+
+impl std::fmt::Debug for Supernode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supernode")
+            .field("name", &self.name)
+            .field("blades", &self.blades.len())
+            .finish()
+    }
+}
+
+impl Supernode {
+    /// Packs blades into one agent. Port `i` belongs to blade `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless 1..=4 blades are supplied (the FPGA has four DRAM
+    /// channels).
+    pub fn new(name: impl Into<String>, blades: Vec<RtlBlade>) -> Self {
+        assert!(
+            (1..=4).contains(&blades.len()),
+            "a supernode packs 1..=4 blades"
+        );
+        Supernode {
+            name: name.into(),
+            blades,
+        }
+    }
+
+    /// The packed blades.
+    pub fn blades(&self) -> &[RtlBlade] {
+        &self.blades
+    }
+}
+
+impl SimAgent for Supernode {
+    type Token = Flit;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        self.blades.len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.blades.len()
+    }
+
+    fn done(&self) -> bool {
+        self.blades.iter().all(SimAgent::done)
+    }
+
+    fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
+        let window = ctx.window();
+        for (i, blade) in self.blades.iter_mut().enumerate() {
+            // Build a per-blade sub-context over this blade's port pair.
+            let input = ctx.take_input(i);
+            let mut sub = AgentCtx::standalone(ctx.now(), window, vec![input], 1);
+            blade.advance(&mut sub);
+            let mut outputs = sub.into_outputs();
+            *ctx.output_mut(i) = outputs.remove(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BladeConfig;
+    use crate::programs;
+    use firesim_core::{Cycle, Engine};
+    use firesim_net::MacAddr;
+
+    #[test]
+    fn supernode_blades_ping_each_other() {
+        // Two blades in ONE supernode, wired port 0 <-> port 1.
+        let count = 2;
+        let mk = |idx: u64, prog: &programs::Program| {
+            let mut b = RtlBlade::new(
+                format!("n{idx}"),
+                MacAddr::from_node_index(idx),
+                BladeConfig::single_core().with_dram_bytes(4 << 20),
+            );
+            prog.install(&mut b);
+            b
+        };
+        let sender_prog = programs::ping_sender(
+            MacAddr::from_node_index(0),
+            MacAddr::from_node_index(1),
+            count,
+            26,
+            5_000,
+        );
+        let responder_prog = programs::echo_responder(count);
+        let sender = mk(0, &sender_prog);
+        let responder = mk(1, &responder_prog);
+        let s_probe = sender.probe();
+        let sn = Supernode::new("sn0", vec![sender, responder]);
+
+        let mut engine: Engine<Flit> = Engine::new(200);
+        let id = engine.add_agent(Box::new(sn));
+        engine.connect(id, 0, id, 1, Cycle::new(200)).unwrap();
+        engine.connect(id, 1, id, 0, Cycle::new(200)).unwrap();
+        engine.run_until_done(Cycle::new(10_000_000)).unwrap();
+
+        let p = s_probe.lock();
+        assert_eq!(p.exit_code, Some(0));
+        let rtt = u64::from_le_bytes(p.mailbox[8..16].try_into().unwrap());
+        assert!(rtt > 400, "rtt {rtt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4 blades")]
+    fn five_blades_panics() {
+        let blades = (0..5)
+            .map(|i| {
+                RtlBlade::new(
+                    format!("n{i}"),
+                    MacAddr::from_node_index(i),
+                    BladeConfig::single_core().with_dram_bytes(1 << 20),
+                )
+            })
+            .collect();
+        let _ = Supernode::new("bad", blades);
+    }
+}

@@ -1,0 +1,281 @@
+//! Latency-modeling token channels.
+//!
+//! A simulated link of latency `L` cycles always has exactly `L` tokens in
+//! flight. With windows of `W` cycles (`L % W == 0`), that means `L / W`
+//! windows are in flight at any moment. A [`link`] is created pre-seeded
+//! with `L / W` *empty* windows, exactly like the paper's description of
+//! simulation start-up ("each input token queue initialized with l tokens").
+//!
+//! The channel is a bounded MPSC queue from crossbeam under the hood, but
+//! the token-counting discipline means the *simulation result* never depends
+//! on host-side timing: a receiver simply blocks until the window for its
+//! next target cycle range arrives.
+
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+
+use crate::error::{SimError, SimResult};
+use crate::time::Cycle;
+use crate::token::TokenWindow;
+
+/// Sending half of a simulation link.
+#[derive(Debug, Clone)]
+pub struct LinkSender<T> {
+    tx: Sender<TokenWindow<T>>,
+    window: u32,
+    latency: Cycle,
+}
+
+/// Receiving half of a simulation link.
+#[derive(Debug)]
+pub struct LinkReceiver<T> {
+    rx: Receiver<TokenWindow<T>>,
+    window: u32,
+    latency: Cycle,
+}
+
+/// Creates a simulation link with the given `latency`, exchanging windows of
+/// `window` cycles. The link is seeded with `latency / window` empty windows
+/// so both endpoints can begin executing immediately.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadLatency`] when `latency` is zero or not a multiple
+/// of `window`.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::{link, TokenWindow, Cycle};
+///
+/// let (tx, rx) = link::<u8>(4, Cycle::new(8)).unwrap();
+/// // Two seed windows are already in flight.
+/// assert_eq!(rx.try_recv().unwrap().unwrap().len(), 4);
+/// assert_eq!(rx.try_recv().unwrap().unwrap().len(), 4);
+/// assert!(rx.try_recv().unwrap().is_none());
+/// let mut w = TokenWindow::new(4);
+/// w.push(1, 0xab).unwrap();
+/// tx.send(w).unwrap();
+/// assert_eq!(rx.recv().unwrap().get(1), Some(&0xab));
+/// ```
+pub fn link<T>(window: u32, latency: Cycle) -> SimResult<(LinkSender<T>, LinkReceiver<T>)> {
+    if window == 0 || latency == Cycle::ZERO || !latency.is_multiple_of(Cycle::new(window as u64)) {
+        return Err(SimError::BadLatency {
+            latency: latency.as_u64(),
+            window,
+        });
+    }
+    let in_flight = (latency.as_u64() / window as u64) as usize;
+    // One extra slot so a producer finishing its round never blocks on a
+    // consumer that has not yet started its round.
+    let (tx, rx) = bounded(in_flight + 1);
+    for _ in 0..in_flight {
+        tx.send(TokenWindow::new(window))
+            .expect("seeding a freshly created channel cannot fail");
+    }
+    Ok((
+        LinkSender {
+            tx,
+            window,
+            latency,
+        },
+        LinkReceiver {
+            rx,
+            window,
+            latency,
+        },
+    ))
+}
+
+impl<T> LinkSender<T> {
+    /// The window length (cycles) this link exchanges.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The modeled link latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Sends one window of tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WindowMismatch`] if the window length is wrong,
+    /// or [`SimError::ChannelClosed`] if the receiver has been dropped.
+    pub fn send(&self, w: TokenWindow<T>) -> SimResult<()> {
+        if w.len() != self.window {
+            return Err(SimError::WindowMismatch {
+                expected: self.window,
+                actual: w.len(),
+            });
+        }
+        self.tx.send(w).map_err(|_| SimError::ChannelClosed {
+            agent: "<receiver>".to_owned(),
+        })
+    }
+
+    /// Sends one window, waiting at most `timeout` for queue space.
+    ///
+    /// Returns the window back as `Ok(Some(w))` on timeout so the caller can
+    /// retry or abort.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LinkSender::send`].
+    pub fn send_timeout(
+        &self,
+        w: TokenWindow<T>,
+        timeout: std::time::Duration,
+    ) -> SimResult<Option<TokenWindow<T>>> {
+        use crossbeam::channel::SendTimeoutError;
+        if w.len() != self.window {
+            return Err(SimError::WindowMismatch {
+                expected: self.window,
+                actual: w.len(),
+            });
+        }
+        match self.tx.send_timeout(w, timeout) {
+            Ok(()) => Ok(None),
+            Err(SendTimeoutError::Timeout(w)) => Ok(Some(w)),
+            Err(SendTimeoutError::Disconnected(_)) => Err(SimError::ChannelClosed {
+                agent: "<receiver>".to_owned(),
+            }),
+        }
+    }
+}
+
+impl<T> LinkReceiver<T> {
+    /// The window length (cycles) this link exchanges.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The modeled link latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Receives the next window, blocking until the peer produces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
+    pub fn recv(&self) -> SimResult<TokenWindow<T>> {
+        self.rx.recv().map_err(|_| SimError::ChannelClosed {
+            agent: "<sender>".to_owned(),
+        })
+    }
+
+    /// Receives the next window, waiting at most `timeout`.
+    ///
+    /// Returns `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> SimResult<Option<TokenWindow<T>>> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.rx.recv_timeout(timeout) {
+            Ok(w) => Ok(Some(w)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(SimError::ChannelClosed {
+                agent: "<sender>".to_owned(),
+            }),
+        }
+    }
+
+    /// Receives the next window if one is ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
+    pub fn try_recv(&self) -> SimResult<Option<TokenWindow<T>>> {
+        match self.rx.try_recv() {
+            Ok(w) => Ok(Some(w)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(SimError::ChannelClosed {
+                agent: "<sender>".to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_seeds_latency_tokens() {
+        let (_tx, rx) = link::<u32>(100, Cycle::new(300)).unwrap();
+        let mut seeded = 0;
+        while let Some(w) = rx.try_recv().unwrap() {
+            assert_eq!(w.len(), 100);
+            assert!(w.is_empty());
+            seeded += 1;
+        }
+        assert_eq!(seeded, 3);
+    }
+
+    #[test]
+    fn rejects_bad_latency() {
+        assert!(matches!(
+            link::<u8>(100, Cycle::new(150)),
+            Err(SimError::BadLatency { .. })
+        ));
+        assert!(matches!(
+            link::<u8>(100, Cycle::ZERO),
+            Err(SimError::BadLatency { .. })
+        ));
+        assert!(matches!(
+            link::<u8>(0, Cycle::new(100)),
+            Err(SimError::BadLatency { .. })
+        ));
+    }
+
+    #[test]
+    fn send_rejects_wrong_window() {
+        let (tx, _rx) = link::<u8>(8, Cycle::new(8)).unwrap();
+        let w = TokenWindow::new(4);
+        assert!(matches!(
+            tx.send(w),
+            Err(SimError::WindowMismatch {
+                expected: 8,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn payloads_cross_in_order() {
+        let (tx, rx) = link::<u64>(4, Cycle::new(4)).unwrap();
+        let _seed = rx.recv().unwrap();
+        // The channel is bounded (1 window in flight + 1 slot), so interleave
+        // sends and receives the way an engine round does.
+        for round in 0..10u64 {
+            let mut w = TokenWindow::new(4);
+            w.push(0, round).unwrap();
+            tx.send(w).unwrap();
+            let got = rx.recv().unwrap();
+            assert_eq!(got.get(0), Some(&round));
+        }
+    }
+
+    #[test]
+    fn closed_channel_errors() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        drop(rx);
+        assert!(matches!(
+            tx.send(TokenWindow::new(4)),
+            Err(SimError::ChannelClosed { .. })
+        ));
+
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        drop(tx);
+        let _seed = rx.recv().unwrap(); // the seed window is still there
+        assert!(matches!(rx.recv(), Err(SimError::ChannelClosed { .. })));
+    }
+}

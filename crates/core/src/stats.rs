@@ -1,0 +1,319 @@
+//! Measurement primitives used by the evaluation harness: counters,
+//! latency histograms with percentiles, and time series.
+//!
+//! The paper's experiments report 50th/95th-percentile latencies (Fig 7,
+//! Table III), aggregate bandwidth over time (Fig 6), and simulation rates
+//! (Figs 8-9). These types collect those measurements inside simulated
+//! components and are cheap enough to leave enabled always.
+
+use core::fmt;
+
+use crate::time::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::stats::Counter;
+///
+/// let mut packets = Counter::new("packets_rx");
+/// packets.add(3);
+/// packets.inc();
+/// assert_eq!(packets.get(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.value)
+    }
+}
+
+/// A sample reservoir with exact percentiles.
+///
+/// Stores every sample (the experiments here collect at most a few hundred
+/// thousand), sorts lazily on query.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::stats::Histogram;
+///
+/// let mut h = Histogram::new("rtt_us");
+/// for v in 0..=100 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.percentile(50.0), Some(50));
+/// assert_eq!(h.percentile(95.0), Some(95));
+/// assert_eq!(h.min(), Some(0));
+/// assert_eq!(h.max(), Some(100));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    name: String,
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0-100) by linear interpolation between ranks,
+    /// or `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (self.samples.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            return Some(self.samples[lo]);
+        }
+        let frac = rank - lo as f64;
+        let a = self.samples[lo] as f64;
+        let b = self.samples[hi] as f64;
+        Some((a + (b - a) * frac).round() as u64)
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// All samples in insertion order (unsorted view not guaranteed after a
+    /// percentile query).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// A `(cycle, value)` time series, e.g. bandwidth at a switch over time
+/// (Fig 6).
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::stats::TimeSeries;
+/// use firesim_core::Cycle;
+///
+/// let mut ts = TimeSeries::new("root_bw_gbps");
+/// ts.record(Cycle::new(0), 0.0);
+/// ts.record(Cycle::new(6400), 100.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.points()[1].1, 100.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(Cycle, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series' name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Callers should append in nondecreasing cycle order.
+    pub fn record(&mut self, at: Cycle, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded points in insertion order.
+    pub fn points(&self) -> &[(Cycle, f64)] {
+        &self.points
+    }
+
+    /// Maximum value in the series, or `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        assert_eq!(c.to_string(), "x: 11");
+    }
+
+    #[test]
+    fn histogram_percentiles_small() {
+        let mut h = Histogram::new("h");
+        assert_eq!(h.percentile(50.0), None);
+        h.record(5);
+        assert_eq!(h.percentile(0.0), Some(5));
+        assert_eq!(h.percentile(100.0), Some(5));
+        h.record(15);
+        assert_eq!(h.percentile(50.0), Some(10)); // interpolated
+    }
+
+    #[test]
+    fn histogram_percentiles_uniform() {
+        let mut h = Histogram::new("h");
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(51)); // rank 49.5 -> 50.5 -> 51 rounded
+        assert_eq!(h.percentile(95.0), Some(95));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_unsorted_insertion() {
+        let mut h = Histogram::new("h");
+        for v in [9, 1, 5, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(5));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(3));
+    }
+
+    #[test]
+    fn timeseries_points() {
+        let mut ts = TimeSeries::new("bw");
+        assert!(ts.is_empty());
+        ts.record(Cycle::new(10), 1.5);
+        ts.record(Cycle::new(20), 4.5);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.max_value(), Some(4.5));
+        assert_eq!(ts.points()[0], (Cycle::new(10), 1.5));
+    }
+}

@@ -1,0 +1,332 @@
+//! Target-time arithmetic: cycles and clock frequencies.
+//!
+//! FireSim simulations run in a single target clock domain (the paper uses
+//! 3.2 GHz for its server blades). All models that need a notion of target
+//! time — the network, the DRAM model, the OS model — express it in target
+//! cycles; [`Frequency`] converts between cycles and wall-clock target time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A count of target clock cycles, or a point in target time measured in
+/// cycles since simulation start.
+///
+/// `Cycle` is a thin newtype over `u64` ([C-NEWTYPE]) so that target time
+/// cannot be accidentally mixed with host time or other integers.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::{Cycle, Frequency};
+///
+/// let lat = Frequency::GHZ_3_2.cycles_from_nanos(2_000); // 2 us link
+/// assert_eq!(lat, Cycle::new(6_400));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The zero point of target time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycle(n)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Cycle) -> Option<Cycle> {
+        self.0.checked_sub(rhs.0).map(Cycle)
+    }
+
+    /// Returns the larger of two cycle counts.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two cycle counts.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// True when this is a multiple of `other` (used to validate that link
+    /// latencies divide evenly into simulation windows).
+    #[inline]
+    pub fn is_multiple_of(self, other: Cycle) -> bool {
+        other.0 != 0 && self.0.is_multiple_of(other.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(n: u64) -> Self {
+        Cycle(n)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycle {
+        Cycle(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycle {
+        Cycle(self.0 / rhs)
+    }
+}
+
+impl Rem<Cycle> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn rem(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+/// A target clock frequency in hertz.
+///
+/// Frequencies convert between target cycles and target wall-clock time.
+/// When the paper says a blade runs at "3.2 GHz", it means all simulation
+/// models agree that one cycle is `1 / 3.2e9` seconds of target time.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::Frequency;
+///
+/// let f = Frequency::from_ghz(3.2);
+/// assert_eq!(f.as_hz(), 3_200_000_000);
+/// assert_eq!(f.cycles_from_micros(2).as_u64(), 6_400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// The paper's default blade clock: 3.2 GHz.
+    pub const GHZ_3_2: Frequency = Frequency(3_200_000_000);
+
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    pub const fn from_hz(hz: u64) -> Self {
+        assert!(hz > 0, "frequency must be nonzero");
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not finite and positive.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive");
+        Frequency((ghz * 1e9).round() as u64)
+    }
+
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not finite and positive.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "frequency must be positive");
+        Frequency((mhz * 1e6).round() as u64)
+    }
+
+    /// The frequency in hertz.
+    #[inline]
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// The frequency in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Number of cycles in `ns` nanoseconds of target time (rounded to the
+    /// nearest cycle).
+    #[inline]
+    pub fn cycles_from_nanos(self, ns: u64) -> Cycle {
+        Cycle((self.0 as u128 * ns as u128 / 1_000_000_000) as u64)
+    }
+
+    /// Number of cycles in `us` microseconds of target time.
+    #[inline]
+    pub fn cycles_from_micros(self, us: u64) -> Cycle {
+        self.cycles_from_nanos(us * 1_000)
+    }
+
+    /// Target time of `c` cycles, in nanoseconds.
+    #[inline]
+    pub fn nanos_from_cycles(self, c: Cycle) -> f64 {
+        c.as_u64() as f64 * 1e9 / self.0 as f64
+    }
+
+    /// Target time of `c` cycles, in microseconds.
+    #[inline]
+    pub fn micros_from_cycles(self, c: Cycle) -> f64 {
+        self.nanos_from_cycles(c) / 1e3
+    }
+
+    /// Target time of `c` cycles, in seconds.
+    #[inline]
+    pub fn seconds_from_cycles(self, c: Cycle) -> f64 {
+        c.as_u64() as f64 / self.0 as f64
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} GHz", self.as_ghz())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} MHz", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        Frequency::GHZ_3_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let a = Cycle::new(10);
+        let b = Cycle::new(3);
+        assert_eq!(a + b, Cycle::new(13));
+        assert_eq!(a - b, Cycle::new(7));
+        assert_eq!(a * 2, Cycle::new(20));
+        assert_eq!(a / 2, Cycle::new(5));
+        assert_eq!(a % b, Cycle::new(1));
+        assert_eq!(b.saturating_sub(a), Cycle::ZERO);
+        assert_eq!(a.checked_sub(b), Some(Cycle::new(7)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn cycle_multiples() {
+        assert!(Cycle::new(6400).is_multiple_of(Cycle::new(100)));
+        assert!(!Cycle::new(6401).is_multiple_of(Cycle::new(100)));
+        assert!(!Cycle::new(10).is_multiple_of(Cycle::ZERO));
+    }
+
+    #[test]
+    fn cycle_sum_and_conversions() {
+        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Cycle::new(6));
+        assert_eq!(u64::from(Cycle::new(9)), 9);
+        assert_eq!(Cycle::from(9u64), Cycle::new(9));
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::GHZ_3_2;
+        // 2 us at 3.2 GHz = 6400 cycles, the paper's canonical link latency.
+        assert_eq!(f.cycles_from_micros(2), Cycle::new(6400));
+        assert_eq!(f.cycles_from_nanos(2000), Cycle::new(6400));
+        assert!((f.micros_from_cycles(Cycle::new(6400)) - 2.0).abs() < 1e-9);
+        assert!((f.seconds_from_cycles(Cycle::new(3_200_000_000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_display() {
+        assert_eq!(Frequency::GHZ_3_2.to_string(), "3.200 GHz");
+        assert_eq!(Frequency::from_mhz(3.42).to_string(), "3.420 MHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn frequency_zero_panics() {
+        let _ = Frequency::from_ghz(0.0);
+    }
+
+    #[test]
+    fn cycle_display_and_minmax() {
+        assert_eq!(Cycle::new(5).to_string(), "5 cycles");
+        assert_eq!(Cycle::new(5).max(Cycle::new(9)), Cycle::new(9));
+        assert_eq!(Cycle::new(5).min(Cycle::new(9)), Cycle::new(5));
+    }
+}

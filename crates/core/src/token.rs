@@ -1,0 +1,271 @@
+//! Token windows: one link-latency's worth of simulation tokens.
+//!
+//! On a FireSim link, the fundamental unit of data is a *token* representing
+//! one target cycle's worth of data. Most cycles carry nothing (an "empty
+//! token"); only cycles on which the endpoint actually transmitted carry a
+//! payload. The paper batches token movement in units of the target link
+//! latency — the largest batch that does not compromise cycle accuracy.
+//!
+//! [`TokenWindow`] is that batch. It is semantically a dense sequence of
+//! `len` tokens, `Option<T>` each, but stores only the non-empty tokens as
+//! `(offset, payload)` pairs sorted by offset. This keeps host cost
+//! proportional to traffic rather than target time while preserving exact
+//! per-cycle semantics. (It is *not* cross-window compression, which the
+//! paper explicitly avoids; every window still represents exactly `len`
+//! cycles and is exchanged exactly once.)
+
+use core::fmt;
+
+/// A window of `len` target cycles of tokens, with empty tokens implicit.
+///
+/// Offsets are strictly increasing and less than `len`; this invariant is
+/// enforced by [`push`](TokenWindow::push).
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::TokenWindow;
+///
+/// let mut w = TokenWindow::new(8);
+/// w.push(2, "a").unwrap();
+/// w.push(5, "b").unwrap();
+/// assert_eq!(w.len(), 8);
+/// assert_eq!(w.occupancy(), 2);
+/// assert_eq!(w.get(5), Some(&"b"));
+/// assert_eq!(w.get(3), None);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TokenWindow<T> {
+    len: u32,
+    items: Vec<(u32, T)>,
+}
+
+impl<T> TokenWindow<T> {
+    /// Creates an empty window covering `len` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero — a window must cover at least one cycle.
+    pub fn new(len: u32) -> Self {
+        assert!(len > 0, "token window must cover at least one cycle");
+        TokenWindow {
+            len,
+            items: Vec::new(),
+        }
+    }
+
+    /// Creates an empty window with pre-allocated capacity for `cap` tokens.
+    pub fn with_capacity(len: u32, cap: usize) -> Self {
+        assert!(len > 0, "token window must cover at least one cycle");
+        TokenWindow {
+            len,
+            items: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The number of target cycles this window covers.
+    ///
+    /// Note that this is *not* the number of valid tokens; see
+    /// [`occupancy`](TokenWindow::occupancy).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when the window carries no valid tokens (all cycles idle).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The number of cycles carrying a valid token.
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends a valid token at cycle-offset `offset` within the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns the payload back if `offset` is out of range or not strictly
+    /// greater than the last pushed offset (tokens must be pushed in cycle
+    /// order, one per cycle at most).
+    pub fn push(&mut self, offset: u32, payload: T) -> Result<(), T> {
+        if offset >= self.len {
+            return Err(payload);
+        }
+        if let Some(&(last, _)) = self.items.last() {
+            if offset <= last {
+                return Err(payload);
+            }
+        }
+        self.items.push((offset, payload));
+        Ok(())
+    }
+
+    /// The payload at cycle-offset `offset`, if that cycle carries a token.
+    pub fn get(&self, offset: u32) -> Option<&T> {
+        self.items
+            .binary_search_by_key(&offset, |&(o, _)| o)
+            .ok()
+            .map(|i| &self.items[i].1)
+    }
+
+    /// Iterates over `(offset, &payload)` pairs in cycle order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().map(|(o, p)| (*o, p))
+    }
+
+    /// Consumes the window, yielding `(offset, payload)` pairs in cycle order.
+    #[allow(clippy::should_implement_trait)] // IntoIterator is also implemented
+    pub fn into_iter(self) -> impl Iterator<Item = (u32, T)> {
+        self.items.into_iter()
+    }
+
+    /// Converts to a dense `Vec<Option<T>>` of length `len`.
+    ///
+    /// This is the reference semantics of a window; used by tests to check
+    /// that the sparse representation is faithful.
+    pub fn to_dense(&self) -> Vec<Option<&T>> {
+        let mut dense: Vec<Option<&T>> = (0..self.len).map(|_| None).collect();
+        for (o, p) in self.iter() {
+            dense[o as usize] = Some(p);
+        }
+        dense
+    }
+
+    /// Builds a window from dense per-cycle tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is empty.
+    pub fn from_dense(dense: Vec<Option<T>>) -> Self {
+        assert!(!dense.is_empty(), "token window must cover at least one cycle");
+        let len = u32::try_from(dense.len()).expect("window too large");
+        let items = dense
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i as u32, t)))
+            .collect();
+        TokenWindow { len, items }
+    }
+
+    /// Maps payloads, preserving offsets.
+    pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> TokenWindow<U> {
+        TokenWindow {
+            len: self.len,
+            items: self
+                .items
+                .into_iter()
+                .map(|(o, p)| (o, f(p)))
+                .collect(),
+        }
+    }
+
+    /// Removes all tokens, keeping the window length.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T> IntoIterator for TokenWindow<T> {
+    type Item = (u32, T);
+    type IntoIter = std::vec::IntoIter<(u32, T)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for TokenWindow<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TokenWindow")
+            .field("len", &self.len)
+            .field("items", &self.items)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut w = TokenWindow::new(10);
+        assert!(w.is_empty());
+        w.push(0, 'x').unwrap();
+        w.push(9, 'y').unwrap();
+        assert_eq!(w.get(0), Some(&'x'));
+        assert_eq!(w.get(9), Some(&'y'));
+        assert_eq!(w.get(5), None);
+        assert_eq!(w.occupancy(), 2);
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn push_rejects_out_of_range() {
+        let mut w = TokenWindow::new(4);
+        assert_eq!(w.push(4, 1), Err(1));
+        assert_eq!(w.push(100, 2), Err(2));
+    }
+
+    #[test]
+    fn push_rejects_out_of_order() {
+        let mut w = TokenWindow::new(8);
+        w.push(3, 1).unwrap();
+        assert_eq!(w.push(3, 2), Err(2)); // duplicate cycle
+        assert_eq!(w.push(1, 3), Err(3)); // earlier cycle
+        w.push(4, 4).unwrap();
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut w = TokenWindow::new(6);
+        w.push(1, 10).unwrap();
+        w.push(4, 20).unwrap();
+        let dense = w.to_dense();
+        assert_eq!(dense, vec![None, Some(&10), None, None, Some(&20), None]);
+
+        let w2 = TokenWindow::from_dense(vec![None, Some(10), None, None, Some(20), None]);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn map_preserves_offsets() {
+        let mut w = TokenWindow::new(4);
+        w.push(2, 5).unwrap();
+        let w2 = w.map(|v| v * 2);
+        assert_eq!(w2.get(2), Some(&10));
+        assert_eq!(w2.len(), 4);
+    }
+
+    #[test]
+    fn iteration_in_cycle_order() {
+        let mut w = TokenWindow::new(16);
+        for i in [1u32, 5, 9] {
+            w.push(i, i as u64).unwrap();
+        }
+        let collected: Vec<_> = w.iter().map(|(o, v)| (o, *v)).collect();
+        assert_eq!(collected, vec![(1, 1), (5, 5), (9, 9)]);
+        let owned: Vec<_> = w.into_iter().collect();
+        assert_eq!(owned, vec![(1, 1), (5, 5), (9, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_length_panics() {
+        let _ = TokenWindow::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_keeps_len() {
+        let mut w = TokenWindow::new(4);
+        w.push(0, 1).unwrap();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 4);
+    }
+}

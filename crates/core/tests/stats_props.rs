@@ -1,0 +1,73 @@
+//! Property tests for the measurement primitives.
+
+use proptest::prelude::*;
+
+use firesim_core::stats::Histogram;
+use firesim_core::SimRng;
+
+proptest! {
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new("t");
+        for &s in &samples {
+            h.record(s);
+        }
+        let min = h.min().unwrap();
+        let max = h.max().unwrap();
+        let mut prev = min;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= prev.min(v)); // non-panicking guard
+            prop_assert!(v >= min && v <= max, "p{p}: {v} outside [{min},{max}]");
+            prop_assert!(v >= prev || p == 0.0, "p{p}: {v} < previous {prev}");
+            prev = v;
+        }
+        prop_assert_eq!(h.percentile(0.0), Some(min));
+        prop_assert_eq!(h.percentile(100.0), Some(max));
+    }
+
+    /// Merging histograms preserves the sample count and extremes.
+    #[test]
+    fn merge_preserves_samples(
+        a in proptest::collection::vec(0u64..1_000, 1..100),
+        b in proptest::collection::vec(0u64..1_000, 1..100),
+    ) {
+        let mut ha = Histogram::new("a");
+        for &s in &a { ha.record(s); }
+        let mut hb = Histogram::new("b");
+        for &s in &b { hb.record(s); }
+        let (amin, amax) = (ha.min().unwrap(), ha.max().unwrap());
+        let (bmin, bmax) = (hb.min().unwrap(), hb.max().unwrap());
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), a.len() + b.len());
+        prop_assert_eq!(ha.min(), Some(amin.min(bmin)));
+        prop_assert_eq!(ha.max(), Some(amax.max(bmax)));
+    }
+
+    /// Split RNG streams are reproducible and (statistically) distinct.
+    #[test]
+    fn rng_split_stable(seed in any::<u64>(), stream in 0u64..1_000) {
+        let root = SimRng::seed_from(seed);
+        let mut a = root.split(stream);
+        let mut b = root.split(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = root.split(stream.wrapping_add(1));
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        prop_assert_ne!(va, vc);
+    }
+
+    /// gen_range stays inside the requested inclusive range.
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), lo in 0u64..1_000, span in 0u64..1_000) {
+        let hi = lo + span;
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..64 {
+            let v = rng.gen_range(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The memory-mapped device interface.
+
+/// A device reachable through loads and stores on the SoC bus.
+///
+/// Offsets are relative to the device's base address; the SoC performs the
+/// address-range dispatch. Reads and writes are at most 8 bytes and are
+/// assumed naturally aligned (device registers are 64-bit).
+pub trait MmioDevice {
+    /// Handles a load of `size` bytes at `offset`.
+    fn read(&mut self, offset: u64, size: usize) -> u64;
+
+    /// Handles a store of the low `size` bytes of `value` at `offset`.
+    fn write(&mut self, offset: u64, size: usize, value: u64);
+
+    /// Level-sensitive interrupt output (wired to the cores' MEIP).
+    fn interrupt(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Reg(u64);
+    impl MmioDevice for Reg {
+        fn read(&mut self, _offset: u64, _size: usize) -> u64 {
+            self.0
+        }
+        fn write(&mut self, _offset: u64, _size: usize, value: u64) {
+            self.0 = value;
+        }
+    }
+
+    #[test]
+    fn object_safety_and_default_interrupt() {
+        let mut dev: Box<dyn MmioDevice> = Box::new(Reg(0));
+        dev.write(0, 8, 42);
+        assert_eq!(dev.read(0, 8), 42);
+        assert!(!dev.interrupt());
+    }
+}

@@ -1,0 +1,91 @@
+//! A minimal UART for console output from simulated software.
+//!
+//! FireSim's UART is one of the "other devices" whose functional side is
+//! handled by the software simulation controller (§III-A4); here the
+//! controller is the host test harness, which reads the accumulated output.
+
+use crate::mmio::MmioDevice;
+
+/// Register map offsets.
+#[allow(missing_docs)]
+pub mod reg {
+    pub const TXDATA: u64 = 0x00;
+    pub const RXDATA: u64 = 0x08;
+    pub const STATUS: u64 = 0x10;
+}
+
+/// The UART device.
+#[derive(Debug, Default)]
+pub struct Uart {
+    tx: Vec<u8>,
+    rx: std::collections::VecDeque<u8>,
+}
+
+impl Uart {
+    /// Creates an idle UART.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All bytes the simulated software has transmitted.
+    pub fn output(&self) -> &[u8] {
+        &self.tx
+    }
+
+    /// The transmitted bytes as lossy UTF-8 (for assertions and logs).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.tx).into_owned()
+    }
+
+    /// Queues bytes for the simulated software to read.
+    pub fn push_input(&mut self, bytes: &[u8]) {
+        self.rx.extend(bytes);
+    }
+}
+
+impl MmioDevice for Uart {
+    fn read(&mut self, offset: u64, _size: usize) -> u64 {
+        match offset {
+            // Bit 8 set = valid data in bits 0-7 (SiFive-style).
+            reg::RXDATA => match self.rx.pop_front() {
+                Some(b) => u64::from(b) | 0x100,
+                None => 0,
+            },
+            reg::STATUS => u64::from(!self.rx.is_empty()),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, offset: u64, _size: usize, value: u64) {
+        if offset == reg::TXDATA {
+            self.tx.push(value as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_accumulates() {
+        let mut u = Uart::new();
+        for b in b"hi\n" {
+            u.write(reg::TXDATA, 1, u64::from(*b));
+        }
+        assert_eq!(u.output(), b"hi\n");
+        assert_eq!(u.output_string(), "hi\n");
+    }
+
+    #[test]
+    fn rx_pops_with_valid_bit() {
+        let mut u = Uart::new();
+        assert_eq!(u.read(reg::RXDATA, 8), 0);
+        u.push_input(b"ab");
+        assert_eq!(u.read(reg::STATUS, 8), 1);
+        assert_eq!(u.read(reg::RXDATA, 8), u64::from(b'a') | 0x100);
+        assert_eq!(u.read(reg::RXDATA, 8), u64::from(b'b') | 0x100);
+        assert_eq!(u.read(reg::RXDATA, 8), 0);
+        assert_eq!(u.read(reg::STATUS, 8), 0);
+    }
+}

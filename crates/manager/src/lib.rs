@@ -1,0 +1,37 @@
+//! # firesim-manager
+//!
+//! The simulation manager (§III-B3): a programmatic topology description
+//! (the Rust analogue of the paper's Fig 4 Python configuration),
+//! automatic MAC/IP assignment and switch-table population, mapping onto
+//! the host platform, and experiment result recording.
+//!
+//! ```
+//! use firesim_manager::{Topology, BladeSpec, SimConfig};
+//! use firesim_blade::{programs, BladeConfig};
+//! use firesim_net::MacAddr;
+//!
+//! // An 8-node cluster under one ToR switch (the paper's §IV-A setup).
+//! let mut topo = Topology::new();
+//! let tor = topo.add_switch("tor0");
+//! for i in 0..8 {
+//!     let prog = programs::boot_poweroff(100);
+//!     let node = topo.add_server(
+//!         format!("node{i}"),
+//!         BladeSpec::rtl_single_core(prog),
+//!     );
+//!     topo.add_downlink(tor, node).unwrap();
+//! }
+//! let sim = topo.build(SimConfig::default()).unwrap();
+//! assert_eq!(sim.servers().len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod results;
+pub mod simulation;
+pub mod topology;
+
+pub use results::{ExperimentRecord, ResultStore};
+pub use simulation::{SimConfig, Simulation};
+pub use topology::{BladeSpec, NodeRef, ServerId, SwitchId, Topology, TopologyError};

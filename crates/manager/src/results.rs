@@ -1,0 +1,172 @@
+//! Experiment result recording.
+//!
+//! The paper's manager "automatically collects result files and
+//! host/target-level measurements for analysis outside the simulation".
+//! [`ResultStore`] is that mechanism here: each experiment appends an
+//! [`ExperimentRecord`] (id, parameters, result rows) and the store
+//! round-trips through JSON so the benchmark harness can regenerate the
+//! EXPERIMENTS.md tables.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One experiment's parameters and results.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig5"` or `"table3"`.
+    pub id: String,
+    /// Free-form parameters (latency, node count, ...).
+    pub params: BTreeMap<String, serde_json::Value>,
+    /// Result rows; each row is a map of column name to value.
+    pub rows: Vec<BTreeMap<String, serde_json::Value>>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: impl Into<String>) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            params: BTreeMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a parameter.
+    pub fn param(&mut self, key: impl Into<String>, value: impl Into<serde_json::Value>) -> &mut Self {
+        self.params.insert(key.into(), value.into());
+        self
+    }
+
+    /// Appends a result row from `(column, value)` pairs.
+    pub fn push_row<K, V>(&mut self, cells: impl IntoIterator<Item = (K, V)>)
+    where
+        K: Into<String>,
+        V: Into<serde_json::Value>,
+    {
+        self.rows.push(
+            cells
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        );
+    }
+}
+
+/// A collection of experiment records, persisted as JSON.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct ResultStore {
+    /// All records, in insertion order.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl ResultStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record (replacing any previous record with the same id).
+    pub fn put(&mut self, record: ExperimentRecord) {
+        self.records.retain(|r| r.id != record.id);
+        self.records.push(record);
+    }
+
+    /// Looks up a record by id.
+    pub fn get(&self, id: &str) -> Option<&ExperimentRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("records are serialisable")
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_json())
+    }
+
+    /// Loads from a file, or returns an empty store if it doesn't exist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than "not found", and JSON errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        match fs::read_to_string(path) {
+            Ok(s) => Self::from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_building() {
+        let mut r = ExperimentRecord::new("fig5");
+        r.param("nodes", 8).param("payload", 26);
+        r.push_row([("latency_us", 2.0), ("rtt_us", 10.5)]);
+        r.push_row([("latency_us", 4.0), ("rtt_us", 18.6)]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.params["nodes"], 8);
+    }
+
+    #[test]
+    fn store_round_trips_json() {
+        let mut store = ResultStore::new();
+        let mut r = ExperimentRecord::new("fig9");
+        r.push_row([("latency", 6400)]);
+        store.put(r.clone());
+        let json = store.to_json();
+        let back = ResultStore::from_json(&json).unwrap();
+        assert_eq!(back, store);
+        assert_eq!(back.get("fig9"), Some(&r));
+        assert_eq!(back.get("nope"), None);
+    }
+
+    #[test]
+    fn put_replaces_same_id() {
+        let mut store = ResultStore::new();
+        store.put(ExperimentRecord::new("x"));
+        let mut newer = ExperimentRecord::new("x");
+        newer.param("v", 2);
+        store.put(newer);
+        assert_eq!(store.records.len(), 1);
+        assert_eq!(store.get("x").unwrap().params["v"], 2);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("firesim_results_test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("results.json");
+        let mut store = ResultStore::new();
+        store.put(ExperimentRecord::new("t"));
+        store.save(&path).unwrap();
+        let back = ResultStore::load(&path).unwrap();
+        assert_eq!(back, store);
+        let missing = ResultStore::load(dir.join("missing.json")).unwrap();
+        assert!(missing.records.is_empty());
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,427 @@
+//! Turning a validated [`Topology`] into a running simulation.
+//!
+//! This is the "builds and deploys" half of the manager (§III-B3): it
+//! instantiates blades and switch models, assigns MACs, populates every
+//! switch's static MAC table from the tree structure, wires all links
+//! with the configured latency, and hands back a [`Simulation`] whose
+//! engine can be driven to completion. It also produces the deployment
+//! plan (instances + cost) for the equivalent EC2 deployment.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use firesim_blade::model::{ModeledBlade, OsModel};
+use firesim_blade::soc::{BladeProbe, RtlBlade};
+use firesim_core::{AgentId, Cycle, Engine, RunSummary, SimResult};
+use firesim_net::{Flit, MacAddr, Switch, SwitchConfig, SwitchStats};
+use firesim_platform::{DeploymentPlan, PlanRequest};
+
+use crate::topology::{BladeSpec, NodeRef, SwitchId, Topology};
+
+/// Simulation-level configuration (everything here is runtime-tunable in
+/// FireSim — no "resynthesis" required).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Link latency in cycles (applies to every link; the paper's
+    /// default experiments use 6400 = 2 us at 3.2 GHz).
+    pub link_latency: Cycle,
+    /// Minimum port-to-port switching latency in cycles.
+    pub switching_latency: u64,
+    /// Per-port switch output buffering in bytes.
+    pub switch_buffer_bytes: usize,
+    /// Record aggregate ingress bandwidth at the *root* switch with this
+    /// bucket size (cycles), for Fig 6-style measurements.
+    pub root_bandwidth_bucket: Option<u64>,
+    /// Host worker threads for the engine.
+    pub host_threads: usize,
+    /// Use supernode packing in the deployment plan.
+    pub supernode: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_latency: Cycle::new(6_400),
+            switching_latency: 10,
+            switch_buffer_bytes: 512 * 1024,
+            root_bandwidth_bucket: None,
+            host_threads: 1,
+            supernode: false,
+        }
+    }
+}
+
+/// Information about one deployed server.
+#[derive(Debug, Clone)]
+pub struct ServerInfo {
+    /// Node name from the topology.
+    pub name: String,
+    /// Assigned MAC.
+    pub mac: MacAddr,
+    /// Assigned (informational) IP.
+    pub ip: String,
+    /// Probe handle for RTL blades (None for modeled blades, whose
+    /// results flow through app-held handles).
+    pub probe: Option<Arc<Mutex<BladeProbe>>>,
+}
+
+/// A deployed, runnable simulation.
+pub struct Simulation {
+    engine: Engine<Flit>,
+    servers: Vec<ServerInfo>,
+    switch_stats: Vec<(String, Arc<Mutex<SwitchStats>>)>,
+    plan: DeploymentPlan,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("servers", &self.servers.len())
+            .field("switches", &self.switch_stats.len())
+            .finish()
+    }
+}
+
+impl Topology {
+    /// Builds and "deploys" the simulation: every blade and switch is
+    /// instantiated, connected, and ready to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a topology validation error (as
+    /// [`firesim_core::SimError::Topology`]) or an engine wiring error.
+    pub fn build(mut self, config: SimConfig) -> SimResult<Simulation> {
+        let root = self
+            .validate()
+            .map_err(firesim_core::SimError::topology)?;
+
+        let window = u32::try_from(config.link_latency.as_u64())
+            .map_err(|_| firesim_core::SimError::topology("link latency too large"))?;
+        let mut engine: Engine<Flit> = Engine::new(window);
+        engine.set_host_threads(config.host_threads);
+
+        // --- Instantiate server blades (not yet agents). ---
+        // Variant sizes differ, but each value is boxed into an agent
+        // immediately; the transient enum is fine.
+        #[allow(clippy::large_enum_variant)]
+        enum Built {
+            Rtl(RtlBlade),
+            Model(ModeledBlade),
+        }
+        let specs: Vec<_> = self
+            .servers
+            .iter_mut()
+            .map(|s| s.spec.take().expect("spec present until build"))
+            .collect();
+        let mut built: Vec<Option<Built>> = Vec::with_capacity(self.servers.len());
+        let mut servers: Vec<ServerInfo> = Vec::with_capacity(self.servers.len());
+        for (idx, spec) in specs.into_iter().enumerate() {
+            let name = self.servers[idx].name.clone();
+            let mac = MacAddr::from_node_index(idx as u64);
+            let ip = {
+                let i = idx as u32;
+                format!("10.{}.{}.{}", (i >> 16) & 0xff, (i >> 8) & 0xff, (i & 0xff) + 1)
+            };
+            let (blade, probe) = match spec {
+                BladeSpec::Rtl { config, program } => {
+                    let mut blade = RtlBlade::new(name.clone(), mac, config);
+                    program.install(&mut blade);
+                    let probe = blade.probe();
+                    (Built::Rtl(blade), Some(probe))
+                }
+                BladeSpec::Model {
+                    os,
+                    threads,
+                    pinned,
+                    app,
+                } => {
+                    let os_model = OsModel::new(os, threads, pinned);
+                    let app = app(mac, idx);
+                    (
+                        Built::Model(ModeledBlade::new(name.clone(), mac, os_model, app)),
+                        None,
+                    )
+                }
+            };
+            built.push(Some(blade));
+            servers.push(ServerInfo {
+                name,
+                mac,
+                ip,
+                probe,
+            });
+        }
+
+        // --- Register agents, packing supernodes if requested. ---
+        // Supernode packing groups up to four RTL blades attached to the
+        // SAME switch into one host unit (§III-A5); each blade keeps its
+        // own network port on that unit.
+        let mut server_endpoint: Vec<Option<(AgentId, usize)>> = vec![None; servers.len()];
+        if config.supernode {
+            let mut sn_count = 0usize;
+            for sw in &self.switches {
+                let rtl_children: Vec<usize> = sw
+                    .children
+                    .iter()
+                    .filter_map(|c| match c {
+                        NodeRef::Server(s)
+                            if matches!(built[s.0], Some(Built::Rtl(_))) =>
+                        {
+                            Some(s.0)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                for chunk in rtl_children.chunks(4) {
+                    let blades: Vec<RtlBlade> = chunk
+                        .iter()
+                        .map(|&i| match built[i].take() {
+                            Some(Built::Rtl(b)) => b,
+                            _ => unreachable!("filtered to RTL above"),
+                        })
+                        .collect();
+                    let agent = engine.add_agent(Box::new(firesim_blade::Supernode::new(
+                        format!("supernode{sn_count}"),
+                        blades,
+                    )));
+                    sn_count += 1;
+                    for (port, &i) in chunk.iter().enumerate() {
+                        server_endpoint[i] = Some((agent, port));
+                    }
+                }
+            }
+        }
+        for (idx, slot) in built.into_iter().enumerate() {
+            let Some(blade) = slot else { continue };
+            let agent: Box<dyn firesim_core::SimAgent<Token = Flit>> = match blade {
+                Built::Rtl(b) => Box::new(b),
+                Built::Model(b) => Box::new(b),
+            };
+            server_endpoint[idx] = Some((engine.add_agent(agent), 0));
+        }
+        let server_endpoint: Vec<(AgentId, usize)> = server_endpoint
+            .into_iter()
+            .map(|e| e.expect("every server placed"))
+            .collect();
+
+        // --- Instantiate switches with routes. ---
+        // Port layout: ports 0..children are downlinks (in child order);
+        // the uplink, if any, is the last port.
+        let mut switch_agents: Vec<AgentId> = Vec::with_capacity(self.switches.len());
+        let mut switch_stats = Vec::with_capacity(self.switches.len());
+        for (sidx, sw) in self.switches.iter().enumerate() {
+            let has_uplink = sw.parent.is_some();
+            let ports = sw.children.len() + usize::from(has_uplink);
+            let mut cfg = SwitchConfig::new(ports.max(2))
+                .switching_latency(config.switching_latency)
+                .output_buffer_bytes(config.switch_buffer_bytes);
+            if sidx == root.0 {
+                if let Some(bucket) = config.root_bandwidth_bucket {
+                    cfg = cfg.sample_bandwidth(bucket);
+                }
+            }
+            let mut switch = Switch::new(sw.name.clone(), cfg);
+            // Downlink routes: MACs in each child's subtree.
+            for (port, child) in sw.children.iter().enumerate() {
+                let macs = match child {
+                    NodeRef::Server(s) => vec![MacAddr::from_node_index(s.0 as u64)],
+                    NodeRef::Switch(s) => self.subtree_macs(*s),
+                };
+                for mac in macs {
+                    switch.add_route(mac, port);
+                }
+            }
+            // Everything else goes out the uplink.
+            if has_uplink {
+                let local = self.subtree_macs(SwitchId(sidx));
+                let uplink = sw.children.len();
+                for idx in 0..self.servers.len() {
+                    let mac = MacAddr::from_node_index(idx as u64);
+                    if !local.contains(&mac) {
+                        switch.add_route(mac, uplink);
+                    }
+                }
+            }
+            switch_stats.push((sw.name.clone(), switch.stats_handle()));
+            switch_agents.push(engine.add_agent(Box::new(switch)));
+        }
+
+        // --- Wire links. ---
+        for (sidx, sw) in self.switches.iter().enumerate() {
+            for (port, child) in sw.children.iter().enumerate() {
+                let (child_agent, child_port) = match child {
+                    NodeRef::Server(s) => server_endpoint[s.0],
+                    NodeRef::Switch(s) => {
+                        // The child's uplink port is its last port.
+                        (switch_agents[s.0], self.switches[s.0].children.len())
+                    }
+                };
+                engine.connect(
+                    switch_agents[sidx],
+                    port,
+                    child_agent,
+                    child_port,
+                    config.link_latency,
+                )?;
+                engine.connect(
+                    child_agent,
+                    child_port,
+                    switch_agents[sidx],
+                    port,
+                    config.link_latency,
+                )?;
+            }
+        }
+
+        // --- Deployment plan for the equivalent EC2 fleet. ---
+        let tor_count = self
+            .switches
+            .iter()
+            .filter(|s| s.children.iter().any(|c| matches!(c, NodeRef::Server(_))))
+            .count();
+        let plan = DeploymentPlan::new(PlanRequest {
+            nodes: self.servers.len(),
+            tor_switches: tor_count,
+            upper_switches: self.switches.len() - tor_count,
+            supernode: config.supernode,
+        });
+
+        Ok(Simulation {
+            engine,
+            servers,
+            switch_stats,
+            plan,
+        })
+    }
+}
+
+impl Simulation {
+    /// Deployed servers, in topology order (index = MAC node index).
+    pub fn servers(&self) -> &[ServerInfo] {
+        &self.servers
+    }
+
+    /// Per-switch statistics handles, `(name, stats)`.
+    pub fn switch_stats(&self) -> &[(String, Arc<Mutex<SwitchStats>>)] {
+        &self.switch_stats
+    }
+
+    /// The EC2 deployment plan for this topology.
+    pub fn plan(&self) -> &DeploymentPlan {
+        &self.plan
+    }
+
+    /// Direct access to the engine (advanced use).
+    pub fn engine_mut(&mut self) -> &mut Engine<Flit> {
+        &mut self.engine
+    }
+
+    /// Runs until every blade reports done, or `max` target cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (broken channels, unwired ports).
+    pub fn run_until_done(&mut self, max: Cycle) -> SimResult<RunSummary> {
+        self.engine.run_until_done(max)
+    }
+
+    /// Runs exactly `cycles` target cycles (rounded up to windows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run_for(&mut self, cycles: Cycle) -> SimResult<RunSummary> {
+        self.engine.run_for(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::BladeSpec;
+    use firesim_blade::programs;
+
+    /// End-to-end: ping across two ToR switches and a root switch; the
+    /// measured RTT reflects 4 links each way plus 2 switch traversals...
+    /// i.e. the Fig 5 "cross-rack" structure at small scale.
+    #[test]
+    fn ping_across_three_switch_hops() {
+        let count = 2;
+        let mut topo = Topology::new();
+        let root = topo.add_switch("root");
+        let tor0 = topo.add_switch("tor0");
+        let tor1 = topo.add_switch("tor1");
+        topo.add_downlinks(root, [tor0, tor1]).unwrap();
+        let sender = topo.add_server(
+            "sender",
+            BladeSpec::rtl_single_core(programs::ping_sender(
+                MacAddr::from_node_index(0),
+                MacAddr::from_node_index(1),
+                count,
+                26,
+                10_000,
+            )),
+        );
+        let responder = topo.add_server(
+            "responder",
+            BladeSpec::rtl_single_core(programs::echo_responder(count)),
+        );
+        topo.add_downlink(tor0, sender).unwrap();
+        topo.add_downlink(tor1, responder).unwrap();
+
+        let mut sim = topo
+            .build(SimConfig {
+                link_latency: Cycle::new(400),
+                ..SimConfig::default()
+            })
+            .unwrap();
+        assert_eq!(sim.servers().len(), 2);
+        assert_eq!(sim.plan().request.nodes, 2);
+        sim.run_until_done(Cycle::new(20_000_000)).unwrap();
+
+        let probe = sim.servers()[0].probe.as_ref().unwrap();
+        let p = probe.lock();
+        assert_eq!(p.exit_code, Some(0));
+        let rtt = u64::from_le_bytes(p.mailbox[8..16].try_into().unwrap());
+        // 8 link crossings (4 out, 4 back) = 3200 cycles, plus 6 switch
+        // traversals' latency and software turnaround.
+        assert!(rtt > 3200, "rtt {rtt}");
+        assert!(rtt < 3200 + 4000, "rtt {rtt}");
+        // All three switches forwarded traffic.
+        for (name, stats) in sim.switch_stats() {
+            assert!(
+                stats.lock().frames_forwarded >= 2 * count as u64,
+                "switch {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_rejects_invalid_topology() {
+        let topo = Topology::new();
+        assert!(topo.build(SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn plan_counts_tor_and_upper_switches() {
+        let mut topo = Topology::new();
+        let root = topo.add_switch("root");
+        for x in 0..2 {
+            let tor = topo.add_switch(format!("tor{x}"));
+            topo.add_downlink(root, tor).unwrap();
+            for y in 0..2 {
+                let n = topo.add_server(
+                    format!("n{x}{y}"),
+                    BladeSpec::rtl_single_core(programs::boot_poweroff(1)),
+                );
+                topo.add_downlink(tor, n).unwrap();
+            }
+        }
+        let sim = topo.build(SimConfig::default()).unwrap();
+        let plan = sim.plan();
+        assert_eq!(plan.request.nodes, 4);
+        assert_eq!(plan.request.tor_switches, 2);
+        assert_eq!(plan.request.upper_switches, 1);
+    }
+}

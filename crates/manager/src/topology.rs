@@ -1,0 +1,453 @@
+//! Declarative datacenter topology (the paper's Fig 4 configuration).
+
+use core::fmt;
+
+use firesim_blade::model::{NodeApp, OsConfig};
+use firesim_blade::programs::Program;
+use firesim_blade::BladeConfig;
+use firesim_net::MacAddr;
+
+/// Identifier of a switch in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId(pub(crate) usize);
+
+/// Identifier of a server in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ServerId(pub(crate) usize);
+
+/// Either endpoint type, for downlink targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// A switch.
+    Switch(SwitchId),
+    /// A server blade.
+    Server(ServerId),
+}
+
+impl From<SwitchId> for NodeRef {
+    fn from(s: SwitchId) -> Self {
+        NodeRef::Switch(s)
+    }
+}
+
+impl From<ServerId> for NodeRef {
+    fn from(s: ServerId) -> Self {
+        NodeRef::Server(s)
+    }
+}
+
+/// Factory producing a node application given the node's MAC and index.
+pub type AppFactory = Box<dyn FnOnce(MacAddr, usize) -> Box<dyn NodeApp> + Send>;
+
+/// What kind of blade to instantiate for a server slot.
+// The RTL variant carries a full BladeConfig inline; specs are built once
+// per server at topology-construction time, so the size gap is harmless.
+#[allow(clippy::large_enum_variant)]
+pub enum BladeSpec {
+    /// A cycle-exact RISC-V SoC running a bare-metal program.
+    Rtl {
+        /// Hardware configuration (Table I).
+        config: BladeConfig,
+        /// The program image and data.
+        program: Program,
+    },
+    /// A behavioural node: OS model + application model.
+    Model {
+        /// Scheduler parameters.
+        os: OsConfig,
+        /// Thread slots in the OS model.
+        threads: usize,
+        /// Pin thread `i` to core `i % cores`.
+        pinned: bool,
+        /// Application constructor.
+        app: AppFactory,
+    },
+}
+
+impl BladeSpec {
+    /// A single-core RTL blade with default sizing for fast simulation.
+    pub fn rtl_single_core(program: Program) -> Self {
+        BladeSpec::Rtl {
+            config: BladeConfig::single_core().with_dram_bytes(4 << 20),
+            program,
+        }
+    }
+
+    /// The paper's quad-core RTL blade.
+    pub fn rtl_quad_core(program: Program) -> Self {
+        BladeSpec::Rtl {
+            config: BladeConfig::quad_core().with_dram_bytes(4 << 20),
+            program,
+        }
+    }
+
+    /// A behavioural node.
+    pub fn model(
+        os: OsConfig,
+        threads: usize,
+        pinned: bool,
+        app: impl FnOnce(MacAddr, usize) -> Box<dyn NodeApp> + Send + 'static,
+    ) -> Self {
+        BladeSpec::Model {
+            os,
+            threads,
+            pinned,
+            app: Box::new(app),
+        }
+    }
+}
+
+impl fmt::Debug for BladeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BladeSpec::Rtl { config, .. } => f
+                .debug_struct("BladeSpec::Rtl")
+                .field("cores", &config.cores)
+                .finish_non_exhaustive(),
+            BladeSpec::Model { os, threads, pinned, .. } => f
+                .debug_struct("BladeSpec::Model")
+                .field("cores", &os.cores)
+                .field("threads", threads)
+                .field("pinned", pinned)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Errors constructing or validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A node was given two parents.
+    AlreadyLinked {
+        /// Description of the doubly-linked node.
+        node: String,
+    },
+    /// The topology has no switches or no servers.
+    Empty,
+    /// Not exactly one root switch.
+    Roots {
+        /// Number of parentless switches found.
+        count: usize,
+    },
+    /// A switch has no downlinks.
+    DanglingSwitch {
+        /// Name of the empty switch.
+        name: String,
+    },
+    /// A server is not attached to any switch.
+    OrphanServer {
+        /// Name of the orphaned server.
+        name: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::AlreadyLinked { node } => {
+                write!(f, "node {node} already has an uplink")
+            }
+            TopologyError::Empty => write!(f, "topology needs at least one switch and server"),
+            TopologyError::Roots { count } => {
+                write!(f, "expected exactly one root switch, found {count}")
+            }
+            TopologyError::DanglingSwitch { name } => {
+                write!(f, "switch {name} has no downlinks")
+            }
+            TopologyError::OrphanServer { name } => {
+                write!(f, "server {name} is not attached to a switch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+pub(crate) struct SwitchEntry {
+    pub name: String,
+    pub parent: Option<SwitchId>,
+    pub children: Vec<NodeRef>,
+}
+
+pub(crate) struct ServerEntry {
+    pub name: String,
+    pub parent: Option<SwitchId>,
+    pub spec: Option<BladeSpec>,
+}
+
+/// A tree-structured datacenter topology under construction.
+///
+/// Switches form the interior of the tree; servers are the leaves. See
+/// the [crate docs](crate) for an example and [`Topology::build`] to turn
+/// it into a running simulation.
+pub struct Topology {
+    pub(crate) switches: Vec<SwitchEntry>,
+    pub(crate) servers: Vec<ServerEntry>,
+}
+
+impl fmt::Debug for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Topology")
+            .field("switches", &self.switches.len())
+            .field("servers", &self.servers.len())
+            .finish()
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Topology {
+            switches: Vec::new(),
+            servers: Vec::new(),
+        }
+    }
+
+    /// Adds a switch.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        self.switches.push(SwitchEntry {
+            name: name.into(),
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a server blade.
+    pub fn add_server(&mut self, name: impl Into<String>, spec: BladeSpec) -> ServerId {
+        let id = ServerId(self.servers.len());
+        self.servers.push(ServerEntry {
+            name: name.into(),
+            parent: None,
+            spec: Some(spec),
+        });
+        id
+    }
+
+    /// Connects `child` below `parent` (one link each way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::AlreadyLinked`] if `child` already has a
+    /// parent.
+    pub fn add_downlink(
+        &mut self,
+        parent: SwitchId,
+        child: impl Into<NodeRef>,
+    ) -> Result<(), TopologyError> {
+        let child = child.into();
+        match child {
+            NodeRef::Switch(s) => {
+                if self.switches[s.0].parent.is_some() {
+                    return Err(TopologyError::AlreadyLinked {
+                        node: self.switches[s.0].name.clone(),
+                    });
+                }
+                self.switches[s.0].parent = Some(parent);
+            }
+            NodeRef::Server(s) => {
+                if self.servers[s.0].parent.is_some() {
+                    return Err(TopologyError::AlreadyLinked {
+                        node: self.servers[s.0].name.clone(),
+                    });
+                }
+                self.servers[s.0].parent = Some(parent);
+            }
+        }
+        self.switches[parent.0].children.push(child);
+        Ok(())
+    }
+
+    /// Connects many children below `parent`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Topology::add_downlink`].
+    pub fn add_downlinks<N: Into<NodeRef>>(
+        &mut self,
+        parent: SwitchId,
+        children: impl IntoIterator<Item = N>,
+    ) -> Result<(), TopologyError> {
+        for c in children {
+            self.add_downlink(parent, c)?;
+        }
+        Ok(())
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// The MAC address that will be assigned to a server.
+    pub fn mac_of(&self, server: ServerId) -> MacAddr {
+        MacAddr::from_node_index(server.0 as u64)
+    }
+
+    /// The IP address string that will be assigned to a server
+    /// (informational; the simulated protocols address by MAC).
+    pub fn ip_of(&self, server: ServerId) -> String {
+        let i = server.0 as u32;
+        format!("10.{}.{}.{}", (i >> 16) & 0xff, (i >> 8) & 0xff, (i & 0xff) + 1)
+    }
+
+    /// Validates the tree: exactly one root switch, no dangling switches
+    /// or orphan servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TopologyError`] found.
+    pub fn validate(&self) -> Result<SwitchId, TopologyError> {
+        if self.switches.is_empty() || self.servers.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let roots: Vec<usize> = self
+            .switches
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if roots.len() != 1 {
+            return Err(TopologyError::Roots { count: roots.len() });
+        }
+        for s in &self.switches {
+            if s.children.is_empty() {
+                return Err(TopologyError::DanglingSwitch {
+                    name: s.name.clone(),
+                });
+            }
+        }
+        for s in &self.servers {
+            if s.parent.is_none() {
+                return Err(TopologyError::OrphanServer {
+                    name: s.name.clone(),
+                });
+            }
+        }
+        Ok(SwitchId(roots[0]))
+    }
+
+    /// All server MACs in the subtree rooted at `switch`.
+    pub(crate) fn subtree_macs(&self, switch: SwitchId) -> Vec<MacAddr> {
+        let mut out = Vec::new();
+        let mut stack = vec![NodeRef::Switch(switch)];
+        while let Some(n) = stack.pop() {
+            match n {
+                NodeRef::Switch(s) => stack.extend(self.switches[s.0].children.iter().copied()),
+                NodeRef::Server(s) => out.push(self.mac_of(s)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firesim_blade::programs;
+
+    fn spec() -> BladeSpec {
+        BladeSpec::rtl_single_core(programs::boot_poweroff(1))
+    }
+
+    #[test]
+    fn builds_the_paper_64_node_tree() {
+        // Fig 1: one root, 8 ToRs, 8 nodes each.
+        let mut t = Topology::new();
+        let root = t.add_switch("root");
+        for x in 0..8 {
+            let tor = t.add_switch(format!("tor{x}"));
+            t.add_downlink(root, tor).unwrap();
+            for y in 0..8 {
+                let n = t.add_server(format!("node{x}_{y}"), spec());
+                t.add_downlink(tor, n).unwrap();
+            }
+        }
+        assert_eq!(t.server_count(), 64);
+        assert_eq!(t.switch_count(), 9);
+        assert_eq!(t.validate().unwrap(), SwitchId(0));
+        // Subtree membership: tor0 holds servers 0..8.
+        let macs = t.subtree_macs(SwitchId(1));
+        assert_eq!(macs.len(), 8);
+        assert!(macs.contains(&MacAddr::from_node_index(0)));
+        assert!(!macs.contains(&MacAddr::from_node_index(8)));
+        // Root sees everyone.
+        assert_eq!(t.subtree_macs(SwitchId(0)).len(), 64);
+    }
+
+    #[test]
+    fn mac_and_ip_assignment() {
+        let mut t = Topology::new();
+        let tor = t.add_switch("tor");
+        let a = t.add_server("a", spec());
+        let b = t.add_server("b", spec());
+        t.add_downlinks(tor, [a, b]).unwrap();
+        assert_eq!(t.mac_of(a), MacAddr::from_node_index(0));
+        assert_eq!(t.mac_of(b), MacAddr::from_node_index(1));
+        assert_eq!(t.ip_of(a), "10.0.0.1");
+        assert_eq!(t.ip_of(b), "10.0.0.2");
+    }
+
+    #[test]
+    fn double_parent_rejected() {
+        let mut t = Topology::new();
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let n = t.add_server("n", spec());
+        t.add_downlink(s1, n).unwrap();
+        assert!(matches!(
+            t.add_downlink(s2, n),
+            Err(TopologyError::AlreadyLinked { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let t = Topology::new();
+        assert_eq!(t.validate(), Err(TopologyError::Empty));
+
+        let mut t = Topology::new();
+        let _s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let n = t.add_server("n", spec());
+        t.add_downlink(s2, n).unwrap();
+        // Two roots (s1 and s2).
+        assert_eq!(t.validate(), Err(TopologyError::Roots { count: 2 }));
+
+        let mut t = Topology::new();
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        t.add_downlink(s1, s2).unwrap();
+        let n = t.add_server("n", spec());
+        t.add_downlink(s1, n).unwrap();
+        // s2 dangles.
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::DanglingSwitch { .. })
+        ));
+
+        let mut t = Topology::new();
+        let s1 = t.add_switch("s1");
+        let a = t.add_server("a", spec());
+        t.add_downlink(s1, a).unwrap();
+        let _orphan = t.add_server("orphan", spec());
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::OrphanServer { .. })
+        ));
+    }
+}

@@ -1,0 +1,234 @@
+//! Converting between Ethernet frames and per-cycle flit streams.
+//!
+//! A 200 Gbit/s link moves 8 bytes per 3.2 GHz cycle, so a frame of `n`
+//! bytes occupies `ceil(n / 8)` consecutive valid tokens. [`FrameFramer`]
+//! produces that flit sequence; [`FrameDeframer`] reassembles frames on the
+//! other side, using only the `last` metadata bit to find boundaries (the
+//! transport never parses the link-layer protocol, §III-B2).
+
+use std::collections::VecDeque;
+
+use crate::frame::{EthernetFrame, Flit, FrameError};
+use crate::FLIT_BYTES;
+
+/// Serialises queued frames into one flit per cycle.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_net::{EthernetFrame, EtherType, FrameFramer, MacAddr};
+/// use bytes::Bytes;
+///
+/// let mut framer = FrameFramer::new();
+/// framer.enqueue(EthernetFrame::new(
+///     MacAddr::from_node_index(1),
+///     MacAddr::from_node_index(0),
+///     EtherType::Echo,
+///     Bytes::from_static(&[0xAA; 10]), // 24 wire bytes -> 3 flits
+/// ));
+/// let mut count = 0;
+/// while framer.next_flit().is_some() { count += 1 }
+/// assert_eq!(count, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameFramer {
+    queue: VecDeque<Vec<u8>>,
+    cursor: usize,
+}
+
+impl FrameFramer {
+    /// Creates an idle framer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a frame for transmission.
+    pub fn enqueue(&mut self, frame: EthernetFrame) {
+        self.queue.push_back(frame.to_wire());
+    }
+
+    /// Queues pre-serialised wire bytes (used by NIC models that already
+    /// hold raw bytes in simulated memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is empty.
+    pub fn enqueue_wire(&mut self, wire: Vec<u8>) {
+        assert!(!wire.is_empty(), "cannot transmit an empty frame");
+        self.queue.push_back(wire);
+    }
+
+    /// True when no frame data is pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of frames waiting (including the one in progress).
+    pub fn pending_frames(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Emits the next flit, or `None` when idle this cycle.
+    pub fn next_flit(&mut self) -> Option<Flit> {
+        let front = self.queue.front()?;
+        let remaining = front.len() - self.cursor;
+        let take = remaining.min(FLIT_BYTES);
+        let last = remaining <= FLIT_BYTES;
+        let flit = Flit::from_bytes(&front[self.cursor..self.cursor + take], last);
+        if last {
+            self.queue.pop_front();
+            self.cursor = 0;
+        } else {
+            self.cursor += take;
+        }
+        Some(flit)
+    }
+}
+
+/// Reassembles flits back into frames.
+///
+/// Feed flits in cycle order with [`push`](FrameDeframer::push); completed
+/// frames come back immediately.
+#[derive(Debug, Default)]
+pub struct FrameDeframer {
+    buf: Vec<u8>,
+}
+
+impl FrameDeframer {
+    /// Creates an empty deframer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bytes buffered for the in-progress frame.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Accepts one flit; returns a completed frame when this was the last
+    /// flit of a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Truncated`] if a frame completes with fewer
+    /// bytes than an Ethernet header (a malformed sender); the partial data
+    /// is discarded so the stream can resynchronise.
+    pub fn push(&mut self, flit: Flit) -> Result<Option<EthernetFrame>, FrameError> {
+        self.buf
+            .extend_from_slice(&flit.bytes()[..flit.byte_len()]);
+        if !flit.last {
+            return Ok(None);
+        }
+        let result = EthernetFrame::from_wire(&self.buf);
+        self.buf.clear();
+        result.map(Some)
+    }
+
+    /// Like [`push`](FrameDeframer::push) but returns the raw wire bytes,
+    /// for models that DMA bytes into simulated memory without parsing.
+    pub fn push_raw(&mut self, flit: Flit) -> Option<Vec<u8>> {
+        self.buf
+            .extend_from_slice(&flit.bytes()[..flit.byte_len()]);
+        if !flit.last {
+            return None;
+        }
+        Some(std::mem::take(&mut self.buf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{EtherType, MacAddr};
+    use bytes::Bytes;
+
+    fn frame(n: usize) -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddr::from_node_index(2),
+            MacAddr::from_node_index(1),
+            EtherType::Stream,
+            Bytes::from((0..n).map(|i| i as u8).collect::<Vec<_>>()),
+        )
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        // Sizes chosen to hit exact-multiple and remainder paths.
+        for payload in [0usize, 1, 2, 7, 8, 9, 10, 50, 63, 64, 65, 1500] {
+            let f = frame(payload);
+            let mut framer = FrameFramer::new();
+            framer.enqueue(f.clone());
+            let mut deframer = FrameDeframer::new();
+            let mut out = None;
+            let mut flits = 0;
+            while let Some(flit) = framer.next_flit() {
+                flits += 1;
+                if let Some(done) = deframer.push(flit).unwrap() {
+                    out = Some(done);
+                }
+            }
+            assert_eq!(flits, f.wire_len().div_ceil(FLIT_BYTES));
+            assert_eq!(out.unwrap(), f, "payload {payload}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut framer = FrameFramer::new();
+        framer.enqueue(frame(20));
+        framer.enqueue(frame(3));
+        assert_eq!(framer.pending_frames(), 2);
+        let mut deframer = FrameDeframer::new();
+        let mut done = Vec::new();
+        while let Some(flit) = framer.next_flit() {
+            if let Some(f) = deframer.push(flit).unwrap() {
+                done.push(f);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].payload.len(), 20);
+        assert_eq!(done[1].payload.len(), 3);
+        assert!(framer.is_idle());
+    }
+
+    #[test]
+    fn malformed_short_frame_resyncs() {
+        let mut deframer = FrameDeframer::new();
+        // A "frame" of 4 bytes ending immediately: shorter than a header.
+        let bad = Flit::from_bytes(&[1, 2, 3, 4], true);
+        assert!(deframer.push(bad).is_err());
+        // The stream recovers for the next well-formed frame.
+        let f = frame(10);
+        let mut framer = FrameFramer::new();
+        framer.enqueue(f.clone());
+        let mut out = None;
+        while let Some(flit) = framer.next_flit() {
+            if let Some(done) = deframer.push(flit).unwrap() {
+                out = Some(done);
+            }
+        }
+        assert_eq!(out.unwrap(), f);
+    }
+
+    #[test]
+    fn push_raw_returns_wire_bytes() {
+        let f = frame(17);
+        let mut framer = FrameFramer::new();
+        framer.enqueue(f.clone());
+        let mut deframer = FrameDeframer::new();
+        let mut raw = None;
+        while let Some(flit) = framer.next_flit() {
+            if let Some(bytes) = deframer.push_raw(flit) {
+                raw = Some(bytes);
+            }
+        }
+        assert_eq!(raw.unwrap(), f.to_wire());
+        assert_eq!(deframer.buffered_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty frame")]
+    fn empty_wire_panics() {
+        FrameFramer::new().enqueue_wire(Vec::new());
+    }
+}

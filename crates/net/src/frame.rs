@@ -1,0 +1,394 @@
+//! Ethernet frames, MAC addresses, and per-cycle flits.
+
+use core::fmt;
+use core::str::FromStr;
+
+use bytes::Bytes;
+
+/// A 48-bit Ethernet MAC address.
+///
+/// The simulation manager assigns locally administered addresses
+/// (`02:...`) to simulated nodes via [`MacAddr::from_node_index`], mirroring
+/// the paper's automatic MAC assignment (§III-B3).
+///
+/// # Examples
+///
+/// ```
+/// use firesim_net::MacAddr;
+///
+/// let m = MacAddr::from_node_index(5);
+/// assert_eq!(m.to_string(), "02:00:00:00:00:05");
+/// assert_eq!("02:00:00:00:00:05".parse::<MacAddr>().unwrap(), m);
+/// assert!(MacAddr::BROADCAST.is_broadcast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Derives the locally administered MAC for simulated node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 40 bits (a trillion-node cluster
+    /// would be remarkable).
+    pub fn from_node_index(index: u64) -> Self {
+        assert!(index < (1 << 40), "node index too large for MAC scheme");
+        let b = index.to_be_bytes();
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Inverse of [`MacAddr::from_node_index`]; `None` for MACs outside the
+    /// simulated-node scheme.
+    pub fn node_index(self) -> Option<u64> {
+        if self.0[0] != 0x02 {
+            return None;
+        }
+        let mut v = 0u64;
+        for &b in &self.0[1..] {
+            v = (v << 8) | u64::from(b);
+        }
+        Some(v)
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// Error parsing a [`MacAddr`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in &mut out {
+            let p = parts.next().ok_or(ParseMacError)?;
+            if p.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// EtherType values used by the simulated software stacks.
+///
+/// Real protocol numbers are used where they exist; FireSim-rs protocol
+/// experiments use values from the IEEE experimental range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EtherType {
+    /// Echo request/reply (the `ping` benchmark, §IV-A).
+    Echo,
+    /// Key-value protocol (memcached-style experiments, §IV-E, Table III).
+    KeyValue,
+    /// Bulk stream protocol (iperf-style and bare-metal bandwidth tests).
+    Stream,
+    /// Remote-memory protocol (page-fault accelerator, §VI).
+    RemoteMem,
+    /// Anything else.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire value.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            EtherType::Echo => 0x88B5,
+            EtherType::KeyValue => 0x88B6,
+            EtherType::Stream => 0x88B7,
+            EtherType::RemoteMem => 0x88B8,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x88B5 => EtherType::Echo,
+            0x88B6 => EtherType::KeyValue,
+            0x88B7 => EtherType::Stream,
+            0x88B8 => EtherType::RemoteMem,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// The Ethernet header length in bytes (dst + src + ethertype).
+pub const HEADER_BYTES: usize = 14;
+
+/// An Ethernet frame: header plus opaque payload.
+///
+/// Frames are what the switch stores and forwards; on links they travel as
+/// sequences of [`Flit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_net::{EthernetFrame, EtherType, MacAddr};
+/// use bytes::Bytes;
+///
+/// let f = EthernetFrame::new(
+///     MacAddr::from_node_index(1),
+///     MacAddr::from_node_index(0),
+///     EtherType::Echo,
+///     Bytes::from_static(b"hello"),
+/// );
+/// let wire = f.to_wire();
+/// assert_eq!(wire.len(), 14 + 5);
+/// let back = EthernetFrame::from_wire(&wire).unwrap();
+/// assert_eq!(back, f);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Protocol discriminator.
+    pub ethertype: EtherType,
+    /// Payload bytes (no padding or FCS is modeled).
+    pub payload: Bytes,
+}
+
+impl EthernetFrame {
+    /// Creates a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Total wire length in bytes (header + payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+
+    /// Serialises header + payload to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.as_u16().to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses wire bytes back into a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::Truncated`] when shorter than a header.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, FrameError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(FrameError::Truncated { len: bytes.len() });
+        }
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&bytes[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&bytes[6..12]);
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]).into();
+        Ok(EthernetFrame {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype,
+            payload: Bytes::copy_from_slice(&bytes[HEADER_BYTES..]),
+        })
+    }
+}
+
+/// Errors decoding frames from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// Fewer bytes than an Ethernet header.
+    Truncated {
+        /// Observed byte count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated { len } => {
+                write!(f, "frame truncated: {len} bytes is shorter than a header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One target cycle's worth of link data: up to 8 bytes plus end-of-frame
+/// marking.
+///
+/// This is FireSim's network token payload (§III-B2): the `data`/`len` pair
+/// is the "target payload field" and `last` is the metadata bit that lets
+/// the transport find frame boundaries without parsing the link-layer
+/// protocol. The token-level `valid` bit is represented by presence in the
+/// surrounding [`firesim_core::TokenWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Up to 8 data bytes, little-endian packed (byte 0 in bits 0-7).
+    pub data: u64,
+    /// Number of valid bytes in `data` (1..=8).
+    pub len: u8,
+    /// True on the final flit of a frame.
+    pub last: bool,
+}
+
+impl Flit {
+    /// Builds a flit from a byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty or longer than 8.
+    pub fn from_bytes(bytes: &[u8], last: bool) -> Self {
+        assert!(
+            !bytes.is_empty() && bytes.len() <= 8,
+            "flit must carry 1..=8 bytes"
+        );
+        let mut data = [0u8; 8];
+        data[..bytes.len()].copy_from_slice(bytes);
+        Flit {
+            data: u64::from_le_bytes(data),
+            len: bytes.len() as u8,
+            last,
+        }
+    }
+
+    /// The valid bytes of this flit.
+    pub fn bytes(&self) -> [u8; 8] {
+        self.data.to_le_bytes()
+    }
+
+    /// The number of valid bytes.
+    pub fn byte_len(&self) -> usize {
+        usize::from(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_node_index_round_trip() {
+        for idx in [0u64, 1, 255, 256, 65_535, 1 << 32] {
+            let m = MacAddr::from_node_index(idx);
+            assert_eq!(m.node_index(), Some(idx));
+        }
+        assert_eq!(MacAddr::BROADCAST.node_index(), None);
+    }
+
+    #[test]
+    fn mac_parse_and_display() {
+        let m: MacAddr = "de:ad:be:ef:00:42".parse().unwrap();
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:42");
+        assert!("de:ad:be".parse::<MacAddr>().is_err());
+        assert!("zz:ad:be:ef:00:42".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:42:11".parse::<MacAddr>().is_err());
+        assert!("dead:be:ef:00:42".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn ethertype_round_trip() {
+        for t in [
+            EtherType::Echo,
+            EtherType::KeyValue,
+            EtherType::Stream,
+            EtherType::RemoteMem,
+            EtherType::Other(0x0800),
+        ] {
+            assert_eq!(EtherType::from(t.as_u16()), t);
+        }
+    }
+
+    #[test]
+    fn frame_wire_round_trip() {
+        let f = EthernetFrame::new(
+            MacAddr::from_node_index(7),
+            MacAddr::from_node_index(3),
+            EtherType::KeyValue,
+            Bytes::from(vec![1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        );
+        let wire = f.to_wire();
+        assert_eq!(wire.len(), 23);
+        assert_eq!(EthernetFrame::from_wire(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn frame_empty_payload() {
+        let f = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_node_index(0),
+            EtherType::Echo,
+            Bytes::new(),
+        );
+        let wire = f.to_wire();
+        assert_eq!(wire.len(), HEADER_BYTES);
+        assert_eq!(EthernetFrame::from_wire(&wire).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        assert!(matches!(
+            EthernetFrame::from_wire(&[0u8; 5]),
+            Err(FrameError::Truncated { len: 5 })
+        ));
+    }
+
+    #[test]
+    fn flit_from_bytes() {
+        let f = Flit::from_bytes(&[1, 2, 3], true);
+        assert_eq!(f.byte_len(), 3);
+        assert!(f.last);
+        assert_eq!(&f.bytes()[..3], &[1, 2, 3]);
+
+        let full = Flit::from_bytes(&[9; 8], false);
+        assert_eq!(full.byte_len(), 8);
+        assert!(!full.last);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit must carry 1..=8 bytes")]
+    fn flit_too_long_panics() {
+        let _ = Flit::from_bytes(&[0; 9], false);
+    }
+}

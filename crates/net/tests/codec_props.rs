@@ -1,0 +1,76 @@
+//! Property tests for the frame/flit codec and MAC addressing.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use firesim_net::{EtherType, EthernetFrame, FrameDeframer, FrameFramer, MacAddr, FLIT_BYTES};
+
+fn frame_strategy() -> impl Strategy<Value = EthernetFrame> {
+    (
+        0u64..1_000_000,
+        0u64..1_000_000,
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        0u16..=u16::MAX,
+    )
+        .prop_map(|(dst, src, payload, ety)| {
+            EthernetFrame::new(
+                MacAddr::from_node_index(dst),
+                MacAddr::from_node_index(src),
+                EtherType::from(ety),
+                Bytes::from(payload),
+            )
+        })
+}
+
+proptest! {
+    /// Any frame survives framing into flits and deframing back.
+    #[test]
+    fn frame_flit_round_trip(frame in frame_strategy()) {
+        let mut framer = FrameFramer::new();
+        framer.enqueue(frame.clone());
+        let mut deframer = FrameDeframer::new();
+        let mut out = None;
+        let mut flits = 0usize;
+        while let Some(f) = framer.next_flit() {
+            flits += 1;
+            if let Some(done) = deframer.push(f).unwrap() {
+                out = Some(done);
+            }
+        }
+        prop_assert_eq!(flits, frame.wire_len().div_ceil(FLIT_BYTES));
+        prop_assert_eq!(out, Some(frame));
+    }
+
+    /// A whole burst of frames stays intact and ordered.
+    #[test]
+    fn burst_round_trip(frames in proptest::collection::vec(frame_strategy(), 1..16)) {
+        let mut framer = FrameFramer::new();
+        for f in &frames {
+            framer.enqueue(f.clone());
+        }
+        let mut deframer = FrameDeframer::new();
+        let mut out = Vec::new();
+        while let Some(f) = framer.next_flit() {
+            if let Some(done) = deframer.push(f).unwrap() {
+                out.push(done);
+            }
+        }
+        prop_assert_eq!(out, frames);
+    }
+
+    /// Wire encode/parse of frames round-trips.
+    #[test]
+    fn wire_round_trip(frame in frame_strategy()) {
+        prop_assert_eq!(EthernetFrame::from_wire(&frame.to_wire()).unwrap(), frame);
+    }
+
+    /// Node-index MACs round-trip and are never broadcast.
+    #[test]
+    fn mac_round_trip(idx in 0u64..(1 << 40)) {
+        let mac = MacAddr::from_node_index(idx);
+        prop_assert_eq!(mac.node_index(), Some(idx));
+        prop_assert!(!mac.is_broadcast());
+        let parsed: MacAddr = mac.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+    }
+}

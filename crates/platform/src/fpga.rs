@@ -1,0 +1,107 @@
+//! FPGA resource accounting, including supernode packing (§III-A5).
+//!
+//! The paper reports that a single simulated node uses 32.6% of the
+//! host FPGA's LUTs — 14.4% for the custom server-blade RTL and the rest
+//! for simulation infrastructure (shell, DMA, token transport, DRAM
+//! model) — and one of the four FPGA DRAM channels. The "supernode"
+//! configuration packs four simulated blades per FPGA, raising blade LUT
+//! usage to ~57.7% and total utilisation to ~76%.
+
+/// Resource model of one host FPGA (Xilinx Virtex UltraScale+ VU9P).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaModel {
+    /// Total LUTs available.
+    pub total_luts: u64,
+    /// Fraction of LUTs used by simulation infrastructure (shell, token
+    /// transport, DRAM model) regardless of blade count.
+    pub infra_fraction: f64,
+    /// Fraction of LUTs used per simulated blade.
+    pub blade_fraction: f64,
+    /// DRAM channels on the FPGA board.
+    pub dram_channels: usize,
+    /// Utilisation above which place-and-route is assumed to fail.
+    pub routable_limit: f64,
+}
+
+impl Default for FpgaModel {
+    fn default() -> Self {
+        FpgaModel {
+            total_luts: 1_182_000,
+            infra_fraction: 0.182,
+            blade_fraction: 0.144,
+            dram_channels: 4,
+            routable_limit: 0.85,
+        }
+    }
+}
+
+/// Utilisation report for one FPGA hosting `blades` simulated nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaUtilization {
+    /// Simulated blades on this FPGA.
+    pub blades: usize,
+    /// LUT fraction used by blade RTL.
+    pub blade_luts: f64,
+    /// Total LUT fraction used.
+    pub total_luts: f64,
+    /// DRAM channels in use (one per blade).
+    pub dram_channels_used: usize,
+}
+
+impl FpgaModel {
+    /// Utilisation when hosting `blades` simulated nodes.
+    pub fn utilization(&self, blades: usize) -> FpgaUtilization {
+        FpgaUtilization {
+            blades,
+            blade_luts: self.blade_fraction * blades as f64,
+            total_luts: self.infra_fraction + self.blade_fraction * blades as f64,
+            dram_channels_used: blades.min(self.dram_channels),
+        }
+    }
+
+    /// True when a design with `blades` nodes fits (LUTs and DRAM
+    /// channels).
+    pub fn fits(&self, blades: usize) -> bool {
+        blades <= self.dram_channels
+            && self.utilization(blades).total_luts <= self.routable_limit
+    }
+
+    /// The largest supernode packing that fits.
+    pub fn max_blades(&self) -> usize {
+        (1..=self.dram_channels)
+            .take_while(|&n| self.fits(n))
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_configuration_matches_paper() {
+        let f = FpgaModel::default();
+        let u = f.utilization(1);
+        assert!((u.total_luts - 0.326).abs() < 0.001, "{u:?}");
+        assert!((u.blade_luts - 0.144).abs() < 0.001);
+        assert_eq!(u.dram_channels_used, 1);
+    }
+
+    #[test]
+    fn supernode_configuration_matches_paper() {
+        let f = FpgaModel::default();
+        let u = f.utilization(4);
+        assert!((u.blade_luts - 0.577).abs() < 0.002, "{u:?}"); // ~57.7%
+        assert!((u.total_luts - 0.758).abs() < 0.005, "{u:?}"); // ~76%
+        assert_eq!(u.dram_channels_used, 4);
+        assert!(f.fits(4));
+    }
+
+    #[test]
+    fn five_blades_do_not_fit() {
+        let f = FpgaModel::default();
+        assert!(!f.fits(5)); // out of DRAM channels and LUT budget
+        assert_eq!(f.max_blades(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! EC2 instance types used by FireSim (§II) and their pricing.
+
+use core::fmt;
+
+/// The EC2 instance types FireSim deploys onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InstanceType {
+    /// 8 vCPUs, 122 GiB, 10 Gbit/s, 1 Xilinx VU9P FPGA.
+    F1_2xlarge,
+    /// 64 vCPUs, 976 GiB, 25 Gbit/s, 8 Xilinx VU9P FPGAs.
+    F1_16xlarge,
+    /// 64 vCPUs, 256 GiB, 25 Gbit/s, no FPGA — switch-model host.
+    M4_16xlarge,
+}
+
+impl InstanceType {
+    /// Number of attached FPGAs.
+    pub fn fpgas(self) -> usize {
+        match self {
+            InstanceType::F1_2xlarge => 1,
+            InstanceType::F1_16xlarge => 8,
+            InstanceType::M4_16xlarge => 0,
+        }
+    }
+
+    /// Host vCPUs.
+    pub fn vcpus(self) -> usize {
+        match self {
+            InstanceType::F1_2xlarge => 8,
+            InstanceType::F1_16xlarge | InstanceType::M4_16xlarge => 64,
+        }
+    }
+
+    /// Host DRAM in GiB.
+    pub fn dram_gib(self) -> usize {
+        match self {
+            InstanceType::F1_2xlarge => 122,
+            InstanceType::F1_16xlarge => 976,
+            InstanceType::M4_16xlarge => 256,
+        }
+    }
+
+    /// Host network bandwidth in Gbit/s.
+    pub fn network_gbps(self) -> f64 {
+        match self {
+            InstanceType::F1_2xlarge => 10.0,
+            InstanceType::F1_16xlarge | InstanceType::M4_16xlarge => 25.0,
+        }
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstanceType::F1_2xlarge => "f1.2xlarge",
+            InstanceType::F1_16xlarge => "f1.16xlarge",
+            InstanceType::M4_16xlarge => "m4.16xlarge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hourly pricing for the instance fleet, in dollars.
+///
+/// Defaults are the 2018-era us-east-1 prices the paper's §V-C arithmetic
+/// is based on: spot prices taken as "the longest stable prices in recent
+/// history" (32 f1.16xlarge + 5 m4.16xlarge ≈ $100/hour), on-demand
+/// prices ≈ $440/hour for the same fleet, and a ≈$50k public list price
+/// per VU9P FPGA (32 x 8 = 256 FPGAs ≈ $12.8M).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pricing {
+    /// On-demand $/hour for `f1.2xlarge`.
+    pub f1_2xl_ondemand: f64,
+    /// On-demand $/hour for `f1.16xlarge`.
+    pub f1_16xl_ondemand: f64,
+    /// On-demand $/hour for `m4.16xlarge`.
+    pub m4_16xl_ondemand: f64,
+    /// Spot $/hour for `f1.2xlarge`.
+    pub f1_2xl_spot: f64,
+    /// Spot $/hour for `f1.16xlarge`.
+    pub f1_16xl_spot: f64,
+    /// Spot $/hour for `m4.16xlarge`.
+    pub m4_16xl_spot: f64,
+    /// Retail price of one FPGA, dollars.
+    pub fpga_retail: f64,
+}
+
+impl Default for Pricing {
+    fn default() -> Self {
+        Pricing {
+            f1_2xl_ondemand: 1.65,
+            f1_16xl_ondemand: 13.20,
+            m4_16xl_ondemand: 3.20,
+            f1_2xl_spot: 0.48,
+            f1_16xl_spot: 3.03,
+            m4_16xl_spot: 0.62,
+            fpga_retail: 50_000.0,
+        }
+    }
+}
+
+impl Pricing {
+    /// On-demand $/hour for an instance type.
+    pub fn ondemand(&self, t: InstanceType) -> f64 {
+        match t {
+            InstanceType::F1_2xlarge => self.f1_2xl_ondemand,
+            InstanceType::F1_16xlarge => self.f1_16xl_ondemand,
+            InstanceType::M4_16xlarge => self.m4_16xl_ondemand,
+        }
+    }
+
+    /// Spot $/hour for an instance type.
+    pub fn spot(&self, t: InstanceType) -> f64 {
+        match t {
+            InstanceType::F1_2xlarge => self.f1_2xl_spot,
+            InstanceType::F1_16xlarge => self.f1_16xl_spot,
+            InstanceType::M4_16xlarge => self.m4_16xl_spot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_attributes() {
+        assert_eq!(InstanceType::F1_16xlarge.fpgas(), 8);
+        assert_eq!(InstanceType::F1_2xlarge.fpgas(), 1);
+        assert_eq!(InstanceType::M4_16xlarge.fpgas(), 0);
+        assert_eq!(InstanceType::F1_16xlarge.vcpus(), 64);
+        assert_eq!(InstanceType::F1_2xlarge.dram_gib(), 122);
+        assert_eq!(InstanceType::M4_16xlarge.network_gbps(), 25.0);
+        assert_eq!(InstanceType::F1_2xlarge.to_string(), "f1.2xlarge");
+    }
+
+    #[test]
+    fn paper_fleet_prices() {
+        let p = Pricing::default();
+        // §V-C: 32 f1.16xlarge + 5 m4.16xlarge.
+        let ondemand = 32.0 * p.ondemand(InstanceType::F1_16xlarge)
+            + 5.0 * p.ondemand(InstanceType::M4_16xlarge);
+        assert!(
+            (ondemand - 440.0).abs() < 10.0,
+            "on-demand fleet ${ondemand:.0}/hr"
+        );
+        let spot = 32.0 * p.spot(InstanceType::F1_16xlarge)
+            + 5.0 * p.spot(InstanceType::M4_16xlarge);
+        assert!((spot - 100.0).abs() < 5.0, "spot fleet ${spot:.0}/hr");
+        let fpga_value = 32.0 * 8.0 * p.fpga_retail;
+        assert_eq!(fpga_value, 12_800_000.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The deployment planner: maps a target cluster onto EC2 instances and
+//! prices it (§III-B3 mapping + §V-C cost arithmetic).
+
+use core::fmt;
+
+use crate::fpga::FpgaModel;
+use crate::instance::{InstanceType, Pricing};
+
+/// What needs to be deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanRequest {
+    /// Simulated server blades.
+    pub nodes: usize,
+    /// Top-of-rack switch models (hosted on the F1 instances).
+    pub tor_switches: usize,
+    /// Aggregation + root switch models (hosted on m4 instances, one
+    /// instance per switch as in §V-C).
+    pub upper_switches: usize,
+    /// Pack four blades per FPGA (supernode, §III-A5).
+    pub supernode: bool,
+}
+
+/// The planned fleet and its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentPlan {
+    /// The request this plan satisfies.
+    pub request: PlanRequest,
+    /// Simulated blades per FPGA (1 standard, 4 supernode).
+    pub blades_per_fpga: usize,
+    /// FPGAs needed.
+    pub fpgas: usize,
+    /// `f1.16xlarge` instances (8 FPGAs each; partially-filled last
+    /// instance still counts whole).
+    pub f1_16xlarge: usize,
+    /// `m4.16xlarge` instances for upper-level switches.
+    pub m4_16xlarge: usize,
+    /// Spot cost, $/hour.
+    pub spot_per_hour: f64,
+    /// On-demand cost, $/hour.
+    pub ondemand_per_hour: f64,
+    /// Retail value of the FPGAs used.
+    pub fpga_value: f64,
+}
+
+impl DeploymentPlan {
+    /// Plans a deployment with default FPGA and pricing models.
+    pub fn new(request: PlanRequest) -> Self {
+        Self::with_models(request, &FpgaModel::default(), &Pricing::default())
+    }
+
+    /// Plans a deployment with explicit models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the supernode packing does not fit the FPGA model.
+    pub fn with_models(request: PlanRequest, fpga: &FpgaModel, pricing: &Pricing) -> Self {
+        let blades_per_fpga = if request.supernode {
+            let n = fpga.max_blades();
+            assert!(n >= 1, "supernode packing does not fit");
+            n
+        } else {
+            1
+        };
+        let fpgas = request.nodes.div_ceil(blades_per_fpga.max(1));
+        let f1_16 = fpgas.div_ceil(InstanceType::F1_16xlarge.fpgas());
+        let m4 = request.upper_switches;
+        let spot = f1_16 as f64 * pricing.spot(InstanceType::F1_16xlarge)
+            + m4 as f64 * pricing.spot(InstanceType::M4_16xlarge);
+        let ondemand = f1_16 as f64 * pricing.ondemand(InstanceType::F1_16xlarge)
+            + m4 as f64 * pricing.ondemand(InstanceType::M4_16xlarge);
+        DeploymentPlan {
+            request,
+            blades_per_fpga,
+            fpgas,
+            f1_16xlarge: f1_16,
+            m4_16xlarge: m4,
+            spot_per_hour: spot,
+            ondemand_per_hour: ondemand,
+            fpga_value: (f1_16 * InstanceType::F1_16xlarge.fpgas()) as f64 * pricing.fpga_retail,
+        }
+    }
+}
+
+impl fmt::Display for DeploymentPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "deployment: {} nodes ({} per FPGA{}), {} ToR + {} upper switches",
+            self.request.nodes,
+            self.blades_per_fpga,
+            if self.request.supernode {
+                ", supernode"
+            } else {
+                ""
+            },
+            self.request.tor_switches,
+            self.request.upper_switches,
+        )?;
+        writeln!(
+            f,
+            "fleet: {} f1.16xlarge ({} FPGAs) + {} m4.16xlarge",
+            self.f1_16xlarge, self.fpgas, self.m4_16xlarge
+        )?;
+        write!(
+            f,
+            "cost: ${:.0}/hr spot, ${:.0}/hr on-demand; ${:.1}M of FPGAs",
+            self.spot_per_hour,
+            self.ondemand_per_hour,
+            self.fpga_value / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §V-C: the 1024-node datacenter simulation.
+    #[test]
+    fn thousand_node_plan_matches_paper() {
+        let plan = DeploymentPlan::new(PlanRequest {
+            nodes: 1024,
+            tor_switches: 32,
+            upper_switches: 5, // 4 aggregation + 1 root
+            supernode: true,
+        });
+        assert_eq!(plan.blades_per_fpga, 4);
+        assert_eq!(plan.fpgas, 256);
+        assert_eq!(plan.f1_16xlarge, 32);
+        assert_eq!(plan.m4_16xlarge, 5);
+        assert!(
+            (plan.spot_per_hour - 100.0).abs() < 5.0,
+            "spot ${:.0}",
+            plan.spot_per_hour
+        );
+        assert!(
+            (plan.ondemand_per_hour - 440.0).abs() < 10.0,
+            "on-demand ${:.0}",
+            plan.ondemand_per_hour
+        );
+        assert_eq!(plan.fpga_value, 12_800_000.0);
+        let text = plan.to_string();
+        assert!(text.contains("1024 nodes"));
+        assert!(text.contains("32 f1.16xlarge"));
+    }
+
+    /// §III: the 64-node example (8 ToR + root, standard config).
+    #[test]
+    fn sixty_four_node_plan() {
+        let plan = DeploymentPlan::new(PlanRequest {
+            nodes: 64,
+            tor_switches: 8,
+            upper_switches: 1,
+            supernode: false,
+        });
+        assert_eq!(plan.blades_per_fpga, 1);
+        assert_eq!(plan.fpgas, 64);
+        assert_eq!(plan.f1_16xlarge, 8);
+        assert_eq!(plan.m4_16xlarge, 1);
+    }
+
+    #[test]
+    fn partial_instances_round_up() {
+        let plan = DeploymentPlan::new(PlanRequest {
+            nodes: 9,
+            tor_switches: 1,
+            upper_switches: 0,
+            supernode: false,
+        });
+        assert_eq!(plan.fpgas, 9);
+        assert_eq!(plan.f1_16xlarge, 2); // 9 FPGAs -> 2 instances
+        let plan = DeploymentPlan::new(PlanRequest {
+            nodes: 9,
+            tor_switches: 1,
+            upper_switches: 0,
+            supernode: true,
+        });
+        assert_eq!(plan.fpgas, 3);
+        assert_eq!(plan.f1_16xlarge, 1);
+    }
+}

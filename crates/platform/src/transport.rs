@@ -1,0 +1,104 @@
+//! Host token-transport characteristics (§III-B2).
+//!
+//! Three physical transports move token batches between simulated
+//! components on the host platform: PCIe between an FPGA and its host
+//! CPU, shared memory between processes on one instance, and TCP sockets
+//! between instances. Since FireSim batches one link-latency of tokens
+//! per transfer, the time to move one batch bounds the achievable
+//! simulation rate — this model is used to explain and sanity-check the
+//! measured Fig 8/9 scaling curves.
+
+/// The physical transport carrying a token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// FPGA <-> host CPU over PCIe (Amazon EDMA).
+    Pcie,
+    /// Same-host processes over shared memory (zero copy).
+    SharedMemory,
+    /// Host <-> host over the EC2 network (25 Gbit/s instances).
+    Tcp,
+}
+
+/// Latency/bandwidth parameters of one transport hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transport {
+    /// Which physical mechanism.
+    pub kind: TransportKind,
+    /// One-way latency per batch transfer, microseconds.
+    pub latency_us: f64,
+    /// Sustained bandwidth, gigabits per second.
+    pub gbps: f64,
+}
+
+impl Transport {
+    /// Default parameters for a transport kind (2018-era EC2).
+    pub fn of(kind: TransportKind) -> Self {
+        match kind {
+            TransportKind::Pcie => Transport {
+                kind,
+                latency_us: 8.0,
+                gbps: 50.0,
+            },
+            TransportKind::SharedMemory => Transport {
+                kind,
+                latency_us: 0.5,
+                gbps: 200.0,
+            },
+            TransportKind::Tcp => Transport {
+                kind,
+                latency_us: 50.0,
+                gbps: 20.0,
+            },
+        }
+    }
+
+    /// Host time (microseconds) to move one batch of `tokens` tokens of
+    /// `token_bytes` bytes each.
+    pub fn batch_time_us(&self, tokens: u64, token_bytes: u64) -> f64 {
+        let bits = (tokens * token_bytes * 8) as f64;
+        self.latency_us + bits / (self.gbps * 1e3)
+    }
+
+    /// Upper bound on simulation rate (target Hz) for a link whose token
+    /// batches cross this transport twice per batch round-trip, with
+    /// `batch_tokens` tokens per batch (= the target link latency).
+    ///
+    /// This is the first-order model behind Fig 9: larger batches
+    /// amortise the per-transfer latency.
+    pub fn sim_rate_bound_hz(&self, batch_tokens: u64, token_bytes: u64) -> f64 {
+        let us_per_batch = 2.0 * self.batch_time_us(batch_tokens, token_bytes);
+        batch_tokens as f64 / (us_per_batch * 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_time_scales_with_size() {
+        let t = Transport::of(TransportKind::Pcie);
+        let small = t.batch_time_us(100, 8);
+        let large = t.batch_time_us(10_000, 8);
+        assert!(large > small);
+        // Latency dominates small batches.
+        assert!((small - t.latency_us).abs() / t.latency_us < 0.1);
+    }
+
+    #[test]
+    fn bigger_batches_raise_the_rate_bound() {
+        let t = Transport::of(TransportKind::Pcie);
+        let slow = t.sim_rate_bound_hz(640, 8); // 200 ns link
+        let fast = t.sim_rate_bound_hz(6_400, 8); // 2 us link
+        assert!(fast > slow * 5.0, "fast {fast:.0} slow {slow:.0}");
+    }
+
+    #[test]
+    fn shm_beats_pcie_beats_tcp() {
+        let batch = 6_400;
+        let shm = Transport::of(TransportKind::SharedMemory).sim_rate_bound_hz(batch, 8);
+        let pcie = Transport::of(TransportKind::Pcie).sim_rate_bound_hz(batch, 8);
+        let tcp = Transport::of(TransportKind::Tcp).sim_rate_bound_hz(batch, 8);
+        assert!(shm > pcie && pcie > tcp);
+    }
+}

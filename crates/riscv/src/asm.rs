@@ -1,0 +1,770 @@
+//! A small two-pass assembler with labels and standard pseudo-instructions.
+//!
+//! The paper's bare-metal benchmarks (NIC bandwidth saturation, ping
+//! response) are real RISC-V programs; [`Assembler`] is how FireSim-rs
+//! writes them. It supports the full RV64IMA + Zicsr instruction set via
+//! mnemonic methods, labels with forward references, the `li`/`la`
+//! constant-synthesis pseudo-instructions, and raw data words.
+//!
+//! # Examples
+//!
+//! ```
+//! use firesim_riscv::asm::Assembler;
+//!
+//! let mut a = Assembler::new(0x8000_0000);
+//! a.li(10, 0x1234_5678_9abc_def0u64 as i64);
+//! a.label("spin");
+//! a.j("spin");
+//! let image = a.assemble().unwrap();
+//! assert!(image.len() % 4 == 0);
+//! ```
+
+use std::collections::HashMap;
+use core::fmt;
+
+use crate::encode::encode;
+use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth, MulDivOp};
+
+/// Errors reported by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UnknownLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A branch target is beyond the ±4 KiB B-format range.
+    BranchOutOfRange {
+        /// The label name.
+        label: String,
+        /// The required displacement.
+        delta: i64,
+    },
+    /// A jump target is beyond the ±1 MiB J-format range.
+    JumpOutOfRange {
+        /// The label name.
+        label: String,
+        /// The required displacement.
+        delta: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel { label } => write!(f, "unknown label {label:?}"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label {label:?}"),
+            AsmError::BranchOutOfRange { label, delta } => {
+                write!(f, "branch to {label:?} out of range ({delta} bytes)")
+            }
+            AsmError::JumpOutOfRange { label, delta } => {
+                write!(f, "jump to {label:?} out of range ({delta} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug)]
+enum Fixup {
+    Branch { cond: BranchCond, rs1: u8, rs2: u8 },
+    Jal { rd: u8 },
+    /// `auipc rd, %hi` at `at`, `addi rd, rd, %lo` at `at + 1`.
+    La { rd: u8 },
+}
+
+/// The assembler. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Assembler {
+    base: u64,
+    words: Vec<u32>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, Fixup, String)>,
+}
+
+#[inline]
+fn sign12(imm: i64) -> i64 {
+    ((imm & 0xfff) ^ 0x800) - 0x800
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction will live at `base`.
+    pub fn new(base: u64) -> Self {
+        Assembler {
+            base,
+            ..Default::default()
+        }
+    }
+
+    /// The address the *next* emitted word will occupy.
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.words.len() as u64
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// Duplicates are reported by [`assemble`](Assembler::assemble).
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.words.len()).is_some() {
+            // Remember the duplicate by poisoning with usize::MAX.
+            self.labels.insert(name, usize::MAX);
+        }
+    }
+
+    /// Emits a decoded instruction directly.
+    pub fn inst(&mut self, inst: Inst) {
+        self.words.push(encode(&inst));
+    }
+
+    /// Emits a raw 32-bit data word.
+    pub fn word(&mut self, w: u32) {
+        self.words.push(w);
+    }
+
+    /// Emits a raw 64-bit data word (little-endian, two words).
+    pub fn dword(&mut self, w: u64) {
+        self.words.push(w as u32);
+        self.words.push((w >> 32) as u32);
+    }
+
+    /// Finalises: resolves all label references and returns the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for unknown/duplicate labels or out-of-range
+    /// displacements.
+    pub fn assemble(mut self) -> Result<Vec<u8>, AsmError> {
+        for (name, &idx) in &self.labels {
+            if idx == usize::MAX {
+                return Err(AsmError::DuplicateLabel {
+                    label: name.clone(),
+                });
+            }
+        }
+        for (at, fixup, label) in std::mem::take(&mut self.fixups) {
+            let &target_idx = self.labels.get(&label).ok_or(AsmError::UnknownLabel {
+                label: label.clone(),
+            })?;
+            let target = self.base + 4 * target_idx as u64;
+            let pc = self.base + 4 * at as u64;
+            let delta = target.wrapping_sub(pc) as i64;
+            match fixup {
+                Fixup::Branch { cond, rs1, rs2 } => {
+                    if !(-4096..=4094).contains(&delta) {
+                        return Err(AsmError::BranchOutOfRange { label, delta });
+                    }
+                    self.words[at] = encode(&Inst::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        imm: delta,
+                    });
+                }
+                Fixup::Jal { rd } => {
+                    if !(-(1 << 20)..(1 << 20)).contains(&delta) {
+                        return Err(AsmError::JumpOutOfRange { label, delta });
+                    }
+                    self.words[at] = encode(&Inst::Jal { rd, imm: delta });
+                }
+                Fixup::La { rd } => {
+                    let lo = sign12(delta);
+                    let hi = delta.wrapping_sub(lo);
+                    self.words[at] = encode(&Inst::Auipc {
+                        rd,
+                        imm: (hi as i32) as i64,
+                    });
+                    self.words[at + 1] = encode(&Inst::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                        word: false,
+                    });
+                }
+            }
+        }
+        Ok(self
+            .words
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect())
+    }
+
+    // ----- pseudo-instructions -----
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(0, 0, 0);
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: u8, rs: u8) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// Loads an arbitrary 64-bit constant with the standard lui/addiw/
+    /// slli/addi synthesis.
+    pub fn li(&mut self, rd: u8, imm: i64) {
+        if (-2048..=2047).contains(&imm) {
+            self.addi(rd, 0, imm);
+            return;
+        }
+        if imm == (imm as i32) as i64 {
+            let lo = sign12(imm);
+            let hi = imm.wrapping_sub(lo);
+            // lui sign-extends its 32-bit immediate; addiw wraps the
+            // 32-bit sum back, so edge cases like 0x7fffffff work.
+            self.inst(Inst::Lui {
+                rd,
+                imm: (hi as i32) as i64,
+            });
+            if lo != 0 {
+                self.addiw(rd, rd, lo);
+            }
+            return;
+        }
+        let lo12 = sign12(imm);
+        self.li(rd, imm.wrapping_sub(lo12) >> 12);
+        self.slli(rd, rd, 12);
+        if lo12 != 0 {
+            self.addi(rd, rd, lo12);
+        }
+    }
+
+    /// `la rd, label` — PC-relative address of a label (auipc + addi).
+    pub fn la(&mut self, rd: u8, label: impl Into<String>) {
+        let at = self.words.len();
+        self.fixups.push((at, Fixup::La { rd }, label.into()));
+        self.words.push(0); // auipc placeholder
+        self.words.push(0); // addi placeholder
+    }
+
+    /// `j label` (jal x0).
+    pub fn j(&mut self, label: impl Into<String>) {
+        self.jal(0, label);
+    }
+
+    /// `call label` (jal x1).
+    pub fn call(&mut self, label: impl Into<String>) {
+        self.jal(1, label);
+    }
+
+    /// `ret` (jalr x0, 0(x1)).
+    pub fn ret(&mut self) {
+        self.inst(Inst::Jalr {
+            rd: 0,
+            rs1: 1,
+            imm: 0,
+        });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: u8, label: impl Into<String>) {
+        let at = self.words.len();
+        self.fixups.push((at, Fixup::Jal { rd }, label.into()));
+        self.words.push(0);
+    }
+
+    /// `jalr rd, imm(rs1)`.
+    pub fn jalr(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::Jalr { rd, rs1, imm });
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs1: u8, rs2: u8, label: impl Into<String>) {
+        let at = self.words.len();
+        self.fixups
+            .push((at, Fixup::Branch { cond, rs1, rs2 }, label.into()));
+        self.words.push(0);
+    }
+
+    // ----- branches -----
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Geu, rs1, rs2, label);
+    }
+    /// `ble rs1, rs2, label` (pseudo: bge rs2, rs1).
+    pub fn ble(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Ge, rs2, rs1, label);
+    }
+    /// `bgt rs1, rs2, label` (pseudo: blt rs2, rs1).
+    pub fn bgt(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchCond::Lt, rs2, rs1, label);
+    }
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: u8, label: impl Into<String>) {
+        self.beq(rs, 0, label);
+    }
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: u8, label: impl Into<String>) {
+        self.bne(rs, 0, label);
+    }
+
+    // ----- loads/stores: rd/rs2 first, then base register, then offset -----
+
+    /// `lb rd, off(base)`.
+    pub fn lb(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::B, signed: true, rd, rs1: base, imm: off });
+    }
+    /// `lh rd, off(base)`.
+    pub fn lh(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::H, signed: true, rd, rs1: base, imm: off });
+    }
+    /// `lw rd, off(base)`.
+    pub fn lw(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::W, signed: true, rd, rs1: base, imm: off });
+    }
+    /// `ld rd, off(base)`.
+    pub fn ld(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::D, signed: true, rd, rs1: base, imm: off });
+    }
+    /// `lbu rd, off(base)`.
+    pub fn lbu(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::B, signed: false, rd, rs1: base, imm: off });
+    }
+    /// `lhu rd, off(base)`.
+    pub fn lhu(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::H, signed: false, rd, rs1: base, imm: off });
+    }
+    /// `lwu rd, off(base)`.
+    pub fn lwu(&mut self, rd: u8, base: u8, off: i64) {
+        self.inst(Inst::Load { width: MemWidth::W, signed: false, rd, rs1: base, imm: off });
+    }
+    /// `sb rs2, off(base)`.
+    pub fn sb(&mut self, rs2: u8, base: u8, off: i64) {
+        self.inst(Inst::Store { width: MemWidth::B, rs2, rs1: base, imm: off });
+    }
+    /// `sh rs2, off(base)`.
+    pub fn sh(&mut self, rs2: u8, base: u8, off: i64) {
+        self.inst(Inst::Store { width: MemWidth::H, rs2, rs1: base, imm: off });
+    }
+    /// `sw rs2, off(base)`.
+    pub fn sw(&mut self, rs2: u8, base: u8, off: i64) {
+        self.inst(Inst::Store { width: MemWidth::W, rs2, rs1: base, imm: off });
+    }
+    /// `sd rs2, off(base)`.
+    pub fn sd(&mut self, rs2: u8, base: u8, off: i64) {
+        self.inst(Inst::Store { width: MemWidth::D, rs2, rs1: base, imm: off });
+    }
+
+    // ----- ALU immediate -----
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm, word: false });
+    }
+    /// `addiw rd, rs1, imm`.
+    pub fn addiw(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm, word: true });
+    }
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm, word: false });
+    }
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm, word: false });
+    }
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm, word: false });
+    }
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm, word: false });
+    }
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i64) {
+        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm, word: false });
+    }
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: false });
+    }
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: false });
+    }
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt, word: false });
+    }
+    /// `slliw rd, rs1, shamt`.
+    pub fn slliw(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: true });
+    }
+    /// `srliw rd, rs1, shamt`.
+    pub fn srliw(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: true });
+    }
+    /// `sraiw rd, rs1, shamt`.
+    pub fn sraiw(&mut self, rd: u8, rs1: u8, shamt: i64) {
+        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt, word: true });
+    }
+
+    // ----- ALU register -----
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2, word: false });
+    }
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2, word: false });
+    }
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2, word: false });
+    }
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Slt, rd, rs1, rs2, word: false });
+    }
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2, word: false });
+    }
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2, word: false });
+    }
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2, word: false });
+    }
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2, word: false });
+    }
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2, word: false });
+    }
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2, word: false });
+    }
+    /// `addw rd, rs1, rs2`.
+    pub fn addw(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2, word: true });
+    }
+    /// `subw rd, rs1, rs2`.
+    pub fn subw(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2, word: true });
+    }
+    /// `sllw rd, rs1, rs2`.
+    pub fn sllw(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2, word: true });
+    }
+    /// `srlw rd, rs1, rs2`.
+    pub fn srlw(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2, word: true });
+    }
+    /// `sraw rd, rs1, rs2`.
+    pub fn sraw(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2, word: true });
+    }
+
+    // ----- multiply/divide -----
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2, word: false });
+    }
+    /// `mulh rd, rs1, rs2`.
+    pub fn mulh(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mulh, rd, rs1, rs2, word: false });
+    }
+    /// `mulhu rd, rs1, rs2`.
+    pub fn mulhu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Mulhu, rd, rs1, rs2, word: false });
+    }
+    /// `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Div, rd, rs1, rs2, word: false });
+    }
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2, word: false });
+    }
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2, word: false });
+    }
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.inst(Inst::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2, word: false });
+    }
+
+    // ----- upper immediates -----
+
+    /// `lui rd, imm` (`imm` must be 4 KiB aligned).
+    pub fn lui(&mut self, rd: u8, imm: i64) {
+        self.inst(Inst::Lui { rd, imm });
+    }
+    /// `auipc rd, imm` (`imm` must be 4 KiB aligned).
+    pub fn auipc(&mut self, rd: u8, imm: i64) {
+        self.inst(Inst::Auipc { rd, imm });
+    }
+
+    // ----- atomics -----
+
+    /// `lr.w rd, (base)`.
+    pub fn lr_w(&mut self, rd: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Lr, width: MemWidth::W, rd, rs1: base, rs2: 0 });
+    }
+    /// `lr.d rd, (base)`.
+    pub fn lr_d(&mut self, rd: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Lr, width: MemWidth::D, rd, rs1: base, rs2: 0 });
+    }
+    /// `sc.w rd, rs2, (base)`.
+    pub fn sc_w(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Sc, width: MemWidth::W, rd, rs1: base, rs2 });
+    }
+    /// `sc.d rd, rs2, (base)`.
+    pub fn sc_d(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Sc, width: MemWidth::D, rd, rs1: base, rs2 });
+    }
+    /// `amoswap.d rd, rs2, (base)`.
+    pub fn amoswap_d(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Swap, width: MemWidth::D, rd, rs1: base, rs2 });
+    }
+    /// `amoadd.w rd, rs2, (base)`.
+    pub fn amoadd_w(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Add, width: MemWidth::W, rd, rs1: base, rs2 });
+    }
+    /// `amoadd.d rd, rs2, (base)`.
+    pub fn amoadd_d(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Add, width: MemWidth::D, rd, rs1: base, rs2 });
+    }
+    /// `amoor.d rd, rs2, (base)`.
+    pub fn amoor_d(&mut self, rd: u8, rs2: u8, base: u8) {
+        self.inst(Inst::Amo { op: AmoOp::Or, width: MemWidth::D, rd, rs1: base, rs2 });
+    }
+
+    // ----- CSRs -----
+
+    /// `csrrw rd, csr, rs1`.
+    pub fn csrrw(&mut self, rd: u8, csr: u16, rs1: u8) {
+        self.inst(Inst::Csr { op: CsrOp::Rw, rd, csr, src: CsrSrc::Reg(rs1) });
+    }
+    /// `csrrs rd, csr, rs1`.
+    pub fn csrrs(&mut self, rd: u8, csr: u16, rs1: u8) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr, src: CsrSrc::Reg(rs1) });
+    }
+    /// `csrr rd, csr` (read).
+    pub fn csrr(&mut self, rd: u8, csr: u16) {
+        self.csrrs(rd, csr, 0);
+    }
+    /// `csrw csr, rs` (write, discarding old value).
+    pub fn csrw(&mut self, csr: u16, rs: u8) {
+        self.csrrw(0, csr, rs);
+    }
+    /// `csrs csr, rs` (set bits).
+    pub fn csrs(&mut self, csr: u16, rs: u8) {
+        self.csrrs(0, csr, rs);
+    }
+    /// `csrc csr, rs` (clear bits).
+    pub fn csrc(&mut self, csr: u16, rs: u8) {
+        self.inst(Inst::Csr { op: CsrOp::Rc, rd: 0, csr, src: CsrSrc::Reg(rs) });
+    }
+    /// `csrsi csr, imm` (set bits, 5-bit immediate).
+    pub fn csrsi(&mut self, csr: u16, imm: u8) {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd: 0, csr, src: CsrSrc::Imm(imm) });
+    }
+    /// `csrci csr, imm` (clear bits, 5-bit immediate).
+    pub fn csrci(&mut self, csr: u16, imm: u8) {
+        self.inst(Inst::Csr { op: CsrOp::Rc, rd: 0, csr, src: CsrSrc::Imm(imm) });
+    }
+
+    // ----- system -----
+
+    /// `ecall`.
+    pub fn ecall(&mut self) {
+        self.inst(Inst::Ecall);
+    }
+    /// `ebreak`.
+    pub fn ebreak(&mut self) {
+        self.inst(Inst::Ebreak);
+    }
+    /// `mret`.
+    pub fn mret(&mut self) {
+        self.inst(Inst::Mret);
+    }
+    /// `wfi`.
+    pub fn wfi(&mut self) {
+        self.inst(Inst::Wfi);
+    }
+    /// `fence`.
+    pub fn fence(&mut self) {
+        self.inst(Inst::Fence);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Cpu, StepOutcome};
+    use crate::mem::Memory;
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn eval_li(imm: i64) -> u64 {
+        let mut a = Assembler::new(BASE);
+        a.li(10, imm);
+        a.wfi();
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 4096);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        for _ in 0..64 {
+            if let StepOutcome::Wfi = cpu.step(&mut mem).unwrap() {
+                return cpu.read_reg(10);
+            }
+        }
+        panic!("li sequence too long for {imm:#x}");
+    }
+
+    #[test]
+    fn li_covers_edge_constants() {
+        for imm in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            -2049,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x8000_0000,
+            0x7fff_f800,
+            0x1234_5678,
+            -0x1234_5678,
+            0x1234_5678_9abc_def0u64 as i64,
+            i64::MAX,
+            i64::MIN,
+            u64::MAX as i64,
+            0x8000_0000_0000_0000u64 as i64,
+            0x0000_7fff_ffff_f000,
+        ] {
+            assert_eq!(eval_li(imm), imm as u64, "li {imm:#x}");
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Assembler::new(BASE);
+        a.j("fwd"); // forward reference
+        a.label("back");
+        a.li(1, 1);
+        a.wfi();
+        a.label("fwd");
+        a.j("back"); // backward reference
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 4096);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        for _ in 0..16 {
+            if let StepOutcome::Wfi = cpu.step(&mut mem).unwrap() {
+                assert_eq!(cpu.read_reg(1), 1);
+                return;
+            }
+        }
+        panic!("did not converge");
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut a = Assembler::new(BASE);
+        a.j("nowhere");
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::UnknownLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Assembler::new(BASE);
+        a.label("x");
+        a.nop();
+        a.label("x");
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_out_of_range_errors() {
+        let mut a = Assembler::new(BASE);
+        a.beq(0, 0, "far");
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.label("far");
+        assert!(matches!(
+            a.assemble(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn la_resolves_pc_relative() {
+        let mut a = Assembler::new(BASE);
+        a.la(5, "data");
+        a.ld(6, 5, 0);
+        a.wfi();
+        a.label("data");
+        a.dword(0xdead_beef_cafe_f00d);
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 4096);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        for _ in 0..16 {
+            if let StepOutcome::Wfi = cpu.step(&mut mem).unwrap() {
+                assert_eq!(cpu.read_reg(6), 0xdead_beef_cafe_f00d);
+                return;
+            }
+        }
+        panic!("did not reach wfi");
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Assembler::new(BASE);
+        assert_eq!(a.here(), BASE);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), BASE + 8);
+    }
+}

@@ -1,0 +1,324 @@
+//! Machine-mode control and status registers.
+//!
+//! Only the M-mode subset needed by bare-metal software is implemented:
+//! trap setup/handling (`mstatus`, `mtvec`, `mepc`, `mcause`, `mtval`,
+//! `mie`, `mip`, `mscratch`), identification (`mhartid`), and counters
+//! (`mcycle`, `minstret`, and their read-only `cycle`/`instret` shadows).
+//! Rocket Chip cores expose the same set to machine-mode firmware.
+
+use core::fmt;
+
+/// CSR addresses used by the implementation.
+#[allow(missing_docs)]
+pub mod addr {
+    pub const MSTATUS: u16 = 0x300;
+    pub const MISA: u16 = 0x301;
+    pub const MIE: u16 = 0x304;
+    pub const MTVEC: u16 = 0x305;
+    pub const MSCRATCH: u16 = 0x340;
+    pub const MEPC: u16 = 0x341;
+    pub const MCAUSE: u16 = 0x342;
+    pub const MTVAL: u16 = 0x343;
+    pub const MIP: u16 = 0x344;
+    pub const MCYCLE: u16 = 0xb00;
+    pub const MINSTRET: u16 = 0xb02;
+    pub const CYCLE: u16 = 0xc00;
+    pub const TIME: u16 = 0xc01;
+    pub const INSTRET: u16 = 0xc02;
+    pub const MVENDORID: u16 = 0xf11;
+    pub const MARCHID: u16 = 0xf12;
+    pub const MIMPID: u16 = 0xf13;
+    pub const MHARTID: u16 = 0xf14;
+}
+
+/// `mstatus` bit positions (M-mode subset).
+#[allow(missing_docs)]
+pub mod mstatus {
+    pub const MIE: u64 = 1 << 3;
+    pub const MPIE: u64 = 1 << 7;
+    /// MPP field; always "11" (M-mode) in this single-mode implementation.
+    pub const MPP_M: u64 = 0b11 << 11;
+}
+
+/// Machine interrupt lines, by `mip`/`mie` bit index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// Machine software interrupt (bit 3) — inter-processor interrupts.
+    Software,
+    /// Machine timer interrupt (bit 7) — CLINT `mtimecmp`.
+    Timer,
+    /// Machine external interrupt (bit 11) — devices (NIC, block device).
+    External,
+}
+
+impl Interrupt {
+    /// Bit index in `mip`/`mie`.
+    pub fn bit(self) -> u64 {
+        match self {
+            Interrupt::Software => 3,
+            Interrupt::Timer => 7,
+            Interrupt::External => 11,
+        }
+    }
+
+    /// `mcause` value for this interrupt (with the interrupt bit set).
+    pub fn cause(self) -> u64 {
+        (1 << 63) | self.bit()
+    }
+}
+
+/// The CSR file of one hart.
+#[derive(Debug, Clone)]
+pub struct CsrFile {
+    hartid: u64,
+    /// Externally visible machine state.
+    pub mstatus: u64,
+    /// Trap vector base (direct mode; bit 0-1 mode field is ignored).
+    pub mtvec: u64,
+    /// Machine exception PC.
+    pub mepc: u64,
+    /// Machine trap cause.
+    pub mcause: u64,
+    /// Machine trap value (bad address / bad instruction).
+    pub mtval: u64,
+    /// Interrupt enable bits.
+    pub mie: u64,
+    /// Interrupt pending bits (device lines OR software-settable bits).
+    pub mip: u64,
+    /// Scratch register for trap handlers.
+    pub mscratch: u64,
+    /// Cycle counter, incremented by the timing model.
+    pub mcycle: u64,
+    /// Retired-instruction counter.
+    pub minstret: u64,
+    /// Wall-clock `time` CSR value, driven by the platform's CLINT.
+    pub time: u64,
+}
+
+/// Error for accesses to unimplemented or read-only CSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrError {
+    /// The offending CSR address.
+    pub csr: u16,
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal CSR access to {:#x}", self.csr)
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+impl CsrFile {
+    /// Creates the reset-state CSR file for hart `hartid`.
+    pub fn new(hartid: u64) -> Self {
+        CsrFile {
+            hartid,
+            mstatus: mstatus::MPP_M,
+            mtvec: 0,
+            mepc: 0,
+            mcause: 0,
+            mtval: 0,
+            mie: 0,
+            mip: 0,
+            mscratch: 0,
+            mcycle: 0,
+            minstret: 0,
+            time: 0,
+        }
+    }
+
+    /// This hart's id.
+    pub fn hartid(&self) -> u64 {
+        self.hartid
+    }
+
+    /// Reads a CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError`] for unimplemented addresses (the executor turns
+    /// this into an illegal-instruction trap).
+    pub fn read(&self, csr: u16) -> Result<u64, CsrError> {
+        use addr::*;
+        Ok(match csr {
+            MSTATUS => self.mstatus,
+            // RV64 IMA, M-mode only.
+            MISA => (2u64 << 62) | (1 << 0) | (1 << 8) | (1 << 12),
+            MIE => self.mie,
+            MTVEC => self.mtvec,
+            MSCRATCH => self.mscratch,
+            MEPC => self.mepc,
+            MCAUSE => self.mcause,
+            MTVAL => self.mtval,
+            MIP => self.mip,
+            MCYCLE | CYCLE => self.mcycle,
+            MINSTRET | INSTRET => self.minstret,
+            TIME => self.time,
+            MVENDORID | MARCHID | MIMPID => 0,
+            MHARTID => self.hartid,
+            _ => return Err(CsrError { csr }),
+        })
+    }
+
+    /// Writes a CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsrError`] for unimplemented or read-only addresses.
+    pub fn write(&mut self, csr: u16, value: u64) -> Result<(), CsrError> {
+        use addr::*;
+        match csr {
+            MSTATUS => {
+                // Only MIE/MPIE are writable; MPP stays M.
+                let mask = mstatus::MIE | mstatus::MPIE;
+                self.mstatus = (self.mstatus & !mask) | (value & mask) | mstatus::MPP_M;
+            }
+            MISA => {} // WARL: writes ignored
+            MIE => self.mie = value & 0x888, // MSIE/MTIE/MEIE only
+            MTVEC => self.mtvec = value & !0b11, // direct mode only
+            MSCRATCH => self.mscratch = value,
+            MEPC => self.mepc = value & !0b1,
+            MCAUSE => self.mcause = value,
+            MTVAL => self.mtval = value,
+            MIP => {
+                // Only the software bit is writable from software; timer and
+                // external pending bits are wired to devices.
+                let mask = 1 << Interrupt::Software.bit();
+                self.mip = (self.mip & !mask) | (value & mask);
+            }
+            MCYCLE => self.mcycle = value,
+            MINSTRET => self.minstret = value,
+            CYCLE | TIME | INSTRET | MVENDORID | MARCHID | MIMPID | MHARTID => {
+                return Err(CsrError { csr })
+            }
+            _ => return Err(CsrError { csr }),
+        }
+        Ok(())
+    }
+
+    /// Sets or clears a device-driven interrupt pending line.
+    pub fn set_interrupt(&mut self, line: Interrupt, pending: bool) {
+        let bit = 1 << line.bit();
+        if pending {
+            self.mip |= bit;
+        } else {
+            self.mip &= !bit;
+        }
+    }
+
+    /// Returns the highest-priority enabled pending interrupt, if
+    /// interrupts are globally enabled (`mstatus.MIE`).
+    ///
+    /// Priority order follows the spec: external > software > timer.
+    pub fn pending_interrupt(&self) -> Option<Interrupt> {
+        if self.mstatus & mstatus::MIE == 0 {
+            return None;
+        }
+        let active = self.mip & self.mie;
+        [Interrupt::External, Interrupt::Software, Interrupt::Timer].into_iter().find(|&line| active & (1 << line.bit()) != 0)
+    }
+
+    /// True when any enabled interrupt is pending regardless of the global
+    /// enable — the WFI wake-up condition.
+    pub fn wfi_wakeup(&self) -> bool {
+        self.mip & self.mie != 0
+    }
+
+    /// Performs trap entry bookkeeping: saves `pc`, sets cause/tval, and
+    /// disables interrupts. Returns the handler address.
+    pub fn trap_enter(&mut self, pc: u64, cause: u64, tval: u64) -> u64 {
+        self.mepc = pc;
+        self.mcause = cause;
+        self.mtval = tval;
+        let mie = (self.mstatus >> 3) & 1;
+        self.mstatus &= !(mstatus::MIE | mstatus::MPIE);
+        self.mstatus |= mie << 7; // MPIE <- MIE
+        self.mtvec
+    }
+
+    /// Performs `mret`: restores the interrupt enable and returns the
+    /// resume address.
+    pub fn trap_return(&mut self) -> u64 {
+        let mpie = (self.mstatus >> 7) & 1;
+        self.mstatus &= !mstatus::MIE;
+        self.mstatus |= mpie << 3; // MIE <- MPIE
+        self.mstatus |= mstatus::MPIE;
+        self.mepc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_basics() {
+        let mut c = CsrFile::new(3);
+        assert_eq!(c.read(addr::MHARTID).unwrap(), 3);
+        c.write(addr::MSCRATCH, 0xdead).unwrap();
+        assert_eq!(c.read(addr::MSCRATCH).unwrap(), 0xdead);
+        c.write(addr::MTVEC, 0x8000_0101).unwrap();
+        assert_eq!(c.read(addr::MTVEC).unwrap(), 0x8000_0100); // aligned
+        assert!(c.write(addr::MHARTID, 1).is_err());
+        assert!(c.read(0x7c0).is_err());
+    }
+
+    #[test]
+    fn interrupt_priority_and_enables() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MIE, 0x888).unwrap();
+        c.set_interrupt(Interrupt::Timer, true);
+        c.set_interrupt(Interrupt::External, true);
+        // Globally disabled: no interrupt taken.
+        assert_eq!(c.pending_interrupt(), None);
+        assert!(c.wfi_wakeup());
+        // Enable: external wins over timer.
+        c.write(addr::MSTATUS, mstatus::MIE).unwrap();
+        assert_eq!(c.pending_interrupt(), Some(Interrupt::External));
+        c.set_interrupt(Interrupt::External, false);
+        assert_eq!(c.pending_interrupt(), Some(Interrupt::Timer));
+    }
+
+    #[test]
+    fn mip_software_only_writable() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MIP, u64::MAX).unwrap();
+        assert_eq!(c.read(addr::MIP).unwrap(), 1 << 3);
+    }
+
+    #[test]
+    fn trap_enter_and_return() {
+        let mut c = CsrFile::new(0);
+        c.write(addr::MTVEC, 0x8000_1000).unwrap();
+        c.write(addr::MSTATUS, mstatus::MIE).unwrap();
+        let handler = c.trap_enter(0x8000_0042, 11, 0);
+        assert_eq!(handler, 0x8000_1000);
+        assert_eq!(c.mepc, 0x8000_0042);
+        assert_eq!(c.mcause, 11);
+        // Interrupts now disabled, MPIE holds the old MIE.
+        assert_eq!(c.mstatus & mstatus::MIE, 0);
+        assert_ne!(c.mstatus & mstatus::MPIE, 0);
+        let resume = c.trap_return();
+        assert_eq!(resume, 0x8000_0042);
+        assert_ne!(c.mstatus & mstatus::MIE, 0);
+    }
+
+    #[test]
+    fn interrupt_cause_values() {
+        assert_eq!(Interrupt::Timer.cause(), (1 << 63) | 7);
+        assert_eq!(Interrupt::External.cause(), (1 << 63) | 11);
+        assert_eq!(Interrupt::Software.cause(), (1 << 63) | 3);
+    }
+
+    #[test]
+    fn misa_reports_rv64ima() {
+        let c = CsrFile::new(0);
+        let misa = c.read(addr::MISA).unwrap();
+        assert_eq!(misa >> 62, 2); // XLEN 64
+        assert_ne!(misa & (1 << 0), 0); // A
+        assert_ne!(misa & (1 << 8), 0); // I
+        assert_ne!(misa & (1 << 12), 0); // M
+    }
+}

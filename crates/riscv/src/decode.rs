@@ -1,0 +1,478 @@
+//! Machine-code decoder for RV64IMA + Zicsr.
+
+use core::fmt;
+
+use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth, MulDivOp};
+
+/// Error returned for encodings this implementation does not recognise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The unrecognised instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal or unsupported instruction {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+#[inline]
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+#[inline]
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+#[inline]
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+
+#[inline]
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64; // sign-extended [31:25]
+    let lo = ((w >> 7) & 0x1f) as i64;
+    (hi << 5) | lo
+}
+
+#[inline]
+fn imm_b(w: u32) -> i64 {
+    let sign = ((w as i32) >> 31) as i64; // bit 31 -> imm[12]
+    let b11 = ((w >> 7) & 1) as i64;
+    let hi = ((w >> 25) & 0x3f) as i64; // imm[10:5]
+    let lo = ((w >> 8) & 0xf) as i64; // imm[4:1]
+    (sign << 12) | (b11 << 11) | (hi << 5) | (lo << 1)
+}
+
+#[inline]
+fn imm_u(w: u32) -> i64 {
+    ((w & 0xffff_f000) as i32) as i64
+}
+
+#[inline]
+fn imm_j(w: u32) -> i64 {
+    let sign = ((w as i32) >> 31) as i64; // imm[20]
+    let b19_12 = ((w >> 12) & 0xff) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3ff) as i64;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for encodings outside RV64IMA + Zicsr +
+/// `mret`/`wfi` (which the executor converts into an illegal-instruction
+/// trap).
+///
+/// # Examples
+///
+/// ```
+/// use firesim_riscv::{decode, Inst};
+///
+/// // addi x1, x0, 5
+/// match decode(0x0050_0093).unwrap() {
+///     Inst::OpImm { rd: 1, rs1: 0, imm: 5, .. } => {}
+///     other => panic!("{other}"),
+/// }
+/// ```
+pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+    let opcode = w & 0x7f;
+    let err = || DecodeError { word: w };
+    let inst = match opcode {
+        0x37 => Inst::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0x17 => Inst::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0x6f => Inst::Jal {
+            rd: rd(w),
+            imm: imm_j(w),
+        },
+        0x67 => {
+            if funct3(w) != 0 {
+                return Err(err());
+            }
+            Inst::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }
+        }
+        0x63 => {
+            let cond = match funct3(w) {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::Ltu,
+                7 => BranchCond::Geu,
+                _ => return Err(err()),
+            };
+            Inst::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                imm: imm_b(w),
+            }
+        }
+        0x03 => {
+            let (width, signed) = match funct3(w) {
+                0 => (MemWidth::B, true),
+                1 => (MemWidth::H, true),
+                2 => (MemWidth::W, true),
+                3 => (MemWidth::D, true),
+                4 => (MemWidth::B, false),
+                5 => (MemWidth::H, false),
+                6 => (MemWidth::W, false),
+                _ => return Err(err()),
+            };
+            Inst::Load {
+                width,
+                signed,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }
+        }
+        0x23 => {
+            let width = match funct3(w) {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                _ => return Err(err()),
+            };
+            Inst::Store {
+                width,
+                rs2: rs2(w),
+                rs1: rs1(w),
+                imm: imm_s(w),
+            }
+        }
+        0x13 => {
+            let (op, imm) = match funct3(w) {
+                0 => (AluOp::Add, imm_i(w)),
+                2 => (AluOp::Slt, imm_i(w)),
+                3 => (AluOp::Sltu, imm_i(w)),
+                4 => (AluOp::Xor, imm_i(w)),
+                6 => (AluOp::Or, imm_i(w)),
+                7 => (AluOp::And, imm_i(w)),
+                1 => {
+                    if funct7(w) & !1 != 0 {
+                        return Err(err());
+                    }
+                    (AluOp::Sll, ((w >> 20) & 0x3f) as i64)
+                }
+                5 => {
+                    let shamt = ((w >> 20) & 0x3f) as i64;
+                    match funct7(w) & !1 {
+                        0x00 => (AluOp::Srl, shamt),
+                        0x20 => (AluOp::Sra, shamt),
+                        _ => return Err(err()),
+                    }
+                }
+                _ => unreachable!(),
+            };
+            Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+                word: false,
+            }
+        }
+        0x1b => {
+            let (op, imm) = match funct3(w) {
+                0 => (AluOp::Add, imm_i(w)),
+                1 => {
+                    if funct7(w) != 0 {
+                        return Err(err());
+                    }
+                    (AluOp::Sll, ((w >> 20) & 0x1f) as i64)
+                }
+                5 => {
+                    let shamt = ((w >> 20) & 0x1f) as i64;
+                    match funct7(w) {
+                        0x00 => (AluOp::Srl, shamt),
+                        0x20 => (AluOp::Sra, shamt),
+                        _ => return Err(err()),
+                    }
+                }
+                _ => return Err(err()),
+            };
+            Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+                word: true,
+            }
+        }
+        0x33 | 0x3b => {
+            let word = opcode == 0x3b;
+            if funct7(w) == 0x01 {
+                let op = match funct3(w) {
+                    0 => MulDivOp::Mul,
+                    1 => MulDivOp::Mulh,
+                    2 => MulDivOp::Mulhsu,
+                    3 => MulDivOp::Mulhu,
+                    4 => MulDivOp::Div,
+                    5 => MulDivOp::Divu,
+                    6 => MulDivOp::Rem,
+                    7 => MulDivOp::Remu,
+                    _ => unreachable!(),
+                };
+                if word
+                    && !matches!(
+                        op,
+                        MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+                    )
+                {
+                    return Err(err());
+                }
+                Inst::MulDiv {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    word,
+                }
+            } else {
+                let op = match (funct3(w), funct7(w)) {
+                    (0, 0x00) => AluOp::Add,
+                    (0, 0x20) => AluOp::Sub,
+                    (1, 0x00) => AluOp::Sll,
+                    (2, 0x00) if !word => AluOp::Slt,
+                    (3, 0x00) if !word => AluOp::Sltu,
+                    (4, 0x00) if !word => AluOp::Xor,
+                    (5, 0x00) => AluOp::Srl,
+                    (5, 0x20) => AluOp::Sra,
+                    (6, 0x00) if !word => AluOp::Or,
+                    (7, 0x00) if !word => AluOp::And,
+                    _ => return Err(err()),
+                };
+                Inst::Op {
+                    op,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    word,
+                }
+            }
+        }
+        0x2f => {
+            let width = match funct3(w) {
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                _ => return Err(err()),
+            };
+            let op = match funct7(w) >> 2 {
+                0x02 => AmoOp::Lr,
+                0x03 => AmoOp::Sc,
+                0x01 => AmoOp::Swap,
+                0x00 => AmoOp::Add,
+                0x04 => AmoOp::Xor,
+                0x0c => AmoOp::And,
+                0x08 => AmoOp::Or,
+                0x10 => AmoOp::Min,
+                0x14 => AmoOp::Max,
+                0x18 => AmoOp::Minu,
+                0x1c => AmoOp::Maxu,
+                _ => return Err(err()),
+            };
+            if op == AmoOp::Lr && rs2(w) != 0 {
+                return Err(err());
+            }
+            Inst::Amo {
+                op,
+                width,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
+        }
+        0x0f => match funct3(w) {
+            0 => Inst::Fence,
+            1 => Inst::FenceI,
+            _ => return Err(err()),
+        },
+        0x73 => match funct3(w) {
+            0 => match w >> 20 {
+                0x000 if rs1(w) == 0 && rd(w) == 0 => Inst::Ecall,
+                0x001 if rs1(w) == 0 && rd(w) == 0 => Inst::Ebreak,
+                0x302 if rs1(w) == 0 && rd(w) == 0 => Inst::Mret,
+                0x105 if rs1(w) == 0 && rd(w) == 0 => Inst::Wfi,
+                _ => return Err(err()),
+            },
+            f3 @ (1..=3 | 5..=7) => {
+                let op = match f3 & 0x3 {
+                    1 => CsrOp::Rw,
+                    2 => CsrOp::Rs,
+                    3 => CsrOp::Rc,
+                    _ => return Err(err()),
+                };
+                let src = if f3 >= 5 {
+                    CsrSrc::Imm(rs1(w))
+                } else {
+                    CsrSrc::Reg(rs1(w))
+                };
+                Inst::Csr {
+                    op,
+                    rd: rd(w),
+                    csr: (w >> 20) as u16,
+                    src,
+                }
+            }
+            _ => return Err(err()),
+        },
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_encodings() {
+        // addi x1, x0, 5
+        assert_eq!(
+            decode(0x0050_0093).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5,
+                word: false
+            }
+        );
+        // add x1, x2, x3
+        assert_eq!(
+            decode(0x0031_00b3).unwrap(),
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+                word: false
+            }
+        );
+        // lui x5, 0x12345
+        assert_eq!(
+            decode(0x1234_52b7).unwrap(),
+            Inst::Lui {
+                rd: 5,
+                imm: 0x1234_5000
+            }
+        );
+        // jal x1, 0
+        assert_eq!(decode(0x0000_00ef).unwrap(), Inst::Jal { rd: 1, imm: 0 });
+        // ecall / ebreak / mret / wfi
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+        assert_eq!(decode(0x3020_0073).unwrap(), Inst::Mret);
+        assert_eq!(decode(0x1050_0073).unwrap(), Inst::Wfi);
+        // ld x7, 16(x2) : imm 16, rs1 2, f3 3, rd 7, op 0x03
+        assert_eq!(
+            decode(0x0101_3383).unwrap(),
+            Inst::Load {
+                width: MemWidth::D,
+                signed: true,
+                rd: 7,
+                rs1: 2,
+                imm: 16
+            }
+        );
+        // sd x7, -8(x2): S-imm -8 -> hi=0x7f sign bits... check round trip
+        // via encoder tests instead; here check a known word: 0xfe713c23
+        assert_eq!(
+            decode(0xfe71_3c23).unwrap(),
+            Inst::Store {
+                width: MemWidth::D,
+                rs2: 7,
+                rs1: 2,
+                imm: -8
+            }
+        );
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi x1, x1, -1 = 0xfff08093
+        assert_eq!(
+            decode(0xfff0_8093).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 1,
+                imm: -1,
+                word: false
+            }
+        );
+    }
+
+    #[test]
+    fn branch_negative_offset() {
+        // bne x1, x2, -4 = 0xfe209ee3
+        assert_eq!(
+            decode(0xfe20_9ee3).unwrap(),
+            Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: 1,
+                rs2: 2,
+                imm: -4
+            }
+        );
+    }
+
+    #[test]
+    fn illegal_instructions_rejected() {
+        for w in [0u32, 0xffff_ffff, 0x7f] {
+            // 0 and all-ones are canonical illegal encodings.
+            if let Ok(i) = decode(w) {
+                panic!("decoded {w:#x} as {i:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn amo_lr_requires_rs2_zero() {
+        // lr.d x1, (x2): funct5 0x02 -> funct7 0x08, f3 3.
+        let lr = 0x2f | (1 << 7) | (3 << 12) | (2 << 15) | (0x08 << 25);
+        assert!(matches!(decode(lr).unwrap(), Inst::Amo { op: AmoOp::Lr, .. }));
+        let bad = lr | (1 << 20); // rs2 = 1
+        assert!(decode(bad).is_err());
+    }
+
+    #[test]
+    fn word_shifts_have_5bit_shamt() {
+        // slliw x1, x1, 31 ok; shamt bit 5 set -> illegal
+        let slliw = 0x1b | (1 << 7) | (1 << 12) | (1 << 15) | (31 << 20);
+        assert!(decode(slliw).is_ok());
+        let bad = 0x1b | (1 << 7) | (1 << 12) | (1 << 15) | (32 << 20);
+        assert!(decode(bad).is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Machine-code encoder: the inverse of [`crate::decode::decode`].
+//!
+//! Every function returns a raw 32-bit instruction word. The higher-level
+//! [`crate::asm::Assembler`] builds on these to provide labels and
+//! pseudo-instructions for writing the bare-metal benchmark programs.
+
+use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth, MulDivOp};
+
+#[inline]
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+#[inline]
+fn i_type(imm: i64, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I imm out of range: {imm}");
+    (((imm as u32) & 0xfff) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+#[inline]
+fn s_type(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S imm out of range: {imm}");
+    let imm = (imm as u32) & 0xfff;
+    ((imm >> 5) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+#[inline]
+fn b_type(imm: i64, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    debug_assert!(
+        (-4096..=4094).contains(&imm) && imm % 2 == 0,
+        "B imm out of range: {imm}"
+    );
+    let imm = (imm as u32) & 0x1fff;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+#[inline]
+fn u_type(imm: i64, rd: u8, opcode: u32) -> u32 {
+    debug_assert!(imm % 4096 == 0, "U imm must be 4 KiB aligned: {imm:#x}");
+    ((imm as u32) & 0xffff_f000) | (u32::from(rd) << 7) | opcode
+}
+
+#[inline]
+fn j_type(imm: i64, rd: u8, opcode: u32) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+        "J imm out of range: {imm}"
+    );
+    let imm = (imm as u32) & 0x1f_ffff;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn alu_funct3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Sub => 0,
+        AluOp::Sll => 1,
+        AluOp::Slt => 2,
+        AluOp::Sltu => 3,
+        AluOp::Xor => 4,
+        AluOp::Srl | AluOp::Sra => 5,
+        AluOp::Or => 6,
+        AluOp::And => 7,
+    }
+}
+
+fn muldiv_funct3(op: MulDivOp) -> u32 {
+    match op {
+        MulDivOp::Mul => 0,
+        MulDivOp::Mulh => 1,
+        MulDivOp::Mulhsu => 2,
+        MulDivOp::Mulhu => 3,
+        MulDivOp::Div => 4,
+        MulDivOp::Divu => 5,
+        MulDivOp::Rem => 6,
+        MulDivOp::Remu => 7,
+    }
+}
+
+fn branch_funct3(cond: BranchCond) -> u32 {
+    match cond {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 4,
+        BranchCond::Ge => 5,
+        BranchCond::Ltu => 6,
+        BranchCond::Geu => 7,
+    }
+}
+
+fn amo_funct5(op: AmoOp) -> u32 {
+    match op {
+        AmoOp::Lr => 0x02,
+        AmoOp::Sc => 0x03,
+        AmoOp::Swap => 0x01,
+        AmoOp::Add => 0x00,
+        AmoOp::Xor => 0x04,
+        AmoOp::And => 0x0c,
+        AmoOp::Or => 0x08,
+        AmoOp::Min => 0x10,
+        AmoOp::Max => 0x14,
+        AmoOp::Minu => 0x18,
+        AmoOp::Maxu => 0x1c,
+    }
+}
+
+/// Encodes a decoded instruction back to its 32-bit word.
+///
+/// Round-trips with [`crate::decode::decode`]: `decode(encode(&i)) == Ok(i)` for
+/// every valid instruction (property-tested).
+///
+/// # Panics
+///
+/// Debug-asserts that immediates are in range for their format.
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(imm, rd, 0x37),
+        Inst::Auipc { rd, imm } => u_type(imm, rd, 0x17),
+        Inst::Jal { rd, imm } => j_type(imm, rd, 0x6f),
+        Inst::Jalr { rd, rs1, imm } => i_type(imm, rs1, 0, rd, 0x67),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm,
+        } => b_type(imm, rs2, rs1, branch_funct3(cond), 0x63),
+        Inst::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            imm,
+        } => {
+            let funct3 = match (width, signed) {
+                (MemWidth::B, true) => 0,
+                (MemWidth::H, true) => 1,
+                (MemWidth::W, true) => 2,
+                (MemWidth::D, true) => 3,
+                (MemWidth::B, false) => 4,
+                (MemWidth::H, false) => 5,
+                (MemWidth::W, false) => 6,
+                (MemWidth::D, false) => panic!("ldu does not exist"),
+            };
+            i_type(imm, rs1, funct3, rd, 0x03)
+        }
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            imm,
+        } => {
+            let funct3 = match width {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+            };
+            s_type(imm, rs2, rs1, funct3, 0x23)
+        }
+        Inst::OpImm {
+            op,
+            rd,
+            rs1,
+            imm,
+            word,
+        } => {
+            let opcode = if word { 0x1b } else { 0x13 };
+            match op {
+                AluOp::Sll => {
+                    let max = if word { 31 } else { 63 };
+                    assert!((0..=max).contains(&imm), "shift amount out of range");
+                    i_type(imm, rs1, 1, rd, opcode)
+                }
+                AluOp::Srl | AluOp::Sra => {
+                    let max = if word { 31 } else { 63 };
+                    assert!((0..=max).contains(&imm), "shift amount out of range");
+                    let marker = if op == AluOp::Sra { 0x400 } else { 0 };
+                    i_type(imm | marker, rs1, 5, rd, opcode)
+                }
+                AluOp::Sub => panic!("subi does not exist"),
+                op => i_type(imm, rs1, alu_funct3(op), rd, opcode),
+            }
+        }
+        Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
+            let opcode = if word { 0x3b } else { 0x33 };
+            let funct7 = match op {
+                AluOp::Sub | AluOp::Sra => 0x20,
+                _ => 0x00,
+            };
+            r_type(funct7, rs2, rs1, alu_funct3(op), rd, opcode)
+        }
+        Inst::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2,
+            word,
+        } => {
+            let opcode = if word { 0x3b } else { 0x33 };
+            r_type(0x01, rs2, rs1, muldiv_funct3(op), rd, opcode)
+        }
+        Inst::Amo {
+            op,
+            width,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            let funct3 = match width {
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+                _ => panic!("AMO width must be W or D"),
+            };
+            r_type(amo_funct5(op) << 2, rs2, rs1, funct3, rd, 0x2f)
+        }
+        Inst::Csr { op, rd, csr, src } => {
+            let base = match op {
+                CsrOp::Rw => 1,
+                CsrOp::Rs => 2,
+                CsrOp::Rc => 3,
+            };
+            let (funct3, rs1) = match src {
+                CsrSrc::Reg(r) => (base, r),
+                CsrSrc::Imm(z) => (base + 4, z),
+            };
+            (u32::from(csr) << 20)
+                | (u32::from(rs1) << 15)
+                | (funct3 << 12)
+                | (u32::from(rd) << 7)
+                | 0x73
+        }
+        Inst::Fence => 0x0000_000f,
+        Inst::FenceI => 0x0000_100f,
+        Inst::Ecall => 0x0000_0073,
+        Inst::Ebreak => 0x0010_0073,
+        Inst::Mret => 0x3020_0073,
+        Inst::Wfi => 0x1050_0073,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    #[test]
+    fn golden_round_trip() {
+        let insts = [
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5,
+                word: false,
+            },
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+                word: false,
+            },
+        ];
+        assert_eq!(encode(&insts[0]), 0x0050_0093);
+        assert_eq!(encode(&insts[1]), 0x0031_00b3);
+        for i in insts {
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn store_negative_imm_round_trip() {
+        let i = Inst::Store {
+            width: MemWidth::D,
+            rs2: 7,
+            rs1: 2,
+            imm: -8,
+        };
+        assert_eq!(encode(&i), 0xfe71_3c23);
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn shift_encodings() {
+        let srai = Inst::OpImm {
+            op: AluOp::Sra,
+            rd: 3,
+            rs1: 3,
+            imm: 63,
+            word: false,
+        };
+        assert_eq!(decode(encode(&srai)).unwrap(), srai);
+        let slliw = Inst::OpImm {
+            op: AluOp::Sll,
+            rd: 3,
+            rs1: 3,
+            imm: 31,
+            word: true,
+        };
+        assert_eq!(decode(encode(&slliw)).unwrap(), slliw);
+    }
+
+    #[test]
+    fn system_encodings() {
+        for i in [Inst::Fence, Inst::FenceI, Inst::Ecall, Inst::Ebreak, Inst::Mret, Inst::Wfi] {
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn csr_imm_and_reg_forms() {
+        let reg = Inst::Csr {
+            op: CsrOp::Rs,
+            rd: 5,
+            csr: 0x304,
+            src: CsrSrc::Reg(6),
+        };
+        let imm = Inst::Csr {
+            op: CsrOp::Rw,
+            rd: 0,
+            csr: 0x305,
+            src: CsrSrc::Imm(31),
+        };
+        assert_eq!(decode(encode(&reg)).unwrap(), reg);
+        assert_eq!(decode(encode(&imm)).unwrap(), imm);
+    }
+
+    #[test]
+    fn amo_round_trip() {
+        for op in [
+            AmoOp::Lr,
+            AmoOp::Sc,
+            AmoOp::Swap,
+            AmoOp::Add,
+            AmoOp::Xor,
+            AmoOp::And,
+            AmoOp::Or,
+            AmoOp::Min,
+            AmoOp::Max,
+            AmoOp::Minu,
+            AmoOp::Maxu,
+        ] {
+            for width in [MemWidth::W, MemWidth::D] {
+                let rs2 = if op == AmoOp::Lr { 0 } else { 9 };
+                let i = Inst::Amo {
+                    op,
+                    width,
+                    rd: 4,
+                    rs1: 8,
+                    rs2,
+                };
+                assert_eq!(decode(encode(&i)).unwrap(), i, "{op:?} {width:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,918 @@
+//! The functional executor: architectural state and instruction semantics.
+//!
+//! [`Cpu`] executes one instruction per [`step`](Cpu::step) against a
+//! [`Bus`]. It is purely *functional* — cycle timing is layered on by
+//! `firesim-uarch`, which inspects the [`StepOutcome`] (instruction class,
+//! memory access, control flow) to charge cycles.
+
+use crate::csr::CsrFile;
+use crate::decode::decode;
+use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MulDivOp};
+use crate::mem::{Bus, MemFault};
+
+/// Exception causes (`mcause` values without the interrupt bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// Instruction address misaligned (cause 0).
+    InstMisaligned,
+    /// Instruction access fault (cause 1).
+    InstAccessFault,
+    /// Illegal instruction (cause 2).
+    IllegalInst,
+    /// Breakpoint (cause 3).
+    Breakpoint,
+    /// Load access fault (cause 5).
+    LoadAccessFault,
+    /// Store/AMO access fault (cause 7).
+    StoreAccessFault,
+    /// Environment call from M-mode (cause 11).
+    EcallM,
+}
+
+impl Trap {
+    /// The `mcause` exception code.
+    pub fn cause(self) -> u64 {
+        match self {
+            Trap::InstMisaligned => 0,
+            Trap::InstAccessFault => 1,
+            Trap::IllegalInst => 2,
+            Trap::Breakpoint => 3,
+            Trap::LoadAccessFault => 5,
+            Trap::StoreAccessFault => 7,
+            Trap::EcallM => 11,
+        }
+    }
+}
+
+/// A memory access performed by a retired instruction, for the timing
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Physical address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: usize,
+    /// True for stores and AMOs.
+    pub is_store: bool,
+    /// True for AMOs and LR/SC (read-modify-write traffic).
+    pub is_amo: bool,
+}
+
+/// What happened during one [`Cpu::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired normally.
+    Retired {
+        /// PC of the retired instruction.
+        pc: u64,
+        /// The instruction.
+        inst: Inst,
+        /// PC of the next instruction.
+        next_pc: u64,
+        /// True when a conditional branch was taken.
+        taken_branch: bool,
+        /// Memory access performed, if any.
+        mem: Option<MemAccess>,
+    },
+    /// A trap (exception or interrupt) redirected the PC to the handler.
+    Trapped {
+        /// The `mcause` value (interrupt bit included for interrupts).
+        cause: u64,
+        /// The handler address now in PC.
+        handler: u64,
+    },
+    /// The core is parked in WFI with no enabled interrupt pending; the PC
+    /// did not advance.
+    Wfi,
+}
+
+/// Architectural state of one RV64IMA hart.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u64; 32],
+    pc: u64,
+    /// Machine-mode CSRs (public for platform wiring: interrupt lines,
+    /// timer, counters).
+    pub csrs: CsrFile,
+    reservation: Option<u64>,
+}
+
+impl Cpu {
+    /// Creates a hart with the given id, starting at `reset_pc`.
+    pub fn new(hartid: u64, reset_pc: u64) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: reset_pc,
+            csrs: CsrFile::new(hartid),
+            reservation: None,
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Overrides the program counter (used by loaders and tests).
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Reads register `x{idx}` (x0 is always zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn read_reg(&self, idx: u8) -> u64 {
+        self.regs[usize::from(idx)]
+    }
+
+    /// Writes register `x{idx}` (writes to x0 are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn write_reg(&mut self, idx: u8, value: u64) {
+        if idx != 0 {
+            self.regs[usize::from(idx)] = value;
+        }
+    }
+
+    /// Invalidates this hart's LR/SC reservation if it covers `addr`
+    /// (called by the SoC when another hart stores to the line).
+    pub fn clobber_reservation(&mut self, addr: u64) {
+        if let Some(r) = self.reservation {
+            // Reservation granularity: one 64-byte line.
+            if r & !63 == addr & !63 {
+                self.reservation = None;
+            }
+        }
+    }
+
+    /// True when the hart currently holds an LR reservation.
+    pub fn has_reservation(&self) -> bool {
+        self.reservation.is_some()
+    }
+
+    fn trap(&mut self, trap: Trap, tval: u64) -> StepOutcome {
+        let cause = trap.cause();
+        let handler = self.csrs.trap_enter(self.pc, cause, tval);
+        self.pc = handler;
+        self.reservation = None;
+        StepOutcome::Trapped { cause, handler }
+    }
+
+    /// Executes one instruction (or takes one trap / parks in WFI).
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in the current implementation; the signature
+    /// reserves room for co-simulation backends that can fail at the host
+    /// level. All *architectural* failures become traps in the outcome.
+    pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<StepOutcome, MemFault> {
+        // 1. Interrupts, highest priority first.
+        if let Some(line) = self.csrs.pending_interrupt() {
+            let cause = line.cause();
+            let handler = self.csrs.trap_enter(self.pc, cause, 0);
+            self.pc = handler;
+            return Ok(StepOutcome::Trapped { cause, handler });
+        }
+
+        // 2. Fetch.
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Ok(self.trap(Trap::InstMisaligned, pc));
+        }
+        let word = match bus.fetch(pc) {
+            Ok(w) => w,
+            Err(_) => return Ok(self.trap(Trap::InstAccessFault, pc)),
+        };
+
+        // 3. Decode.
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(_) => return Ok(self.trap(Trap::IllegalInst, u64::from(word))),
+        };
+
+        // 4. Execute.
+        let mut next_pc = pc.wrapping_add(4);
+        let mut taken_branch = false;
+        let mut mem = None;
+        match inst {
+            Inst::Lui { rd, imm } => self.write_reg(rd, imm as u64),
+            Inst::Auipc { rd, imm } => self.write_reg(rd, pc.wrapping_add(imm as u64)),
+            Inst::Jal { rd, imm } => {
+                self.write_reg(rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u64);
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.read_reg(rs1).wrapping_add(imm as u64) & !1;
+                self.write_reg(rd, pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                imm,
+            } => {
+                let a = self.read_reg(rs1);
+                let b = self.read_reg(rs2);
+                let take = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i64) < (b as i64),
+                    BranchCond::Ge => (a as i64) >= (b as i64),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if take {
+                    next_pc = pc.wrapping_add(imm as u64);
+                    taken_branch = true;
+                }
+            }
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                imm,
+            } => {
+                let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                let size = width.bytes();
+                let raw = match bus.load(addr, size) {
+                    Ok(v) => v,
+                    Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                };
+                let value = if signed {
+                    sign_extend(raw, size)
+                } else {
+                    raw
+                };
+                self.write_reg(rd, value);
+                mem = Some(MemAccess {
+                    addr,
+                    size,
+                    is_store: false,
+                    is_amo: false,
+                });
+            }
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                imm,
+            } => {
+                let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                let size = width.bytes();
+                if let Err(f) = bus.store(addr, size, self.read_reg(rs2)) {
+                    return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                }
+                mem = Some(MemAccess {
+                    addr,
+                    size,
+                    is_store: true,
+                    is_amo: false,
+                });
+            }
+            Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
+                let v = alu(op, self.read_reg(rs1), imm as u64, word);
+                self.write_reg(rd, v);
+            }
+            Inst::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
+                let v = alu(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                self.write_reg(rd, v);
+            }
+            Inst::MulDiv {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
+                let v = muldiv(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                self.write_reg(rd, v);
+            }
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+            } => {
+                let addr = self.read_reg(rs1);
+                let size = width.bytes();
+                if !addr.is_multiple_of(size as u64) {
+                    return Ok(self.trap(Trap::StoreAccessFault, addr));
+                }
+                match op {
+                    AmoOp::Lr => {
+                        let raw = match bus.load(addr, size) {
+                            Ok(v) => v,
+                            Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                        };
+                        self.write_reg(rd, sign_extend(raw, size));
+                        self.reservation = Some(addr);
+                        mem = Some(MemAccess {
+                            addr,
+                            size,
+                            is_store: false,
+                            is_amo: true,
+                        });
+                    }
+                    AmoOp::Sc => {
+                        let ok = self.reservation == Some(addr);
+                        self.reservation = None;
+                        if ok {
+                            if let Err(f) = bus.store(addr, size, self.read_reg(rs2)) {
+                                return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                            }
+                            mem = Some(MemAccess {
+                                addr,
+                                size,
+                                is_store: true,
+                                is_amo: true,
+                            });
+                        }
+                        self.write_reg(rd, if ok { 0 } else { 1 });
+                    }
+                    _ => {
+                        let raw = match bus.load(addr, size) {
+                            Ok(v) => v,
+                            Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                        };
+                        let old = sign_extend(raw, size);
+                        let src = self.read_reg(rs2);
+                        let new = amo_compute(op, old, src, size);
+                        if let Err(f) = bus.store(addr, size, new) {
+                            return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                        }
+                        self.write_reg(rd, old);
+                        mem = Some(MemAccess {
+                            addr,
+                            size,
+                            is_store: true,
+                            is_amo: true,
+                        });
+                    }
+                }
+            }
+            Inst::Csr { op, rd, csr, src } => {
+                let src_val = match src {
+                    CsrSrc::Reg(r) => self.read_reg(r),
+                    CsrSrc::Imm(z) => u64::from(z),
+                };
+                let skip_write = match (op, src) {
+                    (CsrOp::Rw, _) => false,
+                    (_, CsrSrc::Reg(0)) | (_, CsrSrc::Imm(0)) => true,
+                    _ => false,
+                };
+                let old = match self.csrs.read(csr) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(self.trap(Trap::IllegalInst, u64::from(word))),
+                };
+                if !skip_write {
+                    let new = match op {
+                        CsrOp::Rw => src_val,
+                        CsrOp::Rs => old | src_val,
+                        CsrOp::Rc => old & !src_val,
+                    };
+                    if self.csrs.write(csr, new).is_err() {
+                        return Ok(self.trap(Trap::IllegalInst, u64::from(word)));
+                    }
+                }
+                self.write_reg(rd, old);
+            }
+            Inst::Fence | Inst::FenceI => {}
+            Inst::Ecall => return Ok(self.trap(Trap::EcallM, 0)),
+            Inst::Ebreak => return Ok(self.trap(Trap::Breakpoint, pc)),
+            Inst::Mret => {
+                next_pc = self.csrs.trap_return();
+            }
+            Inst::Wfi => {
+                if !self.csrs.wfi_wakeup() {
+                    return Ok(StepOutcome::Wfi);
+                }
+                // An enabled interrupt is pending: WFI completes. If
+                // globally enabled it will be taken on the next step.
+            }
+        }
+
+        self.pc = next_pc;
+        self.csrs.minstret = self.csrs.minstret.wrapping_add(1);
+        Ok(StepOutcome::Retired {
+            pc,
+            inst,
+            next_pc,
+            taken_branch,
+            mem,
+        })
+    }
+}
+
+#[inline]
+fn sign_extend(value: u64, size: usize) -> u64 {
+    match size {
+        1 => value as u8 as i8 as i64 as u64,
+        2 => value as u16 as i16 as i64 as u64,
+        4 => value as u32 as i32 as i64 as u64,
+        _ => value,
+    }
+}
+
+fn alu(op: AluOp, a: u64, b: u64, word: bool) -> u64 {
+    if word {
+        let a32 = a as u32;
+        let b32 = b as u32;
+        let v = match op {
+            AluOp::Add => a32.wrapping_add(b32),
+            AluOp::Sub => a32.wrapping_sub(b32),
+            AluOp::Sll => a32.wrapping_shl(b32 & 31),
+            AluOp::Srl => a32.wrapping_shr(b32 & 31),
+            AluOp::Sra => ((a32 as i32).wrapping_shr(b32 & 31)) as u32,
+            // Word forms exist only for add/sub/shifts.
+            _ => unreachable!("no word form for {op:?}"),
+        };
+        v as i32 as i64 as u64
+    } else {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b as u32 & 63),
+            AluOp::Slt => u64::from((a as i64) < (b as i64)),
+            AluOp::Sltu => u64::from(a < b),
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b as u32 & 63),
+            AluOp::Sra => ((a as i64).wrapping_shr(b as u32 & 63)) as u64,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+}
+
+fn muldiv(op: MulDivOp, a: u64, b: u64, word: bool) -> u64 {
+    if word {
+        let a32 = a as i32;
+        let b32 = b as i32;
+        let v: i32 = match op {
+            MulDivOp::Mul => a32.wrapping_mul(b32),
+            MulDivOp::Div => {
+                if b32 == 0 {
+                    -1
+                } else {
+                    a32.wrapping_div(b32)
+                }
+            }
+            MulDivOp::Divu => {
+                if b32 == 0 {
+                    -1
+                } else {
+                    ((a as u32) / (b as u32)) as i32
+                }
+            }
+            MulDivOp::Rem => {
+                if b32 == 0 {
+                    a32
+                } else {
+                    a32.wrapping_rem(b32)
+                }
+            }
+            MulDivOp::Remu => {
+                if b32 == 0 {
+                    a as u32 as i32
+                } else {
+                    ((a as u32) % (b as u32)) as i32
+                }
+            }
+            _ => unreachable!("no word form for {op:?}"),
+        };
+        v as i64 as u64
+    } else {
+        match op {
+            MulDivOp::Mul => a.wrapping_mul(b),
+            MulDivOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+            MulDivOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+            MulDivOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+            MulDivOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    ((a as i64).wrapping_div(b as i64)) as u64
+                }
+            }
+            MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+            MulDivOp::Rem => {
+                if b == 0 {
+                    a
+                } else {
+                    ((a as i64).wrapping_rem(b as i64)) as u64
+                }
+            }
+            MulDivOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+fn amo_compute(op: AmoOp, old: u64, src: u64, size: usize) -> u64 {
+    let v = match op {
+        AmoOp::Swap => src,
+        AmoOp::Add => old.wrapping_add(src),
+        AmoOp::Xor => old ^ src,
+        AmoOp::And => old & src,
+        AmoOp::Or => old | src,
+        AmoOp::Min => {
+            if size == 4 {
+                ((old as i32).min(src as i32)) as u64
+            } else {
+                ((old as i64).min(src as i64)) as u64
+            }
+        }
+        AmoOp::Max => {
+            if size == 4 {
+                ((old as i32).max(src as i32)) as u64
+            } else {
+                ((old as i64).max(src as i64)) as u64
+            }
+        }
+        AmoOp::Minu => {
+            if size == 4 {
+                u64::from((old as u32).min(src as u32))
+            } else {
+                old.min(src)
+            }
+        }
+        AmoOp::Maxu => {
+            if size == 4 {
+                u64::from((old as u32).max(src as u32))
+            } else {
+                old.max(src)
+            }
+        }
+        AmoOp::Lr | AmoOp::Sc => unreachable!("handled separately"),
+    };
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::csr::Interrupt;
+    use crate::csr::addr as csr_addr;
+    use crate::mem::Memory;
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn run_program(build: impl FnOnce(&mut Assembler), max_steps: usize) -> (Cpu, Memory) {
+        let mut a = Assembler::new(BASE);
+        build(&mut a);
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 1 << 20);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        for _ in 0..max_steps {
+            match cpu.step(&mut mem).unwrap() {
+                StepOutcome::Wfi => return (cpu, mem),
+                StepOutcome::Trapped { cause, .. } => {
+                    panic!("unexpected trap, cause {cause:#x} at pc {:#x}", cpu.pc())
+                }
+                StepOutcome::Retired { .. } => {}
+            }
+        }
+        panic!("program did not reach WFI in {max_steps} steps");
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, 100);
+                a.li(2, 7);
+                a.add(3, 1, 2); // 107
+                a.sub(4, 1, 2); // 93
+                a.mul(5, 1, 2); // 700
+                a.div(6, 1, 2); // 14
+                a.rem(7, 1, 2); // 2
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(3), 107);
+        assert_eq!(cpu.read_reg(4), 93);
+        assert_eq!(cpu.read_reg(5), 700);
+        assert_eq!(cpu.read_reg(6), 14);
+        assert_eq!(cpu.read_reg(7), 2);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(muldiv(MulDivOp::Div, 5, 0, false), u64::MAX);
+        assert_eq!(muldiv(MulDivOp::Rem, 5, 0, false), 5);
+        assert_eq!(
+            muldiv(MulDivOp::Div, i64::MIN as u64, -1i64 as u64, false),
+            i64::MIN as u64
+        );
+        assert_eq!(
+            muldiv(MulDivOp::Rem, i64::MIN as u64, -1i64 as u64, false),
+            0
+        );
+        assert_eq!(muldiv(MulDivOp::Mulhu, u64::MAX, u64::MAX, false), u64::MAX - 1);
+        assert_eq!(muldiv(MulDivOp::Mulh, -1i64 as u64, -1i64 as u64, false), 0);
+    }
+
+    #[test]
+    fn memory_program_with_signed_loads() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, BASE as i64 + 0x1000);
+                a.li(2, -2); // 0xfffffffffffffffe
+                a.sd(2, 1, 0);
+                a.lw(3, 1, 0); // sign-extended -2
+                a.lwu(4, 1, 0); // zero-extended 0xfffffffe
+                a.lb(5, 1, 0); // -2
+                a.lbu(6, 1, 0); // 0xfe
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(3), (-2i64) as u64);
+        assert_eq!(cpu.read_reg(4), 0xffff_fffe);
+        assert_eq!(cpu.read_reg(5), (-2i64) as u64);
+        assert_eq!(cpu.read_reg(6), 0xfe);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, 0x7fff_ffff);
+                a.addiw(2, 1, 1); // overflows to i32::MIN
+                a.li(3, 1);
+                a.slliw(4, 3, 1); // 1 << 1 = 2
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(2), i32::MIN as i64 as u64);
+        assert_eq!(cpu.read_reg(4), 2);
+    }
+
+    #[test]
+    fn branches_and_loops() {
+        // Computes 10! iteratively.
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(10, 1); // acc
+                a.li(5, 1); // i
+                a.li(6, 10); // n
+                a.label("loop");
+                a.mul(10, 10, 5);
+                a.addi(5, 5, 1);
+                a.ble(5, 6, "loop");
+                a.wfi();
+            },
+            200,
+        );
+        assert_eq!(cpu.read_reg(10), 3_628_800);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(2, BASE as i64 + 0x8000); // stack
+                a.li(10, 21);
+                a.call("double");
+                a.wfi();
+                a.label("double");
+                a.add(10, 10, 10);
+                a.ret();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(10), 42);
+    }
+
+    #[test]
+    fn lr_sc_success_and_failure() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, BASE as i64 + 0x2000);
+                a.li(2, 5);
+                a.sd(2, 1, 0);
+                a.lr_d(3, 1); // x3 = 5, reservation
+                a.addi(3, 3, 1);
+                a.sc_d(4, 3, 1); // success: x4 = 0
+                a.sc_d(5, 3, 1); // no reservation: x5 = 1
+                a.ld(6, 1, 0); // 6
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(4), 0);
+        assert_eq!(cpu.read_reg(5), 1);
+        assert_eq!(cpu.read_reg(6), 6);
+    }
+
+    #[test]
+    fn amoadd_returns_old_value() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, BASE as i64 + 0x2000);
+                a.li(2, 10);
+                a.sd(2, 1, 0);
+                a.li(3, 32);
+                a.amoadd_d(4, 3, 1); // x4 = 10, mem = 42
+                a.ld(5, 1, 0);
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(4), 10);
+        assert_eq!(cpu.read_reg(5), 42);
+    }
+
+    #[test]
+    fn ecall_traps_and_mret_returns() {
+        let mut a = Assembler::new(BASE);
+        // Main: set mtvec, ecall, then x1 = 99 after return, wfi.
+        a.la(5, "handler");
+        a.csrw(csr_addr::MTVEC, 5);
+        a.ecall();
+        a.li(1, 99);
+        a.wfi();
+        a.label("handler");
+        // handler: mepc += 4; mret
+        a.csrr(6, csr_addr::MEPC);
+        a.addi(6, 6, 4);
+        a.csrw(csr_addr::MEPC, 6);
+        a.mret();
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 1 << 16);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        let mut saw_trap = false;
+        for _ in 0..100 {
+            match cpu.step(&mut mem).unwrap() {
+                StepOutcome::Trapped { cause, .. } => {
+                    assert_eq!(cause, 11);
+                    saw_trap = true;
+                }
+                StepOutcome::Wfi => {
+                    assert!(saw_trap);
+                    assert_eq!(cpu.read_reg(1), 99);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        panic!("did not complete");
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut mem = Memory::new(BASE, 4096);
+        mem.store(BASE, 4, 0xffff_ffff).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        match cpu.step(&mut mem).unwrap() {
+            StepOutcome::Trapped { cause, .. } => assert_eq!(cause, 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cpu.csrs.mtval, 0xffff_ffff);
+        // mtvec is 0 -> handler at 0; fetching there faults -> cause 1.
+        match cpu.step(&mut mem).unwrap() {
+            StepOutcome::Trapped { cause, .. } => assert_eq!(cause, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupt_taken_when_enabled() {
+        let mut a = Assembler::new(BASE);
+        a.la(5, "handler");
+        a.csrw(csr_addr::MTVEC, 5);
+        a.li(6, 0x888);
+        a.csrw(csr_addr::MIE, 6); // enable all lines
+        a.csrsi(csr_addr::MSTATUS, 8); // MIE
+        a.label("spin");
+        a.j("spin");
+        a.label("handler");
+        a.li(1, 7);
+        a.wfi();
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 4096);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        // Run the setup + a few spins.
+        for _ in 0..10 {
+            cpu.step(&mut mem).unwrap();
+        }
+        cpu.csrs.set_interrupt(Interrupt::External, true);
+        match cpu.step(&mut mem).unwrap() {
+            StepOutcome::Trapped { cause, .. } => {
+                assert_eq!(cause, (1 << 63) | 11);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The handler would normally tell the device to deassert; model
+        // that before it reaches WFI.
+        cpu.csrs.set_interrupt(Interrupt::External, false);
+        // Handler runs.
+        for _ in 0..10 {
+            if let StepOutcome::Wfi = cpu.step(&mut mem).unwrap() {
+                assert_eq!(cpu.read_reg(1), 7);
+                return;
+            }
+        }
+        panic!("handler did not park");
+    }
+
+    #[test]
+    fn wfi_parks_and_wakes() {
+        let mut a = Assembler::new(BASE);
+        a.li(6, 0x800);
+        a.csrw(csr_addr::MIE, 6); // enable external only; MSTATUS.MIE off
+        a.wfi();
+        a.li(1, 5);
+        a.wfi();
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 4096);
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        for _ in 0..4 {
+            cpu.step(&mut mem).unwrap();
+        }
+        // Parked.
+        assert_eq!(cpu.step(&mut mem).unwrap(), StepOutcome::Wfi);
+        assert_eq!(cpu.step(&mut mem).unwrap(), StepOutcome::Wfi);
+        // Wake: with MSTATUS.MIE clear, WFI completes without trapping.
+        cpu.csrs.set_interrupt(Interrupt::External, true);
+        match cpu.step(&mut mem).unwrap() {
+            StepOutcome::Retired { inst: Inst::Wfi, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        cpu.step(&mut mem).unwrap(); // li
+        assert_eq!(cpu.read_reg(1), 5);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let (cpu, _) = run_program(
+            |a| {
+                a.li(1, 42);
+                a.add(0, 1, 1); // attempt to write x0
+                a.add(2, 0, 0);
+                a.wfi();
+            },
+            100,
+        );
+        assert_eq!(cpu.read_reg(0), 0);
+        assert_eq!(cpu.read_reg(2), 0);
+    }
+
+    #[test]
+    fn reservation_clobbered_by_other_hart() {
+        let mut mem = Memory::new(BASE, 4096);
+        let mut a = Assembler::new(BASE);
+        a.li(1, BASE as i64 + 64);
+        a.lr_d(2, 1);
+        a.sc_d(3, 2, 1);
+        a.wfi();
+        let image = a.assemble().unwrap();
+        mem.write_bytes(BASE, &image).unwrap();
+        let mut cpu = Cpu::new(0, BASE);
+        // li is 1-2 insts; step until after lr (has_reservation).
+        for _ in 0..10 {
+            if cpu.has_reservation() {
+                break;
+            }
+            cpu.step(&mut mem).unwrap();
+        }
+        assert!(cpu.has_reservation());
+        cpu.clobber_reservation(BASE + 64);
+        // SC must now fail.
+        loop {
+            if cpu.step(&mut mem).unwrap() == StepOutcome::Wfi { break }
+        }
+        assert_eq!(cpu.read_reg(3), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! The memory bus abstraction and a flat physical memory.
+//!
+//! The functional core issues loads and stores through the [`Bus`] trait;
+//! the SoC composition in `firesim-blade` implements `Bus` to dispatch
+//! between DRAM and memory-mapped devices (NIC, block device, UART, CLINT),
+//! while `firesim-uarch` layers cache/DRAM *timing* on the same accesses.
+
+use core::fmt;
+
+/// A memory access fault, carried into the trap machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// The faulting physical address.
+    pub addr: u64,
+    /// True for stores/AMOs, false for loads/fetches.
+    pub is_store: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x}",
+            if self.is_store { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// A byte-addressable physical memory bus.
+///
+/// `size` is 1, 2, 4, or 8; values are zero-extended in the returned `u64`.
+/// Misaligned accesses are allowed (Rocket's M-mode handler would emulate
+/// them; our functional model simply performs them).
+pub trait Bus {
+    /// Reads `size` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, MemFault>;
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), MemFault>;
+
+    /// Fetches a 32-bit instruction word. Default: a 4-byte load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] for unmapped addresses.
+    fn fetch(&mut self, addr: u64) -> Result<u32, MemFault> {
+        self.load(addr, 4).map(|v| v as u32)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, MemFault> {
+        (**self).load(addr, size)
+    }
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), MemFault> {
+        (**self).store(addr, size, value)
+    }
+    fn fetch(&mut self, addr: u64) -> Result<u32, MemFault> {
+        (**self).fetch(addr)
+    }
+}
+
+/// A flat, contiguous RAM region.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_riscv::mem::{Bus, Memory};
+///
+/// let mut m = Memory::new(0x8000_0000, 4096);
+/// m.store(0x8000_0100, 8, 0x1122_3344_5566_7788).unwrap();
+/// assert_eq!(m.load(0x8000_0104, 4).unwrap(), 0x1122_3344);
+/// assert!(m.load(0x7fff_ffff, 1).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    base: u64,
+    data: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` zeroed bytes based at `base`.
+    pub fn new(base: u64, size: usize) -> Self {
+        Memory {
+            base,
+            data: vec![0; size],
+        }
+    }
+
+    /// Base physical address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when `[addr, addr+len)` lies inside this memory.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr - self.base + len as u64 <= self.data.len() as u64
+    }
+
+    /// Bulk-writes bytes (program loading, DMA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] when the range is out of bounds.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        if !self.contains(addr, bytes.len()) {
+            return Err(MemFault {
+                addr,
+                is_store: true,
+            });
+        }
+        let off = (addr - self.base) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Bulk-reads bytes (DMA).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] when the range is out of bounds.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<&[u8], MemFault> {
+        if !self.contains(addr, len) {
+            return Err(MemFault {
+                addr,
+                is_store: false,
+            });
+        }
+        let off = (addr - self.base) as usize;
+        Ok(&self.data[off..off + len])
+    }
+}
+
+impl Bus for Memory {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, MemFault> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let bytes = self.read_bytes(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), MemFault> {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let bytes = value.to_le_bytes();
+        self.write_bytes(addr, &bytes[..size])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_loads_and_stores() {
+        let mut m = Memory::new(0x1000, 64);
+        m.store(0x1000, 8, 0x0102_0304_0506_0708).unwrap();
+        assert_eq!(m.load(0x1000, 1).unwrap(), 0x08);
+        assert_eq!(m.load(0x1001, 1).unwrap(), 0x07);
+        assert_eq!(m.load(0x1000, 2).unwrap(), 0x0708);
+        assert_eq!(m.load(0x1004, 4).unwrap(), 0x0102_0304);
+    }
+
+    #[test]
+    fn misaligned_access_allowed() {
+        let mut m = Memory::new(0, 64);
+        m.store(3, 4, 0xdead_beef).unwrap();
+        assert_eq!(m.load(3, 4).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = Memory::new(0x1000, 16);
+        assert!(m.load(0xfff, 1).is_err());
+        assert!(m.load(0x100f, 2).is_err()); // straddles the end
+        assert!(m.store(0x1010, 1, 0).is_err());
+        assert_eq!(
+            m.load(0x2000, 4),
+            Err(MemFault {
+                addr: 0x2000,
+                is_store: false
+            })
+        );
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let mut m = Memory::new(0x8000_0000, 128);
+        m.write_bytes(0x8000_0040, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_bytes(0x8000_0040, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.write_bytes(0x8000_007e, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn fetch_reads_word() {
+        let mut m = Memory::new(0, 16);
+        m.store(4, 4, 0x0050_0093).unwrap();
+        assert_eq!(m.fetch(4).unwrap(), 0x0050_0093);
+    }
+}

@@ -1,0 +1,343 @@
+//! A blocking, set-associative, write-allocate cache timing model.
+//!
+//! Only *timing* state lives here (tags and LRU order); data always comes
+//! from the functional memory. This mirrors how FPGA-hosted simulators
+//! split functional state from timing state.
+
+use core::fmt;
+
+/// Geometry of a cache.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_uarch::CacheConfig;
+///
+/// let l1 = CacheConfig::rocket_l1();
+/// assert_eq!(l1.size_bytes, 16 * 1024);
+/// assert_eq!(l1.sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 16 KiB, 4-way, 64 B lines (Table I).
+    pub fn rocket_l1() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 64,
+        }
+    }
+
+    /// The paper's shared L2: 256 KiB, 8-way, 64 B lines (Table I).
+    pub fn rocket_l2() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `ways * line_bytes`, or any field zero).
+    pub fn sets(&self) -> usize {
+        assert!(
+            self.size_bytes > 0 && self.ways > 0 && self.line_bytes > 0,
+            "cache geometry fields must be nonzero"
+        );
+        let denom = self.ways * self.line_bytes;
+        assert!(
+            self.size_bytes.is_multiple_of(denom),
+            "cache size must be a multiple of ways * line_bytes"
+        );
+        let sets = self.size_bytes / denom;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when never accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    lru: u64,
+}
+
+/// The result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// True when the line was present.
+    pub hit: bool,
+    /// Base address of a dirty line evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative cache (timing state only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets,
+            lines: vec![Line::default(); sets * config.ways],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line / self.sets as u64;
+        (set, tag)
+    }
+
+    /// Looks up `addr`, allocating on miss (write-allocate for stores).
+    /// Marks the line dirty on stores.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        self.stamp += 1;
+        let (set, tag) = self.index(addr);
+        let ways = self.config.ways;
+        let base = set * ways;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_store;
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+
+        self.stats.misses += 1;
+        // Victim: invalid line if any, else LRU.
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("ways >= 1");
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            let victim_line = victim.tag * self.sets as u64 + set as u64;
+            writeback = Some(victim_line * self.config.line_bytes as u64);
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: is_store,
+            lru: self.stamp,
+        };
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Invalidates the line containing `addr` (coherence shoot-down).
+    /// Returns true when a valid line was present.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let ways = self.config.ways;
+        let base = set * ways;
+        for l in &mut self.lines[base..base + ways] {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                l.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when the line containing `addr` is resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB {}-way cache: {} hits, {} misses ({:.1}% miss)",
+            self.config.size_bytes / 1024,
+            self.config.ways,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64 B lines = 256 B.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1038, false).hit); // same line
+        assert!(!c.access(0x1040, false).hit); // next line, other set
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line_index % 2 == 0): 0x000, 0x080, 0x100.
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // refresh 0x000
+        c.access(0x100, false); // evicts 0x080 (LRU)
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+        assert!(c.contains(0x100));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x080, false);
+        let r = c.access(0x100, false); // evicts dirty 0x000
+        assert_eq!(r.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction: no writeback.
+        let r = c.access(0x180, false); // evicts clean 0x080
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x000, false); // clean
+        c.access(0x000, true); // now dirty
+        c.access(0x080, false);
+        let r = c.access(0x100, false);
+        assert_eq!(r.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        assert!(c.invalidate(0x000));
+        assert!(!c.contains(0x000));
+        assert!(!c.invalidate(0x000));
+        // Re-access misses but must not write back (invalidated dirty data
+        // is the coherence protocol's job to have flushed).
+        assert!(!c.access(0x000, false).hit);
+    }
+
+    #[test]
+    fn rocket_geometries() {
+        assert_eq!(CacheConfig::rocket_l1().sets(), 64);
+        assert_eq!(CacheConfig::rocket_l2().sets(), 512);
+        let _ = Cache::new(CacheConfig::rocket_l1());
+        let _ = Cache::new(CacheConfig::rocket_l2());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+        });
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! A DDR3-style DRAM timing model.
+//!
+//! FireSim attaches a synthesizable DRAM timing model (from MIDAS) to each
+//! FPGA's on-board memory, parameterised to behave like DDR3. This module
+//! is the software equivalent: per-bank open rows, tRCD/tCAS/tRP timing,
+//! bank busy windows, and an open-page policy. Latencies are expressed in
+//! CPU cycles at the target clock, so callers simply add the returned
+//! latency to their current cycle.
+
+/// DDR3-like timing parameters (in CPU cycles at the target clock).
+///
+/// Defaults approximate DDR3-1600 behind a 3.2 GHz core: the memory
+/// controller runs at 800 MHz, so one memory-controller cycle is 4 CPU
+/// cycles; tCL/tRCD/tRP of 11 controller cycles become 44 CPU cycles each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of banks.
+    pub banks: usize,
+    /// Bytes per row (per bank).
+    pub row_bytes: u64,
+    /// CAS latency: activate-to-data when the row is already open.
+    pub t_cas: u64,
+    /// RAS-to-CAS delay: row activation cost.
+    pub t_rcd: u64,
+    /// Row precharge cost (closing the old row on a conflict).
+    pub t_rp: u64,
+    /// Data burst transfer time for one cache line.
+    pub t_burst: u64,
+    /// Fixed controller/queueing overhead per request.
+    pub t_controller: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            banks: 8,
+            row_bytes: 8 * 1024,
+            t_cas: 44,
+            t_rcd: 44,
+            t_rp: 44,
+            t_burst: 16,
+            t_controller: 20,
+        }
+    }
+}
+
+/// Per-request classification, for statistics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The addressed row was already open (page hit).
+    Hit,
+    /// The bank had no open row (page empty).
+    Empty,
+    /// Another row was open and had to be precharged (page conflict).
+    Conflict,
+}
+
+/// DRAM access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests to an idle bank.
+    pub row_empty: u64,
+    /// Requests that forced a precharge.
+    pub row_conflicts: u64,
+    /// Total cycles of service latency charged.
+    pub total_latency: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Cycle at which the bank can next start a request.
+    ready_at: u64,
+}
+
+/// The DRAM timing model.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_uarch::{Dram, DramConfig};
+///
+/// let mut dram = Dram::new(DramConfig::default());
+/// let first = dram.latency(0, 0x0000);            // row empty: activate
+/// let hit = dram.latency(10_000, 8 * 64);         // same bank, open row
+/// assert!(hit < first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle DRAM with all banks precharged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a nonzero power of two or `row_bytes` is
+    /// not a nonzero power of two.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(
+            config.banks.is_power_of_two() && config.banks > 0,
+            "bank count must be a power of two"
+        );
+        assert!(
+            config.row_bytes.is_power_of_two() && config.row_bytes > 0,
+            "row size must be a power of two"
+        );
+        Dram {
+            banks: vec![Bank::default(); config.banks],
+            config,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configured timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    #[inline]
+    fn map(&self, addr: u64) -> (usize, u64) {
+        // Line-interleaved bank mapping: consecutive 64 B lines hit
+        // consecutive banks; the row is the address within a bank.
+        let line = addr >> 6;
+        let bank = (line as usize) & (self.config.banks - 1);
+        let bank_local = line >> self.config.banks.trailing_zeros();
+        let row = (bank_local << 6) / self.config.row_bytes;
+        (bank, row)
+    }
+
+    /// Issues a read or write beginning no earlier than cycle `now`;
+    /// returns the cycle at which the data transfer completes.
+    ///
+    /// The model serialises requests per bank (a busy bank delays the
+    /// request start) and applies open-page row policy.
+    pub fn access(&mut self, now: u64, addr: u64) -> u64 {
+        let (bank_idx, row) = self.map(addr);
+        let c = self.config;
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.ready_at);
+        let (outcome, array_latency) = match bank.open_row {
+            Some(open) if open == row => (RowOutcome::Hit, c.t_cas),
+            Some(_) => (RowOutcome::Conflict, c.t_rp + c.t_rcd + c.t_cas),
+            None => (RowOutcome::Empty, c.t_rcd + c.t_cas),
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Empty => self.stats.row_empty += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        bank.open_row = Some(row);
+        let done = start + c.t_controller + array_latency + c.t_burst;
+        bank.ready_at = done;
+        self.stats.total_latency += done - now;
+        done
+    }
+
+    /// Convenience: the latency (cycles from `now`) of an access.
+    pub fn latency(&mut self, now: u64, addr: u64) -> u64 {
+        self.access(now, addr) - now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::default()
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_empty_and_conflict() {
+        let mut d = Dram::new(cfg());
+        let c = cfg();
+        // Empty bank: tRCD + tCAS.
+        let lat_empty = d.latency(0, 0);
+        assert_eq!(lat_empty, c.t_controller + c.t_rcd + c.t_cas + c.t_burst);
+        // Same row: the next line within bank 0 is `banks * 64` bytes away.
+        let stride = (c.banks as u64) * 64;
+        let lat_hit = d.latency(20_000, stride);
+        assert_eq!(lat_hit, c.t_controller + c.t_cas + c.t_burst);
+        // Conflict: same bank, different row.
+        let far = c.row_bytes * (c.banks as u64) * 4;
+        let lat_conflict = d.latency(40_000, far);
+        assert_eq!(
+            lat_conflict,
+            c.t_controller + c.t_rp + c.t_rcd + c.t_cas + c.t_burst
+        );
+        assert!(lat_hit < lat_empty && lat_empty < lat_conflict);
+        let s = d.stats();
+        assert_eq!(s.row_hits, 1);
+        assert!(s.row_empty >= 1);
+        assert_eq!(s.row_conflicts, 1);
+    }
+
+    #[test]
+    fn busy_bank_serialises() {
+        let mut d = Dram::new(cfg());
+        let done1 = d.access(0, 0);
+        // Immediately hit the same bank: must start after done1.
+        let done2 = d.access(1, 0);
+        assert!(done2 > done1);
+        let gap = done2 - done1;
+        let c = cfg();
+        assert_eq!(gap, c.t_controller + c.t_cas + c.t_burst); // row hit after wait
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut d = Dram::new(cfg());
+        let done1 = d.access(0, 0);
+        let done2 = d.access(0, 64); // next line -> next bank
+        // Both start at 0; same latency; so they finish together.
+        assert_eq!(done1, done2);
+    }
+
+    #[test]
+    fn idle_gap_allows_immediate_start() {
+        let mut d = Dram::new(cfg());
+        let done1 = d.access(0, 0);
+        let done2 = d.access(done1 + 1000, 0);
+        assert_eq!(done2 - (done1 + 1000), d.latency(done2 + 5000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_bank_count_panics() {
+        let _ = Dram::new(DramConfig {
+            banks: 3,
+            ..DramConfig::default()
+        });
+    }
+}

@@ -1,0 +1,255 @@
+//! The blade memory hierarchy: per-core L1I/L1D, shared L2, DRAM.
+//!
+//! [`MemSystem`] is a pure *timing* component: callers ask "how many cycles
+//! does this access cost starting at cycle `now`?" and separately perform
+//! the functional access against the functional memory. This is the same
+//! timing/functional split the FPGA flow uses.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::dram::{Dram, DramConfig, DramStats};
+
+/// What kind of access is being timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I).
+    Fetch,
+    /// Data load (L1D).
+    Load,
+    /// Data store (L1D, write-allocate).
+    Store,
+    /// Atomic read-modify-write (L1D, treated as a store for tags).
+    Amo,
+    /// Direct memory access from a device (bypasses L1s, goes through L2).
+    Dma,
+}
+
+/// Configuration of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSystemConfig {
+    /// L1 instruction cache geometry (per core).
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry (per core).
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// DRAM timing parameters.
+    pub dram: DramConfig,
+    /// L1 hit latency in cycles (load-use, beyond the base pipeline cycle).
+    pub l1_hit_cycles: u64,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: u64,
+}
+
+impl Default for MemSystemConfig {
+    fn default() -> Self {
+        MemSystemConfig {
+            l1i: CacheConfig::rocket_l1(),
+            l1d: CacheConfig::rocket_l1(),
+            l2: CacheConfig::rocket_l2(),
+            dram: DramConfig::default(),
+            l1_hit_cycles: 1,
+            l2_hit_cycles: 20,
+        }
+    }
+}
+
+/// Aggregated statistics across the hierarchy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemSystemStats {
+    /// Combined L1I statistics over all cores.
+    pub l1i: CacheStats,
+    /// Combined L1D statistics over all cores.
+    pub l1d: CacheStats,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+}
+
+/// The memory hierarchy timing model for one blade.
+#[derive(Debug)]
+pub struct MemSystem {
+    config: MemSystemConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    l2: Cache,
+    dram: Dram,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or any cache geometry is inconsistent.
+    pub fn new(cores: usize, config: MemSystemConfig) -> Self {
+        assert!(cores > 0, "a blade needs at least one core");
+        MemSystem {
+            l1i: (0..cores).map(|_| Cache::new(config.l1i)).collect(),
+            l1d: (0..cores).map(|_| Cache::new(config.l1d)).collect(),
+            l2: Cache::new(config.l2),
+            dram: Dram::new(config.dram),
+            config,
+        }
+    }
+
+    /// Number of cores this hierarchy serves.
+    pub fn cores(&self) -> usize {
+        self.l1i.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemSystemConfig {
+        &self.config
+    }
+
+    /// Returns the latency, in cycles, of an access starting at `now`.
+    ///
+    /// `core` selects the L1s; it is ignored for [`AccessKind::Dma`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for a core-side access.
+    pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> u64 {
+        let c = self.config;
+        let (l1_result, is_store) = match kind {
+            AccessKind::Fetch => (Some(self.l1i[core].access(addr, false)), false),
+            AccessKind::Load => (Some(self.l1d[core].access(addr, false)), false),
+            AccessKind::Store => (Some(self.l1d[core].access(addr, true)), true),
+            AccessKind::Amo => (Some(self.l1d[core].access(addr, true)), true),
+            AccessKind::Dma => (None, false),
+        };
+
+        match l1_result {
+            Some(r) if r.hit => c.l1_hit_cycles,
+            other => {
+                // L1 miss (or DMA): go to L2.
+                let mut latency = match other {
+                    Some(_) => c.l1_hit_cycles,
+                    None => 0,
+                };
+                let l2r = self.l2.access(addr, is_store || other.is_none());
+                latency += c.l2_hit_cycles;
+                if !l2r.hit {
+                    latency += self.dram.latency(now + latency, addr);
+                    if let Some(wb) = l2r.writeback {
+                        // Dirty victim: the writeback occupies the bank but
+                        // does not block the demand fill's critical path.
+                        let _ = self.dram.access(now + latency, wb);
+                    }
+                }
+                latency
+            }
+        }
+    }
+
+    /// Invalidates `addr` in every L1 data cache except `except_core`
+    /// (simple coherence shoot-down when another agent writes).
+    pub fn shootdown(&mut self, addr: u64, except_core: Option<usize>) {
+        for (i, l1) in self.l1d.iter_mut().enumerate() {
+            if Some(i) != except_core {
+                l1.invalidate(addr);
+            }
+        }
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MemSystemStats {
+        let mut s = MemSystemStats {
+            l2: self.l2.stats(),
+            dram: self.dram.stats(),
+            ..Default::default()
+        };
+        for c in &self.l1i {
+            let cs = c.stats();
+            s.l1i.hits += cs.hits;
+            s.l1i.misses += cs.misses;
+            s.l1i.writebacks += cs.writebacks;
+        }
+        for c in &self.l1d {
+            let cs = c.stats();
+            s.l1d.hits += cs.hits;
+            s.l1d.misses += cs.misses;
+            s.l1d.writebacks += cs.writebacks;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemSystem {
+        MemSystem::new(cores, MemSystemConfig::default())
+    }
+
+    #[test]
+    fn l1_hit_is_cheap() {
+        let mut m = sys(1);
+        let cold = m.access(0, AccessKind::Load, 0x8000_0000, 0);
+        let warm = m.access(0, AccessKind::Load, 0x8000_0000, cold);
+        assert_eq!(warm, m.config().l1_hit_cycles);
+        assert!(cold > warm);
+    }
+
+    #[test]
+    fn l2_hit_is_between_l1_and_dram() {
+        let mut m = sys(2);
+        // Core 0 warms the L2.
+        let cold = m.access(0, AccessKind::Load, 0x8000_0000, 0);
+        // Core 1 misses L1 but hits L2.
+        let l2hit = m.access(1, AccessKind::Load, 0x8000_0000, cold);
+        assert_eq!(
+            l2hit,
+            m.config().l1_hit_cycles + m.config().l2_hit_cycles
+        );
+        assert!(l2hit < cold);
+        assert!(l2hit > m.config().l1_hit_cycles);
+    }
+
+    #[test]
+    fn fetch_uses_l1i_independently() {
+        let mut m = sys(1);
+        let _ = m.access(0, AccessKind::Load, 0x8000_0000, 0);
+        // Same address as a fetch still cold in L1I (but L2-hot).
+        let f = m.access(0, AccessKind::Fetch, 0x8000_0000, 100);
+        assert_eq!(f, m.config().l1_hit_cycles + m.config().l2_hit_cycles);
+        let s = m.stats();
+        assert_eq!(s.l1i.misses, 1);
+        assert_eq!(s.l1d.misses, 1);
+    }
+
+    #[test]
+    fn dma_bypasses_l1() {
+        let mut m = sys(1);
+        let _ = m.access(0, AccessKind::Dma, 0x8000_0000, 0);
+        let s = m.stats();
+        assert_eq!(s.l1d.accesses(), 0);
+        assert_eq!(s.l1i.accesses(), 0);
+        assert_eq!(s.l2.accesses(), 1);
+    }
+
+    #[test]
+    fn shootdown_invalidates_other_cores() {
+        let mut m = sys(2);
+        let _ = m.access(0, AccessKind::Load, 0x8000_0000, 0);
+        let _ = m.access(1, AccessKind::Load, 0x8000_0000, 50);
+        m.shootdown(0x8000_0000, Some(0));
+        // Core 0 still hits; core 1 misses again (L2 hit).
+        assert_eq!(
+            m.access(0, AccessKind::Load, 0x8000_0000, 100),
+            m.config().l1_hit_cycles
+        );
+        assert_eq!(
+            m.access(1, AccessKind::Load, 0x8000_0000, 100),
+            m.config().l1_hit_cycles + m.config().l2_hit_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = sys(0);
+    }
+}

@@ -1,0 +1,534 @@
+//! Rocket-class in-order pipeline timing around the functional core.
+//!
+//! [`TimingCore::tick`] advances exactly one target cycle. Internally it
+//! executes the functional core one instruction at a time and converts each
+//! instruction into a cycle cost: single-issue in-order base of 1 IPC,
+//! multi-cycle multiply/divide, taken-branch and jump redirect bubbles,
+//! cache/DRAM latency from [`MemSystem`], and a fixed cost for uncached
+//! MMIO. The result is a deterministic cycle-by-cycle model in the spirit
+//! of the paper's FAME-1-transformed Rocket core (§III-A4): the functional
+//! effect of an instruction is applied on the cycle it *begins* and the
+//! core then stalls for the remaining cost.
+
+use firesim_riscv::exec::{Cpu, StepOutcome};
+use firesim_riscv::inst::{Inst, MulDivOp};
+use firesim_riscv::mem::Bus;
+
+use crate::memsys::{AccessKind, MemSystem};
+
+/// Pipeline timing parameters (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Instructions issued per cycle while none needs extra resources
+    /// (1 = Rocket-class in-order; 2 = BOOM-class superscalar, §VIII).
+    pub issue_width: u32,
+    /// Total latency of a multiply.
+    pub mul_cycles: u64,
+    /// Total latency of a divide/remainder.
+    pub div_cycles: u64,
+    /// Extra cycles after a taken conditional branch (redirect bubble).
+    pub branch_taken_penalty: u64,
+    /// Extra cycles after `jal`/`jalr`.
+    pub jump_penalty: u64,
+    /// Cycles for an uncached MMIO load/store.
+    pub mmio_cycles: u64,
+    /// Extra cycles consumed by trap entry (pipeline flush).
+    pub trap_cycles: u64,
+    /// Extra read-modify-write cycles for AMOs beyond the memory latency.
+    pub amo_extra_cycles: u64,
+    /// Base of the cacheable DRAM region (accesses outside are MMIO).
+    pub cacheable_base: u64,
+    /// Size of the cacheable DRAM region in bytes.
+    pub cacheable_size: u64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            issue_width: 1,
+            mul_cycles: 4,
+            div_cycles: 32,
+            branch_taken_penalty: 1,
+            jump_penalty: 2,
+            mmio_cycles: 10,
+            trap_cycles: 3,
+            amo_extra_cycles: 3,
+            cacheable_base: firesim_riscv::DRAM_BASE,
+            cacheable_size: 16 << 30,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// The Rocket-class in-order single-issue model (Table I's cores).
+    pub fn rocket() -> Self {
+        Self::default()
+    }
+
+    /// A BOOM-class superscalar model (§VIII): dual issue, shorter
+    /// multiply, faster divider, but a deeper-pipeline redirect penalty.
+    /// Per the paper, "one BOOM core consumes roughly the same \[FPGA\]
+    /// resources as a quad-core Rocket".
+    pub fn boom() -> Self {
+        TimingConfig {
+            issue_width: 2,
+            mul_cycles: 3,
+            div_cycles: 20,
+            branch_taken_penalty: 3,
+            jump_penalty: 1,
+            ..Self::default()
+        }
+    }
+}
+
+impl TimingConfig {
+    /// True when `addr` is cacheable DRAM (not MMIO).
+    pub fn is_cacheable(&self, addr: u64) -> bool {
+        addr >= self.cacheable_base && addr - self.cacheable_base < self.cacheable_size
+    }
+}
+
+/// What one [`TimingCore::tick`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickEvent {
+    /// The core is stalled mid-instruction.
+    Busy,
+    /// An instruction began this cycle (its functional effect is applied);
+    /// the outcome is attached for the SoC to observe.
+    Issued(StepOutcome),
+    /// The core is parked in WFI.
+    Idle,
+}
+
+/// One retired-instruction trace record (TracerV-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle at which the instruction issued.
+    pub cycle: u64,
+    /// Its program counter.
+    pub pc: u64,
+}
+
+/// One core with Rocket-like timing.
+#[derive(Debug)]
+pub struct TimingCore {
+    cpu: Cpu,
+    config: TimingConfig,
+    stall: u64,
+    parked: bool,
+    retired: u64,
+    idle_cycles: u64,
+    trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+}
+
+impl TimingCore {
+    /// Wraps a functional core.
+    pub fn new(cpu: Cpu, config: TimingConfig) -> Self {
+        TimingCore {
+            cpu,
+            config,
+            stall: 0,
+            parked: false,
+            retired: 0,
+            idle_cycles: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables TracerV-style instruction tracing, keeping the last
+    /// `depth` retired-instruction records (cycle, pc). FireSim's real
+    /// deployment streams these out over DMA; here the harness reads them
+    /// from the blade probe.
+    pub fn enable_trace(&mut self, depth: usize) {
+        self.trace = Some((depth.max(1), std::collections::VecDeque::new()));
+    }
+
+    /// The trace ring buffer (oldest first); empty when tracing is off.
+    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.trace.iter().flat_map(|(_, t)| t.iter())
+    }
+
+    /// The functional core.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the functional core (interrupt lines, timers).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Cycles spent parked in WFI.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// True when parked in WFI.
+    pub fn is_parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Advances one target cycle.
+    ///
+    /// `core_idx` selects this core's L1s in `mem`; `now` is the absolute
+    /// target cycle (used for DRAM bank timing).
+    pub fn tick<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        mem: &mut MemSystem,
+        core_idx: usize,
+        now: u64,
+    ) -> TickEvent {
+        self.cpu.csrs.mcycle = self.cpu.csrs.mcycle.wrapping_add(1);
+
+        if self.stall > 0 {
+            self.stall -= 1;
+            return TickEvent::Busy;
+        }
+
+        if self.parked {
+            if self.cpu.csrs.wfi_wakeup() || self.cpu.csrs.pending_interrupt().is_some() {
+                self.parked = false;
+                // Fall through and execute this cycle.
+            } else {
+                self.idle_cycles += 1;
+                return TickEvent::Idle;
+            }
+        }
+
+        // Issue up to `issue_width` instructions this cycle; issuing
+        // stops early at any instruction that needs extra resources
+        // (memory, multi-cycle units, control flow, traps).
+        let width = self.config.issue_width.max(1);
+        let mut first_event: Option<TickEvent> = None;
+        for slot in 0..width {
+            let outcome = self
+                .cpu
+                .step(bus)
+                .expect("functional core does not fail at host level");
+            let cost = self.cost_of(&outcome, mem, core_idx, now);
+            let Some(cost) = cost else {
+                // Parked in WFI.
+                if slot == 0 {
+                    self.idle_cycles += 1;
+                    return TickEvent::Idle;
+                }
+                break;
+            };
+            if let (Some((depth, trace)), StepOutcome::Retired { pc, .. }) =
+                (&mut self.trace, &outcome)
+            {
+                if trace.len() == *depth {
+                    trace.pop_front();
+                }
+                trace.push_back(TraceEntry {
+                    cycle: self.cpu.csrs.mcycle,
+                    pc: *pc,
+                });
+            }
+            if first_event.is_none() {
+                first_event = Some(TickEvent::Issued(outcome.clone()));
+            }
+            if cost > 1 {
+                self.stall = cost - 1;
+                break;
+            }
+        }
+        first_event.expect("at least one issue slot ran")
+    }
+
+    /// Cycle cost of one executed instruction; `None` when the core
+    /// parked in WFI instead of executing.
+    fn cost_of(
+        &mut self,
+        outcome: &StepOutcome,
+        mem: &mut MemSystem,
+        core_idx: usize,
+        now: u64,
+    ) -> Option<u64> {
+        let cost = match outcome {
+            StepOutcome::Wfi => {
+                self.parked = true;
+                return None;
+            }
+            StepOutcome::Trapped { .. } => 1 + self.config.trap_cycles,
+            StepOutcome::Retired {
+                pc,
+                inst,
+                taken_branch,
+                mem: mem_access,
+                ..
+            } => {
+                self.retired += 1;
+                let mut cost = 1u64;
+                // Fetch path: charge everything beyond a pipelined L1I hit.
+                if self.config.is_cacheable(*pc) {
+                    let lat = mem.access(core_idx, AccessKind::Fetch, *pc, now);
+                    cost += lat - mem.config().l1_hit_cycles;
+                }
+                // Execute path.
+                match inst {
+                    Inst::MulDiv { op, .. } => {
+                        let is_div = matches!(
+                            op,
+                            MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+                        );
+                        cost += if is_div {
+                            self.config.div_cycles - 1
+                        } else {
+                            self.config.mul_cycles - 1
+                        };
+                    }
+                    Inst::Jal { .. } | Inst::Jalr { .. } => cost += self.config.jump_penalty,
+                    Inst::Branch { .. } if *taken_branch => {
+                        cost += self.config.branch_taken_penalty
+                    }
+                    _ => {}
+                }
+                // Memory path.
+                if let Some(acc) = mem_access {
+                    if self.config.is_cacheable(acc.addr) {
+                        let kind = if acc.is_amo {
+                            AccessKind::Amo
+                        } else if acc.is_store {
+                            AccessKind::Store
+                        } else {
+                            AccessKind::Load
+                        };
+                        let lat = mem.access(core_idx, kind, acc.addr, now);
+                        cost += match kind {
+                            // Store hits retire through the store buffer.
+                            AccessKind::Store if lat == mem.config().l1_hit_cycles => 0,
+                            AccessKind::Amo => lat + self.config.amo_extra_cycles,
+                            _ => lat,
+                        };
+                    } else {
+                        cost += self.config.mmio_cycles;
+                    }
+                }
+                cost
+            }
+        };
+        Some(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memsys::MemSystemConfig;
+    use firesim_riscv::asm::Assembler;
+    use firesim_riscv::mem::Memory;
+    use firesim_riscv::DRAM_BASE;
+
+    /// Runs a program until the core parks, returning (cycles, core).
+    fn run(build: impl FnOnce(&mut Assembler), max_cycles: u64) -> (u64, TimingCore) {
+        let mut a = Assembler::new(DRAM_BASE);
+        build(&mut a);
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(DRAM_BASE, 1 << 20);
+        mem.write_bytes(DRAM_BASE, &image).unwrap();
+        let mut memsys = MemSystem::new(1, MemSystemConfig::default());
+        let mut core = TimingCore::new(Cpu::new(0, DRAM_BASE), TimingConfig::default());
+        for cycle in 0..max_cycles {
+            if let TickEvent::Idle = core.tick(&mut mem, &mut memsys, 0, cycle) {
+                return (cycle, core);
+            }
+        }
+        panic!("did not park within {max_cycles} cycles");
+    }
+
+    #[test]
+    fn straight_line_code_approaches_one_ipc() {
+        // 64 nops: after the cold fetch miss, same-line fetches hit.
+        let (cycles, core) = run(
+            |a| {
+                for _ in 0..64 {
+                    a.nop();
+                }
+                a.wfi();
+            },
+            10_000,
+        );
+        assert_eq!(core.retired(), 64);
+        // 64 instructions + a handful of line misses (64 insts = 4 lines)
+        // at ~150 cycles each.
+        assert!(cycles > 64, "cycles {cycles}");
+        assert!(cycles < 64 + 5 * 300, "cycles {cycles}");
+    }
+
+    #[test]
+    fn division_costs_more_than_addition() {
+        let (add_cycles, _) = run(
+            |a| {
+                a.li(1, 100);
+                a.li(2, 7);
+                for _ in 0..16 {
+                    a.add(3, 1, 2);
+                }
+                a.wfi();
+            },
+            100_000,
+        );
+        let (div_cycles, _) = run(
+            |a| {
+                a.li(1, 100);
+                a.li(2, 7);
+                for _ in 0..16 {
+                    a.div(3, 1, 2);
+                }
+                a.wfi();
+            },
+            100_000,
+        );
+        let delta = div_cycles - add_cycles;
+        assert_eq!(delta, 16 * (TimingConfig::default().div_cycles - 1));
+    }
+
+    #[test]
+    fn warm_loads_hit_and_cold_loads_miss() {
+        let (cycles_warm, _) = run(
+            |a| {
+                a.li(1, DRAM_BASE as i64 + 0x1000);
+                for _ in 0..8 {
+                    a.ld(2, 1, 0); // same line every time
+                }
+                a.wfi();
+            },
+            100_000,
+        );
+        let (cycles_cold, _) = run(
+            |a| {
+                a.li(1, DRAM_BASE as i64 + 0x1000);
+                a.li(3, 64 * 1024); // stride: new line, set, and DRAM row
+                for _ in 0..8 {
+                    a.ld(2, 1, 0);
+                    a.add(1, 1, 3);
+                }
+                a.wfi();
+            },
+            100_000,
+        );
+        assert!(
+            cycles_cold > cycles_warm + 500,
+            "cold {cycles_cold} vs warm {cycles_warm}"
+        );
+    }
+
+    #[test]
+    fn parked_core_counts_idle_cycles() {
+        let mut a = Assembler::new(DRAM_BASE);
+        a.wfi();
+        let image = a.assemble().unwrap();
+        let mut mem = Memory::new(DRAM_BASE, 4096);
+        mem.write_bytes(DRAM_BASE, &image).unwrap();
+        let mut memsys = MemSystem::new(1, MemSystemConfig::default());
+        let mut core = TimingCore::new(Cpu::new(0, DRAM_BASE), TimingConfig::default());
+        for cycle in 0..1000 {
+            core.tick(&mut mem, &mut memsys, 0, cycle);
+        }
+        assert!(core.is_parked());
+        assert!(core.idle_cycles() > 900);
+        assert_eq!(core.cpu().csrs.mcycle, 1000);
+    }
+
+    /// SecVIII: the BOOM-class dual-issue model runs ALU-dense code nearly
+    /// twice as fast as Rocket, with identical architectural results.
+    #[test]
+    fn boom_dual_issue_beats_rocket_on_alu_code() {
+        let run_with = |config: TimingConfig| {
+            // A loop so the I-cache warms up: 64 ALU ops per iteration,
+            // 100 iterations.
+            let mut a = Assembler::new(DRAM_BASE);
+            a.li(1, 3);
+            a.li(2, 5);
+            a.li(9, 100);
+            a.label("outer");
+            for _ in 0..16 {
+                a.add(3, 1, 2);
+                a.xor(4, 3, 1);
+                a.or(5, 4, 2);
+                a.and(6, 5, 3);
+            }
+            a.addi(9, 9, -1);
+            a.bnez(9, "outer");
+            a.wfi();
+            let image = a.assemble().unwrap();
+            let mut mem = Memory::new(DRAM_BASE, 1 << 20);
+            mem.write_bytes(DRAM_BASE, &image).unwrap();
+            let mut memsys = MemSystem::new(1, MemSystemConfig::default());
+            let mut core = TimingCore::new(Cpu::new(0, DRAM_BASE), config);
+            for cycle in 0..100_000u64 {
+                if let TickEvent::Idle = core.tick(&mut mem, &mut memsys, 0, cycle) {
+                    return (cycle, core.retired(), core.cpu().read_reg(6));
+                }
+            }
+            panic!("did not park");
+        };
+        let (rocket_cycles, rocket_retired, rocket_r6) = run_with(TimingConfig::rocket());
+        let (boom_cycles, boom_retired, boom_r6) = run_with(TimingConfig::boom());
+        // Same architectural execution.
+        assert_eq!(rocket_retired, boom_retired);
+        assert_eq!(rocket_r6, boom_r6);
+        // Dual issue: at least 1.6x faster on this straight-line block.
+        assert!(
+            (boom_cycles as f64) < rocket_cycles as f64 / 1.6,
+            "rocket {rocket_cycles} vs boom {boom_cycles}"
+        );
+    }
+
+    /// Branch-heavy code narrows BOOM's advantage (deeper redirect).
+    #[test]
+    fn boom_advantage_shrinks_on_branchy_code() {
+        let run_with = |config: TimingConfig| {
+            let mut a = Assembler::new(DRAM_BASE);
+            a.li(1, 0);
+            a.li(2, 400);
+            a.label("l");
+            a.addi(1, 1, 1);
+            a.blt(1, 2, "l");
+            a.wfi();
+            let image = a.assemble().unwrap();
+            let mut mem = Memory::new(DRAM_BASE, 1 << 20);
+            mem.write_bytes(DRAM_BASE, &image).unwrap();
+            let mut memsys = MemSystem::new(1, MemSystemConfig::default());
+            let mut core = TimingCore::new(Cpu::new(0, DRAM_BASE), config);
+            for cycle in 0..100_000u64 {
+                if let TickEvent::Idle = core.tick(&mut mem, &mut memsys, 0, cycle) {
+                    return cycle;
+                }
+            }
+            panic!("did not park");
+        };
+        let rocket = run_with(TimingConfig::rocket()) as f64;
+        let boom = run_with(TimingConfig::boom()) as f64;
+        // BOOM pays 3-cycle redirects: on a 2-instruction loop body it is
+        // no better than (and close to) Rocket.
+        assert!(boom > rocket * 0.8, "rocket {rocket} vs boom {boom}");
+    }
+
+    #[test]
+    fn taken_branch_costs_extra() {
+        // A loop of 100 iterations with a taken branch each time vs
+        // straight-line equivalent instruction count.
+        let (loop_cycles, core) = run(
+            |a| {
+                a.li(1, 0);
+                a.li(2, 100);
+                a.label("l");
+                a.addi(1, 1, 1);
+                a.blt(1, 2, "l");
+                a.wfi();
+            },
+            100_000,
+        );
+        // ~200 executed instructions; 99 taken branches add 99 penalties.
+        assert!(core.retired() >= 200);
+        assert!(loop_cycles >= 200 + 99);
+    }
+}

@@ -1,0 +1,136 @@
+//! The 1024-node datacenter simulation (paper §V-C, Fig 10).
+//!
+//! Builds the full tree — 32 nodes per ToR switch, 8 ToRs per
+//! aggregation switch, 4 aggregation switches, one root — with ~10 lines
+//! of topology code, prints the EC2 deployment plan and its cost, and
+//! runs a short memcached burst across the root switch with 512 servers
+//! and 512 load generators.
+//!
+//! ```text
+//! cargo run --release --example datacenter_1024
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use firesim_blade::model::OsConfig;
+use firesim_blade::services::{KvServer, KvServerConfig, Mutilate, MutilateConfig, MutilateStats};
+use firesim_core::stats::Histogram;
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+
+fn main() {
+    let clock = Frequency::GHZ_3_2;
+    let requests = 40; // short burst; raise for longer runs
+
+    // ~10 lines of topology code for 1024 nodes (Fig 10), half servers,
+    // half load generators, paired across the root switch.
+    let stats: Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut topo = Topology::new();
+    let root = topo.add_switch("root");
+    let mut tors = Vec::new();
+    for a in 0..4 {
+        let agg = topo.add_switch(format!("agg{a}"));
+        topo.add_downlink(root, agg).unwrap();
+        for t in 0..8 {
+            let tor = topo.add_switch(format!("tor{a}_{t}"));
+            topo.add_downlink(agg, tor).unwrap();
+            tors.push(tor);
+        }
+    }
+    // Servers on ToRs 0..16, clients on ToRs 16..32: requests cross the
+    // root ("cross-datacenter" in Table III).
+    let os = OsConfig {
+        cores: 4,
+        ..OsConfig::default()
+    };
+    let mut count = 0u64;
+    for (ti, &tor) in tors.iter().enumerate().take(16) {
+        for _ in 0..32 {
+            let node = topo.add_server(
+                format!("kv{count}"),
+                BladeSpec::model(os, 4, true, move |mac, _| {
+                    Box::new(KvServer::new(mac, KvServerConfig::default()))
+                }),
+            );
+            topo.add_downlink(tor, node).unwrap();
+            count += 1;
+        }
+        let _ = ti;
+    }
+    let servers = count;
+    for (ci, &tor) in tors.iter().enumerate().skip(16) {
+        for j in 0..32 {
+            let pair = ((ci - 16) * 32 + j) as u64;
+            let sink = Arc::clone(&stats);
+            let cfg = MutilateConfig {
+                server: MacAddr::from_node_index(pair),
+                qps: 10_000.0,
+                requests,
+                seed: 7_000 + pair,
+                max_outstanding: 4,
+                ..MutilateConfig::default()
+            };
+            let node = topo.add_server(
+                format!("gen{pair}"),
+                BladeSpec::model(os, 1, true, move |mac, _| {
+                    let m = Mutilate::new(mac, cfg);
+                    sink.lock().push(m.stats());
+                    Box::new(m)
+                }),
+            );
+            topo.add_downlink(tor, node).unwrap();
+        }
+    }
+    println!(
+        "topology: {} servers + {} loadgens, {} switches",
+        servers,
+        topo.server_count() as u64 - servers,
+        topo.switch_count()
+    );
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(2).max(1))
+        .unwrap_or(4);
+    let mut sim = topo
+        .build(SimConfig {
+            supernode: true,
+            host_threads: threads,
+            ..SimConfig::default()
+        })
+        .expect("valid topology");
+    println!("\n{}", sim.plan());
+
+    let start = std::time::Instant::now();
+    let summary = sim
+        .run_until_done(Cycle::new(60_000_000_000))
+        .expect("simulation runs");
+    println!(
+        "\nsimulated {:.2} ms of target time in {:.1?} ({:.3} MHz, {} host threads)",
+        clock.seconds_from_cycles(summary.cycles) * 1e3,
+        start.elapsed(),
+        summary.sim_rate_mhz(),
+        summary.host_threads
+    );
+
+    let mut merged = Histogram::new("latency");
+    let mut received = 0u64;
+    for h in stats.lock().iter() {
+        let s = h.lock();
+        merged.merge(&s.latency);
+        received += s.received;
+    }
+    println!(
+        "cross-datacenter memcached: {} responses, p50 {:.1} us, p95 {:.1} us",
+        received,
+        clock.micros_from_cycles(Cycle::new(merged.percentile(50.0).unwrap_or(0))),
+        clock.micros_from_cycles(Cycle::new(merged.percentile(95.0).unwrap_or(0))),
+    );
+    let (_, root_stats) = &sim.switch_stats()[0];
+    println!(
+        "root switch: {} frames forwarded",
+        root_stats.lock().frames_forwarded
+    );
+}

@@ -1,0 +1,111 @@
+//! The page-fault accelerator case study (paper §VI, Fig 11).
+//!
+//! A compute node with a small fast local memory pages to a remote
+//! memory blade over the simulated network. Two mechanisms are compared
+//! on identical access streams: kernel-only software paging vs the
+//! hardware page-fault accelerator (PFA), which handles the
+//! latency-critical fetch in hardware and defers metadata management to
+//! batched asynchronous processing.
+//!
+//! ```text
+//! cargo run --release --example page_fault_accel
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use firesim_blade::model::OsConfig;
+use firesim_blade::paging::{
+    AccessStream, MemBlade, MemBladeConfig, PagedWorkload, PagingCosts, PagingMode, PagingStats,
+};
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+
+fn run(mode: PagingMode, workload: &str, pages: u64, local: u64) -> Arc<Mutex<PagingStats>> {
+    let stream = match workload {
+        "genome" => AccessStream::genome(pages, 8 * pages, 7),
+        _ => AccessStream::qsort(pages),
+    };
+    let stats_cell: Arc<Mutex<Option<Arc<Mutex<PagingStats>>>>> = Arc::new(Mutex::new(None));
+    let stats_out = Arc::clone(&stats_cell);
+    let stream_cell = Mutex::new(Some(stream));
+
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let os = OsConfig {
+        cores: 1,
+        ctx_switch_cycles: 0,
+        misplace_prob: 0.0,
+        ..OsConfig::default()
+    };
+    let mb_mac = MacAddr::from_node_index(1);
+    let wl = topo.add_server(
+        "compute",
+        BladeSpec::model(os, 1, true, move |mac, _| {
+            let wl = PagedWorkload::new(
+                mac,
+                mb_mac,
+                mode,
+                PagingCosts::default(),
+                stream_cell.lock().take().expect("one instantiation"),
+                local,
+            );
+            *stats_out.lock() = Some(wl.stats());
+            Box::new(wl)
+        }),
+    );
+    let mb = topo.add_server(
+        "memblade",
+        BladeSpec::model(os, 1, true, |mac, _| {
+            Box::new(MemBlade::new(mac, MemBladeConfig::default()))
+        }),
+    );
+    topo.add_downlinks(tor, [wl, mb]).unwrap();
+
+    let mut sim = topo.build(SimConfig::default()).expect("valid topology");
+    sim.run_until_done(Cycle::new(200_000_000_000)).expect("runs");
+    let s = stats_cell.lock().take().expect("factory ran");
+    s
+}
+
+fn main() {
+    let clock = Frequency::GHZ_3_2;
+    let pages = 1_024; // 4 MiB working set (the paper uses 64 MiB)
+    println!("remote-memory paging: working set {pages} pages, memory blade 2us away\n");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>8} {:>12} {:>9}",
+        "workload", "local", "mode", "runtime(ms)", "faults", "metadata(ms)", "speedup"
+    );
+    for workload in ["genome", "qsort"] {
+        for frac in [8, 4, 2] {
+            let local = pages / frac;
+            let sw = run(PagingMode::Software, workload, pages, local);
+            let pfa = run(PagingMode::Pfa, workload, pages, local);
+            let sw = sw.lock();
+            let pfa = pfa.lock();
+            let rt_sw = sw.runtime().unwrap();
+            let rt_pfa = pfa.runtime().unwrap();
+            let ms = |c: u64| clock.seconds_from_cycles(Cycle::new(c)) * 1e3;
+            println!(
+                "{:>8} {:>7}p {:>10} {:>12.2} {:>8} {:>12.2} {:>9}",
+                workload, local, "software", ms(rt_sw), sw.faults, ms(sw.metadata_cycles), ""
+            );
+            println!(
+                "{:>8} {:>7}p {:>10} {:>12.2} {:>8} {:>12.2} {:>8.2}x",
+                workload,
+                local,
+                "pfa",
+                ms(rt_pfa),
+                pfa.faults,
+                ms(pfa.metadata_cycles),
+                rt_sw as f64 / rt_pfa as f64
+            );
+        }
+        println!();
+    }
+    println!("expected shape (paper Fig 11): PFA up to ~1.4x faster end-to-end with");
+    println!("~2.5x less metadata-management time; genome (random probes) degrades");
+    println!("sharply at small local memory while qsort barely notices.");
+}

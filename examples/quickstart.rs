@@ -1,0 +1,94 @@
+//! Quickstart: simulate a small cluster and ping across it.
+//!
+//! This is the FireSim "hello world": two cycle-exact RISC-V server
+//! blades under a top-of-rack switch, running bare-metal programs — one
+//! pings, one echoes — over a 2 microsecond, 200 Gbit/s network. The
+//! measured RTTs come straight out of the simulated machine's cycle
+//! counter.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use firesim_blade::programs;
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+
+fn main() {
+    let clock = Frequency::GHZ_3_2;
+    let pings = 10;
+    let link_latency = clock.cycles_from_micros(2); // the paper's default
+
+    // Describe the target: one ToR switch, a pinger, an echo server, and
+    // two idle nodes — the Rust analogue of the paper's Fig 4 config.
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let pinger = topo.add_server(
+        "pinger",
+        BladeSpec::rtl_single_core(programs::ping_sender(
+            MacAddr::from_node_index(0),
+            MacAddr::from_node_index(1),
+            pings,
+            56,
+            clock.cycles_from_micros(20).as_u64(),
+        )),
+    );
+    let echo = topo.add_server(
+        "echo",
+        BladeSpec::rtl_single_core(programs::echo_responder(pings)),
+    );
+    topo.add_downlinks(tor, [pinger, echo]).unwrap();
+    for i in 0..2 {
+        let idle = topo.add_server(
+            format!("idle{i}"),
+            BladeSpec::rtl_single_core(programs::boot_poweroff(100)),
+        );
+        topo.add_downlink(tor, idle).unwrap();
+    }
+
+    // Build ("deploy") and run.
+    let mut sim = topo
+        .build(SimConfig {
+            link_latency,
+            ..SimConfig::default()
+        })
+        .expect("topology is valid");
+    println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
+    let summary = sim
+        .run_until_done(Cycle::new(200_000_000))
+        .expect("simulation runs");
+    println!(
+        "simulated {} target cycles in {:?} ({:.2} MHz)",
+        summary.cycles.as_u64(),
+        summary.wall,
+        summary.sim_rate_mhz()
+    );
+
+    // Read the RTTs out of the pinger's mailbox.
+    let probe = sim.servers()[0].probe.as_ref().expect("rtl blade");
+    let p = probe.lock();
+    assert_eq!(p.exit_code, Some(0), "pinger finished");
+    println!("\nping 10.0.0.1 -> 10.0.0.2 ({} pings):", pings);
+    for i in 0..pings {
+        let rtt = u64::from_le_bytes(p.mailbox[i * 8..i * 8 + 8].try_into().unwrap());
+        println!(
+            "  seq={}  rtt={:.3} us ({} cycles)",
+            i,
+            clock.micros_from_cycles(Cycle::new(rtt)),
+            rtt
+        );
+    }
+    let ideal = 4 * link_latency.as_u64() + 2 * 10;
+    println!(
+        "\nideal RTT (4 links + 2 switch traversals): {:.3} us",
+        clock.micros_from_cycles(Cycle::new(ideal))
+    );
+    for (name, stats) in sim.switch_stats() {
+        let s = stats.lock();
+        println!(
+            "switch {name}: {} frames forwarded, {} bytes",
+            s.frames_forwarded, s.ingress_bytes
+        );
+    }
+}

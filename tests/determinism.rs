@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the FireSim determinism guarantee.
+//!
+//! The paper's central claim (§III-B2): because every link always has
+//! exactly one latency's worth of tokens in flight, "each server
+//! simulation computes each target cycle deterministically" no matter how
+//! the host schedules the work. These tests run identical targets under
+//! different host configurations and demand bit-identical results.
+
+use firesim_blade::programs;
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+
+/// Builds a 4-node ping cluster and returns every observable result:
+/// per-ping RTTs and per-switch forwarding counters.
+fn run_cluster(host_threads: usize, supernode: bool) -> (Vec<u64>, Vec<u64>) {
+    let clock = Frequency::GHZ_3_2;
+    let pings = 5;
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let pinger = topo.add_server(
+        "pinger",
+        BladeSpec::rtl_single_core(programs::ping_sender(
+            MacAddr::from_node_index(0),
+            MacAddr::from_node_index(1),
+            pings,
+            56,
+            clock.cycles_from_micros(10).as_u64(),
+        )),
+    );
+    let echo = topo.add_server(
+        "echo",
+        BladeSpec::rtl_single_core(programs::echo_responder(pings)),
+    );
+    // Two streamers generate cross traffic so switching order matters.
+    let tx = topo.add_server(
+        "tx",
+        BladeSpec::rtl_single_core(programs::stream_sender(
+            MacAddr::from_node_index(2),
+            MacAddr::from_node_index(3),
+            40,
+            1000,
+            0,
+        )),
+    );
+    let rx = topo.add_server(
+        "rx",
+        BladeSpec::rtl_single_core(programs::stream_receiver(
+            MacAddr::from_node_index(3),
+            MacAddr::from_node_index(2),
+            40 * 1014,
+        )),
+    );
+    topo.add_downlinks(tor, [pinger, echo, tx, rx]).unwrap();
+
+    let mut sim = topo
+        .build(SimConfig {
+            link_latency: clock.cycles_from_micros(2),
+            host_threads,
+            supernode,
+            ..SimConfig::default()
+        })
+        .expect("valid topology");
+    sim.run_until_done(Cycle::new(400_000_000)).expect("runs");
+
+    let probe = sim.servers()[0].probe.as_ref().expect("rtl blade");
+    let p = probe.lock();
+    assert_eq!(p.exit_code, Some(0));
+    let rtts = (0..pings)
+        .map(|i| u64::from_le_bytes(p.mailbox[i * 8..i * 8 + 8].try_into().unwrap()))
+        .collect();
+    let switch_counts = sim
+        .switch_stats()
+        .iter()
+        .map(|(_, s)| {
+            let s = s.lock();
+            s.frames_forwarded + s.ingress_bytes * 1_000_003
+        })
+        .collect();
+    (rtts, switch_counts)
+}
+
+#[test]
+fn results_identical_across_host_thread_counts() {
+    let baseline = run_cluster(1, false);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            run_cluster(threads, false),
+            baseline,
+            "host_threads = {threads} changed simulation results"
+        );
+    }
+}
+
+#[test]
+fn results_identical_with_supernode_packing() {
+    // Supernode changes the host mapping (agents, channels) but must not
+    // change a single target cycle.
+    assert_eq!(run_cluster(1, true), run_cluster(1, false));
+    assert_eq!(run_cluster(4, true), run_cluster(1, false));
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    assert_eq!(run_cluster(2, false), run_cluster(2, false));
+}

@@ -1,0 +1,210 @@
+//! End-to-end integration: heterogeneous clusters where cycle-exact RTL
+//! blades and behavioural (modeled) blades share one network — the
+//! paper's "arbitrary RTL and/or abstract models" flexibility claim.
+
+use bytes::Bytes;
+use firesim_blade::model::{Actions, NodeApp, OsConfig};
+use firesim_blade::programs;
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::{EtherType, EthernetFrame, MacAddr};
+
+/// A modeled node that answers echo requests after a fixed software
+/// delay, compatible with the bare-metal `ping_sender` wire format.
+struct ModelEcho {
+    mac: MacAddr,
+    stack_cycles: u64,
+    pending: Vec<EthernetFrame>,
+    replies: u64,
+    limit: u64,
+}
+
+impl NodeApp for ModelEcho {
+    fn on_frame(&mut self, _cycle: u64, frame: &EthernetFrame, out: &mut Actions) {
+        if frame.ethertype != EtherType::Echo {
+            return;
+        }
+        self.pending.push(frame.clone());
+        out.work_on(0, self.stack_cycles, self.pending.len() as u64 - 1);
+    }
+
+    fn on_work_done(&mut self, cycle: u64, tag: u64, out: &mut Actions) {
+        let req = &self.pending[tag as usize];
+        // Reply: swap MACs, flip the kind byte (payload[0] = 1).
+        let mut payload = req.payload.to_vec();
+        if !payload.is_empty() {
+            payload[0] = 1;
+        }
+        out.send_at(
+            cycle,
+            EthernetFrame::new(req.src, self.mac, EtherType::Echo, Bytes::from(payload)),
+        );
+        self.replies += 1;
+        if self.replies >= self.limit {
+            out.stop = true;
+        }
+    }
+
+    fn poll(&mut self, _f: u64, _t: u64, _o: &mut Actions) {}
+}
+
+/// An RTL blade pings a *modeled* node across two switches; the modeled
+/// node's configurable stack delay shows up, cycle-exactly, in the RTL
+/// node's measured RTT.
+#[test]
+fn rtl_pings_modeled_node_across_switches() {
+    let clock = Frequency::GHZ_3_2;
+    let pings = 3;
+    let stack = 32_000u64; // 10 us modeled software stack
+
+    let mut rtts = Vec::new();
+    for stack_cycles in [stack, 2 * stack] {
+        let mut topo = Topology::new();
+        let root = topo.add_switch("root");
+        let tor0 = topo.add_switch("tor0");
+        let tor1 = topo.add_switch("tor1");
+        topo.add_downlinks(root, [tor0, tor1]).unwrap();
+        let pinger = topo.add_server(
+            "pinger",
+            BladeSpec::rtl_single_core(programs::ping_sender(
+                MacAddr::from_node_index(0),
+                MacAddr::from_node_index(1),
+                pings,
+                56,
+                clock.cycles_from_micros(30).as_u64(),
+            )),
+        );
+        let responder = topo.add_server(
+            "linux-echo",
+            BladeSpec::model(
+                OsConfig {
+                    cores: 1,
+                    ctx_switch_cycles: 0,
+                    misplace_prob: 0.0,
+                    ..OsConfig::default()
+                },
+                1,
+                true,
+                move |mac, _| {
+                    Box::new(ModelEcho {
+                        mac,
+                        stack_cycles,
+                        pending: Vec::new(),
+                        replies: 0,
+                        limit: pings as u64,
+                    })
+                },
+            ),
+        );
+        topo.add_downlink(tor0, pinger).unwrap();
+        topo.add_downlink(tor1, responder).unwrap();
+
+        let mut sim = topo
+            .build(SimConfig {
+                link_latency: Cycle::new(1_600), // 0.5 us
+                ..SimConfig::default()
+            })
+            .expect("valid topology");
+        sim.run_until_done(Cycle::new(200_000_000)).expect("runs");
+
+        let probe = sim.servers()[0].probe.as_ref().expect("rtl");
+        let p = probe.lock();
+        assert_eq!(p.exit_code, Some(0));
+        let rtt = u64::from_le_bytes(p.mailbox[8..16].try_into().unwrap());
+        // RTT must cover 8 link crossings + the modeled stack.
+        assert!(rtt > 8 * 1_600 + stack_cycles, "rtt {rtt}");
+        rtts.push(rtt);
+    }
+    // Doubling the modeled stack delay adds exactly that delay to the
+    // RTL-measured RTT (cycle-exact co-simulation of the two worlds).
+    let delta = rtts[1] as i64 - rtts[0] as i64;
+    assert!(
+        (delta - stack as i64).abs() <= 16,
+        "delta {delta}, expected ~{stack}"
+    );
+}
+
+/// The manager assigns MACs/IPs in topology order and populates switch
+/// tables such that any pair can communicate (checked via NIC counters).
+#[test]
+fn sixty_four_node_tree_all_pairs_routable() {
+    // Build the paper's 64-node example (Fig 1) with idle RTL nodes,
+    // plus one pinger/echo pair placed at maximum distance.
+    let clock = Frequency::GHZ_3_2;
+    let mut topo = Topology::new();
+    let root = topo.add_switch("root");
+    let pings = 2;
+    for x in 0..8 {
+        let tor = topo.add_switch(format!("tor{x}"));
+        topo.add_downlink(root, tor).unwrap();
+        for y in 0..8 {
+            let idx = (x * 8 + y) as u64;
+            let spec = if idx == 0 {
+                BladeSpec::rtl_single_core(programs::ping_sender(
+                    MacAddr::from_node_index(0),
+                    MacAddr::from_node_index(63),
+                    pings,
+                    26,
+                    clock.cycles_from_micros(30).as_u64(),
+                ))
+            } else if idx == 63 {
+                BladeSpec::rtl_single_core(programs::echo_responder(pings))
+            } else {
+                BladeSpec::rtl_single_core(programs::boot_poweroff(5))
+            };
+            let node = topo.add_server(format!("node{x}_{y}"), spec);
+            topo.add_downlink(tor, node).unwrap();
+        }
+    }
+    assert_eq!(topo.server_count(), 64);
+
+    let mut sim = topo
+        .build(SimConfig {
+            link_latency: Cycle::new(1_600),
+            supernode: true, // 64 blades -> 16 supernodes
+            ..SimConfig::default()
+        })
+        .expect("valid topology");
+    assert_eq!(sim.plan().fpgas, 16);
+    sim.run_until_done(Cycle::new(400_000_000)).expect("runs");
+
+    let probe = sim.servers()[0].probe.as_ref().expect("rtl");
+    let p = probe.lock();
+    assert_eq!(p.exit_code, Some(0), "pinger did not complete");
+    let rtt = u64::from_le_bytes(p.mailbox[8..16].try_into().unwrap());
+    // node0 -> tor0 -> root -> tor7 -> node63: 8 crossings round trip.
+    assert!(rtt > 8 * 1_600, "rtt {rtt}");
+    // ToR 0 and ToR 7 each forwarded the ping traffic; intermediate
+    // switches saw it too.
+    let forwarded: u64 = sim
+        .switch_stats()
+        .iter()
+        .map(|(_, s)| s.lock().frames_forwarded)
+        .sum();
+    assert!(forwarded >= 3 * 2 * pings as u64, "forwarded {forwarded}");
+}
+
+/// UART output and exit codes propagate from simulated software to the
+/// host probe (the manager's "collect result files" job path).
+#[test]
+fn uart_and_exit_codes_flow_to_probes() {
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let a = topo.add_server(
+        "a",
+        BladeSpec::rtl_single_core(programs::boot_poweroff(50)),
+    );
+    let b = topo.add_server(
+        "b",
+        BladeSpec::rtl_single_core(programs::boot_poweroff(500)),
+    );
+    topo.add_downlinks(tor, [a, b]).unwrap();
+    let mut sim = topo.build(SimConfig::default()).expect("valid topology");
+    let summary = sim.run_until_done(Cycle::new(100_000_000)).expect("runs");
+    assert!(summary.cycles < Cycle::new(100_000_000), "stopped early");
+    for server in sim.servers() {
+        let p = server.probe.as_ref().expect("rtl").lock();
+        assert_eq!(p.exit_code, Some(0), "{} did not power off", server.name);
+        assert!(p.retired > 0);
+    }
+}

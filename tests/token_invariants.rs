@@ -1,0 +1,273 @@
+//! Property-based tests of the token-transport invariants the whole
+//! system rests on (paper §III-B2):
+//!
+//! * a token sent at cycle `m` over a latency-`N` link arrives at `m+N`;
+//! * the switch neither loses nor duplicates frames absent congestion;
+//! * the NIC rate limiter converges to `k/p` of line rate;
+//! * sparse token windows are semantically identical to dense ones.
+
+use proptest::prelude::*;
+
+use firesim_core::{link, AgentCtx, Cycle, Engine, SimAgent, TokenWindow};
+use firesim_net::{
+    EtherType, EthernetFrame, Flit, FrameDeframer, FrameFramer, MacAddr, Switch, SwitchConfig,
+};
+
+// ---------------------------------------------------------------------
+// Link latency invariant
+// ---------------------------------------------------------------------
+
+struct ScheduledSender {
+    sends: Vec<u64>, // absolute cycles, strictly increasing
+    next: usize,
+}
+
+impl SimAgent for ScheduledSender {
+    type Token = u64;
+    fn name(&self) -> &str {
+        "sender"
+    }
+    fn num_inputs(&self) -> usize {
+        0
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+        let base = ctx.now().as_u64();
+        while self.next < self.sends.len() {
+            let at = self.sends[self.next];
+            if at < base || at >= base + u64::from(ctx.window()) {
+                break;
+            }
+            ctx.push_output(0, (at - base) as u32, at);
+            self.next += 1;
+        }
+    }
+}
+
+struct ArrivalRecorder {
+    arrivals: std::sync::Arc<parking_lot::Mutex<Vec<(u64, u64)>>>,
+}
+
+impl SimAgent for ArrivalRecorder {
+    type Token = u64;
+    fn name(&self) -> &str {
+        "recorder"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+        let base = ctx.now().as_u64();
+        let mut a = self.arrivals.lock();
+        for (off, sent_at) in ctx.take_input(0).into_iter() {
+            a.push((sent_at, base + u64::from(off)));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every token arrives exactly `latency` cycles after it was sent,
+    /// for random windows, latencies, and send schedules.
+    #[test]
+    fn token_arrives_exactly_latency_later(
+        window in 1u32..64,
+        latency_windows in 1u64..6,
+        sends in proptest::collection::btree_set(0u64..1_000, 1..20),
+    ) {
+        let latency = u64::from(window) * latency_windows;
+        let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut engine = Engine::new(window);
+        let s = engine.add_agent(Box::new(ScheduledSender {
+            sends: sends.iter().copied().collect(),
+            next: 0,
+        }));
+        let r = engine.add_agent(Box::new(ArrivalRecorder {
+            arrivals: arrivals.clone(),
+        }));
+        engine.connect(s, 0, r, 0, Cycle::new(latency)).unwrap();
+        engine.run_for(Cycle::new(2_000 + latency)).unwrap();
+
+        let observed = arrivals.lock();
+        prop_assert_eq!(observed.len(), sends.len());
+        for &(sent, arrived) in observed.iter() {
+            prop_assert_eq!(arrived, sent + latency);
+        }
+    }
+
+    /// Sparse windows round-trip through the dense representation.
+    #[test]
+    fn sparse_window_equals_dense(
+        dense in proptest::collection::vec(proptest::option::of(0u32..1000), 1..128),
+    ) {
+        let w = TokenWindow::from_dense(dense.clone());
+        let back: Vec<Option<u32>> =
+            w.to_dense().into_iter().map(|o| o.copied()).collect();
+        prop_assert_eq!(back, dense);
+    }
+
+    /// Channels seeded with `latency` tokens never change payload order.
+    #[test]
+    fn channel_preserves_fifo_order(
+        window in 1u32..32,
+        values in proptest::collection::vec(0u64..u64::MAX, 1..50),
+    ) {
+        let latency = Cycle::new(u64::from(window));
+        let (tx, rx) = link::<u64>(window, latency).unwrap();
+        let _seed = rx.recv().unwrap();
+        let mut received = Vec::new();
+        for chunk in values.chunks(1) {
+            let mut w = TokenWindow::new(window);
+            w.push(0, chunk[0]).unwrap();
+            tx.send(w).unwrap();
+            for (_, v) in rx.recv().unwrap().into_iter() {
+                received.push(v);
+            }
+        }
+        prop_assert_eq!(received, values);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Switch conservation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With ample buffering, every frame pushed into a switch comes out
+    /// exactly once, on exactly the routed port, with intact payload.
+    #[test]
+    fn switch_conserves_frames(
+        sizes in proptest::collection::vec(1usize..600, 1..12),
+        seed in 0u64..1_000,
+    ) {
+        let ports = 4usize;
+        let mut sw = Switch::new("sw", SwitchConfig::new(ports));
+        for p in 0..ports {
+            sw.add_route(MacAddr::from_node_index(p as u64), p);
+        }
+        // Frames from port (i % ports) to a deterministic other port.
+        let frames: Vec<(usize, usize, EthernetFrame)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let src = i % ports;
+                let dst = (i + 1 + (seed as usize % (ports - 1))) % ports;
+                let dst = if dst == src { (dst + 1) % ports } else { dst };
+                let f = EthernetFrame::new(
+                    MacAddr::from_node_index(dst as u64),
+                    MacAddr::from_node_index(src as u64),
+                    EtherType::Stream,
+                    bytes::Bytes::from(vec![(i as u8).wrapping_add(seed as u8); n]),
+                );
+                (src, dst, f)
+            })
+            .collect();
+
+        // Feed each source port its frames back to back; run rounds until
+        // drained.
+        let window = 512u32;
+        let mut framers: Vec<FrameFramer> = (0..ports).map(|_| FrameFramer::new()).collect();
+        for (src, _dst, f) in &frames {
+            framers[*src].enqueue(f.clone());
+        }
+        let mut deframers: Vec<FrameDeframer> =
+            (0..ports).map(|_| FrameDeframer::new()).collect();
+        let mut out_frames: Vec<Vec<EthernetFrame>> = vec![Vec::new(); ports];
+        let mut now = 0u64;
+        for _round in 0..64 {
+            let mut inputs: Vec<TokenWindow<Flit>> = Vec::new();
+            for framer in framers.iter_mut() {
+                let mut w = TokenWindow::new(window);
+                for off in 0..window {
+                    match framer.next_flit() {
+                        Some(f) => w.push(off, f).unwrap(),
+                        None => break,
+                    }
+                }
+                inputs.push(w);
+            }
+            let mut ctx = AgentCtx::standalone(Cycle::new(now), window, inputs, ports);
+            sw.advance(&mut ctx);
+            for (p, out) in ctx.into_outputs().into_iter().enumerate() {
+                for (_off, flit) in out.into_iter() {
+                    if let Ok(Some(f)) = deframers[p].push(flit) {
+                        out_frames[p].push(f);
+                    }
+                }
+            }
+            now += u64::from(window);
+            if out_frames.iter().map(Vec::len).sum::<usize>() == frames.len() {
+                break;
+            }
+        }
+
+        // Conservation: every frame delivered exactly once on its port.
+        prop_assert_eq!(
+            out_frames.iter().map(Vec::len).sum::<usize>(),
+            frames.len()
+        );
+        for (_src, dst, f) in &frames {
+            let found = out_frames[*dst].iter().filter(|g| *g == f).count();
+            prop_assert_eq!(found, 1, "frame to port {} seen {} times", dst, found);
+        }
+        let stats = sw.stats_handle();
+        let stats = stats.lock();
+        prop_assert_eq!(stats.drops_buffer, 0);
+        prop_assert_eq!(stats.frames_forwarded as usize, frames.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// NIC rate limiter
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The token-bucket limiter's long-run throughput is k/p of line
+    /// rate (paper §III-A2: "the effective bandwidth k/p times the
+    /// unlimited rate").
+    #[test]
+    fn rate_limiter_long_run_throughput(k in 1u16..4, p_extra in 1u16..40) {
+        use firesim_devices::nic::{reg, send_req, Nic, NicConfig};
+        use firesim_devices::MmioDevice;
+        use firesim_riscv::mem::Memory;
+        use firesim_riscv::DRAM_BASE;
+
+        let p = k + p_extra; // ensure p > k (limiting actually engages)
+        let mut nic = Nic::new(MacAddr::from_node_index(0), NicConfig::default());
+        let mut mem = Memory::new(DRAM_BASE, 1 << 20);
+        nic.set_rate_limit(k, p);
+        // One large buffer, sent repeatedly.
+        let bytes = 4096usize;
+        mem.write_bytes(DRAM_BASE, &vec![0xEE; bytes]).unwrap();
+
+        let cycles = 60_000u64;
+        let mut sent_flits = 0u64;
+        for _ in 0..cycles {
+            // Keep the send queue full.
+            if nic.read(reg::COUNTS, 8) & 0xff > 0 {
+                nic.write(reg::SEND_REQ, 8, send_req(DRAM_BASE, bytes as u32));
+            }
+            let _ = nic.read(reg::SEND_COMP, 8);
+            if nic.tick(&mut mem, None).is_some() {
+                sent_flits += 1;
+            }
+        }
+        let expected = cycles as f64 * f64::from(k) / f64::from(p);
+        let ratio = sent_flits as f64 / expected;
+        prop_assert!(
+            (0.93..=1.07).contains(&ratio),
+            "k={} p={} sent={} expected={:.0}",
+            k, p, sent_flits, expected
+        );
+    }
+}
