@@ -8,9 +8,7 @@ use firesim_bench::experiments::fig5_ping;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig05_ping");
     g.sample_size(10);
-    g.bench_function("latency_2us_5pings", |b| {
-        b.iter(|| fig5_ping(&[2.0], 5))
-    });
+    g.bench_function("latency_2us_5pings", |b| b.iter(|| fig5_ping(&[2.0], 5)));
     g.finish();
 
     let rows = fig5_ping(&[1.0, 2.0, 4.0], 10);

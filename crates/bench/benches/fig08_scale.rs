@@ -8,9 +8,7 @@ use firesim_bench::experiments::fig8_scale;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig08_scale");
     g.sample_size(10);
-    g.bench_function("nodes_8_standard", |b| {
-        b.iter(|| fig8_scale(&[8], 16_000))
-    });
+    g.bench_function("nodes_8_standard", |b| b.iter(|| fig8_scale(&[8], 16_000)));
     g.finish();
 
     let rows = fig8_scale(&[4, 16, 64], 64_000);

@@ -6,9 +6,7 @@ use firesim_bench::experiments::fig11_pfa;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_pfa");
     g.sample_size(10);
-    g.bench_function("genome_small", |b| {
-        b.iter(|| fig11_pfa(128, 800, &[0.25]))
-    });
+    g.bench_function("genome_small", |b| b.iter(|| fig11_pfa(128, 800, &[0.25])));
     g.finish();
 
     let rows = fig11_pfa(1_024, 8_000, &[0.125, 0.5]);

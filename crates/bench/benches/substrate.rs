@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use firesim_blade::{programs, BladeConfig, RtlBlade};
 use firesim_core::{AgentCtx, Cycle, SimAgent, TokenWindow};
+use firesim_manager::{BladeSpec, SimConfig, Simulation, Topology};
 use firesim_net::{EtherType, EthernetFrame, Flit, FrameFramer, MacAddr, Switch, SwitchConfig};
 use firesim_riscv::asm::Assembler;
 use firesim_riscv::exec::Cpu;
@@ -53,12 +54,8 @@ fn bench_blade(c: &mut Criterion) {
         prog.install(&mut blade);
         let mut now = 0u64;
         b.iter(|| {
-            let mut ctx = AgentCtx::standalone(
-                Cycle::new(now),
-                6_400,
-                vec![TokenWindow::new(6_400)],
-                1,
-            );
+            let mut ctx =
+                AgentCtx::standalone(Cycle::new(now), 6_400, vec![TokenWindow::new(6_400)], 1);
             blade.advance(&mut ctx);
             now += 6_400;
         })
@@ -138,5 +135,79 @@ fn bench_mem_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_isa, bench_blade, bench_switch, bench_mem_models);
+/// Builds a parked cluster: `nodes` RTL blades (running `park`, i.e. an
+/// idle OS spin) under top-of-rack switches of 8 ports each, plus a root
+/// switch when more than one rack is needed. This is the FireSim
+/// "simulation rate on an idle cluster" configuration, mixing heavy
+/// (blade) and light (switch) agents in one engine.
+fn parked_cluster(nodes: usize, link_latency: u64, host_threads: usize) -> Simulation {
+    let mut topo = Topology::new();
+    let racks = nodes.div_ceil(8);
+    if racks == 1 {
+        let tor = topo.add_switch("tor0");
+        for n in 0..nodes {
+            let s = topo.add_server(
+                format!("n{n}"),
+                BladeSpec::rtl_single_core(programs::park()),
+            );
+            topo.add_downlink(tor, s).unwrap();
+        }
+    } else {
+        let root = topo.add_switch("root");
+        for r in 0..racks {
+            let tor = topo.add_switch(format!("tor{r}"));
+            topo.add_downlink(root, tor).unwrap();
+            for n in (r * 8)..((r + 1) * 8).min(nodes) {
+                let s = topo.add_server(
+                    format!("n{n}"),
+                    BladeSpec::rtl_single_core(programs::park()),
+                );
+                topo.add_downlink(tor, s).unwrap();
+            }
+        }
+    }
+    topo.build(SimConfig {
+        link_latency: Cycle::new(link_latency),
+        host_threads,
+        ..SimConfig::default()
+    })
+    .unwrap()
+}
+
+/// Engine hot-path throughput: target cycles per host second on parked
+/// clusters (this is the number EXPERIMENTS.md reports as simulated MHz).
+///
+/// The small link latency (256 cycles) stresses the token-exchange path —
+/// window allocation, channel synchronisation, and scheduling — which is
+/// exactly what the engine's recycling/scheduling machinery optimises;
+/// per-cycle model cost is the same either way.
+fn bench_engine_throughput(c: &mut Criterion) {
+    const LINK_LATENCY: u64 = 256;
+    const ROUNDS_PER_ITER: u64 = 8;
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(LINK_LATENCY * ROUNDS_PER_ITER));
+    for nodes in [8usize, 64] {
+        for threads in [1usize, 2, 4, 8] {
+            let mut sim = parked_cluster(nodes, LINK_LATENCY, threads);
+            g.bench_function(format!("parked{nodes}/t{threads}"), |b| {
+                b.iter(|| {
+                    sim.run_for(Cycle::new(LINK_LATENCY * ROUNDS_PER_ITER))
+                        .unwrap()
+                        .cycles
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_isa,
+    bench_blade,
+    bench_switch,
+    bench_mem_models,
+    bench_engine_throughput
+);
 criterion_main!(benches);

@@ -36,8 +36,17 @@ fn main() {
             "util" => util(&mut store),
             "all" => {
                 for e in [
-                    "fig5", "iperf", "baremetal", "fig6", "fig7", "fig8", "fig9", "plan",
-                    "table3", "fig11", "util",
+                    "fig5",
+                    "iperf",
+                    "baremetal",
+                    "fig6",
+                    "fig7",
+                    "fig8",
+                    "fig9",
+                    "plan",
+                    "table3",
+                    "fig11",
+                    "util",
                 ] {
                     run_one(e, &mut store);
                 }
@@ -93,7 +102,10 @@ fn fig5(store: &mut ResultStore) {
     let rows = exp::fig5_ping(&lats, pings);
     let mut rec = ExperimentRecord::new("fig5");
     rec.param("pings", pings as u64);
-    println!("{:>12} {:>12} {:>12} {:>10}", "latency_us", "ideal_us", "measured_us", "offset_us");
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "latency_us", "ideal_us", "measured_us", "offset_us"
+    );
     for r in &rows {
         println!(
             "{:>12.1} {:>12.2} {:>12.2} {:>10.2}",
@@ -117,7 +129,10 @@ fn iperf(store: &mut ResultStore) {
     header("SecIV-B: iperf3-style single-stream bandwidth (software-stack bound)");
     let bytes = if full_scale() { 8 << 20 } else { 1 << 20 };
     let r = exp::iperf(bytes);
-    println!("goodput: {:.2} Gbit/s over {} bytes (paper: 1.4 Gbit/s)", r.gbps, r.bytes);
+    println!(
+        "goodput: {:.2} Gbit/s over {} bytes (paper: 1.4 Gbit/s)",
+        r.gbps, r.bytes
+    );
     let mut rec = ExperimentRecord::new("iperf");
     rec.push_row([("gbps", r.gbps)]);
     store.put(rec);
@@ -165,7 +180,9 @@ fn fig7(store: &mut ResultStore) {
     header("Fig 7: memcached thread imbalance (1 server x 4 cores, 7 mutilate nodes)");
     let (qps, reqs): (Vec<f64>, u64) = if full_scale() {
         (
-            vec![50_000.0, 150_000.0, 250_000.0, 350_000.0, 450_000.0, 550_000.0],
+            vec![
+                50_000.0, 150_000.0, 250_000.0, 350_000.0, 450_000.0, 550_000.0,
+            ],
             2_000,
         )
     } else {
@@ -268,7 +285,10 @@ fn plan(store: &mut ResultStore) {
         ("f1_16xlarge", serde_json::json!(plan.f1_16xlarge)),
         ("m4_16xlarge", serde_json::json!(plan.m4_16xlarge)),
         ("spot_per_hour", serde_json::json!(plan.spot_per_hour)),
-        ("ondemand_per_hour", serde_json::json!(plan.ondemand_per_hour)),
+        (
+            "ondemand_per_hour",
+            serde_json::json!(plan.ondemand_per_hour),
+        ),
         ("fpga_value", serde_json::json!(plan.fpga_value)),
     ]);
     store.put(rec);
@@ -324,7 +344,10 @@ fn fig11(store: &mut ResultStore) {
             ("workload", serde_json::json!(r.workload)),
             ("mode", serde_json::json!(r.mode)),
             ("local_fraction", serde_json::json!(r.local_fraction)),
-            ("normalized_runtime", serde_json::json!(r.normalized_runtime)),
+            (
+                "normalized_runtime",
+                serde_json::json!(r.normalized_runtime),
+            ),
             ("faults", serde_json::json!(r.faults)),
             ("metadata_cycles", serde_json::json!(r.metadata_cycles)),
         ]);

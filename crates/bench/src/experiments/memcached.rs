@@ -6,9 +6,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use firesim_blade::model::OsConfig;
-use firesim_blade::services::{
-    KvServer, KvServerConfig, Mutilate, MutilateConfig, MutilateStats,
-};
+use firesim_blade::services::{KvServer, KvServerConfig, Mutilate, MutilateConfig, MutilateStats};
 use firesim_core::stats::Histogram;
 use firesim_core::Cycle;
 use firesim_manager::{BladeSpec, SimConfig, Topology};
@@ -79,8 +77,7 @@ fn run_kv(
     tree: KvTree,
 ) -> (Histogram, f64) {
     let mut topo = Topology::new();
-    let stats: Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>> =
-        Arc::new(Mutex::new(Vec::new()));
+    let stats: Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>> = Arc::new(Mutex::new(Vec::new()));
 
     // Build the switch layer.
     let (server_count, attach): (usize, AttachFn) = match tree {
@@ -240,7 +237,11 @@ enum PairHops {
 /// mid-load p95.
 pub fn fig7_memcached(qps_points: &[f64], requests_per_client: u64) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
-    for case in [Fig7Case::Threads4, Fig7Case::Threads5, Fig7Case::Threads4Pinned] {
+    for case in [
+        Fig7Case::Threads4,
+        Fig7Case::Threads5,
+        Fig7Case::Threads4Pinned,
+    ] {
         for &qps in qps_points {
             let clients = 7;
             let (mut hist, achieved) = run_kv(
@@ -377,15 +378,12 @@ mod tests {
         let rows = table3_memcached(16, 60);
         assert_eq!(rows.len(), 3);
         // p50 grows by roughly 4 x link latency + switching per level.
-        assert!(
-            rows[1].p50_us > rows[0].p50_us + 4.0,
-            "{rows:?}"
-        );
-        assert!(
-            rows[2].p50_us > rows[1].p50_us + 4.0,
-            "{rows:?}"
-        );
+        assert!(rows[1].p50_us > rows[0].p50_us + 4.0, "{rows:?}");
+        assert!(rows[2].p50_us > rows[1].p50_us + 4.0, "{rows:?}");
         // Aggregate QPS decreases modestly with distance.
-        assert!(rows[2].aggregate_qps <= rows[0].aggregate_qps * 1.01, "{rows:?}");
+        assert!(
+            rows[2].aggregate_qps <= rows[0].aggregate_qps * 1.01,
+            "{rows:?}"
+        );
     }
 }

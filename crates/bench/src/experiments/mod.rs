@@ -1,7 +1,7 @@
 //! Experiment implementations, one module per paper figure/table.
 
-mod net_validation;
 mod memcached;
+mod net_validation;
 mod perf;
 mod pfa;
 

@@ -143,10 +143,9 @@ pub fn iperf(total_bytes: u64) -> BandwidthResult {
     );
     topo.add_downlinks(tor, [snd, rcv]).unwrap();
 
-    let mut sim = topo
-        .build(SimConfig::default())
-        .expect("valid topology");
-    sim.run_until_done(Cycle::new(200_000_000_000)).expect("runs");
+    let mut sim = topo.build(SimConfig::default()).expect("valid topology");
+    sim.run_until_done(Cycle::new(200_000_000_000))
+        .expect("runs");
 
     let stats = stats_cell.lock().take().expect("factory ran");
     let s = stats.lock();
@@ -255,7 +254,10 @@ pub fn fig6_saturation(
             );
             senders.push(topo.add_server(
                 format!("sender{i}"),
-                BladeSpec::Rtl { config, program: prog },
+                BladeSpec::Rtl {
+                    config,
+                    program: prog,
+                },
             ));
         }
         let mut receivers = Vec::new();
@@ -298,8 +300,8 @@ pub fn fig6_saturation(
             .collect();
         let peak = points.iter().map(|&(_, g)| g).fold(0.0, f64::max);
         let tail_points = &points[points.len() - points.len() / 4..];
-        let steady = tail_points.iter().map(|&(_, g)| g).sum::<f64>()
-            / tail_points.len().max(1) as f64;
+        let steady =
+            tail_points.iter().map(|&(_, g)| g).sum::<f64>() / tail_points.len().max(1) as f64;
         out.push(Fig6Series {
             sender_gbps: rate,
             points,

@@ -121,8 +121,7 @@ pub fn fig9_latency(latencies_us: &[f64], target_cycles: u64) -> Vec<Fig9Row> {
         // EC2 model: FPGA cycle time in series with the amortised PCIe
         // batch transfer (one batch in, one out, per link latency).
         let transport_hz = pcie.sim_rate_bound_hz(latency.as_u64(), 8);
-        let modeled_hz =
-            1.0 / (1.0 / (FPGA_INTRINSIC_MHZ * 1e6) + 1.0 / transport_hz);
+        let modeled_hz = 1.0 / (1.0 / (FPGA_INTRINSIC_MHZ * 1e6) + 1.0 / transport_hz);
         rows.push(Fig9Row {
             link_latency_us: lat_us,
             sim_rate_mhz: summary.sim_rate_mhz(),

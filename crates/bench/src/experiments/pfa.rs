@@ -31,11 +31,7 @@ pub struct Fig11Row {
     pub metadata_cycles: u64,
 }
 
-fn run_one(
-    mode: PagingMode,
-    stream: AccessStream,
-    local_pages: u64,
-) -> (u64, u64, u64) {
+fn run_one(mode: PagingMode, stream: AccessStream, local_pages: u64) -> (u64, u64, u64) {
     let wl_mac = MacAddr::from_node_index(0);
     let mb_mac = MacAddr::from_node_index(1);
     let stats_cell: Arc<Mutex<Option<Arc<Mutex<PagingStats>>>>> = Arc::new(Mutex::new(None));
@@ -74,10 +70,9 @@ fn run_one(
     topo.add_downlinks(tor, [wl, mb]).unwrap();
     let _ = wl_mac;
 
-    let mut sim = topo
-        .build(SimConfig::default())
-        .expect("valid topology");
-    sim.run_until_done(Cycle::new(500_000_000_000)).expect("runs");
+    let mut sim = topo.build(SimConfig::default()).expect("valid topology");
+    sim.run_until_done(Cycle::new(500_000_000_000))
+        .expect("runs");
 
     let stats = stats_cell.lock().take().expect("factory ran");
     let s = stats.lock();
@@ -94,11 +89,7 @@ fn run_one(
 ///
 /// `working_set_pages` is the workload size (the paper uses 64 MiB =
 /// 16384 x 4 KiB pages); `genome_accesses` scales the genome run length.
-pub fn fig11_pfa(
-    working_set_pages: u64,
-    genome_accesses: u64,
-    fractions: &[f64],
-) -> Vec<Fig11Row> {
+pub fn fig11_pfa(working_set_pages: u64, genome_accesses: u64, fractions: &[f64]) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for workload in ["genome", "qsort"] {
         let stream = |seed: u64| match workload {

@@ -26,7 +26,9 @@ pub mod experiments;
 /// True when `FIRESIM_FULL=1`: run experiments at full paper scale
 /// (1024 nodes, long sweeps) instead of the quick default scale.
 pub fn full_scale() -> bool {
-    std::env::var("FIRESIM_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("FIRESIM_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Host threads to use for engines (leaves a couple of cores for the OS).

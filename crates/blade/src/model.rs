@@ -361,12 +361,7 @@ impl std::fmt::Debug for ModeledBlade {
 
 impl ModeledBlade {
     /// Creates a node running `app` under the given OS model.
-    pub fn new(
-        name: impl Into<String>,
-        mac: MacAddr,
-        os: OsModel,
-        app: Box<dyn NodeApp>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, mac: MacAddr, os: OsModel, app: Box<dyn NodeApp>) -> Self {
         ModeledBlade {
             name: name.into(),
             mac,
@@ -421,9 +416,8 @@ impl SimAgent for ModeledBlade {
         let base = ctx.now().as_u64();
 
         // --- 1. Gather frame arrivals (cycle of last flit). ---
-        let input = ctx.take_input(0);
         let mut arrivals: Vec<(u64, EthernetFrame)> = Vec::new();
-        for (off, flit) in input.into_iter() {
+        for (off, flit) in ctx.drain_input(0) {
             if let Ok(Some(frame)) = self.deframer.push(flit) {
                 arrivals.push((base + u64::from(off), frame));
             }
@@ -528,8 +522,8 @@ impl SimAgent for ModeledBlade {
 mod tests {
     use super::*;
     use firesim_core::{Cycle, Engine, TokenWindow};
-    use std::sync::Arc;
     use parking_lot::Mutex;
+    use std::sync::Arc;
 
     /// Echoes every frame back to its source after `work` cycles of CPU.
     struct EchoApp {
@@ -615,12 +609,7 @@ mod tests {
             replies: 0,
             limit: 1,
         };
-        let a = ModeledBlade::new(
-            "a",
-            mac_a,
-            OsModel::new(os_cfg, 1, true),
-            Box::new(probe),
-        );
+        let a = ModeledBlade::new("a", mac_a, OsModel::new(os_cfg, 1, true), Box::new(probe));
         let b = ModeledBlade::new("b", mac_b, OsModel::new(os_cfg, 1, true), Box::new(echo));
 
         let mut engine: Engine<Flit> = Engine::new(100);
@@ -723,7 +712,6 @@ mod tests {
             ctx_switch_cycles: 0,
             misplace_prob: 1.0, // always misplace
             seed: 3,
-            ..OsConfig::default()
         };
         let mut os = OsModel::new(cfg, 2, false);
         os.enqueue(0, 1_000, 1);
@@ -789,12 +777,7 @@ mod tests {
             OsModel::new(cfg, 1, true),
             Box::new(SendTwo { sent: false }),
         );
-        let mut ctx = AgentCtx::standalone(
-            Cycle::new(0),
-            64,
-            vec![TokenWindow::new(64)],
-            1,
-        );
+        let mut ctx = AgentCtx::standalone(Cycle::new(0), 64, vec![TokenWindow::new(64)], 1);
         blade.advance(&mut ctx);
         let out = ctx.into_outputs().remove(0);
         let offsets: Vec<u32> = out.iter().map(|(o, _)| o).collect();

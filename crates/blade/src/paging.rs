@@ -431,9 +431,7 @@ impl PagedWorkload {
                         PagingMode::Software => {
                             self.costs.compute_cycles + self.costs.sw_fault_cycles
                         }
-                        PagingMode::Pfa => {
-                            self.costs.compute_cycles + self.costs.pfa_fault_cycles
-                        }
+                        PagingMode::Pfa => self.costs.compute_cycles + self.costs.pfa_fault_cycles,
                     };
                     out.work_on(0, fault_cost, TAG_FAULT);
                 }
@@ -455,7 +453,10 @@ impl NodeApp for PagedWorkload {
         if evicted {
             self.stats.lock().evictions += 1;
             // Dirty victim: write it back to the memory blade.
-            out.send_at(cycle, rm_frame(self.mem_blade, self.mac, RM_PUT, page, true));
+            out.send_at(
+                cycle,
+                rm_frame(self.mem_blade, self.mac, RM_PUT, page, true),
+            );
         }
         match self.mode {
             PagingMode::Software => {
@@ -496,7 +497,10 @@ impl NodeApp for PagedWorkload {
             TAG_STEP | TAG_RESUME => self.step(cycle, out),
             TAG_FAULT => {
                 let page = self.faulting.expect("fault in progress");
-                out.send_at(cycle, rm_frame(self.mem_blade, self.mac, RM_GET, page, false));
+                out.send_at(
+                    cycle,
+                    rm_frame(self.mem_blade, self.mac, RM_GET, page, false),
+                );
             }
             TAG_ASYNC => {}
             _ => {}
@@ -546,26 +550,14 @@ mod tests {
             misplace_prob: 0.0,
             ..OsConfig::default()
         };
-        let wl_blade = ModeledBlade::new(
-            "wl",
-            wl_mac,
-            OsModel::new(os_cfg, 1, true),
-            Box::new(wl),
-        );
-        let mb_blade = ModeledBlade::new(
-            "mb",
-            mb_mac,
-            OsModel::new(os_cfg, 1, true),
-            Box::new(mb),
-        );
+        let wl_blade = ModeledBlade::new("wl", wl_mac, OsModel::new(os_cfg, 1, true), Box::new(wl));
+        let mb_blade = ModeledBlade::new("mb", mb_mac, OsModel::new(os_cfg, 1, true), Box::new(mb));
         let mut engine: Engine<Flit> = Engine::new(6_400);
         let w = engine.add_agent(Box::new(wl_blade));
         let m = engine.add_agent(Box::new(mb_blade));
         engine.connect(w, 0, m, 0, Cycle::new(6_400)).unwrap();
         engine.connect(m, 0, w, 0, Cycle::new(6_400)).unwrap();
-        engine
-            .run_until_done(Cycle::new(20_000_000_000))
-            .unwrap();
+        engine.run_until_done(Cycle::new(20_000_000_000)).unwrap();
         let s = stats.lock();
         (
             s.runtime().expect("finished"),
@@ -577,11 +569,8 @@ mod tests {
 
     #[test]
     fn all_local_memory_means_no_faults() {
-        let (rt, faults, evictions, _) = run_paging(
-            PagingMode::Software,
-            AccessStream::genome(64, 500, 11),
-            64,
-        );
+        let (rt, faults, evictions, _) =
+            run_paging(PagingMode::Software, AccessStream::genome(64, 500, 11), 64);
         // Cold faults only (some of the 64 pages may go untouched).
         assert!((48..=64).contains(&faults), "faults {faults}");
         assert_eq!(evictions, 0);
@@ -591,8 +580,7 @@ mod tests {
     #[test]
     fn pfa_beats_software_paging_when_fault_bound() {
         let stream = || AccessStream::genome(256, 1_500, 5);
-        let (rt_sw, faults_sw, _, meta_sw) =
-            run_paging(PagingMode::Software, stream(), 32);
+        let (rt_sw, faults_sw, _, meta_sw) = run_paging(PagingMode::Software, stream(), 32);
         let (rt_pfa, faults_pfa, _, meta_pfa) = run_paging(PagingMode::Pfa, stream(), 32);
         // Identical access streams and replacement: identical faults.
         assert_eq!(faults_sw, faults_pfa);
@@ -612,11 +600,15 @@ mod tests {
         // Shrinking local memory 8x should hurt genome (random) much more
         // than qsort (mostly-local recursion).
         let genome = |local| {
-            run_paging(PagingMode::Software, AccessStream::genome(256, 1_500, 5), local).0 as f64
+            run_paging(
+                PagingMode::Software,
+                AccessStream::genome(256, 1_500, 5),
+                local,
+            )
+            .0 as f64
         };
-        let qsort = |local| {
-            run_paging(PagingMode::Software, AccessStream::qsort(256), local).0 as f64
-        };
+        let qsort =
+            |local| run_paging(PagingMode::Software, AccessStream::qsort(256), local).0 as f64;
         let genome_slowdown = genome(32) / genome(256);
         let qsort_slowdown = qsort(32) / qsort(256);
         assert!(

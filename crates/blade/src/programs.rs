@@ -94,7 +94,10 @@ pub fn ping_sender(
     payload_len: usize,
     spacing_cycles: u64,
 ) -> Program {
-    assert!(payload_len >= 1, "echo payload needs at least the kind byte");
+    assert!(
+        payload_len >= 1,
+        "echo payload needs at least the kind byte"
+    );
     let mut payload = vec![0u8; payload_len];
     payload[0] = 0; // kind: request
     let frame = frame_bytes(dst, my_mac, EtherType::Echo, &payload);
@@ -107,7 +110,7 @@ pub fn ping_sender(
     a.li(14, count as i64);
     a.li(15, spacing_cycles as i64);
     a.li(17, (TXBUF | (frame_len << 48)) as i64); // send request word
-    // Post the receive buffer for the first reply.
+                                                  // Post the receive buffer for the first reply.
     a.sd(12, 10, reg::RECV_REQ as i64);
     a.label("loop");
     a.csrr(20, csr::CYCLE); // t_start
@@ -153,7 +156,7 @@ pub fn echo_responder(responses: usize) -> Program {
     a.ld(5, 10, reg::RECV_COMP as i64);
     a.beqz(5, "loop");
     a.addi(6, 5, -1); // frame length
-    // Swap dst (bytes 0-5) and src (bytes 6-11).
+                      // Swap dst (bytes 0-5) and src (bytes 6-11).
     for i in 0..6i64 {
         a.lbu(7, 12, i);
         a.lbu(8, 12, 6 + i);
@@ -306,7 +309,10 @@ pub fn stream_receiver(my_mac: MacAddr, ack_dst: MacAddr, expected_bytes: u64) -
 pub fn memcpy_race(len: u64) -> Program {
     use firesim_devices::accel::{reg as areg, CMD_COPY};
     use firesim_devices::map::ACCEL_BASE;
-    assert!(len >= 16 && len.is_multiple_of(8), "len must be a multiple of 8, >= 16");
+    assert!(
+        len >= 16 && len.is_multiple_of(8),
+        "len must be a multiple of 8, >= 16"
+    );
     let src = DRAM_BASE + 0x10_0000;
     let dst_sw = DRAM_BASE + 0x14_0000;
     let dst_hw = DRAM_BASE + 0x18_0000;

@@ -33,7 +33,14 @@ use crate::model::{Actions, NodeApp};
 const KV_GET: u8 = 0;
 const KV_RESP: u8 = 1;
 
-fn kv_frame(dst: MacAddr, src: MacAddr, kind: u8, id: u64, stamp: u64, pad: usize) -> EthernetFrame {
+fn kv_frame(
+    dst: MacAddr,
+    src: MacAddr,
+    kind: u8,
+    id: u64,
+    stamp: u64,
+    pad: usize,
+) -> EthernetFrame {
     let mut p = Vec::with_capacity(17 + pad);
     p.push(kind);
     p.extend_from_slice(&id.to_le_bytes());
@@ -163,7 +170,14 @@ impl NodeApp for KvServer {
         self.stats.lock().responses += 1;
         out.send_at(
             cycle,
-            kv_frame(client, self.mac, KV_RESP, id, stamp, self.config.value_bytes),
+            kv_frame(
+                client,
+                self.mac,
+                KV_RESP,
+                id,
+                stamp,
+                self.config.value_bytes,
+            ),
         );
     }
 
@@ -438,7 +452,9 @@ impl IperfSender {
     }
 
     fn total_segments(&self) -> u64 {
-        self.config.total_bytes.div_ceil(self.config.segment_bytes as u64)
+        self.config
+            .total_bytes
+            .div_ceil(self.config.segment_bytes as u64)
     }
 
     fn maybe_send(&mut self, out: &mut Actions) {

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use firesim_core::{AgentCtx, SimAgent};
-use firesim_net::Flit;
 use firesim_devices::{map, BlockDevice, Clint, CopyAccel, MmioDevice, Nic, NicStats, Uart};
+use firesim_net::Flit;
 use firesim_riscv::exec::Cpu;
 use firesim_riscv::mem::{Bus, MemFault, Memory};
 use firesim_riscv::{Interrupt, DRAM_BASE};
@@ -137,6 +137,7 @@ pub struct RtlBlade {
     uart_read: usize,
     probe: Arc<Mutex<BladeProbe>>,
     store_scratch: Vec<u64>,
+    rx_scratch: Vec<(u32, Flit)>,
 }
 
 impl std::fmt::Debug for RtlBlade {
@@ -173,6 +174,7 @@ impl RtlBlade {
             uart_read: 0,
             probe: Arc::new(Mutex::new(BladeProbe::default())),
             store_scratch: Vec::new(),
+            rx_scratch: Vec::new(),
         }
     }
 
@@ -266,29 +268,18 @@ impl RtlBlade {
     }
 }
 
-impl SimAgent for RtlBlade {
-    type Token = Flit;
-
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn num_inputs(&self) -> usize {
-        1
-    }
-
-    fn num_outputs(&self) -> usize {
-        1
-    }
-
-    fn done(&self) -> bool {
-        self.powered_off.is_some()
-    }
-
-    fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
+impl RtlBlade {
+    /// Advances the blade one window using the given ports of `ctx`.
+    ///
+    /// This is the whole blade model; [`SimAgent::advance`] calls it with
+    /// ports `(0, 0)`, and [`Supernode`](crate::Supernode) drives several
+    /// blades on distinct ports of one shared context. Input tokens are
+    /// drained in place so the engine can recycle the window's buffer.
+    pub fn advance_ports(&mut self, ctx: &mut AgentCtx<Flit>, in_port: usize, out_port: usize) {
         let window = ctx.window();
-        let input = ctx.take_input(0);
-        let mut rx_iter = input.into_iter().peekable();
+        self.rx_scratch.clear();
+        self.rx_scratch.extend(ctx.drain_input(in_port));
+        let mut rx_idx = 0usize;
 
         for off in 0..window {
             if self.powered_off.is_none() {
@@ -342,18 +333,45 @@ impl SimAgent for RtlBlade {
             // NIC keeps exchanging tokens even when powered off (the
             // paper's token discipline: every cycle consumes and produces
             // a token; a powered-off node just produces empty ones).
-            let rx = match rx_iter.peek() {
-                Some(&(o, _)) if o == off => rx_iter.next().map(|(_, f)| f),
+            let rx = match self.rx_scratch.get(rx_idx) {
+                Some(&(o, f)) if o == off => {
+                    rx_idx += 1;
+                    Some(f)
+                }
                 _ => None,
             };
             let tx = self.nic.tick(&mut self.mem, rx);
             if let Some(flit) = tx {
-                ctx.push_output(0, off, flit);
+                ctx.push_output(out_port, off, flit);
             }
 
             self.cycle += 1;
         }
         self.sync_probe();
+    }
+}
+
+impl SimAgent for RtlBlade {
+    type Token = Flit;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn done(&self) -> bool {
+        self.powered_off.is_some()
+    }
+
+    fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
+        self.advance_ports(ctx, 0, 0);
     }
 }
 
@@ -515,7 +533,7 @@ mod tests {
         a.addi(8, 8, -1);
         a.bnez(8, "work");
         a.bnez(5, "park"); // non-zero harts park
-        // Hart 0: wait for all 4 harts' contributions.
+                           // Hart 0: wait for all 4 harts' contributions.
         a.li(9, 4 * n);
         a.label("wait");
         a.ld(6, 10, 0);

@@ -72,14 +72,11 @@ impl SimAgent for Supernode {
     }
 
     fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
-        let window = ctx.window();
+        // Each blade drains input port `i` and fills output port `i` of
+        // the shared context directly — no per-blade sub-context, so the
+        // engine's window recycling applies to supernode members too.
         for (i, blade) in self.blades.iter_mut().enumerate() {
-            // Build a per-blade sub-context over this blade's port pair.
-            let input = ctx.take_input(i);
-            let mut sub = AgentCtx::standalone(ctx.now(), window, vec![input], 1);
-            blade.advance(&mut sub);
-            let mut outputs = sub.into_outputs();
-            *ctx.output_mut(i) = outputs.remove(0);
+            blade.advance_ports(ctx, i, i);
         }
     }
 }

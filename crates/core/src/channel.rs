@@ -6,21 +6,71 @@
 //! with `L / W` *empty* windows, exactly like the paper's description of
 //! simulation start-up ("each input token queue initialized with l tokens").
 //!
-//! The channel is a bounded MPSC queue from crossbeam under the hood, but
+//! The channel is a bounded SPSC queue built on `std::sync` primitives, but
 //! the token-counting discipline means the *simulation result* never depends
 //! on host-side timing: a receiver simply blocks until the window for its
 //! next target cycle range arrives.
+//!
+//! # Window recycling
+//!
+//! Each link carries a pool of *spare* buffers alongside the data queue.
+//! After a receiver consumes a window it can return the (cleared) buffer
+//! with [`LinkReceiver::recycle`]; the sender then obtains a
+//! capacity-retaining buffer for its next window via
+//! [`LinkSender::take_buffer`] instead of allocating. Once the pool is
+//! warm, a steady-state simulation round performs no heap allocation on
+//! the token path.
 
-use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 use crate::error::{SimError, SimResult};
 use crate::time::Cycle;
 use crate::token::TokenWindow;
 
+/// How long a halt-aware blocking operation sleeps between halt checks.
+/// Data arrival wakes the waiter immediately via condvar notification;
+/// this bound only limits how stale a halt request can go unnoticed.
+const HALT_POLL: Duration = Duration::from_micros(500);
+
+/// How many times a halt-aware blocking operation yields the CPU before
+/// parking on the condvar. On an oversubscribed host (more workers than
+/// cores) the peer usually only needs a scheduling quantum to produce or
+/// consume a window; a `yield_now` hands it one at a fraction of the cost
+/// of a futex sleep/wake round trip.
+const SPIN_YIELDS: u32 = 3;
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<TokenWindow<T>>,
+    /// Consumed windows returned by the receiver, ready for reuse.
+    spares: Vec<TokenWindow<T>>,
+    cap: usize,
+    tx_alive: bool,
+    rx_alive: bool,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signaled when a window is enqueued or the sender goes away.
+    recv_cv: Condvar,
+    /// Signaled when queue space frees up or the receiver goes away.
+    send_cv: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// Sending half of a simulation link.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LinkSender<T> {
-    tx: Sender<TokenWindow<T>>,
+    shared: Arc<Shared<T>>,
     window: u32,
     latency: Cycle,
 }
@@ -28,7 +78,7 @@ pub struct LinkSender<T> {
 /// Receiving half of a simulation link.
 #[derive(Debug)]
 pub struct LinkReceiver<T> {
-    rx: Receiver<TokenWindow<T>>,
+    shared: Arc<Shared<T>>,
     window: u32,
     latency: Cycle,
 }
@@ -67,19 +117,30 @@ pub fn link<T>(window: u32, latency: Cycle) -> SimResult<(LinkSender<T>, LinkRec
     let in_flight = (latency.as_u64() / window as u64) as usize;
     // One extra slot so a producer finishing its round never blocks on a
     // consumer that has not yet started its round.
-    let (tx, rx) = bounded(in_flight + 1);
+    let cap = in_flight + 1;
+    let mut queue = VecDeque::with_capacity(cap);
     for _ in 0..in_flight {
-        tx.send(TokenWindow::new(window))
-            .expect("seeding a freshly created channel cannot fail");
+        queue.push_back(TokenWindow::new(window));
     }
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue,
+            spares: Vec::with_capacity(cap),
+            cap,
+            tx_alive: true,
+            rx_alive: true,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+    });
     Ok((
         LinkSender {
-            tx,
+            shared: Arc::clone(&shared),
             window,
             latency,
         },
         LinkReceiver {
-            rx,
+            shared,
             window,
             latency,
         },
@@ -97,22 +158,58 @@ impl<T> LinkSender<T> {
         self.latency
     }
 
-    /// Sends one window of tokens.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::WindowMismatch`] if the window length is wrong,
-    /// or [`SimError::ChannelClosed`] if the receiver has been dropped.
-    pub fn send(&self, w: TokenWindow<T>) -> SimResult<()> {
+    fn check_window(&self, w: &TokenWindow<T>) -> SimResult<()> {
         if w.len() != self.window {
             return Err(SimError::WindowMismatch {
                 expected: self.window,
                 actual: w.len(),
             });
         }
-        self.tx.send(w).map_err(|_| SimError::ChannelClosed {
-            agent: "<receiver>".to_owned(),
-        })
+        Ok(())
+    }
+
+    /// Takes a recycled buffer from the link's spare pool, or a fresh
+    /// empty window when none is available.
+    ///
+    /// The returned window is empty, has `len() == self.window()`, and —
+    /// when it came from the pool — retains the heap capacity of its
+    /// previous life, so refilling it does not allocate.
+    pub fn take_buffer(&self) -> TokenWindow<T> {
+        let mut st = self.shared.lock();
+        match st.spares.pop() {
+            Some(mut w) => {
+                w.reset(self.window);
+                w
+            }
+            None => TokenWindow::new(self.window),
+        }
+    }
+
+    /// Sends one window of tokens, blocking while the link is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WindowMismatch`] if the window length is wrong,
+    /// or [`SimError::ChannelClosed`] if the receiver has been dropped.
+    pub fn send(&self, w: TokenWindow<T>) -> SimResult<()> {
+        self.check_window(&w)?;
+        let mut st = self.shared.lock();
+        while st.queue.len() >= st.cap && st.rx_alive {
+            st = self
+                .shared
+                .send_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if !st.rx_alive {
+            return Err(SimError::ChannelClosed {
+                agent: "<receiver>".to_owned(),
+            });
+        }
+        st.queue.push_back(w);
+        drop(st);
+        self.shared.recv_cv.notify_one();
+        Ok(())
     }
 
     /// Sends one window, waiting at most `timeout` for queue space.
@@ -126,22 +223,87 @@ impl<T> LinkSender<T> {
     pub fn send_timeout(
         &self,
         w: TokenWindow<T>,
-        timeout: std::time::Duration,
+        timeout: Duration,
     ) -> SimResult<Option<TokenWindow<T>>> {
-        use crossbeam::channel::SendTimeoutError;
-        if w.len() != self.window {
-            return Err(SimError::WindowMismatch {
-                expected: self.window,
-                actual: w.len(),
+        self.check_window(&w)?;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        while st.queue.len() >= st.cap && st.rx_alive {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(Some(w));
+            }
+            let (guard, _) = self
+                .shared
+                .send_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        if !st.rx_alive {
+            return Err(SimError::ChannelClosed {
+                agent: "<receiver>".to_owned(),
             });
         }
-        match self.tx.send_timeout(w, timeout) {
-            Ok(()) => Ok(None),
-            Err(SendTimeoutError::Timeout(w)) => Ok(Some(w)),
-            Err(SendTimeoutError::Disconnected(_)) => Err(SimError::ChannelClosed {
-                agent: "<receiver>".to_owned(),
-            }),
+        st.queue.push_back(w);
+        drop(st);
+        self.shared.recv_cv.notify_one();
+        Ok(None)
+    }
+
+    /// Sends one window, blocking until space frees up or `halt` is set.
+    ///
+    /// Returns the window back as `Ok(Some(w))` when halted before space
+    /// became available. Halt detection lags at most ~500µs; data-side
+    /// wakeups are immediate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LinkSender::send`].
+    pub fn send_or_halt(
+        &self,
+        w: TokenWindow<T>,
+        halt: &AtomicBool,
+    ) -> SimResult<Option<TokenWindow<T>>> {
+        self.check_window(&w)?;
+        let mut spins = 0u32;
+        let mut st = self.shared.lock();
+        while st.queue.len() >= st.cap && st.rx_alive {
+            if halt.load(Ordering::Acquire) {
+                return Ok(Some(w));
+            }
+            if spins < SPIN_YIELDS {
+                spins += 1;
+                drop(st);
+                std::thread::yield_now();
+                st = self.shared.lock();
+                continue;
+            }
+            let (guard, _) = self
+                .shared
+                .send_cv
+                .wait_timeout(st, HALT_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
         }
+        if !st.rx_alive {
+            return Err(SimError::ChannelClosed {
+                agent: "<receiver>".to_owned(),
+            });
+        }
+        st.queue.push_back(w);
+        drop(st);
+        self.shared.recv_cv.notify_one();
+        Ok(None)
+    }
+}
+
+impl<T> Drop for LinkSender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.tx_alive = false;
+        drop(st);
+        self.shared.recv_cv.notify_all();
     }
 }
 
@@ -156,15 +318,44 @@ impl<T> LinkReceiver<T> {
         self.latency
     }
 
+    /// Returns a consumed window's buffer to the link's spare pool so the
+    /// sender can reuse its heap capacity.
+    ///
+    /// The payloads still in `w` are dropped here. Excess buffers beyond
+    /// the link's in-flight bound are discarded, so the pool cannot grow
+    /// without limit.
+    pub fn recycle(&self, mut w: TokenWindow<T>) {
+        w.clear();
+        let mut st = self.shared.lock();
+        if st.spares.len() < st.cap {
+            st.spares.push(w);
+        }
+    }
+
     /// Receives the next window, blocking until the peer produces it.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
     pub fn recv(&self) -> SimResult<TokenWindow<T>> {
-        self.rx.recv().map_err(|_| SimError::ChannelClosed {
-            agent: "<sender>".to_owned(),
-        })
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(w) = st.queue.pop_front() {
+                drop(st);
+                self.shared.send_cv.notify_one();
+                return Ok(w);
+            }
+            if !st.tx_alive {
+                return Err(SimError::ChannelClosed {
+                    agent: "<sender>".to_owned(),
+                });
+            }
+            st = self
+                .shared
+                .recv_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Receives the next window, waiting at most `timeout`.
@@ -174,17 +365,72 @@ impl<T> LinkReceiver<T> {
     /// # Errors
     ///
     /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
-    pub fn recv_timeout(
-        &self,
-        timeout: std::time::Duration,
-    ) -> SimResult<Option<TokenWindow<T>>> {
-        use crossbeam::channel::RecvTimeoutError;
-        match self.rx.recv_timeout(timeout) {
-            Ok(w) => Ok(Some(w)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(SimError::ChannelClosed {
-                agent: "<sender>".to_owned(),
-            }),
+    pub fn recv_timeout(&self, timeout: Duration) -> SimResult<Option<TokenWindow<T>>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(w) = st.queue.pop_front() {
+                drop(st);
+                self.shared.send_cv.notify_one();
+                return Ok(Some(w));
+            }
+            if !st.tx_alive {
+                return Err(SimError::ChannelClosed {
+                    agent: "<sender>".to_owned(),
+                });
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .shared
+                .recv_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Receives the next window, blocking until one arrives or `halt` is
+    /// set.
+    ///
+    /// Returns `Ok(None)` when halted before a window arrived. Halt
+    /// detection lags at most ~500µs; data-side wakeups are immediate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
+    pub fn recv_or_halt(&self, halt: &AtomicBool) -> SimResult<Option<TokenWindow<T>>> {
+        let mut spins = 0u32;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(w) = st.queue.pop_front() {
+                drop(st);
+                self.shared.send_cv.notify_one();
+                return Ok(Some(w));
+            }
+            if !st.tx_alive {
+                return Err(SimError::ChannelClosed {
+                    agent: "<sender>".to_owned(),
+                });
+            }
+            if halt.load(Ordering::Acquire) {
+                return Ok(None);
+            }
+            if spins < SPIN_YIELDS {
+                spins += 1;
+                drop(st);
+                std::thread::yield_now();
+                st = self.shared.lock();
+                continue;
+            }
+            let (guard, _) = self
+                .shared
+                .recv_cv
+                .wait_timeout(st, HALT_POLL)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
         }
     }
 
@@ -194,13 +440,27 @@ impl<T> LinkReceiver<T> {
     ///
     /// Returns [`SimError::ChannelClosed`] if the sender has been dropped.
     pub fn try_recv(&self) -> SimResult<Option<TokenWindow<T>>> {
-        match self.rx.try_recv() {
-            Ok(w) => Ok(Some(w)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(SimError::ChannelClosed {
-                agent: "<sender>".to_owned(),
-            }),
+        let mut st = self.shared.lock();
+        if let Some(w) = st.queue.pop_front() {
+            drop(st);
+            self.shared.send_cv.notify_one();
+            return Ok(Some(w));
         }
+        if !st.tx_alive {
+            return Err(SimError::ChannelClosed {
+                agent: "<sender>".to_owned(),
+            });
+        }
+        Ok(None)
+    }
+}
+
+impl<T> Drop for LinkReceiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.rx_alive = false;
+        drop(st);
+        self.shared.send_cv.notify_all();
     }
 }
 
@@ -277,5 +537,95 @@ mod tests {
         drop(tx);
         let _seed = rx.recv().unwrap(); // the seed window is still there
         assert!(matches!(rx.recv(), Err(SimError::ChannelClosed { .. })));
+    }
+
+    #[test]
+    fn recycled_buffers_flow_back_to_sender() {
+        let (tx, rx) = link::<u64>(8, Cycle::new(8)).unwrap();
+        let seed = rx.recv().unwrap();
+        rx.recycle(seed);
+
+        // The recycled buffer must come back empty with full length.
+        let mut w = tx.take_buffer();
+        assert_eq!(w.len(), 8);
+        assert!(w.is_empty());
+        w.push(3, 42).unwrap();
+        tx.send(w).unwrap();
+        let got = rx.recv().unwrap();
+        assert_eq!(got.get(3), Some(&42));
+
+        // Stale payloads in a recycled window never leak.
+        rx.recycle(got);
+        let again = tx.take_buffer();
+        assert!(again.is_empty());
+        assert_eq!(again.get(3), None);
+    }
+
+    #[test]
+    fn take_buffer_without_spares_allocates_fresh() {
+        let (tx, _rx) = link::<u8>(16, Cycle::new(16)).unwrap();
+        let w = tx.take_buffer();
+        assert_eq!(w.len(), 16);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn spare_pool_is_bounded() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        // cap is in_flight + 1 = 2; recycling more than that discards.
+        for _ in 0..10 {
+            rx.recycle(TokenWindow::new(4));
+        }
+        let mut drained = 0;
+        loop {
+            let before = {
+                let st = tx.shared.lock();
+                st.spares.len()
+            };
+            if before == 0 {
+                break;
+            }
+            let _ = tx.take_buffer();
+            drained += 1;
+        }
+        assert!(drained <= 2, "spare pool exceeded its bound: {drained}");
+    }
+
+    #[test]
+    fn recv_or_halt_returns_on_halt() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        let _seed = rx.recv().unwrap(); // drain the seed window
+        let halt = AtomicBool::new(true);
+        assert!(rx.recv_or_halt(&halt).unwrap().is_none());
+
+        // With data present, halt does not mask delivery.
+        tx.send(TokenWindow::new(4)).unwrap();
+        assert!(rx.recv_or_halt(&halt).unwrap().is_some());
+    }
+
+    #[test]
+    fn send_or_halt_returns_window_on_halt() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        // Queue is seeded with 1 window, cap 2: one more send fills it.
+        tx.send(TokenWindow::new(4)).unwrap();
+        let halt = AtomicBool::new(true);
+        let w = tx.send_or_halt(TokenWindow::new(4), &halt).unwrap();
+        assert!(w.is_some(), "full link + halt must hand the window back");
+        drop(rx);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = link::<u32>(4, Cycle::new(4)).unwrap();
+        let _seed = rx.recv().unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(10));
+            let mut w = TokenWindow::new(4);
+            w.push(0, 7).unwrap();
+            tx.send(w).unwrap();
+            let got = h.join().unwrap();
+            assert_eq!(got.get(0), Some(&7));
+        });
     }
 }

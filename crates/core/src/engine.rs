@@ -13,24 +13,48 @@
 //! Because an agent's `advance` sees exactly the tokens for its current
 //! window and nothing else, the simulation result is a pure function of the
 //! initial state. [`Engine::run_for`] produces bit-identical results whether
-//! run with 1 host thread or many; the property tests in this crate and the
-//! integration suite check this.
+//! run with 1 host thread or many — and regardless of how agents are
+//! partitioned across those threads; the property tests in this crate and
+//! the integration suite check this.
 //!
-//! ## Host parallelism
+//! ## Host parallelism and scheduling
 //!
 //! With [`Engine::set_host_threads`], agents are partitioned across host
 //! worker threads. Workers do not run in lockstep — a worker only blocks
 //! when a channel it needs is still empty — mirroring how FireSim decouples
-//! host nodes and lets the token flow control enforce ordering. Stop
-//! requests are honoured at deterministic chunk boundaries so that early
-//! termination cannot introduce nondeterminism.
+//! host nodes and lets the token flow control enforce ordering.
+//!
+//! Workers are never oversubscribed: requests for more threads than the
+//! host has cores are clamped (see [`Engine::set_host_threads`]), because
+//! extra workers on a saturated host only add context-switch overhead.
+//!
+//! The partition is *load-aware*: each agent's host cost is measured during
+//! the first chunk of rounds (or supplied up front via
+//! [`Engine::set_agent_weight`]) and agents are re-packed across workers
+//! with a greedy longest-processing-time heuristic at a deterministic chunk
+//! boundary. A heavyweight RTL blade and a near-idle switch therefore no
+//! longer land on the same worker by round-robin accident. Because the
+//! token protocol alone fixes the simulation result, rebalancing never
+//! changes simulated behaviour — only wall-clock time.
+//!
+//! ## Host cost
+//!
+//! The steady-state hot path performs **no heap allocation**: consumed
+//! input windows are recycled back to their link's spare pool
+//! ([`LinkReceiver::recycle`]), output windows are drawn from that pool
+//! ([`LinkSender::take_buffer`]), and the per-agent scratch vectors live in
+//! the agent's slot between rounds. Blocking operations use condvar-based
+//! waits (microsecond wakeups) rather than coarse timeout polling, and
+//! stop requests are honoured at deterministic chunk boundaries so that
+//! early termination cannot introduce nondeterminism.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::channel::{link, LinkReceiver, LinkSender};
 use crate::error::{SimError, SimResult};
+use crate::sync::EpochBarrier;
 use crate::time::Cycle;
 use crate::token::TokenWindow;
 
@@ -70,6 +94,9 @@ pub trait SimAgent: Send {
     /// The context carries one input [`TokenWindow`] per input port and
     /// empty output windows to fill. Implementations must model exactly
     /// `ctx.window()` cycles.
+    ///
+    /// Prefer consuming inputs with [`AgentCtx::drain_input`] (which keeps
+    /// the window's buffer recyclable) over [`AgentCtx::take_input`].
     fn advance(&mut self, ctx: &mut AgentCtx<Self::Token>);
 
     /// True when this agent has finished its work (e.g. a blade has powered
@@ -143,12 +170,28 @@ impl<T> AgentCtx<T> {
 
     /// Takes the input window for `port`, leaving an empty one behind.
     ///
+    /// Prefer [`AgentCtx::drain_input`] on hot paths: taking the window
+    /// removes its buffer from the link's recycling loop, so the sender
+    /// has to re-grow a fresh buffer every round.
+    ///
     /// # Panics
     ///
     /// Panics if `port` is out of range.
     pub fn take_input(&mut self, port: usize) -> TokenWindow<T> {
         let w = self.inputs[port].len();
         std::mem::replace(&mut self.inputs[port], TokenWindow::new(w))
+    }
+
+    /// Drains the input window for `port` in place, yielding
+    /// `(offset, payload)` pairs in cycle order. The window's buffer stays
+    /// behind (empty) and is recycled back to the link after `advance`
+    /// returns, keeping the steady-state round allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn drain_input(&mut self, port: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.inputs[port].drain()
     }
 
     /// Borrows the input window for `port`.
@@ -244,6 +287,11 @@ struct AgentSlot<T> {
     agent: Box<dyn SimAgent<Token = T>>,
     inputs: Vec<Option<LinkReceiver<T>>>,
     outputs: Vec<Option<LinkSender<T>>>,
+    /// Reused between rounds so `step_agent` never allocates once warm.
+    scratch_in: Vec<TokenWindow<T>>,
+    scratch_out: Vec<TokenWindow<T>>,
+    /// Caller-supplied relative host cost, for load-aware partitioning.
+    weight: Option<u64>,
 }
 
 /// The simulation executor. See the [module docs](self) for the execution
@@ -253,6 +301,7 @@ pub struct Engine<T> {
     agents: Vec<AgentSlot<T>>,
     now: Cycle,
     host_threads: usize,
+    oversubscribe: bool,
     chunk_rounds: u64,
     stop: Arc<AtomicBool>,
 }
@@ -273,6 +322,7 @@ impl<T: Send + 'static> Engine<T> {
             agents: Vec::new(),
             now: Cycle::ZERO,
             host_threads: 1,
+            oversubscribe: false,
             chunk_rounds: 16,
             stop: Arc::new(AtomicBool::new(false)),
         }
@@ -293,10 +343,31 @@ impl<T: Send + 'static> Engine<T> {
         self.agents.len()
     }
 
+    /// Ids of all registered agents, in registration order.
+    pub fn agent_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
+        (0..self.agents.len()).map(AgentId)
+    }
+
     /// Sets the number of host worker threads used by subsequent runs.
     /// `0` and `1` both mean sequential execution on the calling thread.
+    ///
+    /// The scheduler never uses more workers than the host has cores
+    /// (oversubscribing buys nothing but context-switch overhead and can
+    /// cost several times the sequential rate); the request is clamped to
+    /// [`std::thread::available_parallelism`] at run time unless
+    /// [`Engine::set_host_oversubscribe`] lifts the cap. Thanks to the
+    /// token protocol the worker count never affects simulated behaviour,
+    /// only wall-clock time.
     pub fn set_host_threads(&mut self, threads: usize) -> &mut Self {
         self.host_threads = threads.max(1);
+        self
+    }
+
+    /// Allows more host workers than the machine has cores. Useful for
+    /// testing the parallel execution paths on small hosts; a performance
+    /// anti-pattern otherwise.
+    pub fn set_host_oversubscribe(&mut self, allow: bool) -> &mut Self {
+        self.oversubscribe = allow;
         self
     }
 
@@ -305,6 +376,23 @@ impl<T: Send + 'static> Engine<T> {
     /// boundaries only (deterministically).
     pub fn set_chunk_rounds(&mut self, rounds: u64) -> &mut Self {
         self.chunk_rounds = rounds.max(1);
+        self
+    }
+
+    /// Supplies a relative host-cost weight for an agent, used by the
+    /// load-aware partitioner in parallel runs.
+    ///
+    /// Weighted agents skip the first-chunk cost measurement: the caller's
+    /// number wins. Unweighted agents are measured. Weights are relative —
+    /// only ratios matter — and a weight of zero is treated as one.
+    /// Weights never affect simulated behaviour, only how agents are
+    /// packed onto host threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn set_agent_weight(&mut self, id: AgentId, weight: u64) -> &mut Self {
+        self.agents[id.0].weight = Some(weight.max(1));
         self
     }
 
@@ -318,12 +406,15 @@ impl<T: Send + 'static> Engine<T> {
     /// Registers an agent and returns its id.
     pub fn add_agent(&mut self, agent: Box<dyn SimAgent<Token = T>>) -> AgentId {
         let id = AgentId(self.agents.len());
-        let inputs = (0..agent.num_inputs()).map(|_| None).collect();
-        let outputs = (0..agent.num_outputs()).map(|_| None).collect();
+        let n_in = agent.num_inputs();
+        let n_out = agent.num_outputs();
         self.agents.push(AgentSlot {
             agent,
-            inputs,
-            outputs,
+            inputs: (0..n_in).map(|_| None).collect(),
+            outputs: (0..n_out).map(|_| None).collect(),
+            scratch_in: Vec::with_capacity(n_in),
+            scratch_out: Vec::with_capacity(n_out),
+            weight: None,
         });
         id
     }
@@ -388,8 +479,7 @@ impl<T: Send + 'static> Engine<T> {
 
     fn check_wired(&self) -> SimResult<()> {
         for slot in &self.agents {
-            if slot.inputs.iter().any(Option::is_none) || slot.outputs.iter().any(Option::is_none)
-            {
+            if slot.inputs.iter().any(Option::is_none) || slot.outputs.iter().any(Option::is_none) {
                 return Err(SimError::topology(format!(
                     "agent {} has unconnected ports",
                     slot.agent.name()
@@ -426,9 +516,14 @@ impl<T: Send + 'static> Engine<T> {
 
     fn run_rounds(&mut self, rounds: u64, stoppable: bool) -> SimResult<RunSummary> {
         self.check_wired()?;
-        self.stop.store(false, Ordering::SeqCst);
+        self.stop.store(false, Ordering::Release);
         let start = Instant::now();
-        let threads = self.host_threads.min(self.agents.len()).max(1);
+        let cores = if self.oversubscribe {
+            usize::MAX
+        } else {
+            host_cores()
+        };
+        let threads = self.host_threads.min(cores).min(self.agents.len()).max(1);
         let rounds_run = if threads <= 1 {
             self.run_sequential(rounds, stoppable)?
         } else {
@@ -457,15 +552,15 @@ impl<T: Send + 'static> Engine<T> {
             while round < chunk_end {
                 for slot in &mut self.agents {
                     if step_agent(slot, now, window, None)? {
-                        self.stop.store(true, Ordering::SeqCst);
+                        self.stop.store(true, Ordering::Release);
                     }
                 }
                 now += Cycle::new(window as u64);
                 round += 1;
             }
             if stoppable {
-                let done = self.stop.load(Ordering::SeqCst)
-                    || self.agents.iter().all(|s| s.agent.done());
+                let done =
+                    self.stop.load(Ordering::Acquire) || self.agents.iter().all(|s| s.agent.done());
                 if done {
                     break;
                 }
@@ -478,83 +573,185 @@ impl<T: Send + 'static> Engine<T> {
         let window = self.window;
         let start_now = self.now;
         let chunk = self.chunk_rounds;
+        let n_agents = self.agents.len();
         let stop = Arc::clone(&self.stop);
-        let barrier = Arc::new(Barrier::new(threads));
-        let done_votes = Arc::new(AtomicUsize::new(0));
-        let halt = Arc::new(AtomicBool::new(false));
-        let error: Arc<parking_lot::Mutex<Option<SimError>>> =
-            Arc::new(parking_lot::Mutex::new(None));
-        let rounds_done = Arc::new(AtomicUsize::new(0));
 
-        // Partition agents round-robin across workers to spread blades and
-        // switches evenly.
-        let mut partitions: Vec<Vec<&mut AgentSlot<T>>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, slot) in self.agents.iter_mut().enumerate() {
-            partitions[i % threads].push(slot);
-        }
+        let barrier = EpochBarrier::new(threads);
+        // Set on error or panic; sleeping peers notice within ~500µs.
+        let halt = AtomicBool::new(false);
+        let error: parking_lot::Mutex<Option<SimError>> = parking_lot::Mutex::new(None);
 
-        std::thread::scope(|scope| {
-            for (widx, part) in partitions.into_iter().enumerate() {
-                let barrier = Arc::clone(&barrier);
-                let stop = Arc::clone(&stop);
-                let done_votes = Arc::clone(&done_votes);
-                let halt = Arc::clone(&halt);
-                let error = Arc::clone(&error);
-                let rounds_done = Arc::clone(&rounds_done);
-                scope.spawn(move || {
-                    let mut part = part;
-                    let mut now = start_now;
-                    let mut round = 0u64;
-                    'chunks: while round < rounds && !halt.load(Ordering::SeqCst) {
-                        let chunk_end = (round + chunk).min(rounds);
-                        while round < chunk_end {
-                            for slot in part.iter_mut() {
-                                match step_agent(slot, now, window, Some(&halt)) {
-                                    Ok(requested_stop) => {
-                                        if requested_stop {
-                                            stop.store(true, Ordering::SeqCst);
-                                        }
-                                    }
-                                    Err(e) => {
-                                        *error.lock() = Some(e);
-                                        halt.store(true, Ordering::SeqCst);
-                                        break 'chunks;
-                                    }
-                                }
-                            }
-                            now += Cycle::new(window as u64);
-                            round += 1;
-                        }
-                        if stoppable {
-                            // Vote: this worker's agents are all done.
-                            if part.iter().all(|s| s.agent.done()) {
-                                done_votes.fetch_add(1, Ordering::SeqCst);
-                            }
-                            barrier.wait();
-                            // Leader decision is replicated identically on
-                            // every worker from shared atomics.
-                            let all_done = done_votes.load(Ordering::SeqCst) == threads;
-                            let stopped = stop.load(Ordering::SeqCst);
-                            barrier.wait();
-                            done_votes.store(0, Ordering::SeqCst);
-                            if all_done || stopped {
+        // Load-aware partitioning state. The initial assignment packs
+        // caller weights (default 1, i.e. round-robin-ish); if the run is
+        // long enough to profit, per-agent host cost is measured during
+        // the first chunk and agents are re-packed once at its boundary.
+        let hints: Vec<Option<u64>> = self.agents.iter().map(|s| s.weight).collect();
+        let measured: Vec<AtomicU64> = (0..n_agents).map(|_| AtomicU64::new(0)).collect();
+        let initial_costs: Vec<u64> = hints.iter().map(|h| h.unwrap_or(1)).collect();
+        let assignment: Vec<AtomicUsize> = lpt_partition(&initial_costs, threads)
+            .into_iter()
+            .map(AtomicUsize::new)
+            .collect();
+        let measure = rounds > chunk && n_agents > threads;
+
+        // Agents are only ever touched by their assigned worker within a
+        // chunk; the mutexes make the hand-off at repartition boundaries
+        // safe and keep the compiler honest. They are uncontended.
+        let slots: Vec<parking_lot::Mutex<&mut AgentSlot<T>>> = self
+            .agents
+            .iter_mut()
+            .map(parking_lot::Mutex::new)
+            .collect();
+
+        // Per-worker chunk votes (VOTE_DONE / VOTE_STOPPED bits),
+        // double-buffered by chunk parity: the bucket for chunk `c` is
+        // re-written at chunk `c + 2`, by which time every reader of the
+        // chunk-`c` values has passed two barriers. One barrier per chunk
+        // thus suffices — every input to the continue/stop decision is a
+        // pre-barrier snapshot, so all workers decide identically.
+        let votes: Vec<AtomicU8> = (0..2 * threads).map(|_| AtomicU8::new(0)).collect();
+        const VOTE_DONE: u8 = 1;
+        const VOTE_STOPPED: u8 = 2;
+
+        let worker_results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|widx| {
+                    let barrier = &barrier;
+                    let halt = &halt;
+                    let error = &error;
+                    let stop = &stop;
+                    let slots = &slots;
+                    let assignment = &assignment;
+                    let measured = &measured;
+                    let hints = &hints;
+                    let votes = &votes;
+                    scope.spawn(move || {
+                        let _guard = PanicGuard { halt, barrier };
+                        let mut my_agents: Vec<usize> = (0..n_agents)
+                            .filter(|&i| assignment[i].load(Ordering::Relaxed) == widx)
+                            .collect();
+                        let mut now = start_now;
+                        let mut round = 0u64;
+                        let mut measuring = measure;
+                        let mut repartitioned = !measure;
+                        let mut parity = 0usize;
+                        'chunks: while round < rounds {
+                            if halt.load(Ordering::Acquire) {
                                 break;
                             }
+                            let chunk_end = if stoppable || !repartitioned {
+                                (round + chunk).min(rounds)
+                            } else {
+                                rounds
+                            };
+                            while round < chunk_end {
+                                for &i in &my_agents {
+                                    let slot: &mut AgentSlot<T> = &mut slots[i].lock();
+                                    let t0 = if measuring {
+                                        Some(Instant::now())
+                                    } else {
+                                        None
+                                    };
+                                    match step_agent(slot, now, window, Some(halt)) {
+                                        Ok(true) => stop.store(true, Ordering::Release),
+                                        Ok(false) => {}
+                                        Err(e) => {
+                                            let mut err = error.lock();
+                                            if err.is_none() {
+                                                *err = Some(e);
+                                            }
+                                            drop(err);
+                                            halt.store(true, Ordering::Release);
+                                            barrier.cancel();
+                                            break 'chunks;
+                                        }
+                                    }
+                                    if let Some(t0) = t0 {
+                                        let ns = t0.elapsed().as_nanos();
+                                        measured[i].fetch_add(
+                                            u64::try_from(ns).unwrap_or(u64::MAX),
+                                            Ordering::Relaxed,
+                                        );
+                                    }
+                                }
+                                now += Cycle::new(window as u64);
+                                round += 1;
+                            }
+                            if !repartitioned {
+                                repartitioned = true;
+                                measuring = false;
+                                let Ok(is_leader) = barrier.wait() else { break };
+                                if is_leader {
+                                    let costs: Vec<u64> = (0..n_agents)
+                                        .map(|i| {
+                                            hints[i]
+                                                .unwrap_or_else(|| {
+                                                    measured[i].load(Ordering::Relaxed)
+                                                })
+                                                .max(1)
+                                        })
+                                        .collect();
+                                    for (i, w) in
+                                        lpt_partition(&costs, threads).into_iter().enumerate()
+                                    {
+                                        assignment[i].store(w, Ordering::Relaxed);
+                                    }
+                                }
+                                if barrier.wait().is_err() {
+                                    break;
+                                }
+                                my_agents.clear();
+                                my_agents
+                                    .extend((0..n_agents).filter(|&i| {
+                                        assignment[i].load(Ordering::Relaxed) == widx
+                                    }));
+                            }
+                            if stoppable {
+                                let mut vote = 0u8;
+                                if my_agents.iter().all(|&i| slots[i].lock().agent.done()) {
+                                    vote |= VOTE_DONE;
+                                }
+                                if stop.load(Ordering::Acquire) {
+                                    vote |= VOTE_STOPPED;
+                                }
+                                votes[parity * threads + widx].store(vote, Ordering::Relaxed);
+                                if barrier.wait().is_err() {
+                                    break;
+                                }
+                                let mut all_done = true;
+                                let mut stopped = false;
+                                for w in 0..threads {
+                                    let v = votes[parity * threads + w].load(Ordering::Relaxed);
+                                    all_done &= v & VOTE_DONE != 0;
+                                    stopped |= v & VOTE_STOPPED != 0;
+                                }
+                                parity ^= 1;
+                                if all_done || stopped {
+                                    break;
+                                }
+                            }
                         }
-                    }
-                    if widx == 0 {
-                        rounds_done.store(round as usize, Ordering::SeqCst);
-                    }
-                    // Drop channel ends implicitly when scope joins.
-                });
-            }
+                        round
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join())
+                .collect::<Vec<std::thread::Result<u64>>>()
         });
 
+        let mut min_rounds = rounds;
+        for r in worker_results {
+            match r {
+                Ok(r) => min_rounds = min_rounds.min(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
         if let Some(e) = error.lock().take() {
             return Err(e);
         }
-        Ok(rounds_done.load(Ordering::SeqCst) as u64)
+        Ok(min_rounds)
     }
 
     /// Immutable access to a registered agent.
@@ -589,47 +786,91 @@ impl<T> std::fmt::Debug for Engine<T> {
     }
 }
 
+/// Cached [`std::thread::available_parallelism`] — the probe reads cgroup
+/// files on Linux (slow, allocating), and the answer never changes.
+fn host_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Unwind guard: an agent panicking on one worker must not leave the other
+/// workers blocked in channel receives or at the barrier forever.
+struct PanicGuard<'a> {
+    halt: &'a AtomicBool,
+    barrier: &'a EpochBarrier,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.halt.store(true, Ordering::Release);
+            self.barrier.cancel();
+        }
+    }
+}
+
+/// Greedy longest-processing-time bin packing: heaviest agents first, each
+/// onto the currently lightest worker. Deterministic: ties break towards
+/// the lower agent index and the lower worker index.
+fn lpt_partition(costs: &[u64], threads: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i].max(1)), i));
+    let mut load = vec![0u128; threads];
+    let mut assignment = vec![0usize; costs.len()];
+    for i in order {
+        let lightest = (0..threads).min_by_key(|&w| load[w]).expect("threads >= 1");
+        assignment[i] = lightest;
+        load[lightest] += u128::from(costs[i].max(1));
+    }
+    assignment
+}
+
+fn closed_by_peer(agent: &str) -> SimError {
+    SimError::ChannelClosed {
+        agent: agent.to_owned(),
+    }
+}
+
 /// Advances one agent by one window. Returns `true` when the agent
 /// requested a simulation stop via [`AgentCtx::request_stop`].
 ///
-/// When `halt` is provided (parallel mode), blocking receives poll the halt
-/// flag so that one worker failing cannot deadlock the rest.
+/// When `halt` is provided (parallel mode), blocking channel operations
+/// wake on the halt flag so that one worker failing cannot deadlock the
+/// rest.
+///
+/// Steady-state this performs **zero heap allocations**: input windows are
+/// received into the slot's scratch vector and recycled back to their link
+/// after `advance`; output windows come from each link's spare-buffer pool.
 fn step_agent<T: Send + 'static>(
     slot: &mut AgentSlot<T>,
     now: Cycle,
     window: u32,
     halt: Option<&AtomicBool>,
 ) -> SimResult<bool> {
-    let mut inputs = Vec::with_capacity(slot.inputs.len());
+    let mut inputs = std::mem::take(&mut slot.scratch_in);
+    debug_assert!(inputs.is_empty());
     for rx in &slot.inputs {
         let rx = rx.as_ref().expect("checked by check_wired");
         let w = match halt {
-            None => rx.recv().map_err(|_| SimError::ChannelClosed {
-                agent: slot.agent.name().to_owned(),
-            })?,
-            Some(halt) => loop {
-                match rx.recv_timeout(std::time::Duration::from_millis(50)) {
-                    Ok(Some(w)) => break w,
-                    Ok(None) => {
-                        if halt.load(Ordering::SeqCst) {
-                            return Err(SimError::ChannelClosed {
-                                agent: slot.agent.name().to_owned(),
-                            });
-                        }
-                    }
-                    Err(_) => {
-                        return Err(SimError::ChannelClosed {
-                            agent: slot.agent.name().to_owned(),
-                        })
-                    }
-                }
+            None => rx.recv().map_err(|_| closed_by_peer(slot.agent.name()))?,
+            Some(halt) => match rx.recv_or_halt(halt) {
+                Ok(Some(w)) => w,
+                // Halted while waiting, or the peer is gone.
+                Ok(None) | Err(_) => return Err(closed_by_peer(slot.agent.name())),
             },
         };
         inputs.push(w);
     }
-    let outputs = (0..slot.outputs.len())
-        .map(|_| TokenWindow::new(window))
-        .collect();
+    let mut outputs = std::mem::take(&mut slot.scratch_out);
+    debug_assert!(outputs.is_empty());
+    for tx in &slot.outputs {
+        outputs.push(tx.as_ref().expect("checked by check_wired").take_buffer());
+    }
+
     let mut ctx = AgentCtx {
         now,
         window,
@@ -638,26 +879,32 @@ fn step_agent<T: Send + 'static>(
         stop: false,
     };
     slot.agent.advance(&mut ctx);
-    let AgentCtx { outputs, stop, .. } = ctx;
-    for (tx, w) in slot.outputs.iter().zip(outputs) {
+    let AgentCtx {
+        mut inputs,
+        mut outputs,
+        stop,
+        ..
+    } = ctx;
+
+    // Hand consumed input buffers back to their links for reuse.
+    for (rx, w) in slot.inputs.iter().zip(inputs.drain(..)) {
+        rx.as_ref().expect("checked by check_wired").recycle(w);
+    }
+    slot.scratch_in = inputs;
+
+    for (tx, w) in slot.outputs.iter().zip(outputs.drain(..)) {
         let tx = tx.as_ref().expect("checked by check_wired");
         match halt {
             None => tx.send(w)?,
             Some(halt) => {
-                let mut pending = Some(w);
-                while let Some(w) = pending.take() {
-                    if let Some(w) = tx.send_timeout(w, std::time::Duration::from_millis(50))? {
-                        if halt.load(Ordering::SeqCst) {
-                            return Err(SimError::ChannelClosed {
-                                agent: slot.agent.name().to_owned(),
-                            });
-                        }
-                        pending = Some(w);
-                    }
+                if tx.send_or_halt(w, halt)?.is_some() {
+                    // Halted while the link was full.
+                    return Err(closed_by_peer(slot.agent.name()));
                 }
             }
         }
     }
+    slot.scratch_out = outputs;
     Ok(stop)
 }
 
@@ -695,7 +942,7 @@ mod tests {
         }
         fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
             let base = ctx.now().as_u64();
-            for (off, v) in ctx.take_input(0).into_iter() {
+            for (off, v) in ctx.drain_input(0) {
                 let _sent_cycle = v;
                 self.received.push(base + u64::from(off));
             }
@@ -744,7 +991,7 @@ mod tests {
         fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
             let base = ctx.now().as_u64();
             let mut arr = self.arrivals.lock();
-            for (off, _v) in ctx.take_input(0).into_iter() {
+            for (off, _v) in ctx.drain_input(0) {
                 arr.push(base + u64::from(off));
             }
         }
@@ -783,7 +1030,10 @@ mod tests {
         for latency in [8u64, 16, 64] {
             let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
             let mut engine = Engine::new(8);
-            let s = engine.add_agent(Box::new(OneShot { at: 13, fired: false }));
+            let s = engine.add_agent(Box::new(OneShot {
+                at: 13,
+                fired: false,
+            }));
             let p = engine.add_agent(Box::new(Probe {
                 arrivals: arrivals.clone(),
             }));
@@ -798,8 +1048,13 @@ mod tests {
         let run = |threads: usize| {
             let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
             let mut engine = Engine::new(4);
-            engine.set_host_threads(threads);
-            let s = engine.add_agent(Box::new(OneShot { at: 7, fired: false }));
+            engine
+                .set_host_threads(threads)
+                .set_host_oversubscribe(true);
+            let s = engine.add_agent(Box::new(OneShot {
+                at: 7,
+                fired: false,
+            }));
             let p = engine.add_agent(Box::new(Probe {
                 arrivals: arrivals.clone(),
             }));
@@ -820,11 +1075,77 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_with_adversarial_weights() {
+        // Weights only steer the partitioner; results must not move.
+        let run = |threads: usize, weights: &[u64]| {
+            let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut engine = Engine::new(4);
+            engine
+                .set_host_threads(threads)
+                .set_host_oversubscribe(true);
+            engine.set_chunk_rounds(2); // force several repartition-eligible chunks
+            let s = engine.add_agent(Box::new(OneShot {
+                at: 7,
+                fired: false,
+            }));
+            let p = engine.add_agent(Box::new(Probe {
+                arrivals: arrivals.clone(),
+            }));
+            let a = engine.add_agent(Box::new(Pulser::new(8)));
+            let b = engine.add_agent(Box::new(Pulser::new(8)));
+            for (id, w) in [s, p, a, b].into_iter().zip(weights) {
+                engine.set_agent_weight(id, *w);
+            }
+            engine.connect(s, 0, p, 0, Cycle::new(12)).unwrap();
+            engine.connect(a, 0, b, 0, Cycle::new(4)).unwrap();
+            engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+            engine.run_for(Cycle::new(128)).unwrap();
+            let v = arrivals.lock().clone();
+            v
+        };
+        let baseline = run(1, &[1, 1, 1, 1]);
+        for weights in [
+            [1u64, 1, 1, 1],
+            [u64::MAX, 1, 1, 1],
+            [1, u64::MAX, u64::MAX, 1],
+            [0, 0, 0, 0],
+            [7, 3, 100, 1],
+        ] {
+            for threads in 2..=4 {
+                assert_eq!(run(threads, &weights), baseline, "{threads} {weights:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_balances_and_is_deterministic() {
+        // One heavy agent and many light ones: the heavy one gets a
+        // worker mostly to itself.
+        let costs = [1000u64, 10, 10, 10, 10, 10, 10, 10];
+        let a = lpt_partition(&costs, 2);
+        assert_eq!(a, lpt_partition(&costs, 2), "deterministic");
+        let heavy_worker = a[0];
+        let peers = (1..8).filter(|&i| a[i] == heavy_worker).count();
+        assert_eq!(peers, 0, "light agents avoid the heavy worker: {a:?}");
+        // Everything lands on a valid worker and no worker is empty.
+        for threads in 1..=4 {
+            let a = lpt_partition(&costs, threads);
+            assert!(a.iter().all(|&w| w < threads));
+            for w in 0..threads {
+                assert!(a.contains(&w), "worker {w} empty: {a:?}");
+            }
+        }
+    }
+
+    #[test]
     fn run_until_done_stops_early() {
         let mut engine = Engine::new(4);
         engine.set_chunk_rounds(2);
         let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
-        let s = engine.add_agent(Box::new(OneShot { at: 3, fired: false }));
+        let s = engine.add_agent(Box::new(OneShot {
+            at: 3,
+            fired: false,
+        }));
         let p = engine.add_agent(Box::new(Probe {
             arrivals: arrivals.clone(),
         }));
@@ -834,6 +1155,48 @@ mod tests {
         let summary = engine.run_until_done(Cycle::new(40)).unwrap();
         assert!(summary.cycles <= Cycle::new(40));
         assert_eq!(*arrivals.lock(), vec![7]);
+    }
+
+    #[test]
+    fn parallel_reports_min_rounds_across_workers() {
+        // All-done termination at a chunk boundary: every worker agrees on
+        // the same boundary, and the reported cycle count must reflect the
+        // minimum rounds completed by ANY worker (not worker 0's view).
+        struct Done;
+        impl SimAgent for Done {
+            type Token = u64;
+            fn name(&self) -> &str {
+                "done"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                1
+            }
+            fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+                for _ in ctx.drain_input(0) {}
+            }
+            fn done(&self) -> bool {
+                true
+            }
+        }
+        let mut engine = Engine::new(4);
+        engine
+            .set_host_threads(4)
+            .set_host_oversubscribe(true)
+            .set_chunk_rounds(2);
+        let ids: Vec<AgentId> = (0..4).map(|_| engine.add_agent(Box::new(Done))).collect();
+        for i in 0..4 {
+            engine
+                .connect(ids[i], 0, ids[(i + 1) % 4], 0, Cycle::new(4))
+                .unwrap();
+        }
+        let summary = engine.run_until_done(Cycle::new(4000)).unwrap();
+        // All agents are done from the start; the run ends at the first
+        // chunk boundary (2 rounds = 8 cycles) on every worker.
+        assert_eq!(summary.cycles, Cycle::new(8));
+        assert_eq!(engine.now(), Cycle::new(8));
     }
 
     #[test]
@@ -895,5 +1258,47 @@ mod tests {
         engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
         let summary = engine.run_for(Cycle::new(10)).unwrap();
         assert_eq!(summary.cycles, Cycle::new(16));
+    }
+
+    #[test]
+    fn panicking_agent_does_not_deadlock_peers() {
+        struct Bomb {
+            after: u64,
+        }
+        impl SimAgent for Bomb {
+            type Token = u64;
+            fn name(&self) -> &str {
+                "bomb"
+            }
+            fn num_inputs(&self) -> usize {
+                1
+            }
+            fn num_outputs(&self) -> usize {
+                1
+            }
+            fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+                for _ in ctx.drain_input(0) {}
+                if ctx.now().as_u64() >= self.after {
+                    panic!("boom at {}", ctx.now().as_u64());
+                }
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            let mut engine = Engine::new(4);
+            engine
+                .set_host_threads(3)
+                .set_host_oversubscribe(true)
+                .set_chunk_rounds(4);
+            let bomb = engine.add_agent(Box::new(Bomb { after: 32 }));
+            let a = engine.add_agent(Box::new(Pulser::new(4)));
+            let b = engine.add_agent(Box::new(Pulser::new(4)));
+            engine.connect(bomb, 0, a, 0, Cycle::new(4)).unwrap();
+            engine.connect(a, 0, bomb, 0, Cycle::new(4)).unwrap();
+            // a<->b ring keeps a third worker busy.
+            engine.connect(b, 0, b, 0, Cycle::new(4)).unwrap();
+            engine.run_for(Cycle::new(4000))
+        });
+        // The panic propagates (rather than hanging the test forever).
+        assert!(result.is_err());
     }
 }

@@ -73,7 +73,10 @@ impl fmt::Display for SimError {
                 write!(f, "token window length {actual}, expected {expected}")
             }
             SimError::ChannelClosed { agent } => {
-                write!(f, "simulation channel closed unexpectedly for agent {agent}")
+                write!(
+                    f,
+                    "simulation channel closed unexpectedly for agent {agent}"
+                )
             }
             SimError::Agent { agent, detail } => write!(f, "agent {agent} failed: {detail}"),
         }
@@ -116,8 +119,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error + Send + Sync> =
-            Box::new(SimError::topology("x"));
+        let e: Box<dyn std::error::Error + Send + Sync> = Box::new(SimError::topology("x"));
         assert!(e.to_string().contains("invalid topology"));
     }
 }

@@ -83,6 +83,7 @@ pub mod engine;
 pub mod error;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod token;
 
@@ -90,5 +91,6 @@ pub use channel::{link, LinkReceiver, LinkSender};
 pub use engine::{AgentCtx, AgentId, Engine, RunSummary, SimAgent, StopHandle};
 pub use error::{SimError, SimResult};
 pub use rng::SimRng;
+pub use sync::{BarrierCancelled, EpochBarrier};
 pub use time::{Cycle, Frequency};
 pub use token::TokenWindow;

@@ -141,7 +141,10 @@ impl<T> TokenWindow<T> {
     ///
     /// Panics if `dense` is empty.
     pub fn from_dense(dense: Vec<Option<T>>) -> Self {
-        assert!(!dense.is_empty(), "token window must cover at least one cycle");
+        assert!(
+            !dense.is_empty(),
+            "token window must cover at least one cycle"
+        );
         let len = u32::try_from(dense.len()).expect("window too large");
         let items = dense
             .into_iter()
@@ -155,17 +158,40 @@ impl<T> TokenWindow<T> {
     pub fn map<U>(self, mut f: impl FnMut(T) -> U) -> TokenWindow<U> {
         TokenWindow {
             len: self.len,
-            items: self
-                .items
-                .into_iter()
-                .map(|(o, p)| (o, f(p)))
-                .collect(),
+            items: self.items.into_iter().map(|(o, p)| (o, f(p))).collect(),
         }
     }
 
     /// Removes all tokens, keeping the window length.
     pub fn clear(&mut self) {
         self.items.clear();
+    }
+
+    /// Re-initializes the window to cover `len` empty cycles, retaining the
+    /// heap capacity of any previously held tokens.
+    ///
+    /// This is the recycling primitive: `reset` + refill performs no
+    /// allocation as long as the new occupancy fits the old capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero — a window must cover at least one cycle.
+    pub fn reset(&mut self, len: u32) {
+        assert!(len > 0, "token window must cover at least one cycle");
+        self.len = len;
+        self.items.clear();
+    }
+
+    /// The number of tokens this window can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.items.capacity()
+    }
+
+    /// Drains `(offset, payload)` pairs in cycle order, leaving the window
+    /// empty but retaining its heap capacity (unlike `into_iter`, which
+    /// consumes the buffer).
+    pub fn drain(&mut self) -> impl Iterator<Item = (u32, T)> + '_ {
+        self.items.drain(..)
     }
 }
 
@@ -267,5 +293,34 @@ mod tests {
         w.clear();
         assert!(w.is_empty());
         assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn reset_retains_capacity() {
+        let mut w = TokenWindow::with_capacity(8, 32);
+        for i in 0..8 {
+            w.push(i, i).unwrap();
+        }
+        let cap = w.capacity();
+        assert!(cap >= 8);
+        w.reset(16);
+        assert_eq!(w.len(), 16);
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), cap, "reset must not shrink the buffer");
+        w.push(15, 99).unwrap();
+        assert_eq!(w.get(15), Some(&99));
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_buffer() {
+        let mut w = TokenWindow::new(8);
+        w.push(2, 'a').unwrap();
+        w.push(6, 'b').unwrap();
+        let cap = w.capacity();
+        let drained: Vec<_> = w.drain().collect();
+        assert_eq!(drained, vec![(2, 'a'), (6, 'b')]);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.capacity(), cap);
     }
 }

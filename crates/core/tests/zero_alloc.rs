@@ -1,0 +1,105 @@
+//! Proof that the engine's steady-state hot path allocates nothing.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! run (which grows channel queues, spare pools, and scratch vectors to
+//! their steady-state capacity), further rounds must perform **zero**
+//! heap allocations — the recycling loop in `step_agent` hands every
+//! consumed window back to its link and draws every output window from
+//! the link's spare pool.
+//!
+//! This file intentionally contains a single test: other tests running
+//! concurrently in the same binary would allocate and pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use firesim_core::{AgentCtx, Cycle, Engine, SimAgent};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter has no
+// effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Drains its input and emits a token every other cycle — enough traffic
+/// that windows are never empty, so the sparse-item vectors are exercised.
+struct Relay {
+    seen: u64,
+}
+
+impl SimAgent for Relay {
+    type Token = u64;
+
+    fn name(&self) -> &str {
+        "relay"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn advance(&mut self, ctx: &mut AgentCtx<u64>) {
+        for (_off, v) in ctx.drain_input(0) {
+            self.seen = self.seen.wrapping_add(v);
+        }
+        let base = ctx.now().as_u64();
+        for off in (0..ctx.window()).step_by(2) {
+            ctx.push_output(0, off, base + u64::from(off));
+        }
+    }
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    const WINDOW: u32 = 16;
+    let mut engine: Engine<u64> = Engine::new(WINDOW);
+    let ids: Vec<_> = (0..4)
+        .map(|_| engine.add_agent(Box::new(Relay { seen: 0 })))
+        .collect();
+    for i in 0..ids.len() {
+        engine
+            .connect(
+                ids[i],
+                0,
+                ids[(i + 1) % ids.len()],
+                0,
+                Cycle::new(u64::from(WINDOW)),
+            )
+            .unwrap();
+    }
+
+    // Warm up: grows window item vectors, channel spare pools, and
+    // per-agent scratch to steady-state capacity.
+    engine.run_for(Cycle::new(u64::from(WINDOW) * 32)).unwrap();
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    engine.run_for(Cycle::new(u64::from(WINDOW) * 64)).unwrap();
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state rounds performed {delta} heap allocations"
+    );
+}

@@ -191,7 +191,11 @@ mod tests {
         while acc.busy() {
             acc.tick(&mut mem);
         }
-        assert!(mem.read_bytes(DRAM_BASE + 64, 100).unwrap().iter().all(|&b| b == 0xA7));
+        assert!(mem
+            .read_bytes(DRAM_BASE + 64, 100)
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0xA7));
         // Byte 101 untouched.
         assert_eq!(mem.read_bytes(DRAM_BASE + 164, 1).unwrap()[0], 0);
     }

@@ -60,8 +60,8 @@ impl BlockDeviceConfig {
     pub fn disk() -> Self {
         BlockDeviceConfig {
             sectors: 64 * 1024,
-            trackers: 1, // one head
-            base_latency: 12_800_000, // ~4 ms
+            trackers: 1,                // one head
+            base_latency: 12_800_000,   // ~4 ms
             per_sector_latency: 12_800, // ~250 MB/s streaming
         }
     }
@@ -174,17 +174,14 @@ impl BlockDevice {
     }
 
     fn try_alloc(&mut self) -> u64 {
-        if self.len == 0
-            || self.offset + self.len > self.config.sectors
-        {
+        if self.len == 0 || self.offset + self.len > self.config.sectors {
             self.rejected += 1;
             return ALLOC_FAIL;
         }
         let Some(id) = self.trackers.iter().position(Option::is_none) else {
             return ALLOC_FAIL;
         };
-        let cycles =
-            self.config.base_latency + self.config.per_sector_latency * self.len;
+        let cycles = self.config.base_latency + self.config.per_sector_latency * self.len;
         self.trackers[id] = Some(Request {
             mem_addr: self.addr,
             sector: self.offset,

@@ -187,7 +187,10 @@ impl Nic {
 
         // --- Rate limiter refill. ---
         if self.config.rate_k > 0 {
-            if self.cycle.is_multiple_of(u64::from(self.config.rate_p.max(1))) {
+            if self
+                .cycle
+                .is_multiple_of(u64::from(self.config.rate_p.max(1)))
+            {
                 let cap = i64::from(self.config.rate_k) * 2 + 2;
                 self.tokens = (self.tokens + i64::from(self.config.rate_k)).min(cap);
             }
@@ -354,18 +357,16 @@ impl MmioDevice for Nic {
 
     fn write(&mut self, offset: u64, _size: usize, value: u64) {
         match offset {
-            reg::SEND_REQ
-                if self.send_reqs.len() < self.config.queue_depth => {
-                    let addr = value & 0xffff_ffff_ffff;
-                    let len = ((value >> 48) & 0x7fff) as u32;
-                    if len > 0 {
-                        self.send_reqs.push_back((addr, len));
-                    }
+            reg::SEND_REQ if self.send_reqs.len() < self.config.queue_depth => {
+                let addr = value & 0xffff_ffff_ffff;
+                let len = ((value >> 48) & 0x7fff) as u32;
+                if len > 0 {
+                    self.send_reqs.push_back((addr, len));
                 }
-            reg::RECV_REQ
-                if self.recv_reqs.len() < self.config.queue_depth => {
-                    self.recv_reqs.push_back(value);
-                }
+            }
+            reg::RECV_REQ if self.recv_reqs.len() < self.config.queue_depth => {
+                self.recv_reqs.push_back(value);
+            }
             reg::INTR_MASK => self.intr_mask = value & 0b11,
             reg::RATE_LIMIT => {
                 self.set_rate_limit((value & 0xffff) as u16, ((value >> 16) & 0xffff) as u16);
@@ -506,7 +507,10 @@ mod tests {
             nic.tick(&mut mem, None);
         }
         assert_eq!(nic.read(reg::RECV_COMP, 8), 21); // len 20 + 1
-        assert_eq!(mem.read_bytes(DRAM_BASE + 0x3000, 20).unwrap(), &payload[..]);
+        assert_eq!(
+            mem.read_bytes(DRAM_BASE + 0x3000, 20).unwrap(),
+            &payload[..]
+        );
         assert_eq!(nic.stats().rx_packets, 1);
     }
 

@@ -12,10 +12,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 /// One experiment's parameters and results.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment id, e.g. `"fig5"` or `"table3"`.
     pub id: String,
@@ -36,7 +36,11 @@ impl ExperimentRecord {
     }
 
     /// Sets a parameter.
-    pub fn param(&mut self, key: impl Into<String>, value: impl Into<serde_json::Value>) -> &mut Self {
+    pub fn param(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<serde_json::Value>,
+    ) -> &mut Self {
         self.params.insert(key.into(), value.into());
         self
     }
@@ -57,10 +61,55 @@ impl ExperimentRecord {
 }
 
 /// A collection of experiment records, persisted as JSON.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultStore {
     /// All records, in insertion order.
     pub records: Vec<ExperimentRecord>,
+}
+
+fn map_to_value(map: &BTreeMap<String, Value>) -> Value {
+    Value::Object(map.clone())
+}
+
+fn value_to_map(v: &Value, what: &str) -> Result<BTreeMap<String, Value>, serde_json::Error> {
+    v.as_object()
+        .cloned()
+        .ok_or_else(|| serde_json::Error::custom(format!("{what} must be a JSON object")))
+}
+
+impl ExperimentRecord {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_owned(), Value::from(self.id.as_str()));
+        obj.insert("params".to_owned(), map_to_value(&self.params));
+        obj.insert(
+            "rows".to_owned(),
+            Value::Array(self.rows.iter().map(map_to_value).collect()),
+        );
+        Value::Object(obj)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        let obj = value_to_map(v, "record")?;
+        let id = obj
+            .get("id")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| serde_json::Error::custom("record missing string field `id`"))?
+            .to_owned();
+        let params = match obj.get("params") {
+            Some(p) => value_to_map(p, "`params`")?,
+            None => BTreeMap::new(),
+        };
+        let rows = match obj.get("rows") {
+            Some(Value::Array(rows)) => rows
+                .iter()
+                .map(|r| value_to_map(r, "result row"))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(serde_json::Error::custom("`rows` must be an array")),
+            None => Vec::new(),
+        };
+        Ok(ExperimentRecord { id, params, rows })
+    }
 }
 
 impl ResultStore {
@@ -82,16 +131,36 @@ impl ResultStore {
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("records are serialisable")
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "records".to_owned(),
+            Value::Array(
+                self.records
+                    .iter()
+                    .map(ExperimentRecord::to_value)
+                    .collect(),
+            ),
+        );
+        Value::Object(obj).to_string_pretty()
     }
 
     /// Parses from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error for malformed input.
+    /// Returns a parse error for malformed input or an unexpected shape.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+        let v = serde_json::from_str(s)?;
+        let obj = value_to_map(&v, "result store")?;
+        let records = match obj.get("records") {
+            Some(Value::Array(records)) => records
+                .iter()
+                .map(ExperimentRecord::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(serde_json::Error::custom("`records` must be an array")),
+            None => Vec::new(),
+        };
+        Ok(ResultStore { records })
     }
 
     /// Saves to a file.

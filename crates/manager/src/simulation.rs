@@ -92,9 +92,7 @@ impl Topology {
     /// Returns a topology validation error (as
     /// [`firesim_core::SimError::Topology`]) or an engine wiring error.
     pub fn build(mut self, config: SimConfig) -> SimResult<Simulation> {
-        let root = self
-            .validate()
-            .map_err(firesim_core::SimError::topology)?;
+        let root = self.validate().map_err(firesim_core::SimError::topology)?;
 
         let window = u32::try_from(config.link_latency.as_u64())
             .map_err(|_| firesim_core::SimError::topology("link latency too large"))?;
@@ -121,7 +119,12 @@ impl Topology {
             let mac = MacAddr::from_node_index(idx as u64);
             let ip = {
                 let i = idx as u32;
-                format!("10.{}.{}.{}", (i >> 16) & 0xff, (i >> 8) & 0xff, (i & 0xff) + 1)
+                format!(
+                    "10.{}.{}.{}",
+                    (i >> 16) & 0xff,
+                    (i >> 8) & 0xff,
+                    (i & 0xff) + 1
+                )
             };
             let (blade, probe) = match spec {
                 BladeSpec::Rtl { config, program } => {
@@ -165,9 +168,7 @@ impl Topology {
                     .children
                     .iter()
                     .filter_map(|c| match c {
-                        NodeRef::Server(s)
-                            if matches!(built[s.0], Some(Built::Rtl(_))) =>
-                        {
+                        NodeRef::Server(s) if matches!(built[s.0], Some(Built::Rtl(_))) => {
                             Some(s.0)
                         }
                         _ => None,

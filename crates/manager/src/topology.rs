@@ -104,7 +104,12 @@ impl fmt::Debug for BladeSpec {
                 .debug_struct("BladeSpec::Rtl")
                 .field("cores", &config.cores)
                 .finish_non_exhaustive(),
-            BladeSpec::Model { os, threads, pinned, .. } => f
+            BladeSpec::Model {
+                os,
+                threads,
+                pinned,
+                ..
+            } => f
                 .debug_struct("BladeSpec::Model")
                 .field("cores", &os.cores)
                 .field("threads", threads)
@@ -301,7 +306,12 @@ impl Topology {
     /// (informational; the simulated protocols address by MAC).
     pub fn ip_of(&self, server: ServerId) -> String {
         let i = server.0 as u32;
-        format!("10.{}.{}.{}", (i >> 16) & 0xff, (i >> 8) & 0xff, (i & 0xff) + 1)
+        format!(
+            "10.{}.{}.{}",
+            (i >> 16) & 0xff,
+            (i >> 8) & 0xff,
+            (i & 0xff) + 1
+        )
     }
 
     /// Validates the tree: exactly one root switch, no dangling switches

@@ -114,8 +114,7 @@ impl FrameDeframer {
     /// bytes than an Ethernet header (a malformed sender); the partial data
     /// is discarded so the stream can resynchronise.
     pub fn push(&mut self, flit: Flit) -> Result<Option<EthernetFrame>, FrameError> {
-        self.buf
-            .extend_from_slice(&flit.bytes()[..flit.byte_len()]);
+        self.buf.extend_from_slice(&flit.bytes()[..flit.byte_len()]);
         if !flit.last {
             return Ok(None);
         }
@@ -127,8 +126,7 @@ impl FrameDeframer {
     /// Like [`push`](FrameDeframer::push) but returns the raw wire bytes,
     /// for models that DMA bytes into simulated memory without parsing.
     pub fn push_raw(&mut self, flit: Flit) -> Option<Vec<u8>> {
-        self.buf
-            .extend_from_slice(&flit.bytes()[..flit.byte_len()]);
+        self.buf.extend_from_slice(&flit.bytes()[..flit.byte_len()]);
         if !flit.last {
             return None;
         }

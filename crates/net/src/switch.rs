@@ -21,8 +21,8 @@
 //!    drops newly switched frames (congestion); an optional bound on
 //!    release delay models switch-internal ageing drops.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -303,13 +303,7 @@ impl Switch {
             stats.frames_flooded += 1;
             for p in 0..self.config.ports {
                 if p != ingress {
-                    Self::enqueue_out(
-                        &mut self.egress[p],
-                        &self.config,
-                        ts,
-                        wire.clone(),
-                        stats,
-                    );
+                    Self::enqueue_out(&mut self.egress[p], &self.config, ts, wire.clone(), stats);
                 }
             }
         } else {
@@ -367,8 +361,7 @@ impl SimAgent for Switch {
 
         // --- Ingress: reassemble flits into timestamped frames. ---
         for port in 0..self.config.ports {
-            let input = ctx.take_input(port);
-            for (off, flit) in input.into_iter() {
+            for (off, flit) in ctx.drain_input(port) {
                 stats.ingress_bytes += flit.byte_len() as u64;
                 self.bucket_bytes += flit.byte_len() as u64;
                 if let Some(wire) = self.deframers[port].push_raw(flit) {
@@ -488,7 +481,11 @@ mod tests {
 
     /// Drives `switch` one round with the given per-port input windows,
     /// returning the output windows.
-    fn round(switch: &mut Switch, now: u64, inputs: Vec<TokenWindow<Flit>>) -> Vec<TokenWindow<Flit>> {
+    fn round(
+        switch: &mut Switch,
+        now: u64,
+        inputs: Vec<TokenWindow<Flit>>,
+    ) -> Vec<TokenWindow<Flit>> {
         let ports = switch.config().ports;
         let mut ctx = AgentCtx::standalone(Cycle::new(now), W, inputs, ports);
         switch.advance(&mut ctx);
@@ -546,7 +543,11 @@ mod tests {
         inputs[2] = window_with_frame(&frame, 0);
         let out = round(&mut sw, 0, inputs);
         for port in [0usize, 1, 3] {
-            assert_eq!(collect_frames(&out, port), vec![frame.clone()], "port {port}");
+            assert_eq!(
+                collect_frames(&out, port),
+                vec![frame.clone()],
+                "port {port}"
+            );
         }
         assert!(out[2].is_empty());
         assert_eq!(sw.stats_handle().lock().frames_flooded, 1);
@@ -574,8 +575,8 @@ mod tests {
         let mut sw = Switch::new("tor", SwitchConfig::new(2).switching_latency(10));
         sw.add_route(MacAddr::from_node_index(1), 1);
         let frame = mk_frame(1, 0, 10); // 3 flits
-        // Start the frame 2 cycles before the end of the window: flits at
-        // W-2, W-1 in round 0 and the last flit at 0 in round 1.
+                                        // Start the frame 2 cycles before the end of the window: flits at
+                                        // W-2, W-1 in round 0 and the last flit at 0 in round 1.
         let mut w0 = TokenWindow::new(W);
         let mut w1 = TokenWindow::new(W);
         let mut framer = FrameFramer::new();
@@ -641,7 +642,9 @@ mod tests {
     fn output_buffer_overflow_drops() {
         let mut sw = Switch::new(
             "tor",
-            SwitchConfig::new(3).output_buffer_bytes(100).switching_latency(10),
+            SwitchConfig::new(3)
+                .output_buffer_bytes(100)
+                .switching_latency(10),
         );
         sw.add_route(MacAddr::from_node_index(2), 2);
         let f_a = mk_frame(2, 0, 60); // 74 wire bytes
@@ -670,8 +673,8 @@ mod tests {
         let mut inputs = empty_inputs(3);
         inputs[0] = window_with_frame(&f_long, 0); // ts ~51, released at 51
         inputs[1] = window_with_frame(&f_short, 0); // ts 2: released first!
-        // Make the short frame the *later* one instead: give it a later ts
-        // by delaying its flits.
+                                                    // Make the short frame the *later* one instead: give it a later ts
+                                                    // by delaying its flits.
         let out = round(&mut sw, 0, inputs);
         // short (ts 2) transmits at 2..4; long (ts 51) starts at 51 and
         // spills into the next round (52 flits).
@@ -702,14 +705,14 @@ mod tests {
         sw.add_route(MacAddr::from_node_index(2), 2);
         let f_first = mk_frame(2, 0, 30); // 6 flits, ts 5, tx 5..10
         let f_aged = mk_frame(2, 1, 2); // ts 6, must wait until 11 > 6+16? no
-        // Use a longer first frame so the wait exceeds 16.
+                                        // Use a longer first frame so the wait exceeds 16.
         let f_first_long = mk_frame(2, 0, 240); // 32 flits, ts 31, tx 31..62
         let _ = f_first;
         let mut inputs = empty_inputs(3);
         inputs[0] = window_with_frame(&f_first_long, 0);
         inputs[1] = window_with_frame(&f_aged, 30); // completes 31, ts 31
-        // f_first_long ts 31 (seq earlier), transmits 31..62; f_aged ts 31
-        // would start at 63 > 31+16 => dropped.
+                                                    // f_first_long ts 31 (seq earlier), transmits 31..62; f_aged ts 31
+                                                    // would start at 63 > 31+16 => dropped.
         let out = round(&mut sw, 0, inputs);
         let frames = collect_frames(&out, 2);
         assert_eq!(frames.len(), 1);
@@ -719,10 +722,7 @@ mod tests {
 
     #[test]
     fn bandwidth_sampling_records_buckets() {
-        let mut sw = Switch::new(
-            "root",
-            SwitchConfig::new(2).sample_bandwidth(u64::from(W)),
-        );
+        let mut sw = Switch::new("root", SwitchConfig::new(2).sample_bandwidth(u64::from(W)));
         sw.add_route(MacAddr::from_node_index(1), 1);
         let frame = mk_frame(1, 0, 50); // 64 wire bytes
         let inputs = vec![window_with_frame(&frame, 0), TokenWindow::new(W)];
@@ -768,7 +768,11 @@ mod tests {
         let mut sw = Switch::new("null", SwitchConfig::new(2));
         sw.set_policy(Box::new(Null));
         let frame = mk_frame(1, 0, 8);
-        let out = round(&mut sw, 0, vec![window_with_frame(&frame, 0), TokenWindow::new(W)]);
+        let out = round(
+            &mut sw,
+            0,
+            vec![window_with_frame(&frame, 0), TokenWindow::new(W)],
+        );
         assert!(out[0].is_empty() && out[1].is_empty());
     }
 

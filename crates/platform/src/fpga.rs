@@ -62,8 +62,7 @@ impl FpgaModel {
     /// True when a design with `blades` nodes fits (LUTs and DRAM
     /// channels).
     pub fn fits(&self, blades: usize) -> bool {
-        blades <= self.dram_channels
-            && self.utilization(blades).total_luts <= self.routable_limit
+        blades <= self.dram_channels && self.utilization(blades).total_luts <= self.routable_limit
     }
 
     /// The largest supernode packing that fits.

@@ -145,8 +145,8 @@ mod tests {
             (ondemand - 440.0).abs() < 10.0,
             "on-demand fleet ${ondemand:.0}/hr"
         );
-        let spot = 32.0 * p.spot(InstanceType::F1_16xlarge)
-            + 5.0 * p.spot(InstanceType::M4_16xlarge);
+        let spot =
+            32.0 * p.spot(InstanceType::F1_16xlarge) + 5.0 * p.spot(InstanceType::M4_16xlarge);
         assert!((spot - 100.0).abs() < 5.0, "spot fleet ${spot:.0}/hr");
         let fpga_value = 32.0 * 8.0 * p.fpga_retail;
         assert_eq!(fpga_value, 12_800_000.0);

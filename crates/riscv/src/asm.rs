@@ -19,8 +19,8 @@
 //! assert!(image.len() % 4 == 0);
 //! ```
 
-use std::collections::HashMap;
 use core::fmt;
+use std::collections::HashMap;
 
 use crate::encode::encode;
 use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth, MulDivOp};
@@ -74,10 +74,18 @@ impl std::error::Error for AsmError {}
 
 #[derive(Debug)]
 enum Fixup {
-    Branch { cond: BranchCond, rs1: u8, rs2: u8 },
-    Jal { rd: u8 },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+    },
+    Jal {
+        rd: u8,
+    },
     /// `auipc rd, %hi` at `at`, `addi rd, rd, %lo` at `at + 1`.
-    La { rd: u8 },
+    La {
+        rd: u8,
+    },
 }
 
 /// The assembler. See the [module docs](self).
@@ -191,11 +199,7 @@ impl Assembler {
                 }
             }
         }
-        Ok(self
-            .words
-            .iter()
-            .flat_map(|w| w.to_le_bytes())
-            .collect())
+        Ok(self.words.iter().flat_map(|w| w.to_le_bytes()).collect())
     }
 
     // ----- pseudo-instructions -----
@@ -332,196 +336,468 @@ impl Assembler {
 
     /// `lb rd, off(base)`.
     pub fn lb(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::B, signed: true, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::B,
+            signed: true,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `lh rd, off(base)`.
     pub fn lh(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::H, signed: true, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::H,
+            signed: true,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `lw rd, off(base)`.
     pub fn lw(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::W, signed: true, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::W,
+            signed: true,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `ld rd, off(base)`.
     pub fn ld(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::D, signed: true, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `lbu rd, off(base)`.
     pub fn lbu(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::B, signed: false, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::B,
+            signed: false,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `lhu rd, off(base)`.
     pub fn lhu(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::H, signed: false, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::H,
+            signed: false,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `lwu rd, off(base)`.
     pub fn lwu(&mut self, rd: u8, base: u8, off: i64) {
-        self.inst(Inst::Load { width: MemWidth::W, signed: false, rd, rs1: base, imm: off });
+        self.inst(Inst::Load {
+            width: MemWidth::W,
+            signed: false,
+            rd,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `sb rs2, off(base)`.
     pub fn sb(&mut self, rs2: u8, base: u8, off: i64) {
-        self.inst(Inst::Store { width: MemWidth::B, rs2, rs1: base, imm: off });
+        self.inst(Inst::Store {
+            width: MemWidth::B,
+            rs2,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `sh rs2, off(base)`.
     pub fn sh(&mut self, rs2: u8, base: u8, off: i64) {
-        self.inst(Inst::Store { width: MemWidth::H, rs2, rs1: base, imm: off });
+        self.inst(Inst::Store {
+            width: MemWidth::H,
+            rs2,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `sw rs2, off(base)`.
     pub fn sw(&mut self, rs2: u8, base: u8, off: i64) {
-        self.inst(Inst::Store { width: MemWidth::W, rs2, rs1: base, imm: off });
+        self.inst(Inst::Store {
+            width: MemWidth::W,
+            rs2,
+            rs1: base,
+            imm: off,
+        });
     }
     /// `sd rs2, off(base)`.
     pub fn sd(&mut self, rs2: u8, base: u8, off: i64) {
-        self.inst(Inst::Store { width: MemWidth::D, rs2, rs1: base, imm: off });
+        self.inst(Inst::Store {
+            width: MemWidth::D,
+            rs2,
+            rs1: base,
+            imm: off,
+        });
     }
 
     // ----- ALU immediate -----
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `addiw rd, rs1, imm`.
     pub fn addiw(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Add, rd, rs1, imm, word: true });
+        self.inst(Inst::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+            word: true,
+        });
     }
     /// `slti rd, rs1, imm`.
     pub fn slti(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Slt, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `sltiu rd, rs1, imm`.
     pub fn sltiu(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `xori rd, rs1, imm`.
     pub fn xori(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `ori rd, rs1, imm`.
     pub fn ori(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Or, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: u8, rs1: u8, imm: i64) {
-        self.inst(Inst::OpImm { op: AluOp::And, rd, rs1, imm, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        });
     }
     /// `slli rd, rs1, shamt`.
     pub fn slli(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+            word: false,
+        });
     }
     /// `srli rd, rs1, shamt`.
     pub fn srli(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+            word: false,
+        });
     }
     /// `srai rd, rs1, shamt`.
     pub fn srai(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt, word: false });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: shamt,
+            word: false,
+        });
     }
     /// `slliw rd, rs1, shamt`.
     pub fn slliw(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: true });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+            word: true,
+        });
     }
     /// `srliw rd, rs1, shamt`.
     pub fn srliw(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: true });
+        self.inst(Inst::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+            word: true,
+        });
     }
     /// `sraiw rd, rs1, shamt`.
     pub fn sraiw(&mut self, rd: u8, rs1: u8, shamt: i64) {
-        self.inst(Inst::OpImm { op: AluOp::Sra, rd, rs1, imm: shamt, word: true });
+        self.inst(Inst::OpImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: shamt,
+            word: true,
+        });
     }
 
     // ----- ALU register -----
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `sll rd, rs1, rs2`.
     pub fn sll(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `slt rd, rs1, rs2`.
     pub fn slt(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Slt, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `sltu rd, rs1, rs2`.
     pub fn sltu(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sltu, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `xor rd, rs1, rs2`.
     pub fn xor(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Xor, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `srl rd, rs1, rs2`.
     pub fn srl(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `sra rd, rs1, rs2`.
     pub fn sra(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `or rd, rs1, rs2`.
     pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Or, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `and rd, rs1, rs2`.
     pub fn and(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::And, rd, rs1, rs2, word: false });
+        self.inst(Inst::Op {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `addw rd, rs1, rs2`.
     pub fn addw(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Add, rd, rs1, rs2, word: true });
+        self.inst(Inst::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+            word: true,
+        });
     }
     /// `subw rd, rs1, rs2`.
     pub fn subw(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sub, rd, rs1, rs2, word: true });
+        self.inst(Inst::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+            word: true,
+        });
     }
     /// `sllw rd, rs1, rs2`.
     pub fn sllw(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sll, rd, rs1, rs2, word: true });
+        self.inst(Inst::Op {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+            word: true,
+        });
     }
     /// `srlw rd, rs1, rs2`.
     pub fn srlw(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Srl, rd, rs1, rs2, word: true });
+        self.inst(Inst::Op {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+            word: true,
+        });
     }
     /// `sraw rd, rs1, rs2`.
     pub fn sraw(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::Op { op: AluOp::Sra, rd, rs1, rs2, word: true });
+        self.inst(Inst::Op {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+            word: true,
+        });
     }
 
     // ----- multiply/divide -----
 
     /// `mul rd, rs1, rs2`.
     pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `mulh rd, rs1, rs2`.
     pub fn mulh(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mulh, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mulh,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `mulhu rd, rs1, rs2`.
     pub fn mulhu(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Mulhu, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Mulhu,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `div rd, rs1, rs2`.
     pub fn div(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Div, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Div,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `divu rd, rs1, rs2`.
     pub fn divu(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Divu, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Divu,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `rem rd, rs1, rs2`.
     pub fn rem(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Rem, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Rem,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
     /// `remu rd, rs1, rs2`.
     pub fn remu(&mut self, rd: u8, rs1: u8, rs2: u8) {
-        self.inst(Inst::MulDiv { op: MulDivOp::Remu, rd, rs1, rs2, word: false });
+        self.inst(Inst::MulDiv {
+            op: MulDivOp::Remu,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        });
     }
 
     // ----- upper immediates -----
@@ -539,46 +815,104 @@ impl Assembler {
 
     /// `lr.w rd, (base)`.
     pub fn lr_w(&mut self, rd: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Lr, width: MemWidth::W, rd, rs1: base, rs2: 0 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Lr,
+            width: MemWidth::W,
+            rd,
+            rs1: base,
+            rs2: 0,
+        });
     }
     /// `lr.d rd, (base)`.
     pub fn lr_d(&mut self, rd: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Lr, width: MemWidth::D, rd, rs1: base, rs2: 0 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Lr,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2: 0,
+        });
     }
     /// `sc.w rd, rs2, (base)`.
     pub fn sc_w(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Sc, width: MemWidth::W, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Sc,
+            width: MemWidth::W,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
     /// `sc.d rd, rs2, (base)`.
     pub fn sc_d(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Sc, width: MemWidth::D, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Sc,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
     /// `amoswap.d rd, rs2, (base)`.
     pub fn amoswap_d(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Swap, width: MemWidth::D, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Swap,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
     /// `amoadd.w rd, rs2, (base)`.
     pub fn amoadd_w(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Add, width: MemWidth::W, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Add,
+            width: MemWidth::W,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
     /// `amoadd.d rd, rs2, (base)`.
     pub fn amoadd_d(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Add, width: MemWidth::D, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Add,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
     /// `amoor.d rd, rs2, (base)`.
     pub fn amoor_d(&mut self, rd: u8, rs2: u8, base: u8) {
-        self.inst(Inst::Amo { op: AmoOp::Or, width: MemWidth::D, rd, rs1: base, rs2 });
+        self.inst(Inst::Amo {
+            op: AmoOp::Or,
+            width: MemWidth::D,
+            rd,
+            rs1: base,
+            rs2,
+        });
     }
 
     // ----- CSRs -----
 
     /// `csrrw rd, csr, rs1`.
     pub fn csrrw(&mut self, rd: u8, csr: u16, rs1: u8) {
-        self.inst(Inst::Csr { op: CsrOp::Rw, rd, csr, src: CsrSrc::Reg(rs1) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rw,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs1),
+        });
     }
     /// `csrrs rd, csr, rs1`.
     pub fn csrrs(&mut self, rd: u8, csr: u16, rs1: u8) {
-        self.inst(Inst::Csr { op: CsrOp::Rs, rd, csr, src: CsrSrc::Reg(rs1) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rs,
+            rd,
+            csr,
+            src: CsrSrc::Reg(rs1),
+        });
     }
     /// `csrr rd, csr` (read).
     pub fn csrr(&mut self, rd: u8, csr: u16) {
@@ -594,15 +928,30 @@ impl Assembler {
     }
     /// `csrc csr, rs` (clear bits).
     pub fn csrc(&mut self, csr: u16, rs: u8) {
-        self.inst(Inst::Csr { op: CsrOp::Rc, rd: 0, csr, src: CsrSrc::Reg(rs) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rc,
+            rd: 0,
+            csr,
+            src: CsrSrc::Reg(rs),
+        });
     }
     /// `csrsi csr, imm` (set bits, 5-bit immediate).
     pub fn csrsi(&mut self, csr: u16, imm: u8) {
-        self.inst(Inst::Csr { op: CsrOp::Rs, rd: 0, csr, src: CsrSrc::Imm(imm) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rs,
+            rd: 0,
+            csr,
+            src: CsrSrc::Imm(imm),
+        });
     }
     /// `csrci csr, imm` (clear bits, 5-bit immediate).
     pub fn csrci(&mut self, csr: u16, imm: u8) {
-        self.inst(Inst::Csr { op: CsrOp::Rc, rd: 0, csr, src: CsrSrc::Imm(imm) });
+        self.inst(Inst::Csr {
+            op: CsrOp::Rc,
+            rd: 0,
+            csr,
+            src: CsrSrc::Imm(imm),
+        });
     }
 
     // ----- system -----
@@ -706,10 +1055,7 @@ mod tests {
     fn unknown_label_errors() {
         let mut a = Assembler::new(BASE);
         a.j("nowhere");
-        assert!(matches!(
-            a.assemble(),
-            Err(AsmError::UnknownLabel { .. })
-        ));
+        assert!(matches!(a.assemble(), Err(AsmError::UnknownLabel { .. })));
     }
 
     #[test]
@@ -718,10 +1064,7 @@ mod tests {
         a.label("x");
         a.nop();
         a.label("x");
-        assert!(matches!(
-            a.assemble(),
-            Err(AsmError::DuplicateLabel { .. })
-        ));
+        assert!(matches!(a.assemble(), Err(AsmError::DuplicateLabel { .. })));
     }
 
     #[test]

@@ -175,8 +175,8 @@ impl CsrFile {
                 let mask = mstatus::MIE | mstatus::MPIE;
                 self.mstatus = (self.mstatus & !mask) | (value & mask) | mstatus::MPP_M;
             }
-            MISA => {} // WARL: writes ignored
-            MIE => self.mie = value & 0x888, // MSIE/MTIE/MEIE only
+            MISA => {}                           // WARL: writes ignored
+            MIE => self.mie = value & 0x888,     // MSIE/MTIE/MEIE only
             MTVEC => self.mtvec = value & !0b11, // direct mode only
             MSCRATCH => self.mscratch = value,
             MEPC => self.mepc = value & !0b1,
@@ -217,7 +217,9 @@ impl CsrFile {
             return None;
         }
         let active = self.mip & self.mie;
-        [Interrupt::External, Interrupt::Software, Interrupt::Timer].into_iter().find(|&line| active & (1 << line.bit()) != 0)
+        [Interrupt::External, Interrupt::Software, Interrupt::Timer]
+            .into_iter()
+            .find(|&line| active & (1 << line.bit()) != 0)
     }
 
     /// True when any enabled interrupt is pending regardless of the global

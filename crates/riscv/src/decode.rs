@@ -247,7 +247,11 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 if word
                     && !matches!(
                         op,
-                        MulDivOp::Mul | MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+                        MulDivOp::Mul
+                            | MulDivOp::Div
+                            | MulDivOp::Divu
+                            | MulDivOp::Rem
+                            | MulDivOp::Remu
                     )
                 {
                     return Err(err());
@@ -462,7 +466,10 @@ mod tests {
     fn amo_lr_requires_rs2_zero() {
         // lr.d x1, (x2): funct5 0x02 -> funct7 0x08, f3 3.
         let lr = 0x2f | (1 << 7) | (3 << 12) | (2 << 15) | (0x08 << 25);
-        assert!(matches!(decode(lr).unwrap(), Inst::Amo { op: AmoOp::Lr, .. }));
+        assert!(matches!(
+            decode(lr).unwrap(),
+            Inst::Amo { op: AmoOp::Lr, .. }
+        ));
         let bad = lr | (1 << 20); // rs2 = 1
         assert!(decode(bad).is_err());
     }

@@ -333,7 +333,14 @@ mod tests {
 
     #[test]
     fn system_encodings() {
-        for i in [Inst::Fence, Inst::FenceI, Inst::Ecall, Inst::Ebreak, Inst::Mret, Inst::Wfi] {
+        for i in [
+            Inst::Fence,
+            Inst::FenceI,
+            Inst::Ecall,
+            Inst::Ebreak,
+            Inst::Mret,
+            Inst::Wfi,
+        ] {
             assert_eq!(decode(encode(&i)).unwrap(), i);
         }
     }

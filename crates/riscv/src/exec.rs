@@ -245,11 +245,7 @@ impl Cpu {
                     Ok(v) => v,
                     Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
                 };
-                let value = if signed {
-                    sign_extend(raw, size)
-                } else {
-                    raw
-                };
+                let value = if signed { sign_extend(raw, size) } else { raw };
                 self.write_reg(rd, value);
                 mem = Some(MemAccess {
                     addr,
@@ -576,8 +572,8 @@ fn amo_compute(op: AmoOp, old: u64, src: u64, size: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::asm::Assembler;
-    use crate::csr::Interrupt;
     use crate::csr::addr as csr_addr;
+    use crate::csr::Interrupt;
     use crate::mem::Memory;
 
     const BASE: u64 = 0x8000_0000;
@@ -635,7 +631,10 @@ mod tests {
             muldiv(MulDivOp::Rem, i64::MIN as u64, -1i64 as u64, false),
             0
         );
-        assert_eq!(muldiv(MulDivOp::Mulhu, u64::MAX, u64::MAX, false), u64::MAX - 1);
+        assert_eq!(
+            muldiv(MulDivOp::Mulhu, u64::MAX, u64::MAX, false),
+            u64::MAX - 1
+        );
         assert_eq!(muldiv(MulDivOp::Mulh, -1i64 as u64, -1i64 as u64, false), 0);
     }
 
@@ -867,7 +866,9 @@ mod tests {
         // Wake: with MSTATUS.MIE clear, WFI completes without trapping.
         cpu.csrs.set_interrupt(Interrupt::External, true);
         match cpu.step(&mut mem).unwrap() {
-            StepOutcome::Retired { inst: Inst::Wfi, .. } => {}
+            StepOutcome::Retired {
+                inst: Inst::Wfi, ..
+            } => {}
             other => panic!("{other:?}"),
         }
         cpu.step(&mut mem).unwrap(); // li
@@ -911,7 +912,9 @@ mod tests {
         cpu.clobber_reservation(BASE + 64);
         // SC must now fail.
         loop {
-            if cpu.step(&mut mem).unwrap() == StepOutcome::Wfi { break }
+            if cpu.step(&mut mem).unwrap() == StepOutcome::Wfi {
+                break;
+            }
         }
         assert_eq!(cpu.read_reg(3), 1);
     }

@@ -77,70 +77,109 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
         Just(AmoOp::Maxu),
     ];
     let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
-    let csr_src = prop_oneof![
-        reg().prop_map(CsrSrc::Reg),
-        (0u8..32).prop_map(CsrSrc::Imm),
-    ];
+    let csr_src = prop_oneof![reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm),];
 
     prop_oneof![
-        (reg(), (-(1i64 << 19)..(1i64 << 19)))
-            .prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
-        (reg(), (-(1i64 << 19)..(1i64 << 19)))
-            .prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
-        (reg(), (-(1i64 << 19)..(1i64 << 19)))
-            .prop_map(|(rd, v)| Inst::Jal { rd, imm: v * 2 }),
+        (reg(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (reg(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (reg(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, v)| Inst::Jal { rd, imm: v * 2 }),
         (reg(), reg(), imm12()).prop_map(|(rd, rs1, imm)| Inst::Jalr { rd, rs1, imm }),
-        (cond, reg(), reg(), -2048i64..=2047)
-            .prop_map(|(cond, rs1, rs2, h)| Inst::Branch { cond, rs1, rs2, imm: h * 2 }),
+        (cond, reg(), reg(), -2048i64..=2047).prop_map(|(cond, rs1, rs2, h)| Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            imm: h * 2
+        }),
         (width.clone(), any::<bool>(), reg(), reg(), imm12()).prop_filter_map(
             "no unsigned ld",
             |(width, signed, rd, rs1, imm)| {
                 if width == MemWidth::D && !signed {
                     None
                 } else {
-                    Some(Inst::Load { width, signed, rd, rs1, imm })
+                    Some(Inst::Load {
+                        width,
+                        signed,
+                        rd,
+                        rs1,
+                        imm,
+                    })
                 }
             }
         ),
-        (width, reg(), reg(), imm12())
-            .prop_map(|(width, rs2, rs1, imm)| Inst::Store { width, rs2, rs1, imm }),
-        (alu.clone(), reg(), reg(), imm12(), any::<bool>()).prop_map(
-            |(op, rd, rs1, imm, word)| {
-                // Shifts carry shamt instead of a full immediate.
-                let imm = match op {
-                    AluOp::Sll | AluOp::Srl | AluOp::Sra => {
-                        imm.unsigned_abs() as i64 % if word { 32 } else { 64 }
-                    }
-                    _ => imm,
-                };
-                // Word forms exist only for add/shifts.
-                let word = word
-                    && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
-                Inst::OpImm { op, rd, rs1, imm, word }
+        (width, reg(), reg(), imm12()).prop_map(|(width, rs2, rs1, imm)| Inst::Store {
+            width,
+            rs2,
+            rs1,
+            imm
+        }),
+        (alu.clone(), reg(), reg(), imm12(), any::<bool>()).prop_map(|(op, rd, rs1, imm, word)| {
+            // Shifts carry shamt instead of a full immediate.
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    imm.unsigned_abs() as i64 % if word { 32 } else { 64 }
+                }
+                _ => imm,
+            };
+            // Word forms exist only for add/shifts.
+            let word = word && matches!(op, AluOp::Add | AluOp::Sll | AluOp::Srl | AluOp::Sra);
+            Inst::OpImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
             }
-        ),
+        }),
         (alu_reg, reg(), reg(), reg(), any::<bool>()).prop_map(|(op, rd, rs1, rs2, word)| {
             let word = word
                 && matches!(
                     op,
                     AluOp::Add | AluOp::Sub | AluOp::Sll | AluOp::Srl | AluOp::Sra
                 );
-            Inst::Op { op, rd, rs1, rs2, word }
+            Inst::Op {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            }
         }),
         (muldiv, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv {
-            op, rd, rs1, rs2, word: false
+            op,
+            rd,
+            rs1,
+            rs2,
+            word: false
         }),
         (muldiv_word, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv {
-            op, rd, rs1, rs2, word: true
+            op,
+            rd,
+            rs1,
+            rs2,
+            word: true
         }),
-        (amo_op, amo_width.clone(), reg(), reg(), reg()).prop_map(
-            |(op, width, rd, rs1, rs2)| Inst::Amo { op, width, rd, rs1, rs2 }
-        ),
+        (amo_op, amo_width.clone(), reg(), reg(), reg()).prop_map(|(op, width, rd, rs1, rs2)| {
+            Inst::Amo {
+                op,
+                width,
+                rd,
+                rs1,
+                rs2,
+            }
+        }),
         (amo_width, reg(), reg()).prop_map(|(width, rd, rs1)| Inst::Amo {
-            op: AmoOp::Lr, width, rd, rs1, rs2: 0
+            op: AmoOp::Lr,
+            width,
+            rd,
+            rs1,
+            rs2: 0
         }),
-        (csr_op, reg(), 0u16..4096, csr_src)
-            .prop_map(|(op, rd, csr, src)| Inst::Csr { op, rd, csr, src }),
+        (csr_op, reg(), 0u16..4096, csr_src).prop_map(|(op, rd, csr, src)| Inst::Csr {
+            op,
+            rd,
+            csr,
+            src
+        }),
         Just(Inst::Fence),
         Just(Inst::FenceI),
         Just(Inst::Ecall),

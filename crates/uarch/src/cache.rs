@@ -64,7 +64,10 @@ impl CacheConfig {
         );
         let sets = self.size_bytes / denom;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         sets
     }
 }

@@ -221,7 +221,7 @@ mod tests {
         let mut d = Dram::new(cfg());
         let done1 = d.access(0, 0);
         let done2 = d.access(0, 64); // next line -> next bank
-        // Both start at 0; same latency; so they finish together.
+                                     // Both start at 0; same latency; so they finish together.
         assert_eq!(done1, done2);
     }
 

@@ -200,10 +200,7 @@ mod tests {
         let cold = m.access(0, AccessKind::Load, 0x8000_0000, 0);
         // Core 1 misses L1 but hits L2.
         let l2hit = m.access(1, AccessKind::Load, 0x8000_0000, cold);
-        assert_eq!(
-            l2hit,
-            m.config().l1_hit_cycles + m.config().l2_hit_cycles
-        );
+        assert_eq!(l2hit, m.config().l1_hit_cycles + m.config().l2_hit_cycles);
         assert!(l2hit < cold);
         assert!(l2hit > m.config().l1_hit_cycles);
     }

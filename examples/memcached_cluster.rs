@@ -77,7 +77,8 @@ fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
     }
 
     let mut sim = topo.build(SimConfig::default()).expect("valid topology");
-    sim.run_until_done(Cycle::new(30_000_000_000)).expect("runs");
+    sim.run_until_done(Cycle::new(30_000_000_000))
+        .expect("runs");
 
     let mut merged = Histogram::new("latency");
     for h in all_stats.lock().iter() {

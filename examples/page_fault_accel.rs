@@ -65,7 +65,8 @@ fn run(mode: PagingMode, workload: &str, pages: u64, local: u64) -> Arc<Mutex<Pa
     topo.add_downlinks(tor, [wl, mb]).unwrap();
 
     let mut sim = topo.build(SimConfig::default()).expect("valid topology");
-    sim.run_until_done(Cycle::new(200_000_000_000)).expect("runs");
+    sim.run_until_done(Cycle::new(200_000_000_000))
+        .expect("runs");
     let s = stats_cell.lock().take().expect("factory ran");
     s
 }
@@ -90,7 +91,13 @@ fn main() {
             let ms = |c: u64| clock.seconds_from_cycles(Cycle::new(c)) * 1e3;
             println!(
                 "{:>8} {:>7}p {:>10} {:>12.2} {:>8} {:>12.2} {:>9}",
-                workload, local, "software", ms(rt_sw), sw.faults, ms(sw.metadata_cycles), ""
+                workload,
+                local,
+                "software",
+                ms(rt_sw),
+                sw.faults,
+                ms(sw.metadata_cycles),
+                ""
             );
             println!(
                 "{:>8} {:>7}p {:>10} {:>12.2} {:>8} {:>12.2} {:>8.2}x",

@@ -14,6 +14,17 @@ use firesim_net::MacAddr;
 /// Builds a 4-node ping cluster and returns every observable result:
 /// per-ping RTTs and per-switch forwarding counters.
 fn run_cluster(host_threads: usize, supernode: bool) -> (Vec<u64>, Vec<u64>) {
+    run_cluster_with(host_threads, supernode, |_| {})
+}
+
+/// Like [`run_cluster`], but lets the caller poke the engine (scheduling
+/// weights, chunk size) before the run. Those knobs steer host-side
+/// scheduling only and must never change simulation results.
+fn run_cluster_with(
+    host_threads: usize,
+    supernode: bool,
+    tweak: impl FnOnce(&mut firesim_core::Engine<firesim_net::Flit>),
+) -> (Vec<u64>, Vec<u64>) {
     let clock = Frequency::GHZ_3_2;
     let pings = 5;
     let mut topo = Topology::new();
@@ -61,6 +72,11 @@ fn run_cluster(host_threads: usize, supernode: bool) -> (Vec<u64>, Vec<u64>) {
             ..SimConfig::default()
         })
         .expect("valid topology");
+    // These tests exist to exercise the parallel execution paths, so lift
+    // the engine's workers<=cores clamp — CI hosts may have fewer cores
+    // than the thread counts exercised here.
+    sim.engine_mut().set_host_oversubscribe(true);
+    tweak(sim.engine_mut());
     sim.run_until_done(Cycle::new(400_000_000)).expect("runs");
 
     let probe = sim.servers()[0].probe.as_ref().expect("rtl blade");
@@ -103,4 +119,26 @@ fn results_identical_with_supernode_packing() {
 #[test]
 fn repeated_runs_are_bit_identical() {
     assert_eq!(run_cluster(2, false), run_cluster(2, false));
+}
+
+#[test]
+fn results_identical_with_adversarial_weights() {
+    // Cost hints steer the load-aware partitioner; lying to it (extreme
+    // and inverted weights, tiny chunks so the repartition boundary is
+    // crossed many times) must not move a single target cycle.
+    let baseline = run_cluster(1, false);
+    for (threads, flip) in [(2, false), (4, true), (8, false)] {
+        let weighted = run_cluster_with(threads, false, |engine| {
+            engine.set_chunk_rounds(2);
+            let ids: Vec<_> = engine.agent_ids().collect();
+            for (i, id) in ids.into_iter().enumerate() {
+                let heavy = (i % 2 == 0) ^ flip;
+                engine.set_agent_weight(id, if heavy { u64::MAX } else { 1 });
+            }
+        });
+        assert_eq!(
+            weighted, baseline,
+            "host_threads = {threads}, flip = {flip} changed simulation results"
+        );
+    }
 }

@@ -190,10 +190,7 @@ fn sixty_four_node_tree_all_pairs_routable() {
 fn uart_and_exit_codes_flow_to_probes() {
     let mut topo = Topology::new();
     let tor = topo.add_switch("tor0");
-    let a = topo.add_server(
-        "a",
-        BladeSpec::rtl_single_core(programs::boot_poweroff(50)),
-    );
+    let a = topo.add_server("a", BladeSpec::rtl_single_core(programs::boot_poweroff(50)));
     let b = topo.add_server(
         "b",
         BladeSpec::rtl_single_core(programs::boot_poweroff(500)),

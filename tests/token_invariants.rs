@@ -112,6 +112,34 @@ proptest! {
         prop_assert_eq!(back, dense);
     }
 
+    /// A recycled window (drained, then reset to a new length) is
+    /// indistinguishable from a freshly allocated one — the engine's
+    /// zero-allocation recycling loop depends on this.
+    #[test]
+    fn recycled_window_equals_fresh(
+        first in proptest::collection::vec(proptest::option::of(0u32..1000), 1..128),
+        second in proptest::collection::vec(proptest::option::of(0u32..1000), 1..128),
+    ) {
+        // Fill a window, consume it the way the engine does (drain),
+        // recycle it to the second payload's length, and refill.
+        let mut w = TokenWindow::from_dense(first.clone());
+        let drained: Vec<(u32, u32)> = w.drain().collect();
+        prop_assert!(w.is_empty());
+        prop_assert_eq!(drained.len(), first.iter().flatten().count());
+
+        w.reset(second.len() as u32);
+        for (off, tok) in second.iter().enumerate() {
+            if let Some(t) = tok {
+                w.push(off as u32, *t).unwrap();
+            }
+        }
+        let fresh = TokenWindow::from_dense(second.clone());
+        prop_assert_eq!(&w, &fresh);
+        let back: Vec<Option<u32>> =
+            w.to_dense().into_iter().map(|o| o.copied()).collect();
+        prop_assert_eq!(back, second);
+    }
+
     /// Channels seeded with `latency` tokens never change payload order.
     #[test]
     fn channel_preserves_fifo_order(
