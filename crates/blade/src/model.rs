@@ -69,6 +69,40 @@ pub trait NodeApp: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// Saves the application's mutable state for a checkpoint.
+    ///
+    /// The default refuses, so blades running apps that have not opted in
+    /// fail checkpointing with a typed error instead of silently dropping
+    /// state. Stateless apps can override with `Ok(())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`](firesim_core::SimError) unless
+    /// overridden.
+    fn save_state(
+        &self,
+        _w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        Err(firesim_core::SimError::checkpoint(
+            "node application does not support checkpointing",
+        ))
+    }
+
+    /// Restores the application's mutable state from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`](firesim_core::SimError) unless
+    /// overridden.
+    fn restore_state(
+        &mut self,
+        _r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        Err(firesim_core::SimError::checkpoint(
+            "node application does not support checkpointing",
+        ))
+    }
 }
 
 /// OS-model parameters.
@@ -328,6 +362,86 @@ impl OsModel {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for OsModel {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.config.cores);
+        w.put_usize(self.threads.len());
+        for t in &self.threads {
+            w.put(&t.queue);
+            let (tag, core) = match t.state {
+                ThreadState::Idle => (0u8, 0usize),
+                ThreadState::Queued(c) => (1, c),
+                ThreadState::Running(c) => (2, c),
+            };
+            w.put_u8(tag);
+            w.put_usize(core);
+            w.put(&t.pinned);
+        }
+        for slot in &self.running {
+            w.put_bool(slot.is_some());
+            if let Some(r) = slot {
+                w.put_usize(r.thread);
+                w.put_u64(r.remaining);
+                w.put_u64(r.quantum_left);
+                w.put_u64(r.overhead);
+            }
+        }
+        w.put(&self.runq);
+        w.put(&self.rng);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let cores = r.get_usize()?;
+        let threads = r.get_usize()?;
+        if cores != self.config.cores || threads != self.threads.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "OS-model snapshot is {threads} threads on {cores} cores, \
+                 target is {} threads on {}",
+                self.threads.len(),
+                self.config.cores
+            )));
+        }
+        for t in &mut self.threads {
+            t.queue = r.get()?;
+            let tag = r.get_u8()?;
+            let core = r.get_usize()?;
+            t.state = match tag {
+                0 => ThreadState::Idle,
+                1 => ThreadState::Queued(core),
+                2 => ThreadState::Running(core),
+                _ => {
+                    return Err(firesim_core::SimError::checkpoint(format!(
+                        "unknown thread-state tag {tag}"
+                    )))
+                }
+            };
+            t.pinned = r.get()?;
+        }
+        for slot in &mut self.running {
+            *slot = if r.get_bool()? {
+                Some(Running {
+                    thread: r.get_usize()?,
+                    remaining: r.get_u64()?,
+                    quantum_left: r.get_u64()?,
+                    overhead: r.get_u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.runq = r.get()?;
+        self.rng = r.get()?;
+        Ok(())
+    }
+}
+
 /// The transmit half of the modeled NIC: serialises frames at 8 bytes per
 /// cycle with an optional token-bucket rate limit.
 #[derive(Debug, Default)]
@@ -389,6 +503,34 @@ impl ModeledBlade {
         if actions.stop {
             self.stopped = true;
         }
+    }
+}
+
+impl firesim_core::snapshot::Checkpoint for ModeledBlade {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        self.os.save_state(w)?;
+        self.app.save_state(w)?;
+        w.put(&self.deframer);
+        w.put(&self.tx.queue);
+        w.put(&self.tx.current);
+        w.put_bool(self.stopped);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        self.os.restore_state(r)?;
+        self.app.restore_state(r)?;
+        self.deframer = r.get()?;
+        self.tx.queue = r.get()?;
+        self.tx.current = r.get()?;
+        self.stopped = r.get_bool()?;
+        Ok(())
     }
 }
 
@@ -515,6 +657,10 @@ impl SimAgent for ModeledBlade {
             let (_, wire) = self.tx.queue.pop_front().expect("peeked");
             self.tx.current = Some((wire, 0));
         }
+    }
+
+    fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
+        Some(self)
     }
 }
 

@@ -351,6 +351,96 @@ impl RtlBlade {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for RtlBlade {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.cores.len());
+        for core in &self.cores {
+            core.save_state(w)?;
+        }
+        self.memsys.save_state(w)?;
+        self.mem.save_state(w)?;
+        self.nic.save_state(w)?;
+        self.blockdev.save_state(w)?;
+        self.uart.save_state(w)?;
+        self.clint.save_state(w)?;
+        w.put_bool(self.accel.is_some());
+        if let Some(accel) = &self.accel {
+            accel.save_state(w)?;
+        }
+        w.put_u64(self.cycle);
+        w.put(&self.powered_off);
+        w.put_usize(self.uart_read);
+        let p = self.probe.lock();
+        w.put_str(&p.uart);
+        w.put(&p.exit_code);
+        w.put_bytes(&p.mailbox);
+        w.put_u64(p.retired);
+        w.put_u64(p.cycles);
+        w.put(&p.nic);
+        w.put(&p.retired_samples);
+        w.put(&p.trace);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let cores = r.get_usize()?;
+        if cores != self.cores.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "blade snapshot has {cores} cores, target has {}",
+                self.cores.len()
+            )));
+        }
+        for core in &mut self.cores {
+            core.restore_state(r)?;
+        }
+        self.memsys.restore_state(r)?;
+        self.mem.restore_state(r)?;
+        self.nic.restore_state(r)?;
+        self.blockdev.restore_state(r)?;
+        self.uart.restore_state(r)?;
+        self.clint.restore_state(r)?;
+        let has_accel = r.get_bool()?;
+        if has_accel != self.accel.is_some() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "blade snapshot {} an accelerator, target {}",
+                if has_accel { "has" } else { "lacks" },
+                if self.accel.is_some() {
+                    "has one"
+                } else {
+                    "lacks one"
+                }
+            )));
+        }
+        if let Some(accel) = &mut self.accel {
+            accel.restore_state(r)?;
+        }
+        self.cycle = r.get_u64()?;
+        self.powered_off = r.get()?;
+        self.uart_read = r.get_usize()?;
+        // Restore probe contents in place so handles held by the harness
+        // keep observing this blade.
+        let mut p = self.probe.lock();
+        p.uart = r.get_str()?;
+        p.exit_code = r.get()?;
+        p.mailbox = r.get_bytes()?.to_vec();
+        p.retired = r.get_u64()?;
+        p.cycles = r.get_u64()?;
+        p.nic = r.get()?;
+        p.retired_samples = r.get()?;
+        p.trace = r.get()?;
+        drop(p);
+        self.store_scratch.clear();
+        self.rx_scratch.clear();
+        Ok(())
+    }
+}
+
 impl SimAgent for RtlBlade {
     type Token = Flit;
 
@@ -372,6 +462,10 @@ impl SimAgent for RtlBlade {
 
     fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
         self.advance_ports(ctx, 0, 0);
+    }
+
+    fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
+        Some(self)
     }
 }
 

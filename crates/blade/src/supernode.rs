@@ -52,6 +52,36 @@ impl Supernode {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for Supernode {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.blades.len());
+        for blade in &self.blades {
+            blade.save_state(w)?;
+        }
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let n = r.get_usize()?;
+        if n != self.blades.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "supernode snapshot packs {n} blades, target packs {}",
+                self.blades.len()
+            )));
+        }
+        for blade in &mut self.blades {
+            blade.restore_state(r)?;
+        }
+        Ok(())
+    }
+}
+
 impl SimAgent for Supernode {
     type Token = Flit;
 
@@ -78,6 +108,10 @@ impl SimAgent for Supernode {
         for (i, blade) in self.blades.iter_mut().enumerate() {
             blade.advance_ports(ctx, i, i);
         }
+    }
+
+    fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,209 @@
+//! Checkpoint/restore round trips at the blade level: a restored
+//! simulation must be bit-identical to one that never stopped, across
+//! cycle-exact RTL blades, supernodes, and modeled blades.
+
+use std::sync::Arc;
+
+use firesim_blade::model::Actions;
+use firesim_blade::programs;
+use firesim_blade::soc::BladeProbe;
+use firesim_blade::{BladeConfig, ModeledBlade, NodeApp, OsConfig, OsModel, RtlBlade, Supernode};
+use firesim_core::snapshot::{SnapshotReader, SnapshotWriter};
+use firesim_core::{Cycle, Engine, EngineCheckpoint, SimError, SimResult};
+use firesim_net::{EthernetFrame, Flit, MacAddr};
+use parking_lot::Mutex;
+
+/// Two RTL blades playing ping-pong over a 100-cycle link.
+fn build_ring() -> (Engine<Flit>, Arc<Mutex<BladeProbe>>) {
+    let mac0 = MacAddr::from_node_index(0);
+    let mac1 = MacAddr::from_node_index(1);
+    let sender_prog = programs::ping_sender(mac0, mac1, 3, 26, 2_000);
+    let responder_prog = programs::echo_responder(3);
+
+    let mk = |name: &str, mac: MacAddr| {
+        RtlBlade::new(
+            name,
+            mac,
+            BladeConfig::single_core().with_dram_bytes(1 << 20),
+        )
+    };
+    let mut sender = mk("sender", mac0);
+    sender_prog.install(&mut sender);
+    let mut responder = mk("responder", mac1);
+    responder_prog.install(&mut responder);
+    let probe = sender.probe();
+
+    let mut engine: Engine<Flit> = Engine::new(100);
+    let s = engine.add_agent(Box::new(sender));
+    let r = engine.add_agent(Box::new(responder));
+    engine.connect(s, 0, r, 0, Cycle::new(100)).unwrap();
+    engine.connect(r, 0, s, 0, Cycle::new(100)).unwrap();
+    (engine, probe)
+}
+
+#[test]
+fn rtl_blade_ring_restores_bit_identically() {
+    // Reference run: checkpoint mid-conversation, then keep going.
+    let (mut a, probe_a) = build_ring();
+    a.run_for(Cycle::new(1_000)).unwrap();
+    let bytes = a.checkpoint().unwrap().to_bytes();
+    let done_a = a.run_until_done(Cycle::new(10_000_000)).unwrap();
+
+    // Restored run: fresh identically-built engine, restore, continue.
+    let (mut b, probe_b) = build_ring();
+    let cp = EngineCheckpoint::<Flit>::from_bytes(&bytes).unwrap();
+    b.restore(&cp).unwrap();
+    let done_b = b.run_until_done(Cycle::new(10_000_000)).unwrap();
+
+    assert_eq!(done_a.cycles, done_b.cycles);
+    // Full engine state (every core, cache, DRAM bank, NIC queue, link
+    // token) must be byte-identical after the two histories converge.
+    assert_eq!(
+        a.checkpoint().unwrap().to_bytes(),
+        b.checkpoint().unwrap().to_bytes()
+    );
+    let (pa, pb) = (probe_a.lock(), probe_b.lock());
+    assert_eq!(pa.exit_code, Some(0));
+    assert_eq!(pa.exit_code, pb.exit_code);
+    assert_eq!(pa.mailbox, pb.mailbox);
+    assert_eq!(pa.retired, pb.retired);
+    assert_eq!(pa.cycles, pb.cycles);
+}
+
+#[test]
+fn supernode_checkpoint_delegates_to_all_blades() {
+    let build = || {
+        let mac0 = MacAddr::from_node_index(0);
+        let mac1 = MacAddr::from_node_index(1);
+        let sender_prog = programs::ping_sender(mac0, mac1, 2, 26, 3_000);
+        let responder_prog = programs::echo_responder(2);
+        let mut sender = RtlBlade::new(
+            "n0",
+            mac0,
+            BladeConfig::single_core().with_dram_bytes(1 << 20),
+        );
+        sender_prog.install(&mut sender);
+        let mut responder = RtlBlade::new(
+            "n1",
+            mac1,
+            BladeConfig::single_core().with_dram_bytes(1 << 20),
+        );
+        responder_prog.install(&mut responder);
+        let probe = sender.probe();
+        let sn = Supernode::new("sn0", vec![sender, responder]);
+        let mut engine: Engine<Flit> = Engine::new(100);
+        let id = engine.add_agent(Box::new(sn));
+        engine.connect(id, 0, id, 1, Cycle::new(100)).unwrap();
+        engine.connect(id, 1, id, 0, Cycle::new(100)).unwrap();
+        (engine, probe)
+    };
+
+    let (mut a, probe_a) = build();
+    a.run_for(Cycle::new(800)).unwrap();
+    let bytes = a.checkpoint().unwrap().to_bytes();
+    a.run_until_done(Cycle::new(10_000_000)).unwrap();
+
+    let (mut b, probe_b) = build();
+    b.restore(&EngineCheckpoint::<Flit>::from_bytes(&bytes).unwrap())
+        .unwrap();
+    b.run_until_done(Cycle::new(10_000_000)).unwrap();
+
+    assert_eq!(
+        a.checkpoint().unwrap().to_bytes(),
+        b.checkpoint().unwrap().to_bytes()
+    );
+    let (pa, pb) = (probe_a.lock(), probe_b.lock());
+    assert_eq!(pa.exit_code, Some(0));
+    assert_eq!(pa.mailbox, pb.mailbox);
+    assert_eq!(pa.retired, pb.retired);
+}
+
+/// A checkpointable app: counts frames, stops after a quota.
+struct CountingApp {
+    seen: u64,
+    quota: u64,
+}
+
+impl NodeApp for CountingApp {
+    fn on_frame(&mut self, _cycle: u64, _frame: &EthernetFrame, _out: &mut Actions) {
+        self.seen += 1;
+    }
+    fn on_work_done(&mut self, _c: u64, _t: u64, _o: &mut Actions) {}
+    fn poll(&mut self, _f: u64, _t: u64, _o: &mut Actions) {}
+    fn done(&self) -> bool {
+        self.seen >= self.quota
+    }
+    fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+        w.put_u64(self.seen);
+        w.put_u64(self.quota);
+        Ok(())
+    }
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+        self.seen = r.get_u64()?;
+        self.quota = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// An app that never opted into checkpointing.
+struct OpaqueApp;
+
+impl NodeApp for OpaqueApp {
+    fn on_frame(&mut self, _cycle: u64, _frame: &EthernetFrame, _out: &mut Actions) {}
+    fn on_work_done(&mut self, _c: u64, _t: u64, _o: &mut Actions) {}
+    fn poll(&mut self, _f: u64, _t: u64, _o: &mut Actions) {}
+}
+
+fn modeled_pair(app: Box<dyn NodeApp>) -> Engine<Flit> {
+    let cfg = OsConfig {
+        cores: 1,
+        misplace_prob: 0.0,
+        ..OsConfig::default()
+    };
+    let a = ModeledBlade::new(
+        "m0",
+        MacAddr::from_node_index(0),
+        OsModel::new(cfg, 1, true),
+        app,
+    );
+    let b = ModeledBlade::new(
+        "m1",
+        MacAddr::from_node_index(1),
+        OsModel::new(cfg, 1, true),
+        Box::new(CountingApp { seen: 0, quota: 1 }),
+    );
+    let mut engine: Engine<Flit> = Engine::new(100);
+    let ai = engine.add_agent(Box::new(a));
+    let bi = engine.add_agent(Box::new(b));
+    engine.connect(ai, 0, bi, 0, Cycle::new(100)).unwrap();
+    engine.connect(bi, 0, ai, 0, Cycle::new(100)).unwrap();
+    engine
+}
+
+#[test]
+fn modeled_blade_with_optin_app_round_trips() {
+    let mut engine = modeled_pair(Box::new(CountingApp { seen: 3, quota: 9 }));
+    engine.run_for(Cycle::new(500)).unwrap();
+    let cp = engine.checkpoint().unwrap();
+    engine.run_for(Cycle::new(500)).unwrap();
+    let after = engine.checkpoint().unwrap().to_bytes();
+
+    engine.restore(&cp).unwrap();
+    engine.run_for(Cycle::new(500)).unwrap();
+    assert_eq!(engine.checkpoint().unwrap().to_bytes(), after);
+}
+
+#[test]
+fn modeled_blade_with_opaque_app_fails_with_typed_error() {
+    let mut engine = modeled_pair(Box::new(OpaqueApp));
+    engine.run_for(Cycle::new(200)).unwrap();
+    match engine.checkpoint() {
+        Err(SimError::Checkpoint { detail }) => {
+            assert!(
+                detail.contains("does not support checkpointing"),
+                "{detail}"
+            );
+        }
+        other => panic!("expected a Checkpoint error, got {other:?}"),
+    }
+}

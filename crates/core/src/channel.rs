@@ -434,6 +434,48 @@ impl<T> LinkReceiver<T> {
         }
     }
 
+    /// Clones the queued (in-flight) windows, oldest first, without
+    /// consuming them. Checkpointing primitive: between engine rounds the
+    /// queue holds exactly `latency / window` windows, so this captures the
+    /// link's complete in-flight state.
+    pub(crate) fn queue_snapshot(&self) -> Vec<TokenWindow<T>>
+    where
+        T: Clone,
+    {
+        let st = self.shared.lock();
+        st.queue.iter().cloned().collect()
+    }
+
+    /// Replaces the queued windows with `windows` (oldest first). Restore
+    /// primitive; the spare pool is left alone. Also brings the link back
+    /// up if it was torn down by [`LinkReceiver::poison`]: both endpoints
+    /// are still owned by the engine's agent slots, so after a restore the
+    /// link is whole again — this is what lets a supervisor retry past an
+    /// injected channel-drop fault.
+    pub(crate) fn replace_queue(&self, windows: Vec<TokenWindow<T>>) {
+        let mut st = self.shared.lock();
+        st.queue.clear();
+        st.queue.extend(windows);
+        st.tx_alive = true;
+        st.rx_alive = true;
+        drop(st);
+        self.shared.recv_cv.notify_all();
+        self.shared.send_cv.notify_all();
+    }
+
+    /// Tears the link down as if both endpoints vanished: in-flight windows
+    /// are discarded and any blocked or future operation on either half
+    /// fails with [`SimError::ChannelClosed`]. Fault-injection primitive.
+    pub(crate) fn poison(&self) {
+        let mut st = self.shared.lock();
+        st.queue.clear();
+        st.tx_alive = false;
+        st.rx_alive = false;
+        drop(st);
+        self.shared.recv_cv.notify_all();
+        self.shared.send_cv.notify_all();
+    }
+
     /// Receives the next window if one is ready.
     ///
     /// # Errors
@@ -612,6 +654,51 @@ mod tests {
         let w = tx.send_or_halt(TokenWindow::new(4), &halt).unwrap();
         assert!(w.is_some(), "full link + halt must hand the window back");
         drop(rx);
+    }
+
+    #[test]
+    fn queue_snapshot_and_replace_round_trip() {
+        let (tx, rx) = link::<u64>(4, Cycle::new(8)).unwrap();
+        // Two seeded windows in flight; put a payload in a third... the cap
+        // is 3, so consume one first to stay realistic.
+        let seed = rx.recv().unwrap();
+        rx.recycle(seed);
+        let mut w = TokenWindow::new(4);
+        w.push(2, 99).unwrap();
+        tx.send(w).unwrap();
+        let snap = rx.queue_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].get(2), Some(&99));
+        // Drain, then restore from the snapshot.
+        while rx.try_recv().unwrap().is_some() {}
+        rx.replace_queue(snap);
+        let first = rx.recv().unwrap();
+        assert!(first.is_empty());
+        let second = rx.recv().unwrap();
+        assert_eq!(second.get(2), Some(&99));
+    }
+
+    #[test]
+    fn poison_fails_both_halves() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        rx.poison();
+        assert!(matches!(rx.recv(), Err(SimError::ChannelClosed { .. })));
+        assert!(matches!(
+            tx.send(TokenWindow::new(4)),
+            Err(SimError::ChannelClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_queue_revives_poisoned_link() {
+        let (tx, rx) = link::<u8>(4, Cycle::new(4)).unwrap();
+        rx.poison();
+        assert!(matches!(rx.recv(), Err(SimError::ChannelClosed { .. })));
+        // A restore rewrites the in-flight state and brings the link up.
+        rx.replace_queue(vec![TokenWindow::new(4)]);
+        let w = rx.recv().unwrap();
+        assert!(w.is_empty());
+        tx.send(TokenWindow::new(4)).unwrap();
     }
 
     #[test]

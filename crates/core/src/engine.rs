@@ -54,6 +54,8 @@ use std::time::{Duration, Instant};
 
 use crate::channel::{link, LinkReceiver, LinkSender};
 use crate::error::{SimError, SimResult};
+use crate::fault::{AgentFaults, FaultPlan, FaultRecord, HostFaultAction};
+use crate::snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 use crate::sync::EpochBarrier;
 use crate::time::Cycle;
 use crate::token::TokenWindow;
@@ -104,6 +106,14 @@ pub trait SimAgent: Send {
     fn done(&self) -> bool {
         false
     }
+
+    /// Checkpoint support, when this agent has it. Agents that return their
+    /// [`Checkpoint`] view here participate in [`Engine::checkpoint`] /
+    /// [`Engine::restore`]; the default (`None`) makes engine-level
+    /// checkpointing fail with a [`SimError::Checkpoint`] naming the agent.
+    fn as_checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+        None
+    }
 }
 
 /// Execution context handed to [`SimAgent::advance`] each round.
@@ -118,6 +128,8 @@ pub struct AgentCtx<T> {
     inputs: Vec<TokenWindow<T>>,
     outputs: Vec<TokenWindow<T>>,
     stop: bool,
+    /// Bitmask of input ports masked by an injected link fault this window.
+    down_mask: u64,
 }
 
 impl<T> AgentCtx<T> {
@@ -144,6 +156,7 @@ impl<T> AgentCtx<T> {
             inputs,
             outputs: (0..num_outputs).map(|_| TokenWindow::new(window)).collect(),
             stop: false,
+            down_mask: 0,
         }
     }
 
@@ -233,6 +246,14 @@ impl<T> AgentCtx<T> {
     pub fn request_stop(&mut self) {
         self.stop = true;
     }
+
+    /// True when an injected target-side fault ([`FaultPlan::link_down`] /
+    /// [`FaultPlan::link_flaky`]) masked tokens on input `port` during this
+    /// window. Models with link-state awareness (e.g. a NIC reporting
+    /// carrier loss) can surface the outage; ports ≥ 64 are never reported.
+    pub fn input_link_down(&self, port: usize) -> bool {
+        port < 64 && self.down_mask & (1u64 << port) != 0
+    }
 }
 
 /// A handle that can stop a running simulation from outside (e.g. a
@@ -251,6 +272,83 @@ impl StopHandle {
     /// True if a stop has been requested.
     pub fn is_stopped(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A handle that *aborts* a running simulation from outside (watchdog,
+/// wall-clock deadline). Unlike [`StopHandle`] — which is a cooperative
+/// stop honoured at a chunk boundary and reported as success — an abort
+/// wakes workers blocked in channel waits and makes the run fail with
+/// [`SimError::Aborted`]. After an aborted run the engine's agent states
+/// may be torn mid-round; continue only via [`Engine::restore`].
+#[derive(Debug, Clone)]
+pub struct AbortHandle {
+    abort: Arc<AtomicBool>,
+    halt: Arc<AtomicBool>,
+    reason: Arc<parking_lot::Mutex<Option<String>>>,
+}
+
+impl AbortHandle {
+    /// Aborts the current run (if any) with the given reason. The first
+    /// reason wins; later calls are no-ops. The flag is re-armed at the
+    /// start of each run, so an abort only applies to the run in flight.
+    pub fn abort(&self, reason: impl Into<String>) {
+        {
+            let mut r = self.reason.lock();
+            if r.is_none() {
+                *r = Some(reason.into());
+            }
+        }
+        self.abort.store(true, Ordering::SeqCst);
+        self.halt.store(true, Ordering::SeqCst);
+    }
+
+    /// True when an abort has been requested and not yet re-armed.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+}
+
+#[derive(Debug)]
+struct ProgressShared {
+    /// Windows completed per agent, in registration order.
+    steps: Vec<AtomicU64>,
+    names: Vec<String>,
+}
+
+/// A cheap, lock-free view of run progress for external watchdogs.
+///
+/// Created by [`Engine::progress_probe`] after the topology is complete.
+/// A supervisor polls [`total_steps`](ProgressProbe::total_steps); when the
+/// count stops moving, [`slowest_agent`](ProgressProbe::slowest_agent)
+/// names the laggard — with token flow control, the agent with the fewest
+/// completed windows is the one everyone else is blocked on.
+#[derive(Debug, Clone)]
+pub struct ProgressProbe {
+    inner: Arc<ProgressShared>,
+}
+
+impl ProgressProbe {
+    /// Total agent-windows completed across all runs since the probe was
+    /// created. Strictly monotonic while the simulation makes progress.
+    pub fn total_steps(&self) -> u64 {
+        self.inner
+            .steps
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The agent with the fewest completed windows and its count — the
+    /// best-effort culprit when progress stalls.
+    pub fn slowest_agent(&self) -> Option<(String, u64)> {
+        self.inner
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.load(Ordering::Relaxed)))
+            .min_by_key(|&(i, c)| (c, i))
+            .map(|(i, c)| (self.inner.names[i].clone(), c))
     }
 }
 
@@ -304,6 +402,14 @@ pub struct Engine<T> {
     oversubscribe: bool,
     chunk_rounds: u64,
     stop: Arc<AtomicBool>,
+    /// Set by [`AbortHandle::abort`]; re-armed at run start.
+    abort: Arc<AtomicBool>,
+    abort_reason: Arc<parking_lot::Mutex<Option<String>>>,
+    /// Worker wake-up flag shared with abort handles so an abort can break
+    /// workers out of blocking channel waits; re-armed at run start.
+    run_halt: Arc<AtomicBool>,
+    fault_plan: Option<FaultPlan>,
+    progress: Option<Arc<ProgressShared>>,
 }
 
 impl<T: Send + 'static> Engine<T> {
@@ -325,6 +431,11 @@ impl<T: Send + 'static> Engine<T> {
             oversubscribe: false,
             chunk_rounds: 16,
             stop: Arc::new(AtomicBool::new(false)),
+            abort: Arc::new(AtomicBool::new(false)),
+            abort_reason: Arc::new(parking_lot::Mutex::new(None)),
+            run_halt: Arc::new(AtomicBool::new(false)),
+            fault_plan: None,
+            progress: None,
         }
     }
 
@@ -341,6 +452,17 @@ impl<T: Send + 'static> Engine<T> {
     /// Number of registered agents.
     pub fn agent_count(&self) -> usize {
         self.agents.len()
+    }
+
+    /// True when every registered agent reports [`Agent::done`]. This is
+    /// the same condition [`Engine::run_until_done`] checks at chunk
+    /// boundaries; callers driving the engine in short bursts (e.g. a
+    /// supervisor taking periodic checkpoints) use it to decide whether
+    /// another burst is needed, since a burst shorter than one scheduler
+    /// chunk always reports its full cycle budget even if all agents
+    /// finished mid-way.
+    pub fn all_done(&self) -> bool {
+        self.agents.iter().all(|s| s.agent.done())
     }
 
     /// Ids of all registered agents, in registration order.
@@ -401,6 +523,49 @@ impl<T: Send + 'static> Engine<T> {
         StopHandle {
             flag: Arc::clone(&self.stop),
         }
+    }
+
+    /// A handle for *aborting* the current run from another thread
+    /// (watchdogs, deadlines). See [`AbortHandle`] for semantics.
+    pub fn abort_handle(&self) -> AbortHandle {
+        AbortHandle {
+            abort: Arc::clone(&self.abort),
+            halt: Arc::clone(&self.run_halt),
+            reason: Arc::clone(&self.abort_reason),
+        }
+    }
+
+    /// Installs a fault plan; faults fire during subsequent runs. Handing a
+    /// clone of the same plan to a rebuilt engine preserves one-shot
+    /// (transient) fault semantics — see [`FaultPlan`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Provenance of injected faults that have fired so far (empty when no
+    /// plan is installed).
+    pub fn fault_records(&self) -> Vec<FaultRecord> {
+        self.fault_plan
+            .as_ref()
+            .map(FaultPlan::records)
+            .unwrap_or_default()
+    }
+
+    /// Creates a progress probe over the currently registered agents.
+    /// Call after the topology is complete: agents added later are not
+    /// tracked by this probe (their steps are simply not counted).
+    pub fn progress_probe(&mut self) -> ProgressProbe {
+        let shared = Arc::new(ProgressShared {
+            steps: (0..self.agents.len()).map(|_| AtomicU64::new(0)).collect(),
+            names: self
+                .agents
+                .iter()
+                .map(|s| s.agent.name().to_owned())
+                .collect(),
+        });
+        self.progress = Some(Arc::clone(&shared));
+        ProgressProbe { inner: shared }
     }
 
     /// Registers an agent and returns its id.
@@ -517,6 +682,18 @@ impl<T: Send + 'static> Engine<T> {
     fn run_rounds(&mut self, rounds: u64, stoppable: bool) -> SimResult<RunSummary> {
         self.check_wired()?;
         self.stop.store(false, Ordering::Release);
+        self.abort.store(false, Ordering::Release);
+        self.run_halt.store(false, Ordering::Release);
+        *self.abort_reason.lock() = None;
+        // Empty when no plan is installed, so the common path allocates
+        // nothing; call sites index with `.get(i)`.
+        let faults: Vec<Option<AgentFaults>> = match &self.fault_plan {
+            Some(plan) => {
+                let names: Vec<&str> = self.agents.iter().map(|s| s.agent.name()).collect();
+                plan.resolve(&names)?
+            }
+            None => Vec::new(),
+        };
         let start = Instant::now();
         let cores = if self.oversubscribe {
             usize::MAX
@@ -524,10 +701,28 @@ impl<T: Send + 'static> Engine<T> {
             host_cores()
         };
         let threads = self.host_threads.min(cores).min(self.agents.len()).max(1);
-        let rounds_run = if threads <= 1 {
-            self.run_sequential(rounds, stoppable)?
+        let result = if threads <= 1 {
+            self.run_sequential(rounds, stoppable, &faults)
         } else {
-            self.run_parallel(rounds, stoppable, threads)?
+            self.run_parallel(rounds, stoppable, threads, &faults)
+        };
+        let rounds_run = match result {
+            Ok(r) => {
+                if self.abort.load(Ordering::Acquire) {
+                    return Err(self.abort_error());
+                }
+                r
+            }
+            Err(e) => {
+                // An abort wakes blocked workers by halting them, which
+                // surfaces as ChannelClosed on their side; report the abort
+                // (the cause), not the wake-up mechanics (the symptom) —
+                // unless a more diagnostic error was recorded.
+                if self.abort.load(Ordering::Acquire) && e.severity() <= 1 {
+                    return Err(self.abort_error());
+                }
+                return Err(e);
+            }
         };
         let cycles = Cycle::new(rounds_run * self.window as u64);
         self.now += cycles;
@@ -539,24 +734,49 @@ impl<T: Send + 'static> Engine<T> {
         })
     }
 
-    fn run_sequential(&mut self, rounds: u64, stoppable: bool) -> SimResult<u64> {
+    fn abort_error(&self) -> SimError {
+        let reason = self
+            .abort_reason
+            .lock()
+            .clone()
+            .unwrap_or_else(|| "abort requested".to_owned());
+        SimError::Aborted { reason }
+    }
+
+    fn run_sequential(
+        &mut self,
+        rounds: u64,
+        stoppable: bool,
+        faults: &[Option<AgentFaults>],
+    ) -> SimResult<u64> {
         let window = self.window;
         let mut now = self.now;
         let mut round = 0u64;
+        let progress = self.progress.clone();
         while round < rounds {
-            let chunk_end = if stoppable {
-                (round + self.chunk_rounds).min(rounds)
-            } else {
-                rounds
-            };
+            let chunk_end = (round + self.chunk_rounds).min(rounds);
             while round < chunk_end {
-                for slot in &mut self.agents {
-                    if step_agent(slot, now, window, None)? {
+                for (i, slot) in self.agents.iter_mut().enumerate() {
+                    if step_agent(
+                        slot,
+                        now,
+                        window,
+                        None,
+                        faults.get(i).and_then(Option::as_ref),
+                    )? {
                         self.stop.store(true, Ordering::Release);
+                    }
+                    if let Some(p) = &progress {
+                        if let Some(c) = p.steps.get(i) {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 now += Cycle::new(window as u64);
                 round += 1;
+            }
+            if self.abort.load(Ordering::Acquire) {
+                return Err(self.abort_error());
             }
             if stoppable {
                 let done =
@@ -569,16 +789,25 @@ impl<T: Send + 'static> Engine<T> {
         Ok(round)
     }
 
-    fn run_parallel(&mut self, rounds: u64, stoppable: bool, threads: usize) -> SimResult<u64> {
+    fn run_parallel(
+        &mut self,
+        rounds: u64,
+        stoppable: bool,
+        threads: usize,
+        faults: &[Option<AgentFaults>],
+    ) -> SimResult<u64> {
         let window = self.window;
         let start_now = self.now;
         let chunk = self.chunk_rounds;
         let n_agents = self.agents.len();
         let stop = Arc::clone(&self.stop);
+        let progress = self.progress.clone();
 
         let barrier = EpochBarrier::new(threads);
-        // Set on error or panic; sleeping peers notice within ~500µs.
-        let halt = AtomicBool::new(false);
+        // Set on error, panic, or abort; sleeping peers notice within
+        // ~500µs. Shared with [`AbortHandle`]s via the engine.
+        let halt_arc = Arc::clone(&self.run_halt);
+        let halt: &AtomicBool = &halt_arc;
         let error: parking_lot::Mutex<Option<SimError>> = parking_lot::Mutex::new(None);
 
         // Load-aware partitioning state. The initial assignment packs
@@ -617,7 +846,6 @@ impl<T: Send + 'static> Engine<T> {
             let handles: Vec<_> = (0..threads)
                 .map(|widx| {
                     let barrier = &barrier;
-                    let halt = &halt;
                     let error = &error;
                     let stop = &stop;
                     let slots = &slots;
@@ -625,6 +853,7 @@ impl<T: Send + 'static> Engine<T> {
                     let measured = &measured;
                     let hints = &hints;
                     let votes = &votes;
+                    let progress = &progress;
                     scope.spawn(move || {
                         let _guard = PanicGuard { halt, barrier };
                         let mut my_agents: Vec<usize> = (0..n_agents)
@@ -639,11 +868,7 @@ impl<T: Send + 'static> Engine<T> {
                             if halt.load(Ordering::Acquire) {
                                 break;
                             }
-                            let chunk_end = if stoppable || !repartitioned {
-                                (round + chunk).min(rounds)
-                            } else {
-                                rounds
-                            };
+                            let chunk_end = (round + chunk).min(rounds);
                             while round < chunk_end {
                                 for &i in &my_agents {
                                     let slot: &mut AgentSlot<T> = &mut slots[i].lock();
@@ -652,12 +877,21 @@ impl<T: Send + 'static> Engine<T> {
                                     } else {
                                         None
                                     };
-                                    match step_agent(slot, now, window, Some(halt)) {
+                                    let agent_faults = faults.get(i).and_then(Option::as_ref);
+                                    match step_agent(slot, now, window, Some(halt), agent_faults) {
                                         Ok(true) => stop.store(true, Ordering::Release),
                                         Ok(false) => {}
                                         Err(e) => {
+                                            // Keep the most diagnostic error:
+                                            // the panicking agent's own report
+                                            // must not be clobbered by a peer
+                                            // observing the fallout.
                                             let mut err = error.lock();
-                                            if err.is_none() {
+                                            let replace = match &*err {
+                                                Some(prev) => e.severity() > prev.severity(),
+                                                None => true,
+                                            };
+                                            if replace {
                                                 *err = Some(e);
                                             }
                                             drop(err);
@@ -672,6 +906,11 @@ impl<T: Send + 'static> Engine<T> {
                                             u64::try_from(ns).unwrap_or(u64::MAX),
                                             Ordering::Relaxed,
                                         );
+                                    }
+                                    if let Some(p) = progress {
+                                        if let Some(c) = p.steps.get(i) {
+                                            c.fetch_add(1, Ordering::Relaxed);
+                                        }
                                     }
                                 }
                                 now += Cycle::new(window as u64);
@@ -773,6 +1012,259 @@ impl<T: Send + 'static> Engine<T> {
     pub fn agent_mut(&mut self, id: AgentId) -> &mut dyn SimAgent<Token = T> {
         self.agents[id.0].agent.as_mut()
     }
+
+    /// Snapshots the complete simulation state — every agent's mutable
+    /// state plus all in-flight link tokens — at the current (deterministic)
+    /// boundary between runs.
+    ///
+    /// Between runs each link's queue holds exactly `latency / window`
+    /// windows, so the checkpoint captures the same quiescent state the
+    /// engine started from, just at a later cycle: restoring it into an
+    /// identically built engine and continuing produces bit-identical
+    /// results to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Topology`] for unconnected ports and
+    /// [`SimError::Checkpoint`] when an agent does not implement
+    /// [`Checkpoint`].
+    pub fn checkpoint(&mut self) -> SimResult<EngineCheckpoint<T>>
+    where
+        T: Clone,
+    {
+        self.check_wired()?;
+        let mut agent_names = Vec::with_capacity(self.agents.len());
+        let mut agent_state = Vec::with_capacity(self.agents.len());
+        let mut link_state = Vec::with_capacity(self.agents.len());
+        for slot in &mut self.agents {
+            let name = slot.agent.name().to_owned();
+            let links: Vec<Vec<TokenWindow<T>>> = slot
+                .inputs
+                .iter()
+                .map(|rx| {
+                    rx.as_ref()
+                        .map(LinkReceiver::queue_snapshot)
+                        .unwrap_or_default()
+                })
+                .collect();
+            let mut w = SnapshotWriter::new();
+            match slot.agent.as_checkpoint() {
+                Some(cp) => cp.save_state(&mut w)?,
+                None => {
+                    return Err(SimError::checkpoint(format!(
+                        "agent {name} does not implement Checkpoint"
+                    )))
+                }
+            }
+            agent_names.push(name);
+            agent_state.push(w.into_bytes());
+            link_state.push(links);
+        }
+        Ok(EngineCheckpoint {
+            now: self.now,
+            window: self.window,
+            agent_names,
+            agent_state,
+            link_state,
+        })
+    }
+
+    /// Restores a checkpoint taken from an identically built engine
+    /// (same topology, same window, same agent names in the same order),
+    /// replacing every agent's state and all in-flight link tokens, and
+    /// rewinding/advancing [`Engine::now`] to the checkpoint's cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the checkpoint does not match
+    /// this engine's topology or an agent snapshot is malformed, and
+    /// [`SimError::Topology`] for unconnected ports.
+    pub fn restore(&mut self, cp: &EngineCheckpoint<T>) -> SimResult<()>
+    where
+        T: Clone,
+    {
+        self.check_wired()?;
+        if cp.window != self.window {
+            return Err(SimError::checkpoint(format!(
+                "checkpoint window {} does not match engine window {}",
+                cp.window, self.window
+            )));
+        }
+        if cp.agent_names.len() != self.agents.len() {
+            return Err(SimError::checkpoint(format!(
+                "checkpoint has {} agents, engine has {}",
+                cp.agent_names.len(),
+                self.agents.len()
+            )));
+        }
+        for (slot, name) in self.agents.iter().zip(&cp.agent_names) {
+            if slot.agent.name() != name {
+                return Err(SimError::checkpoint(format!(
+                    "checkpoint agent {name:?} does not match engine agent {:?}",
+                    slot.agent.name()
+                )));
+            }
+        }
+        for (i, slot) in self.agents.iter_mut().enumerate() {
+            if slot.inputs.len() != cp.link_state[i].len() {
+                return Err(SimError::checkpoint(format!(
+                    "checkpoint agent {} has {} input links, engine has {}",
+                    cp.agent_names[i],
+                    cp.link_state[i].len(),
+                    slot.inputs.len()
+                )));
+            }
+            let mut r = SnapshotReader::new(&cp.agent_state[i]);
+            match slot.agent.as_checkpoint() {
+                Some(c) => c.restore_state(&mut r)?,
+                None => {
+                    return Err(SimError::checkpoint(format!(
+                        "agent {} does not implement Checkpoint",
+                        cp.agent_names[i]
+                    )))
+                }
+            }
+            if r.remaining() != 0 {
+                return Err(SimError::checkpoint(format!(
+                    "agent {} snapshot has {} trailing bytes",
+                    cp.agent_names[i],
+                    r.remaining()
+                )));
+            }
+            for (rx, windows) in slot.inputs.iter().zip(&cp.link_state[i]) {
+                if let Some(rx) = rx.as_ref() {
+                    rx.replace_queue(windows.clone());
+                }
+            }
+        }
+        self.now = cp.now;
+        Ok(())
+    }
+}
+
+/// A point-in-time snapshot of an [`Engine`]: target time, per-agent state
+/// blobs, and every link's in-flight token windows. Produced by
+/// [`Engine::checkpoint`], consumed by [`Engine::restore`], and (for
+/// `T: Snapshot`) serializable to disk.
+pub struct EngineCheckpoint<T> {
+    now: Cycle,
+    window: u32,
+    agent_names: Vec<String>,
+    agent_state: Vec<Vec<u8>>,
+    /// `link_state[agent][port]` = that input link's queued windows,
+    /// oldest first.
+    link_state: Vec<Vec<Vec<TokenWindow<T>>>>,
+}
+
+/// Magic + version prefix of the on-disk checkpoint encoding.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"FSCKPT01";
+
+impl<T> EngineCheckpoint<T> {
+    /// Target cycle at which this checkpoint was taken.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The engine window the checkpoint was taken with.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Names of the checkpointed agents, in registration order.
+    pub fn agent_names(&self) -> impl Iterator<Item = &str> {
+        self.agent_names.iter().map(String::as_str)
+    }
+}
+
+impl<T: Snapshot> EngineCheckpoint<T> {
+    /// Serializes the checkpoint to its on-disk byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_bytes(CHECKPOINT_MAGIC);
+        w.put_u32(self.window);
+        w.put(&self.now);
+        w.put_usize(self.agent_names.len());
+        for i in 0..self.agent_names.len() {
+            w.put_str(&self.agent_names[i]);
+            w.put_bytes(&self.agent_state[i]);
+            w.put(&self.link_state[i]);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a checkpoint from its on-disk byte encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] on bad magic, truncation, or
+    /// malformed content.
+    pub fn from_bytes(bytes: &[u8]) -> SimResult<Self> {
+        let mut r = SnapshotReader::new(bytes);
+        let magic = r.get_bytes()?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(SimError::checkpoint(
+                "not a checkpoint file (bad magic / unsupported version)",
+            ));
+        }
+        let window = r.get_u32()?;
+        let now = r.get()?;
+        let n = r.get_usize()?;
+        let mut agent_names = Vec::with_capacity(n.min(1 << 16));
+        let mut agent_state = Vec::with_capacity(n.min(1 << 16));
+        let mut link_state = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            agent_names.push(r.get_str()?);
+            agent_state.push(r.get_bytes()?.to_vec());
+            link_state.push(r.get()?);
+        }
+        if r.remaining() != 0 {
+            return Err(SimError::checkpoint(format!(
+                "checkpoint has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(EngineCheckpoint {
+            now,
+            window,
+            agent_names,
+            agent_state,
+            link_state,
+        })
+    }
+
+    /// Writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the write fails.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> SimResult<()> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| SimError::io(format!("writing checkpoint {}", path.display()), &e))
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] when the read fails and
+    /// [`SimError::Checkpoint`] when the content is malformed.
+    pub fn load_from(path: impl AsRef<std::path::Path>) -> SimResult<Self> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| SimError::io(format!("reading checkpoint {}", path.display()), &e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl<T> std::fmt::Debug for EngineCheckpoint<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCheckpoint")
+            .field("now", &self.now)
+            .field("window", &self.window)
+            .field("agents", &self.agent_names)
+            .finish()
+    }
 }
 
 impl<T> std::fmt::Debug for Engine<T> {
@@ -850,11 +1342,42 @@ fn step_agent<T: Send + 'static>(
     now: Cycle,
     window: u32,
     halt: Option<&AtomicBool>,
+    faults: Option<&AgentFaults>,
 ) -> SimResult<bool> {
+    let mut inject_panic: Option<String> = None;
+    if let Some(faults) = faults {
+        let name = slot.agent.name();
+        for action in faults.due_host_faults(name, now.as_u64(), window) {
+            match action {
+                HostFaultAction::Stall(millis) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                HostFaultAction::DropChannel(port) => {
+                    if let Some(Some(rx)) = slot.inputs.get(port) {
+                        rx.poison();
+                    }
+                    return Err(SimError::agent(
+                        name,
+                        format!(
+                            "injected channel drop on input port {port} at cycle {}",
+                            now.as_u64()
+                        ),
+                    ));
+                }
+                HostFaultAction::Panic(message) => inject_panic = Some(message),
+            }
+        }
+    }
+
     let mut inputs = std::mem::take(&mut slot.scratch_in);
     debug_assert!(inputs.is_empty());
-    for rx in &slot.inputs {
-        let rx = rx.as_ref().expect("checked by check_wired");
+    for (port, rx) in slot.inputs.iter().enumerate() {
+        let rx = rx.as_ref().ok_or_else(|| {
+            SimError::topology(format!(
+                "agent {} input port {port} unconnected mid-run",
+                slot.agent.name()
+            ))
+        })?;
         let w = match halt {
             None => rx.recv().map_err(|_| closed_by_peer(slot.agent.name()))?,
             Some(halt) => match rx.recv_or_halt(halt) {
@@ -865,10 +1388,20 @@ fn step_agent<T: Send + 'static>(
         };
         inputs.push(w);
     }
+    let down_mask = match faults {
+        Some(faults) => faults.mask_inputs(slot.agent.name(), &mut inputs, now.as_u64(), window),
+        None => 0,
+    };
     let mut outputs = std::mem::take(&mut slot.scratch_out);
     debug_assert!(outputs.is_empty());
-    for tx in &slot.outputs {
-        outputs.push(tx.as_ref().expect("checked by check_wired").take_buffer());
+    for (port, tx) in slot.outputs.iter().enumerate() {
+        let tx = tx.as_ref().ok_or_else(|| {
+            SimError::topology(format!(
+                "agent {} output port {port} unconnected mid-run",
+                slot.agent.name()
+            ))
+        })?;
+        outputs.push(tx.take_buffer());
     }
 
     let mut ctx = AgentCtx {
@@ -877,8 +1410,21 @@ fn step_agent<T: Send + 'static>(
         inputs,
         outputs,
         stop: false,
+        down_mask,
     };
-    slot.agent.advance(&mut ctx);
+    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(message) = inject_panic {
+            panic!("{message}");
+        }
+        slot.agent.advance(&mut ctx);
+    }));
+    if let Err(payload) = step {
+        return Err(SimError::AgentPanicked {
+            agent: slot.agent.name().to_owned(),
+            cycle: now.as_u64(),
+            message: panic_message(payload.as_ref()),
+        });
+    }
     let AgentCtx {
         mut inputs,
         mut outputs,
@@ -888,12 +1434,17 @@ fn step_agent<T: Send + 'static>(
 
     // Hand consumed input buffers back to their links for reuse.
     for (rx, w) in slot.inputs.iter().zip(inputs.drain(..)) {
-        rx.as_ref().expect("checked by check_wired").recycle(w);
+        if let Some(rx) = rx.as_ref() {
+            rx.recycle(w);
+        }
     }
     slot.scratch_in = inputs;
 
     for (tx, w) in slot.outputs.iter().zip(outputs.drain(..)) {
-        let tx = tx.as_ref().expect("checked by check_wired");
+        let tx = match tx.as_ref() {
+            Some(tx) => tx,
+            None => continue,
+        };
         match halt {
             None => tx.send(w)?,
             Some(halt) => {
@@ -906,6 +1457,18 @@ fn step_agent<T: Send + 'static>(
     }
     slot.scratch_out = outputs;
     Ok(stop)
+}
+
+/// Best-effort rendering of a panic payload: the common `&str` / `String`
+/// payloads come through verbatim, anything else is described opaquely.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -953,6 +1516,22 @@ mod tests {
                     self.sent += 1;
                 }
             }
+        }
+        fn as_checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
+            Some(self)
+        }
+    }
+
+    impl Checkpoint for Pulser {
+        fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+            w.put_u64(self.sent);
+            w.put(&self.received);
+            Ok(())
+        }
+        fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+            self.sent = r.get_u64()?;
+            self.received = r.get()?;
+            Ok(())
         }
     }
 
@@ -1283,22 +1862,273 @@ mod tests {
                 }
             }
         }
-        let result = std::panic::catch_unwind(|| {
-            let mut engine = Engine::new(4);
+        let mut engine = Engine::new(4);
+        engine
+            .set_host_threads(3)
+            .set_host_oversubscribe(true)
+            .set_chunk_rounds(4);
+        let bomb = engine.add_agent(Box::new(Bomb { after: 32 }));
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(4)));
+        engine.connect(bomb, 0, a, 0, Cycle::new(4)).unwrap();
+        engine.connect(a, 0, bomb, 0, Cycle::new(4)).unwrap();
+        // a<->b ring keeps a third worker busy.
+        engine.connect(b, 0, b, 0, Cycle::new(4)).unwrap();
+        // The panic surfaces as a typed error naming the culprit and its
+        // cycle (rather than hanging the test forever or blaming a peer
+        // whose channel merely closed).
+        match engine.run_for(Cycle::new(4000)) {
+            Err(SimError::AgentPanicked {
+                agent,
+                cycle,
+                message,
+            }) => {
+                assert_eq!(agent, "bomb");
+                assert_eq!(cycle, 32);
+                assert!(message.contains("boom at 32"), "message: {message}");
+            }
+            other => panic!("expected AgentPanicked, got {other:?}"),
+        }
+    }
+
+    /// A two-pulser ring whose agents support checkpointing.
+    fn checkpointable_ring() -> Engine<u64> {
+        let mut engine: Engine<u64> = Engine::new(4);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(6)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        engine
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Reference: run straight to cycle 96 and snapshot.
+        let mut straight = checkpointable_ring();
+        straight.run_for(Cycle::new(96)).unwrap();
+        let want = straight.checkpoint().unwrap().to_bytes();
+
+        // Run to 64, checkpoint, restore into a *fresh* engine, run on.
+        let mut first = checkpointable_ring();
+        first.run_for(Cycle::new(64)).unwrap();
+        let cp = first.checkpoint().unwrap();
+        assert_eq!(cp.now(), Cycle::new(64));
+
+        let mut resumed = checkpointable_ring();
+        resumed.restore(&cp).unwrap();
+        assert_eq!(resumed.now(), Cycle::new(64));
+        resumed.run_for(Cycle::new(32)).unwrap();
+        let got = resumed.checkpoint().unwrap().to_bytes();
+        assert_eq!(got, want, "resumed state must be bit-identical");
+    }
+
+    #[test]
+    fn checkpoint_bytes_and_file_round_trip() {
+        let mut engine = checkpointable_ring();
+        engine.run_for(Cycle::new(32)).unwrap();
+        let cp = engine.checkpoint().unwrap();
+        let bytes = cp.to_bytes();
+
+        let back = EngineCheckpoint::<u64>::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.now(), cp.now());
+        assert_eq!(back.window(), cp.window());
+        assert!(matches!(
+            EngineCheckpoint::<u64>::from_bytes(b"\x08\x00\x00\x00\x00\x00\x00\x00NOTACKPT"),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        let path = std::env::temp_dir().join(format!("fsckpt-test-{}.ckpt", std::process::id()));
+        cp.save_to(&path).unwrap();
+        let loaded = EngineCheckpoint::<u64>::load_from(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.to_bytes(), bytes);
+
+        let mut fresh = checkpointable_ring();
+        fresh.restore(&loaded).unwrap();
+        assert_eq!(fresh.now(), Cycle::new(32));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_topology() {
+        let mut engine = checkpointable_ring();
+        engine.run_for(Cycle::new(32)).unwrap();
+        let cp = engine.checkpoint().unwrap();
+
+        // Wrong window.
+        let mut other: Engine<u64> = Engine::new(8);
+        let a = other.add_agent(Box::new(Pulser::new(4)));
+        let b = other.add_agent(Box::new(Pulser::new(6)));
+        other.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        other.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        assert!(matches!(
+            other.restore(&cp),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // Wrong agent count.
+        let mut small: Engine<u64> = Engine::new(4);
+        let s = small.add_agent(Box::new(Pulser::new(4)));
+        small.connect(s, 0, s, 0, Cycle::new(8)).unwrap();
+        assert!(matches!(
+            small.restore(&cp),
+            Err(SimError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_agent_panicked() {
+        for threads in [1usize, 2] {
+            let mut engine = checkpointable_ring();
             engine
-                .set_host_threads(3)
+                .set_host_threads(threads)
                 .set_host_oversubscribe(true)
-                .set_chunk_rounds(4);
-            let bomb = engine.add_agent(Box::new(Bomb { after: 32 }));
+                .set_chunk_rounds(2);
+            let mut plan = FaultPlan::new(9);
+            plan.panic_at(1usize, 30);
+            engine.set_fault_plan(plan);
+            match engine.run_for(Cycle::new(4000)) {
+                Err(SimError::AgentPanicked {
+                    agent,
+                    cycle,
+                    message,
+                }) => {
+                    assert_eq!(agent, "pulser", "threads {threads}");
+                    // Window 4: cycle 30 falls in the window starting at 28.
+                    assert_eq!(cycle, 28, "threads {threads}");
+                    assert!(message.contains("injected panic"), "message: {message}");
+                }
+                other => panic!("threads {threads}: expected AgentPanicked, got {other:?}"),
+            }
+            let records = engine.fault_records();
+            assert_eq!(records.len(), 1, "threads {threads}");
+            assert_eq!(records[0].agent, "pulser");
+            assert_eq!(records[0].cycle, 28);
+        }
+    }
+
+    #[test]
+    fn injected_channel_drop_names_the_agent() {
+        for threads in [1usize, 2] {
+            let mut engine = checkpointable_ring();
+            engine
+                .set_host_threads(threads)
+                .set_host_oversubscribe(true)
+                .set_chunk_rounds(2);
+            let mut plan = FaultPlan::new(11);
+            plan.drop_channel(0usize, 0, 16);
+            engine.set_fault_plan(plan);
+            match engine.run_for(Cycle::new(4000)) {
+                Err(SimError::Agent { agent, detail }) => {
+                    assert_eq!(agent, "pulser", "threads {threads}");
+                    assert!(detail.contains("channel drop"), "detail: {detail}");
+                }
+                other => panic!("threads {threads}: expected Agent error, got {other:?}"),
+            }
+            assert_eq!(engine.fault_records().len(), 1, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn link_down_fault_suppresses_arrivals_deterministically() {
+        let run = |fault: bool| {
+            let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut engine = Engine::new(8);
+            let feeder = engine.add_agent(Box::new(OneShot {
+                at: 3,
+                fired: false,
+            }));
+            let s = engine.add_agent(Box::new(Pulser::new(16)));
+            let p = engine.add_agent(Box::new(Probe {
+                arrivals: arrivals.clone(),
+            }));
+            engine.connect(feeder, 0, s, 0, Cycle::new(8)).unwrap();
+            engine.connect(s, 0, p, 0, Cycle::new(8)).unwrap();
+            if fault {
+                let mut plan = FaultPlan::new(3);
+                // Probe's input is dead for cycles [30, 60): the sends at
+                // 32 and 48 (arriving 40 and 56) are suppressed.
+                plan.link_down("probe", 0, 30, 60);
+                engine.set_fault_plan(plan);
+            }
+            engine.run_for(Cycle::new(128)).unwrap();
+            let v = arrivals.lock().clone();
+            v
+        };
+        let clean = run(false);
+        assert_eq!(clean, vec![8, 24, 40, 56, 72, 88, 104, 120]);
+        let faulty = run(true);
+        assert_eq!(faulty, vec![8, 24, 72, 88, 104, 120]);
+        // Deterministic replay: same plan, same suppression.
+        assert_eq!(run(true), faulty);
+    }
+
+    #[test]
+    fn abort_handle_surfaces_aborted_error() {
+        for threads in [1usize, 3] {
+            let mut engine: Engine<u64> = Engine::new(4);
+            engine
+                .set_host_threads(threads)
+                .set_host_oversubscribe(true)
+                .set_chunk_rounds(2);
             let a = engine.add_agent(Box::new(Pulser::new(4)));
             let b = engine.add_agent(Box::new(Pulser::new(4)));
-            engine.connect(bomb, 0, a, 0, Cycle::new(4)).unwrap();
-            engine.connect(a, 0, bomb, 0, Cycle::new(4)).unwrap();
-            // a<->b ring keeps a third worker busy.
-            engine.connect(b, 0, b, 0, Cycle::new(4)).unwrap();
-            engine.run_for(Cycle::new(4000))
-        });
-        // The panic propagates (rather than hanging the test forever).
-        assert!(result.is_err());
+            let c = engine.add_agent(Box::new(Pulser::new(4)));
+            engine.connect(a, 0, b, 0, Cycle::new(4)).unwrap();
+            engine.connect(b, 0, a, 0, Cycle::new(4)).unwrap();
+            engine.connect(c, 0, c, 0, Cycle::new(4)).unwrap();
+            let handle = engine.abort_handle();
+            let probe = engine.progress_probe();
+            let watchdog = std::thread::spawn(move || {
+                // Wait until the run is demonstrably underway, then abort.
+                while probe.total_steps() < 12 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                handle.abort("watchdog says stop");
+            });
+            let result = engine.run_for(Cycle::new(1_000_000));
+            watchdog.join().unwrap();
+            match result {
+                Err(SimError::Aborted { reason }) => {
+                    assert_eq!(reason, "watchdog says stop", "threads {threads}")
+                }
+                other => panic!("threads {threads}: expected Aborted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn progress_probe_counts_agent_windows() {
+        let mut engine = checkpointable_ring();
+        let probe = engine.progress_probe();
+        assert_eq!(probe.total_steps(), 0);
+        engine.run_for(Cycle::new(64)).unwrap();
+        // 16 rounds x 2 agents.
+        assert_eq!(probe.total_steps(), 32);
+        let (name, steps) = probe.slowest_agent().unwrap();
+        assert_eq!(name, "pulser");
+        assert_eq!(steps, 16);
+    }
+
+    #[test]
+    fn worker_stall_fault_delays_but_completes() {
+        let mut engine = checkpointable_ring();
+        let mut plan = FaultPlan::new(5);
+        plan.stall_worker(0usize, 8, 20);
+        engine.set_fault_plan(plan);
+        let summary = engine.run_for(Cycle::new(64)).unwrap();
+        assert_eq!(summary.cycles, Cycle::new(64));
+        assert!(
+            summary.wall >= std::time::Duration::from_millis(15),
+            "stall must actually delay the run: {:?}",
+            summary.wall
+        );
+        let records = engine.fault_records();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].description.contains("worker stall"));
+        // One-shot: a second run does not stall again.
+        let again = engine.run_for(Cycle::new(64)).unwrap();
+        assert!(again.wall < std::time::Duration::from_millis(15));
+        assert_eq!(engine.fault_records().len(), 1);
     }
 }

@@ -42,6 +42,38 @@ pub enum SimError {
         /// The agent's error message.
         detail: String,
     },
+    /// An agent panicked inside `advance`. Unlike [`SimError::ChannelClosed`]
+    /// (which a *peer* observes after the panicking worker tears its
+    /// channels down), this names the agent that actually blew up and the
+    /// target cycle at which it happened.
+    AgentPanicked {
+        /// Name of the panicking agent.
+        agent: String,
+        /// Target cycle (window start) at which the panic occurred.
+        cycle: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A host I/O operation failed (checkpoint file read/write, etc.).
+    Io {
+        /// What the engine was doing when the I/O failed.
+        context: String,
+        /// The underlying `std::io::Error`, rendered to a string so the
+        /// error stays `Clone`.
+        source: String,
+    },
+    /// Checkpoint serialization or restoration failed.
+    Checkpoint {
+        /// Human-readable explanation (truncated snapshot, version
+        /// mismatch, agent without checkpoint support, ...).
+        detail: String,
+    },
+    /// The run was aborted from outside (watchdog, deadline, or an
+    /// [`AbortHandle`](crate::AbortHandle)) before completing.
+    Aborted {
+        /// Why the run was aborted.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -57,6 +89,44 @@ impl SimError {
         SimError::Agent {
             agent: agent.into(),
             detail: detail.to_string(),
+        }
+    }
+
+    /// Constructs an I/O error, preserving the source error's message.
+    pub fn io(context: impl Into<String>, source: &std::io::Error) -> Self {
+        SimError::Io {
+            context: context.into(),
+            source: source.to_string(),
+        }
+    }
+
+    /// Constructs a checkpoint error.
+    pub fn checkpoint(detail: impl fmt::Display) -> Self {
+        SimError::Checkpoint {
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Constructs an abort error.
+    pub fn aborted(reason: impl fmt::Display) -> Self {
+        SimError::Aborted {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// How *diagnostic* this error is, for picking the best error when
+    /// several workers fail in the same run. A worker whose agent panicked
+    /// outranks a peer that merely observed the resulting channel closure,
+    /// so the report names the true culprit.
+    pub(crate) fn severity(&self) -> u8 {
+        match self {
+            SimError::AgentPanicked { .. } => 3,
+            SimError::Agent { .. } | SimError::Io { .. } | SimError::Checkpoint { .. } => 2,
+            SimError::Topology { .. }
+            | SimError::BadLatency { .. }
+            | SimError::WindowMismatch { .. } => 2,
+            SimError::Aborted { .. } => 2,
+            SimError::ChannelClosed { .. } => 1,
         }
     }
 }
@@ -79,6 +149,14 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Agent { agent, detail } => write!(f, "agent {agent} failed: {detail}"),
+            SimError::AgentPanicked {
+                agent,
+                cycle,
+                message,
+            } => write!(f, "agent {agent} panicked at cycle {cycle}: {message}"),
+            SimError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
+            SimError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
+            SimError::Aborted { reason } => write!(f, "simulation aborted: {reason}"),
         }
     }
 }
@@ -115,6 +193,40 @@ mod tests {
             SimError::agent("switch0", "boom").to_string(),
             "agent switch0 failed: boom"
         );
+        assert_eq!(
+            SimError::AgentPanicked {
+                agent: "blade3".into(),
+                cycle: 4096,
+                message: "boom".into(),
+            }
+            .to_string(),
+            "agent blade3 panicked at cycle 4096: boom"
+        );
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = SimError::io("reading checkpoint", &io);
+        assert!(e.to_string().contains("reading checkpoint"));
+        assert!(e.to_string().contains("gone"), "source preserved: {e}");
+        assert_eq!(
+            SimError::checkpoint("bad magic").to_string(),
+            "checkpoint error: bad magic"
+        );
+        assert_eq!(
+            SimError::aborted("deadline").to_string(),
+            "simulation aborted: deadline"
+        );
+    }
+
+    #[test]
+    fn severity_ranks_panic_over_peer_closure() {
+        let panic = SimError::AgentPanicked {
+            agent: "a".into(),
+            cycle: 0,
+            message: String::new(),
+        };
+        let closed = SimError::ChannelClosed { agent: "b".into() };
+        let aborted = SimError::aborted("halt");
+        assert!(panic.severity() > closed.severity());
+        assert!(aborted.severity() > closed.severity());
     }
 
     #[test]

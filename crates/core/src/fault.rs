@@ -1,0 +1,549 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A multi-hour scale-out simulation meets every failure mode the host can
+//! produce — a worker thread dies, a channel tears, a model wedges — and
+//! the halt/teardown machinery that handles them is exactly the code that
+//! is hardest to exercise. A [`FaultPlan`] makes those failures *schedulable
+//! and replayable*: it is built from a seed (or explicit fault entries),
+//! handed to [`Engine::set_fault_plan`](crate::Engine::set_fault_plan), and
+//! fires the same faults at the same target cycles on every run.
+//!
+//! Two families of fault exist:
+//!
+//! * **Host-side** faults model the simulator breaking: an agent panicking
+//!   mid-`advance`, a token channel dropping, a worker stalling long enough
+//!   to trip a watchdog. These are *one-shot*: each entry carries a shared
+//!   `fired` flag that survives engine rebuilds, so a supervisor retrying
+//!   from a checkpoint with the same plan observes a **transient** fault —
+//!   it fires once and never again. This is how the manager's
+//!   retry-from-checkpoint path is tested end to end.
+//! * **Target-side** faults model the simulated world breaking: a link goes
+//!   down (all tokens in a cycle range become idle) or flaky (a seeded
+//!   fraction of tokens is dropped). Tokens still flow one per cycle — only
+//!   payloads disappear — so the simulation stays cycle-exact and the fault
+//!   is part of the deterministic target behaviour: replaying from a
+//!   checkpoint reproduces it bit-for-bit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{SimError, SimResult};
+use crate::rng::SimRng;
+use crate::token::TokenWindow;
+
+/// Which agent a fault applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The agent at this registration index.
+    Index(usize),
+    /// The agent with this name (resolved when the run starts).
+    Name(String),
+}
+
+impl From<usize> for FaultTarget {
+    fn from(i: usize) -> Self {
+        FaultTarget::Index(i)
+    }
+}
+
+impl From<&str> for FaultTarget {
+    fn from(n: &str) -> Self {
+        FaultTarget::Name(n.to_owned())
+    }
+}
+
+/// What kind of failure to inject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Host fault: the agent panics inside `advance` (one-shot).
+    AgentPanic,
+    /// Host fault: the agent's input channel `port` is torn down — in-flight
+    /// windows are discarded and both endpoints observe closure (one-shot).
+    ChannelDrop {
+        /// Input port whose link is dropped.
+        port: usize,
+    },
+    /// Host fault: the worker stepping this agent sleeps for `millis`
+    /// milliseconds before the step — watchdog food (one-shot).
+    WorkerStall {
+        /// How long the worker sleeps.
+        millis: u64,
+    },
+    /// Target fault: every token arriving on input `port` in target cycles
+    /// `[at, until)` is delivered dead (idle). Replays deterministically.
+    LinkDown {
+        /// Input port whose link is down.
+        port: usize,
+        /// First cycle at which the link works again.
+        until: u64,
+    },
+    /// Target fault: each token arriving on input `port` in `[at, until)`
+    /// is dropped with probability `drop_percent`/100, decided by a pure
+    /// hash of (seed, cycle), so the loss pattern is identical on replay.
+    LinkFlaky {
+        /// Input port whose link is flaky.
+        port: usize,
+        /// First cycle at which the link is reliable again.
+        until: u64,
+        /// Percentage of tokens dropped, 0-100.
+        drop_percent: u8,
+    },
+}
+
+impl FaultKind {
+    fn is_one_shot(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::AgentPanic | FaultKind::ChannelDrop { .. } | FaultKind::WorkerStall { .. }
+        )
+    }
+}
+
+/// Provenance of a fault that actually fired, for failure reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Name of the agent the fault hit.
+    pub agent: String,
+    /// Target cycle (window start) at which it fired.
+    pub cycle: u64,
+    /// Human-readable description of the fault.
+    pub description: String,
+}
+
+#[derive(Debug, Clone)]
+struct FaultEntry {
+    target: FaultTarget,
+    at: u64,
+    kind: FaultKind,
+    /// Shared across clones of the plan so a one-shot fault stays fired
+    /// when a supervisor rebuilds the engine and retries.
+    fired: Arc<AtomicBool>,
+}
+
+/// A schedule of injectable faults, replayable across runs.
+///
+/// Cloning a plan shares its fired-flags and provenance log, so handing the
+/// *same* plan (or a clone) to a rebuilt engine preserves one-shot
+/// semantics — the basis of transient-fault recovery testing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultEntry>,
+    log: Arc<Mutex<Vec<FaultRecord>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FaultPlan {
+    /// Creates an empty plan. The seed drives flaky-link token selection.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Schedules `kind` against `target` at target cycle `at`.
+    pub fn inject(
+        &mut self,
+        target: impl Into<FaultTarget>,
+        at: u64,
+        kind: FaultKind,
+    ) -> &mut Self {
+        self.faults.push(FaultEntry {
+            target: target.into(),
+            at,
+            kind,
+            fired: Arc::new(AtomicBool::new(false)),
+        });
+        self
+    }
+
+    /// Schedules an agent panic (one-shot host fault).
+    pub fn panic_at(&mut self, target: impl Into<FaultTarget>, at: u64) -> &mut Self {
+        self.inject(target, at, FaultKind::AgentPanic)
+    }
+
+    /// Schedules a channel drop on an input port (one-shot host fault).
+    pub fn drop_channel(
+        &mut self,
+        target: impl Into<FaultTarget>,
+        port: usize,
+        at: u64,
+    ) -> &mut Self {
+        self.inject(target, at, FaultKind::ChannelDrop { port })
+    }
+
+    /// Schedules a worker stall (one-shot host fault).
+    pub fn stall_worker(
+        &mut self,
+        target: impl Into<FaultTarget>,
+        at: u64,
+        millis: u64,
+    ) -> &mut Self {
+        self.inject(target, at, FaultKind::WorkerStall { millis })
+    }
+
+    /// Takes an input link down for target cycles `[from, until)`.
+    pub fn link_down(
+        &mut self,
+        target: impl Into<FaultTarget>,
+        port: usize,
+        from: u64,
+        until: u64,
+    ) -> &mut Self {
+        self.inject(target, from, FaultKind::LinkDown { port, until })
+    }
+
+    /// Makes an input link flaky for target cycles `[from, until)`.
+    pub fn link_flaky(
+        &mut self,
+        target: impl Into<FaultTarget>,
+        port: usize,
+        from: u64,
+        until: u64,
+        drop_percent: u8,
+    ) -> &mut Self {
+        self.inject(
+            target,
+            from,
+            FaultKind::LinkFlaky {
+                port,
+                until,
+                drop_percent,
+            },
+        )
+    }
+
+    /// Derives a benign smoke-test plan from a seed: one or two *target-side*
+    /// link faults against pseudo-random agents in `[0, agents)`, within the
+    /// first `horizon` cycles. Host-side faults are deliberately excluded so
+    /// a smoke run completes; the point is exercising the fault-delivery
+    /// machinery under different seeds.
+    pub fn smoke(seed: u64, agents: usize, horizon: u64) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        if agents == 0 || horizon < 2 {
+            return plan;
+        }
+        let mut rng = SimRng::seed_from(seed);
+        let n = 1 + (rng.next_u64() % 2) as usize;
+        for _ in 0..n {
+            let agent = rng.next_below(agents as u64) as usize;
+            let from = rng.next_below(horizon / 2);
+            let until = from + 1 + rng.next_below(horizon - from);
+            if rng.next_bool(0.5) {
+                plan.link_down(agent, 0, from, until);
+            } else {
+                let pct = 10 + (rng.next_below(90)) as u8;
+                plan.link_flaky(agent, 0, from, until, pct);
+            }
+        }
+        plan
+    }
+
+    /// Faults that have fired so far, in firing order (provenance for
+    /// failure reports). Shared across clones of the plan.
+    pub fn records(&self) -> Vec<FaultRecord> {
+        lock(&self.log).clone()
+    }
+
+    /// Resolves fault targets against the engine's agent names, grouping
+    /// entries per agent index. Called by the engine at run start.
+    pub(crate) fn resolve(&self, names: &[&str]) -> SimResult<Vec<Option<AgentFaults>>> {
+        let mut per_agent: Vec<Vec<ResolvedFault>> = (0..names.len()).map(|_| Vec::new()).collect();
+        for entry in &self.faults {
+            let idx = match &entry.target {
+                FaultTarget::Index(i) => {
+                    if *i >= names.len() {
+                        return Err(SimError::topology(format!(
+                            "fault plan targets agent index {i}, engine has {} agents",
+                            names.len()
+                        )));
+                    }
+                    *i
+                }
+                FaultTarget::Name(n) => names.iter().position(|m| m == n).ok_or_else(|| {
+                    SimError::topology(format!("fault plan targets unknown agent {n:?}"))
+                })?,
+            };
+            per_agent[idx].push(ResolvedFault {
+                at: entry.at,
+                kind: entry.kind.clone(),
+                fired: Arc::clone(&entry.fired),
+            });
+        }
+        Ok(per_agent
+            .into_iter()
+            .map(|faults| {
+                if faults.is_empty() {
+                    None
+                } else {
+                    Some(AgentFaults {
+                        faults,
+                        seed: self.seed,
+                        log: Arc::clone(&self.log),
+                    })
+                }
+            })
+            .collect())
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct ResolvedFault {
+    at: u64,
+    kind: FaultKind,
+    fired: Arc<AtomicBool>,
+}
+
+/// Pure hash used for flaky-link drop decisions: depends only on the plan
+/// seed and the absolute target cycle, so it replays identically.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// What a host-side fault asks the stepping code to do, in check order.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum HostFaultAction {
+    /// Sleep this many milliseconds before the step.
+    Stall(u64),
+    /// Tear down the input channel at this port.
+    DropChannel(usize),
+    /// Panic inside `advance` with this message.
+    Panic(String),
+}
+
+/// The faults resolved against one agent, consulted by `step_agent`.
+#[derive(Debug)]
+pub(crate) struct AgentFaults {
+    faults: Vec<ResolvedFault>,
+    seed: u64,
+    log: Arc<Mutex<Vec<FaultRecord>>>,
+}
+
+impl AgentFaults {
+    /// Returns the one-shot host faults due in the window starting at
+    /// `now`, marking them fired and logging provenance. A fault whose
+    /// cycle has already passed (e.g. after a restore that skipped it)
+    /// fires in the first window that reaches it.
+    pub(crate) fn due_host_faults(
+        &self,
+        agent: &str,
+        now: u64,
+        window: u32,
+    ) -> Vec<HostFaultAction> {
+        let mut actions = Vec::new();
+        for f in &self.faults {
+            if !f.kind.is_one_shot() || f.at >= now + u64::from(window) {
+                continue;
+            }
+            if f.fired.swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            let (action, desc) = match &f.kind {
+                FaultKind::WorkerStall { millis } => (
+                    HostFaultAction::Stall(*millis),
+                    format!("injected worker stall ({millis} ms)"),
+                ),
+                FaultKind::ChannelDrop { port } => (
+                    HostFaultAction::DropChannel(*port),
+                    format!("injected channel drop on input port {port}"),
+                ),
+                FaultKind::AgentPanic => {
+                    let msg = format!("injected panic (scheduled at cycle {})", f.at);
+                    (HostFaultAction::Panic(msg.clone()), msg)
+                }
+                _ => unreachable!("one-shot kinds only"),
+            };
+            lock(&self.log).push(FaultRecord {
+                agent: agent.to_owned(),
+                cycle: now,
+                description: desc,
+            });
+            actions.push(action);
+        }
+        // Stalls first, then drops, then panics: a stall must delay the
+        // step before any teardown makes the step fail.
+        actions.sort_by_key(|a| match a {
+            HostFaultAction::Stall(_) => 0,
+            HostFaultAction::DropChannel(_) => 1,
+            HostFaultAction::Panic(_) => 2,
+        });
+        actions
+    }
+
+    /// Applies target-side link faults to the received input windows for
+    /// the window starting at `now`. Returns a bitmask of input ports that
+    /// had at least one cycle masked (ports ≥ 64 are applied but not
+    /// reported in the mask).
+    pub(crate) fn mask_inputs<T>(
+        &self,
+        agent: &str,
+        inputs: &mut [TokenWindow<T>],
+        now: u64,
+        window: u32,
+    ) -> u64 {
+        let mut mask = 0u64;
+        let win_end = now + u64::from(window);
+        for f in &self.faults {
+            let (port, until, drop_percent) = match &f.kind {
+                FaultKind::LinkDown { port, until } => (*port, *until, 100u8),
+                FaultKind::LinkFlaky {
+                    port,
+                    until,
+                    drop_percent,
+                } => (*port, *until, *drop_percent),
+                _ => continue,
+            };
+            if f.at >= win_end || until <= now || port >= inputs.len() {
+                continue;
+            }
+            let seed = self.seed;
+            let from = f.at;
+            inputs[port].retain(|off, _| {
+                let cycle = now + u64::from(off);
+                if cycle < from || cycle >= until {
+                    return true;
+                }
+                u8::try_from(splitmix64(seed ^ cycle) % 100).expect("< 100") >= drop_percent
+            });
+            if port < 64 {
+                mask |= 1 << port;
+            }
+            // Log the activation window once per fault.
+            if f.at >= now && f.at < win_end {
+                lock(&self.log).push(FaultRecord {
+                    agent: agent.to_owned(),
+                    cycle: now,
+                    description: if drop_percent == 100 {
+                        format!("injected link down on input port {port} (cycles {from}..{until})")
+                    } else {
+                        format!(
+                            "injected flaky link on input port {port} \
+                             (cycles {from}..{until}, {drop_percent}% loss)"
+                        )
+                    },
+                });
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once_across_clones() {
+        let mut plan = FaultPlan::new(1);
+        plan.panic_at(0usize, 100);
+        let clone = plan.clone();
+        let resolved = plan.resolve(&["a"]).unwrap();
+        let af = resolved[0].as_ref().unwrap();
+        let first = af.due_host_faults("a", 96, 8);
+        assert_eq!(first.len(), 1);
+        assert!(matches!(first[0], HostFaultAction::Panic(_)));
+        // Re-resolving the *clone* still sees the fault as fired.
+        let resolved2 = clone.resolve(&["a"]).unwrap();
+        let af2 = resolved2[0].as_ref().unwrap();
+        assert!(af2.due_host_faults("a", 96, 8).is_empty());
+        assert_eq!(plan.records().len(), 1);
+        assert_eq!(clone.records().len(), 1);
+    }
+
+    #[test]
+    fn fault_not_due_does_not_fire() {
+        let mut plan = FaultPlan::new(1);
+        plan.stall_worker("x", 1000, 5);
+        let resolved = plan.resolve(&["x"]).unwrap();
+        let af = resolved[0].as_ref().unwrap();
+        assert!(af.due_host_faults("x", 0, 8).is_empty());
+        assert_eq!(af.due_host_faults("x", 996, 8).len(), 1);
+    }
+
+    #[test]
+    fn unknown_name_is_topology_error() {
+        let mut plan = FaultPlan::new(1);
+        plan.panic_at("ghost", 0);
+        assert!(matches!(
+            plan.resolve(&["a", "b"]),
+            Err(SimError::Topology { .. })
+        ));
+    }
+
+    #[test]
+    fn link_down_masks_exact_cycle_range() {
+        let mut plan = FaultPlan::new(7);
+        plan.link_down(0usize, 0, 10, 14);
+        let resolved = plan.resolve(&["a"]).unwrap();
+        let af = resolved[0].as_ref().unwrap();
+        // Window covering cycles 8..16 with tokens at every cycle.
+        let mut w = TokenWindow::new(8);
+        for off in 0..8 {
+            w.push(off, u64::from(off)).unwrap();
+        }
+        let mut inputs = vec![w];
+        let mask = af.mask_inputs("a", &mut inputs, 8, 8);
+        assert_eq!(mask, 1);
+        let alive: Vec<u32> = inputs[0].iter().map(|(o, _)| o).collect();
+        // Cycles 10,11,12,13 (offsets 2..6) are dead.
+        assert_eq!(alive, vec![0, 1, 6, 7]);
+    }
+
+    #[test]
+    fn flaky_is_deterministic_per_seed() {
+        let drop_pattern = |seed: u64| {
+            let mut plan = FaultPlan::new(seed);
+            plan.link_flaky(0usize, 0, 0, 64, 50);
+            let resolved = plan.resolve(&["a"]).unwrap();
+            let af = resolved[0].as_ref().unwrap();
+            let mut w = TokenWindow::new(64);
+            for off in 0..64 {
+                w.push(off, off).unwrap();
+            }
+            let mut inputs = vec![w];
+            af.mask_inputs("a", &mut inputs, 0, 64);
+            inputs[0].iter().map(|(o, _)| o).collect::<Vec<u32>>()
+        };
+        let a = drop_pattern(42);
+        assert_eq!(a, drop_pattern(42), "same seed, same losses");
+        assert_ne!(a, drop_pattern(43), "different seed, different losses");
+        assert!(!a.is_empty() && a.len() < 64, "50% loss drops some: {a:?}");
+    }
+
+    #[test]
+    fn smoke_plans_are_benign_and_seed_dependent() {
+        for seed in 0..8 {
+            let plan = FaultPlan::smoke(seed, 4, 1024);
+            assert!(!plan.is_empty());
+            for f in &plan.faults {
+                assert!(
+                    !f.kind.is_one_shot(),
+                    "smoke plans must not contain host faults"
+                );
+            }
+        }
+    }
+}

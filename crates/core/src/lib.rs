@@ -81,16 +81,23 @@
 pub mod channel;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod sync;
 pub mod time;
 pub mod token;
 
 pub use channel::{link, LinkReceiver, LinkSender};
-pub use engine::{AgentCtx, AgentId, Engine, RunSummary, SimAgent, StopHandle};
+pub use engine::{
+    AbortHandle, AgentCtx, AgentId, Engine, EngineCheckpoint, ProgressProbe, RunSummary, SimAgent,
+    StopHandle,
+};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget};
 pub use rng::SimRng;
+pub use snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 pub use sync::{BarrierCancelled, EpochBarrier};
 pub use time::{Cycle, Frequency};
 pub use token::TokenWindow;

@@ -146,6 +146,21 @@ impl SimRng {
     }
 }
 
+impl crate::snapshot::Snapshot for SimRng {
+    fn save(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        for word in self.s {
+            w.put_u64(word);
+        }
+    }
+    fn load(r: &mut crate::snapshot::SnapshotReader<'_>) -> crate::error::SimResult<Self> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.get_u64()?;
+        }
+        Ok(SimRng { s })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,8 @@
 
 use core::fmt;
 
+use crate::error::SimResult;
+use crate::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
 use crate::time::Cycle;
 
 /// A monotonically increasing event counter.
@@ -244,6 +246,49 @@ impl TimeSeries {
             .iter()
             .map(|&(_, v)| v)
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+}
+
+impl Snapshot for Counter {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.name);
+        w.put_u64(self.value);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        Ok(Counter {
+            name: r.get_str()?,
+            value: r.get_u64()?,
+        })
+    }
+}
+
+impl Snapshot for Histogram {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.name);
+        w.put(&self.samples);
+        // Sample order is observable (percentile queries sort in place), so
+        // the sorted flag is real state.
+        w.put_bool(self.sorted);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        Ok(Histogram {
+            name: r.get_str()?,
+            samples: r.get()?,
+            sorted: r.get_bool()?,
+        })
+    }
+}
+
+impl Snapshot for TimeSeries {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.name);
+        w.put(&self.points);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        Ok(TimeSeries {
+            name: r.get_str()?,
+            points: r.get()?,
+        })
     }
 }
 

@@ -167,6 +167,14 @@ impl<T> TokenWindow<T> {
         self.items.clear();
     }
 
+    /// Keeps only the tokens for which `f` returns true, preserving cycle
+    /// order. Used by fault injection to turn valid tokens into idle ones
+    /// (a "dead" link still advances one token per cycle — only payloads
+    /// disappear — so cycle-exactness is preserved).
+    pub fn retain(&mut self, mut f: impl FnMut(u32, &T) -> bool) {
+        self.items.retain(|(o, p)| f(*o, p));
+    }
+
     /// Re-initializes the window to cover `len` empty cycles, retaining the
     /// heap capacity of any previously held tokens.
     ///

@@ -109,6 +109,65 @@ impl CopyAccel {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for CopyAccel {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_u64(self.src);
+        w.put_u64(self.dst);
+        w.put_u64(self.len);
+        w.put_bool(self.job.is_some());
+        if let Some(job) = &self.job {
+            let (op, fill) = match job.op {
+                Op::Copy => (0u8, 0u8),
+                Op::Fill(b) => (1u8, b),
+            };
+            w.put_u8(op);
+            w.put_u8(fill);
+            w.put_u64(job.src);
+            w.put_u64(job.dst);
+            w.put_usize(job.remaining);
+            w.put_u64(job.startup);
+        }
+        w.put_u64(self.completions);
+        w.put_u64(self.bytes_moved);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        self.src = r.get_u64()?;
+        self.dst = r.get_u64()?;
+        self.len = r.get_u64()?;
+        self.job = if r.get_bool()? {
+            let op = match (r.get_u8()?, r.get_u8()?) {
+                (0, _) => Op::Copy,
+                (1, b) => Op::Fill(b),
+                (tag, _) => {
+                    return Err(firesim_core::SimError::checkpoint(format!(
+                        "unknown copy-accelerator op tag {tag}"
+                    )))
+                }
+            };
+            Some(Job {
+                op,
+                src: r.get_u64()?,
+                dst: r.get_u64()?,
+                remaining: r.get_usize()?,
+                startup: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        self.completions = r.get_u64()?;
+        self.bytes_moved = r.get_u64()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for CopyAccel {
     fn read(&mut self, offset: u64, _size: usize) -> u64 {
         match offset {

@@ -193,6 +193,75 @@ impl BlockDevice {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for BlockDevice {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_bytes(&self.data);
+        w.put_u64(self.addr);
+        w.put_u64(self.offset);
+        w.put_u64(self.len);
+        w.put_bool(self.is_write);
+        w.put_usize(self.trackers.len());
+        for slot in &self.trackers {
+            w.put_bool(slot.is_some());
+            if let Some(req) = slot {
+                w.put_u64(req.mem_addr);
+                w.put_u64(req.sector);
+                w.put_u64(req.sectors);
+                w.put_bool(req.is_write);
+                w.put_u64(req.remaining_cycles);
+            }
+        }
+        w.put(&self.completions);
+        w.put_u64(self.rejected);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let data = r.get_bytes()?;
+        if data.len() != self.data.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "block-device snapshot holds {} bytes, target holds {}",
+                data.len(),
+                self.data.len()
+            )));
+        }
+        self.data.copy_from_slice(data);
+        self.addr = r.get_u64()?;
+        self.offset = r.get_u64()?;
+        self.len = r.get_u64()?;
+        self.is_write = r.get_bool()?;
+        let trackers = r.get_usize()?;
+        if trackers != self.trackers.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "block-device snapshot has {trackers} trackers, config expects {}",
+                self.trackers.len()
+            )));
+        }
+        for slot in &mut self.trackers {
+            *slot = if r.get_bool()? {
+                Some(Request {
+                    mem_addr: r.get_u64()?,
+                    sector: r.get_u64()?,
+                    sectors: r.get_u64()?,
+                    is_write: r.get_bool()?,
+                    remaining_cycles: r.get_u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.completions = r.get()?;
+        self.rejected = r.get_u64()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for BlockDevice {
     fn read(&mut self, offset: u64, _size: usize) -> u64 {
         match offset {

@@ -72,6 +72,47 @@ impl Clint {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for Clint {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_u64(self.mtime);
+        w.put(&self.mtimecmp);
+        w.put(&self.msip);
+        w.put_u64(self.cycles_per_tick);
+        w.put_u64(self.cycle_accum);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        self.mtime = r.get_u64()?;
+        let mtimecmp: Vec<u64> = r.get()?;
+        let msip: Vec<bool> = r.get()?;
+        if mtimecmp.len() != self.mtimecmp.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "CLINT snapshot has {} harts, target has {}",
+                mtimecmp.len(),
+                self.mtimecmp.len()
+            )));
+        }
+        self.mtimecmp = mtimecmp;
+        self.msip = msip;
+        let cycles_per_tick = r.get_u64()?;
+        if cycles_per_tick != self.cycles_per_tick {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "CLINT snapshot ticks every {cycles_per_tick} cycles, target every {}",
+                self.cycles_per_tick
+            )));
+        }
+        self.cycle_accum = r.get_u64()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for Clint {
     fn read(&mut self, offset: u64, _size: usize) -> u64 {
         if offset == MTIME {

@@ -327,6 +327,114 @@ impl Nic {
     }
 }
 
+impl firesim_core::snapshot::Snapshot for NicStats {
+    fn save(&self, w: &mut firesim_core::snapshot::SnapshotWriter) {
+        w.put_u64(self.tx_packets);
+        w.put_u64(self.tx_bytes);
+        w.put_u64(self.rx_packets);
+        w.put_u64(self.rx_bytes);
+        w.put_u64(self.rx_dropped);
+    }
+    fn load(r: &mut firesim_core::snapshot::SnapshotReader<'_>) -> firesim_core::SimResult<Self> {
+        Ok(NicStats {
+            tx_packets: r.get_u64()?,
+            tx_bytes: r.get_u64()?,
+            rx_packets: r.get_u64()?,
+            rx_bytes: r.get_u64()?,
+            rx_dropped: r.get_u64()?,
+        })
+    }
+}
+
+impl firesim_core::snapshot::Checkpoint for Nic {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put(&self.mac);
+        // The rate limiter is runtime-configurable (MMIO RATE_LIMIT), so
+        // it is state, not construction config.
+        w.put(&self.config.rate_k);
+        w.put(&self.config.rate_p);
+        w.put_seq(self.send_reqs.iter());
+        w.put_seq(self.recv_reqs.iter());
+        w.put_seq(self.send_comps.iter());
+        w.put_seq(self.recv_comps.iter());
+        w.put_u64(self.intr_mask);
+        w.put_bool(self.reader.is_some());
+        if let Some(rd) = &self.reader {
+            w.put_u64(rd.addr);
+            w.put_u32(rd.len);
+            w.put_u64(rd.cursor);
+            w.put_u64(rd.end);
+        }
+        w.put(&self.resbuf);
+        w.put(&self.tx_pkts);
+        w.put(&self.tx_remaining);
+        w.put_i64(self.tokens);
+        w.put_u64(self.cycle);
+        w.put_bytes(&self.rx_cur);
+        w.put_bool(self.rx_dropping);
+        w.put(&self.rx_buffered);
+        w.put_usize(self.rx_buffered_bytes);
+        w.put_bool(self.writer.is_some());
+        if let Some((pkt, cursor, addr)) = &self.writer {
+            w.put_bytes(pkt);
+            w.put_usize(*cursor);
+            w.put_u64(*addr);
+        }
+        w.put(&self.stats);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let mac: MacAddr = r.get()?;
+        if mac != self.mac {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "NIC snapshot is for MAC {mac}, restoring onto {}",
+                self.mac
+            )));
+        }
+        self.config.rate_k = r.get()?;
+        self.config.rate_p = r.get()?;
+        self.send_reqs = r.get()?;
+        self.recv_reqs = r.get()?;
+        self.send_comps = r.get()?;
+        self.recv_comps = r.get()?;
+        self.intr_mask = r.get_u64()?;
+        self.reader = if r.get_bool()? {
+            Some(ReaderState {
+                addr: r.get_u64()?,
+                len: r.get_u32()?,
+                cursor: r.get_u64()?,
+                end: r.get_u64()?,
+            })
+        } else {
+            None
+        };
+        self.resbuf = r.get()?;
+        self.tx_pkts = r.get()?;
+        self.tx_remaining = r.get()?;
+        self.tokens = r.get_i64()?;
+        self.cycle = r.get_u64()?;
+        self.rx_cur = r.get_bytes()?.to_vec();
+        self.rx_dropping = r.get_bool()?;
+        self.rx_buffered = r.get()?;
+        self.rx_buffered_bytes = r.get_usize()?;
+        self.writer = if r.get_bool()? {
+            let pkt = r.get_bytes()?.to_vec();
+            Some((pkt, r.get_usize()?, r.get_u64()?))
+        } else {
+            None
+        };
+        self.stats = r.get()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for Nic {
     fn read(&mut self, offset: u64, _size: usize) -> u64 {
         match offset {

@@ -43,6 +43,26 @@ impl Uart {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for Uart {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_bytes(&self.tx);
+        w.put(&self.rx);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        self.tx = r.get_bytes()?.to_vec();
+        self.rx = r.get()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for Uart {
     fn read(&mut self, offset: u64, _size: usize) -> u64 {
         match offset {

@@ -30,8 +30,10 @@
 
 pub mod results;
 pub mod simulation;
+pub mod supervisor;
 pub mod topology;
 
 pub use results::{ExperimentRecord, ResultStore};
 pub use simulation::{SimConfig, Simulation};
+pub use supervisor::{FailureReport, SupervisedRun, SupervisorConfig};
 pub use topology::{BladeSpec, NodeRef, ServerId, SwitchId, Topology, TopologyError};

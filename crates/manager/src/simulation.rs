@@ -13,7 +13,10 @@ use parking_lot::Mutex;
 
 use firesim_blade::model::{ModeledBlade, OsModel};
 use firesim_blade::soc::{BladeProbe, RtlBlade};
-use firesim_core::{AgentId, Cycle, Engine, RunSummary, SimResult};
+use firesim_core::{
+    AbortHandle, AgentId, Cycle, Engine, EngineCheckpoint, FaultPlan, FaultRecord, ProgressProbe,
+    RunSummary, SimResult,
+};
 use firesim_net::{Flit, MacAddr, Switch, SwitchConfig, SwitchStats};
 use firesim_platform::{DeploymentPlan, PlanRequest};
 
@@ -110,8 +113,15 @@ impl Topology {
         let specs: Vec<_> = self
             .servers
             .iter_mut()
-            .map(|s| s.spec.take().expect("spec present until build"))
-            .collect();
+            .map(|s| {
+                let name = s.name.clone();
+                s.spec.take().ok_or_else(|| {
+                    firesim_core::SimError::topology(format!(
+                        "server {name:?} has no blade spec (topology already built?)"
+                    ))
+                })
+            })
+            .collect::<SimResult<_>>()?;
         let mut built: Vec<Option<Built>> = Vec::with_capacity(self.servers.len());
         let mut servers: Vec<ServerInfo> = Vec::with_capacity(self.servers.len());
         for (idx, spec) in specs.into_iter().enumerate() {
@@ -203,8 +213,16 @@ impl Topology {
         }
         let server_endpoint: Vec<(AgentId, usize)> = server_endpoint
             .into_iter()
-            .map(|e| e.expect("every server placed"))
-            .collect();
+            .enumerate()
+            .map(|(idx, e)| {
+                e.ok_or_else(|| {
+                    firesim_core::SimError::topology(format!(
+                        "server {:?} was never mapped to a simulation agent",
+                        servers[idx].name
+                    ))
+                })
+            })
+            .collect::<SimResult<_>>()?;
 
         // --- Instantiate switches with routes. ---
         // Port layout: ports 0..children are downlinks (in child order);
@@ -334,6 +352,60 @@ impl Simulation {
     /// Propagates engine errors.
     pub fn run_for(&mut self, cycles: Cycle) -> SimResult<RunSummary> {
         self.engine.run_for(cycles)
+    }
+
+    /// Current target time of the deployed simulation.
+    pub fn now(&self) -> Cycle {
+        self.engine.now()
+    }
+
+    /// True when every simulated agent reports itself done (all blades
+    /// powered off; switches are always done). See
+    /// [`firesim_core::Engine::all_done`].
+    pub fn all_done(&self) -> bool {
+        self.engine.all_done()
+    }
+
+    /// Takes a snapshot of every agent's state and all in-flight link
+    /// tokens at the current (quiescent) window boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`firesim_core::SimError::Checkpoint`] when an agent in the
+    /// topology does not support checkpointing.
+    pub fn checkpoint(&mut self) -> SimResult<EngineCheckpoint<Flit>> {
+        self.engine.checkpoint()
+    }
+
+    /// Restores a checkpoint taken from an identically built simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`firesim_core::SimError::Checkpoint`] on any topology or
+    /// snapshot mismatch.
+    pub fn restore(&mut self, cp: &EngineCheckpoint<Flit>) -> SimResult<()> {
+        self.engine.restore(cp)
+    }
+
+    /// Installs a fault plan; faults fire during subsequent runs.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.engine.set_fault_plan(plan);
+        self
+    }
+
+    /// Provenance of injected faults that have fired so far.
+    pub fn fault_records(&self) -> Vec<FaultRecord> {
+        self.engine.fault_records()
+    }
+
+    /// A handle that aborts an in-flight run (watchdog, deadline).
+    pub fn abort_handle(&self) -> AbortHandle {
+        self.engine.abort_handle()
+    }
+
+    /// A lock-free progress view over all deployed agents, for watchdogs.
+    pub fn progress_probe(&mut self) -> ProgressProbe {
+        self.engine.progress_probe()
     }
 }
 

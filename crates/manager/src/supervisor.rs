@@ -1,0 +1,527 @@
+//! Supervised simulation runs: watchdog, deadline, and checkpoint-based
+//! retry.
+//!
+//! A multi-hour scale-out simulation must survive the host misbehaving:
+//! a model wedges (no token progress), a worker thread dies, a channel
+//! tears. [`Simulation::run_supervised`] wraps the raw engine run loop
+//! with the robustness layer a long campaign needs:
+//!
+//! * the run is split into **checkpoint intervals** — after each interval
+//!   a full engine snapshot (every agent, every in-flight link token) is
+//!   kept in memory as the retry baseline;
+//! * a **watchdog thread** polls the engine's progress probe; if the
+//!   total completed-window count stops moving for longer than the stall
+//!   timeout, it aborts the run and names the slowest agent (with token
+//!   flow control, the agent with the fewest completed windows is the one
+//!   everyone else is blocked on);
+//! * an optional **wall-clock deadline** bounds the whole call;
+//! * on failure, the supervisor **retries from the last checkpoint** with
+//!   backoff, up to a bounded number of attempts. One-shot injected
+//!   faults ([`FaultPlan`](firesim_core::FaultPlan)) keep their fired
+//!   flags across the restore, so a transient host fault fires once and
+//!   the retry sails past it — producing results bit-identical to a
+//!   fault-free run.
+//!
+//! When retries are exhausted (or impossible), the failure surfaces as a
+//! [`FailureReport`]: the underlying [`SimError`], the failing agent and
+//! cycle when known, the last checkpoint cycle, and the provenance of
+//! every injected fault that fired.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use firesim_core::{AbortHandle, Cycle, EngineCheckpoint, FaultRecord, ProgressProbe, SimError};
+use firesim_net::Flit;
+
+use crate::simulation::Simulation;
+
+/// Tuning for [`Simulation::run_supervised`].
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Target cycles between checkpoints (rounded up to whole windows by
+    /// the engine). Smaller intervals mean less lost work per retry but
+    /// more snapshot overhead.
+    pub checkpoint_every: Cycle,
+    /// Abort the run when no agent completes a window for this long.
+    pub stall_timeout: Duration,
+    /// Overall wall-clock budget for the call, if any. A deadline abort
+    /// is terminal — it is never retried.
+    pub deadline: Option<Duration>,
+    /// How many times to retry from the last checkpoint before giving up.
+    pub max_retries: u32,
+    /// Sleep between a failure and the retry, scaled linearly by attempt
+    /// number (first retry waits `1 x`, second `2 x`, ...).
+    pub retry_backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            checkpoint_every: Cycle::new(100_000),
+            stall_timeout: Duration::from_secs(10),
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of a successful [`Simulation::run_supervised`] call.
+#[derive(Debug, Clone)]
+pub struct SupervisedRun {
+    /// Net target cycles advanced (replayed cycles are not double-counted).
+    pub cycles: Cycle,
+    /// Total host wall-clock time, including retries and backoff.
+    pub wall: Duration,
+    /// True when every agent reported done before the cycle budget ran out.
+    pub done: bool,
+    /// Checkpoints taken (including the initial baseline).
+    pub checkpoints: u64,
+    /// Failures recovered by restoring the last checkpoint.
+    pub retries: u32,
+    /// Provenance of injected faults that fired, in firing order.
+    pub injected_faults: Vec<FaultRecord>,
+}
+
+/// Everything known about a supervised run that could not be completed.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// The final error, after any retries.
+    pub error: SimError,
+    /// The agent the failure points at, when the error names one (the
+    /// panicking agent, the agent whose channel broke, or the stalled
+    /// agent the watchdog identified).
+    pub failing_agent: Option<String>,
+    /// Target cycle of the failure: the panic cycle when known, otherwise
+    /// the last completed window boundary.
+    pub fail_cycle: u64,
+    /// Cycle of the last good checkpoint, if one was taken.
+    pub last_checkpoint: Option<Cycle>,
+    /// Failed attempts, counting the final one.
+    pub attempts: u32,
+    /// Provenance of injected faults that fired, in firing order.
+    pub injected_faults: Vec<FaultRecord>,
+    /// True when the watchdog tripped on lack of progress.
+    pub stalled: bool,
+    /// True when the wall-clock deadline expired.
+    pub deadline_exceeded: bool,
+}
+
+impl std::fmt::Display for FailureReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation failed after {} attempt(s): {}",
+            self.attempts, self.error
+        )?;
+        if let Some(agent) = &self.failing_agent {
+            write!(f, "; failing agent {agent} at cycle {}", self.fail_cycle)?;
+        }
+        match self.last_checkpoint {
+            Some(cp) => write!(f, "; last checkpoint at {cp}")?,
+            None => write!(f, "; no checkpoint available")?,
+        }
+        if self.stalled {
+            write!(f, "; watchdog detected a stall")?;
+        }
+        if self.deadline_exceeded {
+            write!(f, "; wall-clock deadline exceeded")?;
+        }
+        if !self.injected_faults.is_empty() {
+            write!(f, "; injected faults:")?;
+            for rec in &self.injected_faults {
+                write!(f, " [{} @{}: {}]", rec.agent, rec.cycle, rec.description)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for FailureReport {}
+
+/// Why the watchdog aborted a run.
+#[derive(Debug, Clone)]
+enum WatchdogTrip {
+    /// No progress for the stall timeout; names the slowest agent.
+    Stalled { agent: Option<String> },
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+/// A per-run watchdog thread polling the progress probe.
+struct Watchdog {
+    stop: Arc<AtomicBool>,
+    verdict: Arc<parking_lot::Mutex<Option<WatchdogTrip>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn spawn(
+        probe: ProgressProbe,
+        abort: AbortHandle,
+        stall_timeout: Duration,
+        deadline_at: Option<Instant>,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let verdict = Arc::new(parking_lot::Mutex::new(None));
+        let poll = (stall_timeout / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let verdict = Arc::clone(&verdict);
+            std::thread::spawn(move || {
+                let mut last_steps = probe.total_steps();
+                let mut last_change = Instant::now();
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Some(at) = deadline_at {
+                        if Instant::now() >= at {
+                            *verdict.lock() = Some(WatchdogTrip::Deadline);
+                            abort.abort("wall-clock deadline exceeded");
+                            break;
+                        }
+                    }
+                    let steps = probe.total_steps();
+                    if steps != last_steps {
+                        last_steps = steps;
+                        last_change = Instant::now();
+                    } else if last_change.elapsed() >= stall_timeout {
+                        let slowest = probe.slowest_agent();
+                        let reason = match &slowest {
+                            Some((name, windows)) => format!(
+                                "watchdog: no progress for {stall_timeout:?}; \
+                                 slowest agent {name} stuck at {windows} windows"
+                            ),
+                            None => format!("watchdog: no progress for {stall_timeout:?}"),
+                        };
+                        *verdict.lock() = Some(WatchdogTrip::Stalled {
+                            agent: slowest.map(|(name, _)| name),
+                        });
+                        abort.abort(reason);
+                        break;
+                    }
+                }
+            })
+        };
+        Watchdog {
+            stop,
+            verdict,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the watchdog and returns its verdict, if it tripped.
+    fn finish(mut self) -> Option<WatchdogTrip> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.verdict.lock().take()
+    }
+}
+
+/// Which agent and cycle an error points at.
+fn failing_site(error: &SimError, fallback_cycle: u64) -> (Option<String>, u64) {
+    match error {
+        SimError::AgentPanicked { agent, cycle, .. } => (Some(agent.clone()), *cycle),
+        SimError::Agent { agent, .. } | SimError::ChannelClosed { agent } => {
+            (Some(agent.clone()), fallback_cycle)
+        }
+        _ => (None, fallback_cycle),
+    }
+}
+
+impl Simulation {
+    /// Runs until every blade reports done (or `max` target cycles), under
+    /// supervision: progress watchdog, optional wall-clock deadline, and
+    /// bounded retry from the last in-memory checkpoint.
+    ///
+    /// The initial checkpoint doubles as the retry baseline. Topologies
+    /// whose agents do not all support checkpointing are still supervised
+    /// (watchdog and deadline apply) but cannot be retried — their first
+    /// failure is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FailureReport`] when the run could not be completed:
+    /// retries exhausted, watchdog deadline expired, or a failure with no
+    /// checkpoint to retry from.
+    pub fn run_supervised(
+        &mut self,
+        max: Cycle,
+        cfg: &SupervisorConfig,
+    ) -> Result<SupervisedRun, Box<FailureReport>> {
+        let t0 = Instant::now();
+        let deadline_at = cfg.deadline.map(|d| t0 + d);
+        let start_cycle = self.now();
+        let end_cycle = start_cycle + max;
+        let probe = self.progress_probe();
+        let abort = self.abort_handle();
+
+        let mut attempts = 0u32;
+        let mut checkpoints = 0u64;
+        let mut last_cp: Option<EngineCheckpoint<Flit>> = None;
+
+        let report = |sim: &Simulation,
+                      error: SimError,
+                      attempts: u32,
+                      last_cp: &Option<EngineCheckpoint<Flit>>,
+                      trip: Option<WatchdogTrip>| {
+            let (mut failing_agent, fail_cycle) = failing_site(&error, sim.now().as_u64());
+            let (mut stalled, mut deadline_exceeded) = (false, false);
+            match trip {
+                Some(WatchdogTrip::Stalled { agent }) => {
+                    stalled = true;
+                    failing_agent = failing_agent.or(agent);
+                }
+                Some(WatchdogTrip::Deadline) => deadline_exceeded = true,
+                None => {}
+            }
+            Box::new(FailureReport {
+                error,
+                failing_agent,
+                fail_cycle,
+                last_checkpoint: last_cp.as_ref().map(EngineCheckpoint::now),
+                attempts,
+                injected_faults: sim.fault_records(),
+                stalled,
+                deadline_exceeded,
+            })
+        };
+
+        // Baseline checkpoint. A topology that cannot checkpoint is run
+        // without a retry path rather than rejected outright.
+        match self.checkpoint() {
+            Ok(cp) => {
+                last_cp = Some(cp);
+                checkpoints += 1;
+            }
+            Err(SimError::Checkpoint { .. }) => {}
+            Err(e) => return Err(report(self, e, attempts, &last_cp, None)),
+        }
+
+        let mut done = false;
+        while self.now() < end_cycle {
+            let remaining = end_cycle - self.now();
+            let chunk = remaining.min(cfg.checkpoint_every).max(Cycle::new(1));
+            let wd = Watchdog::spawn(probe.clone(), abort.clone(), cfg.stall_timeout, deadline_at);
+            let result = self.run_until_done(chunk);
+            let trip = wd.finish();
+            match result {
+                Ok(_summary) => {
+                    // A chunk shorter than the engine's scheduler quantum
+                    // always reports its full cycle budget, so completion
+                    // cannot be inferred from the summary — ask the agents.
+                    if self.all_done() {
+                        done = true;
+                    }
+                    if last_cp.is_some() {
+                        match self.checkpoint() {
+                            Ok(cp) => {
+                                last_cp = Some(cp);
+                                checkpoints += 1;
+                            }
+                            Err(e) => return Err(report(self, e, attempts, &last_cp, trip)),
+                        }
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    attempts += 1;
+                    let terminal = matches!(trip, Some(WatchdogTrip::Deadline));
+                    let Some(cp) = last_cp.as_ref() else {
+                        return Err(report(self, e, attempts, &last_cp, trip));
+                    };
+                    if terminal || attempts > cfg.max_retries {
+                        return Err(report(self, e, attempts, &last_cp, trip));
+                    }
+                    std::thread::sleep(cfg.retry_backoff * attempts);
+                    if let Err(re) = self.restore(cp) {
+                        return Err(report(self, re, attempts, &last_cp, trip));
+                    }
+                }
+            }
+        }
+
+        Ok(SupervisedRun {
+            cycles: self.now() - start_cycle,
+            wall: t0.elapsed(),
+            done,
+            checkpoints,
+            retries: attempts,
+            injected_faults: self.fault_records(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::SimConfig;
+    use crate::topology::{BladeSpec, Topology};
+    use firesim_blade::programs;
+    use firesim_core::FaultPlan;
+    use firesim_net::MacAddr;
+
+    const MAX: Cycle = Cycle::new(20_000_000);
+
+    /// Sender and responder under one ToR switch, 200-cycle links.
+    fn build_sim(host_threads: usize) -> Simulation {
+        let count = 2;
+        let mut topo = Topology::new();
+        let tor = topo.add_switch("tor0");
+        let sender = topo.add_server(
+            "sender",
+            BladeSpec::rtl_single_core(programs::ping_sender(
+                MacAddr::from_node_index(0),
+                MacAddr::from_node_index(1),
+                count,
+                26,
+                10_000,
+            )),
+        );
+        let responder = topo.add_server(
+            "responder",
+            BladeSpec::rtl_single_core(programs::echo_responder(count)),
+        );
+        topo.add_downlink(tor, sender).unwrap();
+        topo.add_downlink(tor, responder).unwrap();
+        topo.build(SimConfig {
+            link_latency: Cycle::new(200),
+            host_threads,
+            ..SimConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn probe_results(sim: &Simulation) -> (Option<u8>, Vec<u8>, u64) {
+        let probe = sim.servers()[0].probe.as_ref().unwrap();
+        let p = probe.lock();
+        (p.exit_code, p.mailbox.clone(), p.retired)
+    }
+
+    fn quick_cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            checkpoint_every: Cycle::new(1_000),
+            stall_timeout: Duration::from_secs(10),
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+
+    /// Acceptance: an injected transient panic is survived by retrying
+    /// from the last checkpoint, and the recovered run's results are
+    /// identical to a fault-free run's.
+    #[test]
+    fn retries_past_transient_panic_with_identical_results() {
+        let mut clean = build_sim(2);
+        clean.run_until_done(MAX).unwrap();
+        let reference = probe_results(&clean);
+        assert_eq!(reference.0, Some(0), "reference run must succeed");
+
+        let mut sim = build_sim(2);
+        let mut plan = FaultPlan::new(7);
+        plan.panic_at("sender", 3_000);
+        sim.set_fault_plan(plan);
+        let run = sim.run_supervised(MAX, &quick_cfg()).unwrap();
+        assert!(run.done, "supervised run must finish");
+        assert_eq!(run.retries, 1, "exactly one retry for a one-shot fault");
+        assert_eq!(run.injected_faults.len(), 1);
+        assert_eq!(run.injected_faults[0].agent, "sender");
+        assert_eq!(probe_results(&sim), reference);
+    }
+
+    /// The channel-drop host fault is also transient: the restore brings
+    /// the torn link back up with its checkpointed in-flight tokens.
+    #[test]
+    fn retries_past_injected_channel_drop() {
+        let mut clean = build_sim(1);
+        clean.run_until_done(MAX).unwrap();
+        let reference = probe_results(&clean);
+
+        let mut sim = build_sim(1);
+        let mut plan = FaultPlan::new(3);
+        plan.drop_channel("responder", 0, 2_600);
+        sim.set_fault_plan(plan);
+        let run = sim.run_supervised(MAX, &quick_cfg()).unwrap();
+        assert!(run.done);
+        assert!(run.retries >= 1);
+        assert_eq!(probe_results(&sim), reference);
+    }
+
+    #[test]
+    fn failure_report_names_panicking_agent_and_cycle() {
+        let mut sim = build_sim(2);
+        let mut plan = FaultPlan::new(1);
+        plan.panic_at("sender", 2_000);
+        sim.set_fault_plan(plan);
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            ..quick_cfg()
+        };
+        let report = sim.run_supervised(MAX, &cfg).unwrap_err();
+        assert!(
+            matches!(&report.error, SimError::AgentPanicked { agent, .. } if agent == "sender"),
+            "error: {}",
+            report.error
+        );
+        assert_eq!(report.failing_agent.as_deref(), Some("sender"));
+        assert_eq!(report.fail_cycle, 2_000, "panic fires at its window start");
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.last_checkpoint, Some(Cycle::new(2_000)));
+        assert!(report
+            .injected_faults
+            .iter()
+            .any(|rec| rec.agent == "sender" && rec.description.contains("panic")));
+        let rendered = report.to_string();
+        assert!(rendered.contains("sender"), "{rendered}");
+        assert!(rendered.contains("2000"), "{rendered}");
+    }
+
+    /// A wedged worker (injected stall) trips the watchdog; the abort is
+    /// retried from the checkpoint and the stall, being one-shot, is gone.
+    #[test]
+    fn watchdog_aborts_stall_then_recovers() {
+        let mut sim = build_sim(2);
+        let mut plan = FaultPlan::new(5);
+        plan.stall_worker("responder", 2_500, 900);
+        sim.set_fault_plan(plan);
+        let cfg = SupervisorConfig {
+            stall_timeout: Duration::from_millis(100),
+            ..quick_cfg()
+        };
+        let run = sim.run_supervised(MAX, &cfg).unwrap();
+        assert!(run.done);
+        assert!(run.retries >= 1, "the watchdog abort must trigger a retry");
+        let (exit, _, _) = probe_results(&sim);
+        assert_eq!(exit, Some(0));
+    }
+
+    #[test]
+    fn deadline_failure_is_terminal_and_reported() {
+        let mut sim = build_sim(2);
+        let mut plan = FaultPlan::new(9);
+        plan.stall_worker("sender", 2_500, 800);
+        sim.set_fault_plan(plan);
+        let cfg = SupervisorConfig {
+            stall_timeout: Duration::from_secs(30),
+            deadline: Some(Duration::from_millis(100)),
+            ..quick_cfg()
+        };
+        let report = sim.run_supervised(MAX, &cfg).unwrap_err();
+        assert!(report.deadline_exceeded, "{report}");
+        assert!(
+            matches!(report.error, SimError::Aborted { .. }),
+            "error: {}",
+            report.error
+        );
+        assert_eq!(report.attempts, 1, "deadline aborts are never retried");
+    }
+}

@@ -8,6 +8,9 @@
 
 use std::collections::VecDeque;
 
+use firesim_core::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
+use firesim_core::SimResult;
+
 use crate::frame::{EthernetFrame, Flit, FrameError};
 use crate::FLIT_BYTES;
 
@@ -85,6 +88,27 @@ impl FrameFramer {
     }
 }
 
+impl Snapshot for FrameFramer {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.queue.len());
+        for wire in &self.queue {
+            w.put_bytes(wire);
+        }
+        w.put_usize(self.cursor);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        let n = r.get_usize()?;
+        let mut queue = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            queue.push_back(r.get_bytes()?.to_vec());
+        }
+        Ok(FrameFramer {
+            queue,
+            cursor: r.get_usize()?,
+        })
+    }
+}
+
 /// Reassembles flits back into frames.
 ///
 /// Feed flits in cycle order with [`push`](FrameDeframer::push); completed
@@ -131,6 +155,17 @@ impl FrameDeframer {
             return None;
         }
         Some(std::mem::take(&mut self.buf))
+    }
+}
+
+impl Snapshot for FrameDeframer {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_bytes(&self.buf);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        Ok(FrameDeframer {
+            buf: r.get_bytes()?.to_vec(),
+        })
     }
 }
 

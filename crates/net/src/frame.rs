@@ -5,6 +5,9 @@ use core::str::FromStr;
 
 use bytes::Bytes;
 
+use firesim_core::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
+use firesim_core::{SimError, SimResult};
+
 /// A 48-bit Ethernet MAC address.
 ///
 /// The simulation manager assigns locally administered addresses
@@ -271,6 +274,38 @@ pub struct Flit {
     pub len: u8,
     /// True on the final flit of a frame.
     pub last: bool,
+}
+
+impl Snapshot for MacAddr {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_bytes(&self.0);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        let b = r.get_bytes()?;
+        let b: [u8; 6] = b
+            .try_into()
+            .map_err(|_| SimError::checkpoint("MAC address snapshot is not 6 bytes"))?;
+        Ok(MacAddr(b))
+    }
+}
+
+impl Snapshot for Flit {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.data);
+        w.put_u8(self.len);
+        w.put_bool(self.last);
+    }
+    fn load(r: &mut SnapshotReader<'_>) -> SimResult<Self> {
+        let data = r.get_u64()?;
+        let len = r.get_u8()?;
+        let last = r.get_bool()?;
+        if len == 0 || len > 8 {
+            return Err(SimError::checkpoint(format!(
+                "flit snapshot has invalid length {len}"
+            )));
+        }
+        Ok(Flit { data, len, last })
+    }
 }
 
 impl Flit {

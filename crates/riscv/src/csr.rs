@@ -251,6 +251,56 @@ impl CsrFile {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for CsrFile {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        for v in [
+            self.hartid,
+            self.mstatus,
+            self.mtvec,
+            self.mepc,
+            self.mcause,
+            self.mtval,
+            self.mie,
+            self.mip,
+            self.mscratch,
+            self.mcycle,
+            self.minstret,
+            self.time,
+        ] {
+            w.put_u64(v);
+        }
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let hartid = r.get_u64()?;
+        if hartid != self.hartid {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "CSR snapshot is for hart {hartid}, restoring onto hart {}",
+                self.hartid
+            )));
+        }
+        self.mstatus = r.get_u64()?;
+        self.mtvec = r.get_u64()?;
+        self.mepc = r.get_u64()?;
+        self.mcause = r.get_u64()?;
+        self.mtval = r.get_u64()?;
+        self.mie = r.get_u64()?;
+        self.mip = r.get_u64()?;
+        self.mscratch = r.get_u64()?;
+        self.mcycle = r.get_u64()?;
+        self.minstret = r.get_u64()?;
+        self.time = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -568,6 +568,34 @@ fn amo_compute(op: AmoOp, old: u64, src: u64, size: usize) -> u64 {
     v
 }
 
+impl firesim_core::snapshot::Checkpoint for Cpu {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        for reg in self.regs {
+            w.put_u64(reg);
+        }
+        w.put_u64(self.pc);
+        self.csrs.save_state(w)?;
+        w.put(&self.reservation);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        for reg in &mut self.regs {
+            *reg = r.get_u64()?;
+        }
+        self.pc = r.get_u64()?;
+        self.csrs.restore_state(r)?;
+        self.reservation = r.get()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -147,6 +147,35 @@ impl Memory {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for Memory {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_u64(self.base);
+        w.put_bytes(&self.data);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let base = r.get_u64()?;
+        let data = r.get_bytes()?;
+        if base != self.base || data.len() != self.data.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "memory snapshot is {} bytes at {base:#x}, target is {} bytes at {:#x}",
+                data.len(),
+                self.data.len(),
+                self.base
+            )));
+        }
+        self.data.copy_from_slice(data);
+        Ok(())
+    }
+}
+
 impl Bus for Memory {
     fn load(&mut self, addr: u64, size: usize) -> Result<u64, MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));

@@ -231,6 +231,61 @@ impl Cache {
     }
 }
 
+impl firesim_core::snapshot::Snapshot for CacheStats {
+    fn save(&self, w: &mut firesim_core::snapshot::SnapshotWriter) {
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.writebacks);
+    }
+    fn load(r: &mut firesim_core::snapshot::SnapshotReader<'_>) -> firesim_core::SimResult<Self> {
+        Ok(CacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            writebacks: r.get_u64()?,
+        })
+    }
+}
+
+impl firesim_core::snapshot::Checkpoint for Cache {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.lines.len());
+        for line in &self.lines {
+            w.put_u64(line.tag);
+            w.put_bool(line.valid);
+            w.put_bool(line.dirty);
+            w.put_u64(line.lru);
+        }
+        w.put_u64(self.stamp);
+        w.put(&self.stats);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let n = r.get_usize()?;
+        if n != self.lines.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "cache snapshot has {n} lines, geometry expects {}",
+                self.lines.len()
+            )));
+        }
+        for line in &mut self.lines {
+            line.tag = r.get_u64()?;
+            line.valid = r.get_bool()?;
+            line.dirty = r.get_bool()?;
+            line.lru = r.get_u64()?;
+        }
+        self.stamp = r.get_u64()?;
+        self.stats = r.get()?;
+        Ok(())
+    }
+}
+
 impl fmt::Display for Cache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

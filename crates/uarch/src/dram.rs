@@ -171,6 +171,57 @@ impl Dram {
     }
 }
 
+impl firesim_core::snapshot::Snapshot for DramStats {
+    fn save(&self, w: &mut firesim_core::snapshot::SnapshotWriter) {
+        w.put_u64(self.row_hits);
+        w.put_u64(self.row_empty);
+        w.put_u64(self.row_conflicts);
+        w.put_u64(self.total_latency);
+    }
+    fn load(r: &mut firesim_core::snapshot::SnapshotReader<'_>) -> firesim_core::SimResult<Self> {
+        Ok(DramStats {
+            row_hits: r.get_u64()?,
+            row_empty: r.get_u64()?,
+            row_conflicts: r.get_u64()?,
+            total_latency: r.get_u64()?,
+        })
+    }
+}
+
+impl firesim_core::snapshot::Checkpoint for Dram {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            w.put(&bank.open_row);
+            w.put_u64(bank.ready_at);
+        }
+        w.put(&self.stats);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let n = r.get_usize()?;
+        if n != self.banks.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "DRAM snapshot has {n} banks, config expects {}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.open_row = r.get()?;
+            bank.ready_at = r.get_u64()?;
+        }
+        self.stats = r.get()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,38 @@ impl MemSystem {
     }
 }
 
+impl firesim_core::snapshot::Checkpoint for MemSystem {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        w.put_usize(self.l1i.len());
+        for cache in self.l1i.iter().chain(&self.l1d) {
+            cache.save_state(w)?;
+        }
+        self.l2.save_state(w)?;
+        self.dram.save_state(w)
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        let cores = r.get_usize()?;
+        if cores != self.l1i.len() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "memory-system snapshot has {cores} cores, target has {}",
+                self.l1i.len()
+            )));
+        }
+        for cache in self.l1i.iter_mut().chain(&mut self.l1d) {
+            cache.restore_state(r)?;
+        }
+        self.l2.restore_state(r)?;
+        self.dram.restore_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

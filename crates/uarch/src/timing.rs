@@ -318,6 +318,47 @@ impl TimingCore {
     }
 }
 
+impl firesim_core::snapshot::Snapshot for TraceEntry {
+    fn save(&self, w: &mut firesim_core::snapshot::SnapshotWriter) {
+        w.put_u64(self.cycle);
+        w.put_u64(self.pc);
+    }
+    fn load(r: &mut firesim_core::snapshot::SnapshotReader<'_>) -> firesim_core::SimResult<Self> {
+        Ok(TraceEntry {
+            cycle: r.get_u64()?,
+            pc: r.get_u64()?,
+        })
+    }
+}
+
+impl firesim_core::snapshot::Checkpoint for TimingCore {
+    fn save_state(
+        &self,
+        w: &mut firesim_core::snapshot::SnapshotWriter,
+    ) -> firesim_core::SimResult<()> {
+        self.cpu.save_state(w)?;
+        w.put_u64(self.stall);
+        w.put_bool(self.parked);
+        w.put_u64(self.retired);
+        w.put_u64(self.idle_cycles);
+        w.put(&self.trace);
+        Ok(())
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut firesim_core::snapshot::SnapshotReader<'_>,
+    ) -> firesim_core::SimResult<()> {
+        self.cpu.restore_state(r)?;
+        self.stall = r.get_u64()?;
+        self.parked = r.get_bool()?;
+        self.retired = r.get_u64()?;
+        self.idle_cycles = r.get_u64()?;
+        self.trace = r.get()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

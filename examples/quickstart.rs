@@ -8,14 +8,120 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --checkpoint-every 100000
+//! cargo run --release --example quickstart -- \
+//!     --checkpoint-every 100000 --inject-fault panic:pinger@250000
+//! ```
+//!
+//! With `--checkpoint-every N` the run goes through the supervisor
+//! ([`firesim_manager::SupervisorConfig`]): a snapshot of every blade,
+//! switch, and in-flight link token is taken each N target cycles, and a
+//! host-side failure rolls back to the last snapshot instead of killing
+//! the run. `--inject-fault SPEC` installs a deterministic
+//! [`firesim_core::FaultPlan`]; specs:
+//!
+//! ```text
+//! panic:AGENT@CYCLE           one-shot worker panic
+//! drop:AGENT:PORT@CYCLE       one-shot input-channel drop
+//! stall:AGENT@CYCLE:MILLIS    one-shot worker stall (watchdog fodder)
+//! linkdown:AGENT:PORT@FROM..UNTIL          input link dead in [FROM,UNTIL)
+//! flaky:AGENT:PORT@FROM..UNTIL:PERCENT     input link drops PERCENT of windows
 //! ```
 
 use firesim_blade::programs;
-use firesim_core::{Cycle, Frequency};
-use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_core::{Cycle, FaultPlan, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, SupervisorConfig, Topology};
 use firesim_net::MacAddr;
 
+struct Options {
+    checkpoint_every: Option<u64>,
+    faults: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        checkpoint_every: None,
+        faults: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-every" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => opts.checkpoint_every = Some(n),
+                    _ => die(&format!(
+                        "--checkpoint-every needs a positive cycle count, got {v:?}"
+                    )),
+                }
+            }
+            "--inject-fault" => match args.next() {
+                Some(spec) => opts.faults.push(spec),
+                None => die("--inject-fault needs a spec (e.g. panic:pinger@250000)"),
+            },
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("quickstart: {msg}");
+    eprintln!("usage: quickstart [--checkpoint-every N] [--inject-fault SPEC]...");
+    std::process::exit(2);
+}
+
+/// Parses `panic:AGENT@CYCLE`-style fault specs into a [`FaultPlan`].
+fn parse_faults(specs: &[String]) -> FaultPlan {
+    let mut plan = FaultPlan::new(0xF1BE);
+    for spec in specs {
+        let (kind, rest) = spec
+            .split_once(':')
+            .unwrap_or_else(|| die(&format!("bad fault spec {spec:?} (missing ':')")));
+        let bad = || -> ! { die(&format!("bad fault spec {spec:?}")) };
+        let num = |s: &str| s.parse::<u64>().unwrap_or_else(|_| bad());
+        match kind {
+            "panic" => {
+                let (agent, at) = rest.split_once('@').unwrap_or_else(|| bad());
+                plan.panic_at(agent, num(at));
+            }
+            "drop" => {
+                let (agent, rest) = rest.split_once(':').unwrap_or_else(|| bad());
+                let (port, at) = rest.split_once('@').unwrap_or_else(|| bad());
+                plan.drop_channel(agent, num(port) as usize, num(at));
+            }
+            "stall" => {
+                let (agent, rest) = rest.split_once('@').unwrap_or_else(|| bad());
+                let (at, millis) = rest.split_once(':').unwrap_or_else(|| bad());
+                plan.stall_worker(agent, num(at), num(millis));
+            }
+            "linkdown" => {
+                let (agent, rest) = rest.split_once(':').unwrap_or_else(|| bad());
+                let (port, span) = rest.split_once('@').unwrap_or_else(|| bad());
+                let (from, until) = span.split_once("..").unwrap_or_else(|| bad());
+                plan.link_down(agent, num(port) as usize, num(from), num(until));
+            }
+            "flaky" => {
+                let (agent, rest) = rest.split_once(':').unwrap_or_else(|| bad());
+                let (port, rest) = rest.split_once('@').unwrap_or_else(|| bad());
+                let (span, pct) = rest.rsplit_once(':').unwrap_or_else(|| bad());
+                let (from, until) = span.split_once("..").unwrap_or_else(|| bad());
+                plan.link_flaky(
+                    agent,
+                    num(port) as usize,
+                    num(from),
+                    num(until),
+                    num(pct) as u8,
+                );
+            }
+            _ => bad(),
+        }
+    }
+    plan
+}
+
 fn main() {
+    let opts = parse_args();
     let clock = Frequency::GHZ_3_2;
     let pings = 10;
     let link_latency = clock.cycles_from_micros(2); // the paper's default
@@ -55,20 +161,76 @@ fn main() {
         })
         .expect("topology is valid");
     println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
-    let summary = sim
-        .run_until_done(Cycle::new(200_000_000))
-        .expect("simulation runs");
+
+    if !opts.faults.is_empty() {
+        let plan = parse_faults(&opts.faults);
+        println!(
+            "fault plan installed: {} fault(s), seed {:#x}",
+            plan.len(),
+            plan.seed()
+        );
+        sim.set_fault_plan(plan);
+    }
+
+    // A clean run powers off well under 1M cycles; the cap only matters
+    // when an injected target fault eats frames the bare-metal ping
+    // program would otherwise spin on forever.
+    let max = Cycle::new(2_000_000);
+    let (cycles, wall) = if opts.checkpoint_every.is_some() || !opts.faults.is_empty() {
+        // Supervised path: periodic snapshots, retry-from-checkpoint on
+        // injected (or real) host-side failures.
+        let cfg = SupervisorConfig {
+            checkpoint_every: Cycle::new(opts.checkpoint_every.unwrap_or(1_000_000)),
+            ..SupervisorConfig::default()
+        };
+        match sim.run_supervised(max, &cfg) {
+            Ok(run) => {
+                println!(
+                    "supervised run: {} checkpoint(s), {} retry(ies), {} injected fault(s)",
+                    run.checkpoints,
+                    run.retries,
+                    run.injected_faults.len()
+                );
+                for f in &run.injected_faults {
+                    println!(
+                        "  injected: {} at cycle {}: {}",
+                        f.agent, f.cycle, f.description
+                    );
+                }
+                (run.cycles, run.wall)
+            }
+            Err(report) => {
+                eprintln!("{report}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let summary = sim.run_until_done(max).expect("simulation runs");
+        (summary.cycles, summary.wall)
+    };
     println!(
         "simulated {} target cycles in {:?} ({:.2} MHz)",
-        summary.cycles.as_u64(),
-        summary.wall,
-        summary.sim_rate_mhz()
+        cycles.as_u64(),
+        wall,
+        cycles.as_u64() as f64 / 1e6 / wall.as_secs_f64().max(1e-9)
     );
 
     // Read the RTTs out of the pinger's mailbox.
     let probe = sim.servers()[0].probe.as_ref().expect("rtl blade");
     let p = probe.lock();
-    assert_eq!(p.exit_code, Some(0), "pinger finished");
+    if p.exit_code != Some(0) {
+        // A target-side fault (linkdown/flaky) genuinely loses frames in
+        // the simulated network; the bare-metal pinger has no retransmit,
+        // so it spins until the cycle cap. The mailbox is only captured
+        // at power-off, so report the NIC's view of what got through.
+        println!(
+            "\npinger never powered off — an injected target fault lost \
+             frames it was waiting on (NIC: {} pings sent, {} replies \
+             received); exit={:?}",
+            p.nic.tx_packets, p.nic.rx_packets, p.exit_code
+        );
+        std::process::exit(1);
+    }
     println!("\nping 10.0.0.1 -> 10.0.0.2 ({} pings):", pings);
     for i in 0..pings {
         let rtt = u64::from_le_bytes(p.mailbox[i * 8..i * 8 + 8].try_into().unwrap());
