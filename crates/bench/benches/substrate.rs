@@ -202,12 +202,94 @@ fn bench_engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine throughput with the observability layer on: same parked
+/// clusters as [`bench_engine_throughput`], but with the sharded metrics
+/// registry (and per-agent profiling) enabled.
+fn bench_engine_throughput_metrics(c: &mut Criterion) {
+    const LINK_LATENCY: u64 = 256;
+    const ROUNDS_PER_ITER: u64 = 8;
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(LINK_LATENCY * ROUNDS_PER_ITER));
+    for nodes in [8usize, 64] {
+        for threads in [1usize, 4] {
+            let mut sim = parked_cluster(nodes, LINK_LATENCY, threads);
+            sim.enable_metrics();
+            g.bench_function(format!("parked{nodes}/t{threads}+metrics"), |b| {
+                b.iter(|| {
+                    sim.run_for(Cycle::new(LINK_LATENCY * ROUNDS_PER_ITER))
+                        .unwrap()
+                        .cycles
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Steady-state engine rates for a plain and an observed simulation,
+/// sampled interleaved (plain burst, observed burst, repeat) so that
+/// host-load drift hits both variants equally; minimum time per variant,
+/// because noise only ever slows a sample down. Measuring the two in
+/// separate phases instead can report ±10% phantom overhead on a busy
+/// host.
+fn interleaved_rates(
+    plain: &mut Simulation,
+    observed: &mut Simulation,
+    link_latency: u64,
+) -> (f64, f64) {
+    const ROUNDS: u64 = 64;
+    let cycles = Cycle::new(link_latency * ROUNDS);
+    plain.run_for(cycles).unwrap(); // warm-up
+    observed.run_for(cycles).unwrap();
+    let mut best = [f64::MAX; 2];
+    for _ in 0..9 {
+        for (b, sim) in best.iter_mut().zip([&mut *plain, &mut *observed]) {
+            let t0 = std::time::Instant::now();
+            sim.run_for(cycles).unwrap();
+            *b = b.min(t0.elapsed().as_secs_f64());
+        }
+    }
+    let c = (link_latency * ROUNDS) as f64;
+    (c / best[0], c / best[1])
+}
+
+/// Overhead guard (observability must be nearly free): with metrics and
+/// profiling enabled the engine keeps at least 95% of its unobserved
+/// throughput. The assertion only fires in measure mode — under
+/// `--test` criterion runs one smoke iteration and timings are
+/// meaningless.
+fn bench_observability_overhead_guard(_c: &mut Criterion) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    const LINK_LATENCY: u64 = 256;
+    let mut plain = parked_cluster(8, LINK_LATENCY, 1);
+    let mut observed = parked_cluster(8, LINK_LATENCY, 1);
+    observed.enable_metrics();
+    let (rate_plain, rate_observed) = interleaved_rates(&mut plain, &mut observed, LINK_LATENCY);
+    let overhead = rate_plain / rate_observed - 1.0;
+    println!(
+        "observability overhead: {:+.2}% (plain {:.3} MHz, metrics {:.3} MHz)",
+        overhead * 100.0,
+        rate_plain / 1e6,
+        rate_observed / 1e6,
+    );
+    assert!(
+        overhead <= 0.05,
+        "metrics-enabled engine is {:.1}% slower than unobserved (budget: 5%)",
+        overhead * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     bench_isa,
     bench_blade,
     bench_switch,
     bench_mem_models,
-    bench_engine_throughput
+    bench_engine_throughput,
+    bench_engine_throughput_metrics,
+    bench_observability_overhead_guard
 );
 criterion_main!(benches);

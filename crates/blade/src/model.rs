@@ -461,6 +461,11 @@ pub struct ModeledBlade {
     deframer: FrameDeframer,
     tx: TxModel,
     stopped: bool,
+    /// Observability counters. Deliberately excluded from the checkpoint
+    /// (they describe the run, not the architectural state, and adding
+    /// them would change the snapshot format).
+    rx_frames: u64,
+    tx_frames: u64,
 }
 
 impl std::fmt::Debug for ModeledBlade {
@@ -484,6 +489,8 @@ impl ModeledBlade {
             deframer: FrameDeframer::new(),
             tx: TxModel::default(),
             stopped: false,
+            rx_frames: 0,
+            tx_frames: 0,
         }
     }
 
@@ -494,6 +501,7 @@ impl ModeledBlade {
 
     fn apply_actions(&mut self, actions: Actions) {
         for (cycle, frame) in actions.send {
+            self.tx_frames += 1;
             self.tx.queue.push_back((cycle, frame.to_wire()));
         }
         for (thread, cycles, tag) in actions.work {
@@ -561,6 +569,7 @@ impl SimAgent for ModeledBlade {
         let mut arrivals: Vec<(u64, EthernetFrame)> = Vec::new();
         for (off, flit) in ctx.drain_input(0) {
             if let Ok(Some(frame)) = self.deframer.push(flit) {
+                self.rx_frames += 1;
                 arrivals.push((base + u64::from(off), frame));
             }
         }
@@ -661,6 +670,12 @@ impl SimAgent for ModeledBlade {
 
     fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
         Some(self)
+    }
+
+    fn app_counters(&self, out: &mut Vec<(String, u64)>) {
+        out.push(("rx_frames".to_owned(), self.rx_frames));
+        out.push(("tx_frames".to_owned(), self.tx_frames));
+        out.push(("stopped".to_owned(), u64::from(self.stopped)));
     }
 }
 

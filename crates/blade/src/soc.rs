@@ -467,6 +467,19 @@ impl SimAgent for RtlBlade {
     fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
         Some(self)
     }
+
+    fn app_counters(&self, out: &mut Vec<(String, u64)>) {
+        out.push((
+            "retired".to_owned(),
+            self.cores.iter().map(TimingCore::retired).sum(),
+        ));
+        out.push(("cycles".to_owned(), self.cycle));
+        out.push((
+            "powered_off".to_owned(),
+            u64::from(self.powered_off.is_some()),
+        ));
+        self.nic.stats().export("nic_", out);
+    }
 }
 
 #[cfg(test)]

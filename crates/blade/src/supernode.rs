@@ -113,6 +113,19 @@ impl SimAgent for Supernode {
     fn as_checkpoint(&mut self) -> Option<&mut dyn firesim_core::snapshot::Checkpoint> {
         Some(self)
     }
+
+    fn app_counters(&self, out: &mut Vec<(String, u64)>) {
+        // Prefix each blade's counters with the blade name so the packed
+        // members stay distinguishable in the aggregated report.
+        let mut inner = Vec::new();
+        for blade in &self.blades {
+            inner.clear();
+            blade.app_counters(&mut inner);
+            for (key, value) in inner.drain(..) {
+                out.push((format!("{}/{key}", blade.name()), value));
+            }
+        }
+    }
 }
 
 #[cfg(test)]

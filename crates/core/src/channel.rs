@@ -318,6 +318,14 @@ impl<T> LinkReceiver<T> {
         self.latency
     }
 
+    /// Number of windows currently in flight (produced but not yet
+    /// consumed). When both endpoints are quiescent at a window boundary,
+    /// this is exactly `latency / window` — the paper's token-transport
+    /// invariant ("a latency-*l* link always has *l* tokens in flight").
+    pub fn in_flight_windows(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
     /// Returns a consumed window's buffer to the link's spare pool so the
     /// sender can reuse its heap capacity.
     ///

@@ -55,8 +55,11 @@ use std::time::{Duration, Instant};
 use crate::channel::{link, LinkReceiver, LinkSender};
 use crate::error::{SimError, SimResult};
 use crate::fault::{AgentFaults, FaultPlan, FaultRecord, HostFaultAction};
+use crate::metrics::{
+    AgentProfile, CounterId, HistogramId, MetricsRegistry, MetricsShard, SpanBuffer, SpanTracer,
+};
 use crate::snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
-use crate::sync::EpochBarrier;
+use crate::sync::{BarrierCancelled, EpochBarrier};
 use crate::time::Cycle;
 use crate::token::TokenWindow;
 
@@ -114,6 +117,14 @@ pub trait SimAgent: Send {
     fn as_checkpoint(&mut self) -> Option<&mut dyn Checkpoint> {
         None
     }
+
+    /// Appends this agent's application-level counters as `(name, value)`
+    /// pairs — e.g. a switch's forwarded-frame count or a NIC's packet
+    /// counts. Used by observability reports; the default exports nothing.
+    ///
+    /// Counter values must be functions of the deterministic simulation
+    /// alone (no host timing), so reports are reproducible.
+    fn app_counters(&self, _out: &mut Vec<(String, u64)>) {}
 }
 
 /// Execution context handed to [`SimAgent::advance`] each round.
@@ -381,6 +392,35 @@ impl RunSummary {
     }
 }
 
+/// The occupancy of one connected input link, reported by
+/// [`Engine::link_occupancies`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkOccupancy {
+    /// Receiving agent's name.
+    pub agent: String,
+    /// Receiving agent's input port.
+    pub port: usize,
+    /// Modeled link latency in cycles.
+    pub latency: u64,
+    /// Tokens currently in flight (`queued windows × window length`). At a
+    /// quiescent boundary this equals `latency`.
+    pub in_flight_tokens: u64,
+}
+
+/// Counter/histogram handles the engine itself records into when metrics
+/// are enabled.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetricIds {
+    /// `engine/agent_steps`: total agent-windows stepped. Deterministic —
+    /// independent of host thread count.
+    steps: CounterId,
+    /// `engine/barrier_wait_ns`: host ns spent waiting at chunk barriers
+    /// (parallel mode only). Host-dependent.
+    barrier_ns: CounterId,
+    /// `engine/chunk_host_ns`: host ns per worker-chunk. Host-dependent.
+    chunk_ns: HistogramId,
+}
+
 struct AgentSlot<T> {
     agent: Box<dyn SimAgent<Token = T>>,
     inputs: Vec<Option<LinkReceiver<T>>>,
@@ -390,6 +430,9 @@ struct AgentSlot<T> {
     scratch_out: Vec<TokenWindow<T>>,
     /// Caller-supplied relative host cost, for load-aware partitioning.
     weight: Option<u64>,
+    /// Token/host-time accounting, updated only when metrics are enabled.
+    /// The stepping worker owns the slot, so plain stores suffice.
+    profile: AgentProfile,
 }
 
 /// The simulation executor. See the [module docs](self) for the execution
@@ -410,6 +453,10 @@ pub struct Engine<T> {
     run_halt: Arc<AtomicBool>,
     fault_plan: Option<FaultPlan>,
     progress: Option<Arc<ProgressShared>>,
+    /// Installed by [`Engine::enable_metrics`]; absent = zero cost.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Installed by [`Engine::enable_tracing`]; absent = zero cost.
+    tracer: Option<Arc<SpanTracer>>,
 }
 
 impl<T: Send + 'static> Engine<T> {
@@ -436,6 +483,8 @@ impl<T: Send + 'static> Engine<T> {
             run_halt: Arc::new(AtomicBool::new(false)),
             fault_plan: None,
             progress: None,
+            metrics: None,
+            tracer: None,
         }
     }
 
@@ -568,6 +617,132 @@ impl<T: Send + 'static> Engine<T> {
         ProgressProbe { inner: shared }
     }
 
+    /// Enables metrics collection and per-agent profiling for subsequent
+    /// runs, returning the engine's registry (creating it on first call).
+    ///
+    /// Workers record into private [`MetricsShard`]s and fold them into the
+    /// registry at chunk barriers, so the hot path stays contention-free;
+    /// when metrics have never been enabled the engine holds no registry
+    /// and pays nothing at all.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        if self.metrics.is_none() {
+            self.metrics = Some(Arc::new(MetricsRegistry::new()));
+        }
+        Arc::clone(self.metrics.as_ref().expect("just installed"))
+    }
+
+    /// The metrics registry, when [`Engine::enable_metrics`] has been
+    /// called.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Enables span tracing for subsequent runs, returning the engine's
+    /// tracer (creating it on first call). Export the collected spans with
+    /// [`SpanTracer::export_chrome_trace`] after the run.
+    pub fn enable_tracing(&mut self) -> Arc<SpanTracer> {
+        if self.tracer.is_none() {
+            self.tracer = Some(Arc::new(SpanTracer::new()));
+        }
+        Arc::clone(self.tracer.as_ref().expect("just installed"))
+    }
+
+    /// The span tracer, when [`Engine::enable_tracing`] has been called.
+    pub fn tracer(&self) -> Option<&Arc<SpanTracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Number of host worker threads configured via
+    /// [`Engine::set_host_threads`] (before run-time core clamping).
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// The profile accumulated for one agent across metric-enabled runs.
+    ///
+    /// All zeros until [`Engine::enable_metrics`] is called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this engine.
+    pub fn agent_profile(&self, id: AgentId) -> AgentProfile {
+        self.agents[id.0].profile
+    }
+
+    /// `(name, profile)` for every agent, in registration order.
+    pub fn agent_profiles(&self) -> Vec<(String, AgentProfile)> {
+        self.agents
+            .iter()
+            .map(|s| (s.agent.name().to_owned(), s.profile))
+            .collect()
+    }
+
+    /// `(name, application counters)` for every agent, in registration
+    /// order, as reported by [`SimAgent::app_counters`]. Agents that do
+    /// not export counters contribute an empty list.
+    pub fn agent_app_counters(&self) -> Vec<(String, Vec<(String, u64)>)> {
+        self.agents
+            .iter()
+            .map(|s| {
+                let mut counters = Vec::new();
+                s.agent.app_counters(&mut counters);
+                (s.agent.name().to_owned(), counters)
+            })
+            .collect()
+    }
+
+    /// The current occupancy of every connected input link, in registration
+    /// order. Between runs the engine is quiescent, so each latency-*N*
+    /// link reports exactly *N* tokens in flight — the paper's
+    /// token-transport invariant, checked by [`verify_token_invariant`].
+    ///
+    /// [`verify_token_invariant`]: Engine::verify_token_invariant
+    pub fn link_occupancies(&self) -> Vec<LinkOccupancy> {
+        let mut out = Vec::new();
+        for slot in &self.agents {
+            for (port, rx) in slot.inputs.iter().enumerate() {
+                if let Some(rx) = rx.as_ref() {
+                    out.push(LinkOccupancy {
+                        agent: slot.agent.name().to_owned(),
+                        port,
+                        latency: rx.latency().as_u64(),
+                        in_flight_tokens: rx.in_flight_windows() as u64 * self.window as u64,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the token-transport invariant at the current quiescent
+    /// boundary: every connected latency-*N* input link must hold exactly
+    /// *N* tokens in flight. Only meaningful between runs (mid-run a link
+    /// transiently holds one extra window).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Agent`] naming the first violating agent/port.
+    pub fn verify_token_invariant(&self) -> SimResult<()> {
+        for slot in &self.agents {
+            for (port, rx) in slot.inputs.iter().enumerate() {
+                if let Some(rx) = rx.as_ref() {
+                    let got = rx.in_flight_windows() as u64 * self.window as u64;
+                    let want = rx.latency().as_u64();
+                    if got != want {
+                        return Err(SimError::agent(
+                            slot.agent.name(),
+                            format!(
+                                "token invariant violated on input port {port}: \
+                                 {got} tokens in flight on a latency-{want} link"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Registers an agent and returns its id.
     pub fn add_agent(&mut self, agent: Box<dyn SimAgent<Token = T>>) -> AgentId {
         let id = AgentId(self.agents.len());
@@ -580,6 +755,7 @@ impl<T: Send + 'static> Engine<T> {
             scratch_in: Vec::with_capacity(n_in),
             scratch_out: Vec::with_capacity(n_out),
             weight: None,
+            profile: AgentProfile::default(),
         });
         id
     }
@@ -701,10 +877,15 @@ impl<T: Send + 'static> Engine<T> {
             host_cores()
         };
         let threads = self.host_threads.min(cores).min(self.agents.len()).max(1);
+        let ids = self.metrics.as_ref().map(|m| EngineMetricIds {
+            steps: m.counter("engine/agent_steps"),
+            barrier_ns: m.counter("engine/barrier_wait_ns"),
+            chunk_ns: m.histogram("engine/chunk_host_ns"),
+        });
         let result = if threads <= 1 {
-            self.run_sequential(rounds, stoppable, &faults)
+            self.run_sequential(rounds, stoppable, &faults, ids)
         } else {
-            self.run_parallel(rounds, stoppable, threads, &faults)
+            self.run_parallel(rounds, stoppable, threads, &faults, ids)
         };
         let rounds_run = match result {
             Ok(r) => {
@@ -724,6 +905,13 @@ impl<T: Send + 'static> Engine<T> {
                 return Err(e);
             }
         };
+        // Every successful run ends at a quiescent window boundary, where
+        // the paper's invariant must hold: a latency-N link has exactly N
+        // tokens in flight. Always-on in debug builds.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.verify_token_invariant() {
+            panic!("{e}");
+        }
         let cycles = Cycle::new(rounds_run * self.window as u64);
         self.now += cycles;
         Ok(RunSummary {
@@ -748,13 +936,27 @@ impl<T: Send + 'static> Engine<T> {
         rounds: u64,
         stoppable: bool,
         faults: &[Option<AgentFaults>],
+        ids: Option<EngineMetricIds>,
     ) -> SimResult<u64> {
         let window = self.window;
         let mut now = self.now;
         let mut round = 0u64;
         let progress = self.progress.clone();
+        let metrics = self.metrics.clone();
+        let profiling = metrics.is_some();
+        let mut shard = metrics.as_ref().map(|m| m.shard());
+        let tracer = self.tracer.clone();
+        if let Some(t) = &tracer {
+            t.name_thread(0, "engine");
+        }
+        let mut span_buf = tracer.as_ref().map(|t| t.buffer(0));
+        // Observability pays one clock read per step, not two: the read
+        // that closes step N's span/host_ns opens step N+1's.
+        let need_clock = profiling || tracer.is_some();
         while round < rounds {
             let chunk_end = (round + self.chunk_rounds).min(rounds);
+            let chunk_t0 = need_clock.then(Instant::now);
+            let mut t_prev = chunk_t0;
             while round < chunk_end {
                 for (i, slot) in self.agents.iter_mut().enumerate() {
                     if step_agent(
@@ -763,8 +965,28 @@ impl<T: Send + 'static> Engine<T> {
                         window,
                         None,
                         faults.get(i).and_then(Option::as_ref),
+                        profiling,
                     )? {
                         self.stop.store(true, Ordering::Release);
+                    }
+                    if let Some(prev) = t_prev {
+                        let t_now = Instant::now();
+                        if profiling {
+                            slot.profile.host_ns += t_now.duration_since(prev).as_nanos() as u64;
+                        }
+                        if let (Some(t), Some(buf)) = (&tracer, span_buf.as_mut()) {
+                            buf.span_args(
+                                slot.agent.name(),
+                                "agent",
+                                t.ns_of(prev),
+                                t.ns_of(t_now),
+                                vec![("cycle", now.as_u64())],
+                            );
+                        }
+                        t_prev = Some(t_now);
+                    }
+                    if let (Some(sh), Some(ids)) = (shard.as_mut(), ids) {
+                        sh.inc(ids.steps);
                     }
                     if let Some(p) = &progress {
                         if let Some(c) = p.steps.get(i) {
@@ -774,6 +996,18 @@ impl<T: Send + 'static> Engine<T> {
                 }
                 now += Cycle::new(window as u64);
                 round += 1;
+                // In sequential mode every round ends quiescent, so the
+                // token invariant can be checked continuously (debug only).
+                #[cfg(debug_assertions)]
+                if let Err(e) = self.verify_token_invariant() {
+                    panic!("{e}");
+                }
+            }
+            if let (Some(m), Some(sh)) = (metrics.as_ref(), shard.as_mut()) {
+                if let (Some(ids), Some(t0)) = (ids, chunk_t0) {
+                    sh.record(ids.chunk_ns, t0.elapsed().as_nanos() as u64);
+                }
+                m.absorb(sh);
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(self.abort_error());
@@ -786,6 +1020,9 @@ impl<T: Send + 'static> Engine<T> {
                 }
             }
         }
+        if let (Some(t), Some(mut buf)) = (tracer.as_ref(), span_buf.take()) {
+            t.flush(&mut buf);
+        }
         Ok(round)
     }
 
@@ -795,6 +1032,7 @@ impl<T: Send + 'static> Engine<T> {
         stoppable: bool,
         threads: usize,
         faults: &[Option<AgentFaults>],
+        ids: Option<EngineMetricIds>,
     ) -> SimResult<u64> {
         let window = self.window;
         let start_now = self.now;
@@ -802,6 +1040,8 @@ impl<T: Send + 'static> Engine<T> {
         let n_agents = self.agents.len();
         let stop = Arc::clone(&self.stop);
         let progress = self.progress.clone();
+        let metrics = self.metrics.clone();
+        let tracer = self.tracer.clone();
 
         let barrier = EpochBarrier::new(threads);
         // Set on error, panic, or abort; sleeping peers notice within
@@ -854,6 +1094,8 @@ impl<T: Send + 'static> Engine<T> {
                     let hints = &hints;
                     let votes = &votes;
                     let progress = &progress;
+                    let metrics = &metrics;
+                    let tracer = &tracer;
                     scope.spawn(move || {
                         let _guard = PanicGuard { halt, barrier };
                         let mut my_agents: Vec<usize> = (0..n_agents)
@@ -864,21 +1106,35 @@ impl<T: Send + 'static> Engine<T> {
                         let mut measuring = measure;
                         let mut repartitioned = !measure;
                         let mut parity = 0usize;
+                        let profiling = metrics.is_some();
+                        let mut shard = metrics.as_ref().map(|m| m.shard());
+                        if let Some(t) = tracer {
+                            t.name_thread(widx as u32, format!("worker{widx}"));
+                        }
+                        let mut span_buf = tracer.as_ref().map(|t| t.buffer(widx as u32));
                         'chunks: while round < rounds {
                             if halt.load(Ordering::Acquire) {
                                 break;
                             }
                             let chunk_end = (round + chunk).min(rounds);
+                            // One clock read per step, chained: it closes
+                            // the previous step's span / host_ns / load
+                            // measurement and opens the next one's.
+                            let need_clock = profiling || tracer.is_some() || measuring;
+                            let chunk_t0 = need_clock.then(Instant::now);
+                            let mut t_prev = chunk_t0;
                             while round < chunk_end {
                                 for &i in &my_agents {
                                     let slot: &mut AgentSlot<T> = &mut slots[i].lock();
-                                    let t0 = if measuring {
-                                        Some(Instant::now())
-                                    } else {
-                                        None
-                                    };
                                     let agent_faults = faults.get(i).and_then(Option::as_ref);
-                                    match step_agent(slot, now, window, Some(halt), agent_faults) {
+                                    match step_agent(
+                                        slot,
+                                        now,
+                                        window,
+                                        Some(halt),
+                                        agent_faults,
+                                        profiling,
+                                    ) {
                                         Ok(true) => stop.store(true, Ordering::Release),
                                         Ok(false) => {}
                                         Err(e) => {
@@ -900,12 +1156,28 @@ impl<T: Send + 'static> Engine<T> {
                                             break 'chunks;
                                         }
                                     }
-                                    if let Some(t0) = t0 {
-                                        let ns = t0.elapsed().as_nanos();
-                                        measured[i].fetch_add(
-                                            u64::try_from(ns).unwrap_or(u64::MAX),
-                                            Ordering::Relaxed,
-                                        );
+                                    if let Some(prev) = t_prev {
+                                        let t_now = Instant::now();
+                                        let ns = t_now.duration_since(prev).as_nanos() as u64;
+                                        if measuring {
+                                            measured[i].fetch_add(ns, Ordering::Relaxed);
+                                        }
+                                        if profiling {
+                                            slot.profile.host_ns += ns;
+                                        }
+                                        if let (Some(t), Some(buf)) = (tracer, span_buf.as_mut()) {
+                                            buf.span_args(
+                                                slot.agent.name(),
+                                                "agent",
+                                                t.ns_of(prev),
+                                                t.ns_of(t_now),
+                                                vec![("cycle", now.as_u64())],
+                                            );
+                                        }
+                                        t_prev = Some(t_now);
+                                    }
+                                    if let (Some(sh), Some(ids)) = (shard.as_mut(), ids) {
+                                        sh.inc(ids.steps);
                                     }
                                     if let Some(p) = progress {
                                         if let Some(c) = p.steps.get(i) {
@@ -916,11 +1188,29 @@ impl<T: Send + 'static> Engine<T> {
                                 now += Cycle::new(window as u64);
                                 round += 1;
                             }
+                            // Fold this chunk's metrics into the registry at
+                            // the chunk boundary — the one place a lock is
+                            // already tolerable.
+                            if let (Some(m), Some(sh)) = (metrics.as_ref(), shard.as_mut()) {
+                                if let (Some(ids), Some(t0)) = (ids, chunk_t0) {
+                                    sh.record(ids.chunk_ns, t0.elapsed().as_nanos() as u64);
+                                }
+                                m.absorb(sh);
+                            }
                             if !repartitioned {
                                 repartitioned = true;
                                 measuring = false;
-                                let Ok(is_leader) = barrier.wait() else { break };
+                                let Ok(is_leader) = traced_wait(
+                                    barrier,
+                                    tracer.as_ref(),
+                                    span_buf.as_mut(),
+                                    shard.as_mut(),
+                                    ids.map(|ids| ids.barrier_ns),
+                                ) else {
+                                    break;
+                                };
                                 if is_leader {
+                                    let rep_start = tracer.as_ref().map(|t| t.now_ns());
                                     let costs: Vec<u64> = (0..n_agents)
                                         .map(|i| {
                                             hints[i]
@@ -935,8 +1225,24 @@ impl<T: Send + 'static> Engine<T> {
                                     {
                                         assignment[i].store(w, Ordering::Relaxed);
                                     }
+                                    if let (Some(t), Some(buf)) = (tracer, span_buf.as_mut()) {
+                                        buf.span(
+                                            "repartition",
+                                            "sched",
+                                            rep_start.unwrap_or(0),
+                                            t.now_ns(),
+                                        );
+                                    }
                                 }
-                                if barrier.wait().is_err() {
+                                if traced_wait(
+                                    barrier,
+                                    tracer.as_ref(),
+                                    span_buf.as_mut(),
+                                    shard.as_mut(),
+                                    ids.map(|ids| ids.barrier_ns),
+                                )
+                                .is_err()
+                                {
                                     break;
                                 }
                                 my_agents.clear();
@@ -954,7 +1260,15 @@ impl<T: Send + 'static> Engine<T> {
                                     vote |= VOTE_STOPPED;
                                 }
                                 votes[parity * threads + widx].store(vote, Ordering::Relaxed);
-                                if barrier.wait().is_err() {
+                                if traced_wait(
+                                    barrier,
+                                    tracer.as_ref(),
+                                    span_buf.as_mut(),
+                                    shard.as_mut(),
+                                    ids.map(|ids| ids.barrier_ns),
+                                )
+                                .is_err()
+                                {
                                     break;
                                 }
                                 let mut all_done = true;
@@ -969,6 +1283,12 @@ impl<T: Send + 'static> Engine<T> {
                                     break;
                                 }
                             }
+                        }
+                        if let (Some(m), Some(sh)) = (metrics.as_ref(), shard.as_mut()) {
+                            m.absorb(sh);
+                        }
+                        if let (Some(t), Some(mut buf)) = (tracer.as_ref(), span_buf.take()) {
+                            t.flush(&mut buf);
                         }
                         round
                     })
@@ -1327,6 +1647,28 @@ fn closed_by_peer(agent: &str) -> SimError {
     }
 }
 
+/// A barrier wait that (optionally) accounts its duration to the
+/// `engine/barrier_wait_ns` counter and records a `"barrier"` span.
+/// With observability off this is exactly `barrier.wait()`.
+fn traced_wait(
+    barrier: &EpochBarrier,
+    tracer: Option<&Arc<SpanTracer>>,
+    buf: Option<&mut SpanBuffer>,
+    shard: Option<&mut MetricsShard>,
+    barrier_ns: Option<CounterId>,
+) -> Result<bool, BarrierCancelled> {
+    let t0 = shard.is_some().then(Instant::now);
+    let start_ns = tracer.map(|t| t.now_ns());
+    let result = barrier.wait();
+    if let (Some(t0), Some(sh), Some(id)) = (t0, shard, barrier_ns) {
+        sh.add(id, t0.elapsed().as_nanos() as u64);
+    }
+    if let (Some(t), Some(buf), Some(start)) = (tracer, buf, start_ns) {
+        buf.span("barrier", "sync", start, t.now_ns());
+    }
+    result
+}
+
 /// Advances one agent by one window. Returns `true` when the agent
 /// requested a simulation stop via [`AgentCtx::request_stop`].
 ///
@@ -1343,6 +1685,7 @@ fn step_agent<T: Send + 'static>(
     window: u32,
     halt: Option<&AtomicBool>,
     faults: Option<&AgentFaults>,
+    profiling: bool,
 ) -> SimResult<bool> {
     let mut inject_panic: Option<String> = None;
     if let Some(faults) = faults {
@@ -1392,6 +1735,10 @@ fn step_agent<T: Send + 'static>(
         Some(faults) => faults.mask_inputs(slot.agent.name(), &mut inputs, now.as_u64(), window),
         None => 0,
     };
+    if profiling {
+        slot.profile.windows_in += inputs.len() as u64;
+        slot.profile.tokens_in += inputs.iter().map(|w| w.occupancy() as u64).sum::<u64>();
+    }
     let mut outputs = std::mem::take(&mut slot.scratch_out);
     debug_assert!(outputs.is_empty());
     for (port, tx) in slot.outputs.iter().enumerate() {
@@ -1431,6 +1778,10 @@ fn step_agent<T: Send + 'static>(
         stop,
         ..
     } = ctx;
+    if profiling {
+        slot.profile.windows_out += outputs.len() as u64;
+        slot.profile.tokens_out += outputs.iter().map(|w| w.occupancy() as u64).sum::<u64>();
+    }
 
     // Hand consumed input buffers back to their links for reuse.
     for (rx, w) in slot.inputs.iter().zip(inputs.drain(..)) {
@@ -1456,6 +1807,12 @@ fn step_agent<T: Send + 'static>(
         }
     }
     slot.scratch_out = outputs;
+    // host_ns is accounted by the caller, which chains one clock read per
+    // step instead of bracketing each step with two.
+    if profiling {
+        slot.profile.rounds += 1;
+        slot.profile.target_cycles += window as u64;
+    }
     Ok(stop)
 }
 
@@ -2130,5 +2487,162 @@ mod tests {
         let again = engine.run_for(Cycle::new(64)).unwrap();
         assert!(again.wall < std::time::Duration::from_millis(15));
         assert_eq!(engine.fault_records().len(), 1);
+    }
+
+    /// Ground truth for the profiling pipeline: a Pulser with period 16 on
+    /// a window-8, latency-8 ring emits exactly one token per 16 cycles, so
+    /// every field of the profile is analytically known.
+    #[test]
+    fn metrics_profile_matches_ground_truth() {
+        let mut engine: Engine<u64> = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(16)));
+        let b = engine.add_agent(Box::new(Pulser::new(16)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        let reg = engine.enable_metrics();
+        engine.run_for(Cycle::new(64)).unwrap();
+        for id in [a, b] {
+            let p = engine.agent_profile(id);
+            assert_eq!(p.rounds, 8);
+            assert_eq!(p.target_cycles, 64);
+            assert_eq!(p.windows_in, 8);
+            assert_eq!(p.windows_out, 8);
+            // Sent at cycles 0, 16, 32, 48; peer's arrive 8 cycles later —
+            // all four within the 64 simulated cycles.
+            assert_eq!(p.tokens_out, 4);
+            assert_eq!(p.tokens_in, 4);
+        }
+        // 8 rounds x 2 agents.
+        assert_eq!(reg.counter_value("engine/agent_steps"), Some(16));
+    }
+
+    #[test]
+    fn profiles_stay_zero_when_metrics_disabled() {
+        let mut engine = checkpointable_ring();
+        engine.run_for(Cycle::new(64)).unwrap();
+        for (_, p) in engine.agent_profiles() {
+            assert_eq!(p, AgentProfile::default());
+        }
+        assert!(engine.metrics().is_none());
+        assert!(engine.tracer().is_none());
+    }
+
+    #[test]
+    fn aggregated_metrics_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut engine: Engine<u64> = Engine::new(4);
+            engine
+                .set_host_threads(threads)
+                .set_host_oversubscribe(true)
+                .set_chunk_rounds(2);
+            let a = engine.add_agent(Box::new(Pulser::new(4)));
+            let b = engine.add_agent(Box::new(Pulser::new(6)));
+            let c = engine.add_agent(Box::new(Pulser::new(8)));
+            engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+            engine.connect(b, 0, c, 0, Cycle::new(8)).unwrap();
+            engine.connect(c, 0, a, 0, Cycle::new(8)).unwrap();
+            let reg = engine.enable_metrics();
+            engine.run_for(Cycle::new(96)).unwrap();
+            let steps = reg.counter_value("engine/agent_steps");
+            let profiles: Vec<_> = engine
+                .agent_profiles()
+                .into_iter()
+                .map(|(name, p)| {
+                    // host_ns is host-dependent by definition; everything
+                    // else must be bit-identical.
+                    (
+                        name,
+                        p.rounds,
+                        p.target_cycles,
+                        p.windows_in,
+                        p.windows_out,
+                        p.tokens_in,
+                        p.tokens_out,
+                    )
+                })
+                .collect();
+            (steps, profiles)
+        };
+        let baseline = run(1);
+        for threads in [2usize, 3] {
+            assert_eq!(run(threads), baseline, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn link_occupancies_satisfy_latency_invariant() {
+        let mut engine: Engine<u64> = Engine::new(4);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(6)));
+        engine.connect(a, 0, b, 0, Cycle::new(12)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        // Holds before the first run (links are seeded full)...
+        engine.verify_token_invariant().unwrap();
+        engine.run_for(Cycle::new(64)).unwrap();
+        // ...and at every quiescent boundary after.
+        engine.verify_token_invariant().unwrap();
+        let occ = engine.link_occupancies();
+        assert_eq!(occ.len(), 2);
+        for link in &occ {
+            assert_eq!(
+                link.in_flight_tokens, link.latency,
+                "latency-{} link must hold exactly that many tokens: {link:?}",
+                link.latency
+            );
+        }
+        assert_eq!(occ[0].latency, 8); // agent a's input is the b->a link
+        assert_eq!(occ[1].latency, 12);
+    }
+
+    #[test]
+    fn tracing_captures_agent_and_sync_spans() {
+        let mut engine: Engine<u64> = Engine::new(4);
+        engine
+            .set_host_threads(2)
+            .set_host_oversubscribe(true)
+            .set_chunk_rounds(2);
+        let a = engine.add_agent(Box::new(Pulser::new(4)));
+        let b = engine.add_agent(Box::new(Pulser::new(6)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        let tracer = engine.enable_tracing();
+        // run_until_done votes at every chunk boundary, so barrier spans
+        // appear even without a repartition.
+        engine.run_until_done(Cycle::new(64)).unwrap();
+        // 16 agent-step spans plus at least one barrier span per chunk.
+        assert!(tracer.len() >= 16, "got {} spans", tracer.len());
+        let json = tracer.export_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let cats: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+            .collect();
+        assert!(cats.contains(&"agent"));
+        assert!(cats.contains(&"sync"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let run = |trace: bool| {
+            let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut engine = Engine::new(4);
+            let s = engine.add_agent(Box::new(OneShot {
+                at: 7,
+                fired: false,
+            }));
+            let p = engine.add_agent(Box::new(Probe {
+                arrivals: arrivals.clone(),
+            }));
+            engine.connect(s, 0, p, 0, Cycle::new(12)).unwrap();
+            if trace {
+                engine.enable_tracing();
+                engine.enable_metrics();
+            }
+            engine.run_for(Cycle::new(128)).unwrap();
+            let v = arrivals.lock().clone();
+            v
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -82,6 +82,7 @@ pub mod channel;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
@@ -91,11 +92,15 @@ pub mod token;
 
 pub use channel::{link, LinkReceiver, LinkSender};
 pub use engine::{
-    AbortHandle, AgentCtx, AgentId, Engine, EngineCheckpoint, ProgressProbe, RunSummary, SimAgent,
-    StopHandle,
+    AbortHandle, AgentCtx, AgentId, Engine, EngineCheckpoint, LinkOccupancy, ProgressProbe,
+    RunSummary, SimAgent, StopHandle,
 };
 pub use error::{SimError, SimResult};
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget};
+pub use metrics::{
+    AgentProfile, MetricsRegistry, MetricsShard, MetricsSnapshot, SpanBuffer, SpanTracer,
+    TraceEvent,
+};
 pub use rng::SimRng;
 pub use snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 pub use sync::{BarrierCancelled, EpochBarrier};

@@ -154,6 +154,22 @@ impl Histogram {
         Some((a + (b - a) * frac).round() as u64)
     }
 
+    /// The `p`-th percentile (0-100) by the nearest-rank definition: the
+    /// smallest sample `v` such that at least `p` percent of all samples
+    /// are `<= v`. Unlike [`Histogram::percentile`] this always returns an
+    /// actual sample, which matters for duplicate-heavy distributions.
+    /// `None` when empty.
+    pub fn percentile_nearest_rank(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let n = self.samples.len();
+        let rank = (p / 100.0 * n as f64).ceil() as usize;
+        Some(self.samples[rank.clamp(1, n) - 1])
+    }
+
     /// Smallest sample, or `None` when empty.
     pub fn min(&self) -> Option<u64> {
         self.samples.iter().copied().min()
@@ -238,6 +254,28 @@ impl TimeSeries {
     /// The recorded points in insertion order.
     pub fn points(&self) -> &[(Cycle, f64)] {
         &self.points
+    }
+
+    /// Merges another series' points into this one by cycle (stable: on
+    /// equal cycles, this series' points keep their place ahead of
+    /// `other`'s). For series recorded in nondecreasing cycle order the
+    /// merge is associative, so per-worker series can be combined in any
+    /// grouping with the same result.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        let mut merged = Vec::with_capacity(self.points.len() + other.points.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.points.len() && j < other.points.len() {
+            if other.points[j].0 < self.points[i].0 {
+                merged.push(other.points[j]);
+                j += 1;
+            } else {
+                merged.push(self.points[i]);
+                i += 1;
+            }
+        }
+        merged.extend_from_slice(&self.points[i..]);
+        merged.extend_from_slice(&other.points[j..]);
+        self.points = merged;
     }
 
     /// Maximum value in the series, or `None` when empty.
@@ -349,6 +387,42 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), Some(3));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut h = Histogram::new("h");
+        assert_eq!(h.percentile_nearest_rank(50.0), None);
+        for v in [15, 20, 35, 40, 50] {
+            h.record(v);
+        }
+        // Classic nearest-rank worked example.
+        assert_eq!(h.percentile_nearest_rank(5.0), Some(15));
+        assert_eq!(h.percentile_nearest_rank(30.0), Some(20));
+        assert_eq!(h.percentile_nearest_rank(40.0), Some(20));
+        assert_eq!(h.percentile_nearest_rank(50.0), Some(35));
+        assert_eq!(h.percentile_nearest_rank(100.0), Some(50));
+        assert_eq!(h.percentile_nearest_rank(0.0), Some(15));
+    }
+
+    #[test]
+    fn timeseries_merge_interleaves_by_cycle() {
+        let mut a = TimeSeries::new("a");
+        a.record(Cycle::new(0), 1.0);
+        a.record(Cycle::new(20), 3.0);
+        let mut b = TimeSeries::new("b");
+        b.record(Cycle::new(10), 2.0);
+        b.record(Cycle::new(20), 4.0);
+        a.merge(&b);
+        assert_eq!(
+            a.points(),
+            &[
+                (Cycle::new(0), 1.0),
+                (Cycle::new(10), 2.0),
+                (Cycle::new(20), 3.0), // stable: self's point first on ties
+                (Cycle::new(20), 4.0),
+            ]
+        );
     }
 
     #[test]

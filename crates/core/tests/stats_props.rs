@@ -2,8 +2,63 @@
 
 use proptest::prelude::*;
 
-use firesim_core::stats::Histogram;
-use firesim_core::SimRng;
+use firesim_core::stats::{Histogram, TimeSeries};
+use firesim_core::{Cycle, SimRng};
+
+/// Naive reference for [`Histogram::percentile`]: sort a fresh copy, find
+/// the interpolation rank directly.
+fn naive_interpolated(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some((s[lo] as f64 + (s[hi] as f64 - s[lo] as f64) * frac).round() as u64)
+}
+
+/// Naive reference for [`Histogram::percentile_nearest_rank`]: linear scan
+/// of a sorted copy for the smallest sample whose cumulative count covers
+/// `p` percent of all samples.
+fn naive_nearest_rank(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let need = p / 100.0 * s.len() as f64;
+    s.iter()
+        .enumerate()
+        .find(|&(i, _)| (i + 1) as f64 >= need)
+        .map(|(_, &v)| v)
+        .or_else(|| s.last().copied())
+}
+
+fn series_from(points: &[(u64, f64)], name: &str) -> TimeSeries {
+    let mut ts = TimeSeries::new(name);
+    for &(c, v) in points {
+        ts.record(Cycle::new(c), v);
+    }
+    ts
+}
+
+/// Turns per-point `(cycle delta, value)` pairs into a nondecreasing-cycle
+/// point list, the order [`TimeSeries::record`] expects.
+fn sorted_points(deltas: &[(u32, u16)]) -> Vec<(u64, f64)> {
+    let mut cycle = 0u64;
+    deltas
+        .iter()
+        .map(|&(d, v)| {
+            cycle += u64::from(d);
+            (cycle, f64::from(v))
+        })
+        .collect()
+}
 
 proptest! {
     /// Percentiles are monotone in p and bounded by min/max.
@@ -69,5 +124,124 @@ proptest! {
             let v = rng.gen_range(lo, hi);
             prop_assert!((lo..=hi).contains(&v));
         }
+    }
+
+    /// The interpolated percentile agrees with a from-scratch reference,
+    /// regardless of insertion order and interleaved queries (which sort
+    /// the reservoir in place).
+    #[test]
+    fn percentile_matches_naive_reference(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
+        ps in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let mut h = Histogram::new("t");
+        for &s in &samples {
+            h.record(s);
+        }
+        for &p in &ps {
+            let p = f64::from(p) / 10.0;
+            prop_assert_eq!(h.percentile(p), naive_interpolated(&samples, p), "p = {}", p);
+        }
+    }
+
+    /// Nearest-rank percentile agrees with the linear-scan reference on
+    /// duplicate-heavy inputs (values drawn from a tiny domain), and always
+    /// returns an actual sample.
+    #[test]
+    fn nearest_rank_matches_naive_reference(
+        samples in proptest::collection::vec(0u64..8, 1..200),
+        ps in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let mut h = Histogram::new("t");
+        for &s in &samples {
+            h.record(s);
+        }
+        for &p in &ps {
+            let p = f64::from(p) / 10.0;
+            let got = h.percentile_nearest_rank(p);
+            prop_assert_eq!(got, naive_nearest_rank(&samples, p), "p = {}", p);
+            prop_assert!(samples.contains(&got.unwrap()), "p{}: {:?} not a sample", p, got);
+        }
+    }
+
+    /// Histogram::merge is associative: merging per-worker shards in any
+    /// grouping yields the same reservoir, hence identical percentiles.
+    #[test]
+    fn histogram_merge_associative(
+        a in proptest::collection::vec(0u64..1_000, 0..60),
+        b in proptest::collection::vec(0u64..1_000, 0..60),
+        c in proptest::collection::vec(0u64..1_000, 0..60),
+    ) {
+        let build = |samples: &[u64]| {
+            let mut h = Histogram::new("t");
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let mut right = build(&a);
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        right.merge(&bc);
+        prop_assert_eq!(left.samples(), right.samples());
+        if !left.is_empty() {
+            for p in [0.0, 50.0, 95.0, 100.0] {
+                prop_assert_eq!(left.percentile(p), right.percentile(p));
+                prop_assert_eq!(
+                    left.percentile_nearest_rank(p),
+                    right.percentile_nearest_rank(p)
+                );
+            }
+        }
+    }
+
+    /// TimeSeries::merge is associative for series recorded in
+    /// nondecreasing cycle order.
+    #[test]
+    fn timeseries_merge_associative(
+        a in proptest::collection::vec((0u32..1_000, any::<u16>()), 0..60),
+        b in proptest::collection::vec((0u32..1_000, any::<u16>()), 0..60),
+        c in proptest::collection::vec((0u32..1_000, any::<u16>()), 0..60),
+    ) {
+        let (a, b, c) = (sorted_points(&a), sorted_points(&b), sorted_points(&c));
+        let mut left = series_from(&a, "l");
+        left.merge(&series_from(&b, "t"));
+        left.merge(&series_from(&c, "t"));
+        let mut right = series_from(&a, "r");
+        let mut bc = series_from(&b, "t");
+        bc.merge(&series_from(&c, "t"));
+        right.merge(&bc);
+        prop_assert_eq!(left.points(), right.points());
+        prop_assert_eq!(left.len(), a.len() + b.len() + c.len());
+        // Merged output stays sorted by cycle.
+        prop_assert!(left.points().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}
+
+#[test]
+fn percentile_edge_cases_empty_singleton_duplicates() {
+    let mut empty = Histogram::new("e");
+    assert_eq!(empty.percentile(50.0), None);
+    assert_eq!(empty.percentile_nearest_rank(50.0), None);
+
+    let mut single = Histogram::new("s");
+    single.record(42);
+    for p in [0.0, 1.0, 50.0, 99.9, 100.0] {
+        assert_eq!(single.percentile(p), Some(42));
+        assert_eq!(single.percentile_nearest_rank(p), Some(42));
+    }
+
+    let mut dup = Histogram::new("d");
+    for _ in 0..100 {
+        dup.record(7);
+    }
+    for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
+        assert_eq!(dup.percentile(p), Some(7));
+        assert_eq!(dup.percentile_nearest_rank(p), Some(7));
     }
 }

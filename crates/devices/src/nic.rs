@@ -85,6 +85,21 @@ pub struct NicStats {
     pub rx_dropped: u64,
 }
 
+impl NicStats {
+    /// Appends every counter as a `(name, value)` pair, prefixed with
+    /// `prefix` (e.g. `"nic_"`), for [`SimAgent::app_counters`]-style
+    /// observability exports.
+    ///
+    /// [`SimAgent::app_counters`]: firesim_core::SimAgent::app_counters
+    pub fn export(&self, prefix: &str, out: &mut Vec<(String, u64)>) {
+        out.push((format!("{prefix}tx_packets"), self.tx_packets));
+        out.push((format!("{prefix}tx_bytes"), self.tx_bytes));
+        out.push((format!("{prefix}rx_packets"), self.rx_packets));
+        out.push((format!("{prefix}rx_bytes"), self.rx_bytes));
+        out.push((format!("{prefix}rx_dropped"), self.rx_dropped));
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ReaderState {
     /// Unaligned packet start address.

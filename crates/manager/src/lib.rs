@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod report;
 pub mod results;
 pub mod simulation;
 pub mod supervisor;
 pub mod topology;
 
+pub use report::{AgentReport, HistogramSummary, LinkReport, RunReport};
 pub use results::{ExperimentRecord, ResultStore};
 pub use simulation::{SimConfig, Simulation};
 pub use supervisor::{FailureReport, SupervisedRun, SupervisorConfig};

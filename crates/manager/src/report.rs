@@ -1,0 +1,526 @@
+//! Machine-readable run reports.
+//!
+//! The paper's manager collects "host/target-level measurements for
+//! analysis outside the simulation". [`RunReport`] is the structured
+//! artifact that carries them: per-agent profiles (rounds, target
+//! cycles, token traffic, host time), per-link occupancies that witness
+//! the latency-*N* token invariant, application counters exported by the
+//! models, and the aggregated [`MetricsRegistry`] counters/histograms.
+//! It round-trips through JSON (for dashboards and CI artifacts) and
+//! renders a human summary for terminals.
+//!
+//! [`MetricsRegistry`]: firesim_core::MetricsRegistry
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use firesim_core::{Engine, LinkOccupancy};
+
+/// One agent's accumulated profile plus its exported app counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentReport {
+    /// Agent name.
+    pub name: String,
+    /// Windows stepped.
+    pub rounds: u64,
+    /// Target cycles advanced.
+    pub target_cycles: u64,
+    /// Input windows consumed.
+    pub windows_in: u64,
+    /// Input tokens consumed.
+    pub tokens_in: u64,
+    /// Output windows produced.
+    pub windows_out: u64,
+    /// Output tokens produced.
+    pub tokens_out: u64,
+    /// Host nanoseconds spent inside the agent (host-dependent; excluded
+    /// from determinism comparisons).
+    pub host_ns: u64,
+    /// Application counters from [`SimAgent::app_counters`].
+    ///
+    /// [`SimAgent::app_counters`]: firesim_core::SimAgent::app_counters
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One link's occupancy at a quiescent window boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkReport {
+    /// Receiving agent.
+    pub agent: String,
+    /// Receiving input port.
+    pub port: usize,
+    /// Configured link latency in cycles.
+    pub latency: u64,
+    /// Tokens in flight. Equals `latency` between runs — the paper's
+    /// token-transport invariant.
+    pub in_flight_tokens: u64,
+}
+
+/// Summary statistics of one aggregated histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Histogram name, e.g. `"engine/chunk_host_ns"`.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+/// A machine-readable account of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Target cycles reached.
+    pub cycles: u64,
+    /// Host wall-clock nanoseconds for the run.
+    pub wall_ns: u64,
+    /// Host worker threads configured.
+    pub host_threads: usize,
+    /// Achieved simulation rate in target-MHz.
+    pub sim_rate_mhz: f64,
+    /// True when every link held exactly `latency` tokens at collection
+    /// time.
+    pub token_invariant_ok: bool,
+    /// Per-agent profiles, in registration order.
+    pub agents: Vec<AgentReport>,
+    /// Per-link occupancies, in registration order.
+    pub links: Vec<LinkReport>,
+    /// Aggregated registry counters, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Aggregated registry histograms, summarised.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl RunReport {
+    /// Collects a report from an engine at a quiescent boundary (between
+    /// runs). `wall` is the host time of the run(s) being reported; it
+    /// feeds `wall_ns` and the simulation rate.
+    pub fn collect<T: Send + 'static>(engine: &Engine<T>, wall: Duration) -> RunReport {
+        let cycles = engine.now().as_u64();
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let secs = wall.as_secs_f64();
+        let sim_rate_mhz = if secs > 0.0 {
+            cycles as f64 / secs / 1e6
+        } else {
+            0.0
+        };
+
+        let profiles = engine.agent_profiles();
+        let mut app_counters = engine.agent_app_counters();
+        let agents = profiles
+            .into_iter()
+            .zip(app_counters.drain(..))
+            .map(|((name, p), (_, counters))| AgentReport {
+                name,
+                rounds: p.rounds,
+                target_cycles: p.target_cycles,
+                windows_in: p.windows_in,
+                tokens_in: p.tokens_in,
+                windows_out: p.windows_out,
+                tokens_out: p.tokens_out,
+                host_ns: p.host_ns,
+                counters,
+            })
+            .collect();
+
+        let links = engine
+            .link_occupancies()
+            .into_iter()
+            .map(
+                |LinkOccupancy {
+                     agent,
+                     port,
+                     latency,
+                     in_flight_tokens,
+                 }| LinkReport {
+                    agent,
+                    port,
+                    latency,
+                    in_flight_tokens,
+                },
+            )
+            .collect();
+
+        let (counters, histograms) = match engine.metrics() {
+            Some(registry) => {
+                let snap = registry.snapshot();
+                let summaries = snap
+                    .histograms
+                    .into_iter()
+                    .filter(|(_, h)| !h.is_empty())
+                    .map(|(name, mut h)| HistogramSummary {
+                        name,
+                        count: h.count() as u64,
+                        min: h.min().unwrap_or(0),
+                        max: h.max().unwrap_or(0),
+                        p50: h.percentile_nearest_rank(50.0).unwrap_or(0),
+                        p99: h.percentile_nearest_rank(99.0).unwrap_or(0),
+                    })
+                    .collect();
+                (snap.counters, summaries)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+
+        RunReport {
+            cycles,
+            wall_ns,
+            host_threads: engine.host_threads(),
+            sim_rate_mhz,
+            token_invariant_ok: engine.verify_token_invariant().is_ok(),
+            agents,
+            links,
+            counters,
+            histograms,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string_pretty()
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error for malformed input or an unexpected shape.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        Self::from_value(&serde_json::from_str(s)?)
+    }
+
+    /// Renders a human-readable multi-line summary for terminals.
+    pub fn human_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run: {} cycles in {:.3} ms on {} thread(s) ({:.2} MHz); token invariant {}",
+            self.cycles,
+            self.wall_ns as f64 / 1e6,
+            self.host_threads,
+            self.sim_rate_mhz,
+            if self.token_invariant_ok {
+                "OK"
+            } else {
+                "VIOLATED"
+            },
+        );
+        for a in &self.agents {
+            let _ = writeln!(
+                out,
+                "  agent {:<16} rounds {:<8} tokens in/out {}/{} host {:.3} ms",
+                a.name,
+                a.rounds,
+                a.tokens_in,
+                a.tokens_out,
+                a.host_ns as f64 / 1e6,
+            );
+            for (k, v) in &a.counters {
+                let _ = writeln!(out, "    {k} = {v}");
+            }
+        }
+        for l in &self.links {
+            let _ = writeln!(
+                out,
+                "  link -> {}:{} latency {} in-flight {}",
+                l.agent, l.port, l.latency, l.in_flight_tokens
+            );
+        }
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "  counter {k} = {v}");
+        }
+        for h in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  histogram {} n={} min={} p50={} p99={} max={}",
+                h.name, h.count, h.min, h.p50, h.p99, h.max
+            );
+        }
+        out
+    }
+
+    fn to_value(&self) -> Value {
+        let counters_value = |counters: &[(String, u64)]| {
+            Value::Array(
+                counters
+                    .iter()
+                    .map(|(k, v)| {
+                        let mut o = BTreeMap::new();
+                        o.insert("name".to_owned(), Value::from(k.as_str()));
+                        o.insert("value".to_owned(), Value::from(*v));
+                        Value::Object(o)
+                    })
+                    .collect(),
+            )
+        };
+        let mut obj = BTreeMap::new();
+        obj.insert("cycles".to_owned(), Value::from(self.cycles));
+        obj.insert("wall_ns".to_owned(), Value::from(self.wall_ns));
+        obj.insert("host_threads".to_owned(), Value::from(self.host_threads));
+        obj.insert("sim_rate_mhz".to_owned(), Value::from(self.sim_rate_mhz));
+        obj.insert(
+            "token_invariant_ok".to_owned(),
+            Value::from(self.token_invariant_ok),
+        );
+        obj.insert(
+            "agents".to_owned(),
+            Value::Array(
+                self.agents
+                    .iter()
+                    .map(|a| {
+                        let mut o = BTreeMap::new();
+                        o.insert("name".to_owned(), Value::from(a.name.as_str()));
+                        o.insert("rounds".to_owned(), Value::from(a.rounds));
+                        o.insert("target_cycles".to_owned(), Value::from(a.target_cycles));
+                        o.insert("windows_in".to_owned(), Value::from(a.windows_in));
+                        o.insert("tokens_in".to_owned(), Value::from(a.tokens_in));
+                        o.insert("windows_out".to_owned(), Value::from(a.windows_out));
+                        o.insert("tokens_out".to_owned(), Value::from(a.tokens_out));
+                        o.insert("host_ns".to_owned(), Value::from(a.host_ns));
+                        o.insert("counters".to_owned(), counters_value(&a.counters));
+                        Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "links".to_owned(),
+            Value::Array(
+                self.links
+                    .iter()
+                    .map(|l| {
+                        let mut o = BTreeMap::new();
+                        o.insert("agent".to_owned(), Value::from(l.agent.as_str()));
+                        o.insert("port".to_owned(), Value::from(l.port));
+                        o.insert("latency".to_owned(), Value::from(l.latency));
+                        o.insert(
+                            "in_flight_tokens".to_owned(),
+                            Value::from(l.in_flight_tokens),
+                        );
+                        Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        obj.insert("counters".to_owned(), counters_value(&self.counters));
+        obj.insert(
+            "histograms".to_owned(),
+            Value::Array(
+                self.histograms
+                    .iter()
+                    .map(|h| {
+                        let mut o = BTreeMap::new();
+                        o.insert("name".to_owned(), Value::from(h.name.as_str()));
+                        o.insert("count".to_owned(), Value::from(h.count));
+                        o.insert("min".to_owned(), Value::from(h.min));
+                        o.insert("max".to_owned(), Value::from(h.max));
+                        o.insert("p50".to_owned(), Value::from(h.p50));
+                        o.insert("p99".to_owned(), Value::from(h.p99));
+                        Value::Object(o)
+                    })
+                    .collect(),
+            ),
+        );
+        Value::Object(obj)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde_json::Error::custom("report must be a JSON object"))?;
+        let get_u64 = |obj: &BTreeMap<String, Value>, key: &str| {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing integer field `{key}`")))
+        };
+        let get_str = |obj: &BTreeMap<String, Value>, key: &str| {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing string field `{key}`")))
+        };
+        let get_array = |obj: &BTreeMap<String, Value>, key: &str| match obj.get(key) {
+            Some(Value::Array(a)) => Ok(a.clone()),
+            Some(_) => Err(serde_json::Error::custom(format!(
+                "`{key}` must be an array"
+            ))),
+            None => Ok(Vec::new()),
+        };
+        let obj_of = |v: &Value| {
+            v.as_object()
+                .cloned()
+                .ok_or_else(|| serde_json::Error::custom("expected a JSON object"))
+        };
+        let counters_of = |obj: &BTreeMap<String, Value>, key: &str| {
+            get_array(obj, key)?
+                .iter()
+                .map(|c| {
+                    let c = obj_of(c)?;
+                    Ok((get_str(&c, "name")?, get_u64(&c, "value")?))
+                })
+                .collect::<Result<Vec<_>, serde_json::Error>>()
+        };
+
+        let agents = get_array(obj, "agents")?
+            .iter()
+            .map(|a| {
+                let a = obj_of(a)?;
+                Ok(AgentReport {
+                    name: get_str(&a, "name")?,
+                    rounds: get_u64(&a, "rounds")?,
+                    target_cycles: get_u64(&a, "target_cycles")?,
+                    windows_in: get_u64(&a, "windows_in")?,
+                    tokens_in: get_u64(&a, "tokens_in")?,
+                    windows_out: get_u64(&a, "windows_out")?,
+                    tokens_out: get_u64(&a, "tokens_out")?,
+                    host_ns: get_u64(&a, "host_ns")?,
+                    counters: counters_of(&a, "counters")?,
+                })
+            })
+            .collect::<Result<Vec<_>, serde_json::Error>>()?;
+        let links = get_array(obj, "links")?
+            .iter()
+            .map(|l| {
+                let l = obj_of(l)?;
+                Ok(LinkReport {
+                    agent: get_str(&l, "agent")?,
+                    port: get_u64(&l, "port")? as usize,
+                    latency: get_u64(&l, "latency")?,
+                    in_flight_tokens: get_u64(&l, "in_flight_tokens")?,
+                })
+            })
+            .collect::<Result<Vec<_>, serde_json::Error>>()?;
+        let histograms = get_array(obj, "histograms")?
+            .iter()
+            .map(|h| {
+                let h = obj_of(h)?;
+                Ok(HistogramSummary {
+                    name: get_str(&h, "name")?,
+                    count: get_u64(&h, "count")?,
+                    min: get_u64(&h, "min")?,
+                    max: get_u64(&h, "max")?,
+                    p50: get_u64(&h, "p50")?,
+                    p99: get_u64(&h, "p99")?,
+                })
+            })
+            .collect::<Result<Vec<_>, serde_json::Error>>()?;
+
+        Ok(RunReport {
+            cycles: get_u64(obj, "cycles")?,
+            wall_ns: get_u64(obj, "wall_ns")?,
+            host_threads: get_u64(obj, "host_threads")? as usize,
+            sim_rate_mhz: obj
+                .get("sim_rate_mhz")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| serde_json::Error::custom("missing number `sim_rate_mhz`"))?,
+            token_invariant_ok: matches!(obj.get("token_invariant_ok"), Some(Value::Bool(true))),
+            agents,
+            links,
+            counters: counters_of(obj, "counters")?,
+            histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firesim_core::{AgentCtx, Cycle, Engine, SimAgent};
+
+    /// Forwards its input to its output, one token per window offset 0.
+    struct Echo;
+    impl SimAgent for Echo {
+        type Token = u8;
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn num_inputs(&self) -> usize {
+            1
+        }
+        fn num_outputs(&self) -> usize {
+            1
+        }
+        fn advance(&mut self, ctx: &mut AgentCtx<u8>) {
+            let tokens: Vec<_> = ctx.drain_input(0).collect();
+            let out = ctx.output_mut(0);
+            for (off, t) in tokens {
+                out.push(off, t).unwrap();
+            }
+        }
+        fn app_counters(&self, out: &mut Vec<(String, u64)>) {
+            out.push(("echoes".to_owned(), 7));
+        }
+    }
+
+    fn looped_engine() -> Engine<u8> {
+        let mut engine: Engine<u8> = Engine::new(4);
+        let id = engine.add_agent(Box::new(Echo));
+        engine.connect(id, 0, id, 0, Cycle::new(8)).unwrap();
+        engine
+    }
+
+    #[test]
+    fn collect_reports_profiles_links_and_counters() {
+        let mut engine = looped_engine();
+        engine.enable_metrics();
+        engine.run_for(Cycle::new(32)).unwrap();
+        let report = RunReport::collect(&engine, Duration::from_millis(2));
+
+        assert_eq!(report.cycles, 32);
+        assert_eq!(report.wall_ns, 2_000_000);
+        assert!(report.token_invariant_ok);
+        assert_eq!(report.agents.len(), 1);
+        let a = &report.agents[0];
+        assert_eq!(a.name, "echo");
+        assert_eq!(a.rounds, 8);
+        assert_eq!(a.target_cycles, 32);
+        assert_eq!(a.counters, vec![("echoes".to_owned(), 7)]);
+        assert_eq!(report.links.len(), 1);
+        assert_eq!(report.links[0].latency, 8);
+        assert_eq!(report.links[0].in_flight_tokens, 8);
+        assert!(report
+            .counters
+            .iter()
+            .any(|(k, v)| k == "engine/agent_steps" && *v == 8));
+        // sim_rate: 32 cycles / 2 ms = 16 kHz = 0.016 MHz.
+        assert!((report.sim_rate_mhz - 0.016).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_round_trips_json() {
+        let mut engine = looped_engine();
+        engine.enable_metrics();
+        engine.run_for(Cycle::new(16)).unwrap();
+        let report = RunReport::collect(&engine, Duration::from_micros(500));
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn human_summary_mentions_agents_and_links() {
+        let mut engine = looped_engine();
+        engine.run_for(Cycle::new(8)).unwrap();
+        let report = RunReport::collect(&engine, Duration::from_millis(1));
+        let text = report.human_summary();
+        assert!(text.contains("echo"), "{text}");
+        assert!(text.contains("token invariant OK"), "{text}");
+        assert!(text.contains("latency 8 in-flight 8"), "{text}");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shapes() {
+        assert!(RunReport::from_json("[1,2,3]").is_err());
+        assert!(RunReport::from_json("{\"cycles\": \"nope\"}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}

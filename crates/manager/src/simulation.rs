@@ -14,8 +14,8 @@ use parking_lot::Mutex;
 use firesim_blade::model::{ModeledBlade, OsModel};
 use firesim_blade::soc::{BladeProbe, RtlBlade};
 use firesim_core::{
-    AbortHandle, AgentId, Cycle, Engine, EngineCheckpoint, FaultPlan, FaultRecord, ProgressProbe,
-    RunSummary, SimResult,
+    AbortHandle, AgentId, Cycle, Engine, EngineCheckpoint, FaultPlan, FaultRecord, MetricsRegistry,
+    ProgressProbe, RunSummary, SimResult, SpanTracer,
 };
 use firesim_net::{Flit, MacAddr, Switch, SwitchConfig, SwitchStats};
 use firesim_platform::{DeploymentPlan, PlanRequest};
@@ -334,6 +334,28 @@ impl Simulation {
     /// Direct access to the engine (advanced use).
     pub fn engine_mut(&mut self) -> &mut Engine<Flit> {
         &mut self.engine
+    }
+
+    /// Enables sharded metrics collection and per-agent profiling on the
+    /// engine. Idempotent; returns the shared registry.
+    pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
+        self.engine.enable_metrics()
+    }
+
+    /// Enables span tracing (engine windows, barrier waits, supervisor
+    /// bursts). Idempotent; returns the shared tracer, whose
+    /// [`SpanTracer::write_chrome_trace`] produces a Perfetto-loadable
+    /// trace file.
+    pub fn enable_tracing(&mut self) -> Arc<SpanTracer> {
+        self.engine.enable_tracing()
+    }
+
+    /// Collects a [`RunReport`](crate::report::RunReport) at the current
+    /// quiescent boundary. `wall` is the host time of the run(s) being
+    /// reported (e.g. [`RunSummary::wall`] or
+    /// [`SupervisedRun::wall`](crate::supervisor::SupervisedRun)).
+    pub fn run_report(&self, wall: std::time::Duration) -> crate::report::RunReport {
+        crate::report::RunReport::collect(&self.engine, wall)
     }
 
     /// Runs until every blade reports done, or `max` target cycles.

@@ -32,7 +32,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use firesim_core::{AbortHandle, Cycle, EngineCheckpoint, FaultRecord, ProgressProbe, SimError};
+use firesim_core::{
+    AbortHandle, Cycle, EngineCheckpoint, FaultRecord, ProgressProbe, SimError, SpanTracer,
+    TraceEvent,
+};
 use firesim_net::Flit;
 
 use crate::simulation::Simulation;
@@ -224,6 +227,31 @@ impl Watchdog {
     }
 }
 
+/// Reserved trace track for supervisor-level spans (workers use their
+/// worker index; the supervisor gets its own lane in the trace viewer).
+const SUPERVISOR_TRACK: u32 = 1000;
+
+/// Records one completed supervisor span when tracing is enabled and a
+/// start timestamp was taken.
+fn supervisor_span(
+    tracer: &Option<Arc<SpanTracer>>,
+    name: &'static str,
+    start_ns: Option<u64>,
+    cycle: u64,
+) {
+    if let (Some(t), Some(start_ns)) = (tracer, start_ns) {
+        let end = t.now_ns();
+        t.record(TraceEvent {
+            name: name.to_owned(),
+            cat: "supervisor",
+            tid: SUPERVISOR_TRACK,
+            start_ns,
+            dur_ns: end.saturating_sub(start_ns),
+            args: vec![("cycle", cycle)],
+        });
+    }
+}
+
 /// Which agent and cycle an error points at.
 fn failing_site(error: &SimError, fallback_cycle: u64) -> (Option<String>, u64) {
     match error {
@@ -261,6 +289,10 @@ impl Simulation {
         let end_cycle = start_cycle + max;
         let probe = self.progress_probe();
         let abort = self.abort_handle();
+        let tracer = self.engine_mut().tracer().cloned();
+        if let Some(t) = &tracer {
+            t.name_thread(SUPERVISOR_TRACK, "supervisor");
+        }
 
         let mut attempts = 0u32;
         let mut checkpoints = 0u64;
@@ -295,10 +327,12 @@ impl Simulation {
 
         // Baseline checkpoint. A topology that cannot checkpoint is run
         // without a retry path rather than rejected outright.
+        let cp_t0 = tracer.as_ref().map(|t| t.now_ns());
         match self.checkpoint() {
             Ok(cp) => {
                 last_cp = Some(cp);
                 checkpoints += 1;
+                supervisor_span(&tracer, "checkpoint", cp_t0, self.now().as_u64());
             }
             Err(SimError::Checkpoint { .. }) => {}
             Err(e) => return Err(report(self, e, attempts, &last_cp, None)),
@@ -309,7 +343,9 @@ impl Simulation {
             let remaining = end_cycle - self.now();
             let chunk = remaining.min(cfg.checkpoint_every).max(Cycle::new(1));
             let wd = Watchdog::spawn(probe.clone(), abort.clone(), cfg.stall_timeout, deadline_at);
+            let burst_t0 = tracer.as_ref().map(|t| t.now_ns());
             let result = self.run_until_done(chunk);
+            supervisor_span(&tracer, "burst", burst_t0, self.now().as_u64());
             let trip = wd.finish();
             match result {
                 Ok(_summary) => {
@@ -320,10 +356,12 @@ impl Simulation {
                         done = true;
                     }
                     if last_cp.is_some() {
+                        let cp_t0 = tracer.as_ref().map(|t| t.now_ns());
                         match self.checkpoint() {
                             Ok(cp) => {
                                 last_cp = Some(cp);
                                 checkpoints += 1;
+                                supervisor_span(&tracer, "checkpoint", cp_t0, self.now().as_u64());
                             }
                             Err(e) => return Err(report(self, e, attempts, &last_cp, trip)),
                         }
@@ -342,9 +380,11 @@ impl Simulation {
                         return Err(report(self, e, attempts, &last_cp, trip));
                     }
                     std::thread::sleep(cfg.retry_backoff * attempts);
+                    let restore_t0 = tracer.as_ref().map(|t| t.now_ns());
                     if let Err(re) = self.restore(cp) {
                         return Err(report(self, re, attempts, &last_cp, trip));
                     }
+                    supervisor_span(&tracer, "restore", restore_t0, self.now().as_u64());
                 }
             }
         }
@@ -502,6 +542,45 @@ mod tests {
         assert!(run.retries >= 1, "the watchdog abort must trigger a retry");
         let (exit, _, _) = probe_results(&sim);
         assert_eq!(exit, Some(0));
+    }
+
+    /// With tracing enabled the supervisor's bursts and checkpoints land
+    /// on their own track in the exported Chrome trace.
+    #[test]
+    fn supervised_run_emits_supervisor_spans() {
+        let mut sim = build_sim(1);
+        let tracer = sim.enable_tracing();
+        let run = sim.run_supervised(MAX, &quick_cfg()).unwrap();
+        assert!(run.done);
+        let json = tracer.export_chrome_trace();
+        let v = serde_json::from_str(&json).expect("trace parses");
+        let events = v
+            .get("traceEvents")
+            .and_then(serde_json::Value::as_array)
+            .expect("traceEvents array")
+            .clone();
+        let supervisor: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(serde_json::Value::as_str) == Some("supervisor"))
+            .collect();
+        assert!(
+            supervisor
+                .iter()
+                .any(|e| e.get("name").and_then(serde_json::Value::as_str) == Some("burst")),
+            "burst span missing"
+        );
+        assert!(
+            supervisor
+                .iter()
+                .any(|e| e.get("name").and_then(serde_json::Value::as_str) == Some("checkpoint")),
+            "checkpoint span missing"
+        );
+        assert!(
+            supervisor
+                .iter()
+                .all(|e| e.get("tid").and_then(serde_json::Value::as_u64) == Some(1000)),
+            "supervisor spans on reserved track 1000"
+        );
     }
 
     #[test]

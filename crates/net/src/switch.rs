@@ -472,6 +472,16 @@ impl SimAgent for Switch {
         Some(self)
     }
 
+    fn app_counters(&self, out: &mut Vec<(String, u64)>) {
+        let s = self.stats.lock();
+        out.push(("frames_forwarded".to_owned(), s.frames_forwarded));
+        out.push(("frames_flooded".to_owned(), s.frames_flooded));
+        out.push(("drops_buffer".to_owned(), s.drops_buffer));
+        out.push(("drops_delay".to_owned(), s.drops_delay));
+        out.push(("ingress_bytes".to_owned(), s.ingress_bytes));
+        out.push(("egress_bytes".to_owned(), s.egress_bytes));
+    }
+
     fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
         let now = ctx.now().as_u64();
         let window = u64::from(ctx.window());

@@ -11,6 +11,8 @@
 //! cargo run --release --example quickstart -- --checkpoint-every 100000
 //! cargo run --release --example quickstart -- \
 //!     --checkpoint-every 100000 --inject-fault panic:pinger@250000
+//! cargo run --release --example quickstart -- \
+//!     --metrics-out report.json --trace-out trace.json
 //! ```
 //!
 //! With `--checkpoint-every N` the run goes through the supervisor
@@ -27,6 +29,12 @@
 //! linkdown:AGENT:PORT@FROM..UNTIL          input link dead in [FROM,UNTIL)
 //! flaky:AGENT:PORT@FROM..UNTIL:PERCENT     input link drops PERCENT of windows
 //! ```
+//!
+//! `--metrics-out PATH` enables the engine's sharded metrics and writes a
+//! machine-readable [`firesim_manager::RunReport`] (per-agent profiles,
+//! per-link token occupancies, aggregated counters) as JSON, plus a human
+//! summary on stdout. `--trace-out PATH` enables span tracing and writes
+//! a Chrome `trace_event` JSON loadable in Perfetto or `chrome://tracing`.
 
 use firesim_blade::programs;
 use firesim_core::{Cycle, FaultPlan, Frequency};
@@ -36,12 +44,16 @@ use firesim_net::MacAddr;
 struct Options {
     checkpoint_every: Option<u64>,
     faults: Vec<String>,
+    metrics_out: Option<std::path::PathBuf>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         checkpoint_every: None,
         faults: Vec::new(),
+        metrics_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +71,14 @@ fn parse_args() -> Options {
                 Some(spec) => opts.faults.push(spec),
                 None => die("--inject-fault needs a spec (e.g. panic:pinger@250000)"),
             },
+            "--metrics-out" => match args.next() {
+                Some(path) => opts.metrics_out = Some(path.into()),
+                None => die("--metrics-out needs a file path (e.g. report.json)"),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => opts.trace_out = Some(path.into()),
+                None => die("--trace-out needs a file path (e.g. trace.json)"),
+            },
             other => die(&format!("unknown flag {other:?}")),
         }
     }
@@ -67,7 +87,10 @@ fn parse_args() -> Options {
 
 fn die(msg: &str) -> ! {
     eprintln!("quickstart: {msg}");
-    eprintln!("usage: quickstart [--checkpoint-every N] [--inject-fault SPEC]...");
+    eprintln!(
+        "usage: quickstart [--checkpoint-every N] [--inject-fault SPEC]... \
+         [--metrics-out PATH] [--trace-out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -162,6 +185,11 @@ fn main() {
         .expect("topology is valid");
     println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
 
+    if opts.metrics_out.is_some() {
+        sim.enable_metrics();
+    }
+    let tracer = opts.trace_out.as_ref().map(|_| sim.enable_tracing());
+
     if !opts.faults.is_empty() {
         let plan = parse_faults(&opts.faults);
         println!(
@@ -214,6 +242,23 @@ fn main() {
         wall,
         cycles.as_u64() as f64 / 1e6 / wall.as_secs_f64().max(1e-9)
     );
+
+    // Write observability artifacts before inspecting results, so they
+    // exist even when a fault run exits nonzero below.
+    if let Some(path) = &opts.metrics_out {
+        let report = sim.run_report(wall);
+        std::fs::write(path, report.to_json()).expect("write run report");
+        println!("\nrun report written to {}", path.display());
+        print!("{}", report.human_summary());
+    }
+    if let (Some(path), Some(tracer)) = (&opts.trace_out, &tracer) {
+        tracer.write_chrome_trace(path).expect("write trace");
+        println!(
+            "trace written to {} ({} spans) — load in Perfetto or chrome://tracing",
+            path.display(),
+            tracer.len()
+        );
+    }
 
     // Read the RTTs out of the pinger's mailbox.
     let probe = sim.servers()[0].probe.as_ref().expect("rtl blade");

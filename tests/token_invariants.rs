@@ -163,6 +163,89 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Engine-level occupancy and profile invariants (observability layer)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Between rounds the engine is quiescent: every latency-`N` link
+    /// holds exactly `N` tokens in flight (§III-B2), as observed through
+    /// [`Engine::link_occupancies`] and checked by the engine's own
+    /// verifier — after every single round, not just at run end.
+    #[test]
+    fn link_occupancy_is_exactly_latency_every_round(
+        window in 1u32..32,
+        latency_windows in 1u64..5,
+        rounds in 1u64..12,
+    ) {
+        let latency = u64::from(window) * latency_windows;
+        let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut engine = Engine::new(window);
+        let s = engine.add_agent(Box::new(ScheduledSender { sends: Vec::new(), next: 0 }));
+        let r = engine.add_agent(Box::new(ArrivalRecorder { arrivals }));
+        engine.connect(s, 0, r, 0, Cycle::new(latency)).unwrap();
+        engine.enable_metrics();
+
+        for round in 0..rounds {
+            engine.run_for(Cycle::new(u64::from(window))).unwrap();
+            engine.verify_token_invariant().unwrap();
+            let occs = engine.link_occupancies();
+            prop_assert_eq!(occs.len(), 1);
+            prop_assert_eq!(occs[0].latency, latency);
+            prop_assert_eq!(
+                occs[0].in_flight_tokens, latency,
+                "round {}: {} tokens in flight on a latency-{} link",
+                round, occs[0].in_flight_tokens, latency
+            );
+        }
+
+        // Profile consumption invariants: one window per connected port
+        // per round, and target cycles advance one window at a time.
+        let profiles = engine.agent_profiles();
+        let (sender_p, recorder_p) = (&profiles[0].1, &profiles[1].1);
+        prop_assert_eq!(recorder_p.rounds, rounds);
+        prop_assert_eq!(recorder_p.target_cycles, rounds * u64::from(window));
+        prop_assert_eq!(recorder_p.windows_in, rounds);
+        prop_assert_eq!(sender_p.windows_out, rounds);
+        prop_assert_eq!(sender_p.windows_in, 0);
+    }
+
+    /// Token conservation through the profiles: once the pipe drains,
+    /// every token the sender produced has been consumed by the receiver —
+    /// `tokens_out == tokens_in == |sends|` — and the link still holds
+    /// exactly its latency's worth of (empty-padded) windows.
+    #[test]
+    fn profiles_account_for_every_token(
+        window in 1u32..32,
+        latency_windows in 1u64..4,
+        sends in proptest::collection::btree_set(0u64..500, 1..20),
+    ) {
+        let latency = u64::from(window) * latency_windows;
+        let arrivals = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut engine = Engine::new(window);
+        let s = engine.add_agent(Box::new(ScheduledSender {
+            sends: sends.iter().copied().collect(),
+            next: 0,
+        }));
+        let r = engine.add_agent(Box::new(ArrivalRecorder {
+            arrivals: arrivals.clone(),
+        }));
+        engine.connect(s, 0, r, 0, Cycle::new(latency)).unwrap();
+        engine.enable_metrics();
+        // Long enough for the last send (cycle < 500) to arrive.
+        engine.run_for(Cycle::new(512 + latency)).unwrap();
+
+        let profiles = engine.agent_profiles();
+        let (sender_p, recorder_p) = (&profiles[0].1, &profiles[1].1);
+        prop_assert_eq!(sender_p.tokens_out, sends.len() as u64);
+        prop_assert_eq!(recorder_p.tokens_in, sends.len() as u64);
+        prop_assert_eq!(arrivals.lock().len(), sends.len());
+        engine.verify_token_invariant().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Switch conservation
 // ---------------------------------------------------------------------
 
