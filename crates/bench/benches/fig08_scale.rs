@@ -1,9 +1,16 @@
 //! Fig 8 regeneration bench: simulation rate vs simulated cluster size.
 //! Criterion times the simulation itself, which IS the quantity Fig 8
 //! reports (target cycles per wall second).
+//!
+//! Also prints a multi-process mode: the same cluster partitioned across
+//! worker processes over shared-memory token transports, sanity-checked
+//! against `Transport::sim_rate_bound_hz` (a software fleet that moves
+//! real token batches must land below the bound the host transport alone
+//! would impose on a hardware deployment).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use firesim_bench::experiments::fig8_scale;
+use criterion::{criterion_group, Criterion};
+use firesim_bench::experiments::{build_fig8_cluster, fig8_scale, fig8_scale_distributed};
+use firesim_manager::TransportChoice;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig08_scale");
@@ -21,7 +28,36 @@ fn bench(c: &mut Criterion) {
             r.sim_rate_mhz
         );
     }
+
+    let dist = fig8_scale_distributed(8, &[1, 2, 4], TransportChoice::Shm, 64_000)
+        .expect("distributed fleet runs");
+    println!("\nFig 8 distributed rows (nodes, workers, sim MHz, transport-bound MHz, digest):");
+    for r in &dist {
+        assert!(
+            r.sim_rate_mhz < r.bound_mhz,
+            "software fleet ({:.3} MHz) cannot beat the transport bound ({:.3} MHz)",
+            r.sim_rate_mhz,
+            r.bound_mhz
+        );
+        println!(
+            "  {:>5} {:>7} {:>8.3} {:>8.3}  {:016x}",
+            r.nodes, r.workers, r.sim_rate_mhz, r.bound_mhz, r.combined_digest
+        );
+    }
+    assert!(
+        dist.windows(2)
+            .all(|w| w[0].combined_digest == w[1].combined_digest),
+        "partitioning must not change results: {dist:?}"
+    );
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+fn main() {
+    // Fleet workers re-exec this binary; hand them their shard before
+    // criterion sees the command line.
+    if firesim_manager::maybe_worker(build_fig8_cluster) {
+        return;
+    }
+    benches();
+}

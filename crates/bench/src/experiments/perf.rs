@@ -3,8 +3,10 @@
 //! FPGA utilisation numbers.
 
 use firesim_blade::programs;
-use firesim_core::Cycle;
-use firesim_manager::{BladeSpec, SimConfig, Simulation, Topology};
+use firesim_core::{Cycle, SimResult};
+use firesim_manager::{
+    run_partitioned, BladeSpec, PartitionConfig, SimConfig, Simulation, Topology, TransportChoice,
+};
 use firesim_platform::{DeploymentPlan, FpgaModel, Transport, TransportKind};
 
 use super::CLOCK;
@@ -23,12 +25,7 @@ pub struct Fig8Row {
 /// Builds the paper's idle-boot cluster: `nodes` single-core RTL blades
 /// that boot, do a little work, and power down, under ToR switches of up
 /// to 32 nodes with a root switch above when needed.
-fn boot_cluster(
-    nodes: usize,
-    supernode: bool,
-    link_latency: Cycle,
-    program: &programs::Program,
-) -> Simulation {
+fn boot_topology(nodes: usize, program: &programs::Program) -> Topology {
     let mut topo = Topology::new();
     let tor_count = nodes.div_ceil(32);
     let tors: Vec<_> = (0..tor_count)
@@ -47,13 +44,98 @@ fn boot_cluster(
         );
         topo.add_downlink(tors[i / 32], n).unwrap();
     }
-    topo.build(SimConfig {
-        link_latency,
-        supernode,
+    topo
+}
+
+fn boot_cluster(
+    nodes: usize,
+    supernode: bool,
+    link_latency: Cycle,
+    program: &programs::Program,
+) -> Simulation {
+    boot_topology(nodes, program)
+        .build(SimConfig {
+            link_latency,
+            supernode,
+            host_threads: crate::host_threads(),
+            ..SimConfig::default()
+        })
+        .expect("valid topology")
+}
+
+/// [`firesim_manager::BuildFn`] for the Fig 8 boot cluster: `spec` is
+/// `"nodes=N"` (the standard mapping, 6400-cycle links). Shared by
+/// [`fig8_scale_distributed`]'s parent and its worker processes so every
+/// shard deploys the same target.
+pub fn build_fig8_cluster(spec: &str) -> SimResult<(Topology, SimConfig)> {
+    let nodes = spec
+        .strip_prefix("nodes=")
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or_else(|| firesim_core::SimError::topology(format!("bad fig8 spec {spec:?}")))?;
+    let program = programs::boot_poweroff(1 << 40);
+    let topo = boot_topology(nodes, &program);
+    let config = SimConfig {
+        link_latency: Cycle::new(6_400),
         host_threads: crate::host_threads(),
         ..SimConfig::default()
-    })
-    .expect("valid topology")
+    };
+    Ok((topo, config))
+}
+
+/// One point of the distributed Fig 8 variant.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8DistRow {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Worker process count.
+    pub workers: usize,
+    /// Measured fleet simulation rate in target-MHz.
+    pub sim_rate_mhz: f64,
+    /// [`Transport::sim_rate_bound_hz`] for the matching platform
+    /// transport, in target-MHz: the rate the host transport alone would
+    /// cap a hardware deployment at. A software fleet moving real token
+    /// batches between processes must land *below* this bound.
+    pub bound_mhz: f64,
+    /// Order-independent digest over every agent's final checkpoint;
+    /// equal for all worker counts of the same `(nodes, cycles)`.
+    pub combined_digest: u64,
+}
+
+/// Fig 8, multi-process mode: the same boot cluster partitioned across
+/// worker processes connected by the chosen [`TransportChoice`], with the
+/// measured rate sanity-checked against [`Transport::sim_rate_bound_hz`]
+/// for the analogous platform transport (shared memory or TCP).
+///
+/// # Errors
+///
+/// Propagates the fleet's [`firesim_manager::FailureReport`] error if any
+/// worker fails.
+pub fn fig8_scale_distributed(
+    nodes: usize,
+    worker_counts: &[usize],
+    transport: TransportChoice,
+    target_cycles: u64,
+) -> SimResult<Vec<Fig8DistRow>> {
+    let platform_kind = match transport {
+        TransportChoice::Shm => TransportKind::SharedMemory,
+        TransportChoice::Tcp | TransportChoice::Unix => TransportKind::Tcp,
+    };
+    let bound_hz = Transport::of(platform_kind).sim_rate_bound_hz(6_400, nodes as u64);
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let mut cfg =
+            PartitionConfig::new(workers, Cycle::new(target_cycles), format!("nodes={nodes}"));
+        cfg.transport = transport;
+        let run = run_partitioned(build_fig8_cluster, &cfg).map_err(|report| report.error)?;
+        rows.push(Fig8DistRow {
+            nodes,
+            workers,
+            sim_rate_mhz: run.cycles.as_u64() as f64 / 1e6 / run.wall.as_secs_f64().max(1e-9),
+            bound_mhz: bound_hz / 1e6,
+            combined_digest: run.combined_digest,
+        });
+    }
+    Ok(rows)
 }
 
 /// Fig 8: measures the achieved simulation rate (target MHz) while all

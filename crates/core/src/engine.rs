@@ -457,6 +457,14 @@ pub struct Engine<T> {
     metrics: Option<Arc<MetricsRegistry>>,
     /// Installed by [`Engine::enable_tracing`]; absent = zero cost.
     tracer: Option<Arc<SpanTracer>>,
+    /// `(agent index, input port)` of every link whose sender lives outside
+    /// this engine (another process or an external pump). See
+    /// [`Engine::connect_external_input`].
+    boundary_inputs: Vec<(usize, usize)>,
+    /// How long [`Engine::run_for`] waits at the end of a run for external
+    /// boundary inputs to refill to their seeded occupancy before declaring
+    /// the peer dead. See [`Engine::set_boundary_quiesce_timeout`].
+    boundary_quiesce_timeout: Duration,
 }
 
 impl<T: Send + 'static> Engine<T> {
@@ -485,6 +493,8 @@ impl<T: Send + 'static> Engine<T> {
             progress: None,
             metrics: None,
             tracer: None,
+            boundary_inputs: Vec::new(),
+            boundary_quiesce_timeout: Duration::from_secs(30),
         }
     }
 
@@ -503,7 +513,7 @@ impl<T: Send + 'static> Engine<T> {
         self.agents.len()
     }
 
-    /// True when every registered agent reports [`Agent::done`]. This is
+    /// True when every registered agent reports [`SimAgent::done`]. This is
     /// the same condition [`Engine::run_until_done`] checks at chunk
     /// boundaries; callers driving the engine in short bursts (e.g. a
     /// supervisor taking periodic checkpoints) use it to decide whether
@@ -723,8 +733,20 @@ impl<T: Send + 'static> Engine<T> {
     ///
     /// Returns [`SimError::Agent`] naming the first violating agent/port.
     pub fn verify_token_invariant(&self) -> SimResult<()> {
-        for slot in &self.agents {
+        self.verify_invariant_inner(false)
+    }
+
+    /// The invariant check, optionally skipping boundary inputs: mid-run a
+    /// cross-process link's refill is asynchronous (the pump injects when
+    /// the peer's window arrives), so only the quiescent end-of-run check —
+    /// which runs after [`Engine::wait_boundary_quiesce`] — may include
+    /// them.
+    fn verify_invariant_inner(&self, skip_boundaries: bool) -> SimResult<()> {
+        for (idx, slot) in self.agents.iter().enumerate() {
             for (port, rx) in slot.inputs.iter().enumerate() {
+                if skip_boundaries && self.boundary_inputs.contains(&(idx, port)) {
+                    continue;
+                }
                 if let Some(rx) = rx.as_ref() {
                     let got = rx.in_flight_windows() as u64 * self.window as u64;
                     let want = rx.latency().as_u64();
@@ -818,6 +840,155 @@ impl<T: Send + 'static> Engine<T> {
         Ok(())
     }
 
+    /// Connects `dst`'s input port to a sender *outside* this engine — the
+    /// receiving half of a cross-process link (§III-B2).
+    ///
+    /// The underlying channel is created exactly as by [`Engine::connect`]:
+    /// pre-seeded with `latency / window` empty windows, so the full target
+    /// link latency is modeled **on the receiving shard**. An external pump
+    /// (e.g. `manager::partition`'s transport pumps) injects one window per
+    /// simulated round through the returned [`BoundaryInput`]; the agent
+    /// consumes the seed windows first and sees every remote token exactly
+    /// `latency` cycles after it was produced — bit-identical to a
+    /// monolithic in-process link.
+    ///
+    /// At the end of every run the engine waits (bounded by
+    /// [`Engine::set_boundary_quiesce_timeout`]) until each boundary input
+    /// has been refilled to its seeded occupancy, so runs still end at the
+    /// paper's quiescent boundary where a latency-*N* link holds exactly
+    /// *N* tokens — the property [`Engine::checkpoint`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::connect`]: bad id/port, double connection, or a
+    /// latency that is not a nonzero multiple of the window.
+    pub fn connect_external_input(
+        &mut self,
+        dst: AgentId,
+        dst_port: usize,
+        latency: Cycle,
+    ) -> SimResult<BoundaryInput<T>> {
+        let (tx, rx) = link(self.window, latency)?;
+        let d = self
+            .agents
+            .get_mut(dst.0)
+            .ok_or_else(|| SimError::topology(format!("no agent {:?}", dst)))?;
+        let name = d.agent.name().to_owned();
+        let slot = d.inputs.get_mut(dst_port).ok_or_else(|| {
+            SimError::topology(format!("agent {name} has no input port {dst_port}"))
+        })?;
+        if slot.is_some() {
+            return Err(SimError::topology(format!(
+                "input port {dst_port} of agent {name} already connected"
+            )));
+        }
+        *slot = Some(rx);
+        self.boundary_inputs.push((dst.0, dst_port));
+        Ok(BoundaryInput {
+            tx,
+            agent: name,
+            port: dst_port,
+        })
+    }
+
+    /// Connects `src`'s output port to a receiver *outside* this engine —
+    /// the sending half of a cross-process link (§III-B2).
+    ///
+    /// The channel's seed windows are drained and recycled at creation, so
+    /// this side contributes **zero** modeled latency (the receiving shard's
+    /// [`Engine::connect_external_input`] link models all of it); what
+    /// remains is a bounded host-side buffer of `latency / window + 1`
+    /// windows that back-pressures the producing agent exactly as far as
+    /// token flow control would in a monolithic engine. An external pump
+    /// drains one window per simulated round through the returned
+    /// [`BoundaryOutput`] and ships it to the peer shard.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::connect`].
+    pub fn connect_external_output(
+        &mut self,
+        src: AgentId,
+        src_port: usize,
+        latency: Cycle,
+    ) -> SimResult<BoundaryOutput<T>> {
+        let (tx, rx) = link(self.window, latency)?;
+        {
+            let s = self
+                .agents
+                .get_mut(src.0)
+                .ok_or_else(|| SimError::topology(format!("no agent {:?}", src)))?;
+            let name = s.agent.name().to_owned();
+            let slot = s.outputs.get_mut(src_port).ok_or_else(|| {
+                SimError::topology(format!("agent {name} has no output port {src_port}"))
+            })?;
+            if slot.is_some() {
+                return Err(SimError::topology(format!(
+                    "output port {src_port} of agent {name} already connected"
+                )));
+            }
+            *slot = Some(tx);
+        }
+        // Drain the seed windows: they model latency on the receiving shard,
+        // not here. Recycling them stocks the spare pool the producing
+        // agent's sends will draw from.
+        let seeded = (latency.as_u64() / self.window as u64) as usize;
+        for _ in 0..seeded {
+            let w = rx
+                .try_recv()?
+                .expect("freshly created link holds its seed windows");
+            rx.recycle(w);
+        }
+        let name = self.agents[src.0].agent.name().to_owned();
+        Ok(BoundaryOutput {
+            rx,
+            agent: name,
+            port: src_port,
+        })
+    }
+
+    /// Sets how long runs wait at their final window boundary for external
+    /// boundary inputs (see [`Engine::connect_external_input`]) to return to
+    /// seeded occupancy before giving up on the peer. Default 30 s.
+    pub fn set_boundary_quiesce_timeout(&mut self, timeout: Duration) -> &mut Self {
+        self.boundary_quiesce_timeout = timeout;
+        self
+    }
+
+    /// Blocks until every boundary input link holds exactly its seeded
+    /// `latency / window` windows again — i.e. until the external pumps
+    /// have delivered every window the peer shard produced for the rounds
+    /// just run. No-op without boundary inputs.
+    fn wait_boundary_quiesce(&self) -> SimResult<()> {
+        if self.boundary_inputs.is_empty() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.boundary_quiesce_timeout;
+        for &(a, p) in &self.boundary_inputs {
+            let slot = &self.agents[a];
+            let rx = slot.inputs[p].as_ref().expect("boundary input is wired");
+            let want = (rx.latency().as_u64() / self.window as u64) as usize;
+            loop {
+                let got = rx.in_flight_windows();
+                if got >= want {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(SimError::agent(
+                        slot.agent.name(),
+                        format!(
+                            "boundary input port {p} did not quiesce: {got} of {want} \
+                             windows in flight after {:?} (peer shard dead or stalled?)",
+                            self.boundary_quiesce_timeout
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        Ok(())
+    }
+
     fn check_wired(&self) -> SimResult<()> {
         for slot in &self.agents {
             if slot.inputs.iter().any(Option::is_none) || slot.outputs.iter().any(Option::is_none) {
@@ -905,6 +1076,11 @@ impl<T: Send + 'static> Engine<T> {
                 return Err(e);
             }
         };
+        // With cross-process boundary inputs, the local agents can finish
+        // their rounds while the last windows of the peer's matching output
+        // are still in transit; wait for the pumps to deliver them so the
+        // boundary below really is quiescent.
+        self.wait_boundary_quiesce()?;
         // Every successful run ends at a quiescent window boundary, where
         // the paper's invariant must hold: a latency-N link has exactly N
         // tokens in flight. Always-on in debug builds.
@@ -998,8 +1174,11 @@ impl<T: Send + 'static> Engine<T> {
                 round += 1;
                 // In sequential mode every round ends quiescent, so the
                 // token invariant can be checked continuously (debug only).
+                // Boundary inputs refill asynchronously and are excluded
+                // here; the end-of-run check covers them after the quiesce
+                // wait.
                 #[cfg(debug_assertions)]
-                if let Err(e) = self.verify_token_invariant() {
+                if let Err(e) = self.verify_invariant_inner(true) {
                     panic!("{e}");
                 }
             }
@@ -1462,6 +1641,115 @@ impl<T: Send + 'static> Engine<T> {
     }
 }
 
+/// The injecting half of a cross-process link: windows received from a
+/// peer shard are pushed here and flow to the destination agent after the
+/// link's modeled latency. Created by [`Engine::connect_external_input`].
+///
+/// The underlying channel is bounded (capacity `latency / window + 1`
+/// windows), so injection naturally back-pressures a transport pump that
+/// runs ahead of the consuming agent — host scheduling can never violate
+/// the paper's token flow control (§III-B2).
+#[derive(Debug)]
+pub struct BoundaryInput<T> {
+    tx: LinkSender<T>,
+    agent: String,
+    port: usize,
+}
+
+impl<T: Send + 'static> BoundaryInput<T> {
+    /// Name of the agent this boundary feeds.
+    pub fn agent(&self) -> &str {
+        &self.agent
+    }
+
+    /// The destination agent's input port.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// Window length in cycles.
+    pub fn window(&self) -> u32 {
+        self.tx.window()
+    }
+
+    /// Modeled link latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.tx.latency()
+    }
+
+    /// A spare window buffer to fill before injecting (recycled, so the
+    /// steady state allocates nothing).
+    pub fn take_buffer(&self) -> TokenWindow<T> {
+        self.tx.take_buffer()
+    }
+
+    /// Injects one window, blocking while the link is at capacity. Returns
+    /// `Ok(Some(w))` — the window handed back untouched — when `halt` was
+    /// set before space appeared, `Ok(None)` on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] when the consuming engine has
+    /// torn the link down.
+    pub fn inject_or_halt(
+        &self,
+        w: TokenWindow<T>,
+        halt: &AtomicBool,
+    ) -> SimResult<Option<TokenWindow<T>>> {
+        self.tx.send_or_halt(w, halt)
+    }
+}
+
+/// The draining half of a cross-process link: windows the source agent
+/// produced are pulled here, one per simulated round, for shipment to the
+/// peer shard. Created by [`Engine::connect_external_output`].
+#[derive(Debug)]
+pub struct BoundaryOutput<T> {
+    rx: LinkReceiver<T>,
+    agent: String,
+    port: usize,
+}
+
+impl<T: Send + 'static> BoundaryOutput<T> {
+    /// Name of the agent this boundary drains.
+    pub fn agent(&self) -> &str {
+        &self.agent
+    }
+
+    /// The source agent's output port.
+    pub fn port(&self) -> usize {
+        self.port
+    }
+
+    /// Window length in cycles.
+    pub fn window(&self) -> u32 {
+        self.rx.window()
+    }
+
+    /// Modeled link latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.rx.latency()
+    }
+
+    /// Drains one produced window, blocking until the agent sends one.
+    /// Returns `Ok(None)` when `halt` was set **and** no window is queued —
+    /// so a halting pump always flushes what the agent already produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ChannelClosed`] when the producing engine has
+    /// torn the link down.
+    pub fn drain_or_halt(&self, halt: &AtomicBool) -> SimResult<Option<TokenWindow<T>>> {
+        self.rx.recv_or_halt(halt)
+    }
+
+    /// Returns a shipped window's buffer to the spare pool, keeping the
+    /// producing agent's sends allocation-free.
+    pub fn recycle(&self, w: TokenWindow<T>) {
+        self.rx.recycle(w)
+    }
+}
+
 /// A point-in-time snapshot of an [`Engine`]: target time, per-agent state
 /// blobs, and every link's in-flight token windows. Produced by
 /// [`Engine::checkpoint`], consumed by [`Engine::restore`], and (for
@@ -1552,6 +1840,29 @@ impl<T: Snapshot> EngineCheckpoint<T> {
         })
     }
 
+    /// A stable digest of each agent's complete checkpointed state —
+    /// `(name, hash of state blob + in-flight input windows)` — in
+    /// registration order.
+    ///
+    /// Because an agent's input links (and their queued windows) are
+    /// identical whether the sending side lives in the same engine or
+    /// behind a cross-process boundary, the *union* of per-agent digests
+    /// over all shards of a partitioned run equals the digests of a
+    /// monolithic run of the same topology: the paper's bit-identical
+    /// partitioning invariant, made checkable. Combine with
+    /// [`combined_digest`].
+    pub fn agent_digests(&self) -> Vec<(String, u64)> {
+        (0..self.agent_names.len())
+            .map(|i| {
+                let mut w = SnapshotWriter::new();
+                w.put_str(&self.agent_names[i]);
+                w.put_bytes(&self.agent_state[i]);
+                w.put(&self.link_state[i]);
+                (self.agent_names[i].clone(), fnv1a64(&w.into_bytes()))
+            })
+            .collect()
+    }
+
     /// Writes the checkpoint to `path`.
     ///
     /// # Errors
@@ -1575,6 +1886,36 @@ impl<T: Snapshot> EngineCheckpoint<T> {
             .map_err(|e| SimError::io(format!("reading checkpoint {}", path.display()), &e))?;
         Self::from_bytes(&bytes)
     }
+}
+
+/// FNV-1a over a byte slice; the stable hash behind checkpoint digests.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Folds per-agent checkpoint digests (from
+/// [`EngineCheckpoint::agent_digests`], possibly gathered from several
+/// shards) into one order-independent run digest.
+///
+/// The pairs are sorted by agent name first, so the result is the same
+/// however the topology was partitioned — equal combined digests mean
+/// bit-identical per-agent state and in-flight tokens, the acceptance bar
+/// the paper sets for distributed runs (§III-B2).
+pub fn combined_digest(digests: &[(String, u64)]) -> u64 {
+    let mut sorted: Vec<&(String, u64)> = digests.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (name, d) in sorted {
+        h = fnv1a64(name.as_bytes()) ^ h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= *d;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl<T> std::fmt::Debug for EngineCheckpoint<T> {
@@ -2620,6 +2961,115 @@ mod tests {
             .collect();
         assert!(cats.contains(&"agent"));
         assert!(cats.contains(&"sync"));
+    }
+
+    /// Drives `out -> inp` like a `manager::partition` transport pump, but
+    /// in-process: the degenerate "transport" is a direct hand-off.
+    fn pump(
+        out: BoundaryOutput<u64>,
+        inp: BoundaryInput<u64>,
+        halt: Arc<AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(Some(w)) = out.drain_or_halt(&halt) {
+                if !matches!(inp.inject_or_halt(w, &halt), Ok(None)) {
+                    break;
+                }
+            }
+        })
+    }
+
+    /// A two-agent ring split across two engines connected by boundary
+    /// ports produces bit-identical checkpoints to the monolithic ring —
+    /// the §III-B2 partitioning invariant at its smallest scale.
+    #[test]
+    fn boundary_ports_match_monolithic_ring() {
+        let run_monolithic = || {
+            let mut engine = Engine::new(8);
+            let a = engine.add_agent(Box::new(Pulser::new(16)));
+            let b = engine.add_agent(Box::new(Pulser::new(24)));
+            engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+            engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+            engine.run_for(Cycle::new(64)).unwrap();
+            engine.checkpoint().unwrap().agent_digests()
+        };
+
+        let run_split = || {
+            let mut e0: Engine<u64> = Engine::new(8);
+            let mut e1: Engine<u64> = Engine::new(8);
+            let a = e0.add_agent(Box::new(Pulser::new(16)));
+            let b = e1.add_agent(Box::new(Pulser::new(24)));
+            let out_a = e0.connect_external_output(a, 0, Cycle::new(8)).unwrap();
+            let in_b = e1.connect_external_input(b, 0, Cycle::new(8)).unwrap();
+            let out_b = e1.connect_external_output(b, 0, Cycle::new(8)).unwrap();
+            let in_a = e0.connect_external_input(a, 0, Cycle::new(8)).unwrap();
+
+            let halt = Arc::new(AtomicBool::new(false));
+            let pumps = [
+                pump(out_a, in_b, Arc::clone(&halt)),
+                pump(out_b, in_a, Arc::clone(&halt)),
+            ];
+            let t1 = std::thread::spawn(move || {
+                e1.run_for(Cycle::new(64)).unwrap();
+                e1.checkpoint().unwrap().agent_digests()
+            });
+            e0.run_for(Cycle::new(64)).unwrap();
+            let mut digests = e0.checkpoint().unwrap().agent_digests();
+            digests.extend(t1.join().unwrap());
+            halt.store(true, Ordering::Release);
+            for p in pumps {
+                p.join().unwrap();
+            }
+            digests
+        };
+
+        let mono = run_monolithic();
+        let split = run_split();
+        assert_eq!(mono, split);
+        assert_eq!(combined_digest(&mono), combined_digest(&split));
+        // And the digest is actually sensitive to state: a different run
+        // length must differ.
+        let mut engine = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(16)));
+        let b = engine.add_agent(Box::new(Pulser::new(24)));
+        engine.connect(a, 0, b, 0, Cycle::new(8)).unwrap();
+        engine.connect(b, 0, a, 0, Cycle::new(8)).unwrap();
+        engine.run_for(Cycle::new(128)).unwrap();
+        let longer = engine.checkpoint().unwrap().agent_digests();
+        assert_ne!(combined_digest(&mono), combined_digest(&longer));
+    }
+
+    /// The seed windows of an external *output* are drained at creation:
+    /// the first window a pump sees is the first one the agent produced.
+    #[test]
+    fn external_output_starts_empty() {
+        let mut engine: Engine<u64> = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(16)));
+        let out = engine
+            .connect_external_output(a, 0, Cycle::new(24))
+            .unwrap();
+        let halt = AtomicBool::new(true);
+        assert!(out.drain_or_halt(&halt).unwrap().is_none());
+        assert_eq!(out.latency(), Cycle::new(24));
+        assert_eq!(out.agent(), "pulser");
+    }
+
+    /// An external input seeds `latency / window` empty windows, exactly
+    /// like a monolithic link: the paper's latency-N invariant holds at
+    /// cycle zero.
+    #[test]
+    fn external_input_is_seeded() {
+        let mut engine: Engine<u64> = Engine::new(8);
+        let a = engine.add_agent(Box::new(Pulser::new(16)));
+        let inp = engine.connect_external_input(a, 0, Cycle::new(16)).unwrap();
+        assert_eq!(inp.latency(), Cycle::new(16));
+        assert_eq!(inp.port(), 0);
+        let occ = engine.link_occupancies();
+        assert_eq!(occ.len(), 1);
+        assert_eq!(occ[0].in_flight_tokens, 16);
+        engine.verify_token_invariant().unwrap();
+        // Double connection is rejected like Engine::connect.
+        assert!(engine.connect_external_input(a, 0, Cycle::new(16)).is_err());
     }
 
     #[test]

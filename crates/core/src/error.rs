@@ -74,6 +74,12 @@ pub enum SimError {
         /// Why the run was aborted.
         reason: String,
     },
+    /// An inter-process transport stream violated the token wire protocol
+    /// (bad length prefix, out-of-order sequence number, trailing bytes).
+    Protocol {
+        /// Human-readable explanation of the protocol violation.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -114,6 +120,13 @@ impl SimError {
         }
     }
 
+    /// Constructs a wire-protocol error.
+    pub fn protocol(detail: impl fmt::Display) -> Self {
+        SimError::Protocol {
+            detail: detail.to_string(),
+        }
+    }
+
     /// How *diagnostic* this error is, for picking the best error when
     /// several workers fail in the same run. A worker whose agent panicked
     /// outranks a peer that merely observed the resulting channel closure,
@@ -125,7 +138,7 @@ impl SimError {
             SimError::Topology { .. }
             | SimError::BadLatency { .. }
             | SimError::WindowMismatch { .. } => 2,
-            SimError::Aborted { .. } => 2,
+            SimError::Aborted { .. } | SimError::Protocol { .. } => 2,
             SimError::ChannelClosed { .. } => 1,
         }
     }
@@ -157,6 +170,7 @@ impl fmt::Display for SimError {
             SimError::Io { context, source } => write!(f, "I/O error while {context}: {source}"),
             SimError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             SimError::Aborted { reason } => write!(f, "simulation aborted: {reason}"),
+            SimError::Protocol { detail } => write!(f, "transport protocol error: {detail}"),
         }
     }
 }

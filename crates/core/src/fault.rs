@@ -125,6 +125,23 @@ struct FaultEntry {
 /// Cloning a plan shares its fired-flags and provenance log, so handing the
 /// *same* plan (or a clone) to a rebuilt engine preserves one-shot
 /// semantics — the basis of transient-fault recovery testing.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::FaultPlan;
+///
+/// let mut plan = FaultPlan::new(0xF1BE);
+/// plan.panic_at("pinger", 250_000);
+/// plan.link_down("echo", 0, 100_000, 200_000);
+/// assert_eq!(plan.len(), 2);
+///
+/// // Clones share fired-state and the provenance log: a supervisor
+/// // handing a clone to a rebuilt engine keeps one-shot faults one-shot.
+/// let replay = plan.clone();
+/// assert_eq!(replay.len(), plan.len());
+/// assert!(plan.records().is_empty(), "nothing fired yet");
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     seed: u64,

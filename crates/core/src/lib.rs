@@ -75,7 +75,7 @@
 //! engine.run_for(Cycle::new(64)).unwrap();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod channel;
@@ -92,8 +92,8 @@ pub mod token;
 
 pub use channel::{link, LinkReceiver, LinkSender};
 pub use engine::{
-    AbortHandle, AgentCtx, AgentId, Engine, EngineCheckpoint, LinkOccupancy, ProgressProbe,
-    RunSummary, SimAgent, StopHandle,
+    combined_digest, AbortHandle, AgentCtx, AgentId, BoundaryInput, BoundaryOutput, Engine,
+    EngineCheckpoint, LinkOccupancy, ProgressProbe, RunSummary, SimAgent, StopHandle,
 };
 pub use error::{SimError, SimResult};
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget};

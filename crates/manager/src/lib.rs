@@ -28,14 +28,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod partition;
 pub mod report;
 pub mod results;
 pub mod simulation;
 pub mod supervisor;
 pub mod topology;
 
+pub use partition::{
+    maybe_worker, run_partitioned, BuildFn, PartitionConfig, PartitionPlan, PartitionedRun,
+    TransportChoice,
+};
 pub use report::{AgentReport, HistogramSummary, LinkReport, RunReport};
 pub use results::{ExperimentRecord, ResultStore};
-pub use simulation::{SimConfig, Simulation};
+pub use simulation::{ShardBoundaries, SimConfig, Simulation};
 pub use supervisor::{FailureReport, SupervisedRun, SupervisorConfig};
 pub use topology::{BladeSpec, NodeRef, ServerId, SwitchId, Topology, TopologyError};

@@ -1,0 +1,904 @@
+//! Multi-process partitioned simulation (§III-B2's "scale-out" leg).
+//!
+//! FireSim's distinguishing claim is that the simulated datacenter can be
+//! **split across hosts without changing its behavior**: every link is a
+//! latency-N token stream, so as long as each partition only advances when
+//! it holds input tokens for every cycle, the global simulation is
+//! bit-identical no matter where the partition boundaries fall. This
+//! module is the manager half of that story:
+//!
+//! * [`PartitionPlan`] deterministically assigns every server and switch
+//!   of a [`Topology`] to one of N shards.
+//! * [`run_partitioned`] spawns N worker *processes* (re-executing the
+//!   current binary), hands each its shard, wires every cross-shard link
+//!   over a [`TokenTransport`] backend (shared-memory ring, TCP, or
+//!   Unix-domain socket), supervises the fleet against a deadline, and
+//!   merges the workers' results.
+//! * [`maybe_worker`] is the hook a binary calls first thing in `main` so
+//!   that the re-exec'd children branch into worker mode.
+//!
+//! The acceptance invariant — checked by `tests/distributed.rs` — is the
+//! paper's: a topology partitioned 1-way, 2-way, and 4-way produces
+//! bit-identical per-agent checkpoint digests and identical deterministic
+//! [`RunReport`] aggregates.
+//!
+//! ## Worker protocol
+//!
+//! Parent and workers share a *build function* `fn(&str) ->
+//! SimResult<(Topology, SimConfig)>` plus an opaque spec string, so each
+//! process reconstructs the same topology independently (blade app
+//! factories are not serialisable; rebuilding is both simpler and how the
+//! paper's manager works — every host runs the same configuration). The
+//! parent exports `FIRESIM_PART_*` environment variables and re-executes
+//! itself; the child's `maybe_worker` sees them, builds its shard, opens
+//! transports via rendezvous files in the shared directory, runs, writes
+//! `shard{i}.result.json`, and exits. A nonzero worker exit (or the
+//! deadline) makes the parent kill the remaining fleet and return a
+//! [`FailureReport`] naming the dead shard — the cross-process extension
+//! of the supervisor's watchdog.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use firesim_core::{
+    combined_digest, BoundaryInput, BoundaryOutput, Cycle, FaultPlan, SimError, SimResult,
+};
+use firesim_net::Flit;
+use firesim_platform::{ShmTransport, SocketListener, SocketTransport, TokenTransport};
+
+use crate::report::RunReport;
+use crate::simulation::{ShardBoundaries, SimConfig, Simulation};
+use crate::supervisor::FailureReport;
+use crate::topology::{NodeRef, Topology};
+
+/// Builds the topology and config for a partitioned run from an opaque
+/// spec string. Must be a plain function (not a closure): the parent and
+/// every re-exec'd worker call it with the same spec and must produce
+/// identical topologies.
+pub type BuildFn = fn(&str) -> SimResult<(Topology, SimConfig)>;
+
+/// Deterministic assignment of every topology node to a worker shard.
+///
+/// Servers are split contiguously (`shard = index * workers / servers`),
+/// which for the paper's rack-structured topologies keeps each ToR with
+/// its own servers; each switch follows the lowest-indexed server in its
+/// subtree, so aggregation/root switches land with their first rack. Both
+/// the parent and every worker compute the plan independently from the
+/// same topology — there is no plan wire format to drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    workers: usize,
+    server_shard: Vec<usize>,
+    switch_shard: Vec<usize>,
+}
+
+impl PartitionPlan {
+    /// Computes the contiguous plan for `workers` shards.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero workers, more workers than servers (a shard must own
+    /// at least one server), and duplicate agent names (shard results are
+    /// merged by name, so names must be globally unique).
+    pub fn contiguous(topo: &Topology, workers: usize) -> SimResult<PartitionPlan> {
+        let servers = topo.servers.len();
+        if workers == 0 {
+            return Err(SimError::topology("a partition needs at least one worker"));
+        }
+        if workers > servers {
+            return Err(SimError::topology(format!(
+                "cannot split {servers} server(s) across {workers} workers \
+                 (every shard must own at least one server)"
+            )));
+        }
+        let mut names: HashSet<&str> = HashSet::new();
+        for name in topo
+            .servers
+            .iter()
+            .map(|s| s.name.as_str())
+            .chain(topo.switches.iter().map(|s| s.name.as_str()))
+        {
+            if !names.insert(name) {
+                return Err(SimError::topology(format!(
+                    "duplicate agent name {name:?}: partitioned results merge by name"
+                )));
+            }
+        }
+        let server_shard: Vec<usize> = (0..servers).map(|i| i * workers / servers).collect();
+        let switch_shard = (0..topo.switches.len())
+            .map(|s| {
+                Self::min_server_in_subtree(topo, s)
+                    .map(|i| server_shard[i])
+                    .unwrap_or(0)
+            })
+            .collect();
+        Ok(PartitionPlan {
+            workers,
+            server_shard,
+            switch_shard,
+        })
+    }
+
+    fn min_server_in_subtree(topo: &Topology, sidx: usize) -> Option<usize> {
+        topo.switches[sidx]
+            .children
+            .iter()
+            .filter_map(|c| match c {
+                NodeRef::Server(s) => Some(s.0),
+                NodeRef::Switch(s) => Self::min_server_in_subtree(topo, s.0),
+            })
+            .min()
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Shard owning server `idx` (topology registration order).
+    pub fn server_shard(&self, idx: usize) -> usize {
+        self.server_shard[idx]
+    }
+
+    /// Shard owning switch `idx` (topology registration order).
+    pub fn switch_shard(&self, idx: usize) -> usize {
+        self.switch_shard[idx]
+    }
+
+    /// Agents (servers + switches) assigned to each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.workers];
+        for &s in self.server_shard.iter().chain(self.switch_shard.iter()) {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+}
+
+/// Which inter-process transport carries cross-shard token batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// File-backed shared-memory rings
+    /// ([`firesim_platform::ShmTransport`]) — the paper's
+    /// same-instance port, and the fastest option here.
+    Shm,
+    /// Loopback TCP ([`firesim_platform::SocketTransport`])
+    /// — the paper's cross-instance port; use to exercise the full wire
+    /// framing.
+    Tcp,
+    /// Unix-domain sockets — socket semantics without port allocation.
+    Unix,
+}
+
+impl TransportChoice {
+    /// Parses `shm` / `tcp` / `unix` (alias `uds`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for anything else.
+    pub fn parse(s: &str) -> SimResult<Self> {
+        match s {
+            "shm" => Ok(TransportChoice::Shm),
+            "tcp" => Ok(TransportChoice::Tcp),
+            "unix" | "uds" => Ok(TransportChoice::Unix),
+            other => Err(SimError::topology(format!(
+                "unknown transport {other:?} (expected shm, tcp, or unix)"
+            ))),
+        }
+    }
+
+    /// Canonical flag spelling (`shm` / `tcp` / `unix`), the inverse of
+    /// [`TransportChoice::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportChoice::Shm => "shm",
+            TransportChoice::Tcp => "tcp",
+            TransportChoice::Unix => "unix",
+        }
+    }
+}
+
+/// Configuration for [`run_partitioned`].
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Worker process count (1 runs the shard in-process, no spawn).
+    pub workers: usize,
+    /// Transport for cross-shard links.
+    pub transport: TransportChoice,
+    /// Target cycles every worker runs (rounded up to whole windows by
+    /// the engine). Partitioned runs always use a fixed horizon — see
+    /// [`Simulation::run_until_done`] for why.
+    pub cycles: Cycle,
+    /// Wall-clock budget for the whole fleet; exceeding it kills every
+    /// worker and yields a [`FailureReport`] with `deadline_exceeded`.
+    pub deadline: Duration,
+    /// Rendezvous directory for transport endpoints and result files.
+    /// `None` creates (and cleans up) a fresh directory under the system
+    /// temp dir.
+    pub rendezvous: Option<PathBuf>,
+    /// Opaque spec string handed to the [`BuildFn`] in every process.
+    pub spec: String,
+    /// Test hook: `"<shard>:<agent>@<cycle>"` installs a
+    /// [`FaultPlan::panic_at`] on that worker, for exercising the
+    /// kill-one-worker failure path.
+    pub worker_panic: Option<String>,
+}
+
+impl PartitionConfig {
+    /// A config with `workers` workers over shared memory and a 5-minute
+    /// deadline.
+    pub fn new(workers: usize, cycles: Cycle, spec: impl Into<String>) -> Self {
+        PartitionConfig {
+            workers,
+            transport: TransportChoice::Shm,
+            cycles,
+            deadline: Duration::from_secs(300),
+            rendezvous: None,
+            spec: spec.into(),
+            worker_panic: None,
+        }
+    }
+}
+
+/// The merged outcome of a successful partitioned run.
+#[derive(Debug, Clone)]
+pub struct PartitionedRun {
+    /// Worker count the run used.
+    pub workers: usize,
+    /// Target cycles reached (identical on every shard).
+    pub cycles: Cycle,
+    /// Per-agent checkpoint digests from every shard, name-sorted. Equal
+    /// across 1/2/4-way partitionings of the same topology and horizon.
+    pub digests: Vec<(String, u64)>,
+    /// Order-independent fold of `digests`
+    /// ([`firesim_core::combined_digest`]).
+    pub combined_digest: u64,
+    /// Shard reports merged by [`RunReport::merge_shards`].
+    pub report: RunReport,
+    /// Parent-observed wall clock for the whole fleet.
+    pub wall: Duration,
+}
+
+const ENV_SHARD: &str = "FIRESIM_PART_SHARD";
+const ENV_WORKERS: &str = "FIRESIM_PART_WORKERS";
+const ENV_TRANSPORT: &str = "FIRESIM_PART_TRANSPORT";
+const ENV_DIR: &str = "FIRESIM_PART_DIR";
+const ENV_CYCLES: &str = "FIRESIM_PART_CYCLES";
+const ENV_SPEC: &str = "FIRESIM_PART_SPEC";
+const ENV_PANIC: &str = "FIRESIM_PART_PANIC";
+
+/// Exit code a worker uses for simulation failures (vs. spawn problems).
+const WORKER_FAILURE_EXIT: i32 = 70;
+
+/// Worker-mode hook: call first in `main` of any binary that invokes
+/// [`run_partitioned`].
+///
+/// When the process was spawned as a partition worker (the parent set
+/// `FIRESIM_PART_SHARD`), this builds and runs the worker's shard and
+/// **exits the process** — it only ever returns (with `false`) in the
+/// parent. The indirection exists because workers are re-executions of
+/// the current binary: there is no separate worker executable to ship.
+pub fn maybe_worker(build: BuildFn) -> bool {
+    let Ok(shard) = std::env::var(ENV_SHARD) else {
+        return false;
+    };
+    let shard: usize = shard.parse().unwrap_or_else(|_| {
+        eprintln!("invalid {ENV_SHARD}");
+        std::process::exit(2);
+    });
+    let dir = PathBuf::from(std::env::var(ENV_DIR).unwrap_or_else(|_| {
+        eprintln!("missing {ENV_DIR}");
+        std::process::exit(2);
+    }));
+    match worker_main(build, shard, &dir) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            let msg = e.to_string();
+            let _ = std::fs::write(dir.join(format!("shard{shard}.error")), &msg);
+            eprintln!("worker shard {shard} failed: {msg}");
+            std::process::exit(WORKER_FAILURE_EXIT);
+        }
+    }
+}
+
+fn env_var(name: &str) -> SimResult<String> {
+    std::env::var(name).map_err(|_| SimError::topology(format!("worker missing {name}")))
+}
+
+fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
+    let workers: usize = env_var(ENV_WORKERS)?
+        .parse()
+        .map_err(|_| SimError::topology("bad worker count"))?;
+    let transport = TransportChoice::parse(&env_var(ENV_TRANSPORT)?)?;
+    let cycles: u64 = env_var(ENV_CYCLES)?
+        .parse()
+        .map_err(|_| SimError::topology("bad cycle count"))?;
+    let spec = env_var(ENV_SPEC)?;
+
+    let (topo, config) = build(&spec)?;
+    let plan = PartitionPlan::contiguous(&topo, workers)?;
+    let mut sim = topo.build_shard(config, &plan, shard)?;
+
+    if let Ok(hook) = std::env::var(ENV_PANIC) {
+        install_panic_hook(&mut sim, shard, &hook)?;
+    }
+
+    let result = run_shard(&mut sim, shard, transport, dir, Cycle::new(cycles))?;
+    write_atomic(
+        &dir.join(format!("shard{shard}.result.json")),
+        result.to_string_pretty().as_bytes(),
+    )
+}
+
+/// Parses `"<shard>:<agent>@<cycle>"` and arms the fault on a match.
+fn install_panic_hook(sim: &mut Simulation, shard: usize, hook: &str) -> SimResult<()> {
+    let parse = || -> Option<(usize, &str, u64)> {
+        let (shard_s, rest) = hook.split_once(':')?;
+        let (agent, cycle_s) = rest.split_once('@')?;
+        Some((shard_s.parse().ok()?, agent, cycle_s.parse().ok()?))
+    };
+    let (target_shard, agent, cycle) =
+        parse().ok_or_else(|| SimError::topology(format!("bad {ENV_PANIC} spec {hook:?}")))?;
+    if target_shard == shard {
+        let mut plan = FaultPlan::new(0);
+        plan.panic_at(agent, cycle);
+        sim.set_fault_plan(plan);
+    }
+    Ok(())
+}
+
+/// Runs one shard to `cycles`, pumping its boundaries over `transport`,
+/// and returns the worker's result document.
+fn run_shard(
+    sim: &mut Simulation,
+    shard: usize,
+    transport: TransportChoice,
+    dir: &Path,
+    cycles: Cycle,
+) -> SimResult<serde_json::Value> {
+    let halt = Arc::new(AtomicBool::new(false));
+    let boundaries = sim.take_boundaries();
+    let pumps = start_pumps(boundaries, transport, dir, &halt)?;
+
+    let run_result = sim.run_for(cycles);
+    // Stop pumps whether or not the run succeeded; output pumps flush
+    // everything already produced before exiting, so a healthy peer is
+    // never starved by our shutdown.
+    halt.store(true, Ordering::SeqCst);
+    let mut pump_err = None;
+    for pump in pumps {
+        match pump.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => pump_err = Some(e),
+            Err(_) => pump_err = Some(SimError::topology("boundary pump thread panicked")),
+        }
+    }
+    let summary = run_result?;
+    if let Some(e) = pump_err {
+        return Err(e);
+    }
+
+    let digests = sim.checkpoint()?.agent_digests();
+    let report = sim.run_report(summary.wall);
+
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("shard".to_owned(), serde_json::Value::from(shard as u64));
+    obj.insert(
+        "cycles".to_owned(),
+        serde_json::Value::from(summary.cycles.as_u64()),
+    );
+    obj.insert(
+        "digests".to_owned(),
+        serde_json::Value::Array(
+            digests
+                .iter()
+                .map(|(name, hash)| {
+                    let mut d = std::collections::BTreeMap::new();
+                    d.insert("name".to_owned(), serde_json::Value::from(name.as_str()));
+                    d.insert("hash".to_owned(), serde_json::Value::from(*hash));
+                    serde_json::Value::Object(d)
+                })
+                .collect(),
+        ),
+    );
+    obj.insert(
+        "report".to_owned(),
+        serde_json::from_str(&report.to_json())
+            .map_err(|e| SimError::checkpoint(format!("re-parsing own report: {e}")))?,
+    );
+    Ok(serde_json::Value::Object(obj))
+}
+
+/// Opens every boundary transport (receivers listen first, then senders
+/// connect, then receivers accept — an ordering that cannot deadlock) and
+/// spawns one pump thread per directed boundary link.
+fn start_pumps(
+    boundaries: ShardBoundaries,
+    transport: TransportChoice,
+    dir: &Path,
+    halt: &Arc<AtomicBool>,
+) -> SimResult<Vec<JoinHandle<SimResult<()>>>> {
+    // Phase 1: create all receiver-side endpoints so every peer's connect
+    // phase finds something to attach to.
+    enum Pending {
+        Ready(Box<dyn TokenTransport<Flit>>),
+        Listening(SocketListener),
+    }
+    let mut inputs: Vec<(BoundaryInput<Flit>, Pending)> = Vec::new();
+    for (id, inp) in boundaries.inputs {
+        let pending = match transport {
+            TransportChoice::Shm => {
+                Pending::Ready(Box::new(ShmTransport::<Flit>::create(&dir.join(&id))?))
+            }
+            TransportChoice::Tcp => {
+                let listener = SocketListener::tcp("127.0.0.1:0")?;
+                let addr = listener.local_addr()?.to_string();
+                write_atomic(&dir.join(format!("{id}.addr")), addr.as_bytes())?;
+                Pending::Listening(listener)
+            }
+            TransportChoice::Unix => {
+                Pending::Listening(SocketListener::unix(&dir.join(format!("{id}.sock")))?)
+            }
+        };
+        inputs.push((inp, pending));
+    }
+
+    // Phase 2: connect all sender-side endpoints. Blocks until the peer
+    // finishes its phase 1, which it does unconditionally.
+    let mut outputs: Vec<(BoundaryOutput<Flit>, Box<dyn TokenTransport<Flit>>)> = Vec::new();
+    for (id, out) in boundaries.outputs {
+        let tr: Box<dyn TokenTransport<Flit>> = match transport {
+            TransportChoice::Shm => Box::new(ShmTransport::open(&dir.join(&id), halt)?),
+            TransportChoice::Tcp => {
+                let addr = poll_read(&dir.join(format!("{id}.addr")), halt)?;
+                Box::new(SocketTransport::connect_tcp(&addr, halt)?)
+            }
+            TransportChoice::Unix => Box::new(SocketTransport::connect_unix(
+                &dir.join(format!("{id}.sock")),
+                halt,
+            )?),
+        };
+        outputs.push((out, tr));
+    }
+
+    // Phase 3: accept. Blocks until the peer finishes its phase 2.
+    let mut pumps = Vec::new();
+    for (inp, pending) in inputs {
+        let tr: Box<dyn TokenTransport<Flit>> = match pending {
+            Pending::Ready(tr) => tr,
+            Pending::Listening(listener) => Box::new(listener.accept::<Flit>()?),
+        };
+        pumps.push(spawn_input_pump(inp, tr, Arc::clone(halt)));
+    }
+    for (out, tr) in outputs {
+        pumps.push(spawn_output_pump(out, tr, Arc::clone(halt)));
+    }
+    Ok(pumps)
+}
+
+fn spawn_output_pump(
+    out: BoundaryOutput<Flit>,
+    mut tr: Box<dyn TokenTransport<Flit>>,
+    halt: Arc<AtomicBool>,
+) -> JoinHandle<SimResult<()>> {
+    std::thread::spawn(move || {
+        while let Some(w) = out.drain_or_halt(&halt)? {
+            tr.send_window(&w)?;
+            out.recycle(w);
+        }
+        Ok(())
+    })
+}
+
+fn spawn_input_pump(
+    inp: BoundaryInput<Flit>,
+    mut tr: Box<dyn TokenTransport<Flit>>,
+    halt: Arc<AtomicBool>,
+) -> JoinHandle<SimResult<()>> {
+    std::thread::spawn(move || {
+        while let Some(w) = tr.recv_window(&halt)? {
+            if inp.inject_or_halt(w, &halt)?.is_some() {
+                // Halted with the link at capacity: the engine is done
+                // with this window's cycles; drop it and stop pumping.
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Polls a rendezvous file into a string (trimmed), honouring `halt`.
+fn poll_read(path: &Path, halt: &AtomicBool) -> SimResult<String> {
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            if !s.trim().is_empty() {
+                return Ok(s.trim().to_owned());
+            }
+        }
+        if halt.load(Ordering::SeqCst) {
+            return Err(SimError::aborted(format!(
+                "halted waiting for rendezvous file {}",
+                path.display()
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Writes `bytes` then renames into place, so readers never observe a
+/// partially written file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> SimResult<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| SimError::io(format!("writing {}", tmp.display()), &e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| SimError::io(format!("publishing {}", path.display()), &e))
+}
+
+/// Distinguishes concurrent partitioned runs sharing one parent process.
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `cfg.spec` partitioned across `cfg.workers` processes and merges
+/// the result.
+///
+/// With one worker the shard runs in-process (no spawn, no transports) —
+/// the degenerate case the multi-process results must be bit-identical
+/// to. With more, the current executable is re-executed once per shard
+/// (see [`maybe_worker`]) and supervised against `cfg.deadline`.
+///
+/// # Errors
+///
+/// Returns a [`FailureReport`] naming the failing shard (as
+/// `failing_agent = Some("shard{i}")`) when a worker dies, or with
+/// `deadline_exceeded` when the fleet outlives its budget. Build errors
+/// in the parent are reported the same way with `failing_agent = None`.
+pub fn run_partitioned(
+    build: BuildFn,
+    cfg: &PartitionConfig,
+) -> Result<PartitionedRun, Box<FailureReport>> {
+    let start = Instant::now();
+    let fail = |error: SimError, failing: Option<String>, deadline: bool| {
+        Box::new(FailureReport {
+            error,
+            failing_agent: failing,
+            fail_cycle: 0,
+            last_checkpoint: None,
+            attempts: 1,
+            injected_faults: Vec::new(),
+            stalled: false,
+            deadline_exceeded: deadline,
+        })
+    };
+
+    if cfg.workers == 1 {
+        return run_single(build, cfg, start).map_err(|e| fail(e, None, false));
+    }
+
+    let dir = match &cfg.rendezvous {
+        Some(d) => d.clone(),
+        None => std::env::temp_dir().join(format!(
+            "firesim-part-{}-{}",
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        )),
+    };
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| fail(SimError::io("creating rendezvous dir", &e), None, false))?;
+    let cleanup = cfg.rendezvous.is_none();
+    let result = run_fleet(cfg, &dir, start, &fail);
+    if cleanup {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    result
+}
+
+fn run_single(
+    build: BuildFn,
+    cfg: &PartitionConfig,
+    start: Instant,
+) -> Result<PartitionedRun, SimError> {
+    let (topo, config) = build(&cfg.spec)?;
+    let plan = PartitionPlan::contiguous(&topo, 1)?;
+    let mut sim = topo.build_shard(config, &plan, 0)?;
+    let summary = sim.run_for(cfg.cycles)?;
+    let digests = sim.checkpoint()?.agent_digests();
+    let digest = combined_digest(&digests);
+    let mut digests = digests;
+    digests.sort();
+    Ok(PartitionedRun {
+        workers: 1,
+        cycles: summary.cycles,
+        combined_digest: digest,
+        digests,
+        report: sim.run_report(summary.wall),
+        wall: start.elapsed(),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn run_fleet(
+    cfg: &PartitionConfig,
+    dir: &Path,
+    start: Instant,
+    fail: &dyn Fn(SimError, Option<String>, bool) -> Box<FailureReport>,
+) -> Result<PartitionedRun, Box<FailureReport>> {
+    let exe = std::env::current_exe()
+        .map_err(|e| fail(SimError::io("locating current executable", &e), None, false))?;
+
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    let kill_all = |children: &mut Vec<(usize, Child)>| {
+        for (_, child) in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+    for shard in 0..cfg.workers {
+        let mut cmd = Command::new(&exe);
+        cmd.env(ENV_SHARD, shard.to_string())
+            .env(ENV_WORKERS, cfg.workers.to_string())
+            .env(ENV_TRANSPORT, cfg.transport.as_str())
+            .env(ENV_DIR, dir)
+            .env(ENV_CYCLES, cfg.cycles.as_u64().to_string())
+            .env(ENV_SPEC, &cfg.spec)
+            .stdin(Stdio::null());
+        if let Some(hook) = &cfg.worker_panic {
+            cmd.env(ENV_PANIC, hook);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((shard, child)),
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(fail(
+                    SimError::io(format!("spawning worker shard {shard}"), &e),
+                    Some(format!("shard{shard}")),
+                    false,
+                ));
+            }
+        }
+    }
+
+    // Supervise: any nonzero exit or the deadline kills the whole fleet —
+    // the cross-process analogue of the supervisor's watchdog.
+    let mut remaining = children.len();
+    while remaining > 0 {
+        if start.elapsed() > cfg.deadline {
+            kill_all(&mut children);
+            return Err(fail(
+                SimError::aborted(format!(
+                    "partitioned run exceeded its {:?} deadline",
+                    cfg.deadline
+                )),
+                None,
+                true,
+            ));
+        }
+        let mut failure: Option<(usize, String)> = None;
+        for (shard, child) in children.iter_mut() {
+            if failure.is_some() {
+                break;
+            }
+            match child.try_wait() {
+                Ok(None) => {}
+                Ok(Some(status)) if status.success() => {}
+                Ok(Some(status)) => {
+                    let msg = std::fs::read_to_string(dir.join(format!("shard{shard}.error")))
+                        .unwrap_or_else(|_| format!("worker exited with {status}"));
+                    failure = Some((*shard, msg.trim().to_owned()));
+                }
+                Err(e) => failure = Some((*shard, format!("waiting on worker: {e}"))),
+            }
+        }
+        if let Some((shard, msg)) = failure {
+            kill_all(&mut children);
+            return Err(fail(
+                SimError::agent(format!("shard{shard}"), msg),
+                Some(format!("shard{shard}")),
+                false,
+            ));
+        }
+        // try_wait returning Ok(Some(success)) keeps returning that same
+        // status on subsequent polls, so counting exits each pass is safe.
+        remaining = 0;
+        for (_, c) in children.iter_mut() {
+            if matches!(c.try_wait(), Ok(None)) {
+                remaining += 1;
+            }
+        }
+        if remaining > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    // Merge the shard results.
+    let mut digests: Vec<(String, u64)> = Vec::new();
+    let mut reports: Vec<RunReport> = Vec::new();
+    let mut cycles = 0u64;
+    for shard in 0..cfg.workers {
+        let path = dir.join(format!("shard{shard}.result.json"));
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            fail(
+                SimError::io(format!("reading {}", path.display()), &e),
+                None,
+                false,
+            )
+        })?;
+        let (shard_cycles, shard_digests, report) = parse_worker_result(&text)
+            .map_err(|e| fail(e, Some(format!("shard{shard}")), false))?;
+        if shard > 0 && shard_cycles != cycles {
+            return Err(fail(
+                SimError::protocol(format!(
+                    "shard {shard} reached cycle {shard_cycles}, others {cycles}: \
+                     the fleet desynchronised"
+                )),
+                Some(format!("shard{shard}")),
+                false,
+            ));
+        }
+        cycles = shard_cycles;
+        digests.extend(shard_digests);
+        reports.push(report);
+    }
+    let digest = combined_digest(&digests);
+    digests.sort();
+    Ok(PartitionedRun {
+        workers: cfg.workers,
+        cycles: Cycle::new(cycles),
+        combined_digest: digest,
+        digests,
+        report: RunReport::merge_shards(&reports),
+        wall: start.elapsed(),
+    })
+}
+
+/// `(cycles, per-agent digests, report)` parsed from a worker's result file.
+type WorkerResult = (u64, Vec<(String, u64)>, RunReport);
+
+fn parse_worker_result(text: &str) -> SimResult<WorkerResult> {
+    let value: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| SimError::checkpoint(format!("malformed worker result: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| SimError::checkpoint("worker result must be an object"))?;
+    let cycles = obj
+        .get("cycles")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or_else(|| SimError::checkpoint("worker result missing cycles"))?;
+    let digests = match obj.get("digests") {
+        Some(serde_json::Value::Array(items)) => items
+            .iter()
+            .map(|d| {
+                let d = d
+                    .as_object()
+                    .ok_or_else(|| SimError::checkpoint("digest entry must be an object"))?;
+                let name = d
+                    .get("name")
+                    .and_then(serde_json::Value::as_str)
+                    .ok_or_else(|| SimError::checkpoint("digest missing name"))?;
+                let hash = d
+                    .get("hash")
+                    .and_then(serde_json::Value::as_u64)
+                    .ok_or_else(|| SimError::checkpoint("digest missing hash"))?;
+                Ok((name.to_owned(), hash))
+            })
+            .collect::<SimResult<Vec<_>>>()?,
+        _ => return Err(SimError::checkpoint("worker result missing digests")),
+    };
+    let report = obj
+        .get("report")
+        .ok_or_else(|| SimError::checkpoint("worker result missing report"))
+        .and_then(|r| {
+            RunReport::from_json(&r.to_string_pretty())
+                .map_err(|e| SimError::checkpoint(format!("re-parsing shard report: {e}")))
+        })?;
+    Ok((cycles, digests, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::BladeSpec;
+    use firesim_blade::programs;
+
+    fn racked_topology(racks: usize, per_rack: usize) -> Topology {
+        let mut topo = Topology::new();
+        let root = topo.add_switch("root");
+        for r in 0..racks {
+            let tor = topo.add_switch(format!("tor{r}"));
+            topo.add_downlink(root, tor).unwrap();
+            for n in 0..per_rack {
+                let id = topo.add_server(
+                    format!("n{r}x{n}"),
+                    BladeSpec::rtl_single_core(programs::boot_poweroff(50)),
+                );
+                topo.add_downlink(tor, id).unwrap();
+            }
+        }
+        topo
+    }
+
+    #[test]
+    fn contiguous_plan_keeps_racks_together() {
+        let topo = racked_topology(4, 2); // 8 servers, 4 ToRs + root
+        let plan = PartitionPlan::contiguous(&topo, 4).unwrap();
+        // Two servers per shard, each rack whole.
+        assert_eq!(
+            (0..8).map(|i| plan.server_shard(i)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 2, 2, 3, 3]
+        );
+        // ToR r follows its rack; root follows server 0's shard.
+        assert_eq!(plan.switch_shard(0), 0); // root
+        assert_eq!(
+            (1..5).map(|s| plan.switch_shard(s)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 8 + 5);
+    }
+
+    #[test]
+    fn plan_rejects_bad_worker_counts() {
+        let topo = racked_topology(1, 2);
+        assert!(PartitionPlan::contiguous(&topo, 0).is_err());
+        assert!(PartitionPlan::contiguous(&topo, 3).is_err());
+        assert!(PartitionPlan::contiguous(&topo, 2).is_ok());
+    }
+
+    #[test]
+    fn plan_rejects_duplicate_names() {
+        let mut topo = Topology::new();
+        let tor = topo.add_switch("tor");
+        for _ in 0..2 {
+            let n = topo.add_server(
+                "same-name",
+                BladeSpec::rtl_single_core(programs::boot_poweroff(1)),
+            );
+            topo.add_downlink(tor, n).unwrap();
+        }
+        let err = PartitionPlan::contiguous(&topo, 2).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn transport_choice_parses() {
+        assert_eq!(TransportChoice::parse("shm").unwrap(), TransportChoice::Shm);
+        assert_eq!(TransportChoice::parse("tcp").unwrap(), TransportChoice::Tcp);
+        assert_eq!(
+            TransportChoice::parse("uds").unwrap(),
+            TransportChoice::Unix
+        );
+        assert!(TransportChoice::parse("carrier-pigeon").is_err());
+    }
+
+    /// Two shards of a two-rack topology, wired over in-process boundary
+    /// pumps via real shm rings in one process — the single-process dry
+    /// run of what `run_partitioned` does across processes.
+    #[test]
+    fn sharded_build_exposes_boundary_ports() {
+        let topo = racked_topology(2, 2);
+        let plan = PartitionPlan::contiguous(&topo, 2).unwrap();
+        let mut shard0 = racked_topology(2, 2)
+            .build_shard(SimConfig::default(), &plan, 0)
+            .unwrap();
+        let mut shard1 = topo.build_shard(SimConfig::default(), &plan, 1).unwrap();
+        let b0 = shard0.take_boundaries();
+        let b1 = shard1.take_boundaries();
+        // One tree edge (root -> tor1) crosses the cut; two directed links.
+        assert_eq!(b0.outputs.len(), 1);
+        assert_eq!(b0.inputs.len(), 1);
+        assert_eq!(b1.outputs.len(), 1);
+        assert_eq!(b1.inputs.len(), 1);
+        // The ids pair up: shard0's output id is shard1's input id.
+        assert_eq!(b0.outputs[0].0, b1.inputs[0].0);
+        assert_eq!(b1.outputs[0].0, b0.inputs[0].0);
+    }
+
+    #[test]
+    fn monolithic_build_has_no_boundaries() {
+        let mut sim = racked_topology(2, 2).build(SimConfig::default()).unwrap();
+        assert!(sim.take_boundaries().is_empty());
+    }
+}

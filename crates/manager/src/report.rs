@@ -183,6 +183,95 @@ impl RunReport {
         }
     }
 
+    /// Merges the per-shard reports of a partitioned run into one fleet
+    /// report.
+    ///
+    /// Agents and links are concatenated and name-sorted (shard builds
+    /// register disjoint agent sets); registry counters are summed by
+    /// name; histograms are dropped (their shapes are host-schedule
+    /// dependent and meaningless to merge). `cycles` is taken from the
+    /// first shard — all shards of a healthy run reach the same cycle —
+    /// `wall_ns` is the slowest shard, and `host_threads` the fleet
+    /// total.
+    pub fn merge_shards(shards: &[RunReport]) -> RunReport {
+        let cycles = shards.first().map_or(0, |s| s.cycles);
+        let wall_ns = shards.iter().map(|s| s.wall_ns).max().unwrap_or(0);
+        let secs = wall_ns as f64 / 1e9;
+        let mut agents: Vec<AgentReport> = shards.iter().flat_map(|s| s.agents.clone()).collect();
+        agents.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut links: Vec<LinkReport> = shards.iter().flat_map(|s| s.links.clone()).collect();
+        links.sort_by(|a, b| (&a.agent, a.port).cmp(&(&b.agent, b.port)));
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, v) in shards.iter().flat_map(|s| s.counters.iter()) {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        RunReport {
+            cycles,
+            wall_ns,
+            host_threads: shards.iter().map(|s| s.host_threads).sum(),
+            sim_rate_mhz: if secs > 0.0 {
+                cycles as f64 / secs / 1e6
+            } else {
+                0.0
+            },
+            token_invariant_ok: shards.iter().all(|s| s.token_invariant_ok),
+            agents,
+            links,
+            counters: counters.into_iter().collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// The host-schedule-*independent* portion of the report, in a
+    /// canonical form: use this to assert that two runs of the same
+    /// target — monolithic vs. partitioned, 2-way vs. 4-way — behaved
+    /// identically.
+    ///
+    /// Includes target cycles, the token invariant, per-agent target
+    /// observables (rounds, cycles, window/token traffic, app counters;
+    /// **not** `host_ns`) and per-link occupancies, all name-sorted.
+    /// Excludes wall time, thread counts, simulation rate, registry
+    /// counters (several count host events like barrier spins), and
+    /// histograms.
+    pub fn deterministic_aggregates(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycles={} invariant={}",
+            self.cycles, self.token_invariant_ok
+        );
+        let mut agents: Vec<&AgentReport> = self.agents.iter().collect();
+        agents.sort_by(|a, b| a.name.cmp(&b.name));
+        for a in agents {
+            let _ = write!(
+                out,
+                "agent {} rounds={} cycles={} win_in={} tok_in={} win_out={} tok_out={}",
+                a.name,
+                a.rounds,
+                a.target_cycles,
+                a.windows_in,
+                a.tokens_in,
+                a.windows_out,
+                a.tokens_out,
+            );
+            for (k, v) in &a.counters {
+                let _ = write!(out, " {k}={v}");
+            }
+            let _ = writeln!(out);
+        }
+        let mut links: Vec<&LinkReport> = self.links.iter().collect();
+        links.sort_by(|a, b| (&a.agent, a.port).cmp(&(&b.agent, b.port)));
+        for l in links {
+            let _ = writeln!(
+                out,
+                "link {}:{} latency={} in_flight={}",
+                l.agent, l.port, l.latency, l.in_flight_tokens
+            );
+        }
+        out
+    }
+
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
         self.to_value().to_string_pretty()

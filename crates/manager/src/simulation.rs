@@ -14,12 +14,13 @@ use parking_lot::Mutex;
 use firesim_blade::model::{ModeledBlade, OsModel};
 use firesim_blade::soc::{BladeProbe, RtlBlade};
 use firesim_core::{
-    AbortHandle, AgentId, Cycle, Engine, EngineCheckpoint, FaultPlan, FaultRecord, MetricsRegistry,
-    ProgressProbe, RunSummary, SimResult, SpanTracer,
+    AbortHandle, AgentId, BoundaryInput, BoundaryOutput, Cycle, Engine, EngineCheckpoint,
+    FaultPlan, FaultRecord, MetricsRegistry, ProgressProbe, RunSummary, SimResult, SpanTracer,
 };
 use firesim_net::{Flit, MacAddr, Switch, SwitchConfig, SwitchStats};
 use firesim_platform::{DeploymentPlan, PlanRequest};
 
+use crate::partition::PartitionPlan;
 use crate::topology::{BladeSpec, NodeRef, SwitchId, Topology};
 
 /// Simulation-level configuration (everything here is runtime-tunable in
@@ -69,12 +70,37 @@ pub struct ServerInfo {
     pub probe: Option<Arc<Mutex<BladeProbe>>>,
 }
 
+/// Boundary ports a sharded build leaves open for cross-process wiring.
+///
+/// Each entry pairs a deterministic link id with the local half of a
+/// cross-shard link. The id names the *directed* tree edge — `l{s}p{p}d`
+/// is switch `s`'s port `p` toward its child (downlink), `l{s}p{p}u` the
+/// reverse — and is identical on both shards, so the two processes
+/// rendezvous on it without any coordination beyond the shared partition
+/// plan. `outputs` are drained toward the peer shard; `inputs` are fed
+/// from it.
+#[derive(Debug, Default)]
+pub struct ShardBoundaries {
+    /// Locally produced windows to ship out, `(link id, port)`.
+    pub outputs: Vec<(String, BoundaryOutput<Flit>)>,
+    /// Remotely produced windows to inject, `(link id, port)`.
+    pub inputs: Vec<(String, BoundaryInput<Flit>)>,
+}
+
+impl ShardBoundaries {
+    /// True when this shard has no cross-process links (1-way partition).
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty() && self.inputs.is_empty()
+    }
+}
+
 /// A deployed, runnable simulation.
 pub struct Simulation {
     engine: Engine<Flit>,
     servers: Vec<ServerInfo>,
     switch_stats: Vec<(String, Arc<Mutex<SwitchStats>>)>,
     plan: DeploymentPlan,
+    boundaries: ShardBoundaries,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -82,8 +108,18 @@ impl std::fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("servers", &self.servers.len())
             .field("switches", &self.switch_stats.len())
+            .field(
+                "boundary_links",
+                &(self.boundaries.outputs.len() + self.boundaries.inputs.len()),
+            )
             .finish()
     }
+}
+
+/// Deterministic id of the directed link leaving switch `sidx` port `port`
+/// toward its child (`down == true`) or arriving from it (`down == false`).
+pub(crate) fn link_id(sidx: usize, port: usize, down: bool) -> String {
+    format!("l{sidx}p{port}{}", if down { 'd' } else { 'u' })
 }
 
 impl Topology {
@@ -94,8 +130,53 @@ impl Topology {
     ///
     /// Returns a topology validation error (as
     /// [`firesim_core::SimError::Topology`]) or an engine wiring error.
-    pub fn build(mut self, config: SimConfig) -> SimResult<Simulation> {
+    pub fn build(self, config: SimConfig) -> SimResult<Simulation> {
+        self.build_inner(config, None)
+    }
+
+    /// Builds only the agents assigned to `shard` by `plan`, leaving every
+    /// link that crosses a shard boundary open as a
+    /// [`BoundaryOutput`]/[`BoundaryInput`] pair in
+    /// [`Simulation::take_boundaries`].
+    ///
+    /// Every worker process of a partitioned run calls this with the *same*
+    /// topology and config; determinism of the token protocol (§III-B2)
+    /// guarantees the union of the shards behaves bit-identically to
+    /// [`build`](Topology::build)'s monolithic simulation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Topology::build); additionally rejects supernode
+    /// packing (whose host-unit grouping is not shard-stable) and a shard
+    /// index outside the plan.
+    pub fn build_shard(
+        self,
+        config: SimConfig,
+        plan: &PartitionPlan,
+        shard: usize,
+    ) -> SimResult<Simulation> {
+        if shard >= plan.workers() {
+            return Err(firesim_core::SimError::topology(format!(
+                "shard {shard} out of range for a {}-way partition",
+                plan.workers()
+            )));
+        }
+        if config.supernode && plan.workers() > 1 {
+            return Err(firesim_core::SimError::topology(
+                "supernode packing cannot be combined with multi-process partitioning",
+            ));
+        }
+        self.build_inner(config, Some((plan, shard)))
+    }
+
+    fn build_inner(
+        mut self,
+        config: SimConfig,
+        shard: Option<(&PartitionPlan, usize)>,
+    ) -> SimResult<Simulation> {
         let root = self.validate().map_err(firesim_core::SimError::topology)?;
+        let local_server = |idx: usize| shard.is_none_or(|(p, s)| p.server_shard(idx) == s);
+        let local_switch = |idx: usize| shard.is_none_or(|(p, s)| p.switch_shard(idx) == s);
 
         let window = u32::try_from(config.link_latency.as_u64())
             .map_err(|_| firesim_core::SimError::topology("link latency too large"))?;
@@ -125,6 +206,12 @@ impl Topology {
         let mut built: Vec<Option<Built>> = Vec::with_capacity(self.servers.len());
         let mut servers: Vec<ServerInfo> = Vec::with_capacity(self.servers.len());
         for (idx, spec) in specs.into_iter().enumerate() {
+            if !local_server(idx) {
+                // Another shard owns this blade; MAC/IP assignment stays
+                // global (index-based) so routing tables agree everywhere.
+                built.push(None);
+                continue;
+            }
             let name = self.servers[idx].name.clone();
             let mac = MacAddr::from_node_index(idx as u64);
             let ip = {
@@ -170,7 +257,8 @@ impl Topology {
         // Supernode packing groups up to four RTL blades attached to the
         // SAME switch into one host unit (§III-A5); each blade keeps its
         // own network port on that unit.
-        let mut server_endpoint: Vec<Option<(AgentId, usize)>> = vec![None; servers.len()];
+        // Indexed by *global* server index; remote servers stay None.
+        let mut server_endpoint: Vec<Option<(AgentId, usize)>> = vec![None; self.servers.len()];
         if config.supernode {
             let mut sn_count = 0usize;
             for sw in &self.switches {
@@ -211,25 +299,27 @@ impl Topology {
             };
             server_endpoint[idx] = Some((engine.add_agent(agent), 0));
         }
-        let server_endpoint: Vec<(AgentId, usize)> = server_endpoint
-            .into_iter()
-            .enumerate()
-            .map(|(idx, e)| {
-                e.ok_or_else(|| {
-                    firesim_core::SimError::topology(format!(
-                        "server {:?} was never mapped to a simulation agent",
-                        servers[idx].name
-                    ))
-                })
-            })
-            .collect::<SimResult<_>>()?;
+        // Remote servers legitimately stay unmapped in a sharded build;
+        // local ones must all have an endpoint.
+        for (idx, e) in server_endpoint.iter().enumerate() {
+            if local_server(idx) && e.is_none() {
+                return Err(firesim_core::SimError::topology(format!(
+                    "server {:?} was never mapped to a simulation agent",
+                    self.servers[idx].name
+                )));
+            }
+        }
 
         // --- Instantiate switches with routes. ---
         // Port layout: ports 0..children are downlinks (in child order);
         // the uplink, if any, is the last port.
-        let mut switch_agents: Vec<AgentId> = Vec::with_capacity(self.switches.len());
+        let mut switch_agents: Vec<Option<AgentId>> = Vec::with_capacity(self.switches.len());
         let mut switch_stats = Vec::with_capacity(self.switches.len());
         for (sidx, sw) in self.switches.iter().enumerate() {
+            if !local_switch(sidx) {
+                switch_agents.push(None);
+                continue;
+            }
             let has_uplink = sw.parent.is_some();
             let ports = sw.children.len() + usize::from(has_uplink);
             let mut cfg = SwitchConfig::new(ports.max(2))
@@ -263,33 +353,72 @@ impl Topology {
                 }
             }
             switch_stats.push((sw.name.clone(), switch.stats_handle()));
-            switch_agents.push(engine.add_agent(Box::new(switch)));
+            switch_agents.push(Some(engine.add_agent(Box::new(switch))));
         }
 
         // --- Wire links. ---
+        // Every tree edge carries two directed links (down and up). When
+        // both endpoints live on this shard they get ordinary engine
+        // links; when exactly one does, the local half becomes a boundary
+        // port: the paper's token protocol needs the *receiving* side to
+        // model the full link latency (its input link is pre-seeded with
+        // `latency` empty tokens), while the sending side's stub link is
+        // drained of its seed so it adds no latency of its own — the
+        // cross-process hop is therefore latency-neutral and the edge
+        // behaves exactly like its monolithic counterpart.
+        let mut boundaries = ShardBoundaries::default();
         for (sidx, sw) in self.switches.iter().enumerate() {
             for (port, child) in sw.children.iter().enumerate() {
-                let (child_agent, child_port) = match child {
+                let child_end: Option<(AgentId, usize)> = match child {
                     NodeRef::Server(s) => server_endpoint[s.0],
                     NodeRef::Switch(s) => {
                         // The child's uplink port is its last port.
-                        (switch_agents[s.0], self.switches[s.0].children.len())
+                        switch_agents[s.0].map(|a| (a, self.switches[s.0].children.len()))
                     }
                 };
-                engine.connect(
-                    switch_agents[sidx],
-                    port,
-                    child_agent,
-                    child_port,
-                    config.link_latency,
-                )?;
-                engine.connect(
-                    child_agent,
-                    child_port,
-                    switch_agents[sidx],
-                    port,
-                    config.link_latency,
-                )?;
+                match (switch_agents[sidx], child_end) {
+                    (Some(parent), Some((child_agent, child_port))) => {
+                        engine.connect(
+                            parent,
+                            port,
+                            child_agent,
+                            child_port,
+                            config.link_latency,
+                        )?;
+                        engine.connect(
+                            child_agent,
+                            child_port,
+                            parent,
+                            port,
+                            config.link_latency,
+                        )?;
+                    }
+                    (Some(parent), None) => {
+                        // Child lives on a peer shard: ship our downlink
+                        // windows out, accept uplink windows in.
+                        let out =
+                            engine.connect_external_output(parent, port, config.link_latency)?;
+                        boundaries.outputs.push((link_id(sidx, port, true), out));
+                        let inp =
+                            engine.connect_external_input(parent, port, config.link_latency)?;
+                        boundaries.inputs.push((link_id(sidx, port, false), inp));
+                    }
+                    (None, Some((child_agent, child_port))) => {
+                        let inp = engine.connect_external_input(
+                            child_agent,
+                            child_port,
+                            config.link_latency,
+                        )?;
+                        boundaries.inputs.push((link_id(sidx, port, true), inp));
+                        let out = engine.connect_external_output(
+                            child_agent,
+                            child_port,
+                            config.link_latency,
+                        )?;
+                        boundaries.outputs.push((link_id(sidx, port, false), out));
+                    }
+                    (None, None) => {} // Entirely a peer shard's edge.
+                }
             }
         }
 
@@ -311,6 +440,7 @@ impl Topology {
             servers,
             switch_stats,
             plan,
+            boundaries,
         })
     }
 }
@@ -336,6 +466,14 @@ impl Simulation {
         &mut self.engine
     }
 
+    /// Takes ownership of the open boundary ports of a sharded build so
+    /// pump threads can wire them to a
+    /// [`TokenTransport`](firesim_platform::TokenTransport). Empty for
+    /// monolithic builds; empties the simulation's copy when called.
+    pub fn take_boundaries(&mut self) -> ShardBoundaries {
+        std::mem::take(&mut self.boundaries)
+    }
+
     /// Enables sharded metrics collection and per-agent profiling on the
     /// engine. Idempotent; returns the shared registry.
     pub fn enable_metrics(&mut self) -> Arc<MetricsRegistry> {
@@ -359,6 +497,11 @@ impl Simulation {
     }
 
     /// Runs until every blade reports done, or `max` target cycles.
+    ///
+    /// Not meaningful for a sharded build: "done" is a *local* property,
+    /// and shards finishing at different cycles would break the token
+    /// protocol. Partitioned runs use [`run_for`](Simulation::run_for)
+    /// with a cycle count agreed by all workers.
     ///
     /// # Errors
     ///

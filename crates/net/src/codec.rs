@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 
 use firesim_core::snapshot::{Snapshot, SnapshotReader, SnapshotWriter};
-use firesim_core::SimResult;
+use firesim_core::{SimError, SimResult, TokenWindow};
 
 use crate::frame::{EthernetFrame, Flit, FrameError};
 use crate::FLIT_BYTES;
@@ -169,6 +169,136 @@ impl Snapshot for FrameDeframer {
     }
 }
 
+/// Hard ceiling on a single token frame, to catch stream corruption early.
+///
+/// A window of `W` tokens serialises to a few bytes per *occupied* token plus
+/// a constant header, so even pathological windows stay far below this. A
+/// length prefix above the ceiling means the byte stream has desynchronised
+/// (or a peer speaks a different protocol), and the decoder fails fast
+/// instead of attempting a multi-gigabyte allocation.
+pub const MAX_TOKEN_FRAME_BYTES: usize = 1 << 26; // 64 MiB
+
+/// Serialises one token window into a length-prefixed wire frame.
+///
+/// This is the unit of inter-process exchange for distributed simulation
+/// (§III-B2): one frame carries exactly one link-latency batch of tokens.
+/// The layout is
+///
+/// ```text
+/// [u32 len (LE)] [u64 seq (LE)] [TokenWindow snapshot bytes]
+///  ^len counts everything after itself: 8 + snapshot length
+/// ```
+///
+/// `seq` is a per-link monotonic batch counter; the receiver uses it to
+/// assert that no window was dropped or reordered by the transport.
+///
+/// # Examples
+///
+/// ```
+/// use firesim_core::TokenWindow;
+/// use firesim_net::codec::{encode_token_frame, TokenDeframer};
+///
+/// let mut w: TokenWindow<u64> = TokenWindow::new(8);
+/// w.push(3, 0xFEED).unwrap();
+/// let wire = encode_token_frame(7, &w);
+///
+/// let mut deframer = TokenDeframer::new();
+/// deframer.feed(&wire);
+/// let (seq, got): (u64, TokenWindow<u64>) = deframer.next_frame().unwrap().unwrap();
+/// assert_eq!(seq, 7);
+/// assert_eq!(got.get(3), Some(&0xFEED));
+/// ```
+pub fn encode_token_frame<T: Snapshot>(seq: u64, window: &TokenWindow<T>) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    window.save(&mut w);
+    let body = w.into_bytes();
+    let len = u32::try_from(8 + body.len()).expect("token frame exceeds u32 length prefix");
+    let mut out = Vec::with_capacity(4 + len as usize);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Streaming decoder for [`encode_token_frame`] byte streams.
+///
+/// Socket reads deliver arbitrary byte runs — half a header, three frames
+/// and a tail, etc. Feed whatever arrived with [`feed`](TokenDeframer::feed)
+/// and pull complete frames with [`next_frame`](TokenDeframer::next_frame)
+/// until it returns `None`; partial data stays buffered across calls.
+#[derive(Debug, Default)]
+pub struct TokenDeframer {
+    buf: Vec<u8>,
+    /// Read cursor into `buf`; consumed bytes are compacted lazily.
+    start: usize,
+}
+
+impl TokenDeframer {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing so the buffer doesn't creep unboundedly.
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > (1 << 16) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes buffered but not yet decoded.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete frame, or `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the length prefix is shorter than the mandatory `seq` field
+    /// or larger than [`MAX_TOKEN_FRAME_BYTES`] (stream corruption), or if
+    /// the snapshot payload does not decode as a `TokenWindow<T>`.
+    pub fn next_frame<T: Snapshot>(&mut self) -> SimResult<Option<(u64, TokenWindow<T>)>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len < 8 {
+            return Err(SimError::protocol(format!(
+                "token frame length {len} is shorter than its seq header"
+            )));
+        }
+        if len > MAX_TOKEN_FRAME_BYTES {
+            return Err(SimError::protocol(format!(
+                "token frame length {len} exceeds the {MAX_TOKEN_FRAME_BYTES}-byte \
+                 ceiling; byte stream is corrupt or desynchronised"
+            )));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let seq = u64::from_le_bytes(avail[4..12].try_into().unwrap());
+        let body = &avail[12..4 + len];
+        let mut r = SnapshotReader::new(body);
+        let window = TokenWindow::<T>::load(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SimError::protocol(format!(
+                "token frame seq {seq} has {} trailing bytes after the window payload",
+                r.remaining()
+            )));
+        }
+        self.start += 4 + len;
+        Ok(Some((seq, window)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +393,85 @@ mod tests {
     #[should_panic(expected = "empty frame")]
     fn empty_wire_panics() {
         FrameFramer::new().enqueue_wire(Vec::new());
+    }
+
+    fn window(len: u32, fill: &[(u32, u64)]) -> TokenWindow<u64> {
+        let mut w = TokenWindow::new(len);
+        for &(off, v) in fill {
+            w.push(off, v).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn token_frame_round_trip() {
+        let w = window(16, &[(0, 1), (5, 0xDEAD_BEEF), (15, u64::MAX)]);
+        let wire = encode_token_frame(42, &w);
+        let mut d = TokenDeframer::new();
+        d.feed(&wire);
+        let (seq, got): (u64, TokenWindow<u64>) = d.next_frame().unwrap().unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(got.len(), 16);
+        assert_eq!(got.get(5), Some(&0xDEAD_BEEF));
+        assert_eq!(got.occupancy(), 3);
+        assert!(d.next_frame::<u64>().unwrap().is_none());
+        assert_eq!(d.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn token_frames_survive_byte_by_byte_delivery() {
+        // A socket may deliver any byte runs; decoding must be agnostic.
+        let mut wire = Vec::new();
+        for seq in 0..3u64 {
+            wire.extend_from_slice(&encode_token_frame(
+                seq,
+                &window(8, &[(seq as u32, seq * 10)]),
+            ));
+        }
+        let mut d = TokenDeframer::new();
+        let mut out = Vec::new();
+        for b in wire {
+            d.feed(&[b]);
+            while let Some((seq, w)) = d.next_frame::<u64>().unwrap() {
+                out.push((seq, w.get(seq as u32).copied()));
+            }
+        }
+        assert_eq!(out, vec![(0, Some(0)), (1, Some(10)), (2, Some(20))]);
+    }
+
+    #[test]
+    fn token_frame_empty_window() {
+        let wire = encode_token_frame(0, &window(64, &[]));
+        let mut d = TokenDeframer::new();
+        d.feed(&wire);
+        let (_, got): (u64, TokenWindow<u64>) = d.next_frame().unwrap().unwrap();
+        assert!(got.is_empty());
+        assert_eq!(got.len(), 64);
+    }
+
+    #[test]
+    fn token_frame_corrupt_length_rejected() {
+        let mut d = TokenDeframer::new();
+        // Length prefix below the 8-byte seq header.
+        d.feed(&3u32.to_le_bytes());
+        d.feed(&[0; 3]);
+        assert!(d.next_frame::<u64>().is_err());
+
+        let mut d = TokenDeframer::new();
+        // Length prefix claiming a multi-gigabyte frame.
+        d.feed(&u32::MAX.to_le_bytes());
+        assert!(d.next_frame::<u64>().is_err());
+    }
+
+    #[test]
+    fn token_frame_trailing_bytes_rejected() {
+        let mut wire = encode_token_frame(9, &window(4, &[(1, 2)]));
+        // Inflate the declared length and append garbage inside the frame.
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) + 2;
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&[0xAB, 0xCD]);
+        let mut d = TokenDeframer::new();
+        d.feed(&wire);
+        assert!(d.next_frame::<u64>().is_err());
     }
 }

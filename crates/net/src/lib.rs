@@ -27,14 +27,14 @@
 //! Use [`Switch`] directly as a [`firesim_core::SimAgent`], or use
 //! higher-level topology construction in `firesim-manager`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;
 pub mod frame;
 pub mod switch;
 
-pub use codec::{FrameDeframer, FrameFramer};
+pub use codec::{encode_token_frame, FrameDeframer, FrameFramer, TokenDeframer};
 pub use frame::{EtherType, EthernetFrame, Flit, MacAddr};
 pub use switch::{RouteDecision, Switch, SwitchConfig, SwitchPolicy, SwitchStats};
 

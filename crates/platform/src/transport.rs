@@ -54,6 +54,14 @@ impl Transport {
 
     /// Host time (microseconds) to move one batch of `tokens` tokens of
     /// `token_bytes` bytes each.
+    ///
+    /// Unit derivation for the `gbps * 1e3` divisor, pinned by
+    /// `pin_known_batch_times` so the Fig 9 model cannot silently drift:
+    /// 1 Gbit/s = 10⁹ bits / 10⁶ µs = **10³ bits per microsecond**, so
+    /// `bits / (gbps · 10³)` is `bits / (bits/µs)` = microseconds. E.g. a
+    /// 6400-token batch of 8-byte tokens is 409 600 bits; over PCIe at
+    /// 50 Gbit/s that's 409 600 / 50 000 = 8.192 µs of wire time, plus
+    /// the 8 µs per-transfer latency = 16.192 µs.
     pub fn batch_time_us(&self, tokens: u64, token_bytes: u64) -> f64 {
         let bits = (tokens * token_bytes * 8) as f64;
         self.latency_us + bits / (self.gbps * 1e3)
@@ -91,6 +99,25 @@ mod tests {
         let slow = t.sim_rate_bound_hz(640, 8); // 200 ns link
         let fast = t.sim_rate_bound_hz(6_400, 8); // 2 us link
         assert!(fast > slow * 5.0, "fast {fast:.0} slow {slow:.0}");
+    }
+
+    #[test]
+    fn pin_known_batch_times() {
+        // 6400 tokens x 8 B = 409600 bits. At 50 Gbit/s (= 50e3 bits/us)
+        // the wire time is 8.192 us; PCIe adds 8.0 us of latency.
+        let pcie = Transport::of(TransportKind::Pcie);
+        assert!((pcie.batch_time_us(6_400, 8) - 16.192).abs() < 1e-9);
+        // Shm: 409600 / 200e3 = 2.048 us + 0.5 us latency.
+        let shm = Transport::of(TransportKind::SharedMemory);
+        assert!((shm.batch_time_us(6_400, 8) - 2.548).abs() < 1e-9);
+        // Tcp: 409600 / 20e3 = 20.48 us + 50 us latency.
+        let tcp = Transport::of(TransportKind::Tcp);
+        assert!((tcp.batch_time_us(6_400, 8) - 70.48).abs() < 1e-9);
+        // And the derived rate bound: 6400 tokens per 2*16.192 us round
+        // trip = 197.628... MHz for PCIe.
+        let hz = pcie.sim_rate_bound_hz(6_400, 8);
+        assert!((hz - 6_400.0 / (2.0 * 16.192e-6)).abs() < 1.0);
+        assert!((hz / 1e6 - 197.628).abs() < 1e-2, "{hz}");
     }
 
     #[test]

@@ -13,7 +13,15 @@
 //!     --checkpoint-every 100000 --inject-fault panic:pinger@250000
 //! cargo run --release --example quickstart -- \
 //!     --metrics-out report.json --trace-out trace.json
+//! cargo run --release --example quickstart -- --workers 2 --transport shm
 //! ```
+//!
+//! `--workers N` partitions the same four-server rack across N worker
+//! *processes* connected by real token transports (`--transport
+//! shm|tcp|unix`): each worker simulates its shard cycle-exactly and the
+//! parent merges the results — the per-agent checkpoint digests printed
+//! at the end are bit-identical for any N (§III-B2's determinism claim,
+//! which `tests/distributed.rs` asserts).
 //!
 //! With `--checkpoint-every N` the run goes through the supervisor
 //! ([`firesim_manager::SupervisorConfig`]): a snapshot of every blade,
@@ -37,15 +45,70 @@
 //! a Chrome `trace_event` JSON loadable in Perfetto or `chrome://tracing`.
 
 use firesim_blade::programs;
-use firesim_core::{Cycle, FaultPlan, Frequency};
-use firesim_manager::{BladeSpec, SimConfig, SupervisorConfig, Topology};
+use firesim_core::{Cycle, FaultPlan, Frequency, SimResult};
+use firesim_manager::{
+    run_partitioned, BladeSpec, PartitionConfig, SimConfig, SupervisorConfig, Topology,
+    TransportChoice,
+};
 use firesim_net::MacAddr;
+
+/// Target clock for every blade in the rack.
+const CLOCK: Frequency = Frequency::GHZ_3_2;
+/// How many pings the pinger program sends before powering off.
+const PINGS: usize = 10;
+
+/// Builds the quickstart rack: one ToR switch, a pinger, an echo server,
+/// and two idle nodes — the Rust analogue of the paper's Fig 4 config.
+///
+/// This is the [`firesim_manager::BuildFn`] shared by the in-process run
+/// and every partitioned worker process, so all of them deploy exactly
+/// the same target. The `spec` string is unused here (the topology is
+/// fixed) but the signature matches what `run_partitioned` forwards to
+/// workers.
+fn build_cluster(_spec: &str) -> SimResult<(Topology, SimConfig)> {
+    let link_latency = CLOCK.cycles_from_micros(2); // the paper's default
+
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let pinger = topo.add_server(
+        "pinger",
+        BladeSpec::rtl_single_core(programs::ping_sender(
+            MacAddr::from_node_index(0),
+            MacAddr::from_node_index(1),
+            PINGS,
+            56,
+            CLOCK.cycles_from_micros(20).as_u64(),
+        )),
+    );
+    let echo = topo.add_server(
+        "echo",
+        BladeSpec::rtl_single_core(programs::echo_responder(PINGS)),
+    );
+    topo.add_downlinks(tor, [pinger, echo])
+        .expect("fresh switch has free ports");
+    for i in 0..2 {
+        let idle = topo.add_server(
+            format!("idle{i}"),
+            BladeSpec::rtl_single_core(programs::boot_poweroff(100)),
+        );
+        topo.add_downlink(tor, idle)
+            .expect("fresh switch has free ports");
+    }
+    let config = SimConfig {
+        link_latency,
+        ..SimConfig::default()
+    };
+    Ok((topo, config))
+}
 
 struct Options {
     checkpoint_every: Option<u64>,
     faults: Vec<String>,
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
+    workers: Option<usize>,
+    transport: TransportChoice,
+    cycles: u64,
 }
 
 fn parse_args() -> Options {
@@ -54,10 +117,38 @@ fn parse_args() -> Options {
         faults: Vec::new(),
         metrics_out: None,
         trace_out: None,
+        workers: None,
+        transport: TransportChoice::Shm,
+        cycles: 2_000_000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--workers" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.workers = Some(n),
+                    _ => die(&format!("--workers needs a positive count, got {v:?}")),
+                }
+            }
+            "--transport" => {
+                let v = args.next().unwrap_or_default();
+                match TransportChoice::parse(&v) {
+                    Ok(t) => opts.transport = t,
+                    Err(_) => die(&format!("--transport must be shm|tcp|unix, got {v:?}")),
+                }
+            }
+            "--cycles" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => opts.cycles = n,
+                    _ => die(&format!("--cycles needs a positive cycle count, got {v:?}")),
+                }
+            }
             "--checkpoint-every" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<u64>() {
@@ -85,12 +176,22 @@ fn parse_args() -> Options {
     opts
 }
 
+const USAGE: &str = "\
+usage: quickstart [OPTIONS]
+
+  --checkpoint-every N     supervised run: snapshot every N target cycles
+  --inject-fault SPEC      install a deterministic fault (repeatable);
+                           e.g. panic:pinger@250000
+  --metrics-out PATH       enable metrics; write the RunReport JSON to PATH
+  --trace-out PATH         enable span tracing; write Chrome trace JSON to PATH
+  --workers N              partition the rack across N worker processes
+  --transport shm|tcp|unix token transport between workers (default shm)
+  --cycles N               target cycles to simulate (default 2000000)
+  --help                   print this help";
+
 fn die(msg: &str) -> ! {
     eprintln!("quickstart: {msg}");
-    eprintln!(
-        "usage: quickstart [--checkpoint-every N] [--inject-fault SPEC]... \
-         [--metrics-out PATH] [--trace-out PATH]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -143,46 +244,58 @@ fn parse_faults(specs: &[String]) -> FaultPlan {
     plan
 }
 
-fn main() {
-    let opts = parse_args();
-    let clock = Frequency::GHZ_3_2;
-    let pings = 10;
-    let link_latency = clock.cycles_from_micros(2); // the paper's default
-
-    // Describe the target: one ToR switch, a pinger, an echo server, and
-    // two idle nodes — the Rust analogue of the paper's Fig 4 config.
-    let mut topo = Topology::new();
-    let tor = topo.add_switch("tor0");
-    let pinger = topo.add_server(
-        "pinger",
-        BladeSpec::rtl_single_core(programs::ping_sender(
-            MacAddr::from_node_index(0),
-            MacAddr::from_node_index(1),
-            pings,
-            56,
-            clock.cycles_from_micros(20).as_u64(),
-        )),
+/// Runs the rack partitioned across `workers` processes and prints the
+/// per-agent checkpoint digests the parent merged back together.
+fn run_distributed(opts: &Options) -> ! {
+    let mut cfg = PartitionConfig::new(
+        opts.workers.unwrap_or(1),
+        Cycle::new(opts.cycles),
+        String::new(),
     );
-    let echo = topo.add_server(
-        "echo",
-        BladeSpec::rtl_single_core(programs::echo_responder(pings)),
+    cfg.transport = opts.transport;
+    println!(
+        "partitioning across {} worker(s) over {} transport",
+        cfg.workers,
+        cfg.transport.as_str()
     );
-    topo.add_downlinks(tor, [pinger, echo]).unwrap();
-    for i in 0..2 {
-        let idle = topo.add_server(
-            format!("idle{i}"),
-            BladeSpec::rtl_single_core(programs::boot_poweroff(100)),
-        );
-        topo.add_downlink(tor, idle).unwrap();
+    match run_partitioned(build_cluster, &cfg) {
+        Ok(run) => {
+            println!(
+                "simulated {} target cycles in {:?} across {} process(es)",
+                run.cycles.as_u64(),
+                run.wall,
+                run.workers
+            );
+            for (name, digest) in &run.digests {
+                println!("  digest {name:<8} {digest:016x}");
+            }
+            println!("combined digest: {:016x}", run.combined_digest);
+            print!("{}", run.report.human_summary());
+            std::process::exit(0);
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
     }
+}
+
+fn main() {
+    // Worker processes re-exec this binary; hand them their shard first.
+    if firesim_manager::maybe_worker(build_cluster) {
+        return;
+    }
+    let opts = parse_args();
+    if opts.workers.is_some() {
+        run_distributed(&opts);
+    }
+    let clock = CLOCK;
+    let pings = PINGS;
 
     // Build ("deploy") and run.
-    let mut sim = topo
-        .build(SimConfig {
-            link_latency,
-            ..SimConfig::default()
-        })
-        .expect("topology is valid");
+    let (topo, config) = build_cluster("").expect("topology is valid");
+    let link_latency = config.link_latency;
+    let mut sim = topo.build(config).expect("topology is valid");
     println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
 
     if opts.metrics_out.is_some() {
@@ -203,7 +316,7 @@ fn main() {
     // A clean run powers off well under 1M cycles; the cap only matters
     // when an injected target fault eats frames the bare-metal ping
     // program would otherwise spin on forever.
-    let max = Cycle::new(2_000_000);
+    let max = Cycle::new(opts.cycles);
     let (cycles, wall) = if opts.checkpoint_every.is_some() || !opts.faults.is_empty() {
         // Supervised path: periodic snapshots, retry-from-checkpoint on
         // injected (or real) host-side failures.
