@@ -117,6 +117,20 @@ impl Bus for SocBus<'_> {
             is_store: true,
         })
     }
+
+    // Decode-cache generations: only DRAM is cacheable code (MMIO
+    // fetches, were a program to attempt them, always take the slow
+    // path); `Memory` answers `None` outside its range, which also
+    // covers the POWEROFF word and unmapped holes. Device DMA
+    // (NIC/blockdev/accel) funnels through `Memory::write_bytes`, so it
+    // bumps the same generations CPU stores do.
+    fn code_generation(&self, addr: u64) -> Option<u64> {
+        self.mem.code_generation(addr)
+    }
+
+    fn write_generation(&self) -> u64 {
+        self.mem.write_generation()
+    }
 }
 
 /// A cycle-exact server blade. See the [module docs](self).
@@ -138,6 +152,12 @@ pub struct RtlBlade {
     probe: Arc<Mutex<BladeProbe>>,
     store_scratch: Vec<u64>,
     rx_scratch: Vec<(u32, Flit)>,
+    /// Host nanoseconds spent inside [`advance_ports`](Self::advance_ports),
+    /// measured by the blade itself (one clock pair per window) so
+    /// per-blade host MIPS is available without `enable_metrics`.
+    /// Host-side only: excluded from checkpoints and from deterministic
+    /// report aggregates.
+    host_ns: u64,
 }
 
 impl std::fmt::Debug for RtlBlade {
@@ -175,6 +195,7 @@ impl RtlBlade {
             probe: Arc::new(Mutex::new(BladeProbe::default())),
             store_scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            host_ns: 0,
         }
     }
 
@@ -276,6 +297,7 @@ impl RtlBlade {
     /// blades on distinct ports of one shared context. Input tokens are
     /// drained in place so the engine can recycle the window's buffer.
     pub fn advance_ports(&mut self, ctx: &mut AgentCtx<Flit>, in_port: usize, out_port: usize) {
+        let host_start = std::time::Instant::now();
         let window = ctx.window();
         self.rx_scratch.clear();
         self.rx_scratch.extend(ctx.drain_input(in_port));
@@ -347,6 +369,7 @@ impl RtlBlade {
 
             self.cycle += 1;
         }
+        self.host_ns += host_start.elapsed().as_nanos() as u64;
         self.sync_probe();
     }
 }
@@ -469,16 +492,36 @@ impl SimAgent for RtlBlade {
     }
 
     fn app_counters(&self, out: &mut Vec<(String, u64)>) {
-        out.push((
-            "retired".to_owned(),
-            self.cores.iter().map(TimingCore::retired).sum(),
-        ));
+        let retired: u64 = self.cores.iter().map(TimingCore::retired).sum();
+        out.push(("retired".to_owned(), retired));
         out.push(("cycles".to_owned(), self.cycle));
         out.push((
             "powered_off".to_owned(),
             u64::from(self.powered_off.is_some()),
         ));
         self.nic.stats().export("nic_", out);
+        // Host-dependent counters, `host_`-prefixed so report consumers
+        // (and `RunReport::deterministic_aggregates`) can tell them from
+        // target-deterministic ones.
+        let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+        for stats in self.cores.iter().filter_map(TimingCore::icache_stats) {
+            hits += stats.hits;
+            misses += stats.misses;
+            invalidations += stats.invalidations;
+        }
+        out.push(("host_icache_hits".to_owned(), hits));
+        out.push(("host_icache_misses".to_owned(), misses));
+        out.push(("host_icache_invalidations".to_owned(), invalidations));
+        out.push((
+            "host_icache_hit_permille".to_owned(),
+            (hits * 1000).checked_div(hits + misses).unwrap_or(0),
+        ));
+        // Retired instructions per host-second, in millions:
+        // retired / (host_ns / 1e9) / 1e6 = retired * 1000 / host_ns.
+        out.push((
+            "host_mips".to_owned(),
+            retired.saturating_mul(1000) / self.host_ns.max(1),
+        ));
     }
 }
 

@@ -231,8 +231,11 @@ impl RunReport {
     /// observables (rounds, cycles, window/token traffic, app counters;
     /// **not** `host_ns`) and per-link occupancies, all name-sorted.
     /// Excludes wall time, thread counts, simulation rate, registry
-    /// counters (several count host events like barrier spins), and
-    /// histograms.
+    /// counters (several count host events like barrier spins),
+    /// histograms, and `host_`-prefixed app counters (decode-cache
+    /// hit rates, per-blade host MIPS — host observables that legally
+    /// differ between runs that are target-identical, e.g. with the
+    /// decoded-instruction cache on vs. off).
     pub fn deterministic_aggregates(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -256,6 +259,12 @@ impl RunReport {
                 a.tokens_out,
             );
             for (k, v) in &a.counters {
+                // `host_…` (or a supernode-prefixed `…/host_…`) marks a
+                // host-dependent counter; everything else is target
+                // state and must agree bit-for-bit across runs.
+                if k.starts_with("host_") || k.contains("/host_") {
+                    continue;
+                }
                 let _ = write!(out, " {k}={v}");
             }
             let _ = writeln!(out);

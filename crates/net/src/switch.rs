@@ -193,6 +193,9 @@ pub struct Switch {
     bucket_bytes: u64,
     policy: Option<Box<dyn SwitchPolicy>>,
     stats: Arc<Mutex<SwitchStats>>,
+    /// Reusable egress-port list for [`route_frame`](Self::route_frame)
+    /// (host-side scratch, not checkpointed).
+    route_scratch: Vec<usize>,
 }
 
 /// Wrapper ordering frame bytes only by identity-irrelevant equality; kept
@@ -229,6 +232,7 @@ impl Switch {
             bucket_bytes: 0,
             policy: None,
             stats: Arc::new(Mutex::new(SwitchStats::default())),
+            route_scratch: Vec::new(),
             config,
         }
     }
@@ -261,7 +265,15 @@ impl Switch {
     }
 
     /// Routes one switched frame into output buffers.
+    ///
+    /// Multi-destination frames clone the wire bytes for all egress ports
+    /// but the last, which receives the original `wire` by move; the list of
+    /// destination ports is built in a reusable scratch buffer so a
+    /// steady-state unicast or single-destination flood allocates nothing
+    /// beyond what ingress deframing already paid.
     fn route_frame(&mut self, ingress: usize, ts: u64, wire: Vec<u8>, stats: &mut SwitchStats) {
+        let mut targets = std::mem::take(&mut self.route_scratch);
+        targets.clear();
         if let Some(policy) = &mut self.policy {
             match policy.route(&wire, ingress, self.config.ports) {
                 RouteDecision::Drop => {
@@ -269,49 +281,34 @@ impl Switch {
                 }
                 RouteDecision::Flood => {
                     stats.frames_flooded += 1;
-                    for p in 0..self.config.ports {
-                        if p != ingress {
-                            Self::enqueue_out(
-                                &mut self.egress[p],
-                                &self.config,
-                                ts,
-                                wire.clone(),
-                                stats,
-                            );
-                        }
-                    }
+                    targets.extend((0..self.config.ports).filter(|&p| p != ingress));
                 }
                 RouteDecision::Ports(ports) => {
                     stats.frames_forwarded += 1;
-                    for p in ports {
-                        if p < self.config.ports && p != ingress {
-                            Self::enqueue_out(
-                                &mut self.egress[p],
-                                &self.config,
-                                ts,
-                                wire.clone(),
-                                stats,
-                            );
-                        }
-                    }
-                }
-            }
-            return;
-        }
-        let dst = MacAddr([wire[0], wire[1], wire[2], wire[3], wire[4], wire[5]]);
-        let flood = dst.is_broadcast() || !self.mac_table.contains_key(&dst);
-        if flood {
-            stats.frames_flooded += 1;
-            for p in 0..self.config.ports {
-                if p != ingress {
-                    Self::enqueue_out(&mut self.egress[p], &self.config, ts, wire.clone(), stats);
+                    targets.extend(
+                        ports
+                            .into_iter()
+                            .filter(|&p| p < self.config.ports && p != ingress),
+                    );
                 }
             }
         } else {
-            let p = self.mac_table[&dst];
-            stats.frames_forwarded += 1;
-            Self::enqueue_out(&mut self.egress[p], &self.config, ts, wire, stats);
+            let dst = MacAddr([wire[0], wire[1], wire[2], wire[3], wire[4], wire[5]]);
+            if dst.is_broadcast() || !self.mac_table.contains_key(&dst) {
+                stats.frames_flooded += 1;
+                targets.extend((0..self.config.ports).filter(|&p| p != ingress));
+            } else {
+                stats.frames_forwarded += 1;
+                targets.push(self.mac_table[&dst]);
+            }
         }
+        if let Some((&last, rest)) = targets.split_last() {
+            for &p in rest {
+                Self::enqueue_out(&mut self.egress[p], &self.config, ts, wire.clone(), stats);
+            }
+            Self::enqueue_out(&mut self.egress[last], &self.config, ts, wire, stats);
+        }
+        self.route_scratch = targets;
     }
 
     fn enqueue_out(

@@ -976,6 +976,11 @@ impl Assembler {
     pub fn fence(&mut self) {
         self.inst(Inst::Fence);
     }
+    /// `fence.i` — instruction-stream fence; required between writing
+    /// code and executing it (flushes the host-side decode cache).
+    pub fn fence_i(&mut self) {
+        self.inst(Inst::FenceI);
+    }
 }
 
 #[cfg(test)]

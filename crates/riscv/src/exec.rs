@@ -7,6 +7,7 @@
 
 use crate::csr::CsrFile;
 use crate::decode::decode;
+use crate::icache::DecodeCache;
 use crate::inst::{AluOp, AmoOp, BranchCond, CsrOp, CsrSrc, Inst, MulDivOp};
 use crate::mem::{Bus, MemFault};
 
@@ -85,6 +86,27 @@ pub enum StepOutcome {
     /// The core is parked in WFI with no enabled interrupt pending; the PC
     /// did not advance.
     Wfi,
+}
+
+/// Why a superblock dispatch ([`Cpu::run_cached`]) stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockStop {
+    /// The instruction budget ran out mid-run (e.g. a token-window
+    /// boundary); the core is ready to continue.
+    Budget,
+    /// A trap (exception or interrupt) redirected the PC to the handler.
+    Trapped,
+    /// The core parked in WFI with no enabled interrupt pending.
+    Wfi,
+}
+
+/// Result of one superblock dispatch ([`Cpu::run_cached`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    /// Instructions retired during the block (traps retire nothing).
+    pub retired: u64,
+    /// Why the block ended.
+    pub stopped: BlockStop,
 }
 
 /// Architectural state of one RV64IMA hart.
@@ -179,23 +201,387 @@ impl Cpu {
             return Ok(StepOutcome::Trapped { cause, handler });
         }
 
+        Ok(self.fetch_decode_execute(bus))
+    }
+
+    /// Like [`step`](Self::step), but serves fetch + decode from a
+    /// host-side [`DecodeCache`] and chains straight-line runs through
+    /// its superblock cursor. Architecturally indistinguishable from
+    /// `step`: interrupts are polled before every instruction, every
+    /// trap goes through the interpreter path, and cache staleness is
+    /// impossible by the generation argument in the
+    /// [`icache`](crate::icache) module docs.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err`, exactly as [`step`](Self::step).
+    #[inline]
+    pub fn step_cached<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        cache: &mut DecodeCache,
+    ) -> Result<StepOutcome, MemFault> {
+        // 1. Interrupts — polled every instruction, exactly like `step`.
+        if let Some(line) = self.csrs.pending_interrupt() {
+            let cause = line.cause();
+            let handler = self.csrs.trap_enter(self.pc, cause, 0);
+            self.pc = handler;
+            cache.end_superblock();
+            return Ok(StepOutcome::Trapped { cause, handler });
+        }
+
+        // 2+3. Fetch + decode through the cache; anything the cache
+        // cannot serve (misaligned PC, MMIO fetch, fault, illegal word)
+        // re-runs the interpreter path so trap logic stays in one place.
+        let pc = self.pc;
+        let outcome = if pc.is_multiple_of(4) {
+            match cache.lookup(pc, bus) {
+                Some((word, inst)) => self.execute(pc, word, inst, bus),
+                None => {
+                    cache.end_superblock();
+                    self.fetch_decode_execute(bus)
+                }
+            }
+        } else {
+            cache.end_superblock();
+            self.fetch_decode_execute(bus)
+        };
+
+        // 4. Superblock bookkeeping on the *architectural* outcome, so
+        // it is identical whichever path produced it.
+        Self::superblock_bookkeeping(cache, pc, &outcome);
+        Ok(outcome)
+    }
+
+    /// Updates the superblock cursor after one instruction: the cursor
+    /// survives only a fall-through retire onto the same page; a `FENCE.I`
+    /// flushes the whole cache; anything else (taken branch, jump, trap,
+    /// WFI) ends the superblock.
+    #[inline]
+    fn superblock_bookkeeping(cache: &mut DecodeCache, pc: u64, outcome: &StepOutcome) {
+        match outcome {
+            StepOutcome::Retired {
+                inst: Inst::FenceI, ..
+            } => cache.fence_i(),
+            StepOutcome::Retired {
+                next_pc,
+                taken_branch: false,
+                ..
+            } if *next_pc == pc.wrapping_add(4)
+                && *next_pc / crate::mem::PAGE_SIZE == pc / crate::mem::PAGE_SIZE =>
+            {
+                cache.advance_cursor(*next_pc);
+            }
+            _ => cache.end_superblock(),
+        }
+    }
+
+    /// Runs up to `max_insts` instructions through the decode-cache fast
+    /// path as one *superblock dispatch*: a tight loop that stays inside
+    /// this call — no per-instruction outcome handed back to the caller —
+    /// until the budget runs out, a trap (including a polled interrupt)
+    /// redirects the PC, or the core parks in WFI.
+    ///
+    /// Semantics are identical to calling
+    /// [`step_cached`](Self::step_cached) `max_insts` times and stopping
+    /// at the first
+    /// non-`Retired` outcome: interrupts are polled before every
+    /// instruction and every instruction goes through the same execute
+    /// path. Only the per-step outcome *reporting* is elided, which is
+    /// what makes this the high-throughput entry point — use it when no
+    /// per-instruction timing information is needed (functional warm-up,
+    /// ISA-level benchmarking); use `step_cached` when a timing model
+    /// consumes each [`StepOutcome`].
+    pub fn run_cached<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        cache: &mut DecodeCache,
+        max_insts: u64,
+    ) -> BlockSummary {
+        let mut retired = 0u64;
+        // Instructions already counted into `minstret`; the hot arms defer
+        // the increment and the difference `retired - flushed` is folded
+        // in at every hot-loop exit. Sound because nothing inside a hot
+        // run can observe `minstret`: only a CSR instruction reads it, and
+        // CSR instructions take the `other` arm, which flushes first.
+        let mut flushed = 0u64;
+        // The interrupt poll is likewise hoisted out of the hot arms:
+        // `self.csrs` is unreachable from the bus (a disjoint borrow,
+        // wired to devices outside this call), so between two polls the
+        // interrupt state can only change through the CPU's own CSR
+        // instructions and traps — all of which leave the hot loop and
+        // re-enter the poll before the next instruction. Polling once per
+        // hot run is therefore observationally identical to
+        // `step_cached`'s per-instruction poll.
+        'poll: while retired < max_insts {
+            if let Some(line) = self.csrs.pending_interrupt() {
+                let cause = line.cause();
+                let handler = self.csrs.trap_enter(self.pc, cause, 0);
+                self.pc = handler;
+                cache.end_superblock();
+                self.csrs.minstret = self.csrs.minstret.wrapping_add(retired - flushed);
+                return BlockSummary {
+                    retired,
+                    stopped: BlockStop::Trapped,
+                };
+            }
+
+            while retired < max_insts {
+                let pc = self.pc;
+                let cached = if pc.is_multiple_of(4) {
+                    cache.lookup(pc, bus)
+                } else {
+                    None
+                };
+                let Some((word, inst)) = cached else {
+                    // Slow path: misaligned PC, uncacheable fetch, fault,
+                    // or illegal word — one full interpreter step, which
+                    // counts its own retire, so flush the deferred ones
+                    // first.
+                    cache.end_superblock();
+                    self.csrs.minstret = self.csrs.minstret.wrapping_add(retired - flushed);
+                    flushed = retired;
+                    let outcome = self.fetch_decode_execute(bus);
+                    Self::superblock_bookkeeping(cache, pc, &outcome);
+                    match outcome {
+                        StepOutcome::Retired { .. } => {
+                            retired += 1;
+                            flushed += 1;
+                            continue 'poll;
+                        }
+                        StepOutcome::Trapped { .. } => {
+                            return BlockSummary {
+                                retired,
+                                stopped: BlockStop::Trapped,
+                            };
+                        }
+                        StepOutcome::Wfi => {
+                            return BlockSummary {
+                                retired,
+                                stopped: BlockStop::Wfi,
+                            };
+                        }
+                    }
+                };
+
+                // Lean dispatch of the hot arms: semantics are kept in
+                // lockstep with `execute` (locked by the
+                // `run_cached_matches_step_exactly` differential test);
+                // only the per-instruction outcome reporting is elided.
+                // Everything else funnels through `execute` itself.
+                match inst {
+                    Inst::OpImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm,
+                        word,
+                    } => {
+                        let v = alu(op, self.read_reg(rs1), imm as u64, word);
+                        self.write_reg(rd, v);
+                        self.retire_linear(cache, pc);
+                    }
+                    Inst::Op {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word,
+                    } => {
+                        let v = alu(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                        self.write_reg(rd, v);
+                        self.retire_linear(cache, pc);
+                    }
+                    Inst::MulDiv {
+                        op,
+                        rd,
+                        rs1,
+                        rs2,
+                        word,
+                    } => {
+                        let v = muldiv(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                        self.write_reg(rd, v);
+                        self.retire_linear(cache, pc);
+                    }
+                    Inst::Lui { rd, imm } => {
+                        self.write_reg(rd, imm as u64);
+                        self.retire_linear(cache, pc);
+                    }
+                    Inst::Auipc { rd, imm } => {
+                        self.write_reg(rd, pc.wrapping_add(imm as u64));
+                        self.retire_linear(cache, pc);
+                    }
+                    Inst::Jal { rd, imm } => {
+                        self.write_reg(rd, pc.wrapping_add(4));
+                        self.retire_jump(cache, pc.wrapping_add(imm as u64));
+                    }
+                    Inst::Jalr { rd, rs1, imm } => {
+                        let target = self.read_reg(rs1).wrapping_add(imm as u64) & !1;
+                        self.write_reg(rd, pc.wrapping_add(4));
+                        self.retire_jump(cache, target);
+                    }
+                    Inst::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        imm,
+                    } => {
+                        let a = self.read_reg(rs1);
+                        let b = self.read_reg(rs2);
+                        let take = match cond {
+                            BranchCond::Eq => a == b,
+                            BranchCond::Ne => a != b,
+                            BranchCond::Lt => (a as i64) < (b as i64),
+                            BranchCond::Ge => (a as i64) >= (b as i64),
+                            BranchCond::Ltu => a < b,
+                            BranchCond::Geu => a >= b,
+                        };
+                        if take {
+                            self.retire_jump(cache, pc.wrapping_add(imm as u64));
+                        } else {
+                            self.retire_linear(cache, pc);
+                        }
+                    }
+                    Inst::Load {
+                        width,
+                        signed,
+                        rd,
+                        rs1,
+                        imm,
+                    } => {
+                        let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                        let size = width.bytes();
+                        match bus.load(addr, size) {
+                            Ok(raw) => {
+                                let value = if signed { sign_extend(raw, size) } else { raw };
+                                self.write_reg(rd, value);
+                                self.retire_linear(cache, pc);
+                            }
+                            Err(f) => {
+                                self.trap(Trap::LoadAccessFault, f.addr);
+                                cache.end_superblock();
+                                self.csrs.minstret =
+                                    self.csrs.minstret.wrapping_add(retired - flushed);
+                                return BlockSummary {
+                                    retired,
+                                    stopped: BlockStop::Trapped,
+                                };
+                            }
+                        }
+                    }
+                    Inst::Store {
+                        width,
+                        rs2,
+                        rs1,
+                        imm,
+                    } => {
+                        let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                        let size = width.bytes();
+                        match bus.store(addr, size, self.read_reg(rs2)) {
+                            Ok(()) => self.retire_linear(cache, pc),
+                            Err(f) => {
+                                self.trap(Trap::StoreAccessFault, f.addr);
+                                cache.end_superblock();
+                                self.csrs.minstret =
+                                    self.csrs.minstret.wrapping_add(retired - flushed);
+                                return BlockSummary {
+                                    retired,
+                                    stopped: BlockStop::Trapped,
+                                };
+                            }
+                        }
+                    }
+                    other => {
+                        // Rare instructions (AMO, CSR, fences, system)
+                        // keep the single source of truth in `execute`;
+                        // it counts its own retire and may read or write
+                        // any CSR, so flush first and re-poll after.
+                        self.csrs.minstret = self.csrs.minstret.wrapping_add(retired - flushed);
+                        flushed = retired;
+                        let outcome = self.execute(pc, word, other, bus);
+                        Self::superblock_bookkeeping(cache, pc, &outcome);
+                        match outcome {
+                            StepOutcome::Retired { .. } => {
+                                retired += 1;
+                                flushed += 1;
+                                continue 'poll;
+                            }
+                            StepOutcome::Trapped { .. } => {
+                                return BlockSummary {
+                                    retired,
+                                    stopped: BlockStop::Trapped,
+                                };
+                            }
+                            StepOutcome::Wfi => {
+                                return BlockSummary {
+                                    retired,
+                                    stopped: BlockStop::Wfi,
+                                };
+                            }
+                        }
+                    }
+                }
+                retired += 1;
+            }
+        }
+        self.csrs.minstret = self.csrs.minstret.wrapping_add(retired - flushed);
+        BlockSummary {
+            retired,
+            stopped: BlockStop::Budget,
+        }
+    }
+
+    /// Fast-path retire of a fall-through instruction at `pc`: advance
+    /// the PC and move the superblock cursor (only valid within one page —
+    /// crossing a page boundary re-validates through the page generation
+    /// on the next lookup). `minstret` is deferred by the caller.
+    #[inline(always)]
+    fn retire_linear(&mut self, cache: &mut DecodeCache, pc: u64) {
+        let next_pc = pc.wrapping_add(4);
+        self.pc = next_pc;
+        if next_pc / crate::mem::PAGE_SIZE == pc / crate::mem::PAGE_SIZE {
+            cache.advance_cursor(next_pc);
+        } else {
+            cache.end_superblock();
+        }
+    }
+
+    /// Fast-path retire of a taken control-flow instruction: redirect the
+    /// PC and end the superblock (the cursor never follows jumps).
+    /// `minstret` is deferred by the caller.
+    #[inline(always)]
+    fn retire_jump(&mut self, cache: &mut DecodeCache, target: u64) {
+        self.pc = target;
+        cache.end_superblock();
+    }
+
+    /// Phases 2-4 of [`step`](Self::step): fetch, decode, execute.
+    #[inline]
+    fn fetch_decode_execute<B: Bus>(&mut self, bus: &mut B) -> StepOutcome {
         // 2. Fetch.
         let pc = self.pc;
         if !pc.is_multiple_of(4) {
-            return Ok(self.trap(Trap::InstMisaligned, pc));
+            return self.trap(Trap::InstMisaligned, pc);
         }
         let word = match bus.fetch(pc) {
             Ok(w) => w,
-            Err(_) => return Ok(self.trap(Trap::InstAccessFault, pc)),
+            Err(_) => return self.trap(Trap::InstAccessFault, pc),
         };
 
         // 3. Decode.
         let inst = match decode(word) {
             Ok(i) => i,
-            Err(_) => return Ok(self.trap(Trap::IllegalInst, u64::from(word))),
+            Err(_) => return self.trap(Trap::IllegalInst, u64::from(word)),
         };
 
         // 4. Execute.
+        self.execute(pc, word, inst, bus)
+    }
+
+    /// Executes one decoded instruction. `word` is the raw fetched word
+    /// (the `Csr` arm needs it for an illegal-CSR `mtval`).
+    #[inline]
+    fn execute<B: Bus>(&mut self, pc: u64, word: u32, inst: Inst, bus: &mut B) -> StepOutcome {
         let mut next_pc = pc.wrapping_add(4);
         let mut taken_branch = false;
         let mut mem = None;
@@ -243,7 +629,7 @@ impl Cpu {
                 let size = width.bytes();
                 let raw = match bus.load(addr, size) {
                     Ok(v) => v,
-                    Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                    Err(f) => return self.trap(Trap::LoadAccessFault, f.addr),
                 };
                 let value = if signed { sign_extend(raw, size) } else { raw };
                 self.write_reg(rd, value);
@@ -263,7 +649,7 @@ impl Cpu {
                 let addr = self.read_reg(rs1).wrapping_add(imm as u64);
                 let size = width.bytes();
                 if let Err(f) = bus.store(addr, size, self.read_reg(rs2)) {
-                    return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                    return self.trap(Trap::StoreAccessFault, f.addr);
                 }
                 mem = Some(MemAccess {
                     addr,
@@ -312,13 +698,13 @@ impl Cpu {
                 let addr = self.read_reg(rs1);
                 let size = width.bytes();
                 if !addr.is_multiple_of(size as u64) {
-                    return Ok(self.trap(Trap::StoreAccessFault, addr));
+                    return self.trap(Trap::StoreAccessFault, addr);
                 }
                 match op {
                     AmoOp::Lr => {
                         let raw = match bus.load(addr, size) {
                             Ok(v) => v,
-                            Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                            Err(f) => return self.trap(Trap::LoadAccessFault, f.addr),
                         };
                         self.write_reg(rd, sign_extend(raw, size));
                         self.reservation = Some(addr);
@@ -334,7 +720,7 @@ impl Cpu {
                         self.reservation = None;
                         if ok {
                             if let Err(f) = bus.store(addr, size, self.read_reg(rs2)) {
-                                return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                                return self.trap(Trap::StoreAccessFault, f.addr);
                             }
                             mem = Some(MemAccess {
                                 addr,
@@ -348,13 +734,13 @@ impl Cpu {
                     _ => {
                         let raw = match bus.load(addr, size) {
                             Ok(v) => v,
-                            Err(f) => return Ok(self.trap(Trap::LoadAccessFault, f.addr)),
+                            Err(f) => return self.trap(Trap::LoadAccessFault, f.addr),
                         };
                         let old = sign_extend(raw, size);
                         let src = self.read_reg(rs2);
                         let new = amo_compute(op, old, src, size);
                         if let Err(f) = bus.store(addr, size, new) {
-                            return Ok(self.trap(Trap::StoreAccessFault, f.addr));
+                            return self.trap(Trap::StoreAccessFault, f.addr);
                         }
                         self.write_reg(rd, old);
                         mem = Some(MemAccess {
@@ -378,7 +764,7 @@ impl Cpu {
                 };
                 let old = match self.csrs.read(csr) {
                     Ok(v) => v,
-                    Err(_) => return Ok(self.trap(Trap::IllegalInst, u64::from(word))),
+                    Err(_) => return self.trap(Trap::IllegalInst, u64::from(word)),
                 };
                 if !skip_write {
                     let new = match op {
@@ -387,20 +773,20 @@ impl Cpu {
                         CsrOp::Rc => old & !src_val,
                     };
                     if self.csrs.write(csr, new).is_err() {
-                        return Ok(self.trap(Trap::IllegalInst, u64::from(word)));
+                        return self.trap(Trap::IllegalInst, u64::from(word));
                     }
                 }
                 self.write_reg(rd, old);
             }
             Inst::Fence | Inst::FenceI => {}
-            Inst::Ecall => return Ok(self.trap(Trap::EcallM, 0)),
-            Inst::Ebreak => return Ok(self.trap(Trap::Breakpoint, pc)),
+            Inst::Ecall => return self.trap(Trap::EcallM, 0),
+            Inst::Ebreak => return self.trap(Trap::Breakpoint, pc),
             Inst::Mret => {
                 next_pc = self.csrs.trap_return();
             }
             Inst::Wfi => {
                 if !self.csrs.wfi_wakeup() {
-                    return Ok(StepOutcome::Wfi);
+                    return StepOutcome::Wfi;
                 }
                 // An enabled interrupt is pending: WFI completes. If
                 // globally enabled it will be taken on the next step.
@@ -409,13 +795,13 @@ impl Cpu {
 
         self.pc = next_pc;
         self.csrs.minstret = self.csrs.minstret.wrapping_add(1);
-        Ok(StepOutcome::Retired {
+        StepOutcome::Retired {
             pc,
             inst,
             next_pc,
             taken_branch,
             mem,
-        })
+        }
     }
 }
 
@@ -901,6 +1287,87 @@ mod tests {
         }
         cpu.step(&mut mem).unwrap(); // li
         assert_eq!(cpu.read_reg(1), 5);
+    }
+
+    /// The lean superblock dispatch in `run_cached` re-implements the hot
+    /// instruction arms without building `StepOutcome`s; this differential
+    /// test locks it to the plain interpreter over a trap-heavy program
+    /// (ALU, mul, loads/stores, calls, branches, CSR traffic, an ecall
+    /// handler round-trip, AMOs), driven in small budget chunks so every
+    /// `BlockStop` reason is exercised.
+    #[test]
+    fn run_cached_matches_step_exactly() {
+        let mut a = Assembler::new(BASE);
+        a.la(5, "handler");
+        a.csrw(csr_addr::MTVEC, 5);
+        a.li(2, BASE as i64 + 0x8000); // stack
+        a.li(21, BASE as i64 + 0x4000); // data (not x1: `call` clobbers ra)
+        a.li(10, 1);
+        a.li(6, 12);
+        a.label("loop");
+        a.mul(10, 10, 6);
+        a.sd(10, 21, 0);
+        a.ld(11, 21, 0);
+        a.amoadd_d(12, 11, 21);
+        a.call("leaf");
+        a.addi(6, 6, -1);
+        a.bnez(6, "loop");
+        a.ecall(); // round-trip through the trap handler
+        a.li(13, 99);
+        a.wfi();
+        a.label("leaf");
+        a.xor(14, 10, 11);
+        a.ret();
+        a.label("handler");
+        a.csrr(7, csr_addr::MEPC);
+        a.addi(7, 7, 4);
+        a.csrw(csr_addr::MEPC, 7);
+        a.mret();
+        let image = a.assemble().unwrap();
+
+        let mut mem_i = Memory::new(BASE, 1 << 20);
+        mem_i.write_bytes(BASE, &image).unwrap();
+        let mut interp = Cpu::new(0, BASE);
+        let mut retired_i = 0u64;
+        loop {
+            match interp.step(&mut mem_i).unwrap() {
+                StepOutcome::Retired { .. } => retired_i += 1,
+                StepOutcome::Trapped { .. } => {}
+                StepOutcome::Wfi => break,
+            }
+            assert!(retired_i < 10_000, "interpreter runaway");
+        }
+
+        let mut mem_c = Memory::new(BASE, 1 << 20);
+        mem_c.write_bytes(BASE, &image).unwrap();
+        let mut cached = Cpu::new(0, BASE);
+        let mut cache = DecodeCache::new();
+        let mut retired_c = 0u64;
+        loop {
+            // A deliberately awkward budget so superblocks split at
+            // arbitrary points, including mid-basic-block.
+            let block = cached.run_cached(&mut mem_c, &mut cache, 7);
+            retired_c += block.retired;
+            match block.stopped {
+                BlockStop::Budget | BlockStop::Trapped => {}
+                BlockStop::Wfi => break,
+            }
+            assert!(retired_c < 10_000, "cached runaway");
+        }
+
+        assert_eq!(retired_i, retired_c, "retired counts diverge");
+        assert_eq!(interp.pc, cached.pc, "final pc diverges");
+        assert_eq!(interp.regs, cached.regs, "register files diverge");
+        assert_eq!(
+            interp.csrs.minstret, cached.csrs.minstret,
+            "minstret diverges"
+        );
+        assert_eq!(cached.read_reg(13), 99, "program must complete");
+        let stats = cache.stats();
+        assert!(
+            stats.hits > retired_c / 2,
+            "fast path barely used: {stats:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Host-side decoded-instruction cache with superblock dispatch.
+//!
+//! The functional interpreter re-fetches and re-decodes every instruction
+//! on every [`Cpu::step`](crate::exec::Cpu::step); on instruction-dense
+//! workloads that is most of the per-step host cost. [`DecodeCache`] is a
+//! direct-mapped cache of pre-decoded [`Inst`] entries keyed by physical
+//! PC, consulted by [`Cpu::step_cached`](crate::exec::Cpu::step_cached):
+//! a hit skips the fetch *and* the decode; a miss fills the entry.
+//!
+//! # Invalidation
+//!
+//! A cached decode is stale the moment the word it came from is
+//! overwritten — by a guest store, an AMO, or device DMA. Rather than
+//! snooping every write against every entry, validity is proved lazily
+//! with generation counters:
+//!
+//! * the bus exposes a per-page counter
+//!   ([`Bus::code_generation`]) bumped by every write into the page, and
+//!   a global counter ([`Bus::write_generation`]) bumped by every write
+//!   anywhere;
+//! * each entry records `page_gen + fence_gen` at fill time and is valid
+//!   only while that sum is unchanged (`fence_gen` is the cache's own
+//!   counter, bumped by `FENCE.I`, which flushes everything at once).
+//!   Both terms are monotone, so the sum can never return to a stale
+//!   value.
+//!
+//! # Superblock dispatch
+//!
+//! Straight-line runs skip even the per-page lookup: after an
+//! instruction at `pc` retires into `pc + 4` on the same page, the
+//! cursor remembers the successor PC, the generation just validated, and
+//! the global write generation at validation time. The next lookup then
+//! needs only three compares — "expected PC, nothing written since, same
+//! generation" — to prove the entry valid. Any store (including by the
+//! previous instruction itself) bumps the write generation and drops the
+//! cursor back to the page-validated path; taken branches, traps, and
+//! WFI end the superblock. Interrupt-poll points are *not* skipped:
+//! `step_cached` polls pending interrupts before every instruction,
+//! exactly like the interpreter, so interrupt timing is bit-identical.
+//!
+//! # Checkpoints
+//!
+//! The cache is deliberately **outside** checkpoint state: it is pure
+//! host-side memoization of `fetch + decode`, reconstructible from
+//! memory at any time. Excluding it keeps `FSCKPT01` snapshots
+//! bit-identical whether the cache is enabled or not; after a restore
+//! the memory's generations are bumped, so every stale entry dies and
+//! the cache refills cold.
+
+use crate::decode::decode;
+use crate::inst::Inst;
+use crate::mem::Bus;
+
+/// Number of entries in a [`DecodeCache`] (must be a power of two).
+/// 1024 entries ≈ 48 KiB per hart: big enough to hold the hot loops of
+/// the bare-metal workloads, small enough that 1024-blade simulations
+/// stay reasonable.
+pub const DEFAULT_ENTRIES: usize = 1024;
+
+/// One direct-mapped slot: the decoded instruction plus everything
+/// needed to prove it is still what memory holds.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Full PC of the cached word; `u64::MAX` marks an empty slot (no
+    /// fetchable PC is ever `u64::MAX` — fills are 4-byte aligned).
+    tag: u64,
+    /// `page_generation + fence_generation` at fill time.
+    gen: u64,
+    /// The raw instruction word (the `Csr` execute arm needs it for the
+    /// `mtval` of an illegal-CSR trap).
+    word: u32,
+    /// The pre-decoded instruction.
+    inst: Inst,
+}
+
+const EMPTY: Entry = Entry {
+    tag: u64::MAX,
+    gen: 0,
+    word: 0,
+    inst: Inst::Fence,
+};
+
+/// Hit/miss/invalidation counters, cumulative since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCacheStats {
+    /// Lookups served from the cache (cursor or page-validated).
+    pub hits: u64,
+    /// Lookups that re-fetched and re-decoded (cold or evicted slots).
+    pub misses: u64,
+    /// Stale entries discarded — a tag-matching slot whose generation
+    /// no longer matched memory, plus one per `FENCE.I` flush.
+    pub invalidations: u64,
+}
+
+/// A per-hart direct-mapped cache of decoded instructions.
+///
+/// See the [module docs](self) for the validity and superblock rules.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    entries: Vec<Entry>,
+    /// `FENCE.I` counter folded into every entry generation; bumping it
+    /// invalidates the whole cache in O(1).
+    fence_gen: u64,
+    /// Superblock cursor: the PC the next lookup is expected to hit
+    /// (`u64::MAX` = no open superblock).
+    cursor_pc: u64,
+    /// Generation proven valid for the cursor's page.
+    cursor_gen: u64,
+    /// Global write generation at the time `cursor_gen` was proven.
+    cursor_write_gen: u64,
+    /// Generation validated by the most recent successful lookup, used
+    /// by [`advance_cursor`](Self::advance_cursor).
+    last_gen: u64,
+    /// Global write generation observed by that lookup.
+    last_write_gen: u64,
+    stats: DecodeCacheStats,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecodeCache {
+    /// A cache with [`DEFAULT_ENTRIES`] slots.
+    pub fn new() -> Self {
+        Self::with_entries(DEFAULT_ENTRIES)
+    }
+
+    /// A cache with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a nonzero power of two.
+    pub fn with_entries(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "decode cache size must be a power of two, got {entries}"
+        );
+        DecodeCache {
+            entries: vec![EMPTY; entries],
+            fence_gen: 0,
+            cursor_pc: u64::MAX,
+            cursor_gen: 0,
+            cursor_write_gen: 0,
+            last_gen: 0,
+            last_write_gen: 0,
+            stats: DecodeCacheStats::default(),
+        }
+    }
+
+    /// Cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> DecodeCacheStats {
+        self.stats
+    }
+
+    /// Looks up (filling on miss) the decoded instruction at `pc`.
+    ///
+    /// `None` means the PC cannot be served from the cache — an
+    /// uncacheable address (MMIO, unmapped), a fetch fault, or an
+    /// undecodable word — and the caller must take the interpreter slow
+    /// path, which re-runs fetch/decode and raises the architectural
+    /// trap. `pc` must be 4-byte aligned (the caller traps misaligned
+    /// PCs before consulting the cache).
+    #[inline]
+    pub fn lookup<B: Bus + ?Sized>(&mut self, pc: u64, bus: &mut B) -> Option<(u32, Inst)> {
+        debug_assert!(pc.is_multiple_of(4), "misaligned pc {pc:#x} in lookup");
+        let idx = (pc >> 2) as usize & (self.entries.len() - 1);
+
+        // Superblock fast path: the straight-line successor, with no
+        // write anywhere since its page generation was last proven.
+        if pc == self.cursor_pc && bus.write_generation() == self.cursor_write_gen {
+            let e = self.entries[idx];
+            if e.tag == pc && e.gen == self.cursor_gen {
+                self.stats.hits += 1;
+                self.last_gen = e.gen;
+                self.last_write_gen = self.cursor_write_gen;
+                return Some((e.word, e.inst));
+            }
+        }
+
+        // Page-validated path.
+        let gen = bus.code_generation(pc)?.wrapping_add(self.fence_gen);
+        let e = self.entries[idx];
+        if e.tag == pc {
+            if e.gen == gen {
+                self.stats.hits += 1;
+                self.last_gen = gen;
+                self.last_write_gen = bus.write_generation();
+                return Some((e.word, e.inst));
+            }
+            // A write touched the page (or FENCE.I flushed) since fill.
+            self.stats.invalidations += 1;
+        }
+
+        // Miss: fetch, decode, fill. Faults and illegal words are left
+        // for the slow path so all trap logic stays in the interpreter.
+        self.stats.misses += 1;
+        let word = bus.fetch(pc).ok()?;
+        let inst = decode(word).ok()?;
+        self.entries[idx] = Entry {
+            tag: pc,
+            gen,
+            word,
+            inst,
+        };
+        self.last_gen = gen;
+        self.last_write_gen = bus.write_generation();
+        Some((word, inst))
+    }
+
+    /// Opens (or extends) a superblock: the instruction just served by
+    /// [`lookup`](Self::lookup) retired straight-line into `next_pc`.
+    /// Only sound when `next_pc` is on the same page as the served PC —
+    /// the caller checks that — because the cursor reuses the served
+    /// page's proven generation.
+    #[inline]
+    pub fn advance_cursor(&mut self, next_pc: u64) {
+        self.cursor_pc = next_pc;
+        self.cursor_gen = self.last_gen;
+        self.cursor_write_gen = self.last_write_gen;
+    }
+
+    /// Ends the current superblock (taken branch, trap, WFI, or a
+    /// lookup that fell to the slow path).
+    #[inline]
+    pub fn end_superblock(&mut self) {
+        self.cursor_pc = u64::MAX;
+    }
+
+    /// `FENCE.I`: discards every cached decode (O(1) generation bump).
+    pub fn fence_i(&mut self) {
+        self.fence_gen = self.fence_gen.wrapping_add(1);
+        self.stats.invalidations += 1;
+        self.end_superblock();
+    }
+
+    /// Discards every cached decode and closes the superblock — called
+    /// after a checkpoint restore, when memory contents were replaced
+    /// wholesale. (Restoring also bumps the memory generations, so this
+    /// is belt-and-braces for buses whose generations are external.)
+    pub fn invalidate_all(&mut self) {
+        self.fence_gen = self.fence_gen.wrapping_add(1);
+        self.end_superblock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::mem::Memory;
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn mem_with(words: &[(u64, u32)]) -> Memory {
+        let mut m = Memory::new(BASE, 1 << 16);
+        for &(addr, w) in words {
+            m.write_bytes(addr, &w.to_le_bytes()).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn hit_after_miss_and_counters() {
+        let addi = {
+            let mut a = Assembler::new(BASE);
+            a.addi(1, 0, 5);
+            let img = a.assemble().unwrap();
+            u32::from_le_bytes(img[0..4].try_into().unwrap())
+        };
+        let mut mem = mem_with(&[(BASE, addi)]);
+        let mut c = DecodeCache::new();
+        let (w1, i1) = c.lookup(BASE, &mut mem).unwrap();
+        let (w2, i2) = c.lookup(BASE, &mut mem).unwrap();
+        assert_eq!((w1, i1), (w2, i2));
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn store_to_page_invalidates() {
+        let mut a = Assembler::new(BASE);
+        a.addi(1, 0, 5);
+        let img = a.assemble().unwrap();
+        let w = u32::from_le_bytes(img[0..4].try_into().unwrap());
+        let mut mem = mem_with(&[(BASE, w)]);
+        let mut c = DecodeCache::new();
+        let (_, before) = c.lookup(BASE, &mut mem).unwrap();
+
+        // Overwrite the word with a different instruction.
+        let mut a2 = Assembler::new(BASE);
+        a2.addi(2, 0, 9);
+        let img2 = a2.assemble().unwrap();
+        mem.write_bytes(BASE, &img2[0..4]).unwrap();
+
+        let (_, after) = c.lookup(BASE, &mut mem).unwrap();
+        assert_ne!(before, after, "stale decode served after store");
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn fence_i_flushes_everything() {
+        let mut a = Assembler::new(BASE);
+        a.addi(1, 0, 5);
+        a.addi(2, 0, 6);
+        let img = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 1 << 16);
+        mem.write_bytes(BASE, &img).unwrap();
+        let mut c = DecodeCache::new();
+        c.lookup(BASE, &mut mem).unwrap();
+        c.lookup(BASE + 4, &mut mem).unwrap();
+        assert_eq!(c.stats().misses, 2);
+        c.fence_i();
+        c.lookup(BASE, &mut mem).unwrap();
+        c.lookup(BASE + 4, &mut mem).unwrap();
+        assert_eq!(c.stats().misses, 4, "fence.i must flush all entries");
+    }
+
+    #[test]
+    fn unmapped_is_uncacheable() {
+        let mut mem = Memory::new(BASE, 1 << 16);
+        let mut c = DecodeCache::new();
+        assert_eq!(c.lookup(0x1000, &mut mem), None);
+    }
+
+    #[test]
+    fn cursor_does_not_serve_stale_entry_after_store() {
+        // Regression for the subtle superblock case: an entry goes
+        // stale while execution is elsewhere; later a straight-line run
+        // walks into it. The cursor must not skip revalidation.
+        let mut a = Assembler::new(BASE);
+        a.addi(1, 0, 1); // BASE
+        a.addi(2, 0, 2); // BASE + 4
+        let img = a.assemble().unwrap();
+        let mut mem = Memory::new(BASE, 1 << 16);
+        mem.write_bytes(BASE, &img).unwrap();
+        let mut c = DecodeCache::new();
+
+        // Fill both entries.
+        c.lookup(BASE, &mut mem).unwrap();
+        let (_, stale) = c.lookup(BASE + 4, &mut mem).unwrap();
+        // BASE+4 is overwritten (write gen + page gen bump).
+        let mut a2 = Assembler::new(BASE + 4);
+        a2.addi(3, 0, 7);
+        let img2 = a2.assemble().unwrap();
+        mem.write_bytes(BASE + 4, &img2[0..4]).unwrap();
+        // Straight-line run from BASE: lookup BASE (revalidates page),
+        // open superblock into BASE+4, then look BASE+4 up via cursor.
+        c.lookup(BASE, &mut mem).unwrap();
+        c.advance_cursor(BASE + 4);
+        let (_, fresh) = c.lookup(BASE + 4, &mut mem).unwrap();
+        assert_ne!(stale, fresh, "cursor served a stale decode");
+    }
+}

@@ -54,12 +54,14 @@ pub mod csr;
 pub mod decode;
 pub mod encode;
 pub mod exec;
+pub mod icache;
 pub mod inst;
 pub mod mem;
 
 pub use csr::{CsrFile, Interrupt};
 pub use decode::{decode, DecodeError};
 pub use exec::{Cpu, MemAccess, StepOutcome, Trap};
+pub use icache::{DecodeCache, DecodeCacheStats};
 pub use inst::Inst;
 pub use mem::{Bus, MemFault, Memory};
 

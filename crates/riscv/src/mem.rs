@@ -57,6 +57,26 @@ pub trait Bus {
     fn fetch(&mut self, addr: u64) -> Result<u32, MemFault> {
         self.load(addr, 4).map(|v| v as u32)
     }
+
+    /// Code-page generation for `addr`, used by the decoded-instruction
+    /// cache: a decoded entry is valid only while the generation of the
+    /// page it was fetched from is unchanged. Any write into the page
+    /// (CPU store, AMO, DMA) must bump its generation. `None` marks the
+    /// address uncacheable (MMIO, unmapped) — fetches from it always go
+    /// through the slow path. Default: nothing is cacheable.
+    fn code_generation(&self, _addr: u64) -> Option<u64> {
+        None
+    }
+
+    /// Global write generation: bumped by *every* write through the bus,
+    /// whatever the address. The superblock fast path compares one
+    /// snapshot of this against one load to prove "no store happened
+    /// since the last retired instruction" without a per-page lookup.
+    /// Must be monotone; the default (constant 0) is only correct
+    /// together with the default `code_generation` of `None`.
+    fn write_generation(&self) -> u64 {
+        0
+    }
 }
 
 impl<B: Bus + ?Sized> Bus for &mut B {
@@ -68,6 +88,12 @@ impl<B: Bus + ?Sized> Bus for &mut B {
     }
     fn fetch(&mut self, addr: u64) -> Result<u32, MemFault> {
         (**self).fetch(addr)
+    }
+    fn code_generation(&self, addr: u64) -> Option<u64> {
+        (**self).code_generation(addr)
+    }
+    fn write_generation(&self) -> u64 {
+        (**self).write_generation()
     }
 }
 
@@ -87,7 +113,18 @@ impl<B: Bus + ?Sized> Bus for &mut B {
 pub struct Memory {
     base: u64,
     data: Vec<u8>,
+    /// One generation counter per [`PAGE_SIZE`] page, bumped on every
+    /// write into the page. Consulted by the decoded-instruction cache
+    /// ([`Bus::code_generation`]); host-side bookkeeping only, so it is
+    /// deliberately *not* part of the checkpoint state.
+    page_gens: Vec<u64>,
+    /// Global write counter ([`Bus::write_generation`]).
+    write_gen: u64,
 }
+
+/// Invalidation granularity for the decoded-instruction cache: writes
+/// bump a generation counter per 4 KiB page.
+pub const PAGE_SIZE: u64 = 4096;
 
 impl Memory {
     /// Allocates `size` zeroed bytes based at `base`.
@@ -95,6 +132,22 @@ impl Memory {
         Memory {
             base,
             data: vec![0; size],
+            page_gens: vec![0; size.div_ceil(PAGE_SIZE as usize)],
+            write_gen: 0,
+        }
+    }
+
+    /// Bumps the generation of every page covered by `[addr, addr+len)`
+    /// plus the global write generation. Call on every successful write.
+    fn bump_write_gens(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.write_gen += 1;
+        let first = ((addr - self.base) / PAGE_SIZE) as usize;
+        let last = ((addr - self.base + len as u64 - 1) / PAGE_SIZE) as usize;
+        for gen in &mut self.page_gens[first..=last] {
+            *gen += 1;
         }
     }
 
@@ -127,6 +180,7 @@ impl Memory {
         }
         let off = (addr - self.base) as usize;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.bump_write_gens(addr, bytes.len());
         Ok(())
     }
 
@@ -172,6 +226,13 @@ impl firesim_core::snapshot::Checkpoint for Memory {
             )));
         }
         self.data.copy_from_slice(data);
+        // The snapshot format deliberately excludes the generation
+        // counters (they are host-side cache bookkeeping, and FSCKPT01
+        // images must stay bit-identical with the cache on or off), so a
+        // restore — which rewrites all of memory — invalidates every
+        // cached decode by bumping every generation instead.
+        let (base, len) = (self.base, self.data.len());
+        self.bump_write_gens(base, len);
         Ok(())
     }
 }
@@ -188,7 +249,20 @@ impl Bus for Memory {
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), MemFault> {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         let bytes = value.to_le_bytes();
+        // `write_bytes` bumps the page + write generations.
         self.write_bytes(addr, &bytes[..size])
+    }
+
+    fn code_generation(&self, addr: u64) -> Option<u64> {
+        if self.contains(addr, 4) {
+            Some(self.page_gens[((addr - self.base) / PAGE_SIZE) as usize])
+        } else {
+            None
+        }
+    }
+
+    fn write_generation(&self) -> u64 {
+        self.write_gen
     }
 }
 
@@ -234,6 +308,35 @@ mod tests {
         m.write_bytes(0x8000_0040, &[1, 2, 3]).unwrap();
         assert_eq!(m.read_bytes(0x8000_0040, 3).unwrap(), &[1, 2, 3]);
         assert!(m.write_bytes(0x8000_007e, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn write_generations_track_stores() {
+        let mut m = Memory::new(0x1000, 2 * PAGE_SIZE as usize);
+        let g0 = m.code_generation(0x1000).unwrap();
+        let w0 = m.write_generation();
+        m.store(0x1000, 4, 1).unwrap();
+        assert!(m.code_generation(0x1000).unwrap() > g0);
+        assert!(m.write_generation() > w0);
+
+        // A store to one page leaves the other page's generation alone…
+        let other = m.code_generation(0x1000 + PAGE_SIZE).unwrap();
+        m.store(0x1000, 4, 2).unwrap();
+        assert_eq!(m.code_generation(0x1000 + PAGE_SIZE).unwrap(), other);
+        // …but a store straddling the boundary bumps both.
+        let first = m.code_generation(0x1000).unwrap();
+        m.store(0x1000 + PAGE_SIZE - 2, 4, 3).unwrap();
+        assert!(m.code_generation(0x1000).unwrap() > first);
+        assert!(m.code_generation(0x1000 + PAGE_SIZE).unwrap() > other);
+
+        // DMA-style bulk writes count too.
+        let w1 = m.write_generation();
+        m.write_bytes(0x1000, &[1, 2, 3]).unwrap();
+        assert!(m.write_generation() > w1);
+
+        // Outside the RAM range nothing is cacheable.
+        assert_eq!(m.code_generation(0x0), None);
+        assert_eq!(m.code_generation(0x1000 + 2 * PAGE_SIZE), None);
     }
 
     #[test]

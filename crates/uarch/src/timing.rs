@@ -11,6 +11,7 @@
 //! core then stalls for the remaining cost.
 
 use firesim_riscv::exec::{Cpu, StepOutcome};
+use firesim_riscv::icache::{DecodeCache, DecodeCacheStats};
 use firesim_riscv::inst::{Inst, MulDivOp};
 use firesim_riscv::mem::Bus;
 
@@ -40,6 +41,12 @@ pub struct TimingConfig {
     pub cacheable_base: u64,
     /// Size of the cacheable DRAM region in bytes.
     pub cacheable_size: u64,
+    /// Serve fetch/decode from a host-side [`DecodeCache`] (default on).
+    /// Purely a host-speed knob: simulation results, timing, and
+    /// `FSCKPT01` snapshots are bit-identical either way (the timing
+    /// model charges the modeled L1I per retired instruction no matter
+    /// how the functional fetch was served).
+    pub decode_cache: bool,
 }
 
 impl Default for TimingConfig {
@@ -55,6 +62,7 @@ impl Default for TimingConfig {
             amo_extra_cycles: 3,
             cacheable_base: firesim_riscv::DRAM_BASE,
             cacheable_size: 16 << 30,
+            decode_cache: true,
         }
     }
 }
@@ -119,6 +127,11 @@ pub struct TimingCore {
     retired: u64,
     idle_cycles: u64,
     trace: Option<(usize, std::collections::VecDeque<TraceEntry>)>,
+    /// Host-side decoded-instruction cache; `None` when
+    /// [`TimingConfig::decode_cache`] is off. Deliberately excluded from
+    /// checkpoint state (see the `firesim_riscv::icache` module docs) —
+    /// a restore rebuilds it cold.
+    icache: Option<DecodeCache>,
 }
 
 impl TimingCore {
@@ -132,6 +145,7 @@ impl TimingCore {
             retired: 0,
             idle_cycles: 0,
             trace: None,
+            icache: config.decode_cache.then(DecodeCache::new),
         }
     }
 
@@ -173,6 +187,11 @@ impl TimingCore {
         self.parked
     }
 
+    /// Decoded-instruction cache counters; `None` when the cache is off.
+    pub fn icache_stats(&self) -> Option<DecodeCacheStats> {
+        self.icache.as_ref().map(|c| c.stats())
+    }
+
     /// Advances one target cycle.
     ///
     /// `core_idx` selects this core's L1s in `mem`; `now` is the absolute
@@ -207,10 +226,11 @@ impl TimingCore {
         let width = self.config.issue_width.max(1);
         let mut first_event: Option<TickEvent> = None;
         for slot in 0..width {
-            let outcome = self
-                .cpu
-                .step(bus)
-                .expect("functional core does not fail at host level");
+            let outcome = match &mut self.icache {
+                Some(cache) => self.cpu.step_cached(bus, cache),
+                None => self.cpu.step(bus),
+            }
+            .expect("functional core does not fail at host level");
             let cost = self.cost_of(&outcome, mem, core_idx, now);
             let Some(cost) = cost else {
                 // Parked in WFI.
@@ -355,6 +375,11 @@ impl firesim_core::snapshot::Checkpoint for TimingCore {
         self.retired = r.get_u64()?;
         self.idle_cycles = r.get_u64()?;
         self.trace = r.get()?;
+        // The decode cache is not in the snapshot; memory was just
+        // rewritten, so drop every cached decode and refill cold.
+        if let Some(cache) = &mut self.icache {
+            cache.invalidate_all();
+        }
         Ok(())
     }
 }
@@ -551,6 +576,57 @@ mod tests {
         // BOOM pays 3-cycle redirects: on a 2-instruction loop body it is
         // no better than (and close to) Rocket.
         assert!(boom > rocket * 0.8, "rocket {rocket} vs boom {boom}");
+    }
+
+    /// The decoded-instruction cache is a host-speed knob only: cycle
+    /// counts, retired counts, and architectural state are bit-identical
+    /// with it on or off, and the hot loop actually hits in it.
+    #[test]
+    fn decode_cache_is_architecturally_invisible() {
+        let run_with = |decode_cache: bool| {
+            let mut a = Assembler::new(DRAM_BASE);
+            a.li(1, 3);
+            a.li(2, 5);
+            a.li(9, 50);
+            a.label("outer");
+            for _ in 0..8 {
+                a.add(3, 1, 2);
+                a.xor(4, 3, 1);
+                a.mul(5, 4, 2);
+            }
+            a.addi(9, 9, -1);
+            a.bnez(9, "outer");
+            a.wfi();
+            let image = a.assemble().unwrap();
+            let mut mem = Memory::new(DRAM_BASE, 1 << 20);
+            mem.write_bytes(DRAM_BASE, &image).unwrap();
+            let mut memsys = MemSystem::new(1, MemSystemConfig::default());
+            let config = TimingConfig {
+                decode_cache,
+                ..TimingConfig::default()
+            };
+            let mut core = TimingCore::new(Cpu::new(0, DRAM_BASE), config);
+            for cycle in 0..1_000_000u64 {
+                if let TickEvent::Idle = core.tick(&mut mem, &mut memsys, 0, cycle) {
+                    return (cycle, core);
+                }
+            }
+            panic!("did not park");
+        };
+        let (cycles_on, core_on) = run_with(true);
+        let (cycles_off, core_off) = run_with(false);
+        assert_eq!(cycles_on, cycles_off);
+        assert_eq!(core_on.retired(), core_off.retired());
+        assert_eq!(core_on.cpu().csrs.minstret, core_off.cpu().csrs.minstret);
+        for r in 0..32 {
+            assert_eq!(core_on.cpu().read_reg(r), core_off.cpu().read_reg(r));
+        }
+        assert_eq!(core_off.icache_stats(), None);
+        let stats = core_on.icache_stats().expect("cache enabled");
+        assert!(
+            stats.hits > 10 * stats.misses,
+            "hot loop should hit: {stats:?}"
+        );
     }
 
     #[test]

@@ -156,6 +156,13 @@ fn metric_fingerprint(
     }
     for (name, counters) in engine.agent_app_counters() {
         for (key, value) in counters {
+            // `host_`-prefixed counters (host MIPS, decode-cache hit
+            // rates) measure the *host*, not the guest, and are legally
+            // run-dependent — same contract as `host_ns` above and the
+            // report's deterministic_aggregates().
+            if key.starts_with("host_") {
+                continue;
+            }
             fp.push((format!("{name}/{key}"), value));
         }
     }

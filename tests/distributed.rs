@@ -42,11 +42,29 @@ impl Rng {
 /// echo server in rack 1, so token windows with live frames cross every
 /// partition boundary) plus a seed-dependent number of boot-and-idle
 /// nodes with seed-dependent work.
+///
+/// Spec grammar: `seed=N[,nocache]` — the `,nocache` suffix force-disables
+/// the per-hart decode cache on every blade, so the same topology can be
+/// run with and without the fast path (the suffix travels to re-exec'd
+/// workers inside the spec string, keeping parent and shards consistent).
 fn build_seeded(spec: &str) -> SimResult<(Topology, SimConfig)> {
-    let seed = spec
+    let (spec_seed, nocache) = match spec.strip_suffix(",nocache") {
+        Some(rest) => (rest, true),
+        None => (spec, false),
+    };
+    let seed = spec_seed
         .strip_prefix("seed=")
         .and_then(|s| s.parse::<u64>().ok())
         .ok_or_else(|| SimError::topology(format!("bad spec {spec:?}")))?;
+    let blade = move |program| {
+        let mut spec = BladeSpec::rtl_single_core(program);
+        if nocache {
+            if let BladeSpec::Rtl { config, .. } = &mut spec {
+                config.timing.decode_cache = false;
+            }
+        }
+        spec
+    };
     let mut rng = Rng(seed);
 
     let mut topo = Topology::new();
@@ -59,7 +77,7 @@ fn build_seeded(spec: &str) -> SimResult<(Topology, SimConfig)> {
     let pings = 3 + rng.below(4) as usize;
     let pinger = topo.add_server(
         "pinger",
-        BladeSpec::rtl_single_core(programs::ping_sender(
+        blade(programs::ping_sender(
             MacAddr::from_node_index(0),
             MacAddr::from_node_index(1),
             pings,
@@ -67,10 +85,7 @@ fn build_seeded(spec: &str) -> SimResult<(Topology, SimConfig)> {
             64_000 + rng.below(8) * 6_400,
         )),
     );
-    let echo = topo.add_server(
-        "echo",
-        BladeSpec::rtl_single_core(programs::echo_responder(pings)),
-    );
+    let echo = topo.add_server("echo", blade(programs::echo_responder(pings)));
     topo.add_downlink(rack0, pinger).expect("free port");
     topo.add_downlink(rack1, echo).expect("free port");
     // 1-3 extra idle nodes per rack, each with its own boot workload.
@@ -78,7 +93,7 @@ fn build_seeded(spec: &str) -> SimResult<(Topology, SimConfig)> {
         for i in 0..1 + rng.below(3) {
             let node = topo.add_server(
                 format!("idle_{tag}{i}"),
-                BladeSpec::rtl_single_core(programs::boot_poweroff(50 + rng.below(400))),
+                blade(programs::boot_poweroff(50 + rng.below(400))),
             );
             topo.add_downlink(rack, node).expect("free port");
         }
@@ -127,6 +142,41 @@ fn partitioning_is_invisible(seed: u64, transport: TransportChoice) {
     }
 }
 
+/// The decode-cache acceptance check: the same seeded topology run with
+/// the fast path enabled and force-disabled (`,nocache`), each across
+/// 1-, 2-, and 4-way partitionings, produces bit-identical per-agent
+/// checkpoint digests, combined digest, and deterministic report
+/// aggregates. Host-side throughput counters (`host_*`) legally differ
+/// between the two modes and are excluded from the canonical aggregates.
+fn decode_cache_is_invisible(seed: u64) {
+    let mut baseline = None;
+    for spec in [format!("seed={seed}"), format!("seed={seed},nocache")] {
+        for workers in [1usize, 2, 4] {
+            let cfg = PartitionConfig::new(workers, Cycle::new(CYCLES), spec.clone());
+            let run = run_partitioned(build_seeded, &cfg)
+                .unwrap_or_else(|report| panic!("{spec} x{workers} failed: {report}"));
+            match &baseline {
+                None => baseline = Some(run),
+                Some(base) => {
+                    assert_eq!(
+                        base.digests, run.digests,
+                        "{spec} x{workers}: digests differ from cache-on monolithic"
+                    );
+                    assert_eq!(
+                        base.combined_digest, run.combined_digest,
+                        "{spec} x{workers}: combined digest differs"
+                    );
+                    assert_eq!(
+                        base.report.deterministic_aggregates(),
+                        run.report.deterministic_aggregates(),
+                        "{spec} x{workers}: report aggregates differ"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Killing one worker produces a `FailureReport` naming the dead shard.
 fn dead_worker_is_named() {
     let mut cfg = PartitionConfig::new(2, Cycle::new(CYCLES), "seed=1".to_string());
@@ -166,6 +216,8 @@ fn main() {
         partitioning_is_invisible(seed, TransportChoice::Shm);
         println!("ok - partitioning_is_invisible seed={seed} Shm");
     }
+    decode_cache_is_invisible(1);
+    println!("ok - decode_cache_is_invisible seed=1");
     dead_worker_is_named();
     println!("ok - dead_worker_is_named");
     println!("distributed: all checks passed");
