@@ -62,10 +62,31 @@ struct SocBus<'a> {
     poweroff: &'a mut Option<u8>,
     /// Store addresses performed this instruction (for LR/SC clobbering).
     stores: &'a mut Vec<u64>,
+    /// Device ticks owed but not yet replayed during a batched issue span
+    /// (see [`RtlBlade::advance_batched`]). The per-cycle paths never
+    /// increment it, so the lazy catch-up below stays dormant there.
+    device_lag: &'a mut u64,
 }
 
 impl SocBus<'_> {
+    /// Replays deferred device cycles before an MMIO access can observe
+    /// (or mutate) device state. Batched spans only start while the NIC
+    /// is quiescent and end at the first MMIO cycle, and the span budget
+    /// keeps the lag below every in-flight disk transfer's remaining
+    /// latency, so both skips reproduce the per-cycle reference exactly.
+    /// The CLINT needs no catch-up: span budgets never cross an `mtime`
+    /// increment, so its MMIO-visible state is constant over the span.
+    fn catch_up_devices(&mut self) {
+        let lag = *self.device_lag;
+        if lag > 0 {
+            self.nic.skip_quiescent(lag);
+            self.blockdev.skip(lag);
+            *self.device_lag = 0;
+        }
+    }
+
     fn device_for(&mut self, addr: u64) -> Option<(&mut dyn MmioDevice, u64)> {
+        self.catch_up_devices();
         if (map::CLINT_BASE..map::CLINT_BASE + map::CLINT_SIZE).contains(&addr) {
             Some((self.clint, addr - map::CLINT_BASE))
         } else if (map::UART_BASE..map::UART_BASE + map::UART_SIZE).contains(&addr) {
@@ -131,6 +152,10 @@ impl Bus for SocBus<'_> {
     fn write_generation(&self) -> u64 {
         self.mem.write_generation()
     }
+
+    fn elapse_timing_cycles(&mut self, cycles: u64) {
+        *self.device_lag += cycles;
+    }
 }
 
 /// A cycle-exact server blade. See the [module docs](self).
@@ -152,9 +177,20 @@ pub struct RtlBlade {
     probe: Arc<Mutex<BladeProbe>>,
     store_scratch: Vec<u64>,
     rx_scratch: Vec<(u32, Flit)>,
+    /// Device ticks owed during a batched issue span; scratch state that
+    /// is always 0 between spans (not checkpointed).
+    device_lag: u64,
+    /// When set, [`advance_ports`](Self::advance_ports) runs the
+    /// per-cycle reference loop instead of the event-driven scheduler.
+    /// Taken from [`firesim_uarch::TimingConfig::reference_timing`].
+    reference_timing: bool,
+    /// Gates the wall-clock reads behind `host_ns`; off by default so
+    /// the fast path never touches the host clock.
+    profile_host: bool,
     /// Host nanoseconds spent inside [`advance_ports`](Self::advance_ports),
     /// measured by the blade itself (one clock pair per window) so
     /// per-blade host MIPS is available without `enable_metrics`.
+    /// Only populated after [`enable_host_profiling`](Self::enable_host_profiling).
     /// Host-side only: excluded from checkpoints and from deterministic
     /// report aggregates.
     host_ns: u64,
@@ -195,6 +231,9 @@ impl RtlBlade {
             probe: Arc::new(Mutex::new(BladeProbe::default())),
             store_scratch: Vec::new(),
             rx_scratch: Vec::new(),
+            device_lag: 0,
+            reference_timing: config.timing.reference_timing,
+            profile_host: false,
             host_ns: 0,
         }
     }
@@ -251,6 +290,13 @@ impl RtlBlade {
         Arc::clone(&self.probe)
     }
 
+    /// Enables wall-clock measurement of [`advance_ports`](Self::advance_ports)
+    /// (the `host_mips` app counter). Off by default: the measurement
+    /// itself costs two host clock reads per window.
+    pub fn enable_host_profiling(&mut self) {
+        self.profile_host = true;
+    }
+
     /// The blade's MAC address.
     pub fn mac(&self) -> firesim_net::MacAddr {
         self.nic.mac()
@@ -297,80 +343,287 @@ impl RtlBlade {
     /// blades on distinct ports of one shared context. Input tokens are
     /// drained in place so the engine can recycle the window's buffer.
     pub fn advance_ports(&mut self, ctx: &mut AgentCtx<Flit>, in_port: usize, out_port: usize) {
-        let host_start = std::time::Instant::now();
+        let host_start = self.profile_host.then(std::time::Instant::now);
         let window = ctx.window();
         self.rx_scratch.clear();
         self.rx_scratch.extend(ctx.drain_input(in_port));
-        let mut rx_idx = 0usize;
 
-        for off in 0..window {
-            if self.powered_off.is_none() {
-                // Wire interrupt lines.
-                let ext = self.nic.interrupt()
-                    || self.blockdev.interrupt()
-                    || self.accel.as_ref().is_some_and(MmioDevice::interrupt);
-                for (i, core) in self.cores.iter_mut().enumerate() {
-                    let csrs = &mut core.cpu_mut().csrs;
-                    csrs.set_interrupt(Interrupt::External, ext);
-                    csrs.set_interrupt(Interrupt::Timer, self.clint.timer_pending(i));
-                    csrs.set_interrupt(Interrupt::Software, self.clint.software_pending(i));
-                    csrs.time = self.clint.mtime();
-                }
+        if self.reference_timing {
+            self.advance_reference(ctx, out_port, window);
+        } else {
+            self.advance_batched(ctx, out_port, window);
+        }
 
-                // Tick each core one cycle.
-                for i in 0..self.cores.len() {
-                    self.store_scratch.clear();
-                    let mut bus = SocBus {
-                        mem: &mut self.mem,
-                        nic: &mut self.nic,
-                        blockdev: &mut self.blockdev,
-                        uart: &mut self.uart,
-                        clint: &mut self.clint,
-                        accel: self.accel.as_mut(),
-                        poweroff: &mut self.powered_off,
-                        stores: &mut self.store_scratch,
-                    };
-                    let ev = self.cores[i].tick(&mut bus, &mut self.memsys, i, self.cycle);
-                    if let TickEvent::Issued(_) = ev {
-                        // LR/SC coherence: stores clobber other harts'
-                        // reservations and shoot down their L1 lines.
-                        for k in 0..self.store_scratch.len() {
-                            let addr = self.store_scratch[k];
-                            for (j, other) in self.cores.iter_mut().enumerate() {
-                                if j != i {
-                                    other.cpu_mut().clobber_reservation(addr);
-                                }
-                            }
-                            self.memsys.shootdown(addr, Some(i));
+        if let Some(start) = host_start {
+            self.host_ns += start.elapsed().as_nanos() as u64;
+        }
+        self.sync_probe();
+    }
+
+    /// Wires the device interrupt lines and the `time` CSR into every
+    /// core, exactly as the top of one reference-loop iteration does.
+    fn wire_interrupts(&mut self) {
+        let ext = self.nic.interrupt()
+            || self.blockdev.interrupt()
+            || self.accel.as_ref().is_some_and(MmioDevice::interrupt);
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let csrs = &mut core.cpu_mut().csrs;
+            csrs.set_interrupt(Interrupt::External, ext);
+            csrs.set_interrupt(Interrupt::Timer, self.clint.timer_pending(i));
+            csrs.set_interrupt(Interrupt::Software, self.clint.software_pending(i));
+            csrs.time = self.clint.mtime();
+        }
+    }
+
+    /// One powered-on reference cycle after the wiring: tick each core,
+    /// then the DMA devices and the CLINT.
+    fn tick_cores_and_devices(&mut self) {
+        for i in 0..self.cores.len() {
+            self.store_scratch.clear();
+            let mut bus = SocBus {
+                mem: &mut self.mem,
+                nic: &mut self.nic,
+                blockdev: &mut self.blockdev,
+                uart: &mut self.uart,
+                clint: &mut self.clint,
+                accel: self.accel.as_mut(),
+                poweroff: &mut self.powered_off,
+                stores: &mut self.store_scratch,
+                device_lag: &mut self.device_lag,
+            };
+            let ev = self.cores[i].tick(&mut bus, &mut self.memsys, i, self.cycle);
+            if let TickEvent::Issued(_) = ev {
+                // LR/SC coherence: stores clobber other harts'
+                // reservations and shoot down their L1 lines.
+                for k in 0..self.store_scratch.len() {
+                    let addr = self.store_scratch[k];
+                    for (j, other) in self.cores.iter_mut().enumerate() {
+                        if j != i {
+                            other.cpu_mut().clobber_reservation(addr);
                         }
                     }
+                    self.memsys.shootdown(addr, Some(i));
                 }
+            }
+        }
+        self.blockdev.tick(&mut self.mem);
+        if let Some(accel) = &mut self.accel {
+            accel.tick(&mut self.mem);
+        }
+        self.clint.advance(1);
+    }
+
+    /// The unconditional NIC token exchange for window offset `off`. The
+    /// NIC keeps exchanging tokens even when the blade is powered off
+    /// (the paper's token discipline: every cycle consumes and produces
+    /// a token; a powered-off node just produces empty ones).
+    fn nic_cycle(
+        &mut self,
+        ctx: &mut AgentCtx<Flit>,
+        out_port: usize,
+        off: u32,
+        rx_idx: &mut usize,
+    ) {
+        let rx = match self.rx_scratch.get(*rx_idx) {
+            Some(&(o, f)) if o == off => {
+                *rx_idx += 1;
+                Some(f)
+            }
+            _ => None,
+        };
+        if let Some(flit) = self.nic.tick(&mut self.mem, rx) {
+            ctx.push_output(out_port, off, flit);
+        }
+    }
+
+    /// The per-cycle reference schedule: every target cycle is hosted by
+    /// one loop iteration. Kept verbatim as the differential-testing
+    /// baseline for [`advance_batched`](Self::advance_batched); selected
+    /// with [`firesim_uarch::TimingConfig::reference_timing`].
+    fn advance_reference(&mut self, ctx: &mut AgentCtx<Flit>, out_port: usize, window: u32) {
+        let mut rx_idx = 0usize;
+        for off in 0..window {
+            if self.powered_off.is_none() {
+                self.wire_interrupts();
+                self.tick_cores_and_devices();
+            }
+            self.nic_cycle(ctx, out_port, off, &mut rx_idx);
+            self.cycle += 1;
+        }
+    }
+
+    /// The event-driven schedule. Produces bit-identical state to
+    /// [`advance_reference`](Self::advance_reference) while hosting many
+    /// target cycles per iteration whenever the blade is quiescent enough:
+    ///
+    /// * **Full skip** — every core parked or stalled and every device
+    ///   quiet: the gap up to the next event (timer expiry, stall end,
+    ///   rx flit, disk completion) collapses into O(1) bulk updates.
+    /// * **Batched issue** — exactly one runnable core: it issues up to a
+    ///   budget of cycles against one bus borrow with the interrupt wiring
+    ///   hoisted out of the loop; the budget guarantees every skipped
+    ///   rewiring would have been a no-op, and the span stops at the
+    ///   first MMIO-visible cycle.
+    /// * **Reference cycle** — anything else falls back to one verbatim
+    ///   per-cycle iteration.
+    fn advance_batched(&mut self, ctx: &mut AgentCtx<Flit>, out_port: usize, window: u32) {
+        let mut rx_idx = 0usize;
+        let mut off: u32 = 0;
+        while off < window {
+            // Offset of the next undelivered rx flit. An offset below
+            // `off` can never match the exchange (mirroring the reference
+            // loop, which would also never consume it), so clamping keeps
+            // the arithmetic safe without changing behavior.
+            let next_rx = self
+                .rx_scratch
+                .get(rx_idx)
+                .map_or(window, |&(o, _)| o)
+                .clamp(off, window);
+
+            if self.powered_off.is_some() {
+                // Only the NIC runs; skip straight to the next rx flit.
+                if self.nic.is_quiescent() && next_rx > off {
+                    let k = next_rx - off;
+                    self.nic.skip_quiescent(u64::from(k));
+                    self.cycle += u64::from(k);
+                    off += k;
+                } else {
+                    self.nic_cycle(ctx, out_port, off, &mut rx_idx);
+                    self.cycle += 1;
+                    off += 1;
+                }
+                continue;
+            }
+
+            // Every reference iteration starts with this wiring; decide
+            // from the post-wiring state how far the blade can jump.
+            self.wire_interrupts();
+
+            let mut active = 0usize;
+            let mut active_idx = 0usize;
+            // Tightest wakeup bound over the inactive cores (stall expiry
+            // or armed-timer expiry; parked cores with the timer masked
+            // are unbounded).
+            let mut inactive_bound = u64::MAX;
+            for (i, core) in self.cores.iter().enumerate() {
+                let ev = core.next_event(self.clint.next_timer_expiry(i));
+                if ev == 0 {
+                    active += 1;
+                    active_idx = i;
+                } else {
+                    inactive_bound = inactive_bound.min(ev);
+                }
+            }
+            let nic_quiet = self.nic.is_quiescent();
+            let accel_idle = !self.accel.as_ref().is_some_and(CopyAccel::busy);
+            let blockdev_busy = self.blockdev.min_busy_cycles();
+            let remaining = u64::from(window - off);
+
+            if active == 0 && nic_quiet && accel_idle {
+                // Full skip: nothing observable happens before the
+                // earliest bound, so replay k cycles in O(1). The `- 1`
+                // on the disk bound keeps its next completion (and the
+                // interrupt it raises) inside per-cycle handling.
+                let mut k = remaining.min(inactive_bound).min(u64::from(next_rx - off));
+                if let Some(m) = blockdev_busy {
+                    k = k.min(m.saturating_sub(1));
+                }
+                if k >= 2 {
+                    for core in &mut self.cores {
+                        core.skip(k);
+                    }
+                    self.blockdev.skip(k);
+                    // The reference re-wires at the top of each skipped
+                    // iteration, but with frozen devices only the last
+                    // wiring (which sees mtime after k-1 CLINT advances)
+                    // is ever observed. Reproduce exactly that one, then
+                    // complete the final iteration's CLINT advance.
+                    self.clint.advance(k - 1);
+                    self.wire_interrupts();
+                    self.clint.advance(1);
+                    self.nic.skip_quiescent(k);
+                    self.cycle += k;
+                    off += k as u32;
+                    continue;
+                }
+            } else if active == 1 && nic_quiet && accel_idle {
+                // Batched issue. The budget guarantees that over the span
+                // (a) no other core would wake, (b) mtime never moves, so
+                // the skipped rewirings are no-ops, (c) no disk transfer
+                // completes before the final cycle, and (d) at most the
+                // final cycle consumes an rx flit.
+                let mut budget = remaining
+                    .min(self.clint.cycles_to_next_tick())
+                    .min(inactive_bound)
+                    .min(u64::from(next_rx - off).saturating_add(1));
+                if let Some(m) = blockdev_busy {
+                    budget = budget.min(m);
+                }
+                let i = active_idx;
+                self.store_scratch.clear();
+                self.device_lag = 0;
+                let mut bus = SocBus {
+                    mem: &mut self.mem,
+                    nic: &mut self.nic,
+                    blockdev: &mut self.blockdev,
+                    uart: &mut self.uart,
+                    clint: &mut self.clint,
+                    accel: self.accel.as_mut(),
+                    poweroff: &mut self.powered_off,
+                    stores: &mut self.store_scratch,
+                    device_lag: &mut self.device_lag,
+                };
+                let used = self.cores[i].advance(&mut bus, &mut self.memsys, i, self.cycle, budget);
+                // LR/SC coherence for every store in the span, in order.
+                // Deferring past the span end is exact: the other cores
+                // never run inside it and `shootdown` only flips their
+                // L1 valid bits (no stats, no LRU movement).
+                for k in 0..self.store_scratch.len() {
+                    let addr = self.store_scratch[k];
+                    for (j, other) in self.cores.iter_mut().enumerate() {
+                        if j != i {
+                            other.cpu_mut().clobber_reservation(addr);
+                        }
+                    }
+                    self.memsys.shootdown(addr, Some(i));
+                }
+                for (j, core) in self.cores.iter_mut().enumerate() {
+                    if j != i {
+                        core.skip(used);
+                    }
+                }
+                // The devices owe one tick per span cycle. Any MMIO inside
+                // the span already flushed the ticks before it lazily
+                // (see `SocBus::catch_up_devices`); replay the remainder,
+                // with the final cycle as real ticks since the span's last
+                // cycle may have programmed a device.
+                let lag = self.device_lag;
+                self.device_lag = 0;
+                debug_assert!(
+                    used >= 1 && lag >= 1 && lag <= used,
+                    "batched span accounting broken: used {used}, lag {lag}"
+                );
+                self.blockdev.skip(lag - 1);
                 self.blockdev.tick(&mut self.mem);
                 if let Some(accel) = &mut self.accel {
                     accel.tick(&mut self.mem);
                 }
-                self.clint.advance(1);
+                self.clint.advance(used);
+                self.nic.skip_quiescent(lag - 1);
+                let last = off + used as u32 - 1;
+                self.nic_cycle(ctx, out_port, last, &mut rx_idx);
+                self.cycle += used;
+                off += used as u32;
+                continue;
             }
 
-            // NIC keeps exchanging tokens even when powered off (the
-            // paper's token discipline: every cycle consumes and produces
-            // a token; a powered-off node just produces empty ones).
-            let rx = match self.rx_scratch.get(rx_idx) {
-                Some(&(o, f)) if o == off => {
-                    rx_idx += 1;
-                    Some(f)
-                }
-                _ => None,
-            };
-            let tx = self.nic.tick(&mut self.mem, rx);
-            if let Some(flit) = tx {
-                ctx.push_output(out_port, off, flit);
-            }
-
+            // Fallback: one verbatim reference cycle (wiring already done
+            // above).
+            self.tick_cores_and_devices();
+            self.nic_cycle(ctx, out_port, off, &mut rx_idx);
             self.cycle += 1;
+            off += 1;
         }
-        self.host_ns += host_start.elapsed().as_nanos() as u64;
-        self.sync_probe();
     }
 }
 
@@ -460,6 +713,7 @@ impl firesim_core::snapshot::Checkpoint for RtlBlade {
         drop(p);
         self.store_scratch.clear();
         self.rx_scratch.clear();
+        self.device_lag = 0;
         Ok(())
     }
 }
@@ -516,11 +770,27 @@ impl SimAgent for RtlBlade {
             "host_icache_hit_permille".to_owned(),
             (hits * 1000).checked_div(hits + misses).unwrap_or(0),
         ));
+        // Memory-hierarchy counters. The values themselves are
+        // target-deterministic, but they describe the simulator's model
+        // internals rather than the workload, so they ride under the
+        // `host_` prefix and stay out of deterministic aggregates.
+        let ms = self.memsys.stats();
+        for (name, stats) in [("l1i", ms.l1i), ("l1d", ms.l1d), ("l2", ms.l2)] {
+            out.push((format!("host_{name}_hits"), stats.hits));
+            out.push((format!("host_{name}_misses"), stats.misses));
+        }
+        out.push(("host_dram_row_hits".to_owned(), ms.dram.row_hits));
+        out.push(("host_dram_row_empty".to_owned(), ms.dram.row_empty));
+        out.push(("host_dram_row_conflicts".to_owned(), ms.dram.row_conflicts));
         // Retired instructions per host-second, in millions:
         // retired / (host_ns / 1e9) / 1e6 = retired * 1000 / host_ns.
+        // Zero until `enable_host_profiling` has produced a measurement.
         out.push((
             "host_mips".to_owned(),
-            retired.saturating_mul(1000) / self.host_ns.max(1),
+            retired
+                .saturating_mul(1000)
+                .checked_div(self.host_ns)
+                .unwrap_or(0),
         ));
     }
 }

@@ -173,6 +173,35 @@ impl BlockDevice {
         }
     }
 
+    /// Cycles until the most imminent busy tracker would complete, or
+    /// `None` when every tracker is idle (a [`BlockDevice::tick`] is then
+    /// a no-op). A return of `Some(m)` means the next `m - 1` ticks are
+    /// pure countdown and the `m`-th performs a transfer.
+    pub fn min_busy_cycles(&self) -> Option<u64> {
+        self.trackers
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|req| req.remaining_cycles))
+            .min()
+    }
+
+    /// Bulk-advances `cycles` ticks' worth of tracker countdown without
+    /// touching memory, bit-identical to `cycles` calls of `tick` when no
+    /// tracker completes in that span.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if any busy tracker has `remaining_cycles <= cycles`
+    /// (its completion would be skipped over).
+    pub fn skip(&mut self, cycles: u64) {
+        for req in self.trackers.iter_mut().flatten() {
+            debug_assert!(
+                req.remaining_cycles > cycles,
+                "blockdev skip of {cycles} would cross a completion"
+            );
+            req.remaining_cycles -= cycles;
+        }
+    }
+
     fn try_alloc(&mut self) -> u64 {
         if self.len == 0 || self.offset + self.len > self.config.sectors {
             self.rejected += 1;
@@ -311,6 +340,31 @@ mod tests {
         bd.write(reg::LEN, 8, len);
         bd.write(reg::WRITE, 8, u64::from(write));
         bd.read(reg::ALLOC, 8)
+    }
+
+    #[test]
+    fn skip_matches_iterated_countdown() {
+        let (mut bd, mut mem) = mk();
+        assert_eq!(bd.min_busy_cycles(), None);
+        let payload = vec![0xabu8; SECTOR_BYTES];
+        mem.write_bytes(DRAM_BASE, &payload).unwrap();
+        submit(&mut bd, DRAM_BASE, 0, 1, true); // 10 + 5 = 15 cycles
+        assert_eq!(bd.min_busy_cycles(), Some(15));
+
+        let (mut bd2, mut mem2) = mk();
+        mem2.write_bytes(DRAM_BASE, &payload).unwrap();
+        submit(&mut bd2, DRAM_BASE, 0, 1, true);
+
+        // Skip 14, then one real tick completes; the reference ticks 15x.
+        bd.skip(14);
+        assert_eq!(bd.min_busy_cycles(), Some(1));
+        bd.tick(&mut mem);
+        for _ in 0..15 {
+            bd2.tick(&mut mem2);
+        }
+        assert!(bd.interrupt() && bd2.interrupt());
+        assert_eq!(bd.contents(), bd2.contents());
+        assert_eq!(bd.min_busy_cycles(), None);
     }
 
     #[test]

@@ -70,6 +70,34 @@ impl Clint {
     pub fn software_pending(&self, hart: usize) -> bool {
         self.msip[hart]
     }
+
+    /// Core cycles of [`Clint::advance`] until `timer_pending(hart)` first
+    /// becomes true: 0 when already pending, saturating at `u64::MAX` when
+    /// the comparator is effectively unreachable (the reset value).
+    ///
+    /// Skip-ahead scheduling uses this as an upper bound on how many
+    /// cycles a WFI-parked hart with the timer interrupt enabled can be
+    /// bulk-advanced without missing its wake-up edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hart` is out of range.
+    pub fn next_timer_expiry(&self, hart: usize) -> u64 {
+        let cmp = self.mtimecmp[hart];
+        if self.mtime >= cmp {
+            return 0;
+        }
+        let ticks = u128::from(cmp - self.mtime);
+        let cycles = ticks * u128::from(self.cycles_per_tick) - u128::from(self.cycle_accum);
+        u64::try_from(cycles).unwrap_or(u64::MAX)
+    }
+
+    /// Core cycles of [`Clint::advance`] until `mtime` next increments.
+    /// Always at least 1; advancing strictly fewer cycles leaves `mtime`
+    /// (and therefore every `timer_pending` level) unchanged.
+    pub fn cycles_to_next_tick(&self) -> u64 {
+        self.cycles_per_tick - self.cycle_accum
+    }
 }
 
 impl firesim_core::snapshot::Checkpoint for Clint {
@@ -184,6 +212,37 @@ mod tests {
         assert!(c.software_pending(1));
         c.write(MSIP_BASE + 4, 8, 0);
         assert!(!c.software_pending(1));
+    }
+
+    #[test]
+    fn next_timer_expiry_matches_iterated_advance() {
+        let mut c = Clint::new(1, 100);
+        c.advance(37); // misalign the accumulator
+        c.write(MTIMECMP_BASE, 8, 3);
+        let predicted = c.next_timer_expiry(0);
+        let mut actual = 0u64;
+        while !c.timer_pending(0) {
+            c.advance(1);
+            actual += 1;
+        }
+        assert_eq!(predicted, actual);
+        assert_eq!(c.next_timer_expiry(0), 0);
+        // The reset comparator (u64::MAX) saturates rather than overflowing.
+        let c2 = Clint::new(1, 3200);
+        assert_eq!(c2.next_timer_expiry(0), u64::MAX);
+    }
+
+    #[test]
+    fn cycles_to_next_tick_bounds_mtime() {
+        let mut c = Clint::new(1, 100);
+        c.advance(42);
+        let gap = c.cycles_to_next_tick();
+        assert_eq!(gap, 58);
+        c.advance(gap - 1);
+        assert_eq!(c.mtime(), 0);
+        c.advance(1);
+        assert_eq!(c.mtime(), 1);
+        assert_eq!(c.cycles_to_next_tick(), 100);
     }
 
     #[test]

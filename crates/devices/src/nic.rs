@@ -190,6 +190,60 @@ impl Nic {
         self.tokens = self.tokens.min(i64::from(k.max(1)) * 2);
     }
 
+    /// True when a [`Nic::tick`] with no incoming flit would change
+    /// nothing observable: no DMA engine active, no queued work that a
+    /// tick could start, and nothing buffered for transmission. In this
+    /// state the only per-cycle effects are the cycle counter and the
+    /// rate-limiter refill, both reproduced in closed form by
+    /// [`Nic::skip_quiescent`].
+    ///
+    /// `rx_buffered` plus `recv_reqs` both nonempty would let a tick pair
+    /// them into a writer, so quiescence requires at least one empty.
+    pub fn is_quiescent(&self) -> bool {
+        self.reader.is_none()
+            && self.writer.is_none()
+            && self.send_reqs.is_empty()
+            && self.resbuf.is_empty()
+            && self.tx_pkts.is_empty()
+            && self.tx_remaining.is_none()
+            && (self.rx_buffered.is_empty() || self.recv_reqs.is_empty())
+    }
+
+    /// Bulk-advances a quiescent NIC by `cycles` target cycles with no
+    /// incoming flits, bit-identical to `cycles` calls of
+    /// `tick(mem, None)` in that state (which touch only the cycle
+    /// counter and the token bucket).
+    ///
+    /// The token bucket admits a closed form because refills are monotone
+    /// non-decreasing under the cap and nothing transmits:
+    /// `t_n = min(t_0 + n*k, cap)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the NIC is not quiescent.
+    pub fn skip_quiescent(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        debug_assert!(self.is_quiescent(), "skip_quiescent on a busy NIC");
+        if self.config.rate_k > 0 {
+            let p = u64::from(self.config.rate_p.max(1));
+            let refills = (self.cycle + cycles) / p - self.cycle / p;
+            if refills > 0 {
+                let cap = i64::from(self.config.rate_k) * 2 + 2;
+                let added = i64::try_from(refills)
+                    .ok()
+                    .and_then(|r| r.checked_mul(i64::from(self.config.rate_k)))
+                    .and_then(|add| self.tokens.checked_add(add))
+                    .unwrap_or(i64::MAX);
+                self.tokens = added.min(cap);
+            }
+        } else {
+            self.tokens = 1;
+        }
+        self.cycle += cycles;
+    }
+
     /// Advances the NIC by one target cycle.
     ///
     /// `rx` is this cycle's incoming network token (if the link carried
@@ -536,6 +590,51 @@ mod tests {
             out.extend_from_slice(&f.bytes()[..f.byte_len()]);
         }
         out
+    }
+
+    #[test]
+    fn skip_quiescent_matches_iterated_ticks() {
+        // Sweep rate-limiter configs and skip lengths, comparing the
+        // closed-form bulk advance against literally iterating tick().
+        for (k, p) in [(0u16, 1u16), (1, 1), (3, 7), (8, 2), (5, 64)] {
+            for skip in [1u64, 2, 5, 63, 64, 65, 1000] {
+                let (mut a, mut mem) = mk();
+                let (mut b, _) = mk();
+                a.set_rate_limit(k, p);
+                b.set_rate_limit(k, p);
+                // Drain some tokens first so the bucket is mid-range.
+                let payload = [0u8; 32];
+                mem.write_bytes(DRAM_BASE + 0x100, &payload).unwrap();
+                for nic in [&mut a, &mut b] {
+                    nic.write(reg::SEND_REQ, 8, send_req(DRAM_BASE + 0x100, 32));
+                    let _ = drive_tx(nic, &mut mem, 400);
+                    assert!(nic.is_quiescent(), "k={k} p={p}: NIC should drain");
+                }
+                assert_eq!(a.tokens, b.tokens);
+                for _ in 0..skip {
+                    let tx = a.tick(&mut mem, None);
+                    assert!(tx.is_none(), "quiescent NIC must not transmit");
+                }
+                b.skip_quiescent(skip);
+                assert_eq!(a.cycle, b.cycle, "k={k} p={p} skip={skip}");
+                assert_eq!(a.tokens, b.tokens, "k={k} p={p} skip={skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn quiescence_predicate_tracks_activity() {
+        let (mut nic, mut mem) = mk();
+        assert!(nic.is_quiescent());
+        let payload = [7u8; 16];
+        mem.write_bytes(DRAM_BASE + 0x100, &payload).unwrap();
+        nic.write(reg::SEND_REQ, 8, send_req(DRAM_BASE + 0x100, 16));
+        assert!(!nic.is_quiescent(), "pending send request is activity");
+        let _ = drive_tx(&mut nic, &mut mem, 40);
+        assert!(nic.is_quiescent(), "drained NIC is quiescent again");
+        // A posted receive buffer alone is quiescent (nothing to pair).
+        nic.write(reg::RECV_REQ, 8, DRAM_BASE + 0x200);
+        assert!(nic.is_quiescent());
     }
 
     #[test]

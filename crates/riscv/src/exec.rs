@@ -109,6 +109,66 @@ pub struct BlockSummary {
     pub stopped: BlockStop,
 }
 
+/// Timing verdict for one instruction retired inside
+/// [`Cpu::run_timed`], returned by its cost callback.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedStep {
+    /// Stall cycles beyond the issue cycle (i.e. `cost - 1`).
+    pub extra: u64,
+    /// End the dispatch right after this instruction's issue cycle; the
+    /// stall is handed back *unfolded* in [`TimedSummary::stall`].
+    pub stop: bool,
+    /// Nonzero: memoize this value into the decode-cache slot serving
+    /// the instruction (the timing layer's static-cost annotation).
+    pub annot: u16,
+}
+
+/// Why [`Cpu::run_timed`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimedStop {
+    /// The cycle budget ran out; the core is ready to continue.
+    Budget,
+    /// The cost callback requested a stop ([`TimedStep::stop`]).
+    Device,
+    /// The core parked in WFI; the parking cycle is counted.
+    Wfi,
+}
+
+/// Result of one [`Cpu::run_timed`] dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct TimedSummary {
+    /// Target cycles consumed (`<= budget`).
+    pub cycles: u64,
+    /// Residual stall for the caller to carry into its stall state —
+    /// nonzero when the budget ran out mid-stall or a stop left the
+    /// offending instruction's stall unserved.
+    pub stall: u64,
+    /// Why the run ended.
+    pub stopped: TimedStop,
+}
+
+/// Folds up to `extra` stall cycles into a [`Cpu::run_timed`] dispatch
+/// right after an issue cycle, exactly as a per-cycle caller would:
+/// `mcycle` advances with the folded span and the bus observes it as one
+/// contiguous gap. Returns the part that overran the budget, which the
+/// caller carries as residual stall.
+#[inline]
+fn fold_stall<B: Bus>(
+    bus: &mut B,
+    csrs: &mut CsrFile,
+    cycles: &mut u64,
+    budget: u64,
+    extra: u64,
+) -> u64 {
+    let fold = extra.min(budget - *cycles);
+    if fold > 0 {
+        csrs.mcycle = csrs.mcycle.wrapping_add(fold);
+        *cycles += fold;
+        bus.elapse_timing_cycles(fold);
+    }
+    extra - fold
+}
+
 /// Architectural state of one RV64IMA hart.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -236,7 +296,7 @@ impl Cpu {
         let pc = self.pc;
         let outcome = if pc.is_multiple_of(4) {
             match cache.lookup(pc, bus) {
-                Some((word, inst)) => self.execute(pc, word, inst, bus),
+                Some((word, inst, _)) => self.execute(pc, word, inst, bus),
                 None => {
                     cache.end_superblock();
                     self.fetch_decode_execute(bus)
@@ -333,7 +393,7 @@ impl Cpu {
                 } else {
                     None
                 };
-                let Some((word, inst)) = cached else {
+                let Some((word, inst, _)) = cached else {
                     // Slow path: misaligned PC, uncacheable fetch, fault,
                     // or illegal word — one full interpreter step, which
                     // counts its own retire, so flush the deferred ones
@@ -528,6 +588,348 @@ impl Cpu {
         BlockSummary {
             retired,
             stopped: BlockStop::Budget,
+        }
+    }
+
+    /// Runs up to `budget` *cycles* through the decode-cache fast path as
+    /// one superblock dispatch, charging each instruction's cycle cost
+    /// via `cost_of` — the timed sibling of [`run_cached`](Self::run_cached),
+    /// built for single-issue timing layers that would otherwise pay a
+    /// full [`step_cached`](Self::step_cached) round trip (outcome
+    /// materialization included) per instruction.
+    ///
+    /// Semantics are bit-identical to a caller loop that, per cycle,
+    /// bumps `mcycle`, calls `step_cached`, charges
+    /// `cost_of(pc, inst, annot, taken_branch, mem, cycles_so_far)`
+    /// for a retire (or `trap_extra` extra cycles for a trap), stalls
+    /// `extra` cycles before the next issue, and calls
+    /// [`Bus::elapse_timing_cycles`] once per issue cycle and once per
+    /// contiguous stall span. In detail, per issued instruction:
+    ///
+    /// * `mcycle` advances first, then interrupts are polled —
+    ///   the same per-instruction poll as `step_cached`;
+    /// * a retire invokes `cost_of`; a returned nonzero
+    ///   [`TimedStep::annot`] is memoized into the serving decode-cache
+    ///   slot, and [`TimedStep::stop`] ends the run right after the
+    ///   offending cycle with the stall left *unfolded* in
+    ///   [`TimedSummary::stall`] (exactly where a per-cycle caller's
+    ///   loop would break);
+    /// * a trap charges `1 + trap_extra` cycles and continues;
+    /// * WFI ends the run after its (counted) parking cycle — the
+    ///   caller owns parked/idle bookkeeping;
+    /// * stall cycles that overrun the budget are returned in
+    ///   [`TimedSummary::stall`] for the caller to carry.
+    ///
+    /// `minstret` is deferred across hot retires with the same
+    /// observability argument as [`run_cached`](Self::run_cached): only
+    /// CSR instructions read it, and they funnel through the cold arm,
+    /// which flushes first.
+    pub fn run_timed<B: Bus, F>(
+        &mut self,
+        bus: &mut B,
+        cache: &mut DecodeCache,
+        budget: u64,
+        trap_extra: u64,
+        mut cost_of: F,
+    ) -> TimedSummary
+    where
+        F: FnMut(u64, &Inst, u16, bool, Option<&MemAccess>, u64) -> TimedStep,
+    {
+        let mut cycles = 0u64;
+        let mut pending_retires = 0u64;
+
+        // The tails are macros rather than helpers so `return` and
+        // `continue` act on `run_timed`'s own loop; both only reference
+        // locals already in scope here.
+        macro_rules! trap_tail {
+            () => {{
+                cycles += 1;
+                bus.elapse_timing_cycles(1);
+                let residual = fold_stall(bus, &mut self.csrs, &mut cycles, budget, trap_extra);
+                if residual > 0 {
+                    self.csrs.minstret = self.csrs.minstret.wrapping_add(pending_retires);
+                    return TimedSummary {
+                        cycles,
+                        stall: residual,
+                        stopped: TimedStop::Budget,
+                    };
+                }
+            }};
+        }
+        macro_rules! retire_tail {
+            ($ts:expr, $pc:expr) => {{
+                let ts: TimedStep = $ts;
+                if ts.annot != 0 {
+                    cache.set_annotation($pc, ts.annot);
+                }
+                cycles += 1;
+                bus.elapse_timing_cycles(1);
+                if ts.stop {
+                    self.csrs.minstret = self.csrs.minstret.wrapping_add(pending_retires);
+                    return TimedSummary {
+                        cycles,
+                        stall: ts.extra,
+                        stopped: TimedStop::Device,
+                    };
+                }
+                let residual = fold_stall(bus, &mut self.csrs, &mut cycles, budget, ts.extra);
+                if residual > 0 {
+                    self.csrs.minstret = self.csrs.minstret.wrapping_add(pending_retires);
+                    return TimedSummary {
+                        cycles,
+                        stall: residual,
+                        stopped: TimedStop::Budget,
+                    };
+                }
+            }};
+        }
+
+        'poll: while cycles < budget {
+            // The issue cycle begins: `mcycle` first, then the interrupt
+            // poll, exactly like the per-cycle loop.
+            self.csrs.mcycle = self.csrs.mcycle.wrapping_add(1);
+            if let Some(line) = self.csrs.pending_interrupt() {
+                let cause = line.cause();
+                let handler = self.csrs.trap_enter(self.pc, cause, 0);
+                self.pc = handler;
+                cache.end_superblock();
+                trap_tail!();
+                continue 'poll;
+            }
+
+            // Interrupt-free hot run. Between hot retires nothing can
+            // change `mip`/`mie`/`mstatus`: hot arms never write CSRs,
+            // and the bus cannot reach them (device state changed by an
+            // MMIO load/store only feeds back through the caller's
+            // interrupt wiring, outside this call). So the poll above is
+            // hoisted out of this inner loop — every skipped poll
+            // provably returns `None` — and every path that *can*
+            // perturb interrupt state (cold step, trap) exits to
+            // `'poll`, same argument as `run_cached`.
+            loop {
+                let pc = self.pc;
+                let served = if pc.is_multiple_of(4) {
+                    cache.lookup(pc, bus)
+                } else {
+                    None
+                };
+                // Hot arms retire inline (mirroring `run_cached`, locked by
+                // the same differential tests); anything else falls through
+                // to one cold interpreter step below.
+                let mut cold: Option<(u32, Inst)> = None;
+                let mut served_annot = 0u16;
+                if let Some((word, inst, annot)) = served {
+                    served_annot = annot;
+                    let hot: Option<(bool, Option<MemAccess>)> = match inst {
+                        Inst::OpImm {
+                            op,
+                            rd,
+                            rs1,
+                            imm,
+                            word,
+                        } => {
+                            let v = alu(op, self.read_reg(rs1), imm as u64, word);
+                            self.write_reg(rd, v);
+                            self.retire_linear(cache, pc);
+                            Some((false, None))
+                        }
+                        Inst::Op {
+                            op,
+                            rd,
+                            rs1,
+                            rs2,
+                            word,
+                        } => {
+                            let v = alu(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                            self.write_reg(rd, v);
+                            self.retire_linear(cache, pc);
+                            Some((false, None))
+                        }
+                        Inst::MulDiv {
+                            op,
+                            rd,
+                            rs1,
+                            rs2,
+                            word,
+                        } => {
+                            let v = muldiv(op, self.read_reg(rs1), self.read_reg(rs2), word);
+                            self.write_reg(rd, v);
+                            self.retire_linear(cache, pc);
+                            Some((false, None))
+                        }
+                        Inst::Lui { rd, imm } => {
+                            self.write_reg(rd, imm as u64);
+                            self.retire_linear(cache, pc);
+                            Some((false, None))
+                        }
+                        Inst::Auipc { rd, imm } => {
+                            self.write_reg(rd, pc.wrapping_add(imm as u64));
+                            self.retire_linear(cache, pc);
+                            Some((false, None))
+                        }
+                        Inst::Jal { rd, imm } => {
+                            self.write_reg(rd, pc.wrapping_add(4));
+                            self.retire_jump(cache, pc.wrapping_add(imm as u64));
+                            Some((false, None))
+                        }
+                        Inst::Jalr { rd, rs1, imm } => {
+                            let target = self.read_reg(rs1).wrapping_add(imm as u64) & !1;
+                            self.write_reg(rd, pc.wrapping_add(4));
+                            self.retire_jump(cache, target);
+                            Some((false, None))
+                        }
+                        Inst::Branch {
+                            cond,
+                            rs1,
+                            rs2,
+                            imm,
+                        } => {
+                            let a = self.read_reg(rs1);
+                            let b = self.read_reg(rs2);
+                            let take = match cond {
+                                BranchCond::Eq => a == b,
+                                BranchCond::Ne => a != b,
+                                BranchCond::Lt => (a as i64) < (b as i64),
+                                BranchCond::Ge => (a as i64) >= (b as i64),
+                                BranchCond::Ltu => a < b,
+                                BranchCond::Geu => a >= b,
+                            };
+                            if take {
+                                self.retire_jump(cache, pc.wrapping_add(imm as u64));
+                            } else {
+                                self.retire_linear(cache, pc);
+                            }
+                            Some((take, None))
+                        }
+                        Inst::Load {
+                            width,
+                            signed,
+                            rd,
+                            rs1,
+                            imm,
+                        } => {
+                            let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                            let size = width.bytes();
+                            match bus.load(addr, size) {
+                                Ok(raw) => {
+                                    let value = if signed { sign_extend(raw, size) } else { raw };
+                                    self.write_reg(rd, value);
+                                    self.retire_linear(cache, pc);
+                                    Some((
+                                        false,
+                                        Some(MemAccess {
+                                            addr,
+                                            size,
+                                            is_store: false,
+                                            is_amo: false,
+                                        }),
+                                    ))
+                                }
+                                Err(f) => {
+                                    self.trap(Trap::LoadAccessFault, f.addr);
+                                    cache.end_superblock();
+                                    trap_tail!();
+                                    continue 'poll;
+                                }
+                            }
+                        }
+                        Inst::Store {
+                            width,
+                            rs2,
+                            rs1,
+                            imm,
+                        } => {
+                            let addr = self.read_reg(rs1).wrapping_add(imm as u64);
+                            let size = width.bytes();
+                            match bus.store(addr, size, self.read_reg(rs2)) {
+                                Ok(()) => {
+                                    self.retire_linear(cache, pc);
+                                    Some((
+                                        false,
+                                        Some(MemAccess {
+                                            addr,
+                                            size,
+                                            is_store: true,
+                                            is_amo: false,
+                                        }),
+                                    ))
+                                }
+                                Err(f) => {
+                                    self.trap(Trap::StoreAccessFault, f.addr);
+                                    cache.end_superblock();
+                                    trap_tail!();
+                                    continue 'poll;
+                                }
+                            }
+                        }
+                        other => {
+                            cold = Some((word, other));
+                            None
+                        }
+                    };
+                    if let Some((taken_branch, mem_acc)) = hot {
+                        pending_retires += 1;
+                        retire_tail!(
+                            cost_of(pc, &inst, annot, taken_branch, mem_acc.as_ref(), cycles),
+                            pc
+                        );
+                        if cycles >= budget {
+                            break 'poll;
+                        }
+                        // Next issue cycle within the hot run: `mcycle`
+                        // advances, the poll is skipped (see above).
+                        self.csrs.mcycle = self.csrs.mcycle.wrapping_add(1);
+                        continue;
+                    }
+                }
+
+                // Cold step: a decoded-but-rare instruction (AMO, CSR,
+                // fence, system) through `execute`, or the full slow path
+                // for misaligned/uncacheable/illegal fetches. `execute` may
+                // read any CSR and counts its own retire, so flush first.
+                self.csrs.minstret = self.csrs.minstret.wrapping_add(pending_retires);
+                pending_retires = 0;
+                let outcome = match cold {
+                    Some((word, inst)) => self.execute(pc, word, inst, bus),
+                    None => {
+                        cache.end_superblock();
+                        self.fetch_decode_execute(bus)
+                    }
+                };
+                Self::superblock_bookkeeping(cache, pc, &outcome);
+                match outcome {
+                    StepOutcome::Retired {
+                        pc,
+                        inst,
+                        taken_branch,
+                        mem,
+                        ..
+                    } => {
+                        retire_tail!(
+                            cost_of(pc, &inst, served_annot, taken_branch, mem.as_ref(), cycles),
+                            pc
+                        );
+                    }
+                    StepOutcome::Trapped { .. } => trap_tail!(),
+                    StepOutcome::Wfi => {
+                        cycles += 1;
+                        bus.elapse_timing_cycles(1);
+                        return TimedSummary {
+                            cycles,
+                            stall: 0,
+                            stopped: TimedStop::Wfi,
+                        };
+                    }
+                }
+                // A cold step may have perturbed interrupt state: re-poll.
+                continue 'poll;
+            }
+        }
+        self.csrs.minstret = self.csrs.minstret.wrapping_add(pending_retires);
+        TimedSummary {
+            cycles,
+            stall: 0,
+            stopped: TimedStop::Budget,
         }
     }
 

@@ -69,6 +69,11 @@ struct Entry {
     /// The raw instruction word (the `Csr` execute arm needs it for the
     /// `mtval` of an illegal-CSR trap).
     word: u32,
+    /// Client scratch riding along with the decode (0 = unset); the
+    /// timing layer memoizes static instruction costs here. Reset on
+    /// every fill, so an annotation is only ever observed alongside the
+    /// exact `inst` it was computed from.
+    annot: u16,
     /// The pre-decoded instruction.
     inst: Inst,
 }
@@ -77,6 +82,7 @@ const EMPTY: Entry = Entry {
     tag: u64::MAX,
     gen: 0,
     word: 0,
+    annot: 0,
     inst: Inst::Fence,
 };
 
@@ -155,7 +161,10 @@ impl DecodeCache {
         self.stats
     }
 
-    /// Looks up (filling on miss) the decoded instruction at `pc`.
+    /// Looks up (filling on miss) the decoded instruction at `pc`,
+    /// returning `(word, inst, annotation)` — the annotation rides along
+    /// from the serving slot (0 on a fresh fill) so timing layers get
+    /// their memoized static cost without a second slot probe.
     ///
     /// `None` means the PC cannot be served from the cache — an
     /// uncacheable address (MMIO, unmapped), a fetch fault, or an
@@ -164,7 +173,7 @@ impl DecodeCache {
     /// trap. `pc` must be 4-byte aligned (the caller traps misaligned
     /// PCs before consulting the cache).
     #[inline]
-    pub fn lookup<B: Bus + ?Sized>(&mut self, pc: u64, bus: &mut B) -> Option<(u32, Inst)> {
+    pub fn lookup<B: Bus + ?Sized>(&mut self, pc: u64, bus: &mut B) -> Option<(u32, Inst, u16)> {
         debug_assert!(pc.is_multiple_of(4), "misaligned pc {pc:#x} in lookup");
         let idx = (pc >> 2) as usize & (self.entries.len() - 1);
 
@@ -176,7 +185,7 @@ impl DecodeCache {
                 self.stats.hits += 1;
                 self.last_gen = e.gen;
                 self.last_write_gen = self.cursor_write_gen;
-                return Some((e.word, e.inst));
+                return Some((e.word, e.inst, e.annot));
             }
         }
 
@@ -188,7 +197,7 @@ impl DecodeCache {
                 self.stats.hits += 1;
                 self.last_gen = gen;
                 self.last_write_gen = bus.write_generation();
-                return Some((e.word, e.inst));
+                return Some((e.word, e.inst, e.annot));
             }
             // A write touched the page (or FENCE.I flushed) since fill.
             self.stats.invalidations += 1;
@@ -203,11 +212,12 @@ impl DecodeCache {
             tag: pc,
             gen,
             word,
+            annot: 0,
             inst,
         };
         self.last_gen = gen;
         self.last_write_gen = bus.write_generation();
-        Some((word, inst))
+        Some((word, inst, 0))
     }
 
     /// Opens (or extends) a superblock: the instruction just served by
@@ -227,6 +237,37 @@ impl DecodeCache {
     #[inline]
     pub fn end_superblock(&mut self) {
         self.cursor_pc = u64::MAX;
+    }
+
+    /// The annotation stored for the entry currently caching `pc`, or 0
+    /// when the slot holds a different PC (or nothing). Annotations are
+    /// pure host-side memoization: a fill resets the slot's annotation,
+    /// so a nonzero value always describes the `inst` most recently
+    /// served for `pc` by [`lookup`](Self::lookup).
+    ///
+    /// Callers may only rely on an annotation for instructions that were
+    /// actually served from the cache this step — for those, the slot
+    /// provably still tags `pc`.
+    #[inline]
+    pub fn annotation(&self, pc: u64) -> u16 {
+        let idx = (pc >> 2) as usize & (self.entries.len() - 1);
+        let e = &self.entries[idx];
+        if e.tag == pc {
+            e.annot
+        } else {
+            0
+        }
+    }
+
+    /// Stores `annot` for `pc` if (and only if) the slot currently
+    /// caches `pc`; silently dropped otherwise. 0 means "unset".
+    #[inline]
+    pub fn set_annotation(&mut self, pc: u64, annot: u16) {
+        let idx = (pc >> 2) as usize & (self.entries.len() - 1);
+        let e = &mut self.entries[idx];
+        if e.tag == pc {
+            e.annot = annot;
+        }
     }
 
     /// `FENCE.I`: discards every cached decode (O(1) generation bump).
@@ -272,8 +313,8 @@ mod tests {
         };
         let mut mem = mem_with(&[(BASE, addi)]);
         let mut c = DecodeCache::new();
-        let (w1, i1) = c.lookup(BASE, &mut mem).unwrap();
-        let (w2, i2) = c.lookup(BASE, &mut mem).unwrap();
+        let (w1, i1, _) = c.lookup(BASE, &mut mem).unwrap();
+        let (w2, i2, _) = c.lookup(BASE, &mut mem).unwrap();
         assert_eq!((w1, i1), (w2, i2));
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.stats().hits, 1);
@@ -287,7 +328,7 @@ mod tests {
         let w = u32::from_le_bytes(img[0..4].try_into().unwrap());
         let mut mem = mem_with(&[(BASE, w)]);
         let mut c = DecodeCache::new();
-        let (_, before) = c.lookup(BASE, &mut mem).unwrap();
+        let (_, before, _) = c.lookup(BASE, &mut mem).unwrap();
 
         // Overwrite the word with a different instruction.
         let mut a2 = Assembler::new(BASE);
@@ -295,7 +336,7 @@ mod tests {
         let img2 = a2.assemble().unwrap();
         mem.write_bytes(BASE, &img2[0..4]).unwrap();
 
-        let (_, after) = c.lookup(BASE, &mut mem).unwrap();
+        let (_, after, _) = c.lookup(BASE, &mut mem).unwrap();
         assert_ne!(before, after, "stale decode served after store");
         assert_eq!(c.stats().invalidations, 1);
         assert_eq!(c.stats().misses, 2);
@@ -327,6 +368,34 @@ mod tests {
     }
 
     #[test]
+    fn annotations_die_with_their_fill() {
+        let mut a = Assembler::new(BASE);
+        a.addi(1, 0, 5);
+        let img = a.assemble().unwrap();
+        let mut mem = mem_with(&[(BASE, u32::from_le_bytes(img[0..4].try_into().unwrap()))]);
+        let mut c = DecodeCache::new();
+        // Unfilled slot: reads return 0, writes are dropped.
+        assert_eq!(c.annotation(BASE), 0);
+        c.set_annotation(BASE, 9);
+        assert_eq!(c.annotation(BASE), 0);
+
+        c.lookup(BASE, &mut mem).unwrap();
+        c.set_annotation(BASE, 9);
+        assert_eq!(c.annotation(BASE), 9);
+        // A different PC mapping to the same slot reads 0.
+        let alias = BASE + 4 * DEFAULT_ENTRIES as u64;
+        assert_eq!(c.annotation(alias), 0);
+
+        // Refill after a store resets the annotation.
+        let mut a2 = Assembler::new(BASE);
+        a2.addi(2, 0, 9);
+        let img2 = a2.assemble().unwrap();
+        mem.write_bytes(BASE, &img2[0..4]).unwrap();
+        c.lookup(BASE, &mut mem).unwrap();
+        assert_eq!(c.annotation(BASE), 0, "fill must clear the annotation");
+    }
+
+    #[test]
     fn cursor_does_not_serve_stale_entry_after_store() {
         // Regression for the subtle superblock case: an entry goes
         // stale while execution is elsewhere; later a straight-line run
@@ -341,7 +410,7 @@ mod tests {
 
         // Fill both entries.
         c.lookup(BASE, &mut mem).unwrap();
-        let (_, stale) = c.lookup(BASE + 4, &mut mem).unwrap();
+        let (_, stale, _) = c.lookup(BASE + 4, &mut mem).unwrap();
         // BASE+4 is overwritten (write gen + page gen bump).
         let mut a2 = Assembler::new(BASE + 4);
         a2.addi(3, 0, 7);
@@ -351,7 +420,7 @@ mod tests {
         // open superblock into BASE+4, then look BASE+4 up via cursor.
         c.lookup(BASE, &mut mem).unwrap();
         c.advance_cursor(BASE + 4);
-        let (_, fresh) = c.lookup(BASE + 4, &mut mem).unwrap();
+        let (_, fresh, _) = c.lookup(BASE + 4, &mut mem).unwrap();
         assert_ne!(stale, fresh, "cursor served a stale decode");
     }
 }

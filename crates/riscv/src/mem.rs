@@ -77,6 +77,13 @@ pub trait Bus {
     fn write_generation(&self) -> u64 {
         0
     }
+
+    /// Batched timing layers call this as simulated cycles complete inside
+    /// a bulk issue span, letting a bus implementation lazily advance
+    /// quiescent device models right before an MMIO access would observe
+    /// them. The functional interpreter and the per-cycle reference
+    /// timing loop never call it; the default is a no-op.
+    fn elapse_timing_cycles(&mut self, _cycles: u64) {}
 }
 
 impl<B: Bus + ?Sized> Bus for &mut B {
@@ -94,6 +101,9 @@ impl<B: Bus + ?Sized> Bus for &mut B {
     }
     fn write_generation(&self) -> u64 {
         (**self).write_generation()
+    }
+    fn elapse_timing_cycles(&mut self, cycles: u64) {
+        (**self).elapse_timing_cycles(cycles);
     }
 }
 

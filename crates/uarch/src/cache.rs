@@ -122,9 +122,26 @@ pub struct AccessResult {
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
+    /// `log2(line_bytes)`; both factors are asserted powers of two, so
+    /// `index` runs on shifts instead of 64-bit divides.
+    line_shift: u32,
+    /// `log2(sets)`.
+    set_shift: u32,
     lines: Vec<Line>,
     stamp: u64,
     stats: CacheStats,
+    /// Host-only lookup shortcut: per-set way index of the most recent
+    /// hit. Not checkpointed; a stale hint is harmless because the hit
+    /// path re-validates `valid` and `tag` before using it.
+    mru: Vec<u8>,
+    /// Host-only shortcut: the line index (`addr >> line_shift`) of the
+    /// most recent access, or `u64::MAX` when unusable. Two consecutive
+    /// accesses to one line are always a hit on the same slot — nothing
+    /// can evict a line without itself being an access — so the repeat
+    /// path skips the set search entirely. Any `invalidate` resets it.
+    last_line: u64,
+    /// Slot in `lines` that `last_line` resides in.
+    last_slot: usize,
 }
 
 impl Cache {
@@ -138,9 +155,14 @@ impl Cache {
         Cache {
             config,
             sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             lines: vec![Line::default(); sets * config.ways],
             stamp: 0,
             stats: CacheStats::default(),
+            mru: vec![0; sets],
+            last_line: u64::MAX,
+            last_slot: 0,
         }
     }
 
@@ -156,22 +178,23 @@ impl Cache {
 
     #[inline]
     fn index(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
+        let line = addr >> self.line_shift;
         let set = (line as usize) & (self.sets - 1);
-        let tag = line / self.sets as u64;
+        let tag = line >> self.set_shift;
         (set, tag)
     }
 
     /// Looks up `addr`, allocating on miss (write-allocate for stores).
     /// Marks the line dirty on stores.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
         self.stamp += 1;
-        let (set, tag) = self.index(addr);
-        let ways = self.config.ways;
-        let base = set * ways;
-        let set_lines = &mut self.lines[base..base + ways];
+        let line_idx = addr >> self.line_shift;
 
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+        // Repeat path: same line as the previous access. Guaranteed
+        // resident (see `last_line`), so only the bookkeeping runs.
+        if line_idx == self.last_line {
+            let line = &mut self.lines[self.last_slot];
             line.lru = self.stamp;
             line.dirty |= is_store;
             self.stats.hits += 1;
@@ -180,12 +203,53 @@ impl Cache {
                 writeback: None,
             };
         }
+        self.last_line = line_idx;
+
+        let set = (line_idx as usize) & (self.sets - 1);
+        let tag = line_idx >> self.set_shift;
+        let ways = self.config.ways;
+        let base = set * ways;
+
+        // Fast path: the way that hit last time in this set usually hits
+        // again (tight loops touch the same lines over and over).
+        let hint = usize::from(self.mru[set]);
+        if hint < ways {
+            let line = &mut self.lines[base + hint];
+            if line.valid && line.tag == tag {
+                line.lru = self.stamp;
+                line.dirty |= is_store;
+                self.stats.hits += 1;
+                self.last_slot = base + hint;
+                return AccessResult {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+
+        let set_lines = &mut self.lines[base..base + ways];
+        if let Some((way, line)) = set_lines
+            .iter_mut()
+            .enumerate()
+            .find(|(_, l)| l.valid && l.tag == tag)
+        {
+            line.lru = self.stamp;
+            line.dirty |= is_store;
+            self.stats.hits += 1;
+            self.mru[set] = way as u8;
+            self.last_slot = base + way;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
 
         self.stats.misses += 1;
         // Victim: invalid line if any, else LRU.
-        let victim = set_lines
+        let (victim_way, victim) = set_lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
             .expect("ways >= 1");
         let mut writeback = None;
         if victim.valid && victim.dirty {
@@ -199,6 +263,8 @@ impl Cache {
             dirty: is_store,
             lru: self.stamp,
         };
+        self.mru[set] = victim_way as u8;
+        self.last_slot = base + victim_way;
         AccessResult {
             hit: false,
             writeback,
@@ -208,6 +274,8 @@ impl Cache {
     /// Invalidates the line containing `addr` (coherence shoot-down).
     /// Returns true when a valid line was present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
+        // The removed line may be the repeat shortcut's target.
+        self.last_line = u64::MAX;
         let (set, tag) = self.index(addr);
         let ways = self.config.ways;
         let base = set * ways;
@@ -282,6 +350,8 @@ impl firesim_core::snapshot::Checkpoint for Cache {
         }
         self.stamp = r.get_u64()?;
         self.stats = r.get()?;
+        // Restored contents invalidate the host-only repeat shortcut.
+        self.last_line = u64::MAX;
         Ok(())
     }
 }

@@ -110,8 +110,8 @@ impl MemSystem {
     /// # Panics
     ///
     /// Panics if `core` is out of range for a core-side access.
+    #[inline]
     pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> u64 {
-        let c = self.config;
         let (l1_result, is_store) = match kind {
             AccessKind::Fetch => (Some(self.l1i[core].access(addr, false)), false),
             AccessKind::Load => (Some(self.l1d[core].access(addr, false)), false),
@@ -121,26 +121,28 @@ impl MemSystem {
         };
 
         match l1_result {
-            Some(r) if r.hit => c.l1_hit_cycles,
-            other => {
-                // L1 miss (or DMA): go to L2.
-                let mut latency = match other {
-                    Some(_) => c.l1_hit_cycles,
-                    None => 0,
-                };
-                let l2r = self.l2.access(addr, is_store || other.is_none());
-                latency += c.l2_hit_cycles;
-                if !l2r.hit {
-                    latency += self.dram.latency(now + latency, addr);
-                    if let Some(wb) = l2r.writeback {
-                        // Dirty victim: the writeback occupies the bank but
-                        // does not block the demand fill's critical path.
-                        let _ = self.dram.access(now + latency, wb);
-                    }
-                }
-                latency
+            Some(r) if r.hit => self.config.l1_hit_cycles,
+            other => self.access_miss(other.is_some(), is_store, addr, now),
+        }
+    }
+
+    /// L1 miss (or DMA) path: go to L2, then DRAM. Kept out of line so the
+    /// L1-hit path above stays small enough to inline into callers.
+    #[inline(never)]
+    fn access_miss(&mut self, from_l1: bool, is_store: bool, addr: u64, now: u64) -> u64 {
+        let c = &self.config;
+        let mut latency = if from_l1 { c.l1_hit_cycles } else { 0 };
+        let l2r = self.l2.access(addr, is_store || !from_l1);
+        latency += c.l2_hit_cycles;
+        if !l2r.hit {
+            latency += self.dram.latency(now + latency, addr);
+            if let Some(wb) = l2r.writeback {
+                // Dirty victim: the writeback occupies the bank but
+                // does not block the demand fill's critical path.
+                let _ = self.dram.access(now + latency, wb);
             }
         }
+        latency
     }
 
     /// Invalidates `addr` in every L1 data cache except `except_core`

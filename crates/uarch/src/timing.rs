@@ -10,7 +10,7 @@
 //! effect of an instruction is applied on the cycle it *begins* and the
 //! core then stalls for the remaining cost.
 
-use firesim_riscv::exec::{Cpu, StepOutcome};
+use firesim_riscv::exec::{Cpu, MemAccess, StepOutcome, TimedStep, TimedStop};
 use firesim_riscv::icache::{DecodeCache, DecodeCacheStats};
 use firesim_riscv::inst::{Inst, MulDivOp};
 use firesim_riscv::mem::Bus;
@@ -47,6 +47,12 @@ pub struct TimingConfig {
     /// model charges the modeled L1I per retired instruction no matter
     /// how the functional fetch was served).
     pub decode_cache: bool,
+    /// Force the SoC scheduler onto the per-cycle reference loop instead
+    /// of event-driven skip-ahead batching (default off). Like
+    /// `decode_cache` this is a host-speed knob only: cycle counts,
+    /// digests, and snapshots are bit-identical either way, and the
+    /// differential tests run both modes against each other.
+    pub reference_timing: bool,
 }
 
 impl Default for TimingConfig {
@@ -63,6 +69,7 @@ impl Default for TimingConfig {
             cacheable_base: firesim_riscv::DRAM_BASE,
             cacheable_size: 16 << 30,
             decode_cache: true,
+            reference_timing: false,
         }
     }
 }
@@ -192,6 +199,295 @@ impl TimingCore {
         self.icache.as_ref().map(|c| c.stats())
     }
 
+    /// Remaining stall cycles of the instruction in flight.
+    pub fn stall(&self) -> u64 {
+        self.stall
+    }
+
+    /// Cycles from now until this core next does observable work: 0 when
+    /// it will issue on the next tick, the remaining stall while
+    /// mid-instruction, and for a WFI-parked core either `timer_expiry`
+    /// (pass `Clint::next_timer_expiry(hart)`) when the timer interrupt
+    /// is enabled in `mie`, or `u64::MAX` when only a wiring change
+    /// (external/software edge) could wake it.
+    ///
+    /// Callers must wire the interrupt lines for the current cycle first
+    /// and guarantee that no wiring input other than the timer changes in
+    /// any span they skip on the strength of this answer.
+    pub fn next_event(&self, timer_expiry: u64) -> u64 {
+        if self.stall > 0 {
+            return self.stall;
+        }
+        if self.parked {
+            if self.cpu.csrs.wfi_wakeup() || self.cpu.csrs.pending_interrupt().is_some() {
+                return 0;
+            }
+            let timer_enabled =
+                self.cpu.csrs.mie & (1 << firesim_riscv::Interrupt::Timer.bit()) != 0;
+            return if timer_enabled {
+                timer_expiry
+            } else {
+                u64::MAX
+            };
+        }
+        0
+    }
+
+    /// Bulk-advances an inactive core by `cycles` target cycles in O(1):
+    /// a stalled core burns stall budget, a parked core accumulates idle
+    /// time. Bit-identical to `cycles` calls of [`TimingCore::tick`]
+    /// under the caller's guarantee that nothing in the span would wake
+    /// or unstall the core early (`cycles <= next_event(..)`).
+    pub fn skip(&mut self, cycles: u64) {
+        self.cpu.csrs.mcycle = self.cpu.csrs.mcycle.wrapping_add(cycles);
+        if self.stall > 0 {
+            debug_assert!(cycles <= self.stall, "skip across stall expiry");
+            self.stall -= cycles;
+        } else if cycles > 0 {
+            debug_assert!(
+                self.parked
+                    && !self.cpu.csrs.wfi_wakeup()
+                    && self.cpu.csrs.pending_interrupt().is_none(),
+                "skip on a core that would have issued"
+            );
+            self.idle_cycles += cycles;
+        }
+    }
+
+    /// Batched issue: advances up to `budget` target cycles without
+    /// returning to the caller between cycles, bit-identical to `budget`
+    /// calls of [`TimingCore::tick`] with `now = base + cycles_so_far`,
+    /// provided the caller guarantees the bus/device environment is
+    /// frozen for the whole span (quiescent devices, stable interrupt
+    /// wiring, stable `csrs.time`).
+    ///
+    /// Returns the cycles actually consumed. The batch ends early (right
+    /// *after* the offending cycle, exactly like the per-cycle loop
+    /// would) whenever an issued instruction touches anything outside
+    /// that frozen environment: an MMIO fetch, a non-cacheable data
+    /// access, or a CSR write to `mip` (whose software-writable bit the
+    /// per-cycle wiring would overwrite on the next cycle). Stores to
+    /// ordinary memory accumulate on the bus for the caller to process —
+    /// reservation clobbers and L1 shoot-downs of *other* cores commute
+    /// with the skipped cycles because those cores never run in-batch.
+    pub fn advance<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        mem: &mut MemSystem,
+        core_idx: usize,
+        base: u64,
+        budget: u64,
+    ) -> u64 {
+        let mut used = 0u64;
+        while used < budget {
+            if self.stall > 0 {
+                let n = self.stall.min(budget - used);
+                self.cpu.csrs.mcycle = self.cpu.csrs.mcycle.wrapping_add(n);
+                self.stall -= n;
+                used += n;
+                bus.elapse_timing_cycles(n);
+                continue;
+            }
+            if self.parked {
+                if !(self.cpu.csrs.wfi_wakeup() || self.cpu.csrs.pending_interrupt().is_some()) {
+                    // Frozen wiring cannot wake it later in the span.
+                    let n = budget - used;
+                    self.cpu.csrs.mcycle = self.cpu.csrs.mcycle.wrapping_add(n);
+                    self.idle_cycles += n;
+                    used += n;
+                    bus.elapse_timing_cycles(n);
+                    break;
+                }
+                self.parked = false;
+            }
+            // Superblock fast path: single-issue with the decode cache
+            // on and tracing off dispatches the whole remaining budget
+            // through the functional core's superblock loop, with the
+            // cost model inlined per retire. Bit-identical to the
+            // per-cycle body below (see `Cpu::run_timed`); trace mode
+            // and superscalar issue keep the general loop.
+            if self.config.issue_width <= 1 && self.trace.is_none() && self.icache.is_some() {
+                let span_base = base + used;
+                let span_budget = budget - used;
+                let TimingCore {
+                    cpu,
+                    icache,
+                    config,
+                    retired,
+                    ..
+                } = self;
+                let cache = icache.as_mut().expect("icache presence checked above");
+                let summary = cpu.run_timed(
+                    bus,
+                    cache,
+                    span_budget,
+                    config.trap_cycles,
+                    |pc, inst, annot, taken_branch, acc, span_cycles| {
+                        *retired += 1;
+                        let now = span_base + span_cycles;
+                        let mut cost = 1u64;
+                        // Fetch path: charge everything beyond a
+                        // pipelined L1I hit.
+                        if config.is_cacheable(pc) {
+                            let lat = mem.access(core_idx, AccessKind::Fetch, pc, now);
+                            cost += lat - mem.config().l1_hit_cycles;
+                        }
+                        // Execute path: the static extra rides along as
+                        // the decode-cache annotation (`extra + 1`;
+                        // 0 = not yet computed).
+                        let mut memo = 0u16;
+                        if annot != 0 {
+                            cost += u64::from(annot - 1);
+                        } else {
+                            let extra = match inst {
+                                Inst::MulDiv { op, .. } => {
+                                    let is_div = matches!(
+                                        op,
+                                        MulDivOp::Div
+                                            | MulDivOp::Divu
+                                            | MulDivOp::Rem
+                                            | MulDivOp::Remu
+                                    );
+                                    if is_div {
+                                        config.div_cycles - 1
+                                    } else {
+                                        config.mul_cycles - 1
+                                    }
+                                }
+                                Inst::Jal { .. } | Inst::Jalr { .. } => config.jump_penalty,
+                                _ => 0,
+                            };
+                            cost += extra;
+                            memo = u16::try_from(extra + 1).unwrap_or(0);
+                        }
+                        if taken_branch {
+                            cost += config.branch_taken_penalty;
+                        }
+                        // Memory path; anything uncacheable (MMIO fetch
+                        // or data) ends the batch after this cycle.
+                        let mut stop = !config.is_cacheable(pc);
+                        if let Some(a) = acc {
+                            if config.is_cacheable(a.addr) {
+                                let kind = if a.is_amo {
+                                    AccessKind::Amo
+                                } else if a.is_store {
+                                    AccessKind::Store
+                                } else {
+                                    AccessKind::Load
+                                };
+                                let lat = mem.access(core_idx, kind, a.addr, now);
+                                cost += match kind {
+                                    AccessKind::Store if lat == mem.config().l1_hit_cycles => 0,
+                                    AccessKind::Amo => lat + config.amo_extra_cycles,
+                                    _ => lat,
+                                };
+                            } else {
+                                cost += config.mmio_cycles;
+                                stop = true;
+                            }
+                        }
+                        // A software MIP write would be overwritten by
+                        // the next wiring; hand control back first.
+                        if matches!(inst, Inst::Csr { csr, .. }
+                            if *csr == firesim_riscv::csr::addr::MIP)
+                        {
+                            stop = true;
+                        }
+                        TimedStep {
+                            extra: cost - 1,
+                            stop,
+                            annot: memo,
+                        }
+                    },
+                );
+                used += summary.cycles;
+                self.stall = summary.stall;
+                match summary.stopped {
+                    TimedStop::Wfi => {
+                        self.parked = true;
+                        self.idle_cycles += 1;
+                    }
+                    TimedStop::Device => break,
+                    TimedStop::Budget => {}
+                }
+                continue;
+            }
+
+            self.cpu.csrs.mcycle = self.cpu.csrs.mcycle.wrapping_add(1);
+            let now = base + used;
+            used += 1;
+            let width = self.config.issue_width.max(1);
+            let mut device_access = false;
+            for slot in 0..width {
+                let outcome = match &mut self.icache {
+                    Some(cache) => self.cpu.step_cached(bus, cache),
+                    None => self.cpu.step(bus),
+                }
+                .expect("functional core does not fail at host level");
+                match outcome {
+                    StepOutcome::Retired {
+                        pc,
+                        inst,
+                        taken_branch,
+                        mem: acc,
+                        ..
+                    } => {
+                        let cost = self.retired_cost(
+                            pc,
+                            &inst,
+                            taken_branch,
+                            acc.as_ref(),
+                            mem,
+                            core_idx,
+                            now,
+                        );
+                        if let Some((depth, trace)) = &mut self.trace {
+                            if trace.len() == *depth {
+                                trace.pop_front();
+                            }
+                            trace.push_back(TraceEntry {
+                                cycle: self.cpu.csrs.mcycle,
+                                pc,
+                            });
+                        }
+                        if !self.config.is_cacheable(pc)
+                            || acc
+                                .as_ref()
+                                .is_some_and(|a| !self.config.is_cacheable(a.addr))
+                            || matches!(inst, Inst::Csr { csr, .. }
+                                if csr == firesim_riscv::csr::addr::MIP)
+                        {
+                            device_access = true;
+                        }
+                        if cost > 1 {
+                            self.stall = cost - 1;
+                            break;
+                        }
+                    }
+                    StepOutcome::Wfi => {
+                        self.parked = true;
+                        if slot == 0 {
+                            self.idle_cycles += 1;
+                        }
+                        break;
+                    }
+                    StepOutcome::Trapped { .. } => {
+                        let cost = 1 + self.config.trap_cycles;
+                        if cost > 1 {
+                            self.stall = cost - 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            bus.elapse_timing_cycles(1);
+            if device_access {
+                break;
+            }
+        }
+        used
+    }
+
     /// Advances one target cycle.
     ///
     /// `core_idx` selects this core's L1s in `mem`; `now` is the absolute
@@ -283,58 +579,100 @@ impl TimingCore {
                 taken_branch,
                 mem: mem_access,
                 ..
-            } => {
-                self.retired += 1;
-                let mut cost = 1u64;
-                // Fetch path: charge everything beyond a pipelined L1I hit.
-                if self.config.is_cacheable(*pc) {
-                    let lat = mem.access(core_idx, AccessKind::Fetch, *pc, now);
-                    cost += lat - mem.config().l1_hit_cycles;
-                }
-                // Execute path.
-                match inst {
-                    Inst::MulDiv { op, .. } => {
-                        let is_div = matches!(
-                            op,
-                            MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
-                        );
-                        cost += if is_div {
-                            self.config.div_cycles - 1
-                        } else {
-                            self.config.mul_cycles - 1
-                        };
-                    }
-                    Inst::Jal { .. } | Inst::Jalr { .. } => cost += self.config.jump_penalty,
-                    Inst::Branch { .. } if *taken_branch => {
-                        cost += self.config.branch_taken_penalty
-                    }
-                    _ => {}
-                }
-                // Memory path.
-                if let Some(acc) = mem_access {
-                    if self.config.is_cacheable(acc.addr) {
-                        let kind = if acc.is_amo {
-                            AccessKind::Amo
-                        } else if acc.is_store {
-                            AccessKind::Store
-                        } else {
-                            AccessKind::Load
-                        };
-                        let lat = mem.access(core_idx, kind, acc.addr, now);
-                        cost += match kind {
-                            // Store hits retire through the store buffer.
-                            AccessKind::Store if lat == mem.config().l1_hit_cycles => 0,
-                            AccessKind::Amo => lat + self.config.amo_extra_cycles,
-                            _ => lat,
-                        };
-                    } else {
-                        cost += self.config.mmio_cycles;
-                    }
-                }
-                cost
-            }
+            } => self.retired_cost(
+                *pc,
+                inst,
+                *taken_branch,
+                mem_access.as_ref(),
+                mem,
+                core_idx,
+                now,
+            ),
         };
         Some(cost)
+    }
+
+    /// Cost of one retired instruction. Kept scalar-argument so the hot
+    /// batched loop never has to materialize a full [`StepOutcome`].
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn retired_cost(
+        &mut self,
+        pc: u64,
+        inst: &Inst,
+        taken_branch: bool,
+        mem_access: Option<&MemAccess>,
+        mem: &mut MemSystem,
+        core_idx: usize,
+        now: u64,
+    ) -> u64 {
+        self.retired += 1;
+        let mut cost = 1u64;
+        // Fetch path: charge everything beyond a pipelined L1I hit.
+        if self.config.is_cacheable(pc) {
+            let lat = mem.access(core_idx, AccessKind::Fetch, pc, now);
+            cost += lat - mem.config().l1_hit_cycles;
+        }
+        // Execute path: the static extra is a pure function of
+        // the decoded instruction, so it is memoized in the
+        // decode-cache slot that served the fetch (stored as
+        // `extra + 1`; 0 = not yet computed). The slot guard
+        // (`tag == pc`, annotation reset on fill) makes a nonzero
+        // annotation always describe this exact instruction: a
+        // retired instruction at an aligned cacheable PC was
+        // necessarily served by the cache when it is enabled, and
+        // MMIO/misaligned PCs never match a filled tag.
+        let memoized = self.icache.as_ref().map_or(0, |cache| cache.annotation(pc));
+        if memoized != 0 {
+            cost += u64::from(memoized - 1);
+        } else {
+            let extra = match inst {
+                Inst::MulDiv { op, .. } => {
+                    let is_div = matches!(
+                        op,
+                        MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+                    );
+                    if is_div {
+                        self.config.div_cycles - 1
+                    } else {
+                        self.config.mul_cycles - 1
+                    }
+                }
+                Inst::Jal { .. } | Inst::Jalr { .. } => self.config.jump_penalty,
+                _ => 0,
+            };
+            cost += extra;
+            if let (Some(cache), Ok(a)) = (&mut self.icache, u16::try_from(extra + 1)) {
+                cache.set_annotation(pc, a);
+            }
+        }
+        // The taken-branch penalty is dynamic (only `Branch` sets
+        // the flag), so it stays outside the memoized extra.
+        if taken_branch {
+            cost += self.config.branch_taken_penalty;
+        }
+        // Memory path.
+        if let Some(acc) = mem_access {
+            if self.config.is_cacheable(acc.addr) {
+                let kind = if acc.is_amo {
+                    AccessKind::Amo
+                } else if acc.is_store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                let lat = mem.access(core_idx, kind, acc.addr, now);
+                cost += match kind {
+                    // Store hits retire through the store buffer.
+                    AccessKind::Store if lat == mem.config().l1_hit_cycles => 0,
+                    AccessKind::Amo => lat + self.config.amo_extra_cycles,
+                    _ => lat,
+                };
+            } else {
+                cost += self.config.mmio_cycles;
+            }
+        }
+        cost
     }
 }
 

@@ -43,25 +43,33 @@ impl Rng {
 /// partition boundary) plus a seed-dependent number of boot-and-idle
 /// nodes with seed-dependent work.
 ///
-/// Spec grammar: `seed=N[,nocache]` — the `,nocache` suffix force-disables
-/// the per-hart decode cache on every blade, so the same topology can be
-/// run with and without the fast path (the suffix travels to re-exec'd
-/// workers inside the spec string, keeping parent and shards consistent).
+/// Spec grammar: `seed=N[,nocache][,reference-timing]` — the `,nocache`
+/// suffix force-disables the per-hart decode cache on every blade, and
+/// `,reference-timing` swaps the batched event-driven timing layer for
+/// the per-cycle reference loop, so the same topology can be run with
+/// and without each fast path (the suffixes travel to re-exec'd workers
+/// inside the spec string, keeping parent and shards consistent).
 fn build_seeded(spec: &str) -> SimResult<(Topology, SimConfig)> {
-    let (spec_seed, nocache) = match spec.strip_suffix(",nocache") {
-        Some(rest) => (rest, true),
-        None => (spec, false),
-    };
+    let mut parts = spec.split(',');
+    let spec_seed = parts.next().unwrap_or_default();
+    let mut nocache = false;
+    let mut reference_timing = false;
+    for flag in parts {
+        match flag {
+            "nocache" => nocache = true,
+            "reference-timing" => reference_timing = true,
+            other => return Err(SimError::topology(format!("bad spec flag {other:?}"))),
+        }
+    }
     let seed = spec_seed
         .strip_prefix("seed=")
         .and_then(|s| s.parse::<u64>().ok())
         .ok_or_else(|| SimError::topology(format!("bad spec {spec:?}")))?;
     let blade = move |program| {
         let mut spec = BladeSpec::rtl_single_core(program);
-        if nocache {
-            if let BladeSpec::Rtl { config, .. } = &mut spec {
-                config.timing.decode_cache = false;
-            }
+        if let BladeSpec::Rtl { config, .. } = &mut spec {
+            config.timing.decode_cache = !nocache;
+            config.timing.reference_timing = reference_timing;
         }
         spec
     };
@@ -177,6 +185,45 @@ fn decode_cache_is_invisible(seed: u64) {
     }
 }
 
+/// The event-driven-timing acceptance check: the same seeded topology
+/// run under the batched schedule and under the per-cycle reference
+/// loop (`,reference-timing`), each across 1-, 2-, and 4-way
+/// partitionings, produces bit-identical per-agent checkpoint digests,
+/// combined digest, and deterministic report aggregates — skip-ahead
+/// scheduling and superblock static timing are host-side optimisations
+/// with zero target-visible effect.
+fn reference_timing_is_invisible(seed: u64) {
+    let mut baseline = None;
+    for spec in [
+        format!("seed={seed}"),
+        format!("seed={seed},reference-timing"),
+    ] {
+        for workers in [1usize, 2, 4] {
+            let cfg = PartitionConfig::new(workers, Cycle::new(CYCLES), spec.clone());
+            let run = run_partitioned(build_seeded, &cfg)
+                .unwrap_or_else(|report| panic!("{spec} x{workers} failed: {report}"));
+            match &baseline {
+                None => baseline = Some(run),
+                Some(base) => {
+                    assert_eq!(
+                        base.digests, run.digests,
+                        "{spec} x{workers}: digests differ from batched monolithic"
+                    );
+                    assert_eq!(
+                        base.combined_digest, run.combined_digest,
+                        "{spec} x{workers}: combined digest differs"
+                    );
+                    assert_eq!(
+                        base.report.deterministic_aggregates(),
+                        run.report.deterministic_aggregates(),
+                        "{spec} x{workers}: report aggregates differ"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Killing one worker produces a `FailureReport` naming the dead shard.
 fn dead_worker_is_named() {
     let mut cfg = PartitionConfig::new(2, Cycle::new(CYCLES), "seed=1".to_string());
@@ -218,6 +265,8 @@ fn main() {
     }
     decode_cache_is_invisible(1);
     println!("ok - decode_cache_is_invisible seed=1");
+    reference_timing_is_invisible(1);
+    println!("ok - reference_timing_is_invisible seed=1");
     dead_worker_is_named();
     println!("ok - dead_worker_is_named");
     println!("distributed: all checks passed");
