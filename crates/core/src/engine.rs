@@ -54,7 +54,7 @@ use std::time::{Duration, Instant};
 
 use crate::channel::{link, LinkReceiver, LinkSender};
 use crate::error::{SimError, SimResult};
-use crate::fault::{AgentFaults, FaultPlan, FaultRecord, HostFaultAction};
+use crate::fault::{AgentFaults, FaultPlan, FaultRecord, HostFaultAction, RecoveryTimeline};
 use crate::metrics::{
     AgentProfile, CounterId, HistogramId, MetricsRegistry, MetricsShard, SpanBuffer, SpanTracer,
 };
@@ -602,6 +602,18 @@ impl<T: Send + 'static> Engine<T> {
         self
     }
 
+    /// Merges `plan` into the installed fault plan, or installs a clone of
+    /// it when none is installed. Merged entries keep their own seeds and
+    /// shared fired-flags (see [`FaultPlan::merge_from`]) — this is how
+    /// scenario-derived plans compose with user fault plans.
+    pub fn merge_fault_plan(&mut self, plan: &FaultPlan) -> &mut Self {
+        match &mut self.fault_plan {
+            Some(existing) => existing.merge_from(plan),
+            None => self.fault_plan = Some(plan.clone()),
+        }
+        self
+    }
+
     /// Provenance of injected faults that have fired so far (empty when no
     /// plan is installed).
     pub fn fault_records(&self) -> Vec<FaultRecord> {
@@ -609,6 +621,22 @@ impl<T: Send + 'static> Engine<T> {
             .as_ref()
             .map(FaultPlan::records)
             .unwrap_or_default()
+    }
+
+    /// The recovery timeline accumulated by the installed fault plan's
+    /// link watches, or `None` when no plan records one.
+    pub fn fault_timeline(&self) -> Option<RecoveryTimeline> {
+        self.fault_plan
+            .as_ref()
+            .and_then(FaultPlan::recovery_timeline)
+    }
+
+    /// Names of the registered agents, in registration order.
+    pub fn agent_names(&self) -> Vec<String> {
+        self.agents
+            .iter()
+            .map(|s| s.agent.name().to_owned())
+            .collect()
     }
 
     /// Creates a progress probe over the currently registered agents.
@@ -1036,8 +1064,12 @@ impl<T: Send + 'static> Engine<T> {
         // nothing; call sites index with `.get(i)`.
         let faults: Vec<Option<AgentFaults>> = match &self.fault_plan {
             Some(plan) => {
-                let names: Vec<&str> = self.agents.iter().map(|s| s.agent.name()).collect();
-                plan.resolve(&names)?
+                let agents: Vec<(&str, usize)> = self
+                    .agents
+                    .iter()
+                    .map(|s| (s.agent.name(), s.agent.num_inputs()))
+                    .collect();
+                plan.resolve(&agents)?
             }
             None => Vec::new(),
         };

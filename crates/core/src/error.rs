@@ -80,6 +80,13 @@ pub enum SimError {
         /// Human-readable explanation of the protocol violation.
         detail: String,
     },
+    /// A chaos-scenario script failed to parse, or referenced an agent,
+    /// port, or topology group that does not exist in the topology it was
+    /// compiled against.
+    Scenario {
+        /// Human-readable explanation of the script problem.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -127,6 +134,13 @@ impl SimError {
         }
     }
 
+    /// Constructs a scenario-script error.
+    pub fn scenario(detail: impl fmt::Display) -> Self {
+        SimError::Scenario {
+            detail: detail.to_string(),
+        }
+    }
+
     /// How *diagnostic* this error is, for picking the best error when
     /// several workers fail in the same run. A worker whose agent panicked
     /// outranks a peer that merely observed the resulting channel closure,
@@ -138,7 +152,7 @@ impl SimError {
             SimError::Topology { .. }
             | SimError::BadLatency { .. }
             | SimError::WindowMismatch { .. } => 2,
-            SimError::Aborted { .. } | SimError::Protocol { .. } => 2,
+            SimError::Aborted { .. } | SimError::Protocol { .. } | SimError::Scenario { .. } => 2,
             SimError::ChannelClosed { .. } => 1,
         }
     }
@@ -171,6 +185,7 @@ impl fmt::Display for SimError {
             SimError::Checkpoint { detail } => write!(f, "checkpoint error: {detail}"),
             SimError::Aborted { reason } => write!(f, "simulation aborted: {reason}"),
             SimError::Protocol { detail } => write!(f, "transport protocol error: {detail}"),
+            SimError::Scenario { detail } => write!(f, "scenario error: {detail}"),
         }
     }
 }

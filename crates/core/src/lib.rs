@@ -84,6 +84,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod rng;
+pub mod scenario;
 pub mod snapshot;
 pub mod stats;
 pub mod sync;
@@ -96,12 +97,16 @@ pub use engine::{
     EngineCheckpoint, LinkOccupancy, ProgressProbe, RunSummary, SimAgent, StopHandle,
 };
 pub use error::{SimError, SimResult};
-pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget};
+pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget, RecoveryTimeline, TimelinePoint};
 pub use metrics::{
     AgentProfile, MetricsRegistry, MetricsShard, MetricsSnapshot, SpanBuffer, SpanTracer,
     TraceEvent,
 };
 pub use rng::SimRng;
+pub use scenario::{
+    CompiledScenario, EventKind, LinkEffect, LinkEffectWindow, PressureWindow, Scenario,
+    ScenarioEvent, ScenarioLink, ScenarioTopo,
+};
 pub use snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 pub use sync::{BarrierCancelled, EpochBarrier};
 pub use time::{Cycle, Frequency};

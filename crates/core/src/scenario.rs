@@ -1,0 +1,1474 @@
+//! Declarative chaos scenarios on the deterministic target network.
+//!
+//! FireSim's value (paper §IV-C) is evaluating datacenter behaviour under
+//! conditions you cannot safely create in production. This module turns
+//! that into a first-class, *replayable* artifact: a [`Scenario`] is a
+//! seeded script — loadable from a TOML or JSON file — describing timed
+//! target-network events:
+//!
+//! * **partitions and heals** — group agents into islands; every link
+//!   crossing an island boundary is masked for the event window;
+//! * **correlated failures** — a whole rack (a switch plus its subtree)
+//!   down as one event, expanded to many links via topology groups;
+//! * **per-link loss and degradation** — seeded drop-rate windows
+//!   ([`FaultKind::LinkFlaky`](crate::FaultKind)) and duty-cycle bandwidth
+//!   shaping ([`FaultKind::LinkDegraded`](crate::FaultKind));
+//! * **switch buffer pressure** — shrink a switch's output buffering or
+//!   tighten its release-delay bound mid-run, restored on heal (a
+//!   [`PressureWindow`] applied by the switch model).
+//!
+//! A scenario is *compiled* against a [`ScenarioTopo`] — a neutral view of
+//! the simulated topology (agents, links, labeled groups) supplied by the
+//! manager — into a [`CompiledScenario`]: a flat timeline of per-link
+//! effect windows and per-switch pressure windows. Compilation validates
+//! every referenced agent, port, and group and fails with a typed
+//! [`SimError::Scenario`] rather than silently injecting nothing.
+//!
+//! **Determinism.** Every compiled effect is a pure function of the
+//! absolute target cycle: link effects ride the existing
+//! [`FaultPlan`] masking machinery (seeded hash / duty
+//! cycle per cycle number), and pressure windows are evaluated from the
+//! window-start cycle inside the switch model. No mutable scenario state
+//! exists outside the engine's ordinary checkpointed state, so a run
+//! restored from an `FSCKPT01` checkpoint taken mid-partition — with the
+//! scenario re-applied to the rebuilt simulation — resumes mid-scenario
+//! exactly, and single-process, multi-thread, and all transport backends
+//! produce identical digests.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::error::{SimError, SimResult};
+use crate::fault::FaultPlan;
+
+// ---------------------------------------------------------------------------
+// Script model
+// ---------------------------------------------------------------------------
+
+/// One timed event in a scenario script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEvent {
+    /// First target cycle at which the event is active.
+    pub from: u64,
+    /// First target cycle at which the event has healed.
+    pub until: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary of scenario scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Partition the network: each island lists agent names; agents not
+    /// listed form one implicit island. Every link whose endpoints sit in
+    /// different islands is masked (both directions) for the window.
+    Partition {
+        /// The islands, each a list of agent names.
+        islands: Vec<Vec<String>>,
+    },
+    /// Correlated failure: the topology group labeled `group` (typically a
+    /// switch plus every node in its subtree) goes down as a unit — every
+    /// link touching a member is masked for the window.
+    RackDown {
+        /// Label of the topology group that fails.
+        group: String,
+    },
+    /// One input link goes fully down.
+    LinkDown {
+        /// Receiving agent.
+        agent: String,
+        /// Receiving input port.
+        port: usize,
+    },
+    /// One input link drops a seeded fraction of its tokens.
+    LinkFlaky {
+        /// Receiving agent.
+        agent: String,
+        /// Receiving input port.
+        port: usize,
+        /// Percentage of tokens dropped, 0-100.
+        drop_percent: u8,
+    },
+    /// One input link is bandwidth-shaped to a duty-cycle fraction.
+    LinkDegrade {
+        /// Receiving agent.
+        agent: String,
+        /// Receiving input port.
+        port: usize,
+        /// Percentage of tokens kept, 0-100.
+        keep_percent: u8,
+    },
+    /// A switch comes under buffer pressure: its effective output
+    /// buffering and/or release-delay bound shrink for the window.
+    SwitchPressure {
+        /// Name of the switch.
+        switch: String,
+        /// Effective per-port output buffering during the window, bytes.
+        buffer_bytes: Option<usize>,
+        /// Effective release-delay bound during the window, cycles.
+        max_release_delay: Option<u64>,
+    },
+}
+
+impl EventKind {
+    fn describe(&self) -> String {
+        match self {
+            EventKind::Partition { islands } => {
+                format!("partition into {} island(s)", islands.len() + 1)
+            }
+            EventKind::RackDown { group } => format!("rack {group} down"),
+            EventKind::LinkDown { agent, port } => format!("link {agent}:{port} down"),
+            EventKind::LinkFlaky {
+                agent,
+                port,
+                drop_percent,
+            } => format!("link {agent}:{port} flaky ({drop_percent}% loss)"),
+            EventKind::LinkDegrade {
+                agent,
+                port,
+                keep_percent,
+            } => format!("link {agent}:{port} degraded ({keep_percent}% kept)"),
+            EventKind::SwitchPressure { switch, .. } => format!("switch {switch} under pressure"),
+        }
+    }
+}
+
+/// A declarative, seeded chaos-scenario script.
+///
+/// Load one from disk with [`Scenario::load`] (TOML or JSON, sniffed), or
+/// build it programmatically, then [`Scenario::compile`] it against a
+/// [`ScenarioTopo`] to validate it and obtain the applicable event
+/// timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scenario {
+    /// Human-readable scenario name (optional, informational).
+    pub name: String,
+    /// Seed driving flaky-link token selection.
+    pub seed: u64,
+    /// Recovery-timeline bucket width in target cycles; 0 disables the
+    /// timeline.
+    pub interval: u64,
+    /// The timed events.
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// Reads a scenario script from `path`. Content starting with `{` is
+    /// parsed as JSON, anything else as the TOML subset (see
+    /// [`Scenario::from_toml`]).
+    pub fn load(path: impl AsRef<Path>) -> SimResult<Scenario> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SimError::io(format!("reading scenario {}", path.display()), &e))?;
+        Scenario::parse(&text)
+    }
+
+    /// Parses a scenario from a string, sniffing the format: content whose
+    /// first non-whitespace byte is `{` is JSON, anything else TOML.
+    pub fn parse(text: &str) -> SimResult<Scenario> {
+        if text.trim_start().starts_with('{') {
+            Scenario::from_json(text)
+        } else {
+            Scenario::from_toml(text)
+        }
+    }
+
+    /// Parses the JSON form:
+    ///
+    /// ```json
+    /// { "name": "partition-heal", "seed": 7, "interval": 50000,
+    ///   "events": [
+    ///     { "kind": "partition", "from": 100000, "until": 300000,
+    ///       "islands": [["echo"]] } ] }
+    /// ```
+    pub fn from_json(text: &str) -> SimResult<Scenario> {
+        let val = json::parse(text)?;
+        Scenario::from_val(&val)
+    }
+
+    /// Parses the TOML-subset form: top-level `key = value` pairs followed
+    /// by `[[event]]` tables. Supported values are unsigned integers (with
+    /// `_` separators), double-quoted strings, booleans, and single-line
+    /// (possibly nested) arrays; `#` starts a comment.
+    ///
+    /// ```toml
+    /// name = "partition-heal"
+    /// seed = 7
+    /// interval = 50_000
+    ///
+    /// [[event]]
+    /// kind = "partition"
+    /// from = 100_000
+    /// until = 300_000
+    /// islands = [["echo"]]
+    /// ```
+    pub fn from_toml(text: &str) -> SimResult<Scenario> {
+        let val = toml::parse(text)?;
+        Scenario::from_val(&val)
+    }
+
+    fn from_val(val: &Val) -> SimResult<Scenario> {
+        let obj = val.as_obj("scenario")?;
+        for key in obj.keys() {
+            if !matches!(
+                key.as_str(),
+                "name" | "seed" | "interval" | "events" | "event"
+            ) {
+                return Err(SimError::scenario(format!(
+                    "unknown top-level scenario field `{key}`"
+                )));
+            }
+        }
+        let mut sc = Scenario {
+            name: match obj.get("name") {
+                Some(v) => v.as_str("name")?.to_owned(),
+                None => String::new(),
+            },
+            seed: get_u64_or(obj, "seed", 0)?,
+            interval: get_u64_or(obj, "interval", 0)?,
+            events: Vec::new(),
+        };
+        // TOML array-of-tables emit "event"; JSON uses "events".
+        let events = obj.get("events").or_else(|| obj.get("event"));
+        if let Some(events) = events {
+            for (i, ev) in events.as_arr("events")?.iter().enumerate() {
+                sc.events.push(parse_event(ev).map_err(|e| {
+                    SimError::scenario(format!("event #{}: {}", i + 1, detail_of(&e)))
+                })?);
+            }
+        }
+        Ok(sc)
+    }
+}
+
+fn detail_of(e: &SimError) -> String {
+    match e {
+        SimError::Scenario { detail } => detail.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn get_u64_or(obj: &BTreeMap<String, Val>, key: &str, default: u64) -> SimResult<u64> {
+    match obj.get(key) {
+        Some(v) => v.as_u64(key),
+        None => Ok(default),
+    }
+}
+
+fn get_u64(obj: &BTreeMap<String, Val>, key: &str) -> SimResult<u64> {
+    obj.get(key)
+        .ok_or_else(|| SimError::scenario(format!("missing field `{key}`")))?
+        .as_u64(key)
+}
+
+fn get_str(obj: &BTreeMap<String, Val>, key: &str) -> SimResult<String> {
+    Ok(obj
+        .get(key)
+        .ok_or_else(|| SimError::scenario(format!("missing field `{key}`")))?
+        .as_str(key)?
+        .to_owned())
+}
+
+fn get_percent(obj: &BTreeMap<String, Val>, key: &str) -> SimResult<u8> {
+    let v = get_u64(obj, key)?;
+    u8::try_from(v)
+        .ok()
+        .filter(|p| *p <= 100)
+        .ok_or_else(|| SimError::scenario(format!("`{key}` must be 0-100, got {v}")))
+}
+
+fn parse_event(val: &Val) -> SimResult<ScenarioEvent> {
+    let obj = val.as_obj("event")?;
+    let kind_name = get_str(obj, "kind")?;
+    let allowed: &[&str] = match kind_name.as_str() {
+        "partition" => &["kind", "from", "until", "islands"],
+        "rack_down" => &["kind", "from", "until", "group", "switch"],
+        "link_down" => &["kind", "from", "until", "agent", "port"],
+        "link_flaky" => &["kind", "from", "until", "agent", "port", "drop_percent"],
+        "degrade" | "link_degrade" => &["kind", "from", "until", "agent", "port", "keep_percent"],
+        "switch_pressure" => &[
+            "kind",
+            "from",
+            "until",
+            "switch",
+            "buffer_bytes",
+            "max_release_delay",
+        ],
+        other => {
+            return Err(SimError::scenario(format!(
+                "unknown event kind `{other}` (expected partition, rack_down, link_down, \
+                 link_flaky, degrade, or switch_pressure)"
+            )))
+        }
+    };
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SimError::scenario(format!(
+                "unknown field `{key}` on `{kind_name}` event"
+            )));
+        }
+    }
+    let from = get_u64(obj, "from")?;
+    let until = get_u64(obj, "until")?;
+    if from >= until {
+        return Err(SimError::scenario(format!(
+            "event window is empty: from={from} until={until}"
+        )));
+    }
+    let kind = match kind_name.as_str() {
+        "partition" => {
+            let islands_val = obj
+                .get("islands")
+                .ok_or_else(|| SimError::scenario("missing field `islands`"))?;
+            let mut islands = Vec::new();
+            for island in islands_val.as_arr("islands")? {
+                let members = island
+                    .as_arr("island")?
+                    .iter()
+                    .map(|m| m.as_str("island member").map(str::to_owned))
+                    .collect::<SimResult<Vec<String>>>()?;
+                if members.is_empty() {
+                    return Err(SimError::scenario("empty island in partition event"));
+                }
+                islands.push(members);
+            }
+            if islands.is_empty() {
+                return Err(SimError::scenario("partition event lists no islands"));
+            }
+            EventKind::Partition { islands }
+        }
+        "rack_down" => EventKind::RackDown {
+            // `switch` accepted as an alias: rack groups are labeled by
+            // their root switch.
+            group: get_str(obj, "group").or_else(|_| get_str(obj, "switch"))?,
+        },
+        "link_down" => EventKind::LinkDown {
+            agent: get_str(obj, "agent")?,
+            port: get_u64(obj, "port")? as usize,
+        },
+        "link_flaky" => EventKind::LinkFlaky {
+            agent: get_str(obj, "agent")?,
+            port: get_u64(obj, "port")? as usize,
+            drop_percent: get_percent(obj, "drop_percent")?,
+        },
+        "degrade" | "link_degrade" => EventKind::LinkDegrade {
+            agent: get_str(obj, "agent")?,
+            port: get_u64(obj, "port")? as usize,
+            keep_percent: get_percent(obj, "keep_percent")?,
+        },
+        "switch_pressure" => {
+            let buffer_bytes = match obj.get("buffer_bytes") {
+                Some(v) => Some(v.as_u64("buffer_bytes")? as usize),
+                None => None,
+            };
+            let max_release_delay = match obj.get("max_release_delay") {
+                Some(v) => Some(v.as_u64("max_release_delay")?),
+                None => None,
+            };
+            if buffer_bytes.is_none() && max_release_delay.is_none() {
+                return Err(SimError::scenario(
+                    "switch_pressure needs `buffer_bytes` and/or `max_release_delay`",
+                ));
+            }
+            EventKind::SwitchPressure {
+                switch: get_str(obj, "switch")?,
+                buffer_bytes,
+                max_release_delay,
+            }
+        }
+        _ => unreachable!("kind validated above"),
+    };
+    Ok(ScenarioEvent { from, until, kind })
+}
+
+// ---------------------------------------------------------------------------
+// Topology view
+// ---------------------------------------------------------------------------
+
+/// A link between two agents, named from both receiving ends: tokens
+/// flowing `a → b` arrive on `b`'s input `b_port`, and `b → a` on `a`'s
+/// input `a_port`. Masking both input ports takes the whole link down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioLink {
+    /// One endpoint.
+    pub a: String,
+    /// `a`'s input port facing `b`.
+    pub a_port: usize,
+    /// The other endpoint.
+    pub b: String,
+    /// `b`'s input port facing `a`.
+    pub b_port: usize,
+}
+
+/// The neutral topology view scenarios compile against: every agent with
+/// its input-port count, every link, and labeled groups (e.g. one per
+/// switch, containing the switch and its whole subtree) that correlated
+/// failures expand through.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioTopo {
+    agents: Vec<(String, usize)>,
+    links: Vec<ScenarioLink>,
+    groups: Vec<(String, Vec<String>)>,
+}
+
+impl ScenarioTopo {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        ScenarioTopo::default()
+    }
+
+    /// Registers an agent and its input-port count.
+    pub fn add_agent(&mut self, name: impl Into<String>, num_inputs: usize) -> &mut Self {
+        self.agents.push((name.into(), num_inputs));
+        self
+    }
+
+    /// Registers a bidirectional link (see [`ScenarioLink`]).
+    pub fn add_link(
+        &mut self,
+        a: impl Into<String>,
+        a_port: usize,
+        b: impl Into<String>,
+        b_port: usize,
+    ) -> &mut Self {
+        self.links.push(ScenarioLink {
+            a: a.into(),
+            a_port,
+            b: b.into(),
+            b_port,
+        });
+        self
+    }
+
+    /// Registers a labeled group of agent names for correlated failures.
+    pub fn add_group(
+        &mut self,
+        label: impl Into<String>,
+        members: impl IntoIterator<Item = String>,
+    ) -> &mut Self {
+        self.groups
+            .push((label.into(), members.into_iter().collect()));
+        self
+    }
+
+    /// The registered links.
+    pub fn links(&self) -> &[ScenarioLink] {
+        &self.links
+    }
+
+    fn inputs_of(&self, name: &str) -> Option<usize> {
+        self.agents.iter().find(|(n, _)| n == name).map(|(_, i)| *i)
+    }
+
+    fn check_agent(&self, name: &str, context: &str) -> SimResult<()> {
+        if self.inputs_of(name).is_none() {
+            return Err(SimError::scenario(format!(
+                "{context} unknown agent {name:?} (topology has: {})",
+                self.agent_list()
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_port(&self, name: &str, port: usize, context: &str) -> SimResult<()> {
+        self.check_agent(name, context)?;
+        let n_in = self.inputs_of(name).expect("checked");
+        if port >= n_in {
+            return Err(SimError::scenario(format!(
+                "{context} input port {port} of agent {name:?}, \
+                 which has {n_in} input port(s)"
+            )));
+        }
+        Ok(())
+    }
+
+    fn agent_list(&self) -> String {
+        let names: Vec<&str> = self.agents.iter().map(|(n, _)| n.as_str()).collect();
+        names.join(", ")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled form
+// ---------------------------------------------------------------------------
+
+/// What happens to one link during an effect window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEffect {
+    /// Fully masked.
+    Down,
+    /// Seeded loss at this drop percentage.
+    Flaky(u8),
+    /// Duty-cycle shaped to this keep percentage.
+    Degrade(u8),
+}
+
+/// One compiled per-link effect window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkEffectWindow {
+    /// Receiving agent.
+    pub agent: String,
+    /// Receiving input port.
+    pub port: usize,
+    /// First active cycle.
+    pub from: u64,
+    /// First healed cycle.
+    pub until: u64,
+    /// The effect.
+    pub effect: LinkEffect,
+}
+
+/// One compiled buffer-pressure window on a switch. The switch model
+/// evaluates these purely from the target cycle, so pressure is part of
+/// deterministic target behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureWindow {
+    /// First active cycle.
+    pub from: u64,
+    /// First healed cycle.
+    pub until: u64,
+    /// Effective per-port output buffering while active, bytes (the
+    /// minimum of this and the configured value applies).
+    pub buffer_bytes: Option<usize>,
+    /// Effective release-delay bound while active, cycles (the minimum of
+    /// this and the configured bound applies).
+    pub max_release_delay: Option<u64>,
+}
+
+/// A scenario compiled against a topology: the flat, validated timeline of
+/// link-effect and switch-pressure windows, ready to lower onto a
+/// [`FaultPlan`] and the switch models.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompiledScenario {
+    seed: u64,
+    interval: u64,
+    link_effects: Vec<LinkEffectWindow>,
+    pressure: Vec<(String, PressureWindow)>,
+    watches: Vec<(String, usize)>,
+    labels: Vec<(u64, String)>,
+}
+
+impl CompiledScenario {
+    /// The scenario's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The recovery-timeline bucket width (0 = no timeline).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// True when the scenario does nothing (no events compiled).
+    pub fn is_noop(&self) -> bool {
+        self.link_effects.is_empty() && self.pressure.is_empty()
+    }
+
+    /// The compiled per-link effect windows.
+    pub fn link_effects(&self) -> &[LinkEffectWindow] {
+        &self.link_effects
+    }
+
+    /// The compiled `(cycle, label)` annotations.
+    pub fn labels(&self) -> &[(u64, String)] {
+        &self.labels
+    }
+
+    /// The deduplicated `(agent, input port)` pairs touched by link
+    /// effects — the links whose recovery the timeline watches.
+    pub fn watches(&self) -> &[(String, usize)] {
+        &self.watches
+    }
+
+    /// The pressure windows addressed to switch `name`.
+    pub fn pressure_for(&self, name: &str) -> Vec<PressureWindow> {
+        self.pressure
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, w)| *w)
+            .collect()
+    }
+
+    /// Names of switches with at least one pressure window.
+    pub fn pressured_switches(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.pressure.iter().map(|(n, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Lowers the link effects onto a [`FaultPlan`], keeping only effects
+    /// and watches whose receiving agent satisfies `is_local` (in a
+    /// partitioned run each shard applies only its own agents' share). The
+    /// plan also carries the recovery-timeline registration when the
+    /// scenario has an interval and any local watches.
+    pub fn fault_plan(&self, is_local: impl Fn(&str) -> bool) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        for e in &self.link_effects {
+            if !is_local(&e.agent) {
+                continue;
+            }
+            match e.effect {
+                LinkEffect::Down => plan.link_down(e.agent.as_str(), e.port, e.from, e.until),
+                LinkEffect::Flaky(pct) => {
+                    plan.link_flaky(e.agent.as_str(), e.port, e.from, e.until, pct)
+                }
+                LinkEffect::Degrade(pct) => {
+                    plan.link_degraded(e.agent.as_str(), e.port, e.from, e.until, pct)
+                }
+            };
+        }
+        let mut watched = false;
+        for (agent, port) in &self.watches {
+            if !is_local(agent) {
+                continue;
+            }
+            plan.watch_link(agent.as_str(), *port);
+            watched = true;
+        }
+        if watched && self.interval > 0 {
+            plan.record_timeline(self.interval);
+            for (cycle, label) in &self.labels {
+                plan.annotate(*cycle, label.as_str());
+            }
+        }
+        plan
+    }
+}
+
+impl Scenario {
+    /// Compiles the scenario against a topology view, validating every
+    /// referenced agent, port, and group.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Scenario`] naming the offending event and reference
+    /// when anything does not exist in `topo`.
+    pub fn compile(&self, topo: &ScenarioTopo) -> SimResult<CompiledScenario> {
+        let mut out = CompiledScenario {
+            seed: self.seed,
+            interval: self.interval,
+            ..CompiledScenario::default()
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            let ctx = format!("event #{} ({})", i + 1, ev.kind.describe());
+            match &ev.kind {
+                EventKind::Partition { islands } => {
+                    let mut island_of: BTreeMap<&str, usize> = BTreeMap::new();
+                    for (island_id, members) in islands.iter().enumerate() {
+                        for m in members {
+                            topo.check_agent(m, &format!("{ctx} names"))?;
+                            if island_of.insert(m.as_str(), island_id + 1).is_some() {
+                                return Err(SimError::scenario(format!(
+                                    "{ctx}: agent {m:?} appears in more than one island"
+                                )));
+                            }
+                        }
+                    }
+                    // Unlisted agents form implicit island 0; a link is cut
+                    // iff its endpoints land in different islands.
+                    for link in &topo.links {
+                        let ia = island_of.get(link.a.as_str()).copied().unwrap_or(0);
+                        let ib = island_of.get(link.b.as_str()).copied().unwrap_or(0);
+                        if ia != ib {
+                            out.cut_link(link, ev.from, ev.until);
+                        }
+                    }
+                }
+                EventKind::RackDown { group } => {
+                    let members = topo
+                        .groups
+                        .iter()
+                        .find(|(label, _)| label == group)
+                        .map(|(_, m)| m)
+                        .ok_or_else(|| {
+                            let labels: Vec<&str> =
+                                topo.groups.iter().map(|(l, _)| l.as_str()).collect();
+                            SimError::scenario(format!(
+                                "{ctx}: unknown group {group:?} (topology has: {})",
+                                labels.join(", ")
+                            ))
+                        })?;
+                    let set: BTreeSet<&str> = members.iter().map(String::as_str).collect();
+                    for link in &topo.links {
+                        if set.contains(link.a.as_str()) || set.contains(link.b.as_str()) {
+                            out.cut_link(link, ev.from, ev.until);
+                        }
+                    }
+                }
+                EventKind::LinkDown { agent, port } => {
+                    topo.check_port(agent, *port, &format!("{ctx} targets"))?;
+                    out.push_effect(agent, *port, ev.from, ev.until, LinkEffect::Down);
+                }
+                EventKind::LinkFlaky {
+                    agent,
+                    port,
+                    drop_percent,
+                } => {
+                    topo.check_port(agent, *port, &format!("{ctx} targets"))?;
+                    out.push_effect(
+                        agent,
+                        *port,
+                        ev.from,
+                        ev.until,
+                        LinkEffect::Flaky(*drop_percent),
+                    );
+                }
+                EventKind::LinkDegrade {
+                    agent,
+                    port,
+                    keep_percent,
+                } => {
+                    topo.check_port(agent, *port, &format!("{ctx} targets"))?;
+                    out.push_effect(
+                        agent,
+                        *port,
+                        ev.from,
+                        ev.until,
+                        LinkEffect::Degrade(*keep_percent),
+                    );
+                }
+                EventKind::SwitchPressure {
+                    switch,
+                    buffer_bytes,
+                    max_release_delay,
+                } => {
+                    topo.check_agent(switch, &format!("{ctx} targets"))?;
+                    out.pressure.push((
+                        switch.clone(),
+                        PressureWindow {
+                            from: ev.from,
+                            until: ev.until,
+                            buffer_bytes: *buffer_bytes,
+                            max_release_delay: *max_release_delay,
+                        },
+                    ));
+                }
+            }
+            out.labels.push((ev.from, ev.kind.describe()));
+            out.labels
+                .push((ev.until, format!("heal: {}", ev.kind.describe())));
+        }
+        out.labels.sort();
+        out.labels.dedup();
+        Ok(out)
+    }
+}
+
+impl CompiledScenario {
+    fn cut_link(&mut self, link: &ScenarioLink, from: u64, until: u64) {
+        self.push_effect(&link.a, link.a_port, from, until, LinkEffect::Down);
+        self.push_effect(&link.b, link.b_port, from, until, LinkEffect::Down);
+    }
+
+    fn push_effect(&mut self, agent: &str, port: usize, from: u64, until: u64, effect: LinkEffect) {
+        self.link_effects.push(LinkEffectWindow {
+            agent: agent.to_owned(),
+            port,
+            from,
+            until,
+            effect,
+        });
+        let watch = (agent.to_owned(), port);
+        if !self.watches.contains(&watch) {
+            self.watches.push(watch);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal value model + parsers (the workspace deliberately has no TOML
+// dependency, and core takes no serde dependency; scenario scripts need
+// only this subset)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    U64(u64),
+    Str(String),
+    Bool(bool),
+    Arr(Vec<Val>),
+    Obj(BTreeMap<String, Val>),
+}
+
+impl Val {
+    fn as_obj(&self, what: &str) -> SimResult<&BTreeMap<String, Val>> {
+        match self {
+            Val::Obj(o) => Ok(o),
+            other => Err(SimError::scenario(format!(
+                "`{what}` must be a table/object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn as_arr(&self, what: &str) -> SimResult<&[Val]> {
+        match self {
+            Val::Arr(a) => Ok(a),
+            other => Err(SimError::scenario(format!(
+                "`{what}` must be an array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn as_u64(&self, what: &str) -> SimResult<u64> {
+        match self {
+            Val::U64(v) => Ok(*v),
+            other => Err(SimError::scenario(format!(
+                "`{what}` must be an unsigned integer, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn as_str(&self, what: &str) -> SimResult<&str> {
+        match self {
+            Val::Str(s) => Ok(s),
+            other => Err(SimError::scenario(format!(
+                "`{what}` must be a string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+    fn type_name(&self) -> &'static str {
+        match self {
+            Val::U64(_) => "integer",
+            Val::Str(_) => "string",
+            Val::Bool(_) => "boolean",
+            Val::Arr(_) => "array",
+            Val::Obj(_) => "table",
+        }
+    }
+}
+
+mod json {
+    use super::Val;
+    use crate::error::{SimError, SimResult};
+    use std::collections::BTreeMap;
+
+    pub(super) fn parse(text: &str) -> SimResult<Val> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let val = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing content after JSON value"));
+        }
+        Ok(val)
+    }
+
+    fn err(pos: usize, msg: &str) -> SimError {
+        SimError::scenario(format!("JSON parse error at byte {pos}: {msg}"))
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> SimResult<Val> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Val::Str(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Val::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Val::Bool(false)),
+            Some(c) if c.is_ascii_digit() => number(b, pos),
+            Some(_) => Err(err(
+                *pos,
+                "unexpected character (note: scenario values \
+                                       are unsigned integers, strings, booleans, \
+                                       arrays, and objects)",
+            )),
+            None => Err(err(*pos, "unexpected end of input")),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, lit: &str, val: Val) -> SimResult<Val> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(val)
+        } else {
+            Err(err(*pos, "invalid literal"))
+        }
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> SimResult<Val> {
+        let start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if let Some(b'.' | b'e' | b'E') = b.get(*pos) {
+            return Err(err(start, "floating-point numbers are not supported"));
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map(Val::U64)
+            .ok_or_else(|| err(start, "invalid integer"))
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> SimResult<String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(err(*pos, "unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = b.get(*pos).ok_or_else(|| err(*pos, "bad escape"))?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        _ => return Err(err(*pos, "unsupported escape")),
+                    });
+                    *pos += 1;
+                }
+                Some(&c) => {
+                    // Multibyte UTF-8 passes through byte-by-byte; the
+                    // input is a &str so it is valid UTF-8 overall.
+                    let ch_len = utf8_len(c);
+                    let s = std::str::from_utf8(&b[*pos..*pos + ch_len])
+                        .map_err(|_| err(*pos, "invalid UTF-8"))?;
+                    out.push_str(s);
+                    *pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> SimResult<Val> {
+        *pos += 1; // [
+        let mut out = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Val::Arr(out));
+        }
+        loop {
+            out.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Val::Arr(out));
+                }
+                _ => return Err(err(*pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> SimResult<Val> {
+        *pos += 1; // {
+        let mut out = BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Val::Obj(out));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(err(*pos, "expected string key"));
+            }
+            let key = string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(err(*pos, "expected `:`"));
+            }
+            *pos += 1;
+            out.insert(key, value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Val::Obj(out));
+                }
+                _ => return Err(err(*pos, "expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+mod toml {
+    use super::Val;
+    use crate::error::{SimError, SimResult};
+    use std::collections::BTreeMap;
+
+    /// Parses the scenario TOML subset into a root object; `[[event]]`
+    /// tables collect into an `event` array.
+    pub(super) fn parse(text: &str) -> SimResult<Val> {
+        let mut root: BTreeMap<String, Val> = BTreeMap::new();
+        let mut events: Vec<BTreeMap<String, Val>> = Vec::new();
+        let mut in_event = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| {
+                SimError::scenario(format!("TOML parse error on line {}: {msg}", lineno + 1))
+            };
+            if line == "[[event]]" {
+                events.push(BTreeMap::new());
+                in_event = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(err(
+                    "only `[[event]]` tables are supported in scenario scripts",
+                ));
+            }
+            let Some(eq) = line.find('=') else {
+                return Err(err("expected `key = value`"));
+            };
+            let key = line[..eq].trim();
+            if key.is_empty()
+                || !key
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err("invalid key (bare keys only)"));
+            }
+            let value = parse_value(line[eq + 1..].trim()).map_err(|m| err(&m))?;
+            let table = if in_event {
+                events.last_mut().expect("in_event implies an open table")
+            } else {
+                &mut root
+            };
+            if table.insert(key.to_owned(), value).is_some() {
+                return Err(err(&format!("duplicate key `{key}`")));
+            }
+        }
+        if !events.is_empty() {
+            root.insert(
+                "event".to_owned(),
+                Val::Arr(events.into_iter().map(Val::Obj).collect()),
+            );
+        }
+        Ok(Val::Obj(root))
+    }
+
+    /// Strips a `#` comment, respecting double-quoted strings.
+    fn strip_comment(line: &str) -> &str {
+        let mut in_str = false;
+        let mut escaped = false;
+        for (i, c) in line.char_indices() {
+            match c {
+                '\\' if in_str && !escaped => {
+                    escaped = true;
+                    continue;
+                }
+                '"' if !escaped => in_str = !in_str,
+                '#' if !in_str => return &line[..i],
+                _ => {}
+            }
+            escaped = false;
+        }
+        line
+    }
+
+    fn parse_value(s: &str) -> Result<Val, String> {
+        let mut chars: Vec<char> = s.chars().collect();
+        let mut pos = 0usize;
+        let val = value(&mut chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err("trailing content after value".to_owned());
+        }
+        Ok(val)
+    }
+
+    fn skip_ws(c: &[char], pos: &mut usize) {
+        while *pos < c.len() && c[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn value(c: &mut Vec<char>, pos: &mut usize) -> Result<Val, String> {
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some('"') => string(c, pos),
+            Some('[') => array(c, pos),
+            Some(ch) if ch.is_ascii_digit() => number(c, pos),
+            Some('t') | Some('f') => boolean(c, pos),
+            _ => Err("expected an integer, string, boolean, or array".to_owned()),
+        }
+    }
+
+    fn boolean(c: &[char], pos: &mut usize) -> Result<Val, String> {
+        let rest: String = c[*pos..].iter().collect();
+        if rest.starts_with("true") {
+            *pos += 4;
+            Ok(Val::Bool(true))
+        } else if rest.starts_with("false") {
+            *pos += 5;
+            Ok(Val::Bool(false))
+        } else {
+            Err("invalid literal".to_owned())
+        }
+    }
+
+    fn number(c: &[char], pos: &mut usize) -> Result<Val, String> {
+        let mut digits = String::new();
+        while let Some(&ch) = c.get(*pos) {
+            if ch.is_ascii_digit() {
+                digits.push(ch);
+            } else if ch != '_' {
+                break;
+            }
+            *pos += 1;
+        }
+        digits
+            .parse::<u64>()
+            .map(Val::U64)
+            .map_err(|_| "invalid integer".to_owned())
+    }
+
+    fn string(c: &[char], pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match c.get(*pos) {
+                None => return Err("unterminated string".to_owned()),
+                Some('"') => {
+                    *pos += 1;
+                    return Ok(Val::Str(out));
+                }
+                Some('\\') => {
+                    *pos += 1;
+                    match c.get(*pos) {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        _ => return Err("unsupported escape".to_owned()),
+                    }
+                    *pos += 1;
+                }
+                Some(&ch) => {
+                    out.push(ch);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn array(c: &mut Vec<char>, pos: &mut usize) -> Result<Val, String> {
+        *pos += 1; // [
+        let mut out = Vec::new();
+        skip_ws(c, pos);
+        if c.get(*pos) == Some(&']') {
+            *pos += 1;
+            return Ok(Val::Arr(out));
+        }
+        loop {
+            out.push(value(c, pos)?);
+            skip_ws(c, pos);
+            match c.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                    // Tolerate a trailing comma before `]`.
+                    skip_ws(c, pos);
+                    if c.get(*pos) == Some(&']') {
+                        *pos += 1;
+                        return Ok(Val::Arr(out));
+                    }
+                }
+                Some(']') => {
+                    *pos += 1;
+                    return Ok(Val::Arr(out));
+                }
+                _ => return Err("expected `,` or `]` in array".to_owned()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-rack topology view: root over rack0/rack1, servers a0,a1 under
+    /// rack0, b0 under rack1.
+    fn two_racks() -> ScenarioTopo {
+        let mut t = ScenarioTopo::new();
+        t.add_agent("root", 2);
+        t.add_agent("rack0", 3); // 2 downlinks + uplink (port 2)
+        t.add_agent("rack1", 2); // 1 downlink + uplink (port 1)
+        t.add_agent("a0", 1);
+        t.add_agent("a1", 1);
+        t.add_agent("b0", 1);
+        t.add_link("root", 0, "rack0", 2);
+        t.add_link("root", 1, "rack1", 1);
+        t.add_link("rack0", 0, "a0", 0);
+        t.add_link("rack0", 1, "a1", 0);
+        t.add_link("rack1", 0, "b0", 0);
+        t.add_group("rack0", ["rack0", "a0", "a1"].map(String::from));
+        t.add_group("rack1", ["rack1", "b0"].map(String::from));
+        t
+    }
+
+    fn effects_on<'a>(sc: &'a CompiledScenario, agent: &str) -> Vec<&'a LinkEffectWindow> {
+        sc.link_effects()
+            .iter()
+            .filter(|e| e.agent == agent)
+            .collect()
+    }
+
+    #[test]
+    fn toml_round_trip_parses_all_event_kinds() {
+        let text = r#"
+# a kitchen-sink scenario
+name = "kitchen-sink"
+seed = 42
+interval = 1_000
+
+[[event]]
+kind = "partition"
+from = 100
+until = 200
+islands = [["b0", "rack1"]]
+
+[[event]]
+kind = "rack_down"   # correlated failure
+group = "rack0"
+from = 300
+until = 400
+
+[[event]]
+kind = "link_flaky"
+agent = "a0"
+port = 0
+drop_percent = 30
+from = 10
+until = 20
+
+[[event]]
+kind = "degrade"
+agent = "b0"
+port = 0
+keep_percent = 40
+from = 10
+until = 20
+
+[[event]]
+kind = "switch_pressure"
+switch = "root"
+buffer_bytes = 4096
+max_release_delay = 64
+from = 50
+until = 150
+"#;
+        let sc = Scenario::from_toml(text).unwrap();
+        assert_eq!(sc.name, "kitchen-sink");
+        assert_eq!(sc.seed, 42);
+        assert_eq!(sc.interval, 1_000);
+        assert_eq!(sc.events.len(), 5);
+        assert!(matches!(sc.events[0].kind, EventKind::Partition { .. }));
+        assert!(matches!(
+            sc.events[4].kind,
+            EventKind::SwitchPressure { .. }
+        ));
+        let compiled = sc.compile(&two_racks()).unwrap();
+        assert!(!compiled.is_noop());
+        assert_eq!(compiled.pressure_for("root").len(), 1);
+    }
+
+    #[test]
+    fn json_parses_equivalently() {
+        let toml = r#"
+seed = 7
+[[event]]
+kind = "link_down"
+agent = "a0"
+port = 0
+from = 5
+until = 9
+"#;
+        let json = r#"{"seed": 7, "events": [
+            {"kind": "link_down", "agent": "a0", "port": 0,
+             "from": 5, "until": 9}]}"#;
+        let a = Scenario::from_toml(toml).unwrap();
+        let b = Scenario::from_json(json).unwrap();
+        assert_eq!(a, b);
+        // Sniffing picks the right parser for both.
+        assert_eq!(Scenario::parse(toml).unwrap(), a);
+        assert_eq!(Scenario::parse(json).unwrap(), a);
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_cross_island_links() {
+        let sc = Scenario {
+            events: vec![ScenarioEvent {
+                from: 100,
+                until: 200,
+                kind: EventKind::Partition {
+                    islands: vec![vec!["rack1".into(), "b0".into()]],
+                },
+            }],
+            ..Scenario::default()
+        };
+        let compiled = sc.compile(&two_racks()).unwrap();
+        // Only the root<->rack1 link crosses islands: both endpoints get a
+        // Down window; the rack1<->b0 link (same island) is untouched.
+        assert_eq!(compiled.link_effects().len(), 2);
+        assert_eq!(effects_on(&compiled, "root").len(), 1);
+        assert_eq!(effects_on(&compiled, "rack1").len(), 1);
+        let e = effects_on(&compiled, "root")[0];
+        assert_eq!(
+            (e.port, e.from, e.until, e.effect),
+            (1, 100, 200, LinkEffect::Down)
+        );
+        assert!(effects_on(&compiled, "b0").is_empty());
+    }
+
+    #[test]
+    fn rack_down_expands_to_every_touching_link() {
+        let sc = Scenario {
+            events: vec![ScenarioEvent {
+                from: 10,
+                until: 20,
+                kind: EventKind::RackDown {
+                    group: "rack0".into(),
+                },
+            }],
+            ..Scenario::default()
+        };
+        let compiled = sc.compile(&two_racks()).unwrap();
+        // Links touched: root<->rack0, rack0<->a0, rack0<->a1 — each cut
+        // at both endpoints.
+        assert_eq!(compiled.link_effects().len(), 6);
+        assert_eq!(effects_on(&compiled, "rack0").len(), 3);
+        assert_eq!(effects_on(&compiled, "a0").len(), 1);
+        assert_eq!(effects_on(&compiled, "a1").len(), 1);
+        assert_eq!(effects_on(&compiled, "root").len(), 1);
+        assert!(effects_on(&compiled, "b0").is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_unknown_targets() {
+        let mk = |kind: EventKind| Scenario {
+            events: vec![ScenarioEvent {
+                from: 0,
+                until: 10,
+                kind,
+            }],
+            ..Scenario::default()
+        };
+        let topo = two_racks();
+        let err = mk(EventKind::LinkDown {
+            agent: "typo".into(),
+            port: 0,
+        })
+        .compile(&topo)
+        .unwrap_err();
+        assert!(matches!(err, SimError::Scenario { .. }), "{err}");
+        assert!(err.to_string().contains("typo"), "{err}");
+
+        let err = mk(EventKind::LinkDown {
+            agent: "a0".into(),
+            port: 3,
+        })
+        .compile(&topo)
+        .unwrap_err();
+        assert!(err.to_string().contains("input port 3"), "{err}");
+
+        let err = mk(EventKind::RackDown {
+            group: "rack9".into(),
+        })
+        .compile(&topo)
+        .unwrap_err();
+        assert!(err.to_string().contains("rack9"), "{err}");
+
+        let err = mk(EventKind::Partition {
+            islands: vec![vec!["ghost".into()]],
+        })
+        .compile(&topo)
+        .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+
+        // Same agent in two islands is ambiguous.
+        let err = mk(EventKind::Partition {
+            islands: vec![vec!["a0".into()], vec!["a0".into()]],
+        })
+        .compile(&topo)
+        .unwrap_err();
+        assert!(err.to_string().contains("more than one island"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_scripts() {
+        assert!(Scenario::from_toml("kind =").is_err());
+        assert!(Scenario::from_toml("[table]\nx = 1").is_err());
+        assert!(Scenario::from_toml("x = 1\nx = 2").is_err());
+        assert!(Scenario::from_json("{").is_err());
+        assert!(Scenario::from_json(r#"{"seed": 1.5}"#).is_err());
+        // Empty event window.
+        let err = Scenario::from_toml(
+            "[[event]]\nkind = \"link_down\"\nagent = \"a\"\nport = 0\nfrom = 5\nuntil = 5\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("window is empty"), "{err}");
+        // Unknown fields are typos, not extensions.
+        let err = Scenario::from_toml(
+            "[[event]]\nkind = \"link_down\"\nagent = \"a\"\nport = 0\nfrom = 1\nuntil = 2\npct = 3\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown field `pct`"), "{err}");
+        let err = Scenario::from_toml("sede = 1\n").unwrap_err();
+        assert!(err.to_string().contains("sede"), "{err}");
+    }
+
+    #[test]
+    fn fault_plan_filters_to_local_agents() {
+        let sc = Scenario {
+            seed: 5,
+            interval: 100,
+            events: vec![ScenarioEvent {
+                from: 10,
+                until: 20,
+                kind: EventKind::RackDown {
+                    group: "rack0".into(),
+                },
+            }],
+            ..Scenario::default()
+        };
+        let compiled = sc.compile(&two_racks()).unwrap();
+        let all = compiled.fault_plan(|_| true);
+        assert_eq!(all.len(), 6);
+        assert!(all.has_effects());
+        let local = compiled.fault_plan(|n| n == "a0" || n == "a1");
+        assert_eq!(local.len(), 2);
+        let none = compiled.fault_plan(|_| false);
+        assert!(!none.has_effects());
+    }
+
+    #[test]
+    fn noop_scenario_compiles_to_inert_plan() {
+        let sc = Scenario::from_toml("name = \"noop\"\nseed = 1\n").unwrap();
+        let compiled = sc.compile(&two_racks()).unwrap();
+        assert!(compiled.is_noop());
+        assert!(!compiled.fault_plan(|_| true).has_effects());
+        assert!(compiled.pressured_switches().is_empty());
+    }
+}

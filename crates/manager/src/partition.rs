@@ -227,6 +227,12 @@ pub struct PartitionConfig {
     /// [`FaultPlan::panic_at`] on that worker, for exercising the
     /// kill-one-worker failure path.
     pub worker_panic: Option<String>,
+    /// Path to a chaos-scenario script ([`firesim_core::Scenario`]) that
+    /// every worker loads, compiles against the shared topology, and
+    /// applies to its shard before running. Because scenario effects are
+    /// pure functions of the target cycle, the partitioned run stays
+    /// digest-identical to a monolithic run of the same scenario.
+    pub scenario: Option<String>,
 }
 
 impl PartitionConfig {
@@ -241,6 +247,7 @@ impl PartitionConfig {
             rendezvous: None,
             spec: spec.into(),
             worker_panic: None,
+            scenario: None,
         }
     }
 }
@@ -271,6 +278,7 @@ const ENV_DIR: &str = "FIRESIM_PART_DIR";
 const ENV_CYCLES: &str = "FIRESIM_PART_CYCLES";
 const ENV_SPEC: &str = "FIRESIM_PART_SPEC";
 const ENV_PANIC: &str = "FIRESIM_PART_PANIC";
+const ENV_SCENARIO: &str = "FIRESIM_PART_SCENARIO";
 
 /// Exit code a worker uses for simulation failures (vs. spawn problems).
 const WORKER_FAILURE_EXIT: i32 = 70;
@@ -322,7 +330,17 @@ fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
 
     let (topo, config) = build(&spec)?;
     let plan = PartitionPlan::contiguous(&topo, workers)?;
+    // Compile against the full topology before the build consumes it;
+    // every worker compiles the same script against the same tree, then
+    // applies only its own shard's share.
+    let scenario = match std::env::var(ENV_SCENARIO) {
+        Ok(path) => Some(load_scenario(&path, &topo)?),
+        Err(_) => None,
+    };
     let mut sim = topo.build_shard(config, &plan, shard)?;
+    if let Some(sc) = &scenario {
+        sim.apply_scenario(sc)?;
+    }
 
     if let Ok(hook) = std::env::var(ENV_PANIC) {
         install_panic_hook(&mut sim, shard, &hook)?;
@@ -333,6 +351,11 @@ fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
         &dir.join(format!("shard{shard}.result.json")),
         result.to_string_pretty().as_bytes(),
     )
+}
+
+/// Loads and compiles a scenario script against `topo`'s neutral view.
+fn load_scenario(path: &str, topo: &Topology) -> SimResult<firesim_core::CompiledScenario> {
+    firesim_core::Scenario::load(path)?.compile(&topo.scenario_topology())
 }
 
 /// Parses `"<shard>:<agent>@<cycle>"` and arms the fault on a match.
@@ -604,7 +627,14 @@ fn run_single(
 ) -> Result<PartitionedRun, SimError> {
     let (topo, config) = build(&cfg.spec)?;
     let plan = PartitionPlan::contiguous(&topo, 1)?;
+    let scenario = match &cfg.scenario {
+        Some(path) => Some(load_scenario(path, &topo)?),
+        None => None,
+    };
     let mut sim = topo.build_shard(config, &plan, 0)?;
+    if let Some(sc) = &scenario {
+        sim.apply_scenario(sc)?;
+    }
     let summary = sim.run_for(cfg.cycles)?;
     let digests = sim.checkpoint()?.agent_digests();
     let digest = combined_digest(&digests);
@@ -648,6 +678,9 @@ fn run_fleet(
             .stdin(Stdio::null());
         if let Some(hook) = &cfg.worker_panic {
             cmd.env(ENV_PANIC, hook);
+        }
+        if let Some(path) = &cfg.scenario {
+            cmd.env(ENV_SCENARIO, path);
         }
         match cmd.spawn() {
             Ok(child) => children.push((shard, child)),

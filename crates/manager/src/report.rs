@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use serde_json::Value;
 
-use firesim_core::{Engine, LinkOccupancy};
+use firesim_core::{Engine, LinkOccupancy, RecoveryTimeline, TimelinePoint};
 
 /// One agent's accumulated profile plus its exported app counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +97,11 @@ pub struct RunReport {
     pub counters: Vec<(String, u64)>,
     /// Aggregated registry histograms, summarised.
     pub histograms: Vec<HistogramSummary>,
+    /// Recovery timeline of a chaos-scenario run: per-interval
+    /// delivered/dropped/masked token counts on the links the scenario
+    /// touched, with `(cycle, label)` event annotations. `None` when no
+    /// scenario (or one with no timeline interval) was applied.
+    pub timeline: Option<RecoveryTimeline>,
 }
 
 impl RunReport {
@@ -180,6 +185,7 @@ impl RunReport {
             links,
             counters,
             histograms,
+            timeline: engine.fault_timeline(),
         }
     }
 
@@ -205,6 +211,43 @@ impl RunReport {
         for (name, v) in shards.iter().flat_map(|s| s.counters.iter()) {
             *counters.entry(name.clone()).or_insert(0) += v;
         }
+        // Timelines merge by summing bucket counts: each shard counted
+        // only its own agents' watched links, and bucket sums are
+        // commutative, so the fleet timeline equals the monolithic one.
+        let timeline = {
+            let present: Vec<&RecoveryTimeline> =
+                shards.iter().filter_map(|s| s.timeline.as_ref()).collect();
+            if present.is_empty() {
+                None
+            } else {
+                let mut buckets: BTreeMap<u64, [u64; 3]> = BTreeMap::new();
+                let mut events: Vec<(u64, String)> = Vec::new();
+                for tl in &present {
+                    for p in &tl.points {
+                        let b = buckets.entry(p.start).or_insert([0; 3]);
+                        b[0] += p.delivered;
+                        b[1] += p.dropped;
+                        b[2] += p.masked;
+                    }
+                    events.extend(tl.events.iter().cloned());
+                }
+                events.sort();
+                events.dedup();
+                Some(RecoveryTimeline {
+                    interval: present.iter().map(|tl| tl.interval).max().unwrap_or(0),
+                    points: buckets
+                        .into_iter()
+                        .map(|(start, [delivered, dropped, masked])| TimelinePoint {
+                            start,
+                            delivered,
+                            dropped,
+                            masked,
+                        })
+                        .collect(),
+                    events,
+                })
+            }
+        };
         RunReport {
             cycles,
             wall_ns,
@@ -219,6 +262,7 @@ impl RunReport {
             links,
             counters: counters.into_iter().collect(),
             histograms: Vec::new(),
+            timeline,
         }
     }
 
@@ -277,6 +321,23 @@ impl RunReport {
                 "link {}:{} latency={} in_flight={}",
                 l.agent, l.port, l.latency, l.in_flight_tokens
             );
+        }
+        // Timeline buckets are sums of per-window target-token counts —
+        // identical across worker counts and transports. (A run resumed
+        // from a checkpoint legitimately lacks the pre-checkpoint buckets,
+        // so equivalence tests spanning a restore compare digests, not
+        // aggregates.)
+        if let Some(tl) = &self.timeline {
+            for p in &tl.points {
+                let _ = writeln!(
+                    out,
+                    "timeline {} delivered={} dropped={} masked={}",
+                    p.start, p.delivered, p.dropped, p.masked
+                );
+            }
+            for (cycle, label) in &tl.events {
+                let _ = writeln!(out, "timeline-event {cycle} {label}");
+            }
         }
         out
     }
@@ -342,6 +403,35 @@ impl RunReport {
                 "  histogram {} n={} min={} p50={} p99={} max={}",
                 h.name, h.count, h.min, h.p50, h.p99, h.max
             );
+        }
+        if let Some(tl) = &self.timeline {
+            let _ = writeln!(
+                out,
+                "  recovery timeline ({}-cycle buckets, watched links only):",
+                tl.interval
+            );
+            let peak = tl
+                .points
+                .iter()
+                .map(|p| p.delivered)
+                .max()
+                .unwrap_or(0)
+                .max(1);
+            for p in &tl.points {
+                let bar_len = (p.delivered * 40 / peak) as usize;
+                let _ = writeln!(
+                    out,
+                    "    {:>12} |{:<40}| delivered {:<8} dropped {:<6} masked {}",
+                    p.start,
+                    "#".repeat(bar_len),
+                    p.delivered,
+                    p.dropped,
+                    p.masked
+                );
+            }
+            for (cycle, label) in &tl.events {
+                let _ = writeln!(out, "    @{cycle}: {label}");
+            }
         }
         out
     }
@@ -409,6 +499,41 @@ impl RunReport {
                     .collect(),
             ),
         );
+        if let Some(tl) = &self.timeline {
+            let mut t = BTreeMap::new();
+            t.insert("interval".to_owned(), Value::from(tl.interval));
+            t.insert(
+                "points".to_owned(),
+                Value::Array(
+                    tl.points
+                        .iter()
+                        .map(|p| {
+                            let mut o = BTreeMap::new();
+                            o.insert("start".to_owned(), Value::from(p.start));
+                            o.insert("delivered".to_owned(), Value::from(p.delivered));
+                            o.insert("dropped".to_owned(), Value::from(p.dropped));
+                            o.insert("masked".to_owned(), Value::from(p.masked));
+                            Value::Object(o)
+                        })
+                        .collect(),
+                ),
+            );
+            t.insert(
+                "events".to_owned(),
+                Value::Array(
+                    tl.events
+                        .iter()
+                        .map(|(cycle, label)| {
+                            let mut o = BTreeMap::new();
+                            o.insert("cycle".to_owned(), Value::from(*cycle));
+                            o.insert("label".to_owned(), Value::from(label.as_str()));
+                            Value::Object(o)
+                        })
+                        .collect(),
+                ),
+            );
+            obj.insert("timeline".to_owned(), Value::Object(t));
+        }
         obj.insert("counters".to_owned(), counters_value(&self.counters));
         obj.insert(
             "histograms".to_owned(),
@@ -511,6 +636,36 @@ impl RunReport {
                 })
             })
             .collect::<Result<Vec<_>, serde_json::Error>>()?;
+        let timeline = match obj.get("timeline") {
+            None => None,
+            Some(v) => {
+                let t = obj_of(v)?;
+                let points = get_array(&t, "points")?
+                    .iter()
+                    .map(|p| {
+                        let p = obj_of(p)?;
+                        Ok(TimelinePoint {
+                            start: get_u64(&p, "start")?,
+                            delivered: get_u64(&p, "delivered")?,
+                            dropped: get_u64(&p, "dropped")?,
+                            masked: get_u64(&p, "masked")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, serde_json::Error>>()?;
+                let events = get_array(&t, "events")?
+                    .iter()
+                    .map(|e| {
+                        let e = obj_of(e)?;
+                        Ok((get_u64(&e, "cycle")?, get_str(&e, "label")?))
+                    })
+                    .collect::<Result<Vec<_>, serde_json::Error>>()?;
+                Some(RecoveryTimeline {
+                    interval: get_u64(&t, "interval")?,
+                    points,
+                    events,
+                })
+            }
+        };
 
         Ok(RunReport {
             cycles: get_u64(obj, "cycles")?,
@@ -525,6 +680,7 @@ impl RunReport {
             links,
             counters: counters_of(obj, "counters")?,
             histograms,
+            timeline,
         })
     }
 }

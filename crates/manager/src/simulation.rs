@@ -14,8 +14,9 @@ use parking_lot::Mutex;
 use firesim_blade::model::{ModeledBlade, OsModel};
 use firesim_blade::soc::{BladeProbe, RtlBlade};
 use firesim_core::{
-    AbortHandle, AgentId, BoundaryInput, BoundaryOutput, Cycle, Engine, EngineCheckpoint,
-    FaultPlan, FaultRecord, MetricsRegistry, ProgressProbe, RunSummary, SimResult, SpanTracer,
+    AbortHandle, AgentId, BoundaryInput, BoundaryOutput, CompiledScenario, Cycle, Engine,
+    EngineCheckpoint, FaultPlan, FaultRecord, MetricsRegistry, PressureWindow, ProgressProbe,
+    RunSummary, SimResult, SpanTracer,
 };
 use firesim_net::{Flit, MacAddr, Switch, SwitchConfig, SwitchStats};
 use firesim_platform::{DeploymentPlan, PlanRequest};
@@ -99,6 +100,7 @@ pub struct Simulation {
     engine: Engine<Flit>,
     servers: Vec<ServerInfo>,
     switch_stats: Vec<(String, Arc<Mutex<SwitchStats>>)>,
+    switch_controls: Vec<(String, Arc<Mutex<Vec<PressureWindow>>>)>,
     plan: DeploymentPlan,
     boundaries: ShardBoundaries,
 }
@@ -315,6 +317,7 @@ impl Topology {
         // the uplink, if any, is the last port.
         let mut switch_agents: Vec<Option<AgentId>> = Vec::with_capacity(self.switches.len());
         let mut switch_stats = Vec::with_capacity(self.switches.len());
+        let mut switch_controls = Vec::with_capacity(self.switches.len());
         for (sidx, sw) in self.switches.iter().enumerate() {
             if !local_switch(sidx) {
                 switch_agents.push(None);
@@ -353,6 +356,7 @@ impl Topology {
                 }
             }
             switch_stats.push((sw.name.clone(), switch.stats_handle()));
+            switch_controls.push((sw.name.clone(), switch.pressure_handle()));
             switch_agents.push(Some(engine.add_agent(Box::new(switch))));
         }
 
@@ -439,6 +443,7 @@ impl Topology {
             engine,
             servers,
             switch_stats,
+            switch_controls,
             plan,
             boundaries,
         })
@@ -556,6 +561,56 @@ impl Simulation {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
         self.engine.set_fault_plan(plan);
         self
+    }
+
+    /// Applies a compiled chaos scenario to this (possibly sharded)
+    /// deployment: the scenario's link effects for *locally deployed*
+    /// agents are merged into the engine's fault plan, and its pressure
+    /// windows are installed on the local switches they address. Every
+    /// shard of a partitioned run applies the same compiled scenario and
+    /// picks up exactly its own share, so the union reproduces the
+    /// monolithic behaviour bit-for-bit.
+    ///
+    /// Because all scenario effects are pure functions of the target
+    /// cycle, re-applying the same scenario to a rebuilt simulation before
+    /// restoring an `FSCKPT01` checkpoint resumes mid-scenario correctly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`firesim_core::SimError::Scenario`] when a pressure window
+    /// addresses a switch that exists in no shard's topology. (Link-effect
+    /// targets were already validated during
+    /// [`compile`](firesim_core::Scenario::compile).)
+    pub fn apply_scenario(&mut self, scenario: &CompiledScenario) -> SimResult<()> {
+        let local: std::collections::BTreeSet<String> =
+            self.engine.agent_names().into_iter().collect();
+        let plan = scenario.fault_plan(|name| local.contains(name));
+        if plan.has_effects() {
+            self.engine.merge_fault_plan(&plan);
+        }
+        for name in scenario.pressured_switches() {
+            let windows = scenario.pressure_for(name);
+            if let Some((_, control)) = self.switch_controls.iter().find(|(n, _)| n == name) {
+                control.lock().extend(windows);
+            } else if !local.contains(name) {
+                // A remote shard owns this switch (it will install the
+                // windows itself); only a name matching *no* agent at all
+                // is an error, and compile-time validation already caught
+                // that, so nothing to do here.
+            } else {
+                return Err(firesim_core::SimError::scenario(format!(
+                    "pressure target {name:?} is a local agent but not a switch"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The recovery timeline accumulated by an applied scenario's watched
+    /// links, if any (see
+    /// [`RecoveryTimeline`](firesim_core::RecoveryTimeline)).
+    pub fn fault_timeline(&self) -> Option<firesim_core::RecoveryTimeline> {
+        self.engine.fault_timeline()
     }
 
     /// Provenance of injected faults that have fired so far.

@@ -351,6 +351,64 @@ impl Topology {
         Ok(SwitchId(roots[0]))
     }
 
+    /// The neutral view of this topology that chaos scenarios compile
+    /// against (see [`firesim_core::Scenario::compile`]): every node with
+    /// its input-port count, every link with the input port it occupies at
+    /// each end, and one group per switch labeled with the switch's name
+    /// and containing the switch plus its entire subtree (so a `rack_down`
+    /// event naming a ToR expands to every link the rack touches).
+    ///
+    /// Port numbering mirrors the wiring in [`Topology::build`]: a
+    /// switch's downlinks occupy input ports `0..children` in child order
+    /// and its uplink (when present) is the last port; servers receive on
+    /// input port 0.
+    pub fn scenario_topology(&self) -> firesim_core::ScenarioTopo {
+        let mut topo = firesim_core::ScenarioTopo::new();
+        for s in &self.servers {
+            topo.add_agent(s.name.clone(), 1);
+        }
+        for s in &self.switches {
+            topo.add_agent(
+                s.name.clone(),
+                s.children.len() + usize::from(s.parent.is_some()),
+            );
+        }
+        for s in &self.switches {
+            for (ci, child) in s.children.iter().enumerate() {
+                match child {
+                    NodeRef::Server(sv) => {
+                        topo.add_link(s.name.clone(), ci, self.servers[sv.0].name.clone(), 0);
+                    }
+                    NodeRef::Switch(c) => {
+                        let uplink = self.switches[c.0].children.len();
+                        topo.add_link(s.name.clone(), ci, self.switches[c.0].name.clone(), uplink);
+                    }
+                }
+            }
+        }
+        for (i, s) in self.switches.iter().enumerate() {
+            topo.add_group(s.name.clone(), self.subtree_names(SwitchId(i)));
+        }
+        topo
+    }
+
+    /// All node names (switches and servers) in the subtree rooted at
+    /// `switch`, including `switch` itself.
+    fn subtree_names(&self, switch: SwitchId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![NodeRef::Switch(switch)];
+        while let Some(n) = stack.pop() {
+            match n {
+                NodeRef::Switch(s) => {
+                    out.push(self.switches[s.0].name.clone());
+                    stack.extend(self.switches[s.0].children.iter().copied());
+                }
+                NodeRef::Server(s) => out.push(self.servers[s.0].name.clone()),
+            }
+        }
+        out
+    }
+
     /// All server MACs in the subtree rooted at `switch`.
     pub(crate) fn subtree_macs(&self, switch: SwitchId) -> Vec<MacAddr> {
         let mut out = Vec::new();
@@ -410,6 +468,70 @@ mod tests {
         assert_eq!(t.mac_of(b), MacAddr::from_node_index(1));
         assert_eq!(t.ip_of(a), "10.0.0.1");
         assert_eq!(t.ip_of(b), "10.0.0.2");
+    }
+
+    #[test]
+    fn scenario_topology_mirrors_build_wiring() {
+        let mut t = Topology::new();
+        let root = t.add_switch("root");
+        let tor = t.add_switch("tor0");
+        t.add_downlink(root, tor).unwrap();
+        let a = t.add_server("a", spec());
+        let b = t.add_server("b", spec());
+        t.add_downlinks(tor, [a, b]).unwrap();
+
+        let topo = t.scenario_topology();
+        // Links: root:0 <-> tor0's uplink (port 2, after its 2 downlinks),
+        // tor0:0 <-> a:0, tor0:1 <-> b:0.
+        let links = topo.links();
+        assert_eq!(links.len(), 3);
+        assert_eq!(
+            (
+                links[0].a.as_str(),
+                links[0].a_port,
+                links[0].b.as_str(),
+                links[0].b_port
+            ),
+            ("root", 0, "tor0", 2)
+        );
+        assert_eq!(
+            (
+                links[1].a.as_str(),
+                links[1].a_port,
+                links[1].b.as_str(),
+                links[1].b_port
+            ),
+            ("tor0", 0, "a", 0)
+        );
+
+        // Group "tor0" covers the rack; compiling a rack_down against it
+        // cuts all three touching link directions at six endpoints.
+        let sc = firesim_core::Scenario {
+            events: vec![firesim_core::ScenarioEvent {
+                from: 0,
+                until: 10,
+                kind: firesim_core::EventKind::RackDown {
+                    group: "tor0".into(),
+                },
+            }],
+            ..firesim_core::Scenario::default()
+        };
+        let compiled = sc.compile(&topo).unwrap();
+        assert_eq!(compiled.link_effects().len(), 6);
+
+        // And a bogus port is a typed error.
+        let bad = firesim_core::Scenario {
+            events: vec![firesim_core::ScenarioEvent {
+                from: 0,
+                until: 10,
+                kind: firesim_core::EventKind::LinkDown {
+                    agent: "a".into(),
+                    port: 1,
+                },
+            }],
+            ..firesim_core::Scenario::default()
+        };
+        assert!(bad.compile(&topo).is_err());
     }
 
     #[test]

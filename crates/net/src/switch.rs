@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 
 use firesim_core::snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 use firesim_core::stats::TimeSeries;
-use firesim_core::{AgentCtx, Cycle, SimAgent, SimError, SimResult};
+use firesim_core::{AgentCtx, Cycle, PressureWindow, SimAgent, SimError, SimResult};
 
 use crate::codec::FrameDeframer;
 use crate::frame::{Flit, MacAddr};
@@ -133,6 +133,15 @@ pub struct SwitchStats {
     /// Captured frames: `(arrival cycle of last flit, ingress port, wire
     /// bytes)` (see [`SwitchConfig::capture`]).
     pub captured: Vec<(u64, usize, Vec<u8>)>,
+    /// Of [`drops_buffer`](Self::drops_buffer), how many are attributable
+    /// to a scenario [`PressureWindow`]: the frame would have fit the
+    /// configured buffering but not the pressured effective buffering.
+    pub scenario_drops_buffer: u64,
+    /// Of [`drops_delay`](Self::drops_delay), how many are attributable to
+    /// a scenario [`PressureWindow`] tightening the release-delay bound.
+    pub scenario_drops_delay: u64,
+    /// Per-port high-water mark of egress-buffer occupancy, in bytes.
+    pub buffer_highwater: Vec<u64>,
 }
 
 /// Where a switched frame should go, as decided by a [`SwitchPolicy`].
@@ -193,6 +202,12 @@ pub struct Switch {
     bucket_bytes: u64,
     policy: Option<Box<dyn SwitchPolicy>>,
     stats: Arc<Mutex<SwitchStats>>,
+    /// Scenario buffer-pressure windows (see [`PressureWindow`]). Pure
+    /// target-time configuration installed before the run: during a round
+    /// overlapping an active window, the effective output buffering and
+    /// release-delay bound shrink to the window's values. Not checkpointed
+    /// — like routes and config, the rebuilder re-applies the scenario.
+    pressure: Arc<Mutex<Vec<PressureWindow>>>,
     /// Reusable egress-port list for [`route_frame`](Self::route_frame)
     /// (host-side scratch, not checkpointed).
     route_scratch: Vec<usize>,
@@ -222,6 +237,10 @@ impl Switch {
     /// Panics if the config has fewer than 2 ports.
     pub fn new(name: impl Into<String>, config: SwitchConfig) -> Self {
         assert!(config.ports >= 2, "a switch needs at least 2 ports");
+        let stats = SwitchStats {
+            buffer_highwater: vec![0; config.ports],
+            ..SwitchStats::default()
+        };
         Switch {
             name: name.into(),
             deframers: (0..config.ports).map(|_| FrameDeframer::new()).collect(),
@@ -231,7 +250,8 @@ impl Switch {
             seq: 0,
             bucket_bytes: 0,
             policy: None,
-            stats: Arc::new(Mutex::new(SwitchStats::default())),
+            stats: Arc::new(Mutex::new(stats)),
+            pressure: Arc::new(Mutex::new(Vec::new())),
             route_scratch: Vec::new(),
             config,
         }
@@ -264,6 +284,39 @@ impl Switch {
         Arc::clone(&self.stats)
     }
 
+    /// Shared handle to this switch's scenario pressure windows, usable
+    /// while the engine owns the switch. The manager pushes compiled
+    /// [`PressureWindow`]s here when applying a chaos scenario; because
+    /// windows are pure functions of the target cycle, installing the same
+    /// windows before a run (or before resuming from a checkpoint) always
+    /// reproduces the same behaviour.
+    pub fn pressure_handle(&self) -> Arc<Mutex<Vec<PressureWindow>>> {
+        Arc::clone(&self.pressure)
+    }
+
+    /// The effective `(output buffering, release-delay bound)` for a round
+    /// spanning `[now, now + window)`: the configured values tightened by
+    /// the minimum over every overlapping pressure window. Pressure applies
+    /// at token-window granularity — a round overlapping an active window
+    /// runs fully pressured — which keeps activation a pure function of
+    /// target time (window boundaries are target-time aligned on every
+    /// host configuration).
+    fn effective_limits(&self, now: u64, window: u64) -> (usize, Option<u64>) {
+        let mut buffer = self.config.output_buffer_bytes;
+        let mut delay = self.config.max_release_delay;
+        for p in self.pressure.lock().iter() {
+            if p.from < now + window && p.until > now {
+                if let Some(b) = p.buffer_bytes {
+                    buffer = buffer.min(b);
+                }
+                if let Some(d) = p.max_release_delay {
+                    delay = Some(delay.map_or(d, |cur| cur.min(d)));
+                }
+            }
+        }
+        (buffer, delay)
+    }
+
     /// Routes one switched frame into output buffers.
     ///
     /// Multi-destination frames clone the wire bytes for all egress ports
@@ -271,7 +324,14 @@ impl Switch {
     /// destination ports is built in a reusable scratch buffer so a
     /// steady-state unicast or single-destination flood allocates nothing
     /// beyond what ingress deframing already paid.
-    fn route_frame(&mut self, ingress: usize, ts: u64, wire: Vec<u8>, stats: &mut SwitchStats) {
+    fn route_frame(
+        &mut self,
+        ingress: usize,
+        ts: u64,
+        wire: Vec<u8>,
+        buffer_limit: usize,
+        stats: &mut SwitchStats,
+    ) {
         let mut targets = std::mem::take(&mut self.route_scratch);
         targets.clear();
         if let Some(policy) = &mut self.policy {
@@ -303,26 +363,55 @@ impl Switch {
             }
         }
         if let Some((&last, rest)) = targets.split_last() {
+            let base = self.config.output_buffer_bytes;
             for &p in rest {
-                Self::enqueue_out(&mut self.egress[p], &self.config, ts, wire.clone(), stats);
+                Self::enqueue_out(
+                    &mut self.egress[p],
+                    p,
+                    buffer_limit,
+                    base,
+                    ts,
+                    wire.clone(),
+                    stats,
+                );
             }
-            Self::enqueue_out(&mut self.egress[last], &self.config, ts, wire, stats);
+            Self::enqueue_out(
+                &mut self.egress[last],
+                last,
+                buffer_limit,
+                base,
+                ts,
+                wire,
+                stats,
+            );
         }
         self.route_scratch = targets;
     }
 
     fn enqueue_out(
         port: &mut EgressPort,
-        config: &SwitchConfig,
+        port_idx: usize,
+        buffer_limit: usize,
+        base_limit: usize,
         ts: u64,
         wire: Vec<u8>,
         stats: &mut SwitchStats,
     ) {
-        if port.queued_bytes + wire.len() > config.output_buffer_bytes {
+        let occupied = port.queued_bytes + wire.len();
+        if occupied > buffer_limit {
             stats.drops_buffer += 1;
+            // Attribute the drop to the scenario when the frame would have
+            // fit the *configured* buffering and only the pressured
+            // effective limit rejected it.
+            if occupied <= base_limit {
+                stats.scenario_drops_buffer += 1;
+            }
             return;
         }
         port.queued_bytes += wire.len();
+        if let Some(hw) = stats.buffer_highwater.get_mut(port_idx) {
+            *hw = (*hw).max(port.queued_bytes as u64);
+        }
         port.queue.push_back(QueuedFrame {
             release_at: ts,
             wire,
@@ -404,6 +493,12 @@ impl Checkpoint for Switch {
             w.put_usize(*port);
             w.put_bytes(wire);
         }
+        w.put_u64(stats.scenario_drops_buffer);
+        w.put_u64(stats.scenario_drops_delay);
+        w.put_usize(stats.buffer_highwater.len());
+        for hw in &stats.buffer_highwater {
+            w.put_u64(*hw);
+        }
         Ok(())
     }
 
@@ -439,6 +534,19 @@ impl Checkpoint for Switch {
             let port = r.get_usize()?;
             let wire = r.get_bytes()?.to_vec();
             stats.captured.push((cycle, port, wire));
+        }
+        stats.scenario_drops_buffer = r.get_u64()?;
+        stats.scenario_drops_delay = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n != self.config.ports {
+            return Err(SimError::checkpoint(format!(
+                "switch {} snapshot has {} high-water entries, config has {} ports",
+                self.name, n, self.config.ports
+            )));
+        }
+        stats.buffer_highwater.clear();
+        for _ in 0..n {
+            stats.buffer_highwater.push(r.get_u64()?);
         }
         Ok(())
     }
@@ -477,11 +585,17 @@ impl SimAgent for Switch {
         out.push(("drops_delay".to_owned(), s.drops_delay));
         out.push(("ingress_bytes".to_owned(), s.ingress_bytes));
         out.push(("egress_bytes".to_owned(), s.egress_bytes));
+        out.push(("scenario_drops_buffer".to_owned(), s.scenario_drops_buffer));
+        out.push(("scenario_drops_delay".to_owned(), s.scenario_drops_delay));
+        for (i, hw) in s.buffer_highwater.iter().enumerate() {
+            out.push((format!("p{i}_buffer_highwater"), *hw));
+        }
     }
 
     fn advance(&mut self, ctx: &mut AgentCtx<Flit>) {
         let now = ctx.now().as_u64();
         let window = u64::from(ctx.window());
+        let (buffer_limit, delay_bound) = self.effective_limits(now, window);
         let stats = Arc::clone(&self.stats);
         let mut stats = stats.lock();
 
@@ -512,7 +626,7 @@ impl SimAgent for Switch {
 
         // --- Global switching step: drain in timestamp order. ---
         while let Some(Reverse((ts, ingress, _seq, FrameBytes(wire)))) = self.round_frames.pop() {
-            self.route_frame(ingress, ts, wire, &mut stats);
+            self.route_frame(ingress, ts, wire, buffer_limit, &mut stats);
         }
 
         // --- Egress: release frames flit-by-flit. ---
@@ -557,10 +671,16 @@ impl SimAgent for Switch {
                 }
                 let frame = self.egress[port].queue.pop_front().expect("peeked");
                 self.egress[port].queued_bytes -= frame.wire.len();
-                if let Some(bound) = self.config.max_release_delay {
+                if let Some(bound) = delay_bound {
                     let release_cycle = now + cycle;
-                    if release_cycle.saturating_sub(frame.release_at) > bound {
+                    let delay = release_cycle.saturating_sub(frame.release_at);
+                    if delay > bound {
                         stats.drops_delay += 1;
+                        // Scenario-attributed when the configured bound (if
+                        // any) would have let the frame through.
+                        if self.config.max_release_delay.is_none_or(|b| delay <= b) {
+                            stats.scenario_drops_delay += 1;
+                        }
                         continue;
                     }
                 }
@@ -999,6 +1119,85 @@ mod tests {
         assert_eq!(sa.egress_bytes, sb.egress_bytes);
         assert_eq!(sa.ingress_bandwidth.points(), sb.ingress_bandwidth.points());
         assert_eq!(sa.captured, sb.captured);
+    }
+
+    /// A pressure window shrinks the effective output buffering for rounds
+    /// it overlaps; drops it causes are attributed to the scenario, and the
+    /// buffer heals once the window passes.
+    #[test]
+    fn pressure_window_shrinks_buffer_and_attributes_drops() {
+        let mk = || {
+            let mut sw = Switch::new(
+                "tor",
+                SwitchConfig::new(3)
+                    .output_buffer_bytes(64 * 1024)
+                    .switching_latency(10),
+            );
+            sw.add_route(MacAddr::from_node_index(2), 2);
+            sw
+        };
+        let contended_inputs = || {
+            let mut inputs = empty_inputs(3);
+            inputs[0] = window_with_frame(&mk_frame(2, 0, 60), 0); // 74 wire bytes
+            inputs[1] = window_with_frame(&mk_frame(2, 1, 60), 1); // 74 wire bytes
+            inputs
+        };
+
+        // Pressured round: only ~one frame fits the squeezed buffer.
+        let mut sw = mk();
+        sw.pressure_handle().lock().push(PressureWindow {
+            from: 0,
+            until: u64::from(W),
+            buffer_bytes: Some(100),
+            max_release_delay: None,
+        });
+        let out = round(&mut sw, 0, contended_inputs());
+        assert_eq!(collect_frames(&out, 2).len(), 1);
+        {
+            let stats = sw.stats_handle();
+            let stats = stats.lock();
+            assert_eq!(stats.drops_buffer, 1);
+            assert_eq!(stats.scenario_drops_buffer, 1, "drop attributed");
+            assert_eq!(stats.buffer_highwater[2], 74, "high-water tracked");
+        }
+
+        // Healed round: the same traffic one window later passes untouched.
+        let mut sw2 = mk();
+        sw2.pressure_handle().lock().push(PressureWindow {
+            from: 0,
+            until: u64::from(W),
+            buffer_bytes: Some(100),
+            max_release_delay: None,
+        });
+        let out = round(&mut sw2, u64::from(W), contended_inputs());
+        assert_eq!(collect_frames(&out, 2).len(), 2);
+        assert_eq!(sw2.stats_handle().lock().drops_buffer, 0);
+        assert_eq!(sw2.stats_handle().lock().scenario_drops_buffer, 0);
+    }
+
+    /// A pressure window can impose a release-delay bound on a switch that
+    /// has none configured; resulting ageing drops are scenario-attributed.
+    #[test]
+    fn pressure_window_tightens_release_delay() {
+        let mut sw = Switch::new("tor", SwitchConfig::new(3).switching_latency(0));
+        sw.add_route(MacAddr::from_node_index(2), 2);
+        sw.pressure_handle().lock().push(PressureWindow {
+            from: 0,
+            until: u64::from(W),
+            buffer_bytes: None,
+            max_release_delay: Some(16),
+        });
+        // Same shape as `release_delay_bound_drops_stale_frames`: the long
+        // frame hogs the wire until 62, the short one (ts 31) ages out.
+        let mut inputs = empty_inputs(3);
+        inputs[0] = window_with_frame(&mk_frame(2, 0, 240), 0);
+        inputs[1] = window_with_frame(&mk_frame(2, 1, 2), 30);
+        let out = round(&mut sw, 0, inputs);
+        assert_eq!(collect_frames(&out, 2).len(), 1);
+        let stats = sw.stats_handle();
+        let stats = stats.lock();
+        assert_eq!(stats.drops_delay, 1);
+        assert_eq!(stats.scenario_drops_delay, 1, "attributed to the scenario");
     }
 
     /// A checkpoint into a switch built with a different port count is a

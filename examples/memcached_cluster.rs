@@ -8,7 +8,20 @@
 //!
 //! ```text
 //! cargo run --release --example memcached_cluster
+//! cargo run --release --example memcached_cluster -- --partition-heal
+//! cargo run --release --example memcached_cluster -- --scenario my_chaos.toml
 //! ```
+//!
+//! `--partition-heal` runs the chaos experiment instead of the latency
+//! sweep: the committed `examples/scenarios/memcached_partition.toml`
+//! script cuts three of the seven load generators off the rack inside
+//! [60M, 120M) cycles and heals them. The run prints the recovery curve
+//! the scenario's link watches recorded — offered load on the cut links
+//! drops to zero during the partition (the open-loop generators keep
+//! sending; those frames count as `masked`) and returns to the pre-fault
+//! rate after the heal. The example fails if the post-heal bucket
+//! average is not within 5% of the pre-fault average. `--scenario PATH`
+//! runs the same experiment with your own script.
 
 use std::sync::Arc;
 
@@ -17,14 +30,21 @@ use parking_lot::Mutex;
 use firesim_blade::model::OsConfig;
 use firesim_blade::services::{KvServer, KvServerConfig, Mutilate, MutilateConfig, MutilateStats};
 use firesim_core::stats::Histogram;
-use firesim_core::{Cycle, Frequency};
+use firesim_core::{Cycle, Frequency, Scenario};
 use firesim_manager::{BladeSpec, SimConfig, Topology};
 use firesim_net::MacAddr;
 
-fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
-    let clock = Frequency::GHZ_3_2;
+/// The committed partition-and-heal script, compiled against this
+/// example's topology by `--partition-heal`.
+const PARTITION_SCRIPT: &str = include_str!("scenarios/memcached_partition.toml");
+
+type SharedStats = Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>>;
+
+/// Builds the rack: one KV server blade and seven mutilate load
+/// generators under a ToR switch. Returns the topology plus a handle to
+/// every generator's stats.
+fn build_cluster(threads: usize, pinned: bool, qps: f64, requests: u64) -> (Topology, SharedStats) {
     let clients = 7;
-    let requests = 400;
 
     let mut topo = Topology::new();
     let tor = topo.add_switch("tor0");
@@ -46,7 +66,7 @@ fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
     );
     topo.add_downlink(tor, server).unwrap();
 
-    let all_stats: Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>> = Arc::new(Mutex::new(Vec::new()));
+    let all_stats: SharedStats = Arc::new(Mutex::new(Vec::new()));
     for i in 0..clients {
         let sink = Arc::clone(&all_stats);
         let cfg = MutilateConfig {
@@ -75,7 +95,12 @@ fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
         );
         topo.add_downlink(tor, node).unwrap();
     }
+    (topo, all_stats)
+}
 
+fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
+    let clock = Frequency::GHZ_3_2;
+    let (topo, all_stats) = build_cluster(threads, pinned, qps, 400);
     let mut sim = topo.build(SimConfig::default()).expect("valid topology");
     sim.run_until_done(Cycle::new(30_000_000_000))
         .expect("runs");
@@ -89,7 +114,140 @@ fn run_case(threads: usize, pinned: bool, qps: f64) -> (f64, f64) {
     (p50, p95)
 }
 
+fn die(msg: &str) -> ! {
+    eprintln!("memcached_cluster: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+const USAGE: &str = "\
+usage: memcached_cluster [OPTIONS]
+
+  (no options)             run the Fig 7 thread-imbalance latency sweep
+  --partition-heal         run the partition-and-heal chaos experiment with
+                           the committed examples/scenarios/memcached_partition.toml
+  --scenario PATH          run the chaos experiment with your own script
+  --help                   print this help";
+
+/// Runs the partition-and-heal experiment: apply the scenario, run a
+/// fixed horizon, and check the recovery curve — throughput on the cut
+/// links must dip during the partition and return to within 5% of the
+/// pre-fault average afterwards.
+fn run_partition_heal(path: Option<&str>) -> ! {
+    let horizon = 200_000_000u64;
+    let qps = 350_000.0; // total across the seven generators
+    let scenario = match path {
+        Some(p) => Scenario::load(p).unwrap_or_else(|e| die(&format!("--scenario {p}: {e}"))),
+        None => Scenario::parse(PARTITION_SCRIPT).expect("committed script parses"),
+    };
+    // The experiment spans 200M cycles; give each generator enough
+    // requests that its Poisson stream never runs dry.
+    let (topo, _stats) = build_cluster(4, true, qps, 4_000);
+    let compiled = scenario
+        .compile(&topo.scenario_topology())
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let (from, until) = scenario
+        .events
+        .iter()
+        .map(|e| (e.from, e.until))
+        .reduce(|(f, u), (f2, u2)| (f.min(f2), u.max(u2)))
+        .unwrap_or_else(|| die("scenario has no events — nothing to recover from"));
+    let interval = compiled.interval().max(1);
+
+    let mut sim = topo.build(SimConfig::default()).expect("valid topology");
+    sim.apply_scenario(&compiled)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "scenario {:?}: {} link-effect window(s), fault window [{from}, {until})",
+        scenario.name,
+        compiled.link_effects().len()
+    );
+    println!("running {horizon} target cycles at {qps:.0} total QPS...\n");
+    sim.run_for(Cycle::new(horizon)).expect("runs");
+
+    let tl = sim
+        .fault_timeline()
+        .unwrap_or_else(|| die("scenario watches no links (set a nonzero `interval`)"));
+    let peak = tl
+        .points
+        .iter()
+        .map(|p| p.delivered)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    println!("frames on the cut links per {interval}-cycle bucket:");
+    for p in &tl.points {
+        let bar = "#".repeat((p.delivered * 40 / peak) as usize);
+        println!(
+            "  [{:>11}] delivered={:<5} masked={:<5} {bar}",
+            p.start, p.delivered, p.masked
+        );
+    }
+    for (cycle, label) in &tl.events {
+        println!("  @{cycle}: {label}");
+    }
+
+    // Pre-fault buckets fully before the partition (skip the warm-up
+    // bucket at 0); post-heal buckets fully after it.
+    let avg = |points: Vec<u64>| points.iter().sum::<u64>() as f64 / points.len().max(1) as f64;
+    let pre = avg(tl
+        .points
+        .iter()
+        .filter(|p| p.start > 0 && p.start + interval <= from)
+        .map(|p| p.delivered)
+        .collect());
+    let during = avg(tl
+        .points
+        .iter()
+        .filter(|p| p.start >= from && p.start + interval <= until)
+        .map(|p| p.delivered)
+        .collect());
+    let post = avg(tl
+        .points
+        .iter()
+        .filter(|p| p.start >= until && p.start + interval <= horizon)
+        .map(|p| p.delivered)
+        .collect());
+    let recovery = (post - pre).abs() / pre.max(1.0);
+    println!(
+        "\npre-fault avg {pre:.0} frames/bucket, during partition {during:.0}, \
+         post-heal {post:.0} ({:+.1}% vs pre-fault)",
+        (post - pre) / pre.max(1.0) * 100.0
+    );
+    if during > pre * 0.5 {
+        eprintln!("FAIL: no throughput dip during the partition window");
+        std::process::exit(1);
+    }
+    if recovery > 0.05 {
+        eprintln!("FAIL: post-heal throughput did not return to within 5% of pre-fault");
+        std::process::exit(1);
+    }
+    println!("recovered: post-heal throughput within 5% of pre-fault");
+    std::process::exit(0);
+}
+
 fn main() {
+    let mut scenario_path: Option<String> = None;
+    let mut partition_heal = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--partition-heal" => partition_heal = true,
+            "--scenario" => match args.next() {
+                Some(path) => scenario_path = Some(path),
+                None => die("--scenario needs a script path"),
+            },
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    if partition_heal || scenario_path.is_some() {
+        run_partition_heal(scenario_path.as_deref());
+    }
+
     println!("memcached on a 4-core node, 7 mutilate load generators, 2us network\n");
     println!(
         "{:>22} {:>12} {:>10} {:>10}",

@@ -38,6 +38,13 @@
 //! flaky:AGENT:PORT@FROM..UNTIL:PERCENT     input link drops PERCENT of windows
 //! ```
 //!
+//! `--scenario PATH` loads a declarative chaos script ([`firesim_core::Scenario`],
+//! TOML or JSON) and compiles it against this topology: timed partitions,
+//! per-link flakiness/degradation windows, and switch buffer-pressure
+//! events, all at deterministic cycle boundaries. Committed scripts live
+//! under `examples/scenarios/`; the run prints the recovery timeline the
+//! scenario's link watches recorded.
+//!
 //! `--metrics-out PATH` enables the engine's sharded metrics and writes a
 //! machine-readable [`firesim_manager::RunReport`] (per-agent profiles,
 //! per-link token occupancies, aggregated counters) as JSON, plus a human
@@ -104,6 +111,7 @@ fn build_cluster(_spec: &str) -> SimResult<(Topology, SimConfig)> {
 struct Options {
     checkpoint_every: Option<u64>,
     faults: Vec<String>,
+    scenario: Option<String>,
     metrics_out: Option<std::path::PathBuf>,
     trace_out: Option<std::path::PathBuf>,
     workers: Option<usize>,
@@ -115,6 +123,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         checkpoint_every: None,
         faults: Vec::new(),
+        scenario: None,
         metrics_out: None,
         trace_out: None,
         workers: None,
@@ -162,6 +171,12 @@ fn parse_args() -> Options {
                 Some(spec) => opts.faults.push(spec),
                 None => die("--inject-fault needs a spec (e.g. panic:pinger@250000)"),
             },
+            "--scenario" => match args.next() {
+                Some(path) => opts.scenario = Some(path),
+                None => die(
+                    "--scenario needs a script path (e.g. examples/scenarios/partition_heal.toml)",
+                ),
+            },
             "--metrics-out" => match args.next() {
                 Some(path) => opts.metrics_out = Some(path.into()),
                 None => die("--metrics-out needs a file path (e.g. report.json)"),
@@ -182,6 +197,8 @@ usage: quickstart [OPTIONS]
   --checkpoint-every N     supervised run: snapshot every N target cycles
   --inject-fault SPEC      install a deterministic fault (repeatable);
                            e.g. panic:pinger@250000
+  --scenario PATH          load a chaos scenario script (TOML or JSON);
+                           see examples/scenarios/
   --metrics-out PATH       enable metrics; write the RunReport JSON to PATH
   --trace-out PATH         enable span tracing; write Chrome trace JSON to PATH
   --workers N              partition the rack across N worker processes
@@ -253,6 +270,7 @@ fn run_distributed(opts: &Options) -> ! {
         String::new(),
     );
     cfg.transport = opts.transport;
+    cfg.scenario = opts.scenario.clone();
     println!(
         "partitioning across {} worker(s) over {} transport",
         cfg.workers,
@@ -295,8 +313,24 @@ fn main() {
     // Build ("deploy") and run.
     let (topo, config) = build_cluster("").expect("topology is valid");
     let link_latency = config.link_latency;
+    // Compile the scenario against the topology's neutral view before
+    // `build` consumes it; apply after build.
+    let scenario = opts.scenario.as_ref().map(|path| {
+        firesim_core::Scenario::load(path)
+            .and_then(|s| s.compile(&topo.scenario_topology()))
+            .unwrap_or_else(|e| die(&format!("--scenario {path}: {e}")))
+    });
     let mut sim = topo.build(config).expect("topology is valid");
     println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
+    if let Some(sc) = &scenario {
+        sim.apply_scenario(sc)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        println!(
+            "scenario applied: {} link-effect window(s), {} pressured switch(es)",
+            sc.link_effects().len(),
+            sc.pressured_switches().len()
+        );
+    }
 
     if opts.metrics_out.is_some() {
         sim.enable_metrics();
@@ -355,6 +389,24 @@ fn main() {
         wall,
         cycles.as_u64() as f64 / 1e6 / wall.as_secs_f64().max(1e-9)
     );
+
+    if scenario.is_some() {
+        if let Some(tl) = sim.fault_timeline() {
+            println!(
+                "\nrecovery timeline ({}-cycle buckets on watched links):",
+                tl.interval
+            );
+            for p in &tl.points {
+                println!(
+                    "  [{:>8}] delivered={:<6} dropped={:<5} masked={}",
+                    p.start, p.delivered, p.dropped, p.masked
+                );
+            }
+            for (cycle, label) in &tl.events {
+                println!("  @{cycle}: {label}");
+            }
+        }
+    }
 
     // Write observability artifacts before inspecting results, so they
     // exist even when a fault run exits nonzero below.
