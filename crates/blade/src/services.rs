@@ -20,11 +20,55 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use firesim_core::snapshot::{SnapshotReader, SnapshotWriter};
 use firesim_core::stats::Histogram;
-use firesim_core::SimRng;
+use firesim_core::{SimResult, SimRng};
 use firesim_net::{EtherType, EthernetFrame, MacAddr};
 
 use crate::model::{Actions, NodeApp};
+
+/// Reads a MAC address written with [`SnapshotWriter::put_bytes`].
+fn get_mac(r: &mut SnapshotReader<'_>) -> SimResult<MacAddr> {
+    let bytes: [u8; 6] = r
+        .get_bytes()?
+        .try_into()
+        .map_err(|_| firesim_core::SimError::checkpoint("MAC address must be 6 bytes"))?;
+    Ok(MacAddr(bytes))
+}
+
+/// Writes a `tag -> value` map in ascending key order, so the snapshot
+/// bytes (and therefore the checkpoint digests) are independent of
+/// `HashMap`'s per-process iteration order.
+fn put_sorted_map<V>(
+    w: &mut SnapshotWriter,
+    map: &HashMap<u64, V>,
+    mut put_value: impl FnMut(&mut SnapshotWriter, &V),
+) {
+    let mut entries: Vec<(&u64, &V)> = map.iter().collect();
+    entries.sort_by_key(|(k, _)| **k);
+    w.put_usize(entries.len());
+    for (k, v) in entries {
+        w.put_u64(*k);
+        put_value(w, v);
+    }
+}
+
+/// Serialises a latency histogram as its raw samples; the restored
+/// histogram keeps its name and re-records them in order.
+fn put_histogram(w: &mut SnapshotWriter, h: &Histogram) {
+    w.put_usize(h.samples().len());
+    for &s in h.samples() {
+        w.put_u64(s);
+    }
+}
+
+fn get_histogram(r: &mut SnapshotReader<'_>, name: &str) -> SimResult<Histogram> {
+    let mut h = Histogram::new(name);
+    for _ in 0..r.get_usize()? {
+        h.record(r.get_u64()?);
+    }
+    Ok(h)
+}
 
 // ---------------------------------------------------------------------
 // Key-value protocol encoding
@@ -186,6 +230,39 @@ impl NodeApp for KvServer {
     fn done(&self) -> bool {
         // A server is passive; the run ends when the load generators end.
         true
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+        put_sorted_map(w, &self.pending, |w, (client, id, stamp)| {
+            w.put_bytes(&client.0);
+            w.put_u64(*id);
+            w.put_u64(*stamp);
+        });
+        w.put_u64(self.next_tag);
+        w.put_usize(self.next_thread);
+        w.put(&self.rng);
+        let s = self.stats.lock();
+        w.put_u64(s.requests);
+        w.put_u64(s.responses);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+        self.pending.clear();
+        for _ in 0..r.get_usize()? {
+            let tag = r.get_u64()?;
+            let client = get_mac(r)?;
+            let id = r.get_u64()?;
+            let stamp = r.get_u64()?;
+            self.pending.insert(tag, (client, id, stamp));
+        }
+        self.next_tag = r.get_u64()?;
+        self.next_thread = r.get_usize()?;
+        self.rng = r.get()?;
+        let mut s = self.stats.lock();
+        s.requests = r.get_u64()?;
+        s.responses = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -358,6 +435,40 @@ impl NodeApp for Mutilate {
     fn done(&self) -> bool {
         self.issued >= self.config.requests && self.outstanding.is_empty()
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+        w.put(&self.rng);
+        w.put(&self.next_send);
+        w.put_u64(self.issued);
+        put_sorted_map(w, &self.outstanding, |w, sent| w.put_u64(*sent));
+        let s = self.stats.lock();
+        put_histogram(w, &s.latency);
+        w.put_u64(s.sent);
+        w.put_u64(s.received);
+        w.put_u64(s.first_send);
+        w.put_u64(s.last_recv);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+        self.rng = r.get()?;
+        self.next_send = r.get()?;
+        self.issued = r.get_u64()?;
+        self.outstanding.clear();
+        for _ in 0..r.get_usize()? {
+            let id = r.get_u64()?;
+            let sent = r.get_u64()?;
+            self.outstanding.insert(id, sent);
+        }
+        let mut s = self.stats.lock();
+        let name = s.latency.name().to_string();
+        s.latency = get_histogram(r, &name)?;
+        s.sent = r.get_u64()?;
+        s.received = r.get_u64()?;
+        s.first_send = r.get_u64()?;
+        s.last_recv = r.get_u64()?;
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -508,6 +619,30 @@ impl NodeApp for IperfSender {
     fn done(&self) -> bool {
         self.started && self.acked >= self.total_segments()
     }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+        w.put_u64(self.next_seq);
+        w.put_u64(self.acked);
+        w.put_usize(self.in_flight);
+        w.put_bool(self.started);
+        let s = self.stats.lock();
+        w.put_u64(s.bytes_acked);
+        w.put_u64(s.started);
+        w.put_u64(s.finished);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+        self.next_seq = r.get_u64()?;
+        self.acked = r.get_u64()?;
+        self.in_flight = r.get_usize()?;
+        self.started = r.get_bool()?;
+        let mut s = self.stats.lock();
+        s.bytes_acked = r.get_u64()?;
+        s.started = r.get_u64()?;
+        s.finished = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// The receiving side of the iperf-style stream.
@@ -552,6 +687,27 @@ impl NodeApp for IperfReceiver {
 
     fn done(&self) -> bool {
         true // passive
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) -> SimResult<()> {
+        put_sorted_map(w, &self.pending, |w, (src, id)| {
+            w.put_bytes(&src.0);
+            w.put_u64(*id);
+        });
+        w.put_u64(self.next_tag);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> SimResult<()> {
+        self.pending.clear();
+        for _ in 0..r.get_usize()? {
+            let tag = r.get_u64()?;
+            let src = get_mac(r)?;
+            let id = r.get_u64()?;
+            self.pending.insert(tag, (src, id));
+        }
+        self.next_tag = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -652,6 +808,75 @@ mod tests {
         // CPU-bound: far below the 204.8 Gbit/s link, near the calibrated
         // ~1.4 Gbit/s.
         assert!(gbps > 0.5 && gbps < 3.0, "goodput {gbps:.2} Gbit/s");
+    }
+
+    /// Drives a kv client/server pair halfway, snapshots both apps,
+    /// restores them into fresh instances, and checks the restored
+    /// snapshot bytes are identical — the property partitioned runs rely
+    /// on for placement-invariant digests.
+    #[test]
+    fn service_apps_checkpoint_round_trip() {
+        let server_mac = MacAddr::from_node_index(0);
+        let client_mac = MacAddr::from_node_index(1);
+        let mut server = KvServer::new(server_mac, KvServerConfig::default());
+        let mut client = Mutilate::new(
+            client_mac,
+            MutilateConfig {
+                server: server_mac,
+                qps: 100_000.0,
+                requests: 20,
+                max_outstanding: 4,
+                seed: 5,
+                ..MutilateConfig::default()
+            },
+        );
+
+        // Hand-drive some traffic so maps/rng/stats are non-trivial and
+        // requests are left in flight.
+        let mut actions = Actions::default();
+        client.poll(0, 400_000, &mut actions);
+        let frames: Vec<EthernetFrame> = actions.send.drain(..).map(|(_, f)| f).collect();
+        for f in &frames {
+            server.on_frame(1_000, f, &mut actions);
+        }
+        // Complete one request end-to-end.
+        server.on_work_done(2_000, 0, &mut actions);
+        // Deliver the response after the poll window so it postdates the
+        // request's send cycle.
+        let resp = actions.send.pop().expect("response frame").1;
+        client.on_frame(450_000, &resp, &mut actions);
+
+        let snap = |s: &KvServer, c: &Mutilate| {
+            let mut w = SnapshotWriter::new();
+            NodeApp::save_state(s, &mut w).unwrap();
+            NodeApp::save_state(c, &mut w).unwrap();
+            w.into_bytes()
+        };
+        let bytes = snap(&server, &client);
+
+        let mut server2 = KvServer::new(server_mac, KvServerConfig::default());
+        let mut client2 = Mutilate::new(
+            client_mac,
+            MutilateConfig {
+                server: server_mac,
+                qps: 100_000.0,
+                requests: 20,
+                max_outstanding: 4,
+                seed: 5,
+                ..MutilateConfig::default()
+            },
+        );
+        let mut r = SnapshotReader::new(&bytes);
+        NodeApp::restore_state(&mut server2, &mut r).unwrap();
+        NodeApp::restore_state(&mut client2, &mut r).unwrap();
+
+        assert_eq!(bytes, snap(&server2, &client2), "snapshot not stable");
+        assert_eq!(client2.issued, client.issued);
+        assert_eq!(client2.outstanding, client.outstanding);
+        assert_eq!(server2.pending, server.pending);
+        let (s1, s2) = (client.stats(), client2.stats());
+        assert_eq!(s1.lock().sent, s2.lock().sent);
+        assert_eq!(s1.lock().latency.samples(), s2.lock().latency.samples());
     }
 
     #[test]

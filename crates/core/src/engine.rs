@@ -1671,6 +1671,80 @@ impl<T: Send + 'static> Engine<T> {
         self.now = cp.now;
         Ok(())
     }
+
+    /// Restores this engine's agents from a checkpoint that may cover a
+    /// **superset** of them, matching by agent name instead of position.
+    ///
+    /// This is the re-split primitive behind repartitioning: a full
+    /// checkpoint (or a merge of per-shard checkpoints, see
+    /// [`EngineCheckpoint::merge`]) can be restored into an engine built
+    /// for *any* sharding of the same topology — each shard simply picks
+    /// its own agents out of the checkpoint by name. It is sound because
+    /// an agent's state blob and queued input windows are identical
+    /// whatever shard its neighbours live on (the receiving side models
+    /// the full link latency), so per-agent checkpoint entries carry no
+    /// placement information.
+    ///
+    /// Every agent in *this* engine must appear in the checkpoint;
+    /// checkpoint agents this engine does not host are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the windows differ, an
+    /// engine agent is missing from the checkpoint, an input-link count
+    /// disagrees, or an agent snapshot is malformed, and
+    /// [`SimError::Topology`] for unconnected ports.
+    pub fn restore_by_name(&mut self, cp: &EngineCheckpoint<T>) -> SimResult<()>
+    where
+        T: Clone,
+    {
+        self.check_wired()?;
+        if cp.window != self.window {
+            return Err(SimError::checkpoint(format!(
+                "checkpoint window {} does not match engine window {}",
+                cp.window, self.window
+            )));
+        }
+        for slot in &mut self.agents {
+            let name = slot.agent.name().to_owned();
+            let i = cp
+                .agent_names
+                .iter()
+                .position(|n| *n == name)
+                .ok_or_else(|| {
+                    SimError::checkpoint(format!("checkpoint has no agent named {name:?}"))
+                })?;
+            if slot.inputs.len() != cp.link_state[i].len() {
+                return Err(SimError::checkpoint(format!(
+                    "checkpoint agent {name} has {} input links, engine has {}",
+                    cp.link_state[i].len(),
+                    slot.inputs.len()
+                )));
+            }
+            let mut r = SnapshotReader::new(&cp.agent_state[i]);
+            match slot.agent.as_checkpoint() {
+                Some(c) => c.restore_state(&mut r)?,
+                None => {
+                    return Err(SimError::checkpoint(format!(
+                        "agent {name} does not implement Checkpoint"
+                    )))
+                }
+            }
+            if r.remaining() != 0 {
+                return Err(SimError::checkpoint(format!(
+                    "agent {name} snapshot has {} trailing bytes",
+                    r.remaining()
+                )));
+            }
+            for (rx, windows) in slot.inputs.iter().zip(&cp.link_state[i]) {
+                if let Some(rx) = rx.as_ref() {
+                    rx.replace_queue(windows.clone());
+                }
+            }
+        }
+        self.now = cp.now;
+        Ok(())
+    }
 }
 
 /// The injecting half of a cross-process link: windows received from a
@@ -1813,6 +1887,73 @@ impl<T> EngineCheckpoint<T> {
     /// Names of the checkpointed agents, in registration order.
     pub fn agent_names(&self) -> impl Iterator<Item = &str> {
         self.agent_names.iter().map(String::as_str)
+    }
+
+    /// Merges per-shard checkpoints of one partitioned run into a single
+    /// full-topology checkpoint.
+    ///
+    /// Every part must have been taken at the same cycle with the same
+    /// window (the partitioned runner checkpoints all shards at a common
+    /// run boundary), and no agent may appear in more than one part. The
+    /// merged checkpoint lists agents sorted by name, so the result is
+    /// independent of shard order and of how the run was partitioned —
+    /// restore it anywhere with [`Engine::restore_by_name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when `parts` is empty, the cycles
+    /// or windows disagree, or an agent name is duplicated across parts.
+    pub fn merge(parts: Vec<EngineCheckpoint<T>>) -> SimResult<EngineCheckpoint<T>> {
+        let Some(first) = parts.first() else {
+            return Err(SimError::checkpoint("cannot merge zero checkpoints"));
+        };
+        let (now, window) = (first.now, first.window);
+        for p in &parts {
+            if p.now != now || p.window != window {
+                return Err(SimError::checkpoint(format!(
+                    "cannot merge checkpoints from different run points: \
+                     cycle {} window {} vs cycle {} window {}",
+                    p.now.as_u64(),
+                    p.window,
+                    now.as_u64(),
+                    window
+                )));
+            }
+        }
+        let mut agents: Vec<(String, Vec<u8>, Vec<Vec<TokenWindow<T>>>)> = Vec::new();
+        for p in parts {
+            let mut state = p.agent_state.into_iter();
+            let mut links = p.link_state.into_iter();
+            for name in p.agent_names {
+                agents.push((
+                    name,
+                    state.next().expect("state per agent"),
+                    links.next().expect("links per agent"),
+                ));
+            }
+        }
+        agents.sort_by(|a, b| a.0.cmp(&b.0));
+        if let Some(w) = agents.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(SimError::checkpoint(format!(
+                "agent {:?} appears in more than one shard checkpoint",
+                w[0].0
+            )));
+        }
+        let mut agent_names = Vec::with_capacity(agents.len());
+        let mut agent_state = Vec::with_capacity(agents.len());
+        let mut link_state = Vec::with_capacity(agents.len());
+        for (name, state, links) in agents {
+            agent_names.push(name);
+            agent_state.push(state);
+            link_state.push(links);
+        }
+        Ok(EngineCheckpoint {
+            now,
+            window,
+            agent_names,
+            agent_state,
+            link_state,
+        })
     }
 }
 
@@ -2704,6 +2845,66 @@ mod tests {
             small.restore(&cp),
             Err(SimError::Checkpoint { .. })
         ));
+    }
+
+    #[test]
+    fn merge_rejects_empty_skewed_and_duplicate_parts() {
+        assert!(matches!(
+            EngineCheckpoint::<u64>::merge(Vec::new()),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // Parts from different run points cannot be one checkpoint.
+        let mut a = checkpointable_ring();
+        a.run_for(Cycle::new(32)).unwrap();
+        let early = a.checkpoint().unwrap();
+        a.run_for(Cycle::new(32)).unwrap();
+        let late = a.checkpoint().unwrap();
+        assert!(matches!(
+            EngineCheckpoint::merge(vec![early, late]),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // The same agent in two parts is a sharding bug, not a merge.
+        let cp1 = a.checkpoint().unwrap();
+        let cp2 = a.checkpoint().unwrap();
+        let err = EngineCheckpoint::merge(vec![cp1, cp2]).unwrap_err();
+        assert!(
+            err.to_string().contains("more than one shard"),
+            "duplicate agent must be named: {err}"
+        );
+    }
+
+    #[test]
+    fn restore_by_name_rejects_window_and_name_mismatch() {
+        let mut engine = checkpointable_ring();
+        engine.run_for(Cycle::new(32)).unwrap();
+        let cp = engine.checkpoint().unwrap();
+
+        // Wrong window.
+        let mut wide: Engine<u64> = Engine::new(8);
+        let a = wide.add_agent(Box::new(Pulser::new(4)));
+        wide.connect(a, 0, a, 0, Cycle::new(8)).unwrap();
+        assert!(matches!(
+            wide.restore_by_name(&cp),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // Engine agent absent from the checkpoint.
+        let mut other: Engine<u64> = Engine::new(4);
+        let shot = other.add_agent(Box::new(OneShot {
+            at: 0,
+            fired: false,
+        }));
+        let probe = other.add_agent(Box::new(Probe {
+            arrivals: std::sync::Arc::new(parking_lot::Mutex::new(Vec::new())),
+        }));
+        other.connect(shot, 0, probe, 0, Cycle::new(8)).unwrap();
+        let err = other.restore_by_name(&cp).unwrap_err();
+        assert!(
+            err.to_string().contains("no agent named"),
+            "missing agent must be named: {err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,921 @@
+//! Fleet controller: load-aware placement onto cost-modeled hosts (§III).
+//!
+//! FireSim's manager (Fig 10) maps a declarative target design onto a
+//! fleet of FPGA and switch-model hosts: f1 instances carry the blade
+//! simulations (up to 32 per f1.16xlarge with §III-A5 supernode packing),
+//! their host CPUs run the rack's ToR model over PCIe, and dedicated
+//! m4.16xlarge instances run the aggregation/root switch models, talking
+//! TCP across instances. This module reproduces that mapping as data:
+//!
+//! * [`FleetSpec`] declares host classes — blade capacity, switch-model
+//!   capacity, the transport class of intra- and cross-host links, and
+//!   $/hour ([`firesim_platform::Pricing`]).
+//! * [`LoadProfile`] carries per-agent host cost (ns of host time per
+//!   thousand target cycles), seeded from a profiled [`RunReport`] so a
+//!   calibration run drives the next placement.
+//! * [`FleetSpec::place`] bin-packs the topology onto the fleet —
+//!   heaviest racks first, keeping racks whole where capacity allows and
+//!   pulling upper switches toward their children — and returns a
+//!   [`PlacementPlan`]: per-host assignments, an executable
+//!   [`PartitionPlan`], and a [`CostEstimate`].
+//!
+//! The cost model composes two first-order bounds, both pinned by tests:
+//! each host's simulation rate is capped by its summed agent load
+//! (`1e12 / Σ weight` Hz, since weights are ns per kilocycle), and each
+//! link's rate is capped by its transport's batch round-trip
+//! ([`Transport::sim_rate_bound_hz`]). The fleet simulates at the minimum
+//! of all bounds; `$ / simulated hour = fleet $/hour × slowdown` where
+//! `slowdown = target Hz / simulated Hz`.
+//!
+//! Placement never changes simulated behavior — the differential harness
+//! in `tests/fleet.rs` proves digests are identical across plans — so the
+//! controller optimises cost and cut-link count freely.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use firesim_core::{Cycle, SimError, SimResult};
+use firesim_platform::{InstanceType, Pricing, Transport, TransportKind};
+
+use crate::partition::PartitionPlan;
+use crate::report::RunReport;
+use crate::topology::{NodeRef, Topology};
+
+/// One class of simulation host the fleet can rent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostClass {
+    /// Display name (e.g. `"f1.16xlarge"`).
+    pub name: String,
+    /// Underlying EC2 instance type, for pricing cross-checks.
+    pub instance: InstanceType,
+    /// Server blades this host can simulate (FPGAs × supernode packing).
+    pub blade_capacity: usize,
+    /// Switch models this host's CPUs can run.
+    pub switch_capacity: usize,
+    /// Instances of this class available to the placer.
+    pub count: usize,
+    /// Transport class of links leaving this host.
+    pub cross_transport: TransportKind,
+    /// Transport class of links between co-located agents.
+    pub intra_transport: TransportKind,
+    /// Rental cost per wall-clock hour.
+    pub dollars_per_hour: f64,
+}
+
+/// A fleet of host classes plus the target parameters the cost model
+/// needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Available host classes, in preference order.
+    pub classes: Vec<HostClass>,
+    /// Bytes per link token (Table I: 64-bit tokens on the 200 Gb/s NIC
+    /// path model 8 B here).
+    pub token_bytes: u64,
+    /// Target clock the design would run at, for slowdown accounting
+    /// (the paper's 3.2 GHz Rocket SoC).
+    pub target_hz: f64,
+}
+
+impl FleetSpec {
+    /// The paper's EC2 fleet at 2018 on-demand pricing: f1.16xlarge hosts
+    /// carrying 32 supernode-packed blades plus their rack's ToR model,
+    /// and m4.16xlarge hosts running one upper-level switch model each
+    /// (§V-C: the 1024-node datacenter used 32 f1.16xlarge and 5
+    /// m4.16xlarge).
+    pub fn ec2_default() -> FleetSpec {
+        Self::ec2_with(|p, t| p.ondemand(t))
+    }
+
+    /// Same fleet shape at spot pricing (Fig 12's "simulation cost at
+    /// spot" argument).
+    pub fn ec2_spot() -> FleetSpec {
+        Self::ec2_with(|p, t| p.spot(t))
+    }
+
+    fn ec2_with(price: impl Fn(&Pricing, InstanceType) -> f64) -> FleetSpec {
+        let pricing = Pricing::default();
+        FleetSpec {
+            classes: vec![
+                HostClass {
+                    name: "f1.16xlarge".into(),
+                    instance: InstanceType::F1_16xlarge,
+                    // 8 FPGAs × 4 blades per FPGA in supernode mode.
+                    blade_capacity: 32,
+                    // The host CPUs run the rack's own ToR model.
+                    switch_capacity: 1,
+                    count: 64,
+                    cross_transport: TransportKind::Tcp,
+                    intra_transport: TransportKind::Pcie,
+                    dollars_per_hour: price(&pricing, InstanceType::F1_16xlarge),
+                },
+                HostClass {
+                    name: "m4.16xlarge".into(),
+                    instance: InstanceType::M4_16xlarge,
+                    blade_capacity: 0,
+                    switch_capacity: 1,
+                    count: 16,
+                    cross_transport: TransportKind::Tcp,
+                    intra_transport: TransportKind::SharedMemory,
+                    dollars_per_hour: price(&pricing, InstanceType::M4_16xlarge),
+                },
+            ],
+            token_bytes: 8,
+            target_hz: 3.2e9,
+        }
+    }
+}
+
+/// Per-agent host cost used to balance load: nanoseconds of host time
+/// per thousand simulated target cycles.
+///
+/// Seed it from a profiled run ([`LoadProfile::from_report`]) or start
+/// [`LoadProfile::uniform`]; agents absent from the profile fall back to
+/// per-kind defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    weights: BTreeMap<String, f64>,
+    default_server: f64,
+    default_switch: f64,
+}
+
+impl LoadProfile {
+    /// A flat profile: every server costs the same, switches a quarter
+    /// of that. Placeholder in the absence of measurements — calibrate
+    /// with [`LoadProfile::from_report`].
+    pub fn uniform() -> LoadProfile {
+        LoadProfile {
+            weights: BTreeMap::new(),
+            default_server: 1000.0,
+            default_switch: 250.0,
+        }
+    }
+
+    /// Extracts weights from a profiled run's `AgentProfile` host-cost
+    /// data (`host_ns / target_cycles`, scaled to ns per kilocycle).
+    /// Agents that recorded no host time keep the uniform default.
+    pub fn from_report(report: &RunReport) -> LoadProfile {
+        let mut profile = Self::uniform();
+        for a in &report.agents {
+            if a.target_cycles > 0 && a.host_ns > 0 {
+                profile.weights.insert(
+                    a.name.clone(),
+                    a.host_ns as f64 * 1000.0 / a.target_cycles as f64,
+                );
+            }
+        }
+        profile
+    }
+
+    /// Overrides one agent's weight (ns per kilocycle).
+    pub fn set(&mut self, name: impl Into<String>, weight: f64) {
+        self.weights.insert(name.into(), weight);
+    }
+
+    /// Weight of a server agent.
+    pub fn server_weight(&self, name: &str) -> f64 {
+        *self.weights.get(name).unwrap_or(&self.default_server)
+    }
+
+    /// Weight of a switch agent.
+    pub fn switch_weight(&self, name: &str) -> f64 {
+        *self.weights.get(name).unwrap_or(&self.default_switch)
+    }
+}
+
+/// Modeled cost and rate of a placement. All rates are target-Hz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEstimate {
+    /// Hosts the placement actually rents (= worker shards).
+    pub hosts_used: usize,
+    /// Fleet rental per wall-clock hour, dollars.
+    pub fleet_per_hour: f64,
+    /// Directed cross-host links (each cut tree edge contributes two).
+    pub cut_links: usize,
+    /// Modeled simulation rate: minimum over per-host compute bounds and
+    /// per-link transport bounds.
+    pub sim_rate_hz: f64,
+    /// Target clock the slowdown is measured against.
+    pub target_hz: f64,
+    /// `target_hz / sim_rate_hz`.
+    pub slowdown: f64,
+    /// `fleet_per_hour × slowdown`: what one hour of simulated time
+    /// costs.
+    pub dollars_per_sim_hour: f64,
+    /// Human-readable description of the binding constraint.
+    pub bottleneck: String,
+}
+
+/// One host's share of a [`PlacementPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostAssignment {
+    /// Host class name.
+    pub class: String,
+    /// Instance type backing the class.
+    pub instance: InstanceType,
+    /// Transport of links leaving this host.
+    pub cross_transport: TransportKind,
+    /// Transport of links between agents on this host.
+    pub intra_transport: TransportKind,
+    /// Rental cost per hour.
+    pub dollars_per_hour: f64,
+    /// Server names placed here, topology order.
+    pub servers: Vec<String>,
+    /// Switch names placed here, topology order.
+    pub switches: Vec<String>,
+    /// Summed load weight (ns per kilocycle).
+    pub load: f64,
+}
+
+/// A complete placement: host assignments, the executable partition, and
+/// the modeled cost. Produced by [`FleetSpec::place`]; executed by
+/// `run_partitioned` via `PartitionConfig::with_placement`.
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    hosts: Vec<HostAssignment>,
+    partition: PartitionPlan,
+    cost: CostEstimate,
+}
+
+impl PlacementPlan {
+    /// Per-host assignments, shard order.
+    pub fn hosts(&self) -> &[HostAssignment] {
+        &self.hosts
+    }
+
+    /// Number of hosts rented = number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The executable shard assignment.
+    pub fn partition(&self) -> &PartitionPlan {
+        &self.partition
+    }
+
+    /// The modeled cost.
+    pub fn cost(&self) -> &CostEstimate {
+        &self.cost
+    }
+
+    /// Folds the placement onto fewer workers than modeled hosts (host
+    /// `h` → worker `h × workers / hosts`), for running a many-host plan
+    /// on a small machine while preserving its shard structure.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero workers and more workers than hosts.
+    pub fn partition_for(&self, workers: usize) -> SimResult<PartitionPlan> {
+        self.partition.fold(workers)
+    }
+
+    /// A multi-line human-readable summary.
+    pub fn describe(&self) -> String {
+        let c = &self.cost;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "placement: {} host(s), ${:.2}/hour, {} cut link(s)",
+            c.hosts_used, c.fleet_per_hour, c.cut_links
+        );
+        for (h, a) in self.hosts.iter().enumerate() {
+            let mut names: Vec<&str> = a.switches.iter().map(String::as_str).collect();
+            names.extend(a.servers.iter().take(3).map(String::as_str));
+            let more = a.servers.len().saturating_sub(3);
+            let _ = writeln!(
+                out,
+                "  host {h:>3} {:<12} ${:>6.2}/h load {:>8.0}  {} switch(es) + {} blade(s): {}{}",
+                a.class,
+                a.dollars_per_hour,
+                a.load,
+                a.switches.len(),
+                a.servers.len(),
+                names.join(", "),
+                if more > 0 {
+                    format!(", +{more} more")
+                } else {
+                    String::new()
+                },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "modeled rate {:.3} MHz (bottleneck: {}), slowdown {:.1}x vs {:.1} GHz",
+            c.sim_rate_hz / 1e6,
+            c.bottleneck,
+            c.slowdown,
+            c.target_hz / 1e9
+        );
+        let _ = writeln!(out, "cost: ${:.2} per simulated hour", c.dollars_per_sim_hour);
+        out
+    }
+}
+
+/// Mutable capacity/load state of one expanded host during packing.
+struct HostState {
+    class: usize,
+    blades_left: usize,
+    switches_left: usize,
+    load: f64,
+    /// Whether anything has been placed here yet. An untouched host
+    /// costs its full $/hour to open, so ties prefer hosts already
+    /// rented — and then the cheapest class to open.
+    used: bool,
+}
+
+impl HostState {
+    /// Marginal rental cost of placing on this host.
+    fn activation(&self, classes: &[HostClass]) -> f64 {
+        if self.used {
+            0.0
+        } else {
+            classes[self.class].dollars_per_hour
+        }
+    }
+}
+
+/// A rack unit: a switch with its directly-attached servers, placed as a
+/// whole when capacity allows (the paper's f1.16xlarge = one rack).
+struct RackUnit {
+    switch: usize,
+    servers: Vec<usize>,
+    weight: f64,
+}
+
+impl FleetSpec {
+    /// Places `topo` onto this fleet, balancing `profile` load.
+    ///
+    /// The packer is deterministic (no randomness, total orders on every
+    /// choice) so parent and workers can recompute identical plans:
+    ///
+    /// 1. **Racks first, heaviest first.** Each switch with directly
+    ///    attached servers forms a unit with those servers. Units are
+    ///    placed in decreasing weight order onto the feasible host with
+    ///    the least load; a unit that fits nowhere whole is split —
+    ///    switch to the least-loaded host with a switch slot, then
+    ///    servers individually (preferring the switch's host on ties).
+    /// 2. **Upper switches toward their children.** Switches with no
+    ///    server children are placed deepest-first on the host already
+    ///    holding the most of their children (minimising cut links),
+    ///    ties broken by load then index.
+    ///
+    /// Every choice breaks load ties by *activation cost* — opening an
+    /// untouched host costs its full $/hour, an already-rented host
+    /// nothing — which is how upper switches land on cheap dedicated
+    /// m4 switch hosts rather than opening fresh f1s.
+    ///
+    /// `link_latency` is the token batch size per transfer, used by the
+    /// transport cost bounds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid topologies, duplicate agent names, and fleets
+    /// with insufficient blade or switch capacity.
+    pub fn place(
+        &self,
+        topo: &Topology,
+        profile: &LoadProfile,
+        link_latency: Cycle,
+    ) -> SimResult<PlacementPlan> {
+        topo.validate().map_err(SimError::topology)?;
+
+        // Expand classes into concrete host slots, class order.
+        let mut hosts: Vec<HostState> = Vec::new();
+        for (ci, class) in self.classes.iter().enumerate() {
+            for _ in 0..class.count {
+                hosts.push(HostState {
+                    class: ci,
+                    blades_left: class.blade_capacity,
+                    switches_left: class.switch_capacity,
+                    load: 0.0,
+                    used: false,
+                });
+            }
+        }
+        if hosts.is_empty() {
+            return Err(SimError::topology("fleet spec has no hosts"));
+        }
+
+        let server_w: Vec<f64> = topo
+            .servers
+            .iter()
+            .map(|s| profile.server_weight(&s.name))
+            .collect();
+        let switch_w: Vec<f64> = topo
+            .switches
+            .iter()
+            .map(|s| profile.switch_weight(&s.name))
+            .collect();
+
+        let mut server_host: Vec<Option<usize>> = vec![None; topo.servers.len()];
+        let mut switch_host: Vec<Option<usize>> = vec![None; topo.switches.len()];
+
+        // Phase 1: rack units, heaviest first.
+        let mut units: Vec<RackUnit> = Vec::new();
+        for (sidx, sw) in topo.switches.iter().enumerate() {
+            let servers: Vec<usize> = sw
+                .children
+                .iter()
+                .filter_map(|c| match c {
+                    NodeRef::Server(s) => Some(s.0),
+                    NodeRef::Switch(_) => None,
+                })
+                .collect();
+            if servers.is_empty() {
+                continue;
+            }
+            let weight = switch_w[sidx] + servers.iter().map(|&i| server_w[i]).sum::<f64>();
+            units.push(RackUnit {
+                switch: sidx,
+                servers,
+                weight,
+            });
+        }
+        units.sort_by(|a, b| b.weight.total_cmp(&a.weight).then(a.switch.cmp(&b.switch)));
+
+        for unit in &units {
+            // Try to keep the rack whole.
+            let whole = hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.blades_left >= unit.servers.len() && h.switches_left >= 1)
+                .min_by(|(ia, a), (ib, b)| {
+                    (a.load + unit.weight)
+                        .total_cmp(&(b.load + unit.weight))
+                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i);
+            if let Some(h) = whole {
+                switch_host[unit.switch] = Some(h);
+                hosts[h].switches_left -= 1;
+                hosts[h].blades_left -= unit.servers.len();
+                hosts[h].load += unit.weight;
+                hosts[h].used = true;
+                for &s in &unit.servers {
+                    server_host[s] = Some(h);
+                }
+                continue;
+            }
+            // Split: switch to the least-loaded switch slot, then blades
+            // one by one, preferring the switch's host on load ties.
+            let sw_name = &topo.switches[unit.switch].name;
+            let sw_host = hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.switches_left >= 1)
+                .min_by(|(ia, a), (ib, b)| {
+                    a.load
+                        .total_cmp(&b.load)
+                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+                .ok_or_else(|| {
+                    SimError::topology(format!(
+                        "fleet has no free switch slot for {sw_name:?}"
+                    ))
+                })?;
+            switch_host[unit.switch] = Some(sw_host);
+            hosts[sw_host].switches_left -= 1;
+            hosts[sw_host].load += switch_w[unit.switch];
+            hosts[sw_host].used = true;
+            for &s in &unit.servers {
+                let h = hosts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.blades_left >= 1)
+                    .min_by(|(ia, a), (ib, b)| {
+                        (a.load + server_w[s])
+                            .total_cmp(&(b.load + server_w[s]))
+                            .then(
+                                a.activation(&self.classes)
+                                    .total_cmp(&b.activation(&self.classes)),
+                            )
+                            .then((*ia != sw_host).cmp(&(*ib != sw_host)))
+                            .then(ia.cmp(ib))
+                    })
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| {
+                        SimError::topology(format!(
+                            "fleet blade capacity exhausted placing {:?}",
+                            topo.servers[s].name
+                        ))
+                    })?;
+                server_host[s] = Some(h);
+                hosts[h].blades_left -= 1;
+                hosts[h].load += server_w[s];
+                hosts[h].used = true;
+            }
+        }
+
+        // Phase 2: switch-only switches, deepest first, pulled toward
+        // the host holding the most of their children.
+        let depth: Vec<usize> = (0..topo.switches.len())
+            .map(|s| {
+                let mut d = 0;
+                let mut cur = topo.switches[s].parent;
+                while let Some(p) = cur {
+                    d += 1;
+                    cur = topo.switches[p.0].parent;
+                }
+                d
+            })
+            .collect();
+        let mut upper: Vec<usize> = (0..topo.switches.len())
+            .filter(|&s| switch_host[s].is_none())
+            .collect();
+        upper.sort_by(|&a, &b| depth[b].cmp(&depth[a]).then(a.cmp(&b)));
+
+        for sidx in upper {
+            let affinity = |h: usize| -> usize {
+                topo.switches[sidx]
+                    .children
+                    .iter()
+                    .filter(|c| match c {
+                        NodeRef::Switch(s) => switch_host[s.0] == Some(h),
+                        NodeRef::Server(s) => server_host[s.0] == Some(h),
+                    })
+                    .count()
+            };
+            let w = switch_w[sidx];
+            let h = hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.switches_left >= 1)
+                .min_by(|(ia, a), (ib, b)| {
+                    affinity(*ib)
+                        .cmp(&affinity(*ia))
+                        .then((a.load + w).total_cmp(&(b.load + w)))
+                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+                .ok_or_else(|| {
+                    SimError::topology(format!(
+                        "fleet has no free switch slot for {:?}",
+                        topo.switches[sidx].name
+                    ))
+                })?;
+            switch_host[sidx] = Some(h);
+            hosts[h].switches_left -= 1;
+            hosts[h].load += w;
+            hosts[h].used = true;
+        }
+
+        // Compact used hosts into dense shard ids, expansion order.
+        let mut shard_of: Vec<Option<usize>> = vec![None; hosts.len()];
+        let mut used: Vec<usize> = Vec::new();
+        for h in server_host.iter().chain(switch_host.iter()) {
+            let h = h.expect("placer assigned every agent");
+            if shard_of[h].is_none() {
+                shard_of[h] = Some(usize::MAX); // mark, number below
+            }
+        }
+        for (h, s) in shard_of.iter_mut().enumerate() {
+            if s.is_some() {
+                *s = Some(used.len());
+                used.push(h);
+            }
+        }
+        let server_shard: Vec<usize> = server_host
+            .iter()
+            .map(|h| shard_of[h.unwrap()].unwrap())
+            .collect();
+        let switch_shard: Vec<usize> = switch_host
+            .iter()
+            .map(|h| shard_of[h.unwrap()].unwrap())
+            .collect();
+        let partition =
+            PartitionPlan::from_assignment(topo, used.len(), server_shard, switch_shard)?;
+
+        // Per-host assignment records, shard order.
+        let mut assignments: Vec<HostAssignment> = used
+            .iter()
+            .map(|&h| {
+                let class = &self.classes[hosts[h].class];
+                HostAssignment {
+                    class: class.name.clone(),
+                    instance: class.instance,
+                    cross_transport: class.cross_transport,
+                    intra_transport: class.intra_transport,
+                    dollars_per_hour: class.dollars_per_hour,
+                    servers: Vec::new(),
+                    switches: Vec::new(),
+                    load: hosts[h].load,
+                }
+            })
+            .collect();
+        for (i, s) in topo.servers.iter().enumerate() {
+            assignments[partition.server_shard(i)]
+                .servers
+                .push(s.name.clone());
+        }
+        for (i, s) in topo.switches.iter().enumerate() {
+            assignments[partition.switch_shard(i)]
+                .switches
+                .push(s.name.clone());
+        }
+
+        let cost = self.cost_of(topo, &partition, &assignments, link_latency)?;
+        Ok(PlacementPlan {
+            hosts: assignments,
+            partition,
+            cost,
+        })
+    }
+
+    /// Computes the min-of-bounds cost model for a placement.
+    fn cost_of(
+        &self,
+        topo: &Topology,
+        partition: &PartitionPlan,
+        assignments: &[HostAssignment],
+        link_latency: Cycle,
+    ) -> SimResult<CostEstimate> {
+        let fleet_per_hour: f64 = assignments.iter().map(|a| a.dollars_per_hour).sum();
+        let batch_tokens = link_latency.as_u64();
+        let mut rate_of_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut kind_rate = |kind: TransportKind| -> f64 {
+            *rate_of_kind.entry(kind.as_str()).or_insert_with(|| {
+                Transport::of(kind).sim_rate_bound_hz(batch_tokens, self.token_bytes)
+            })
+        };
+
+        let mut sim_rate_hz = f64::INFINITY;
+        let mut bottleneck = String::new();
+
+        for (h, a) in assignments.iter().enumerate() {
+            if a.load > 0.0 {
+                let rate = 1e12 / a.load;
+                if rate < sim_rate_hz {
+                    sim_rate_hz = rate;
+                    bottleneck = format!("compute on host {h} ({})", a.class);
+                }
+            }
+        }
+
+        let mut cut_links = 0usize;
+        for (sidx, sw) in topo.switches.iter().enumerate() {
+            let ha = partition.switch_shard(sidx);
+            for child in &sw.children {
+                let (hb, child_name) = match child {
+                    NodeRef::Server(s) => (partition.server_shard(s.0), &topo.servers[s.0].name),
+                    NodeRef::Switch(s) => (partition.switch_shard(s.0), &topo.switches[s.0].name),
+                };
+                let (rate, kind) = if ha == hb {
+                    let kind = assignments[ha].intra_transport;
+                    (kind_rate(kind), kind)
+                } else {
+                    cut_links += 2;
+                    let (ka, kb) = (
+                        assignments[ha].cross_transport,
+                        assignments[hb].cross_transport,
+                    );
+                    let (ra, rb) = (kind_rate(ka), kind_rate(kb));
+                    if ra <= rb { (ra, ka) } else { (rb, kb) }
+                };
+                if rate < sim_rate_hz {
+                    sim_rate_hz = rate;
+                    bottleneck = format!("{kind} link {} -> {child_name}", sw.name);
+                }
+            }
+        }
+
+        if !sim_rate_hz.is_finite() || sim_rate_hz <= 0.0 {
+            return Err(SimError::topology(
+                "cost model needs at least one positive load weight",
+            ));
+        }
+        let slowdown = self.target_hz / sim_rate_hz;
+        Ok(CostEstimate {
+            hosts_used: assignments.len(),
+            fleet_per_hour,
+            cut_links,
+            sim_rate_hz,
+            target_hz: self.target_hz,
+            slowdown,
+            dollars_per_sim_hour: fleet_per_hour * slowdown,
+            bottleneck,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::BladeSpec;
+    use firesim_blade::programs;
+
+    fn spec() -> BladeSpec {
+        BladeSpec::rtl_single_core(programs::boot_poweroff(1))
+    }
+
+    /// root -> `aggs` aggregation switches -> `tors_per_agg` ToRs each ->
+    /// `servers_per_tor` servers each. `aggs == 0` attaches ToRs directly
+    /// to the root.
+    fn datacenter(aggs: usize, tors_per_agg: usize, servers_per_tor: usize) -> Topology {
+        let mut t = Topology::new();
+        let root = t.add_switch("root");
+        let uppers: Vec<_> = if aggs == 0 {
+            vec![root]
+        } else {
+            (0..aggs)
+                .map(|a| {
+                    let agg = t.add_switch(format!("agg{a}"));
+                    t.add_downlink(root, agg).unwrap();
+                    agg
+                })
+                .collect()
+        };
+        for (a, &up) in uppers.iter().enumerate() {
+            for x in 0..tors_per_agg {
+                let tor = t.add_switch(format!("tor{}_{x}", a));
+                t.add_downlink(up, tor).unwrap();
+                for y in 0..servers_per_tor {
+                    let n = t.add_server(format!("node{}_{x}_{y}", a), spec());
+                    t.add_downlink(tor, n).unwrap();
+                }
+            }
+        }
+        t
+    }
+
+    /// A small custom fleet for packing tests.
+    fn tiny_fleet(blades: usize, switches: usize, count: usize) -> FleetSpec {
+        FleetSpec {
+            classes: vec![HostClass {
+                name: "tiny".into(),
+                instance: InstanceType::F1_2xlarge,
+                blade_capacity: blades,
+                switch_capacity: switches,
+                count,
+                cross_transport: TransportKind::Tcp,
+                intra_transport: TransportKind::SharedMemory,
+                dollars_per_hour: 1.0,
+            }],
+            token_bytes: 8,
+            target_hz: 1e9,
+        }
+    }
+
+    #[test]
+    fn paper_1024_fleet_matches_the_paper() {
+        // §V-C: 1024 nodes = 32 racks of 32, upper tree of 4 agg + root,
+        // simulated on 32 f1.16xlarge + 5 m4.16xlarge.
+        let topo = datacenter(4, 8, 32);
+        assert_eq!(topo.server_count(), 1024);
+        let plan = FleetSpec::ec2_default()
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(6400))
+            .unwrap();
+
+        let f1 = plan.hosts().iter().filter(|h| h.class == "f1.16xlarge");
+        let m4 = plan.hosts().iter().filter(|h| h.class == "m4.16xlarge");
+        assert_eq!(f1.count(), 32, "one f1 per 32-server rack");
+        assert_eq!(m4.count(), 5, "4 agg + root on dedicated switch hosts");
+
+        let c = plan.cost();
+        assert_eq!(c.hosts_used, 37);
+        // 32 × $13.20 + 5 × $3.20.
+        assert!((c.fleet_per_hour - 438.40).abs() < 1e-9, "{}", c.fleet_per_hour);
+        // Cut tree edges: 32 ToR uplinks + 4 agg uplinks, two directed
+        // links each.
+        assert_eq!(c.cut_links, 72);
+        // Bottleneck is f1 host compute: 32 servers × 1000 + ToR 250
+        // ns/kilocycle → 1e12 / 32250 Hz ≈ 31.01 MHz, slower than the
+        // 45.4 MHz TCP bound at 6400-token batches.
+        assert!((c.sim_rate_hz - 1e12 / 32_250.0).abs() < 1.0, "{}", c.sim_rate_hz);
+        assert!(c.bottleneck.starts_with("compute"), "{}", c.bottleneck);
+        let slowdown = 3.2e9 / (1e12 / 32_250.0);
+        assert!((c.slowdown - slowdown).abs() < 1e-6);
+        assert!((c.dollars_per_sim_hour - 438.40 * slowdown).abs() < 1e-3);
+
+        // Spot pricing keeps the shape, shrinks the bill (Fig 12).
+        let spot = FleetSpec::ec2_spot()
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(6400))
+            .unwrap();
+        assert_eq!(spot.cost().hosts_used, 37);
+        assert!((spot.cost().fleet_per_hour - (32.0 * 3.03 + 5.0 * 0.62)).abs() < 1e-9);
+
+        let text = plan.describe();
+        assert!(text.contains("37 host(s)"), "{text}");
+        assert!(text.contains("per simulated hour"), "{text}");
+    }
+
+    #[test]
+    fn transport_becomes_the_bottleneck_at_short_latency() {
+        // At 64-token batches TCP's 50 us latency dominates: bound =
+        // 64 / (2 × 50.4096 us) ≈ 0.63 MHz, far below compute.
+        let topo = datacenter(0, 2, 2);
+        let plan = tiny_fleet(2, 1, 4)
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(64))
+            .unwrap();
+        let c = plan.cost();
+        assert!(c.bottleneck.contains("tcp"), "{}", c.bottleneck);
+        let expect = Transport::of(TransportKind::Tcp).sim_rate_bound_hz(64, 8);
+        assert!((c.sim_rate_hz - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn racks_split_when_they_do_not_fit() {
+        // One rack of 5 servers onto 2-blade hosts: the rack must split
+        // but every agent is placed exactly once and capacity holds.
+        let topo = datacenter(0, 1, 5);
+        let fleet = tiny_fleet(2, 2, 4);
+        let plan = fleet
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(64))
+            .unwrap();
+        let mut placed = 0;
+        for h in plan.hosts() {
+            assert!(h.servers.len() <= 2, "blade capacity exceeded");
+            assert!(h.switches.len() <= 2, "switch capacity exceeded");
+            placed += h.servers.len() + h.switches.len();
+        }
+        assert_eq!(placed, topo.server_count() + topo.switch_count());
+        assert_eq!(plan.workers(), plan.partition().workers());
+
+        // Determinism: identical inputs give an identical plan.
+        let again = fleet
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(64))
+            .unwrap();
+        assert_eq!(plan.partition(), again.partition());
+        assert_eq!(plan.cost(), again.cost());
+    }
+
+    #[test]
+    fn hot_rack_lands_on_the_first_host() {
+        // Skewing a rack's load reorders placement: the hot rack is
+        // packed first (host 0), and the upper switch follows the
+        // lighter host.
+        let topo = datacenter(0, 2, 2); // root, tor0_0{n..}, tor0_1{n..}
+        let mut profile = LoadProfile::uniform();
+        profile.set("node0_1_0", 5000.0);
+        profile.set("node0_1_1", 5000.0);
+        let plan = tiny_fleet(2, 2, 3)
+            .place(&topo, &profile, Cycle::new(64))
+            .unwrap();
+        assert!(
+            plan.hosts()[0].servers.contains(&"node0_1_0".to_string()),
+            "hot rack should be packed first: {:?}",
+            plan.hosts()[0].servers
+        );
+        // Root joins the lighter rack's host rather than the hot one.
+        let root_host = plan
+            .hosts()
+            .iter()
+            .position(|h| h.switches.iter().any(|s| s == "root"))
+            .unwrap();
+        assert!(
+            plan.hosts()[root_host].servers.contains(&"node0_0_0".to_string()),
+            "root should co-locate with the cooler rack"
+        );
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_typed_error() {
+        let topo = datacenter(0, 1, 5);
+        let err = tiny_fleet(2, 2, 1)
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(64))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Topology { .. }), "{err}");
+
+        // No switch slots at all.
+        let err = tiny_fleet(8, 0, 2)
+            .place(&topo, &LoadProfile::uniform(), Cycle::new(64))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Topology { .. }), "{err}");
+    }
+
+    #[test]
+    fn profile_from_report_scales_host_ns() {
+        let mut report = RunReport {
+            cycles: 0,
+            wall_ns: 0,
+            host_threads: 1,
+            sim_rate_mhz: 0.0,
+            token_invariant_ok: true,
+            run_id: None,
+            cost: None,
+            agents: Vec::new(),
+            links: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            timeline: None,
+        };
+        report.agents.push(crate::report::AgentReport {
+            name: "hot".into(),
+            rounds: 0,
+            target_cycles: 1000,
+            windows_in: 0,
+            tokens_in: 0,
+            windows_out: 0,
+            tokens_out: 0,
+            host_ns: 7000,
+            counters: Vec::new(),
+        });
+        let p = LoadProfile::from_report(&report);
+        assert!((p.server_weight("hot") - 7000.0).abs() < 1e-9);
+        // Unprofiled agents keep the uniform defaults.
+        assert!((p.server_weight("cold") - 1000.0).abs() < 1e-9);
+        assert!((p.switch_weight("tor") - 250.0).abs() < 1e-9);
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fleet;
 pub mod partition;
 pub mod report;
 pub mod results;
@@ -35,6 +36,7 @@ pub mod simulation;
 pub mod supervisor;
 pub mod topology;
 
+pub use fleet::{CostEstimate, FleetSpec, HostAssignment, HostClass, LoadProfile, PlacementPlan};
 pub use partition::{
     maybe_worker, run_partitioned, BuildFn, PartitionConfig, PartitionPlan, PartitionedRun,
     TransportChoice,

@@ -46,7 +46,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use firesim_core::{
-    combined_digest, BoundaryInput, BoundaryOutput, Cycle, FaultPlan, SimError, SimResult,
+    combined_digest, BoundaryInput, BoundaryOutput, Cycle, EngineCheckpoint, FaultPlan, SimError,
+    SimResult,
 };
 use firesim_net::Flit;
 use firesim_platform::{ShmTransport, SocketListener, SocketTransport, TokenTransport};
@@ -96,19 +97,7 @@ impl PartitionPlan {
                  (every shard must own at least one server)"
             )));
         }
-        let mut names: HashSet<&str> = HashSet::new();
-        for name in topo
-            .servers
-            .iter()
-            .map(|s| s.name.as_str())
-            .chain(topo.switches.iter().map(|s| s.name.as_str()))
-        {
-            if !names.insert(name) {
-                return Err(SimError::topology(format!(
-                    "duplicate agent name {name:?}: partitioned results merge by name"
-                )));
-            }
-        }
+        Self::check_unique_names(topo)?;
         let server_shard: Vec<usize> = (0..servers).map(|i| i * workers / servers).collect();
         let switch_shard = (0..topo.switches.len())
             .map(|s| {
@@ -122,6 +111,143 @@ impl PartitionPlan {
             server_shard,
             switch_shard,
         })
+    }
+
+    /// Builds a plan from an explicit per-node shard assignment — the
+    /// fleet controller's load-aware output (see [`crate::fleet`]).
+    ///
+    /// Unlike [`PartitionPlan::contiguous`], a shard may own any mix of
+    /// servers and switches — a shard holding only switch models is the
+    /// paper's dedicated m4.16xlarge switch host — but every shard must
+    /// own at least one agent.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero workers, assignment vectors whose lengths do not
+    /// match the topology, out-of-range shard indices, empty shards, and
+    /// duplicate agent names.
+    pub fn from_assignment(
+        topo: &Topology,
+        workers: usize,
+        server_shard: Vec<usize>,
+        switch_shard: Vec<usize>,
+    ) -> SimResult<PartitionPlan> {
+        if workers == 0 {
+            return Err(SimError::topology("a partition needs at least one worker"));
+        }
+        if server_shard.len() != topo.servers.len() || switch_shard.len() != topo.switches.len() {
+            return Err(SimError::topology(format!(
+                "assignment covers {}+{} nodes but the topology has {}+{}",
+                server_shard.len(),
+                switch_shard.len(),
+                topo.servers.len(),
+                topo.switches.len()
+            )));
+        }
+        Self::check_unique_names(topo)?;
+        let mut sizes = vec![0usize; workers];
+        for &s in server_shard.iter().chain(switch_shard.iter()) {
+            if s >= workers {
+                return Err(SimError::topology(format!(
+                    "shard index {s} out of range for {workers} workers"
+                )));
+            }
+            sizes[s] += 1;
+        }
+        if let Some(empty) = sizes.iter().position(|&n| n == 0) {
+            return Err(SimError::topology(format!("shard {empty} owns no agents")));
+        }
+        Ok(PartitionPlan {
+            workers,
+            server_shard,
+            switch_shard,
+        })
+    }
+
+    /// Folds this plan onto fewer workers (shard `h` maps to
+    /// `h × workers / self.workers`), preserving co-location decisions
+    /// while shrinking the process count — how a many-host
+    /// [`PlacementPlan`](crate::fleet::PlacementPlan) runs on a small
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero workers and more workers than this plan has shards.
+    pub fn fold(&self, workers: usize) -> SimResult<PartitionPlan> {
+        if workers == 0 || workers > self.workers {
+            return Err(SimError::topology(format!(
+                "cannot fold a {}-shard plan onto {workers} worker(s)",
+                self.workers
+            )));
+        }
+        let map = |s: usize| s * workers / self.workers;
+        Ok(PartitionPlan {
+            workers,
+            server_shard: self.server_shard.iter().map(|&s| map(s)).collect(),
+            switch_shard: self.switch_shard.iter().map(|&s| map(s)).collect(),
+        })
+    }
+
+    /// Encodes the plan for the worker environment
+    /// (`FIRESIM_PART_PLAN`): `"workers;server,shards;switch,shards"`.
+    pub fn encode(&self) -> String {
+        let join = |v: &[usize]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{};{};{}",
+            self.workers,
+            join(&self.server_shard),
+            join(&self.switch_shard)
+        )
+    }
+
+    /// Decodes [`PartitionPlan::encode`] output, revalidating the
+    /// assignment against the worker's own copy of the topology.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed strings and anything
+    /// [`PartitionPlan::from_assignment`] rejects.
+    pub fn decode(topo: &Topology, s: &str) -> SimResult<PartitionPlan> {
+        let bad = || SimError::protocol(format!("malformed partition plan {s:?}"));
+        let mut parts = s.split(';');
+        let workers: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let parse_list = |part: Option<&str>| -> SimResult<Vec<usize>> {
+            part.ok_or_else(bad)?
+                .split(',')
+                .filter(|t| !t.is_empty())
+                .map(|t| t.parse().map_err(|_| bad()))
+                .collect()
+        };
+        let server_shard = parse_list(parts.next())?;
+        let switch_shard = parse_list(parts.next())?;
+        if parts.next().is_some() {
+            return Err(bad());
+        }
+        Self::from_assignment(topo, workers, server_shard, switch_shard)
+    }
+
+    /// Enforces globally-unique agent names (shard results merge by
+    /// name).
+    fn check_unique_names(topo: &Topology) -> SimResult<()> {
+        let mut names: HashSet<&str> = HashSet::new();
+        for name in topo
+            .servers
+            .iter()
+            .map(|s| s.name.as_str())
+            .chain(topo.switches.iter().map(|s| s.name.as_str()))
+        {
+            if !names.insert(name) {
+                return Err(SimError::topology(format!(
+                    "duplicate agent name {name:?}: partitioned results merge by name"
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn min_server_in_subtree(topo: &Topology, sidx: usize) -> Option<usize> {
@@ -233,6 +359,26 @@ pub struct PartitionConfig {
     /// pure functions of the target cycle, the partitioned run stays
     /// digest-identical to a monolithic run of the same scenario.
     pub scenario: Option<String>,
+    /// Explicit shard assignment (e.g. from a fleet
+    /// [`PlacementPlan`](crate::fleet::PlacementPlan)); `None` falls
+    /// back to [`PartitionPlan::contiguous`]. When set, `workers` must
+    /// equal the plan's worker count.
+    pub plan: Option<PartitionPlan>,
+    /// Cycle at which every worker checkpoints mid-run (rounded up to a
+    /// window boundary by the engine). Workers rendezvous on the
+    /// checkpoint files before resuming, so the merged checkpoint is a
+    /// consistent cut of the whole simulation.
+    pub checkpoint_at: Option<Cycle>,
+    /// Where the parent writes the merged `FSCKPT01` checkpoint taken at
+    /// `checkpoint_at` — the input to a later repartitioned continuation.
+    pub checkpoint_out: Option<PathBuf>,
+    /// Merged checkpoint every worker restores (by agent name) before
+    /// running; the run then continues to the **absolute** target
+    /// `cycles`, regardless of how the checkpointing run was sharded.
+    pub restore_from: Option<PathBuf>,
+    /// Modeled fleet cost attached to the merged report
+    /// ([`RunReport::cost`]).
+    pub cost: Option<crate::fleet::CostEstimate>,
 }
 
 impl PartitionConfig {
@@ -248,7 +394,22 @@ impl PartitionConfig {
             spec: spec.into(),
             worker_panic: None,
             scenario: None,
+            plan: None,
+            checkpoint_at: None,
+            checkpoint_out: None,
+            restore_from: None,
+            cost: None,
         }
+    }
+
+    /// Adopts a fleet placement: worker count, shard assignment, and
+    /// modeled cost (reported as [`RunReport::cost`]).
+    #[must_use]
+    pub fn with_placement(mut self, placement: &crate::fleet::PlacementPlan) -> Self {
+        self.workers = placement.workers();
+        self.plan = Some(placement.partition().clone());
+        self.cost = Some(placement.cost().clone());
+        self
     }
 }
 
@@ -279,6 +440,9 @@ const ENV_CYCLES: &str = "FIRESIM_PART_CYCLES";
 const ENV_SPEC: &str = "FIRESIM_PART_SPEC";
 const ENV_PANIC: &str = "FIRESIM_PART_PANIC";
 const ENV_SCENARIO: &str = "FIRESIM_PART_SCENARIO";
+const ENV_PLAN: &str = "FIRESIM_PART_PLAN";
+const ENV_CKPT_AT: &str = "FIRESIM_PART_CKPT_AT";
+const ENV_RESTORE: &str = "FIRESIM_PART_RESTORE";
 
 /// Exit code a worker uses for simulation failures (vs. spawn problems).
 const WORKER_FAILURE_EXIT: i32 = 70;
@@ -329,7 +493,19 @@ fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
     let spec = env_var(ENV_SPEC)?;
 
     let (topo, config) = build(&spec)?;
-    let plan = PartitionPlan::contiguous(&topo, workers)?;
+    let plan = match std::env::var(ENV_PLAN) {
+        Ok(enc) => {
+            let plan = PartitionPlan::decode(&topo, &enc)?;
+            if plan.workers() != workers {
+                return Err(SimError::protocol(format!(
+                    "plan has {} shards but the fleet spawned {workers} workers",
+                    plan.workers()
+                )));
+            }
+            plan
+        }
+        Err(_) => PartitionPlan::contiguous(&topo, workers)?,
+    };
     // Compile against the full topology before the build consumes it;
     // every worker compiles the same script against the same tree, then
     // applies only its own shard's share.
@@ -346,7 +522,31 @@ fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
         install_panic_hook(&mut sim, shard, &hook)?;
     }
 
-    let result = run_shard(&mut sim, shard, transport, dir, Cycle::new(cycles))?;
+    // Restore before the pumps start: restoring replaces every input
+    // queue, which would discard windows a faster peer had already
+    // injected.
+    if let Ok(path) = std::env::var(ENV_RESTORE) {
+        let cp = EngineCheckpoint::load_from(Path::new(&path))?;
+        sim.restore_by_name(&cp)?;
+    }
+    let checkpoint_at = match std::env::var(ENV_CKPT_AT) {
+        Ok(v) => Some(Cycle::new(v.parse().map_err(|_| {
+            SimError::topology("bad checkpoint cycle")
+        })?)),
+        Err(_) => None,
+    };
+
+    let run_id = run_id_for(&spec, workers, cycles, transport);
+    let result = run_shard(
+        &mut sim,
+        shard,
+        workers,
+        transport,
+        dir,
+        Cycle::new(cycles),
+        checkpoint_at,
+        run_id,
+    )?;
     write_atomic(
         &dir.join(format!("shard{shard}.result.json")),
         result.to_string_pretty().as_bytes(),
@@ -375,20 +575,32 @@ fn install_panic_hook(sim: &mut Simulation, shard: usize, hook: &str) -> SimResu
     Ok(())
 }
 
-/// Runs one shard to `cycles`, pumping its boundaries over `transport`,
-/// and returns the worker's result document.
+/// Shared identity of one partitioned run. Every shard stamps this on
+/// its report so [`RunReport::merge_shards`] can reject merges across
+/// different runs.
+fn run_id_for(spec: &str, workers: usize, cycles: u64, transport: TransportChoice) -> String {
+    format!("{spec}#{workers}w#{cycles}c#{}", transport.as_str())
+}
+
+/// Runs one shard to the absolute `cycles` target, pumping its
+/// boundaries over `transport`, and returns the worker's result
+/// document.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     sim: &mut Simulation,
     shard: usize,
+    workers: usize,
     transport: TransportChoice,
     dir: &Path,
     cycles: Cycle,
+    checkpoint_at: Option<Cycle>,
+    run_id: String,
 ) -> SimResult<serde_json::Value> {
     let halt = Arc::new(AtomicBool::new(false));
     let boundaries = sim.take_boundaries();
     let pumps = start_pumps(boundaries, transport, dir, &halt)?;
 
-    let run_result = sim.run_for(cycles);
+    let run_result = run_legs(sim, shard, workers, dir, cycles, checkpoint_at);
     // Stop pumps whether or not the run succeeded; output pumps flush
     // everything already produced before exiting, so a healthy peer is
     // never starved by our shutdown.
@@ -401,20 +613,18 @@ fn run_shard(
             Err(_) => pump_err = Some(SimError::topology("boundary pump thread panicked")),
         }
     }
-    let summary = run_result?;
+    let (ran, wall) = run_result?;
     if let Some(e) = pump_err {
         return Err(e);
     }
 
     let digests = sim.checkpoint()?.agent_digests();
-    let report = sim.run_report(summary.wall);
+    let mut report = sim.run_report(wall);
+    report.run_id = Some(run_id);
 
     let mut obj = std::collections::BTreeMap::new();
     obj.insert("shard".to_owned(), serde_json::Value::from(shard as u64));
-    obj.insert(
-        "cycles".to_owned(),
-        serde_json::Value::from(summary.cycles.as_u64()),
-    );
+    obj.insert("cycles".to_owned(), serde_json::Value::from(ran.as_u64()));
     obj.insert(
         "digests".to_owned(),
         serde_json::Value::Array(
@@ -435,6 +645,47 @@ fn run_shard(
             .map_err(|e| SimError::checkpoint(format!("re-parsing own report: {e}")))?,
     );
     Ok(serde_json::Value::Object(obj))
+}
+
+/// Runs the shard to its absolute `target` cycle, optionally pausing at
+/// `checkpoint_at` to write `shard{i}.ckpt` and rendezvous with every
+/// peer before continuing. Returns `(cycles simulated, wall time)`.
+///
+/// The rendezvous is what makes the merged checkpoint a consistent cut:
+/// a boundary queue buffers up to two windows, so a shard racing ahead
+/// into its second leg could inject a window into a peer that has not
+/// yet captured its own queues. No shard resumes until every shard's
+/// checkpoint file exists; a dead peer leaves the poll spinning until
+/// the parent's deadline kills the fleet.
+fn run_legs(
+    sim: &mut Simulation,
+    shard: usize,
+    workers: usize,
+    dir: &Path,
+    target: Cycle,
+    checkpoint_at: Option<Cycle>,
+) -> SimResult<(Cycle, Duration)> {
+    let began = sim.now();
+    let mut wall = Duration::ZERO;
+    if let Some(at) = checkpoint_at {
+        if at.as_u64() > sim.now().as_u64() && at.as_u64() <= target.as_u64() {
+            let leg = sim.run_for(Cycle::new(at.as_u64() - sim.now().as_u64()))?;
+            wall += leg.wall;
+            let cp = sim.checkpoint()?;
+            write_atomic(&dir.join(format!("shard{shard}.ckpt")), &cp.to_bytes())?;
+            for peer in 0..workers {
+                let path = dir.join(format!("shard{peer}.ckpt"));
+                while !path.exists() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+    if target.as_u64() > sim.now().as_u64() {
+        let leg = sim.run_for(Cycle::new(target.as_u64() - sim.now().as_u64()))?;
+        wall += leg.wall;
+    }
+    Ok((Cycle::new(sim.now().as_u64() - began.as_u64()), wall))
 }
 
 /// Opens every boundary transport (receivers listen first, then senders
@@ -626,7 +877,18 @@ fn run_single(
     start: Instant,
 ) -> Result<PartitionedRun, SimError> {
     let (topo, config) = build(&cfg.spec)?;
-    let plan = PartitionPlan::contiguous(&topo, 1)?;
+    let plan = match &cfg.plan {
+        Some(plan) => {
+            if plan.workers() != 1 {
+                return Err(SimError::topology(format!(
+                    "config says 1 worker but the plan has {} shards",
+                    plan.workers()
+                )));
+            }
+            plan.clone()
+        }
+        None => PartitionPlan::contiguous(&topo, 1)?,
+    };
     let scenario = match &cfg.scenario {
         Some(path) => Some(load_scenario(path, &topo)?),
         None => None,
@@ -635,17 +897,45 @@ fn run_single(
     if let Some(sc) = &scenario {
         sim.apply_scenario(sc)?;
     }
-    let summary = sim.run_for(cfg.cycles)?;
+    // Merged checkpoints are name-sorted, not registration-ordered, so
+    // the monolithic continuation also restores by name.
+    if let Some(path) = &cfg.restore_from {
+        let cp = EngineCheckpoint::load_from(path)?;
+        sim.restore_by_name(&cp)?;
+    }
+    let began = sim.now();
+    let mut wall = Duration::ZERO;
+    if let Some(at) = cfg.checkpoint_at {
+        if at.as_u64() > sim.now().as_u64() && at.as_u64() <= cfg.cycles.as_u64() {
+            let leg = sim.run_for(Cycle::new(at.as_u64() - sim.now().as_u64()))?;
+            wall += leg.wall;
+            if let Some(out) = &cfg.checkpoint_out {
+                sim.checkpoint()?.save_to(out)?;
+            }
+        }
+    }
+    if cfg.cycles.as_u64() > sim.now().as_u64() {
+        let leg = sim.run_for(Cycle::new(cfg.cycles.as_u64() - sim.now().as_u64()))?;
+        wall += leg.wall;
+    }
     let digests = sim.checkpoint()?.agent_digests();
     let digest = combined_digest(&digests);
     let mut digests = digests;
     digests.sort();
+    let mut report = sim.run_report(wall);
+    report.run_id = Some(run_id_for(
+        &cfg.spec,
+        1,
+        cfg.cycles.as_u64(),
+        cfg.transport,
+    ));
+    report.cost = cfg.cost.clone();
     Ok(PartitionedRun {
         workers: 1,
-        cycles: summary.cycles,
+        cycles: Cycle::new(sim.now().as_u64() - began.as_u64()),
         combined_digest: digest,
         digests,
-        report: sim.run_report(summary.wall),
+        report,
         wall: start.elapsed(),
     })
 }
@@ -659,6 +949,20 @@ fn run_fleet(
 ) -> Result<PartitionedRun, Box<FailureReport>> {
     let exe = std::env::current_exe()
         .map_err(|e| fail(SimError::io("locating current executable", &e), None, false))?;
+
+    if let Some(plan) = &cfg.plan {
+        if plan.workers() != cfg.workers {
+            return Err(fail(
+                SimError::topology(format!(
+                    "config says {} workers but the plan has {} shards",
+                    cfg.workers,
+                    plan.workers()
+                )),
+                None,
+                false,
+            ));
+        }
+    }
 
     let mut children: Vec<(usize, Child)> = Vec::new();
     let kill_all = |children: &mut Vec<(usize, Child)>| {
@@ -681,6 +985,15 @@ fn run_fleet(
         }
         if let Some(path) = &cfg.scenario {
             cmd.env(ENV_SCENARIO, path);
+        }
+        if let Some(plan) = &cfg.plan {
+            cmd.env(ENV_PLAN, plan.encode());
+        }
+        if let Some(at) = cfg.checkpoint_at {
+            cmd.env(ENV_CKPT_AT, at.as_u64().to_string());
+        }
+        if let Some(path) = &cfg.restore_from {
+            cmd.env(ENV_RESTORE, path);
         }
         match cmd.spawn() {
             Ok(child) => children.push((shard, child)),
@@ -778,12 +1091,27 @@ fn run_fleet(
     }
     let digest = combined_digest(&digests);
     digests.sort();
+
+    // Fold the per-shard checkpoint files into one name-sorted FSCKPT01
+    // checkpoint any future sharding can restore from.
+    if let (Some(_), Some(out)) = (cfg.checkpoint_at, &cfg.checkpoint_out) {
+        let parts = (0..cfg.workers)
+            .map(|shard| EngineCheckpoint::<Flit>::load_from(dir.join(format!("shard{shard}.ckpt"))))
+            .collect::<SimResult<Vec<_>>>()
+            .map_err(|e| fail(e, None, false))?;
+        EngineCheckpoint::merge(parts)
+            .and_then(|cp| cp.save_to(out))
+            .map_err(|e| fail(e, None, false))?;
+    }
+
+    let mut report = RunReport::merge_shards(&reports).map_err(|e| fail(e, None, false))?;
+    report.cost = cfg.cost.clone();
     Ok(PartitionedRun {
         workers: cfg.workers,
         cycles: Cycle::new(cycles),
         combined_digest: digest,
         digests,
-        report: RunReport::merge_shards(&reports),
+        report,
         wall: start.elapsed(),
     })
 }
@@ -878,6 +1206,65 @@ mod tests {
         assert!(PartitionPlan::contiguous(&topo, 0).is_err());
         assert!(PartitionPlan::contiguous(&topo, 3).is_err());
         assert!(PartitionPlan::contiguous(&topo, 2).is_ok());
+    }
+
+    #[test]
+    fn contiguous_single_shard_owns_everything() {
+        let topo = racked_topology(2, 2);
+        let plan = PartitionPlan::contiguous(&topo, 1).unwrap();
+        assert_eq!(plan.workers(), 1);
+        assert_eq!(plan.shard_sizes(), vec![4 + 3]);
+        assert!((0..4).all(|i| plan.server_shard(i) == 0));
+        assert!((0..3).all(|s| plan.switch_shard(s) == 0));
+    }
+
+    #[test]
+    fn contiguous_switch_only_subtree_defaults_to_shard_zero() {
+        // A subtree with no servers anywhere below it is possible on
+        // not-yet-validated topologies; the plan parks it on shard 0
+        // rather than panicking.
+        let mut topo = racked_topology(2, 1);
+        let empty = topo.add_switch("empty-agg");
+        let leaf = topo.add_switch("empty-leaf");
+        topo.add_downlink(empty, leaf).unwrap();
+        let plan = PartitionPlan::contiguous(&topo, 2).unwrap();
+        // Switches: root(0), tor0(1), tor1(2), empty-agg(3), empty-leaf(4).
+        assert_eq!(plan.switch_shard(2), 1, "tor1 follows its server");
+        assert_eq!(plan.switch_shard(3), 0);
+        assert_eq!(plan.switch_shard(4), 0);
+    }
+
+    #[test]
+    fn assignment_plans_validate_fold_and_round_trip() {
+        // Servers n0x0,n0x1,n1x0,n1x1; switches root(0),tor0(1),tor1(2).
+        let topo = racked_topology(2, 2);
+        // Load-aware-style plan: rack 1 on shard 0, rack 0 on shard 1,
+        // root alone on a switch-only shard (legal here, unlike
+        // `contiguous`).
+        let plan =
+            PartitionPlan::from_assignment(&topo, 3, vec![1, 1, 0, 0], vec![2, 1, 0]).unwrap();
+        assert_eq!(plan.shard_sizes(), vec![3, 3, 1]);
+        let enc = plan.encode();
+        assert_eq!(PartitionPlan::decode(&topo, &enc).unwrap(), plan);
+
+        // Folding onto 2 workers maps shard h -> h * 2 / 3.
+        let folded = plan.fold(2).unwrap();
+        assert_eq!(folded.workers(), 2);
+        assert_eq!(folded.shard_sizes(), vec![6, 1]);
+        assert!(plan.fold(0).is_err());
+        assert!(plan.fold(4).is_err());
+
+        // Out-of-range shard, empty shard, and length mismatches are
+        // typed errors, as is a truncated or garbled wire form.
+        assert!(
+            PartitionPlan::from_assignment(&topo, 2, vec![0, 0, 0, 2], vec![0, 0, 0]).is_err()
+        );
+        assert!(
+            PartitionPlan::from_assignment(&topo, 3, vec![0, 0, 0, 0], vec![1, 1, 1]).is_err()
+        );
+        assert!(PartitionPlan::from_assignment(&topo, 2, vec![0, 0], vec![0, 0, 1]).is_err());
+        assert!(PartitionPlan::decode(&topo, "2;0,0,1,1").is_err());
+        assert!(PartitionPlan::decode(&topo, "junk").is_err());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use std::time::Duration;
 
 use serde_json::Value;
 
-use firesim_core::{Engine, LinkOccupancy, RecoveryTimeline, TimelinePoint};
+use firesim_core::{Engine, LinkOccupancy, RecoveryTimeline, SimError, SimResult, TimelinePoint};
+
+use crate::fleet::CostEstimate;
 
 /// One agent's accumulated profile plus its exported app counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +104,17 @@ pub struct RunReport {
     /// touched, with `(cycle, label)` event annotations. `None` when no
     /// scenario (or one with no timeline interval) was applied.
     pub timeline: Option<RecoveryTimeline>,
+    /// Identity of the partitioned run this report came from (spec,
+    /// worker count, cycles, transport). Shards of one run share it;
+    /// [`RunReport::merge_shards`] refuses to merge across different
+    /// ids. `None` for reports collected directly from an engine.
+    pub run_id: Option<String>,
+    /// Modeled fleet cost of the placement this run executed
+    /// ([`crate::fleet::CostEstimate`]), attached by the fleet
+    /// controller. Host-independent model output, but excluded from
+    /// [`RunReport::deterministic_aggregates`] since placement is
+    /// exactly what equivalence tests vary.
+    pub cost: Option<CostEstimate>,
 }
 
 impl RunReport {
@@ -186,6 +199,8 @@ impl RunReport {
             counters,
             histograms,
             timeline: engine.fault_timeline(),
+            run_id: None,
+            cost: None,
         }
     }
 
@@ -195,12 +210,35 @@ impl RunReport {
     /// Agents and links are concatenated and name-sorted (shard builds
     /// register disjoint agent sets); registry counters are summed by
     /// name; histograms are dropped (their shapes are host-schedule
-    /// dependent and meaningless to merge). `cycles` is taken from the
-    /// first shard — all shards of a healthy run reach the same cycle —
-    /// `wall_ns` is the slowest shard, and `host_threads` the fleet
-    /// total.
-    pub fn merge_shards(shards: &[RunReport]) -> RunReport {
-        let cycles = shards.first().map_or(0, |s| s.cycles);
+    /// dependent and meaningless to merge). `wall_ns` is the slowest
+    /// shard, and `host_threads` the fleet total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol [`SimError`] for an empty shard list, for
+    /// shards that reached different cycle counts (a desynchronised
+    /// fleet), and for shards stamped with different
+    /// [run ids](RunReport::run_id) — merging reports from two different
+    /// runs would silently fabricate a fleet that never existed.
+    pub fn merge_shards(shards: &[RunReport]) -> SimResult<RunReport> {
+        let Some(first) = shards.first() else {
+            return Err(SimError::protocol("cannot merge zero shard reports"));
+        };
+        let cycles = first.cycles;
+        if let Some(bad) = shards.iter().find(|s| s.cycles != cycles) {
+            return Err(SimError::protocol(format!(
+                "cannot merge shard reports from different runs: \
+                 cycle counts {} vs {cycles}",
+                bad.cycles
+            )));
+        }
+        if let Some(bad) = shards.iter().find(|s| s.run_id != first.run_id) {
+            return Err(SimError::protocol(format!(
+                "cannot merge shard reports from different runs: \
+                 run id {:?} vs {:?}",
+                bad.run_id, first.run_id
+            )));
+        }
         let wall_ns = shards.iter().map(|s| s.wall_ns).max().unwrap_or(0);
         let secs = wall_ns as f64 / 1e9;
         let mut agents: Vec<AgentReport> = shards.iter().flat_map(|s| s.agents.clone()).collect();
@@ -248,7 +286,7 @@ impl RunReport {
                 })
             }
         };
-        RunReport {
+        Ok(RunReport {
             cycles,
             wall_ns,
             host_threads: shards.iter().map(|s| s.host_threads).sum(),
@@ -263,7 +301,9 @@ impl RunReport {
             counters: counters.into_iter().collect(),
             histograms: Vec::new(),
             timeline,
-        }
+            run_id: first.run_id.clone(),
+            cost: None,
+        })
     }
 
     /// The host-schedule-*independent* portion of the report, in a
@@ -373,6 +413,19 @@ impl RunReport {
                 "VIOLATED"
             },
         );
+        if let Some(c) = &self.cost {
+            let _ = writeln!(
+                out,
+                "  fleet: {} host(s) at ${:.2}/hour, modeled {:.3} MHz \
+                 ({:.0}x slowdown) -> ${:.2} per simulated hour ({})",
+                c.hosts_used,
+                c.fleet_per_hour,
+                c.sim_rate_hz / 1e6,
+                c.slowdown,
+                c.dollars_per_sim_hour,
+                c.bottleneck,
+            );
+        }
         for a in &self.agents {
             let _ = writeln!(
                 out,
@@ -534,6 +587,24 @@ impl RunReport {
             );
             obj.insert("timeline".to_owned(), Value::Object(t));
         }
+        if let Some(run_id) = &self.run_id {
+            obj.insert("run_id".to_owned(), Value::from(run_id.as_str()));
+        }
+        if let Some(c) = &self.cost {
+            let mut o = BTreeMap::new();
+            o.insert("hosts_used".to_owned(), Value::from(c.hosts_used));
+            o.insert("fleet_per_hour".to_owned(), Value::from(c.fleet_per_hour));
+            o.insert("cut_links".to_owned(), Value::from(c.cut_links));
+            o.insert("sim_rate_hz".to_owned(), Value::from(c.sim_rate_hz));
+            o.insert("target_hz".to_owned(), Value::from(c.target_hz));
+            o.insert("slowdown".to_owned(), Value::from(c.slowdown));
+            o.insert(
+                "dollars_per_sim_hour".to_owned(),
+                Value::from(c.dollars_per_sim_hour),
+            );
+            o.insert("bottleneck".to_owned(), Value::from(c.bottleneck.as_str()));
+            obj.insert("cost".to_owned(), Value::Object(o));
+        }
         obj.insert("counters".to_owned(), counters_value(&self.counters));
         obj.insert(
             "histograms".to_owned(),
@@ -667,6 +738,36 @@ impl RunReport {
             }
         };
 
+        let run_id = match obj.get("run_id") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| serde_json::Error::custom("`run_id` must be a string"))?,
+            ),
+        };
+        let get_f64 = |obj: &BTreeMap<String, Value>, key: &str| {
+            obj.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| serde_json::Error::custom(format!("missing number `{key}`")))
+        };
+        let cost = match obj.get("cost") {
+            None => None,
+            Some(v) => {
+                let c = obj_of(v)?;
+                Some(CostEstimate {
+                    hosts_used: get_u64(&c, "hosts_used")? as usize,
+                    fleet_per_hour: get_f64(&c, "fleet_per_hour")?,
+                    cut_links: get_u64(&c, "cut_links")? as usize,
+                    sim_rate_hz: get_f64(&c, "sim_rate_hz")?,
+                    target_hz: get_f64(&c, "target_hz")?,
+                    slowdown: get_f64(&c, "slowdown")?,
+                    dollars_per_sim_hour: get_f64(&c, "dollars_per_sim_hour")?,
+                    bottleneck: get_str(&c, "bottleneck")?,
+                })
+            }
+        };
+
         Ok(RunReport {
             cycles: get_u64(obj, "cycles")?,
             wall_ns: get_u64(obj, "wall_ns")?,
@@ -681,6 +782,8 @@ impl RunReport {
             counters: counters_of(obj, "counters")?,
             histograms,
             timeline,
+            run_id,
+            cost,
         })
     }
 }
@@ -758,6 +861,68 @@ mod tests {
         let json = report.to_json();
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn run_id_and_cost_round_trip_json() {
+        let mut engine = looped_engine();
+        engine.run_for(Cycle::new(16)).unwrap();
+        let mut report = RunReport::collect(&engine, Duration::from_micros(500));
+        report.run_id = Some("spec#4w#1000c#shm".into());
+        report.cost = Some(CostEstimate {
+            hosts_used: 37,
+            fleet_per_hour: 438.40,
+            cut_links: 72,
+            sim_rate_hz: 31_007_751.937984496,
+            target_hz: 3.2e9,
+            slowdown: 103.2,
+            dollars_per_sim_hour: 45_242.88,
+            bottleneck: "compute on host 0 (f1.16xlarge)".into(),
+        });
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        // The new fields stay out of the determinism fingerprint:
+        // placement is exactly what equivalence tests vary.
+        let mut stripped = report.clone();
+        stripped.run_id = None;
+        stripped.cost = None;
+        assert_eq!(
+            report.deterministic_aggregates(),
+            stripped.deterministic_aggregates()
+        );
+    }
+
+    #[test]
+    fn merge_shards_rejects_mixed_runs() {
+        let mut engine = looped_engine();
+        engine.run_for(Cycle::new(16)).unwrap();
+        let mut a = RunReport::collect(&engine, Duration::from_micros(500));
+        a.run_id = Some("spec#2w#16c#shm".into());
+        let mut b = a.clone();
+
+        // Healthy merge: same run id, same cycles.
+        let merged = RunReport::merge_shards(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.run_id, a.run_id);
+        assert_eq!(merged.agents.len(), 2);
+
+        // A shard from a different run (by id) is refused...
+        b.run_id = Some("other#2w#16c#shm".into());
+        let err = RunReport::merge_shards(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(
+            matches!(err, SimError::Protocol { .. }),
+            "wanted a typed protocol error, got {err}"
+        );
+        assert!(err.to_string().contains("run id"), "{err}");
+
+        // ...as is a desynchronised shard (by cycle count)...
+        b.run_id = a.run_id.clone();
+        b.cycles = 32;
+        let err = RunReport::merge_shards(&[a.clone(), b]).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }), "{err}");
+        assert!(err.to_string().contains("cycle counts"), "{err}");
+
+        // ...and so is merging nothing at all.
+        assert!(RunReport::merge_shards(&[]).is_err());
     }
 
     #[test]

@@ -557,6 +557,19 @@ impl Simulation {
         self.engine.restore(cp)
     }
 
+    /// Restores this deployment's agents by *name* from a checkpoint that
+    /// may cover a superset of them — the repartitioning path: a merged
+    /// full-topology checkpoint (see
+    /// [`EngineCheckpoint::merge`](firesim_core::EngineCheckpoint::merge))
+    /// restores into a shard of **any** partitioning of the same topology.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::restore_by_name`](firesim_core::Engine::restore_by_name).
+    pub fn restore_by_name(&mut self, cp: &EngineCheckpoint<Flit>) -> SimResult<()> {
+        self.engine.restore_by_name(cp)
+    }
+
     /// Installs a fault plan; faults fire during subsequent runs.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
         self.engine.set_fault_plan(plan);

@@ -19,6 +19,40 @@ pub enum TransportKind {
     Tcp,
 }
 
+impl TransportKind {
+    /// Every transport class, in descending-throughput order.
+    pub const ALL: [TransportKind; 3] = [
+        TransportKind::SharedMemory,
+        TransportKind::Pcie,
+        TransportKind::Tcp,
+    ];
+
+    /// Stable lowercase name, as used in fleet specs and cost baselines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransportKind::Pcie => "pcie",
+            TransportKind::SharedMemory => "shm",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses the name produced by [`TransportKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "pcie" => Some(TransportKind::Pcie),
+            "shm" | "shared-memory" => Some(TransportKind::SharedMemory),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Latency/bandwidth parameters of one transport hop.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transport {
@@ -118,6 +152,19 @@ mod tests {
         let hz = pcie.sim_rate_bound_hz(6_400, 8);
         assert!((hz - 6_400.0 / (2.0 * 16.192e-6)).abs() < 1.0);
         assert!((hz / 1e6 - 197.628).abs() < 1e-2, "{hz}");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TransportKind::ALL {
+            assert_eq!(TransportKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+        assert_eq!(
+            TransportKind::parse("shared-memory"),
+            Some(TransportKind::SharedMemory)
+        );
+        assert_eq!(TransportKind::parse("carrier-pigeon"), None);
     }
 
     #[test]

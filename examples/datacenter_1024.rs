@@ -1,14 +1,30 @@
-//! The 1024-node datacenter simulation (paper §V-C, Fig 10).
+//! The 1024-node datacenter simulation (paper §V-C, Fig 10), now driven
+//! through the fleet controller.
 //!
 //! Builds the full tree — 32 nodes per ToR switch, 8 ToRs per
 //! aggregation switch, 4 aggregation switches, one root — with ~10 lines
-//! of topology code, prints the EC2 deployment plan and its cost, and
-//! runs a short memcached burst across the root switch with 512 servers
-//! and 512 load generators.
+//! of topology code, asks [`firesim_manager::FleetSpec`] to place it on
+//! the paper's EC2 fleet (32 f1.16xlarge + 5 m4.16xlarge), prints the
+//! placement and its modeled $/simulated-hour, and runs a memcached
+//! burst across the root switch.
 //!
 //! ```text
 //! cargo run --release --example datacenter_1024
+//! cargo run --release --example datacenter_1024 -- --placement-only
+//! cargo run --release --example datacenter_1024 -- --placement-only --spot
+//! cargo run --release --example datacenter_1024 -- \
+//!     --workers 4 --cycles 200000 --qps 200000
+//! cargo run --release --example datacenter_1024 -- \
+//!     --repartition --cycles 200000 --qps 200000
 //! ```
+//!
+//! `--workers N` folds the 37-host placement onto N worker *processes*
+//! (host h -> worker h*N/37, preserving co-location) and executes it
+//! with real token transports; the merged report carries the modeled
+//! cost. `--repartition` is the CI smoke for checkpointed
+//! repartitioning: a 4-way load-aware run checkpoints mid-way, the
+//! merged `FSCKPT01` checkpoint restores into a 2-way deployment, and
+//! both must land on the digests of an uninterrupted run.
 
 use std::sync::Arc;
 
@@ -17,38 +33,92 @@ use parking_lot::Mutex;
 use firesim_blade::model::OsConfig;
 use firesim_blade::services::{KvServer, KvServerConfig, Mutilate, MutilateConfig, MutilateStats};
 use firesim_core::stats::Histogram;
-use firesim_core::{Cycle, Frequency};
-use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_core::{Cycle, Frequency, SimError, SimResult};
+use firesim_manager::{
+    run_partitioned, BladeSpec, FleetSpec, LoadProfile, PartitionConfig, PlacementPlan, SimConfig,
+    Topology, TransportChoice,
+};
 use firesim_net::MacAddr;
 
-fn main() {
-    let clock = Frequency::GHZ_3_2;
-    let requests = 40; // short burst; raise for longer runs
+type StatsSink = Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>>;
 
-    // ~10 lines of topology code for 1024 nodes (Fig 10), half servers,
-    // half load generators, paired across the root switch.
-    let stats: Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>> = Arc::new(Mutex::new(Vec::new()));
+#[derive(Clone, Copy)]
+struct Dims {
+    aggs: usize,
+    tors_per_agg: usize,
+    nodes_per_tor: usize,
+    requests: usize,
+    qps: f64,
+}
+
+impl Dims {
+    fn spec(&self) -> String {
+        format!(
+            "dc={}x{}x{},requests={},qps={}",
+            self.aggs, self.tors_per_agg, self.nodes_per_tor, self.requests, self.qps
+        )
+    }
+
+    fn parse(spec: &str) -> SimResult<Dims> {
+        let bad = || SimError::topology(format!("bad datacenter spec {spec:?}"));
+        let mut dims = None;
+        let mut requests = 40usize;
+        let mut qps = 10_000.0f64;
+        for part in spec.split(',') {
+            let (key, value) = part.split_once('=').ok_or_else(bad)?;
+            match key {
+                "dc" => {
+                    let mut it = value.split('x').map(str::parse::<usize>);
+                    let mut next = || it.next().and_then(Result::ok).ok_or_else(bad);
+                    dims = Some((next()?, next()?, next()?));
+                }
+                "requests" => requests = value.parse().map_err(|_| bad())?,
+                "qps" => qps = value.parse().map_err(|_| bad())?,
+                _ => return Err(bad()),
+            }
+        }
+        let (aggs, tors_per_agg, nodes_per_tor) = dims.ok_or_else(bad)?;
+        if aggs * tors_per_agg % 2 != 0 {
+            return Err(SimError::topology(
+                "datacenter needs an even ToR count to pair servers with loadgens",
+            ));
+        }
+        Ok(Dims {
+            aggs,
+            tors_per_agg,
+            nodes_per_tor,
+            requests,
+            qps,
+        })
+    }
+}
+
+/// Builds the datacenter tree: servers (memcached) on the first half of
+/// the ToRs, load generators on the second half, paired across the root
+/// switch ("cross-datacenter" in Table III). `stats` collects each
+/// generator's latency histogram when the caller runs in-process; worker
+/// processes pass `None` and read results from the merged report.
+fn datacenter_topology(dims: Dims, stats: Option<&StatsSink>) -> Topology {
     let mut topo = Topology::new();
     let root = topo.add_switch("root");
     let mut tors = Vec::new();
-    for a in 0..4 {
+    for a in 0..dims.aggs {
         let agg = topo.add_switch(format!("agg{a}"));
         topo.add_downlink(root, agg).unwrap();
-        for t in 0..8 {
+        for t in 0..dims.tors_per_agg {
             let tor = topo.add_switch(format!("tor{a}_{t}"));
             topo.add_downlink(agg, tor).unwrap();
             tors.push(tor);
         }
     }
-    // Servers on ToRs 0..16, clients on ToRs 16..32: requests cross the
-    // root ("cross-datacenter" in Table III).
     let os = OsConfig {
         cores: 4,
         ..OsConfig::default()
     };
+    let half = tors.len() / 2;
     let mut count = 0u64;
-    for (ti, &tor) in tors.iter().enumerate().take(16) {
-        for _ in 0..32 {
+    for &tor in tors.iter().take(half) {
+        for _ in 0..dims.nodes_per_tor {
             let node = topo.add_server(
                 format!("kv{count}"),
                 BladeSpec::model(os, 4, true, move |mac, _| {
@@ -58,39 +128,274 @@ fn main() {
             topo.add_downlink(tor, node).unwrap();
             count += 1;
         }
-        let _ = ti;
     }
-    let servers = count;
-    for (ci, &tor) in tors.iter().enumerate().skip(16) {
-        for j in 0..32 {
-            let pair = ((ci - 16) * 32 + j) as u64;
-            let sink = Arc::clone(&stats);
+    for (ci, &tor) in tors.iter().enumerate().skip(half) {
+        for j in 0..dims.nodes_per_tor {
+            let pair = ((ci - half) * dims.nodes_per_tor + j) as u64;
             let cfg = MutilateConfig {
                 server: MacAddr::from_node_index(pair),
-                qps: 10_000.0,
-                requests,
+                qps: dims.qps,
+                requests: dims.requests as u64,
                 seed: 7_000 + pair,
                 max_outstanding: 4,
                 ..MutilateConfig::default()
             };
+            let sink = stats.map(Arc::clone);
             let node = topo.add_server(
                 format!("gen{pair}"),
                 BladeSpec::model(os, 1, true, move |mac, _| {
                     let m = Mutilate::new(mac, cfg);
-                    sink.lock().push(m.stats());
+                    if let Some(sink) = &sink {
+                        sink.lock().push(m.stats());
+                    }
                     Box::new(m)
                 }),
             );
             topo.add_downlink(tor, node).unwrap();
         }
     }
+    topo
+}
+
+/// `BuildFn` for partitioned runs: no host-side stats sink, no supernode
+/// packing (incompatible with multi-process sharding), a few compute
+/// threads per worker.
+fn build_datacenter(spec: &str) -> SimResult<(Topology, SimConfig)> {
+    let dims = Dims::parse(spec)?;
+    let topo = datacenter_topology(dims, None);
+    let config = SimConfig {
+        host_threads: 4,
+        ..SimConfig::default()
+    };
+    Ok((topo, config))
+}
+
+/// Places the datacenter on the paper's EC2 fleet and prints the plan.
+fn place(dims: Dims, spot: bool) -> PlacementPlan {
+    let fleet = if spot {
+        FleetSpec::ec2_spot()
+    } else {
+        FleetSpec::ec2_default()
+    };
+    let topo = datacenter_topology(dims, None);
+    let placement = fleet
+        .place(&topo, &LoadProfile::uniform(), Cycle::new(6_400))
+        .unwrap_or_else(|e| die(&format!("placement failed: {e}")));
+    print!("{}", placement.describe());
+    placement
+}
+
+struct Options {
+    dims: Dims,
+    placement_only: bool,
+    spot: bool,
+    workers: Option<usize>,
+    transport: TransportChoice,
+    cycles: u64,
+    repartition: bool,
+}
+
+const USAGE: &str = "\
+usage: datacenter_1024 [OPTIONS]
+
+  --placement-only         print the EC2 placement and cost model, then exit
+  --spot                   price the fleet at spot instead of on-demand
+  --workers N              execute the placement folded onto N worker
+                           processes (N <= modeled host count)
+  --transport shm|tcp|unix token transport between workers (default shm)
+  --cycles N               target cycles for partitioned runs (default 200000)
+  --repartition            smoke: 4-way run checkpoints mid-way, restores
+                           into 2 workers, digests must match a straight run
+  --aggs N                 aggregation switches (default 4)
+  --tors N                 ToR switches per aggregation switch (default 8)
+  --nodes N                nodes per ToR (default 32)
+  --requests N             memcached requests per load generator (default 40)
+  --qps Q                  offered load per generator (default 10000)
+  --help                   print this help";
+
+fn die(msg: &str) -> ! {
+    eprintln!("datacenter_1024: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        dims: Dims {
+            aggs: 4,
+            tors_per_agg: 8,
+            nodes_per_tor: 32,
+            requests: 40,
+            qps: 10_000.0,
+        },
+        placement_only: false,
+        spot: false,
+        workers: None,
+        transport: TransportChoice::Shm,
+        cycles: 200_000,
+        repartition: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let num = |v: Option<String>, what: &str| -> u64 {
+        let v = v.unwrap_or_default();
+        v.parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| die(&format!("{what} needs a positive number, got {v:?}")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--placement-only" => opts.placement_only = true,
+            "--spot" => opts.spot = true,
+            "--repartition" => opts.repartition = true,
+            "--workers" => opts.workers = Some(num(args.next(), "--workers") as usize),
+            "--cycles" => opts.cycles = num(args.next(), "--cycles"),
+            "--aggs" => opts.dims.aggs = num(args.next(), "--aggs") as usize,
+            "--tors" => opts.dims.tors_per_agg = num(args.next(), "--tors") as usize,
+            "--nodes" => opts.dims.nodes_per_tor = num(args.next(), "--nodes") as usize,
+            "--requests" => opts.dims.requests = num(args.next(), "--requests") as usize,
+            "--qps" => opts.dims.qps = num(args.next(), "--qps") as f64,
+            "--transport" => {
+                let v = args.next().unwrap_or_default();
+                opts.transport = TransportChoice::parse(&v)
+                    .unwrap_or_else(|_| die(&format!("--transport must be shm|tcp|unix, got {v:?}")));
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    opts
+}
+
+/// Executes the placement folded onto `workers` processes and prints the
+/// merged report (with the modeled $/sim-hour) and digests.
+fn run_placed(opts: &Options, placement: &PlacementPlan) -> ! {
+    let workers = opts.workers.unwrap_or(4);
+    let mut cfg = PartitionConfig::new(workers, Cycle::new(opts.cycles), opts.dims.spec());
+    cfg.transport = opts.transport;
+    cfg.plan = Some(
+        placement
+            .partition_for(workers)
+            .unwrap_or_else(|e| die(&e.to_string())),
+    );
+    cfg.cost = Some(placement.cost().clone());
+    println!(
+        "\nexecuting the placement folded onto {workers} worker process(es) over {}",
+        cfg.transport.as_str()
+    );
+    match run_partitioned(build_datacenter, &cfg) {
+        Ok(run) => {
+            println!(
+                "simulated {} target cycles in {:?} across {} process(es), {} agents digested",
+                run.cycles.as_u64(),
+                run.wall,
+                run.workers,
+                run.digests.len()
+            );
+            println!("combined digest: {:016x}", run.combined_digest);
+            print!("{}", run.report.human_summary());
+            std::process::exit(0);
+        }
+        Err(report) => {
+            eprintln!("{report}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The checkpointed-repartition smoke: straight run vs (4-way, checkpoint
+/// mid-way) vs (restore into 2-way), all digest-identical.
+fn run_repartition_smoke(opts: &Options, placement: &PlacementPlan) -> ! {
+    let spec = opts.dims.spec();
+    let ckpt = std::env::temp_dir().join(format!("firesim-dc-repart-{}.fsckpt", std::process::id()));
+    let mid = opts.cycles / 2;
+
+    println!("\nrepartition smoke: straight run, {} cycles", opts.cycles);
+    let straight = run_partitioned(
+        build_datacenter,
+        &PartitionConfig::new(1, Cycle::new(opts.cycles), spec.clone()),
+    )
+    .unwrap_or_else(|report| {
+        eprintln!("{report}");
+        std::process::exit(1);
+    });
+
+    println!("repartition smoke: 4-way load-aware run, checkpoint at {mid}");
+    let mut cfg = PartitionConfig::new(4, Cycle::new(opts.cycles), spec.clone());
+    cfg.transport = opts.transport;
+    cfg.plan = Some(
+        placement
+            .partition_for(4)
+            .unwrap_or_else(|e| die(&e.to_string())),
+    );
+    cfg.checkpoint_at = Some(Cycle::new(mid));
+    cfg.checkpoint_out = Some(ckpt.clone());
+    let checkpointed = run_partitioned(build_datacenter, &cfg).unwrap_or_else(|report| {
+        eprintln!("{report}");
+        std::process::exit(1);
+    });
+
+    println!("repartition smoke: restoring the merged checkpoint into 2 workers");
+    let mut cfg = PartitionConfig::new(2, Cycle::new(opts.cycles), spec);
+    cfg.transport = opts.transport;
+    cfg.plan = Some(
+        placement
+            .partition_for(2)
+            .unwrap_or_else(|e| die(&e.to_string())),
+    );
+    cfg.restore_from = Some(ckpt.clone());
+    let resumed = run_partitioned(build_datacenter, &cfg).unwrap_or_else(|report| {
+        eprintln!("{report}");
+        std::process::exit(1);
+    });
+    let _ = std::fs::remove_file(ckpt);
+
+    for (tag, run) in [("checkpointed 4-way", &checkpointed), ("resumed 2-way", &resumed)] {
+        if straight.digests != run.digests {
+            eprintln!("FAIL: {tag} digests diverge from the straight run");
+            std::process::exit(1);
+        }
+        println!("{tag}: combined digest {:016x} matches straight run", run.combined_digest);
+    }
+    println!("repartition smoke passed");
+    std::process::exit(0);
+}
+
+fn main() {
+    // Worker processes re-exec this binary; hand them their shard first.
+    if firesim_manager::maybe_worker(build_datacenter) {
+        return;
+    }
+    let opts = parse_args();
+    let clock = Frequency::GHZ_3_2;
+    let dims = opts.dims;
+
     println!(
         "topology: {} servers + {} loadgens, {} switches",
-        servers,
-        topo.server_count() as u64 - servers,
-        topo.switch_count()
+        dims.aggs * dims.tors_per_agg * dims.nodes_per_tor / 2,
+        dims.aggs * dims.tors_per_agg * dims.nodes_per_tor / 2,
+        1 + dims.aggs + dims.aggs * dims.tors_per_agg,
     );
+    // "Place it like the paper": the fleet controller maps the tree onto
+    // EC2 and models what a simulated hour costs.
+    let placement = place(dims, opts.spot);
+    if opts.placement_only {
+        return;
+    }
+    if opts.repartition {
+        run_repartition_smoke(&opts, &placement);
+    }
+    if opts.workers.is_some() {
+        run_placed(&opts, &placement);
+    }
 
+    // Monolithic in-process run with supernode packing and host-side
+    // latency collection — the original §V-C measurement.
+    let stats: StatsSink = Arc::new(Mutex::new(Vec::new()));
+    let topo = datacenter_topology(dims, Some(&stats));
     let threads = std::thread::available_parallelism()
         .map(|n| n.get().saturating_sub(2).max(1))
         .unwrap_or(4);
