@@ -1,0 +1,268 @@
+//! `simd` — the simulation telemetry relay daemon.
+//!
+//! The FireSim manager's daemon analogue for the live NDJSON run feed
+//! (DESIGN §17): producers (`--stream-out tcp:...`/`unix:...` on any
+//! example or `run_partitioned` parent) connect to the ingest endpoint
+//! and write records; viewers (`firesim-top`, `curl`, anything that
+//! speaks NDJSON) connect to the serve endpoint and receive a replay of
+//! the last `--tail` records followed by the live feed. The daemon
+//! validates every line against the versioned wire format and keeps
+//! per-type counts, so it doubles as a stream linter.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use firesim_manager::StreamRecord;
+
+const USAGE: &str = "\
+simd — telemetry relay daemon for the FireSim NDJSON run feed
+
+USAGE:
+    simd [OPTIONS]
+
+OPTIONS:
+    --listen SPEC   Ingest endpoint producers connect to
+                    (tcp:HOST:PORT or unix:PATH) [default: tcp:127.0.0.1:9615]
+    --serve SPEC    Fan-out endpoint viewers connect to
+                    (tcp:HOST:PORT or unix:PATH) [default: off]
+    --tail N        Records replayed to a newly connected viewer [default: 1024]
+    --log FILE      Append every valid record to FILE
+    --once          Exit after the first producer disconnects (CI mode)
+    --quiet         No per-connection chatter on stderr
+    -h, --help      Print this help
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// A socket endpoint: the subset of stream sink specs a daemon can bind.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Tcp(String),
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    fn parse(spec: &str) -> Endpoint {
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            Endpoint::Tcp(addr.to_owned())
+        } else if let Some(path) = spec.strip_prefix("unix:") {
+            Endpoint::Unix(PathBuf::from(path))
+        } else {
+            die(&format!(
+                "endpoint `{spec}` must be tcp:HOST:PORT or unix:PATH"
+            ));
+        }
+    }
+}
+
+#[derive(Default)]
+struct Hub {
+    ring: VecDeque<String>,
+    tail: usize,
+    viewers: Vec<Box<dyn Write + Send>>,
+    counts: BTreeMap<String, u64>,
+    invalid: u64,
+    log: Option<std::fs::File>,
+}
+
+impl Hub {
+    /// Validates, logs, buffers, and fans out one NDJSON line.
+    fn publish(&mut self, line: &str) {
+        match StreamRecord::parse(line) {
+            Ok(rec) => {
+                *self.counts.entry(rec.record_type().to_owned()).or_insert(0) += 1;
+            }
+            Err(e) => {
+                self.invalid += 1;
+                eprintln!("simd: dropping invalid record: {e}");
+                return;
+            }
+        }
+        if let Some(log) = &mut self.log {
+            let _ = writeln!(log, "{line}");
+        }
+        if self.ring.len() == self.tail {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(line.to_owned());
+        self.viewers
+            .retain_mut(|v| writeln!(v, "{line}").and_then(|()| v.flush()).is_ok());
+    }
+
+    fn attach_viewer(&mut self, mut v: Box<dyn Write + Send>) {
+        for line in &self.ring {
+            if writeln!(v, "{line}").is_err() {
+                return;
+            }
+        }
+        if v.flush().is_ok() {
+            self.viewers.push(v);
+        }
+    }
+
+    fn summary(&self) -> String {
+        let total: u64 = self.counts.values().sum();
+        let by_type: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(t, n)| format!("{t}={n}"))
+            .collect();
+        format!(
+            "{total} records ({}), {} invalid",
+            by_type.join(" "),
+            self.invalid
+        )
+    }
+}
+
+/// Reads NDJSON lines from one producer connection into the hub.
+fn drain_producer(stream: Box<dyn Read>, hub: &Arc<Mutex<Hub>>) {
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        match line {
+            Ok(line) if line.trim().is_empty() => {}
+            Ok(line) => hub.lock().unwrap().publish(&line),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Accepts viewer connections forever, attaching each to the hub.
+fn serve_viewers(endpoint: Endpoint, hub: Arc<Mutex<Hub>>, quiet: bool) {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| die(&format!("binding tcp:{addr}: {e}")));
+            if !quiet {
+                eprintln!("simd: serving viewers on tcp:{addr}");
+            }
+            for conn in listener.incoming().flatten() {
+                let _ = conn.set_nodelay(true);
+                if !quiet {
+                    eprintln!("simd: viewer connected");
+                }
+                hub.lock().unwrap().attach_viewer(Box::new(conn));
+            }
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .unwrap_or_else(|e| die(&format!("binding unix:{}: {e}", path.display())));
+            if !quiet {
+                eprintln!("simd: serving viewers on unix:{}", path.display());
+            }
+            for conn in listener.incoming().flatten() {
+                if !quiet {
+                    eprintln!("simd: viewer connected");
+                }
+                hub.lock().unwrap().attach_viewer(Box::new(conn));
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut listen = "tcp:127.0.0.1:9615".to_owned();
+    let mut serve: Option<String> = None;
+    let mut tail = 1024usize;
+    let mut log: Option<PathBuf> = None;
+    let mut once = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| die("--listen needs a SPEC")),
+            "--serve" => serve = Some(args.next().unwrap_or_else(|| die("--serve needs a SPEC"))),
+            "--tail" => {
+                tail = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--tail needs a number"))
+            }
+            "--log" => {
+                log = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--log needs a FILE")),
+                ))
+            }
+            "--once" => once = true,
+            "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let hub = Arc::new(Mutex::new(Hub {
+        tail: tail.max(1),
+        log: log.map(|path| {
+            std::fs::File::create(&path)
+                .unwrap_or_else(|e| die(&format!("creating {}: {e}", path.display())))
+        }),
+        ..Hub::default()
+    }));
+
+    if let Some(spec) = serve {
+        let endpoint = Endpoint::parse(&spec);
+        let hub = Arc::clone(&hub);
+        std::thread::spawn(move || serve_viewers(endpoint, hub, quiet));
+    }
+
+    // Ingest loop: producers are handled one at a time in the main
+    // thread (a run has one feed; concurrent producers queue at accept).
+    match Endpoint::parse(&listen) {
+        Endpoint::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .unwrap_or_else(|e| die(&format!("binding tcp:{addr}: {e}")));
+            if !quiet {
+                eprintln!("simd: listening for producers on tcp:{addr}");
+            }
+            for conn in listener.incoming().flatten() {
+                if !quiet {
+                    eprintln!("simd: producer connected");
+                }
+                drain_producer(Box::new(conn), &hub);
+                if !quiet {
+                    eprintln!(
+                        "simd: producer disconnected — {}",
+                        hub.lock().unwrap().summary()
+                    );
+                }
+                if once {
+                    break;
+                }
+            }
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .unwrap_or_else(|e| die(&format!("binding unix:{}: {e}", path.display())));
+            if !quiet {
+                eprintln!("simd: listening for producers on unix:{}", path.display());
+            }
+            for conn in listener.incoming().flatten() {
+                if !quiet {
+                    eprintln!("simd: producer connected");
+                }
+                drain_producer(Box::new(conn), &hub);
+                if !quiet {
+                    eprintln!(
+                        "simd: producer disconnected — {}",
+                        hub.lock().unwrap().summary()
+                    );
+                }
+                if once {
+                    break;
+                }
+            }
+        }
+    }
+    println!("{}", hub.lock().unwrap().summary());
+}

@@ -56,7 +56,8 @@ use crate::channel::{link, LinkReceiver, LinkSender};
 use crate::error::{SimError, SimResult};
 use crate::fault::{AgentFaults, FaultPlan, FaultRecord, HostFaultAction, RecoveryTimeline};
 use crate::metrics::{
-    AgentProfile, CounterId, HistogramId, MetricsRegistry, MetricsShard, SpanBuffer, SpanTracer,
+    AgentProfile, CounterId, HistogramId, IntervalProbe, IntervalSnapshot, MetricsRegistry,
+    MetricsShard, SpanBuffer, SpanTracer,
 };
 use crate::snapshot::{Checkpoint, Snapshot, SnapshotReader, SnapshotWriter};
 use crate::sync::{BarrierCancelled, EpochBarrier};
@@ -727,6 +728,32 @@ impl<T: Send + 'static> Engine<T> {
                 (s.agent.name().to_owned(), counters)
             })
             .collect()
+    }
+
+    /// Samples the per-interval telemetry delta at the current quiescent
+    /// boundary (the live-streaming hook, DESIGN §17).
+    ///
+    /// Diffs the cumulative [`AgentProfile`]s and `retired` app counters
+    /// against the probe's previous call; the first call on a fresh probe
+    /// primes the baseline and returns an all-zero snapshot. Only
+    /// meaningful between runs — mid-run the profiles are owned by the
+    /// workers. All zeros until [`Engine::enable_metrics`] is called.
+    pub fn sample_interval(&self, probe: &mut IntervalProbe) -> IntervalSnapshot {
+        let profiles = self.agent_profiles();
+        let retired: Vec<u64> = self
+            .agents
+            .iter()
+            .map(|s| {
+                let mut counters = Vec::new();
+                s.agent.app_counters(&mut counters);
+                counters
+                    .iter()
+                    .find(|(name, _)| name == "retired")
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0)
+            })
+            .collect();
+        probe.sample(self.now.as_u64(), &profiles, &retired)
     }
 
     /// The current occupancy of every connected input link, in registration
@@ -1920,6 +1947,7 @@ impl<T> EngineCheckpoint<T> {
                 )));
             }
         }
+        #[allow(clippy::type_complexity)]
         let mut agents: Vec<(String, Vec<u8>, Vec<Vec<TokenWindow<T>>>)> = Vec::new();
         for p in parts {
             let mut state = p.agent_state.into_iter();

@@ -99,8 +99,8 @@ pub use engine::{
 pub use error::{SimError, SimResult};
 pub use fault::{FaultKind, FaultPlan, FaultRecord, FaultTarget, RecoveryTimeline, TimelinePoint};
 pub use metrics::{
-    AgentProfile, MetricsRegistry, MetricsShard, MetricsSnapshot, SpanBuffer, SpanTracer,
-    TraceEvent,
+    AgentIntervalSample, AgentProfile, IntervalProbe, IntervalSnapshot, MetricsRegistry,
+    MetricsShard, MetricsSnapshot, SpanBuffer, SpanTracer, TraceEvent,
 };
 pub use rng::SimRng;
 pub use scenario::{

@@ -482,6 +482,124 @@ fn push_escaped(out: &mut String, s: &str) {
     }
 }
 
+/// One agent's activity during a sampling interval, as a delta between
+/// two quiescent points (see [`IntervalProbe`]).
+///
+/// Every field except `host_ns` is target-deterministic: identical for
+/// the same topology, horizon, and interval schedule regardless of host
+/// thread count. `host_ns` is host wall time and is normalized out of
+/// golden-stream comparisons (DESIGN §17).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentIntervalSample {
+    /// Agent name, in engine registration order.
+    pub name: String,
+    /// Target cycles this agent was stepped through during the interval.
+    pub d_cycles: u64,
+    /// Valid tokens consumed during the interval.
+    pub d_tokens_in: u64,
+    /// Valid tokens produced during the interval.
+    pub d_tokens_out: u64,
+    /// Instructions retired during the interval, read from the agent's
+    /// `retired` app counter; 0 for agents that don't publish one
+    /// (switches, NIC-only endpoints).
+    pub d_retired: u64,
+    /// Host nanoseconds spent inside the agent's `advance` during the
+    /// interval. Host-dependent: excluded from determinism comparisons.
+    pub host_ns: u64,
+}
+
+/// A deterministic delta of the whole engine between two quiescent
+/// points, produced by [`IntervalProbe::sample`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// Target cycle at the end of the interval.
+    pub cycle: u64,
+    /// Target cycles elapsed since the previous sample (or since the
+    /// probe was primed).
+    pub d_cycles: u64,
+    /// Per-agent deltas, in engine registration order.
+    pub agents: Vec<AgentIntervalSample>,
+}
+
+/// Snapshot-diff probe turning the engine's cumulative per-agent
+/// [`AgentProfile`]s (and `retired` app counters) into per-interval
+/// deltas.
+///
+/// The probe never touches the hot path: it reads the profile
+/// aggregation that already exists at chunk barriers, so holding one
+/// costs nothing while the simulation runs. Call
+/// [`Engine::sample_interval`](crate::engine::Engine::sample_interval)
+/// between `run_for` legs; the first call primes the baseline (useful
+/// after a checkpoint restore) and subsequent calls return deltas.
+#[derive(Debug, Default)]
+pub struct IntervalProbe {
+    primed: bool,
+    prev_cycle: u64,
+    prev_profiles: Vec<AgentProfile>,
+    prev_retired: Vec<u64>,
+}
+
+impl IntervalProbe {
+    /// A fresh, unprimed probe. The first [`sample`](Self::sample)
+    /// establishes the baseline and returns an all-zero snapshot.
+    pub fn new() -> Self {
+        IntervalProbe::default()
+    }
+
+    /// Diffs the cumulative per-agent state against the previous call,
+    /// returning the interval delta and advancing the baseline.
+    ///
+    /// `profiles` and `retired` must be in a stable order (the engine's
+    /// registration order) and the same length on every call.
+    pub fn sample(
+        &mut self,
+        cycle: u64,
+        profiles: &[(String, AgentProfile)],
+        retired: &[u64],
+    ) -> IntervalSnapshot {
+        debug_assert_eq!(profiles.len(), retired.len());
+        let primed = std::mem::replace(&mut self.primed, true);
+        let agents = profiles
+            .iter()
+            .zip(retired)
+            .enumerate()
+            .map(|(i, ((name, p), &r))| {
+                let (prev_p, prev_r) = if primed {
+                    (
+                        self.prev_profiles.get(i).copied().unwrap_or_default(),
+                        self.prev_retired.get(i).copied().unwrap_or_default(),
+                    )
+                } else {
+                    // Unprimed: the baseline is the current state, so the
+                    // first snapshot is all zeros.
+                    (*p, r)
+                };
+                AgentIntervalSample {
+                    name: name.clone(),
+                    d_cycles: p.target_cycles.saturating_sub(prev_p.target_cycles),
+                    d_tokens_in: p.tokens_in.saturating_sub(prev_p.tokens_in),
+                    d_tokens_out: p.tokens_out.saturating_sub(prev_p.tokens_out),
+                    d_retired: r.saturating_sub(prev_r),
+                    host_ns: p.host_ns.saturating_sub(prev_p.host_ns),
+                }
+            })
+            .collect();
+        let d_cycles = if primed {
+            cycle.saturating_sub(self.prev_cycle)
+        } else {
+            0
+        };
+        self.prev_cycle = cycle;
+        self.prev_profiles = profiles.iter().map(|(_, p)| *p).collect();
+        self.prev_retired = retired.to_vec();
+        IntervalSnapshot {
+            cycle,
+            d_cycles,
+            agents,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +719,49 @@ mod tests {
         let p = AgentProfile::default();
         assert_eq!(p.rounds, 0);
         assert_eq!(p.tokens_in + p.tokens_out + p.host_ns, 0);
+    }
+
+    #[test]
+    fn interval_probe_diffs_cumulative_profiles() {
+        let mut probe = IntervalProbe::new();
+        let mut p = AgentProfile {
+            target_cycles: 1000,
+            tokens_in: 10,
+            tokens_out: 20,
+            host_ns: 5_000,
+            ..AgentProfile::default()
+        };
+        // Priming call: baseline established, all-zero snapshot.
+        let s0 = probe.sample(1000, &[("a".into(), p)], &[400]);
+        assert_eq!(s0.cycle, 1000);
+        assert_eq!(s0.d_cycles, 0);
+        assert_eq!(s0.agents.len(), 1);
+        assert_eq!(s0.agents[0].d_cycles, 0);
+        assert_eq!(s0.agents[0].d_retired, 0);
+
+        p.target_cycles += 500;
+        p.tokens_in += 3;
+        p.tokens_out += 7;
+        p.host_ns += 2_000;
+        let s1 = probe.sample(1500, &[("a".into(), p)], &[460]);
+        assert_eq!(s1.cycle, 1500);
+        assert_eq!(s1.d_cycles, 500);
+        let a = &s1.agents[0];
+        assert_eq!(
+            (a.d_cycles, a.d_tokens_in, a.d_tokens_out, a.d_retired),
+            (500, 3, 7, 60)
+        );
+        assert_eq!(a.host_ns, 2_000);
+
+        // No progress -> all-zero delta.
+        let s2 = probe.sample(1500, &[("a".into(), p)], &[460]);
+        assert_eq!(s2.d_cycles, 0);
+        assert_eq!(
+            s2.agents[0],
+            AgentIntervalSample {
+                name: "a".into(),
+                ..AgentIntervalSample::default()
+            }
+        );
     }
 }

@@ -62,7 +62,7 @@ impl SimAgent for Node {
         }
         for off in 0..ctx.window() {
             let cycle = base + u64::from(off);
-            if cycle % self.period == 0 {
+            if cycle.is_multiple_of(self.period) {
                 ctx.push_output(0, off, self.acc ^ cycle);
                 self.sent += 1;
             }
@@ -105,11 +105,9 @@ fn pump(
 /// Builds one engine per group of `groups` (a partition of `0..N`),
 /// wiring each ring edge `i -> (i+1) % N` directly when both endpoints
 /// share a group and through a boundary pump otherwise.
-fn build_groups(
-    groups: &[Vec<usize>],
-) -> (Vec<Engine<u64>>, Vec<JoinHandle<()>>, Arc<AtomicBool>) {
+fn build_groups(groups: &[Vec<usize>]) -> (Vec<Engine<u64>>, Vec<JoinHandle<()>>, Arc<AtomicBool>) {
     let mut engines: Vec<Engine<u64>> = groups.iter().map(|_| Engine::new(WINDOW)).collect();
-    let mut place = vec![(0usize, None); N];
+    let mut place = [(0usize, None); N];
     for (g, members) in groups.iter().enumerate() {
         for &i in members {
             let id = engines[g].add_agent(node(i));
@@ -123,7 +121,9 @@ fn build_groups(
         let (gi, ai) = (place[i].0, place[i].1.unwrap());
         let (gj, aj) = (place[j].0, place[j].1.unwrap());
         if gi == gj {
-            engines[gi].connect(ai, 0, aj, 0, Cycle::new(LATENCY)).unwrap();
+            engines[gi]
+                .connect(ai, 0, aj, 0, Cycle::new(LATENCY))
+                .unwrap();
         } else {
             let out = engines[gi]
                 .connect_external_output(ai, 0, Cycle::new(LATENCY))

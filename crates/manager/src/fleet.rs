@@ -305,7 +305,11 @@ impl PlacementPlan {
             c.slowdown,
             c.target_hz / 1e9
         );
-        let _ = writeln!(out, "cost: ${:.2} per simulated hour", c.dollars_per_sim_hour);
+        let _ = writeln!(
+            out,
+            "cost: ${:.2} per simulated hour",
+            c.dollars_per_sim_hour
+        );
         out
     }
 }
@@ -441,7 +445,10 @@ impl FleetSpec {
                 .min_by(|(ia, a), (ib, b)| {
                     (a.load + unit.weight)
                         .total_cmp(&(b.load + unit.weight))
-                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(
+                            a.activation(&self.classes)
+                                .total_cmp(&b.activation(&self.classes)),
+                        )
                         .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i);
@@ -466,14 +473,15 @@ impl FleetSpec {
                 .min_by(|(ia, a), (ib, b)| {
                     a.load
                         .total_cmp(&b.load)
-                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(
+                            a.activation(&self.classes)
+                                .total_cmp(&b.activation(&self.classes)),
+                        )
                         .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i)
                 .ok_or_else(|| {
-                    SimError::topology(format!(
-                        "fleet has no free switch slot for {sw_name:?}"
-                    ))
+                    SimError::topology(format!("fleet has no free switch slot for {sw_name:?}"))
                 })?;
             switch_host[unit.switch] = Some(sw_host);
             hosts[sw_host].switches_left -= 1;
@@ -546,7 +554,10 @@ impl FleetSpec {
                     affinity(*ib)
                         .cmp(&affinity(*ia))
                         .then((a.load + w).total_cmp(&(b.load + w)))
-                        .then(a.activation(&self.classes).total_cmp(&b.activation(&self.classes)))
+                        .then(
+                            a.activation(&self.classes)
+                                .total_cmp(&b.activation(&self.classes)),
+                        )
                         .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i)
@@ -672,7 +683,11 @@ impl FleetSpec {
                         assignments[hb].cross_transport,
                     );
                     let (ra, rb) = (kind_rate(ka), kind_rate(kb));
-                    if ra <= rb { (ra, ka) } else { (rb, kb) }
+                    if ra <= rb {
+                        (ra, ka)
+                    } else {
+                        (rb, kb)
+                    }
                 };
                 if rate < sim_rate_hz {
                     sim_rate_hz = rate;
@@ -776,14 +791,22 @@ mod tests {
         let c = plan.cost();
         assert_eq!(c.hosts_used, 37);
         // 32 × $13.20 + 5 × $3.20.
-        assert!((c.fleet_per_hour - 438.40).abs() < 1e-9, "{}", c.fleet_per_hour);
+        assert!(
+            (c.fleet_per_hour - 438.40).abs() < 1e-9,
+            "{}",
+            c.fleet_per_hour
+        );
         // Cut tree edges: 32 ToR uplinks + 4 agg uplinks, two directed
         // links each.
         assert_eq!(c.cut_links, 72);
         // Bottleneck is f1 host compute: 32 servers × 1000 + ToR 250
         // ns/kilocycle → 1e12 / 32250 Hz ≈ 31.01 MHz, slower than the
         // 45.4 MHz TCP bound at 6400-token batches.
-        assert!((c.sim_rate_hz - 1e12 / 32_250.0).abs() < 1.0, "{}", c.sim_rate_hz);
+        assert!(
+            (c.sim_rate_hz - 1e12 / 32_250.0).abs() < 1.0,
+            "{}",
+            c.sim_rate_hz
+        );
         assert!(c.bottleneck.starts_with("compute"), "{}", c.bottleneck);
         let slowdown = 3.2e9 / (1e12 / 32_250.0);
         assert!((c.slowdown - slowdown).abs() < 1e-6);
@@ -865,7 +888,9 @@ mod tests {
             .position(|h| h.switches.iter().any(|s| s == "root"))
             .unwrap();
         assert!(
-            plan.hosts()[root_host].servers.contains(&"node0_0_0".to_string()),
+            plan.hosts()[root_host]
+                .servers
+                .contains(&"node0_0_0".to_string()),
             "root should co-locate with the cooler rack"
         );
     }

@@ -25,7 +25,7 @@
 //! assert_eq!(sim.servers().len(), 8);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod fleet;
@@ -33,6 +33,7 @@ pub mod partition;
 pub mod report;
 pub mod results;
 pub mod simulation;
+pub mod stream;
 pub mod supervisor;
 pub mod topology;
 
@@ -44,5 +45,9 @@ pub use partition::{
 pub use report::{AgentReport, HistogramSummary, LinkReport, RunReport};
 pub use results::{ExperimentRecord, ResultStore};
 pub use simulation::{ShardBoundaries, SimConfig, Simulation};
+pub use stream::{
+    run_streamed, StreamMeta, StreamOut, StreamRecord, StreamSession, StreamSummary, StreamWriter,
+    WIRE_VERSION,
+};
 pub use supervisor::{FailureReport, SupervisedRun, SupervisorConfig};
 pub use topology::{BladeSpec, NodeRef, ServerId, SwitchId, Topology, TopologyError};

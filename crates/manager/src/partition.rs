@@ -54,6 +54,7 @@ use firesim_platform::{ShmTransport, SocketListener, SocketTransport, TokenTrans
 
 use crate::report::RunReport;
 use crate::simulation::{ShardBoundaries, SimConfig, Simulation};
+use crate::stream::{EventRecord, RunEndRecord, RunStartRecord, StreamRecord, StreamWriter};
 use crate::supervisor::FailureReport;
 use crate::topology::{NodeRef, Topology};
 
@@ -379,6 +380,19 @@ pub struct PartitionConfig {
     /// Modeled fleet cost attached to the merged report
     /// ([`RunReport::cost`]).
     pub cost: Option<crate::fleet::CostEstimate>,
+    /// Live telemetry sink spec (see
+    /// [`StreamOut::parse`](crate::stream::StreamOut::parse)); `None`
+    /// disables streaming entirely — nothing is sampled and no sink is
+    /// held. Single-worker runs stream full per-interval records;
+    /// multi-worker fleets stream merge-point records (worker
+    /// lifecycle, checkpoint merge, final summary) from the parent.
+    /// Streaming never feeds back into the simulation, so digests are
+    /// identical with it on or off (`tests/telemetry.rs`).
+    pub stream: Option<String>,
+    /// Sampling interval in target cycles for streamed single-worker
+    /// runs; `None` uses
+    /// [`DEFAULT_STREAM_INTERVAL`](crate::stream::DEFAULT_STREAM_INTERVAL).
+    pub stream_interval: Option<u64>,
 }
 
 impl PartitionConfig {
@@ -399,6 +413,8 @@ impl PartitionConfig {
             checkpoint_out: None,
             restore_from: None,
             cost: None,
+            stream: None,
+            stream_interval: None,
         }
     }
 
@@ -530,9 +546,10 @@ fn worker_main(build: BuildFn, shard: usize, dir: &Path) -> SimResult<()> {
         sim.restore_by_name(&cp)?;
     }
     let checkpoint_at = match std::env::var(ENV_CKPT_AT) {
-        Ok(v) => Some(Cycle::new(v.parse().map_err(|_| {
-            SimError::topology("bad checkpoint cycle")
-        })?)),
+        Ok(v) => Some(Cycle::new(
+            v.parse()
+                .map_err(|_| SimError::topology("bad checkpoint cycle"))?,
+        )),
         Err(_) => None,
     };
 
@@ -903,32 +920,80 @@ fn run_single(
         let cp = EngineCheckpoint::load_from(path)?;
         sim.restore_by_name(&cp)?;
     }
+    // A streamed run advances in interval-sized `run_for` legs instead
+    // of one long one — the leg-splitting the checkpoint/repartition
+    // paths already prove is digest-identical. The probe primes at the
+    // current cycle, so restored runs stream deltas from the restore
+    // point.
+    let mut stream = match &cfg.stream {
+        Some(spec) => {
+            sim.enable_metrics();
+            let writer = crate::stream::StreamWriter::open(spec)?;
+            let meta = crate::stream::StreamMeta {
+                run_id: Some(run_id_for(&cfg.spec, 1, cfg.cycles.as_u64(), cfg.transport)),
+                spec: cfg.spec.clone(),
+                workers: 1,
+                transport: None,
+            };
+            let mut session = crate::stream::StreamSession::begin(
+                writer,
+                &meta,
+                &mut sim,
+                cfg.cycles,
+                cfg.stream_interval.unwrap_or(0),
+            )?;
+            if let Some(path) = &cfg.restore_from {
+                session.event(
+                    sim.now().as_u64(),
+                    "restore",
+                    &format!("restored from {}", path.display()),
+                )?;
+            }
+            Some(session)
+        }
+        None => None,
+    };
     let began = sim.now();
     let mut wall = Duration::ZERO;
     if let Some(at) = cfg.checkpoint_at {
         if at.as_u64() > sim.now().as_u64() && at.as_u64() <= cfg.cycles.as_u64() {
-            let leg = sim.run_for(Cycle::new(at.as_u64() - sim.now().as_u64()))?;
-            wall += leg.wall;
+            match &mut stream {
+                Some(session) => session.run_to(&mut sim, at, false)?,
+                None => {
+                    let leg = sim.run_for(Cycle::new(at.as_u64() - sim.now().as_u64()))?;
+                    wall += leg.wall;
+                }
+            }
             if let Some(out) = &cfg.checkpoint_out {
                 sim.checkpoint()?.save_to(out)?;
+                if let Some(session) = &mut stream {
+                    session.event(
+                        at.as_u64(),
+                        "checkpoint",
+                        &format!("checkpoint saved to {}", out.display()),
+                    )?;
+                }
             }
         }
     }
     if cfg.cycles.as_u64() > sim.now().as_u64() {
-        let leg = sim.run_for(Cycle::new(cfg.cycles.as_u64() - sim.now().as_u64()))?;
-        wall += leg.wall;
+        match &mut stream {
+            Some(session) => session.run_to(&mut sim, cfg.cycles, false)?,
+            None => {
+                let leg = sim.run_for(Cycle::new(cfg.cycles.as_u64() - sim.now().as_u64()))?;
+                wall += leg.wall;
+            }
+        }
+    }
+    if let Some(session) = stream {
+        wall += session.finish(&sim)?.wall;
     }
     let digests = sim.checkpoint()?.agent_digests();
     let digest = combined_digest(&digests);
     let mut digests = digests;
     digests.sort();
     let mut report = sim.run_report(wall);
-    report.run_id = Some(run_id_for(
-        &cfg.spec,
-        1,
-        cfg.cycles.as_u64(),
-        cfg.transport,
-    ));
+    report.run_id = Some(run_id_for(&cfg.spec, 1, cfg.cycles.as_u64(), cfg.transport));
     report.cost = cfg.cost.clone();
     Ok(PartitionedRun {
         workers: 1,
@@ -964,6 +1029,45 @@ fn run_fleet(
         }
     }
 
+    // The fleet parent streams merge points only: it never builds the
+    // topology, so per-interval samples come from single-worker runs
+    // (or future per-shard feeds), and the parent's feed carries worker
+    // lifecycle, checkpoint-merge markers, and the final summary.
+    // Worker exit order is host-dependent, so fleet feeds are not
+    // golden-fixtured (DESIGN §17).
+    let mut stream = match &cfg.stream {
+        Some(spec) => {
+            let mut w = StreamWriter::open(spec).map_err(|e| fail(e, None, false))?;
+            w.emit(&StreamRecord::RunStart(RunStartRecord {
+                run_id: Some(run_id_for(
+                    &cfg.spec,
+                    cfg.workers,
+                    cfg.cycles.as_u64(),
+                    cfg.transport,
+                )),
+                spec: cfg.spec.clone(),
+                agents: 0,
+                workers: cfg.workers as u64,
+                target_cycles: cfg.cycles.as_u64(),
+                window: 0,
+                interval: 0,
+                transport: Some(cfg.transport.as_str().to_owned()),
+            }))
+            .map_err(|e| fail(e, None, false))?;
+            Some(w)
+        }
+        None => None,
+    };
+    let emit_event = |stream: &mut Option<StreamWriter>, cycle: u64, kind: &str, label: String| {
+        if let Some(w) = stream {
+            let _ = w.emit(&StreamRecord::Event(EventRecord {
+                cycle,
+                kind: kind.to_owned(),
+                label,
+            }));
+        }
+    };
+
     let mut children: Vec<(usize, Child)> = Vec::new();
     let kill_all = |children: &mut Vec<(usize, Child)>| {
         for (_, child) in children.iter_mut() {
@@ -996,7 +1100,15 @@ fn run_fleet(
             cmd.env(ENV_RESTORE, path);
         }
         match cmd.spawn() {
-            Ok(child) => children.push((shard, child)),
+            Ok(child) => {
+                emit_event(
+                    &mut stream,
+                    0,
+                    "worker_spawn",
+                    format!("shard{shard} pid={}", child.id()),
+                );
+                children.push((shard, child));
+            }
             Err(e) => {
                 kill_all(&mut children);
                 return Err(fail(
@@ -1010,6 +1122,7 @@ fn run_fleet(
 
     // Supervise: any nonzero exit or the deadline kills the whole fleet —
     // the cross-process analogue of the supervisor's watchdog.
+    let mut exited: HashSet<usize> = HashSet::new();
     let mut remaining = children.len();
     while remaining > 0 {
         if start.elapsed() > cfg.deadline {
@@ -1050,9 +1163,11 @@ fn run_fleet(
         // try_wait returning Ok(Some(success)) keeps returning that same
         // status on subsequent polls, so counting exits each pass is safe.
         remaining = 0;
-        for (_, c) in children.iter_mut() {
+        for (shard, c) in children.iter_mut() {
             if matches!(c.try_wait(), Ok(None)) {
                 remaining += 1;
+            } else if exited.insert(*shard) {
+                emit_event(&mut stream, 0, "worker_exit", format!("shard{shard} done"));
             }
         }
         if remaining > 0 {
@@ -1094,18 +1209,34 @@ fn run_fleet(
 
     // Fold the per-shard checkpoint files into one name-sorted FSCKPT01
     // checkpoint any future sharding can restore from.
-    if let (Some(_), Some(out)) = (cfg.checkpoint_at, &cfg.checkpoint_out) {
+    if let (Some(at), Some(out)) = (cfg.checkpoint_at, &cfg.checkpoint_out) {
         let parts = (0..cfg.workers)
-            .map(|shard| EngineCheckpoint::<Flit>::load_from(dir.join(format!("shard{shard}.ckpt"))))
+            .map(|shard| {
+                EngineCheckpoint::<Flit>::load_from(dir.join(format!("shard{shard}.ckpt")))
+            })
             .collect::<SimResult<Vec<_>>>()
             .map_err(|e| fail(e, None, false))?;
         EngineCheckpoint::merge(parts)
             .and_then(|cp| cp.save_to(out))
             .map_err(|e| fail(e, None, false))?;
+        emit_event(
+            &mut stream,
+            at.as_u64(),
+            "checkpoint",
+            format!("merged checkpoint saved to {}", out.display()),
+        );
     }
 
     let mut report = RunReport::merge_shards(&reports).map_err(|e| fail(e, None, false))?;
     report.cost = cfg.cost.clone();
+    if let Some(w) = &mut stream {
+        let _ = w.emit(&StreamRecord::RunEnd(RunEndRecord {
+            cycle: cycles,
+            intervals: 0,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            done: false,
+        }));
+    }
     Ok(PartitionedRun {
         workers: cfg.workers,
         cycles: Cycle::new(cycles),
@@ -1256,12 +1387,8 @@ mod tests {
 
         // Out-of-range shard, empty shard, and length mismatches are
         // typed errors, as is a truncated or garbled wire form.
-        assert!(
-            PartitionPlan::from_assignment(&topo, 2, vec![0, 0, 0, 2], vec![0, 0, 0]).is_err()
-        );
-        assert!(
-            PartitionPlan::from_assignment(&topo, 3, vec![0, 0, 0, 0], vec![1, 1, 1]).is_err()
-        );
+        assert!(PartitionPlan::from_assignment(&topo, 2, vec![0, 0, 0, 2], vec![0, 0, 0]).is_err());
+        assert!(PartitionPlan::from_assignment(&topo, 3, vec![0, 0, 0, 0], vec![1, 1, 1]).is_err());
         assert!(PartitionPlan::from_assignment(&topo, 2, vec![0, 0], vec![0, 0, 1]).is_err());
         assert!(PartitionPlan::decode(&topo, "2;0,0,1,1").is_err());
         assert!(PartitionPlan::decode(&topo, "junk").is_err());

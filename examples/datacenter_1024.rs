@@ -261,8 +261,9 @@ fn parse_args() -> Options {
             "--qps" => opts.dims.qps = num(args.next(), "--qps") as f64,
             "--transport" => {
                 let v = args.next().unwrap_or_default();
-                opts.transport = TransportChoice::parse(&v)
-                    .unwrap_or_else(|_| die(&format!("--transport must be shm|tcp|unix, got {v:?}")));
+                opts.transport = TransportChoice::parse(&v).unwrap_or_else(|_| {
+                    die(&format!("--transport must be shm|tcp|unix, got {v:?}"))
+                });
             }
             other => die(&format!("unknown flag {other:?}")),
         }
@@ -310,7 +311,8 @@ fn run_placed(opts: &Options, placement: &PlacementPlan) -> ! {
 /// mid-way) vs (restore into 2-way), all digest-identical.
 fn run_repartition_smoke(opts: &Options, placement: &PlacementPlan) -> ! {
     let spec = opts.dims.spec();
-    let ckpt = std::env::temp_dir().join(format!("firesim-dc-repart-{}.fsckpt", std::process::id()));
+    let ckpt =
+        std::env::temp_dir().join(format!("firesim-dc-repart-{}.fsckpt", std::process::id()));
     let mid = opts.cycles / 2;
 
     println!("\nrepartition smoke: straight run, {} cycles", opts.cycles);
@@ -353,12 +355,18 @@ fn run_repartition_smoke(opts: &Options, placement: &PlacementPlan) -> ! {
     });
     let _ = std::fs::remove_file(ckpt);
 
-    for (tag, run) in [("checkpointed 4-way", &checkpointed), ("resumed 2-way", &resumed)] {
+    for (tag, run) in [
+        ("checkpointed 4-way", &checkpointed),
+        ("resumed 2-way", &resumed),
+    ] {
         if straight.digests != run.digests {
             eprintln!("FAIL: {tag} digests diverge from the straight run");
             std::process::exit(1);
         }
-        println!("{tag}: combined digest {:016x} matches straight run", run.combined_digest);
+        println!(
+            "{tag}: combined digest {:016x} matches straight run",
+            run.combined_digest
+        );
     }
     println!("repartition smoke passed");
     std::process::exit(0);

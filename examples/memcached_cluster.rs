@@ -21,7 +21,9 @@
 //! sending; those frames count as `masked`) and returns to the pre-fault
 //! rate after the heal. The example fails if the post-heal bucket
 //! average is not within 5% of the pre-fault average. `--scenario PATH`
-//! runs the same experiment with your own script.
+//! runs the same experiment with your own script. Add `--stream-out
+//! SPEC` to watch the dip-and-recover curve live on the NDJSON
+//! telemetry feed (DESIGN §17) with `firesim-top`.
 
 use std::sync::Arc;
 
@@ -37,6 +39,23 @@ use firesim_net::MacAddr;
 /// The committed partition-and-heal script, compiled against this
 /// example's topology by `--partition-heal`.
 const PARTITION_SCRIPT: &str = include_str!("scenarios/memcached_partition.toml");
+
+/// With `--stream-out -` the NDJSON feed owns stdout, so the chaos
+/// run's human-readable lines move to stderr for piped consumers
+/// (`memcached_cluster --partition-heal --stream-out - | firesim-top`).
+static CHAT_TO_STDERR: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// `println!` for run chatter: stdout normally, stderr when the
+/// telemetry stream has claimed stdout.
+macro_rules! chat {
+    ($($arg:tt)*) => {
+        if CHAT_TO_STDERR.load(std::sync::atomic::Ordering::Relaxed) {
+            eprintln!($($arg)*);
+        } else {
+            println!($($arg)*);
+        }
+    };
+}
 
 type SharedStats = Arc<Mutex<Vec<Arc<Mutex<MutilateStats>>>>>;
 
@@ -127,13 +146,17 @@ usage: memcached_cluster [OPTIONS]
   --partition-heal         run the partition-and-heal chaos experiment with
                            the committed examples/scenarios/memcached_partition.toml
   --scenario PATH          run the chaos experiment with your own script
+  --stream-out SPEC        stream the chaos run's live NDJSON telemetry
+                           (DESIGN §17) to '-', a file, tcp:HOST:PORT, or
+                           unix:PATH; the partition/heal annotations and
+                           the throughput dip appear as they happen
   --help                   print this help";
 
 /// Runs the partition-and-heal experiment: apply the scenario, run a
 /// fixed horizon, and check the recovery curve — throughput on the cut
 /// links must dip during the partition and return to within 5% of the
 /// pre-fault average afterwards.
-fn run_partition_heal(path: Option<&str>) -> ! {
+fn run_partition_heal(path: Option<&str>, stream_out: Option<&str>) -> ! {
     let horizon = 200_000_000u64;
     let qps = 350_000.0; // total across the seven generators
     let scenario = match path {
@@ -157,13 +180,46 @@ fn run_partition_heal(path: Option<&str>) -> ! {
     let mut sim = topo.build(SimConfig::default()).expect("valid topology");
     sim.apply_scenario(&compiled)
         .unwrap_or_else(|e| die(&e.to_string()));
-    println!(
+    chat!(
         "scenario {:?}: {} link-effect window(s), fault window [{from}, {until})",
         scenario.name,
         compiled.link_effects().len()
     );
-    println!("running {horizon} target cycles at {qps:.0} total QPS...\n");
-    sim.run_for(Cycle::new(horizon)).expect("runs");
+    chat!("running {horizon} target cycles at {qps:.0} total QPS...\n");
+    match stream_out {
+        // Streamed: the partition, the throughput dip, and the heal show
+        // up live on the NDJSON feed (scenario annotations become
+        // `event` records; switch/agent deltas trace the dip), while the
+        // run itself advances in interval-sized legs that are
+        // digest-identical to the single `run_for` below.
+        Some(spec) => {
+            sim.enable_metrics();
+            let writer = firesim_manager::StreamWriter::open(spec)
+                .unwrap_or_else(|e| die(&format!("--stream-out {spec}: {e}")));
+            let meta = firesim_manager::StreamMeta {
+                run_id: None,
+                spec: "memcached_cluster --partition-heal".to_owned(),
+                workers: 1,
+                transport: None,
+            };
+            let streamed = firesim_manager::run_streamed(
+                &mut sim,
+                writer,
+                &meta,
+                Cycle::new(horizon),
+                interval,
+                false,
+            )
+            .expect("runs");
+            chat!(
+                "streamed {} interval record(s) to {spec}",
+                streamed.intervals
+            );
+        }
+        None => {
+            sim.run_for(Cycle::new(horizon)).expect("runs");
+        }
+    }
 
     let tl = sim
         .fault_timeline()
@@ -175,16 +231,18 @@ fn run_partition_heal(path: Option<&str>) -> ! {
         .max()
         .unwrap_or(1)
         .max(1);
-    println!("frames on the cut links per {interval}-cycle bucket:");
+    chat!("frames on the cut links per {interval}-cycle bucket:");
     for p in &tl.points {
         let bar = "#".repeat((p.delivered * 40 / peak) as usize);
-        println!(
+        chat!(
             "  [{:>11}] delivered={:<5} masked={:<5} {bar}",
-            p.start, p.delivered, p.masked
+            p.start,
+            p.delivered,
+            p.masked
         );
     }
     for (cycle, label) in &tl.events {
-        println!("  @{cycle}: {label}");
+        chat!("  @{cycle}: {label}");
     }
 
     // Pre-fault buckets fully before the partition (skip the warm-up
@@ -209,7 +267,7 @@ fn run_partition_heal(path: Option<&str>) -> ! {
         .map(|p| p.delivered)
         .collect());
     let recovery = (post - pre).abs() / pre.max(1.0);
-    println!(
+    chat!(
         "\npre-fault avg {pre:.0} frames/bucket, during partition {during:.0}, \
          post-heal {post:.0} ({:+.1}% vs pre-fault)",
         (post - pre) / pre.max(1.0) * 100.0
@@ -222,13 +280,14 @@ fn run_partition_heal(path: Option<&str>) -> ! {
         eprintln!("FAIL: post-heal throughput did not return to within 5% of pre-fault");
         std::process::exit(1);
     }
-    println!("recovered: post-heal throughput within 5% of pre-fault");
+    chat!("recovered: post-heal throughput within 5% of pre-fault");
     std::process::exit(0);
 }
 
 fn main() {
     let mut scenario_path: Option<String> = None;
     let mut partition_heal = false;
+    let mut stream_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -241,11 +300,22 @@ fn main() {
                 Some(path) => scenario_path = Some(path),
                 None => die("--scenario needs a script path"),
             },
+            "--stream-out" => match args.next() {
+                Some(spec) => stream_out = Some(spec),
+                None => die("--stream-out needs a sink spec: '-', a file path, \
+                     tcp:HOST:PORT, or unix:PATH"),
+            },
             other => die(&format!("unknown flag {other:?}")),
         }
     }
+    if stream_out.as_deref() == Some("-") {
+        CHAT_TO_STDERR.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     if partition_heal || scenario_path.is_some() {
-        run_partition_heal(scenario_path.as_deref());
+        run_partition_heal(scenario_path.as_deref(), stream_out.as_deref());
+    }
+    if stream_out.is_some() {
+        die("--stream-out rides the chaos experiment; combine it with --partition-heal or --scenario");
     }
 
     println!("memcached on a 4-core node, 7 mutilate load generators, 2us network\n");

@@ -14,6 +14,7 @@
 //! cargo run --release --example quickstart -- \
 //!     --metrics-out report.json --trace-out trace.json
 //! cargo run --release --example quickstart -- --workers 2 --transport shm
+//! cargo run --release --example quickstart -- --stream-out - | firesim-top --once
 //! ```
 //!
 //! `--workers N` partitions the same four-server rack across N worker
@@ -45,6 +46,13 @@
 //! under `examples/scenarios/`; the run prints the recovery timeline the
 //! scenario's link watches recorded.
 //!
+//! `--stream-out SPEC` publishes the live NDJSON run feed (DESIGN §17) —
+//! per-interval sim-rate, per-agent activity, link occupancy, switch
+//! counters, and fault/scenario events — to stdout (`-`), a file, or a
+//! `tcp:`/`unix:` socket such as the `simd` daemon's ingest endpoint;
+//! `firesim-top` renders it live. `--stream-interval N` sets the
+//! sampling period in target cycles.
+//!
 //! `--metrics-out PATH` enables the engine's sharded metrics and writes a
 //! machine-readable [`firesim_manager::RunReport`] (per-agent profiles,
 //! per-link token occupancies, aggregated counters) as JSON, plus a human
@@ -58,6 +66,33 @@ use firesim_manager::{
     TransportChoice,
 };
 use firesim_net::MacAddr;
+
+/// With `--stream-out -` the NDJSON feed owns stdout, so every
+/// human-readable line must move to stderr or it would corrupt the wire
+/// for piped consumers (`quickstart --stream-out - | firesim-top`).
+static CHAT_TO_STDERR: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// `println!` for run chatter: stdout normally, stderr when the
+/// telemetry stream has claimed stdout.
+macro_rules! chat {
+    ($($arg:tt)*) => {
+        if CHAT_TO_STDERR.load(std::sync::atomic::Ordering::Relaxed) {
+            eprintln!($($arg)*);
+        } else {
+            println!($($arg)*);
+        }
+    };
+}
+
+/// `print!`-style sibling of [`chat!`] for pre-newlined blocks.
+fn chat_str(s: &str) {
+    use std::io::Write;
+    if CHAT_TO_STDERR.load(std::sync::atomic::Ordering::Relaxed) {
+        let _ = write!(std::io::stderr(), "{s}");
+    } else {
+        let _ = write!(std::io::stdout(), "{s}");
+    }
+}
 
 /// Target clock for every blade in the rack.
 const CLOCK: Frequency = Frequency::GHZ_3_2;
@@ -117,6 +152,8 @@ struct Options {
     workers: Option<usize>,
     transport: TransportChoice,
     cycles: u64,
+    stream_out: Option<String>,
+    stream_interval: u64,
 }
 
 fn parse_args() -> Options {
@@ -129,6 +166,8 @@ fn parse_args() -> Options {
         workers: None,
         transport: TransportChoice::Shm,
         cycles: 2_000_000,
+        stream_out: None,
+        stream_interval: firesim_manager::stream::DEFAULT_STREAM_INTERVAL,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -185,6 +224,22 @@ fn parse_args() -> Options {
                 Some(path) => opts.trace_out = Some(path.into()),
                 None => die("--trace-out needs a file path (e.g. trace.json)"),
             },
+            "--stream-out" => match args.next() {
+                Some(spec) => opts.stream_out = Some(spec),
+                None => die(
+                    "--stream-out needs a sink spec: '-' for stdout, a file path, \
+                     tcp:HOST:PORT, or unix:PATH",
+                ),
+            },
+            "--stream-interval" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => opts.stream_interval = n,
+                    _ => die(&format!(
+                        "--stream-interval needs a positive cycle count, got {v:?}"
+                    )),
+                }
+            }
             other => die(&format!("unknown flag {other:?}")),
         }
     }
@@ -204,6 +259,12 @@ usage: quickstart [OPTIONS]
   --workers N              partition the rack across N worker processes
   --transport shm|tcp|unix token transport between workers (default shm)
   --cycles N               target cycles to simulate (default 2000000)
+  --stream-out SPEC        stream live NDJSON telemetry (DESIGN §17) to
+                           '-' (stdout), a file path, tcp:HOST:PORT, or
+                           unix:PATH (e.g. the simd daemon); view with
+                           firesim-top
+  --stream-interval N      telemetry sampling interval in target cycles
+                           (default 100000)
   --help                   print this help";
 
 fn die(msg: &str) -> ! {
@@ -271,24 +332,26 @@ fn run_distributed(opts: &Options) -> ! {
     );
     cfg.transport = opts.transport;
     cfg.scenario = opts.scenario.clone();
-    println!(
+    cfg.stream = opts.stream_out.clone();
+    cfg.stream_interval = Some(opts.stream_interval);
+    chat!(
         "partitioning across {} worker(s) over {} transport",
         cfg.workers,
         cfg.transport.as_str()
     );
     match run_partitioned(build_cluster, &cfg) {
         Ok(run) => {
-            println!(
+            chat!(
                 "simulated {} target cycles in {:?} across {} process(es)",
                 run.cycles.as_u64(),
                 run.wall,
                 run.workers
             );
             for (name, digest) in &run.digests {
-                println!("  digest {name:<8} {digest:016x}");
+                chat!("  digest {name:<8} {digest:016x}");
             }
-            println!("combined digest: {:016x}", run.combined_digest);
-            print!("{}", run.report.human_summary());
+            chat!("combined digest: {:016x}", run.combined_digest);
+            chat_str(&run.report.human_summary());
             std::process::exit(0);
         }
         Err(report) => {
@@ -304,6 +367,9 @@ fn main() {
         return;
     }
     let opts = parse_args();
+    if opts.stream_out.as_deref() == Some("-") {
+        CHAT_TO_STDERR.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     if opts.workers.is_some() {
         run_distributed(&opts);
     }
@@ -321,11 +387,11 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("--scenario {path}: {e}")))
     });
     let mut sim = topo.build(config).expect("topology is valid");
-    println!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
+    chat!("deployed: {} servers — {}", sim.servers().len(), sim.plan());
     if let Some(sc) = &scenario {
         sim.apply_scenario(sc)
             .unwrap_or_else(|e| die(&e.to_string()));
-        println!(
+        chat!(
             "scenario applied: {} link-effect window(s), {} pressured switch(es)",
             sc.link_effects().len(),
             sc.pressured_switches().len()
@@ -339,7 +405,7 @@ fn main() {
 
     if !opts.faults.is_empty() {
         let plan = parse_faults(&opts.faults);
-        println!(
+        chat!(
             "fault plan installed: {} fault(s), seed {:#x}",
             plan.len(),
             plan.seed()
@@ -351,6 +417,9 @@ fn main() {
     // when an injected target fault eats frames the bare-metal ping
     // program would otherwise spin on forever.
     let max = Cycle::new(opts.cycles);
+    if opts.stream_out.is_some() && (opts.checkpoint_every.is_some() || !opts.faults.is_empty()) {
+        die("--stream-out rides the plain and --workers paths; it does not combine with the supervised (--checkpoint-every / --inject-fault) path");
+    }
     let (cycles, wall) = if opts.checkpoint_every.is_some() || !opts.faults.is_empty() {
         // Supervised path: periodic snapshots, retry-from-checkpoint on
         // injected (or real) host-side failures.
@@ -360,16 +429,18 @@ fn main() {
         };
         match sim.run_supervised(max, &cfg) {
             Ok(run) => {
-                println!(
+                chat!(
                     "supervised run: {} checkpoint(s), {} retry(ies), {} injected fault(s)",
                     run.checkpoints,
                     run.retries,
                     run.injected_faults.len()
                 );
                 for f in &run.injected_faults {
-                    println!(
+                    chat!(
                         "  injected: {} at cycle {}: {}",
-                        f.agent, f.cycle, f.description
+                        f.agent,
+                        f.cycle,
+                        f.description
                     );
                 }
                 (run.cycles, run.wall)
@@ -379,11 +450,33 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    } else if let Some(spec) = &opts.stream_out {
+        // Streamed path: advance in interval-sized legs, sampling the
+        // run feed (DESIGN §17) at each quiescent boundary. Stops at
+        // the first interval boundary where every agent is done — the
+        // streamed analogue of `run_until_done`.
+        sim.enable_metrics();
+        let writer = firesim_manager::StreamWriter::open(spec)
+            .unwrap_or_else(|e| die(&format!("--stream-out {spec}: {e}")));
+        let meta = firesim_manager::StreamMeta {
+            run_id: None,
+            spec: "quickstart".to_owned(),
+            workers: 1,
+            transport: None,
+        };
+        let streamed =
+            firesim_manager::run_streamed(&mut sim, writer, &meta, max, opts.stream_interval, true)
+                .expect("simulation runs");
+        chat!(
+            "streamed {} interval record(s) to {spec}",
+            streamed.intervals
+        );
+        (streamed.cycles, streamed.wall)
     } else {
         let summary = sim.run_until_done(max).expect("simulation runs");
         (summary.cycles, summary.wall)
     };
-    println!(
+    chat!(
         "simulated {} target cycles in {:?} ({:.2} MHz)",
         cycles.as_u64(),
         wall,
@@ -392,18 +485,21 @@ fn main() {
 
     if scenario.is_some() {
         if let Some(tl) = sim.fault_timeline() {
-            println!(
+            chat!(
                 "\nrecovery timeline ({}-cycle buckets on watched links):",
                 tl.interval
             );
             for p in &tl.points {
-                println!(
+                chat!(
                     "  [{:>8}] delivered={:<6} dropped={:<5} masked={}",
-                    p.start, p.delivered, p.dropped, p.masked
+                    p.start,
+                    p.delivered,
+                    p.dropped,
+                    p.masked
                 );
             }
             for (cycle, label) in &tl.events {
-                println!("  @{cycle}: {label}");
+                chat!("  @{cycle}: {label}");
             }
         }
     }
@@ -413,12 +509,12 @@ fn main() {
     if let Some(path) = &opts.metrics_out {
         let report = sim.run_report(wall);
         std::fs::write(path, report.to_json()).expect("write run report");
-        println!("\nrun report written to {}", path.display());
-        print!("{}", report.human_summary());
+        chat!("\nrun report written to {}", path.display());
+        chat_str(&report.human_summary());
     }
     if let (Some(path), Some(tracer)) = (&opts.trace_out, &tracer) {
         tracer.write_chrome_trace(path).expect("write trace");
-        println!(
+        chat!(
             "trace written to {} ({} spans) — load in Perfetto or chrome://tracing",
             path.display(),
             tracer.len()
@@ -433,18 +529,20 @@ fn main() {
         // the simulated network; the bare-metal pinger has no retransmit,
         // so it spins until the cycle cap. The mailbox is only captured
         // at power-off, so report the NIC's view of what got through.
-        println!(
+        chat!(
             "\npinger never powered off — an injected target fault lost \
              frames it was waiting on (NIC: {} pings sent, {} replies \
              received); exit={:?}",
-            p.nic.tx_packets, p.nic.rx_packets, p.exit_code
+            p.nic.tx_packets,
+            p.nic.rx_packets,
+            p.exit_code
         );
         std::process::exit(1);
     }
-    println!("\nping 10.0.0.1 -> 10.0.0.2 ({} pings):", pings);
+    chat!("\nping 10.0.0.1 -> 10.0.0.2 ({} pings):", pings);
     for i in 0..pings {
         let rtt = u64::from_le_bytes(p.mailbox[i * 8..i * 8 + 8].try_into().unwrap());
-        println!(
+        chat!(
             "  seq={}  rtt={:.3} us ({} cycles)",
             i,
             clock.micros_from_cycles(Cycle::new(rtt)),
@@ -452,15 +550,16 @@ fn main() {
         );
     }
     let ideal = 4 * link_latency.as_u64() + 2 * 10;
-    println!(
+    chat!(
         "\nideal RTT (4 links + 2 switch traversals): {:.3} us",
         clock.micros_from_cycles(Cycle::new(ideal))
     );
     for (name, stats) in sim.switch_stats() {
         let s = stats.lock();
-        println!(
+        chat!(
             "switch {name}: {} frames forwarded, {} bytes",
-            s.frames_forwarded, s.ingress_bytes
+            s.frames_forwarded,
+            s.ingress_bytes
         );
     }
 }

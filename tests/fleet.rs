@@ -554,7 +554,11 @@ fn packer_properties_hold(iters: usize) {
 
         // Determinism: the same inputs produce the identical plan.
         let again = fleet.place(&topo, &profile, Cycle::new(6_400)).unwrap();
-        assert_eq!(placement.hosts(), again.hosts(), "iter {iter}: packer nondeterministic");
+        assert_eq!(
+            placement.hosts(),
+            again.hosts(),
+            "iter {iter}: packer nondeterministic"
+        );
         assert_eq!(plan, again.partition());
         assert_eq!(cost, again.cost());
     }
