@@ -15,13 +15,14 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use firesim_core::stats::WindowStats;
 use firesim_core::{AgentCtx, SimAgent};
 use firesim_devices::{map, BlockDevice, Clint, CopyAccel, MmioDevice, Nic, NicStats, Uart};
 use firesim_net::Flit;
 use firesim_riscv::exec::Cpu;
 use firesim_riscv::mem::{Bus, MemFault, Memory};
 use firesim_riscv::{Interrupt, DRAM_BASE};
-use firesim_uarch::{MemSystem, TickEvent, TimingCore, TraceEntry};
+use firesim_uarch::{MemSystem, SamplingConfig, TickEvent, TimingCore, TraceEntry};
 
 use crate::config::BladeConfig;
 use crate::POWEROFF_ADDR;
@@ -158,6 +159,68 @@ impl Bus for SocBus<'_> {
     }
 }
 
+/// State of the sampled timing mode (SMARTS-style): the blade alternates
+/// cycle-exact *detailed* windows with functional-only *fast-forward*
+/// spans, extrapolating the fast-forwarded cores' progress from an IPC
+/// estimate fitted over every detailed cycle so far. The phase is a pure
+/// function of the absolute target cycle, so it is identical across
+/// worker counts and checkpoint/restore boundaries.
+///
+/// Everything here is target-deterministic and checkpointed (DESIGN §18).
+#[derive(Debug, Clone)]
+struct SamplingState {
+    cfg: SamplingConfig,
+    /// Cumulative detailed cycles across all completed/partial windows.
+    det_cycles: u64,
+    /// Cumulative instructions retired inside detailed cycles, per core.
+    det_retired: Vec<u64>,
+    /// Q16.16 fractional-instruction carry per core, so fast-forward
+    /// budgets round deterministically instead of truncating.
+    carry_q16: Vec<u64>,
+    /// Cycles and retirements accumulated in the current detailed window.
+    win_cycles: u64,
+    win_retired: u64,
+    /// Per-completed-window blade IPC samples -> mean and 95% CI.
+    windows: WindowStats,
+    /// Scratch: per-core retired counts at the start of a detailed leg.
+    leg_start: Vec<u64>,
+}
+
+impl SamplingState {
+    fn new(cfg: SamplingConfig, cores: usize) -> Self {
+        cfg.validate();
+        SamplingState {
+            cfg,
+            det_cycles: 0,
+            det_retired: vec![0; cores],
+            carry_q16: vec![0; cores],
+            win_cycles: 0,
+            win_retired: 0,
+            windows: WindowStats::new(),
+            leg_start: vec![0; cores],
+        }
+    }
+
+    /// Per-core IPC estimate in Q16.16, from the detailed totals. Zero
+    /// until the first detailed cycle has run (the schedule always opens
+    /// with a detailed window, so fast-forward spans never see zero).
+    fn ipc_q16(&self, core: usize) -> u64 {
+        if self.det_cycles == 0 {
+            return 0;
+        }
+        (((self.det_retired[core] as u128) << 16) / self.det_cycles as u128) as u64
+    }
+
+    /// Blade-wide IPC estimate in permille (integer, no f64 on this path).
+    fn ipc_est_permille(&self) -> u64 {
+        if self.det_cycles == 0 {
+            return 0;
+        }
+        let retired: u64 = self.det_retired.iter().sum();
+        ((retired as u128) * 1000 / self.det_cycles as u128) as u64
+    }
+}
+
 /// A cycle-exact server blade. See the [module docs](self).
 pub struct RtlBlade {
     name: String,
@@ -184,6 +247,9 @@ pub struct RtlBlade {
     /// per-cycle reference loop instead of the event-driven scheduler.
     /// Taken from [`firesim_uarch::TimingConfig::reference_timing`].
     reference_timing: bool,
+    /// Sampled timing mode, from [`firesim_uarch::TimingConfig::sampling`];
+    /// `None` runs every cycle detailed.
+    sampling: Option<SamplingState>,
     /// Gates the wall-clock reads behind `host_ns`; off by default so
     /// the fast path never touches the host clock.
     profile_host: bool,
@@ -233,6 +299,10 @@ impl RtlBlade {
             rx_scratch: Vec::new(),
             device_lag: 0,
             reference_timing: config.timing.reference_timing,
+            sampling: config
+                .timing
+                .sampling
+                .map(|cfg| SamplingState::new(cfg, config.cores)),
             profile_host: false,
             host_ns: 0,
         }
@@ -348,11 +418,19 @@ impl RtlBlade {
         self.rx_scratch.clear();
         self.rx_scratch.extend(ctx.drain_input(in_port));
 
-        if self.reference_timing {
-            self.advance_reference(ctx, out_port, window);
+        let mut off = 0u32;
+        let mut rx_idx = 0usize;
+        if self.sampling.is_some() {
+            self.advance_sampled(ctx, out_port, window, &mut off, &mut rx_idx);
+        } else if self.reference_timing {
+            self.advance_reference(ctx, out_port, window, &mut off, &mut rx_idx);
         } else {
-            self.advance_batched(ctx, out_port, window);
+            self.advance_batched(ctx, out_port, window, &mut off, &mut rx_idx);
         }
+        // Bring the DRAM's refresh bookkeeping up to the window boundary
+        // even when no request observed the later cycles, so snapshots
+        // taken here are independent of the blade's access pattern tail.
+        self.memsys.advance_to(self.cycle);
 
         if let Some(start) = host_start {
             self.host_ns += start.elapsed().as_nanos() as u64;
@@ -440,15 +518,25 @@ impl RtlBlade {
     /// one loop iteration. Kept verbatim as the differential-testing
     /// baseline for [`advance_batched`](Self::advance_batched); selected
     /// with [`firesim_uarch::TimingConfig::reference_timing`].
-    fn advance_reference(&mut self, ctx: &mut AgentCtx<Flit>, out_port: usize, window: u32) {
-        let mut rx_idx = 0usize;
-        for off in 0..window {
+    ///
+    /// Advances window offsets `*off..end` (the full window for plain
+    /// runs; one detailed leg under sampled timing).
+    fn advance_reference(
+        &mut self,
+        ctx: &mut AgentCtx<Flit>,
+        out_port: usize,
+        end: u32,
+        off: &mut u32,
+        rx_idx: &mut usize,
+    ) {
+        while *off < end {
             if self.powered_off.is_none() {
                 self.wire_interrupts();
                 self.tick_cores_and_devices();
             }
-            self.nic_cycle(ctx, out_port, off, &mut rx_idx);
+            self.nic_cycle(ctx, out_port, *off, rx_idx);
             self.cycle += 1;
+            *off += 1;
         }
     }
 
@@ -466,31 +554,39 @@ impl RtlBlade {
     ///   first MMIO-visible cycle.
     /// * **Reference cycle** — anything else falls back to one verbatim
     ///   per-cycle iteration.
-    fn advance_batched(&mut self, ctx: &mut AgentCtx<Flit>, out_port: usize, window: u32) {
-        let mut rx_idx = 0usize;
-        let mut off: u32 = 0;
-        while off < window {
+    ///
+    /// Advances window offsets `*off..end` (the full window for plain
+    /// runs; one detailed leg under sampled timing).
+    fn advance_batched(
+        &mut self,
+        ctx: &mut AgentCtx<Flit>,
+        out_port: usize,
+        end: u32,
+        off: &mut u32,
+        rx_idx: &mut usize,
+    ) {
+        while *off < end {
             // Offset of the next undelivered rx flit. An offset below
             // `off` can never match the exchange (mirroring the reference
             // loop, which would also never consume it), so clamping keeps
             // the arithmetic safe without changing behavior.
             let next_rx = self
                 .rx_scratch
-                .get(rx_idx)
-                .map_or(window, |&(o, _)| o)
-                .clamp(off, window);
+                .get(*rx_idx)
+                .map_or(end, |&(o, _)| o)
+                .clamp(*off, end);
 
             if self.powered_off.is_some() {
                 // Only the NIC runs; skip straight to the next rx flit.
-                if self.nic.is_quiescent() && next_rx > off {
-                    let k = next_rx - off;
+                if self.nic.is_quiescent() && next_rx > *off {
+                    let k = next_rx - *off;
                     self.nic.skip_quiescent(u64::from(k));
                     self.cycle += u64::from(k);
-                    off += k;
+                    *off += k;
                 } else {
-                    self.nic_cycle(ctx, out_port, off, &mut rx_idx);
+                    self.nic_cycle(ctx, out_port, *off, rx_idx);
                     self.cycle += 1;
-                    off += 1;
+                    *off += 1;
                 }
                 continue;
             }
@@ -517,14 +613,14 @@ impl RtlBlade {
             let nic_quiet = self.nic.is_quiescent();
             let accel_idle = !self.accel.as_ref().is_some_and(CopyAccel::busy);
             let blockdev_busy = self.blockdev.min_busy_cycles();
-            let remaining = u64::from(window - off);
+            let remaining = u64::from(end - *off);
 
             if active == 0 && nic_quiet && accel_idle {
                 // Full skip: nothing observable happens before the
                 // earliest bound, so replay k cycles in O(1). The `- 1`
                 // on the disk bound keeps its next completion (and the
                 // interrupt it raises) inside per-cycle handling.
-                let mut k = remaining.min(inactive_bound).min(u64::from(next_rx - off));
+                let mut k = remaining.min(inactive_bound).min(u64::from(next_rx - *off));
                 if let Some(m) = blockdev_busy {
                     k = k.min(m.saturating_sub(1));
                 }
@@ -543,7 +639,7 @@ impl RtlBlade {
                     self.clint.advance(1);
                     self.nic.skip_quiescent(k);
                     self.cycle += k;
-                    off += k as u32;
+                    *off += k as u32;
                     continue;
                 }
             } else if active == 1 && nic_quiet && accel_idle {
@@ -555,7 +651,7 @@ impl RtlBlade {
                 let mut budget = remaining
                     .min(self.clint.cycles_to_next_tick())
                     .min(inactive_bound)
-                    .min(u64::from(next_rx - off).saturating_add(1));
+                    .min(u64::from(next_rx - *off).saturating_add(1));
                 if let Some(m) = blockdev_busy {
                     budget = budget.min(m);
                 }
@@ -610,19 +706,202 @@ impl RtlBlade {
                 }
                 self.clint.advance(used);
                 self.nic.skip_quiescent(lag - 1);
-                let last = off + used as u32 - 1;
-                self.nic_cycle(ctx, out_port, last, &mut rx_idx);
+                let last = *off + used as u32 - 1;
+                self.nic_cycle(ctx, out_port, last, rx_idx);
                 self.cycle += used;
-                off += used as u32;
+                *off += used as u32;
                 continue;
             }
 
             // Fallback: one verbatim reference cycle (wiring already done
             // above).
             self.tick_cores_and_devices();
-            self.nic_cycle(ctx, out_port, off, &mut rx_idx);
+            self.nic_cycle(ctx, out_port, *off, rx_idx);
             self.cycle += 1;
-            off += 1;
+            *off += 1;
+        }
+    }
+
+    /// The sampled schedule: detailed windows and fast-forward spans
+    /// alternate with the phase a pure function of the absolute target
+    /// cycle, `cycle % period < detailed_window`. Detailed legs reuse the
+    /// cycle-exact schedulers above and feed the IPC estimator; fast-
+    /// forward legs run [`advance_ff`](Self::advance_ff).
+    fn advance_sampled(
+        &mut self,
+        ctx: &mut AgentCtx<Flit>,
+        out_port: usize,
+        window: u32,
+        off: &mut u32,
+        rx_idx: &mut usize,
+    ) {
+        let cfg = self.sampling.as_ref().expect("sampled mode").cfg;
+        let period = cfg.period();
+        while *off < window {
+            let pos = self.cycle % period;
+            if pos < cfg.detailed_window {
+                // Detailed until the phase flips or the window ends.
+                let span = (cfg.detailed_window - pos).min(u64::from(window - *off));
+                let end = *off + span as u32;
+                {
+                    let samp = self.sampling.as_mut().expect("sampled mode");
+                    samp.leg_start.clear();
+                    samp.leg_start
+                        .extend(self.cores.iter().map(TimingCore::retired));
+                }
+                let start_cycle = self.cycle;
+                if self.reference_timing {
+                    self.advance_reference(ctx, out_port, end, off, rx_idx);
+                } else {
+                    self.advance_batched(ctx, out_port, end, off, rx_idx);
+                }
+                let ran = self.cycle - start_cycle;
+                let samp = self.sampling.as_mut().expect("sampled mode");
+                samp.det_cycles += ran;
+                samp.win_cycles += ran;
+                for (i, core) in self.cores.iter().enumerate() {
+                    let d = core.retired() - samp.leg_start[i];
+                    samp.det_retired[i] += d;
+                    samp.win_retired += d;
+                }
+                if self.cycle % period == cfg.detailed_window {
+                    // Detailed window complete: fold one IPC sample into
+                    // the error model. Always in target-cycle order, so
+                    // the f64 accumulation is deterministic.
+                    let ipc = samp.win_retired as f64 / samp.win_cycles as f64;
+                    samp.windows.record(ipc);
+                    samp.win_cycles = 0;
+                    samp.win_retired = 0;
+                }
+            } else {
+                let span = (period - pos).min(u64::from(window - *off));
+                let end = *off + span as u32;
+                self.advance_ff(ctx, out_port, end, off, rx_idx);
+            }
+        }
+    }
+
+    /// One fast-forward leg: cores execute functionally (no cache/DRAM
+    /// timing) with an instruction budget extrapolated from the IPC
+    /// estimate, devices advance in bulk, and the NIC keeps its exact
+    /// one-token-per-cycle exchange so the network stays cycle-accurate.
+    /// Interrupt lines are wired at leg boundaries only — the documented
+    /// approximation of the sampled mode (DESIGN §18).
+    fn advance_ff(
+        &mut self,
+        ctx: &mut AgentCtx<Flit>,
+        out_port: usize,
+        end: u32,
+        off: &mut u32,
+        rx_idx: &mut usize,
+    ) {
+        let span = u64::from(end - *off);
+        if span == 0 {
+            return;
+        }
+        if self.powered_off.is_none() {
+            // Charge the span's cycles to every core (serving stalls,
+            // accruing idle time on parked ones) and bulk-advance the
+            // DMA devices and the CLINT. All of these are sums over
+            // cycles, so they are invariant under how the engine slices
+            // the leg into windows.
+            for core in &mut self.cores {
+                core.ff_charge(span);
+            }
+            let mut left = span;
+            while left > 0 {
+                match self.blockdev.min_busy_cycles() {
+                    None => break,
+                    Some(m) => {
+                        let k = left.min(m.saturating_sub(1));
+                        if k > 0 {
+                            self.blockdev.skip(k);
+                            left -= k;
+                        }
+                        if left > 0 {
+                            self.blockdev.tick(&mut self.mem);
+                            left -= 1;
+                        }
+                    }
+                }
+            }
+            if let Some(accel) = &mut self.accel {
+                let mut left = span;
+                while left > 0 && accel.busy() {
+                    accel.tick(&mut self.mem);
+                    left -= 1;
+                }
+            }
+            self.clint.advance(span);
+        }
+        // The NIC never fast-forwards: one token in, one token out per
+        // target cycle, with the quiescent bulk skip from the batched
+        // scheduler when nothing is in flight.
+        while *off < end {
+            if self.nic.is_quiescent() {
+                let next_rx = self
+                    .rx_scratch
+                    .get(*rx_idx)
+                    .map_or(end, |&(o, _)| o)
+                    .clamp(*off, end);
+                if next_rx > *off {
+                    self.nic.skip_quiescent(u64::from(next_rx - *off));
+                    *off = next_rx;
+                    continue;
+                }
+            }
+            self.nic_cycle(ctx, out_port, *off, rx_idx);
+            *off += 1;
+        }
+        self.cycle += span;
+        // Execute the leg's entire instruction budget only when this
+        // slice reaches the absolute end of the fast-forward leg. The
+        // engine is free to slice a leg across windows differently from
+        // run to run (skip-ahead scheduling, checkpoint resume), so the
+        // execution point must be a pure function of the target cycle —
+        // like the phase itself — for sampled runs to stay deterministic.
+        let cfg = self.sampling.as_ref().expect("sampled mode").cfg;
+        if self.powered_off.is_none() && self.cycle.is_multiple_of(cfg.period()) {
+            self.wire_interrupts();
+            for i in 0..self.cores.len() {
+                if self.powered_off.is_some() {
+                    break;
+                }
+                let budget = {
+                    let samp = self.sampling.as_mut().expect("sampled mode");
+                    let q16 = samp.ipc_q16(i) * cfg.fastforward + samp.carry_q16[i];
+                    samp.carry_q16[i] = q16 & 0xFFFF;
+                    q16 >> 16
+                };
+                if budget == 0 {
+                    continue;
+                }
+                self.store_scratch.clear();
+                let mut bus = SocBus {
+                    mem: &mut self.mem,
+                    nic: &mut self.nic,
+                    blockdev: &mut self.blockdev,
+                    uart: &mut self.uart,
+                    clint: &mut self.clint,
+                    accel: self.accel.as_mut(),
+                    poweroff: &mut self.powered_off,
+                    stores: &mut self.store_scratch,
+                    device_lag: &mut self.device_lag,
+                };
+                let _ = self.cores[i].fast_forward(&mut bus, budget);
+                // LR/SC coherence, as in the batched span: deferring the
+                // clobbers and shoot-downs to the end of the burst is
+                // exact because no other core runs inside it.
+                for k in 0..self.store_scratch.len() {
+                    let addr = self.store_scratch[k];
+                    for (j, other) in self.cores.iter_mut().enumerate() {
+                        if j != i {
+                            other.cpu_mut().clobber_reservation(addr);
+                        }
+                    }
+                    self.memsys.shootdown(addr, Some(i));
+                }
+            }
         }
     }
 }
@@ -658,6 +937,18 @@ impl firesim_core::snapshot::Checkpoint for RtlBlade {
         w.put(&p.nic);
         w.put(&p.retired_samples);
         w.put(&p.trace);
+        drop(p);
+        // Sampled-mode estimator state, gated on the (config-carried)
+        // mode so plain blades' snapshots stay compact.
+        w.put_bool(self.sampling.is_some());
+        if let Some(samp) = &self.sampling {
+            w.put_u64(samp.det_cycles);
+            w.put(&samp.det_retired);
+            w.put(&samp.carry_q16);
+            w.put_u64(samp.win_cycles);
+            w.put_u64(samp.win_retired);
+            w.put(&samp.windows);
+        }
         Ok(())
     }
 
@@ -711,6 +1002,34 @@ impl firesim_core::snapshot::Checkpoint for RtlBlade {
         p.retired_samples = r.get()?;
         p.trace = r.get()?;
         drop(p);
+        let has_sampling = r.get_bool()?;
+        if has_sampling != self.sampling.is_some() {
+            return Err(firesim_core::SimError::checkpoint(format!(
+                "blade snapshot {} sampled-mode state, target {}",
+                if has_sampling { "has" } else { "lacks" },
+                if self.sampling.is_some() {
+                    "expects it"
+                } else {
+                    "does not"
+                }
+            )));
+        }
+        if let Some(samp) = &mut self.sampling {
+            samp.det_cycles = r.get_u64()?;
+            samp.det_retired = r.get()?;
+            samp.carry_q16 = r.get()?;
+            samp.win_cycles = r.get_u64()?;
+            samp.win_retired = r.get_u64()?;
+            samp.windows = r.get()?;
+            if samp.det_retired.len() != self.cores.len()
+                || samp.carry_q16.len() != self.cores.len()
+            {
+                return Err(firesim_core::SimError::checkpoint(
+                    "sampled-mode snapshot core count mismatch".to_owned(),
+                ));
+            }
+            samp.leg_start.clear();
+        }
         self.store_scratch.clear();
         self.rx_scratch.clear();
         self.device_lag = 0;
@@ -782,6 +1101,26 @@ impl SimAgent for RtlBlade {
         out.push(("host_dram_row_hits".to_owned(), ms.dram.row_hits));
         out.push(("host_dram_row_empty".to_owned(), ms.dram.row_empty));
         out.push(("host_dram_row_conflicts".to_owned(), ms.dram.row_conflicts));
+        out.push(("host_dram_refreshes".to_owned(), ms.dram.refreshes));
+        out.push((
+            "host_dram_refresh_stall_cycles".to_owned(),
+            ms.dram.refresh_stall_cycles,
+        ));
+        // Sampled-mode estimator outputs. Target-deterministic (the
+        // schedule and the Welford fold are pure functions of target
+        // state), so they stay unprefixed and flow into deterministic
+        // aggregates; only exported when the mode is on.
+        if let Some(samp) = &self.sampling {
+            out.push(("sampling_windows".to_owned(), samp.windows.n));
+            out.push((
+                "sampling_ipc_est_permille".to_owned(),
+                samp.ipc_est_permille(),
+            ));
+            let (lo, hi) = samp.windows.confidence95();
+            let permille = |v: f64| (v.max(0.0) * 1000.0) as u64;
+            out.push(("sampling_ci_lo_permille".to_owned(), permille(lo)));
+            out.push(("sampling_ci_hi_permille".to_owned(), permille(hi)));
+        }
         // Retired instructions per host-second, in millions:
         // retired / (host_ns / 1e9) / 1e6 = retired * 1000 / host_ns.
         // Zero until `enable_host_profiling` has produced a measurement.

@@ -733,27 +733,23 @@ impl<T: Send + 'static> Engine<T> {
     /// Samples the per-interval telemetry delta at the current quiescent
     /// boundary (the live-streaming hook, DESIGN §17).
     ///
-    /// Diffs the cumulative [`AgentProfile`]s and `retired` app counters
-    /// against the probe's previous call; the first call on a fresh probe
-    /// primes the baseline and returns an all-zero snapshot. Only
-    /// meaningful between runs — mid-run the profiles are owned by the
-    /// workers. All zeros until [`Engine::enable_metrics`] is called.
+    /// Diffs the cumulative [`AgentProfile`]s and app counters against the
+    /// probe's previous call; the first call on a fresh probe primes the
+    /// baseline and returns an all-zero snapshot. Only meaningful between
+    /// runs — mid-run the profiles are owned by the workers. All zeros
+    /// until [`Engine::enable_metrics`] is called.
     pub fn sample_interval(&self, probe: &mut IntervalProbe) -> IntervalSnapshot {
         let profiles = self.agent_profiles();
-        let retired: Vec<u64> = self
+        let counters: Vec<Vec<(String, u64)>> = self
             .agents
             .iter()
             .map(|s| {
                 let mut counters = Vec::new();
                 s.agent.app_counters(&mut counters);
                 counters
-                    .iter()
-                    .find(|(name, _)| name == "retired")
-                    .map(|(_, v)| *v)
-                    .unwrap_or(0)
             })
             .collect();
-        probe.sample(self.now.as_u64(), &profiles, &retired)
+        probe.sample(self.now.as_u64(), &profiles, &counters)
     }
 
     /// The current occupancy of every connected input link, in registration

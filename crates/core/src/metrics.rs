@@ -506,6 +506,25 @@ pub struct AgentIntervalSample {
     /// Host nanoseconds spent inside the agent's `advance` during the
     /// interval. Host-dependent: excluded from determinism comparisons.
     pub host_ns: u64,
+    /// Decode-cache hit rate over the interval in permille (from the
+    /// agent's `host_icache_hits`/`host_icache_misses` counter deltas);
+    /// 0 for agents without those counters or with no accesses this
+    /// interval. Deterministic for a fixed configuration, but depends on
+    /// host-speed knobs (`decode_cache`), hence excluded from
+    /// `deterministic_aggregates` at the report layer.
+    pub icache_hit_permille: u64,
+    /// Host-side MIPS over the interval (`d_retired` per host
+    /// microsecond). Host-dependent: normalized out of golden streams.
+    pub host_mips: u64,
+    /// Sampled-mode IPC estimate in permille (current value of the
+    /// agent's `sampling_ipc_est_permille` counter); 0 when the agent is
+    /// not running sampled.
+    pub ipc_est_permille: u64,
+    /// Sampled-mode 95% confidence interval bounds in permille; 0 when
+    /// not sampling.
+    pub ci_lo_permille: u64,
+    /// See `ci_lo_permille`.
+    pub ci_hi_permille: u64,
 }
 
 /// A deterministic delta of the whole engine between two quiescent
@@ -536,7 +555,32 @@ pub struct IntervalProbe {
     primed: bool,
     prev_cycle: u64,
     prev_profiles: Vec<AgentProfile>,
-    prev_retired: Vec<u64>,
+    prev_counters: Vec<CounterBase>,
+}
+
+/// The app-counter values an [`IntervalProbe`] diffs per agent.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterBase {
+    retired: u64,
+    icache_hits: u64,
+    icache_misses: u64,
+}
+
+impl CounterBase {
+    fn from_counters(counters: &[(String, u64)]) -> Self {
+        let find = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        CounterBase {
+            retired: find("retired"),
+            icache_hits: find("host_icache_hits"),
+            icache_misses: find("host_icache_misses"),
+        }
+    }
 }
 
 impl IntervalProbe {
@@ -549,38 +593,60 @@ impl IntervalProbe {
     /// Diffs the cumulative per-agent state against the previous call,
     /// returning the interval delta and advancing the baseline.
     ///
-    /// `profiles` and `retired` must be in a stable order (the engine's
-    /// registration order) and the same length on every call.
+    /// `profiles` and `counters` must be in a stable order (the engine's
+    /// registration order) and the same length on every call. Counter
+    /// lists are the agents' full `app_counters` output: the probe diffs
+    /// `retired` and the `host_icache_*` pair, and reads the sampled-mode
+    /// `sampling_*_permille` values as levels.
     pub fn sample(
         &mut self,
         cycle: u64,
         profiles: &[(String, AgentProfile)],
-        retired: &[u64],
+        counters: &[Vec<(String, u64)>],
     ) -> IntervalSnapshot {
-        debug_assert_eq!(profiles.len(), retired.len());
+        debug_assert_eq!(profiles.len(), counters.len());
         let primed = std::mem::replace(&mut self.primed, true);
         let agents = profiles
             .iter()
-            .zip(retired)
+            .zip(counters)
             .enumerate()
-            .map(|(i, ((name, p), &r))| {
-                let (prev_p, prev_r) = if primed {
+            .map(|(i, ((name, p), c))| {
+                let base = CounterBase::from_counters(c);
+                let (prev_p, prev_c) = if primed {
                     (
                         self.prev_profiles.get(i).copied().unwrap_or_default(),
-                        self.prev_retired.get(i).copied().unwrap_or_default(),
+                        self.prev_counters.get(i).copied().unwrap_or_default(),
                     )
                 } else {
                     // Unprimed: the baseline is the current state, so the
                     // first snapshot is all zeros.
-                    (*p, r)
+                    (*p, base)
                 };
+                let level = |name: &str| {
+                    c.iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0)
+                };
+                let d_retired = base.retired.saturating_sub(prev_c.retired);
+                let host_ns = p.host_ns.saturating_sub(prev_p.host_ns);
+                let d_ich = base.icache_hits.saturating_sub(prev_c.icache_hits);
+                let d_icm = base.icache_misses.saturating_sub(prev_c.icache_misses);
                 AgentIntervalSample {
                     name: name.clone(),
                     d_cycles: p.target_cycles.saturating_sub(prev_p.target_cycles),
                     d_tokens_in: p.tokens_in.saturating_sub(prev_p.tokens_in),
                     d_tokens_out: p.tokens_out.saturating_sub(prev_p.tokens_out),
-                    d_retired: r.saturating_sub(prev_r),
-                    host_ns: p.host_ns.saturating_sub(prev_p.host_ns),
+                    d_retired,
+                    host_ns,
+                    icache_hit_permille: (d_ich * 1000).checked_div(d_ich + d_icm).unwrap_or(0),
+                    host_mips: d_retired
+                        .saturating_mul(1000)
+                        .checked_div(host_ns)
+                        .unwrap_or(0),
+                    ipc_est_permille: level("sampling_ipc_est_permille"),
+                    ci_lo_permille: level("sampling_ci_lo_permille"),
+                    ci_hi_permille: level("sampling_ci_hi_permille"),
                 }
             })
             .collect();
@@ -591,7 +657,10 @@ impl IntervalProbe {
         };
         self.prev_cycle = cycle;
         self.prev_profiles = profiles.iter().map(|(_, p)| *p).collect();
-        self.prev_retired = retired.to_vec();
+        self.prev_counters = counters
+            .iter()
+            .map(|c| CounterBase::from_counters(c))
+            .collect();
         IntervalSnapshot {
             cycle,
             d_cycles,
@@ -731,19 +800,30 @@ mod tests {
             host_ns: 5_000,
             ..AgentProfile::default()
         };
+        let counters = |retired: u64, ich: u64, icm: u64| {
+            vec![
+                ("retired".to_owned(), retired),
+                ("host_icache_hits".to_owned(), ich),
+                ("host_icache_misses".to_owned(), icm),
+                ("sampling_ipc_est_permille".to_owned(), 640),
+            ]
+        };
         // Priming call: baseline established, all-zero snapshot.
-        let s0 = probe.sample(1000, &[("a".into(), p)], &[400]);
+        let s0 = probe.sample(1000, &[("a".into(), p)], &[counters(400, 90, 10)]);
         assert_eq!(s0.cycle, 1000);
         assert_eq!(s0.d_cycles, 0);
         assert_eq!(s0.agents.len(), 1);
         assert_eq!(s0.agents[0].d_cycles, 0);
         assert_eq!(s0.agents[0].d_retired, 0);
+        assert_eq!(s0.agents[0].icache_hit_permille, 0);
+        // Levels (not deltas) report even on the priming call.
+        assert_eq!(s0.agents[0].ipc_est_permille, 640);
 
         p.target_cycles += 500;
         p.tokens_in += 3;
         p.tokens_out += 7;
         p.host_ns += 2_000;
-        let s1 = probe.sample(1500, &[("a".into(), p)], &[460]);
+        let s1 = probe.sample(1500, &[("a".into(), p)], &[counters(460, 165, 35)]);
         assert_eq!(s1.cycle, 1500);
         assert_eq!(s1.d_cycles, 500);
         let a = &s1.agents[0];
@@ -752,14 +832,21 @@ mod tests {
             (500, 3, 7, 60)
         );
         assert_eq!(a.host_ns, 2_000);
+        // 75 hits / 25 misses this interval -> 750 permille.
+        assert_eq!(a.icache_hit_permille, 750);
+        // 60 insts over 2 us -> 30 MIPS.
+        assert_eq!(a.host_mips, 30);
+        assert_eq!(a.ipc_est_permille, 640);
+        assert_eq!((a.ci_lo_permille, a.ci_hi_permille), (0, 0));
 
-        // No progress -> all-zero delta.
-        let s2 = probe.sample(1500, &[("a".into(), p)], &[460]);
+        // No progress -> all-zero delta (levels persist).
+        let s2 = probe.sample(1500, &[("a".into(), p)], &[counters(460, 165, 35)]);
         assert_eq!(s2.d_cycles, 0);
         assert_eq!(
             s2.agents[0],
             AgentIntervalSample {
                 name: "a".into(),
+                ipc_est_permille: 640,
                 ..AgentIntervalSample::default()
             }
         );

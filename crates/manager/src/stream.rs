@@ -156,6 +156,22 @@ pub struct AgentSample {
     /// Host nanoseconds inside the agent this interval. Host-dependent:
     /// zeroed by [`StreamRecord::normalize`].
     pub host_ns: u64,
+    /// Host decode-cache hit rate over the interval, in permille (0 when
+    /// the agent has no decode cache or saw no fetches). Describes the
+    /// simulator, not the target, but the value itself is deterministic.
+    pub icache_hit_permille: u64,
+    /// Retired instructions per host microsecond (live MIPS) over the
+    /// interval. Host-dependent: zeroed by [`StreamRecord::normalize`].
+    pub host_mips: u64,
+    /// Sampled-mode blade IPC estimate in permille; 0 when sampling is
+    /// off (levels, not deltas — see DESIGN §18).
+    pub ipc_est_permille: u64,
+    /// Lower edge of the sampled-mode 95% IPC confidence interval, in
+    /// permille; 0 when sampling is off.
+    pub ci_lo_permille: u64,
+    /// Upper edge of the sampled-mode 95% IPC confidence interval, in
+    /// permille; 0 when sampling is off.
+    pub ci_hi_permille: u64,
 }
 
 /// One connected input link's occupancy at the interval boundary.
@@ -266,6 +282,12 @@ fn get_u64(v: &Value, key: &str) -> SimResult<u64> {
         .ok_or_else(|| SimError::protocol(format!("stream record missing u64 field `{key}`")))
 }
 
+/// Optional u64 field: fields added after wire version 1 shipped parse
+/// as 0 from older streams instead of erroring.
+fn get_u64_or_zero(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
 fn get_str(v: &Value, key: &str) -> SimResult<String> {
     v.get(key)
         .and_then(Value::as_str)
@@ -333,6 +355,11 @@ impl StreamRecord {
                                     ("d_tokens_out", Value::from(a.d_tokens_out)),
                                     ("d_retired", Value::from(a.d_retired)),
                                     ("host_ns", Value::from(a.host_ns)),
+                                    ("icache_hit_permille", Value::from(a.icache_hit_permille)),
+                                    ("host_mips", Value::from(a.host_mips)),
+                                    ("ipc_est_permille", Value::from(a.ipc_est_permille)),
+                                    ("ci_lo_permille", Value::from(a.ci_lo_permille)),
+                                    ("ci_hi_permille", Value::from(a.ci_hi_permille)),
                                 ])
                             })
                             .collect(),
@@ -431,6 +458,11 @@ impl StreamRecord {
                         d_tokens_out: get_u64(a, "d_tokens_out")?,
                         d_retired: get_u64(a, "d_retired")?,
                         host_ns: get_u64(a, "host_ns")?,
+                        icache_hit_permille: get_u64_or_zero(a, "icache_hit_permille"),
+                        host_mips: get_u64_or_zero(a, "host_mips"),
+                        ipc_est_permille: get_u64_or_zero(a, "ipc_est_permille"),
+                        ci_lo_permille: get_u64_or_zero(a, "ci_lo_permille"),
+                        ci_hi_permille: get_u64_or_zero(a, "ci_hi_permille"),
                     });
                 }
                 let mut links = Vec::new();
@@ -491,6 +523,7 @@ impl StreamRecord {
                 r.wall_ns = 0;
                 for a in &mut r.agents {
                     a.host_ns = 0;
+                    a.host_mips = 0;
                 }
             }
             StreamRecord::RunEnd(r) => r.wall_ns = 0,
@@ -745,6 +778,11 @@ impl StreamSession {
                     d_tokens_out: a.d_tokens_out,
                     d_retired: a.d_retired,
                     host_ns: a.host_ns,
+                    icache_hit_permille: a.icache_hit_permille,
+                    host_mips: a.host_mips,
+                    ipc_est_permille: a.ipc_est_permille,
+                    ci_lo_permille: a.ci_lo_permille,
+                    ci_hi_permille: a.ci_hi_permille,
                 })
                 .collect(),
             links,
@@ -856,6 +894,11 @@ mod tests {
                     d_tokens_out: 9,
                     d_retired: 55_000,
                     host_ns: 1_234,
+                    icache_hit_permille: 930,
+                    host_mips: 44,
+                    ipc_est_permille: 550,
+                    ci_lo_permille: 520,
+                    ci_hi_permille: 580,
                 }],
                 links: vec![LinkSample {
                     agent: "tor0".into(),

@@ -142,6 +142,13 @@ pub struct Cache {
     last_line: u64,
     /// Slot in `lines` that `last_line` resides in.
     last_slot: usize,
+    /// Host-only: repeat hits on `last_line` accumulated by
+    /// [`access_fetch`](Self::access_fetch) but not yet applied to
+    /// `stamp`/`lru`/`stats`. Flushed (in bulk, exactly equivalent to
+    /// the same number of sequential repeat-path accesses) before any
+    /// other mutation; folded in pure-functionally by `save_state` and
+    /// `stats`, so it is never observable.
+    repeat_pending: u64,
 }
 
 impl Cache {
@@ -163,6 +170,7 @@ impl Cache {
             mru: vec![0; sets],
             last_line: u64::MAX,
             last_slot: 0,
+            repeat_pending: 0,
         }
     }
 
@@ -173,7 +181,34 @@ impl Cache {
 
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut s = self.stats;
+        s.hits += self.repeat_pending;
+        s
+    }
+
+    /// Applies deferred repeat hits: `n` sequential repeat-path accesses
+    /// advance `stamp` by `n`, leave the line's `lru` at the final stamp
+    /// and add `n` hits — so one bulk update is bit-equivalent.
+    #[inline]
+    fn flush_repeat(&mut self) {
+        let n = core::mem::take(&mut self.repeat_pending);
+        self.stamp += n;
+        self.lines[self.last_slot].lru = self.stamp;
+        self.stats.hits += n;
+    }
+
+    /// Instruction-fetch lookup: like [`access`](Self::access) with
+    /// `is_store = false`, but consecutive fetches from one line — the
+    /// overwhelmingly common case inside superblocks — take a two-
+    /// instruction fast path that defers the LRU/statistics bookkeeping
+    /// (see `repeat_pending`). Returns whether the fetch hit.
+    #[inline]
+    pub fn access_fetch(&mut self, addr: u64) -> bool {
+        if (addr >> self.line_shift) == self.last_line {
+            self.repeat_pending += 1;
+            return true;
+        }
+        self.access(addr, false).hit
     }
 
     #[inline]
@@ -188,6 +223,9 @@ impl Cache {
     /// Marks the line dirty on stores.
     #[inline]
     pub fn access(&mut self, addr: u64, is_store: bool) -> AccessResult {
+        if self.repeat_pending != 0 {
+            self.flush_repeat();
+        }
         self.stamp += 1;
         let line_idx = addr >> self.line_shift;
 
@@ -274,7 +312,11 @@ impl Cache {
     /// Invalidates the line containing `addr` (coherence shoot-down).
     /// Returns true when a valid line was present.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        // The removed line may be the repeat shortcut's target.
+        // The removed line may be the repeat shortcut's target; settle
+        // deferred bookkeeping against it first.
+        if self.repeat_pending != 0 {
+            self.flush_repeat();
+        }
         self.last_line = u64::MAX;
         let (set, tag) = self.index(addr);
         let ways = self.config.ways;
@@ -319,15 +361,22 @@ impl firesim_core::snapshot::Checkpoint for Cache {
         &self,
         w: &mut firesim_core::snapshot::SnapshotWriter,
     ) -> firesim_core::SimResult<()> {
+        // Serialise as if `repeat_pending` deferred hits had been applied,
+        // so the bytes never depend on the host-only memo state.
+        let stamp = self.stamp + self.repeat_pending;
         w.put_usize(self.lines.len());
-        for line in &self.lines {
+        for (i, line) in self.lines.iter().enumerate() {
             w.put_u64(line.tag);
             w.put_bool(line.valid);
             w.put_bool(line.dirty);
-            w.put_u64(line.lru);
+            if self.repeat_pending != 0 && i == self.last_slot {
+                w.put_u64(stamp);
+            } else {
+                w.put_u64(line.lru);
+            }
         }
-        w.put_u64(self.stamp);
-        w.put(&self.stats);
+        w.put_u64(stamp);
+        w.put(&self.stats());
         Ok(())
     }
 
@@ -350,22 +399,25 @@ impl firesim_core::snapshot::Checkpoint for Cache {
         }
         self.stamp = r.get_u64()?;
         self.stats = r.get()?;
-        // Restored contents invalidate the host-only repeat shortcut.
+        // Restored contents invalidate the host-only repeat shortcut;
+        // the snapshot already folded any deferred hits in.
         self.last_line = u64::MAX;
+        self.repeat_pending = 0;
         Ok(())
     }
 }
 
 impl fmt::Display for Cache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
         write!(
             f,
             "{} KiB {}-way cache: {} hits, {} misses ({:.1}% miss)",
             self.config.size_bytes / 1024,
             self.config.ways,
-            self.stats.hits,
-            self.stats.misses,
-            self.stats.miss_ratio() * 100.0
+            stats.hits,
+            stats.misses,
+            stats.miss_ratio() * 100.0
         )
     }
 }
@@ -458,6 +510,39 @@ mod tests {
             ways: 3,
             line_bytes: 64,
         });
+    }
+
+    #[test]
+    fn fetch_memo_is_bit_equivalent_to_plain_accesses() {
+        use firesim_core::snapshot::Checkpoint;
+        let snap = |c: &Cache| {
+            let mut w = firesim_core::snapshot::SnapshotWriter::new();
+            c.save_state(&mut w).unwrap();
+            w.into_bytes()
+        };
+        // Same address stream through access_fetch vs plain access:
+        // repeated lines, a line change, an invalidate, and an interleaved
+        // store through the ordinary path (which must flush the memo).
+        let stream: &[u64] = &[0x1000, 0x1004, 0x1008, 0x1040, 0x1044, 0x1000, 0x1004];
+        let mut memo = tiny();
+        let mut plain = tiny();
+        for &a in stream {
+            assert_eq!(memo.access_fetch(a), plain.access(a, false).hit);
+        }
+        assert_eq!(memo.stats(), plain.stats());
+        assert_eq!(snap(&memo), snap(&plain));
+        // Mid-memo snapshot folds pending hits in (take one with pending
+        // nonzero) and an ordinary access flushes deterministically.
+        memo.access_fetch(0x1004);
+        plain.access(0x1004, false);
+        assert_eq!(snap(&memo), snap(&plain));
+        memo.access(0x1040, true);
+        plain.access(0x1040, true);
+        assert_eq!(snap(&memo), snap(&plain));
+        memo.invalidate(0x1000);
+        plain.invalidate(0x1000);
+        assert_eq!(snap(&memo), snap(&plain));
+        assert_eq!(memo.stats(), plain.stats());
     }
 
     #[test]

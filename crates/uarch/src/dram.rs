@@ -3,15 +3,37 @@
 //! FireSim attaches a synthesizable DRAM timing model (from MIDAS) to each
 //! FPGA's on-board memory, parameterised to behave like DDR3. This module
 //! is the software equivalent: per-bank open rows, tRCD/tCAS/tRP timing,
-//! bank busy windows, and an open-page policy. Latencies are expressed in
-//! CPU cycles at the target clock, so callers simply add the returned
-//! latency to their current cycle.
+//! bank busy windows, an open-page policy, and periodic tREFI/tRFC
+//! refresh. Latencies are expressed in CPU cycles at the target clock, so
+//! callers simply add the returned latency to their current cycle.
+//!
+//! # Event-queue vs per-deadline reference
+//!
+//! Refresh is the only periodic behaviour in the model, and it admits two
+//! implementations that must agree bit-for-bit (DESIGN §18):
+//!
+//! * the **reference model** ([`DramConfig::reference_model`]` = true`)
+//!   eagerly walks every elapsed refresh deadline and applies it to every
+//!   bank — O(deadlines × banks) per time advance, trivially correct;
+//! * the **event-queue model** (the default) treats refresh deadlines as
+//!   lazily-materialised events: [`Dram::advance_to`] only moves a
+//!   horizon counter in O(1), and a bank's missed refreshes are collapsed
+//!   into a closed form the next time that bank is touched. Idle banks
+//!   are never visited at all.
+//!
+//! Both serialise the *materialised* state, so snapshots are identical
+//! regardless of model (and cross-restorable); `tests/dram_equiv.rs`
+//! differential-tests the pair the same way `TimingConfig::
+//! reference_timing` is tested.
 
 /// DDR3-like timing parameters (in CPU cycles at the target clock).
 ///
 /// Defaults approximate DDR3-1600 behind a 3.2 GHz core: the memory
 /// controller runs at 800 MHz, so one memory-controller cycle is 4 CPU
 /// cycles; tCL/tRCD/tRP of 11 controller cycles become 44 CPU cycles each.
+/// Refresh defaults follow the DDR3 datasheet: one all-bank auto-refresh
+/// every tREFI = 7.8 µs (24 960 CPU cycles), each taking tRFC = 260 ns
+/// (832 CPU cycles) during which the banks are busy and all rows close.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of banks.
@@ -28,6 +50,16 @@ pub struct DramConfig {
     pub t_burst: u64,
     /// Fixed controller/queueing overhead per request.
     pub t_controller: u64,
+    /// Refresh interval: one all-bank refresh is due every `t_refi`
+    /// cycles. `0` disables refresh entirely.
+    pub t_refi: u64,
+    /// Refresh cycle time: how long each refresh keeps the banks busy.
+    pub t_rfc: u64,
+    /// Use the retained per-deadline-scan reference implementation
+    /// instead of the event-queue one. Bit-identical by construction;
+    /// kept for differential testing (like `TimingConfig::
+    /// reference_timing`).
+    pub reference_model: bool,
 }
 
 impl Default for DramConfig {
@@ -40,6 +72,20 @@ impl Default for DramConfig {
             t_rp: 44,
             t_burst: 16,
             t_controller: 20,
+            t_refi: 24_960,
+            t_rfc: 832,
+            reference_model: false,
+        }
+    }
+}
+
+impl DramConfig {
+    /// The default configuration with refresh disabled — handy for tests
+    /// that pin exact latency formulas.
+    pub fn no_refresh() -> Self {
+        DramConfig {
+            t_refi: 0,
+            ..DramConfig::default()
         }
     }
 }
@@ -66,6 +112,12 @@ pub struct DramStats {
     pub row_conflicts: u64,
     /// Total cycles of service latency charged.
     pub total_latency: u64,
+    /// All-bank refresh operations performed (one per elapsed tREFI).
+    pub refreshes: u64,
+    /// Cycles requests spent waiting specifically for a refresh to
+    /// finish (the portion of each request's queueing delay attributable
+    /// to tRFC busy windows, not to earlier requests).
+    pub refresh_stall_cycles: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -73,6 +125,40 @@ struct Bank {
     open_row: Option<u64>,
     /// Cycle at which the bank can next start a request.
     ready_at: u64,
+    /// `ready_at` as assigned by the most recent refresh applied to this
+    /// bank (0 if none). Monotone, and always ≤ `ready_at`; used to
+    /// attribute request stall cycles to refresh.
+    refresh_ready: u64,
+    /// Number of refresh deadlines already applied to this bank. The
+    /// reference model keeps every bank in lockstep with the horizon;
+    /// the event-queue model lets banks lag and catches them up lazily.
+    refreshed_through: u64,
+}
+
+impl Bank {
+    /// The bank's state after catching up to `due` refresh deadlines
+    /// (deadline *k* falls at `k * t_refi`). Pure: this is the
+    /// closed-form collapse of the reference model's one-deadline-at-a-
+    /// time recurrence `r_k = max(r_{k-1}, d_k) + t_rfc`, whose maximum
+    /// over the elapsed deadlines is reached at one of the endpoints
+    /// because the deadlines are linear in `k`.
+    fn refreshed(&self, due: u64, t_refi: u64, t_rfc: u64) -> Bank {
+        let missed = due - self.refreshed_through;
+        if missed == 0 {
+            return *self;
+        }
+        let first = (self.refreshed_through + 1) * t_refi;
+        let last = due * t_refi;
+        let ready = (self.ready_at + missed * t_rfc)
+            .max(first + missed * t_rfc)
+            .max(last + t_rfc);
+        Bank {
+            open_row: None,
+            ready_at: ready,
+            refresh_ready: ready,
+            refreshed_through: due,
+        }
+    }
 }
 
 /// The DRAM timing model.
@@ -92,6 +178,11 @@ pub struct Dram {
     config: DramConfig,
     banks: Vec<Bank>,
     stats: DramStats,
+    /// Highest cycle the model has observed (via `access` or
+    /// `advance_to`): the refresh horizon. Deadlines at or below it are
+    /// committed — eagerly in the reference model, lazily per bank in
+    /// the event-queue model.
+    horizon: u64,
 }
 
 impl Dram {
@@ -114,6 +205,7 @@ impl Dram {
             banks: vec![Bank::default(); config.banks],
             config,
             stats: DramStats::default(),
+            horizon: 0,
         }
     }
 
@@ -125,6 +217,51 @@ impl Dram {
     /// Accumulated statistics.
     pub fn stats(&self) -> DramStats {
         self.stats
+    }
+
+    /// Number of refresh deadlines at or below `cycle`.
+    #[inline]
+    fn due(&self, cycle: u64) -> u64 {
+        cycle.checked_div(self.config.t_refi).unwrap_or(0)
+    }
+
+    /// Moves the refresh horizon forward to `cycle` (never backwards).
+    ///
+    /// Event-queue model: O(1) — banks are caught up lazily when next
+    /// touched. Reference model: walks every newly elapsed deadline and
+    /// applies it to every bank.
+    #[inline]
+    fn note_time(&mut self, cycle: u64) {
+        if cycle <= self.horizon {
+            return;
+        }
+        self.horizon = cycle;
+        if self.config.t_refi == 0 {
+            return;
+        }
+        let due = self.due(cycle);
+        self.stats.refreshes = due;
+        if self.config.reference_model {
+            // One deadline at a time, every bank: the retained reference.
+            let (t_refi, t_rfc) = (self.config.t_refi, self.config.t_rfc);
+            let applied = self.banks[0].refreshed_through;
+            for k in applied..due {
+                let deadline = (k + 1) * t_refi;
+                for bank in &mut self.banks {
+                    bank.ready_at = bank.ready_at.max(deadline) + t_rfc;
+                    bank.refresh_ready = bank.ready_at;
+                    bank.open_row = None;
+                    bank.refreshed_through = k + 1;
+                }
+            }
+        }
+    }
+
+    /// Advances the model's notion of time without issuing a request, so
+    /// refresh bookkeeping stays current across idle spans. O(1) in the
+    /// event-queue model no matter how far `cycle` jumps.
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.note_time(cycle);
     }
 
     #[inline]
@@ -142,11 +279,23 @@ impl Dram {
     /// returns the cycle at which the data transfer completes.
     ///
     /// The model serialises requests per bank (a busy bank delays the
-    /// request start) and applies open-page row policy.
+    /// request start) and applies open-page row policy. Refresh
+    /// deadlines up to the horizon are committed first, so a request
+    /// landing inside a tRFC busy window waits it out (counted in
+    /// [`DramStats::refresh_stall_cycles`]).
     pub fn access(&mut self, now: u64, addr: u64) -> u64 {
+        self.note_time(now);
         let (bank_idx, row) = self.map(addr);
         let c = self.config;
+        if c.t_refi != 0 && !c.reference_model {
+            let due = self.horizon / c.t_refi;
+            let bank = &mut self.banks[bank_idx];
+            if bank.refreshed_through < due {
+                *bank = bank.refreshed(due, c.t_refi, c.t_rfc);
+            }
+        }
         let bank = &mut self.banks[bank_idx];
+        self.stats.refresh_stall_cycles += bank.refresh_ready.saturating_sub(now);
         let start = now.max(bank.ready_at);
         let (outcome, array_latency) = match bank.open_row {
             Some(open) if open == row => (RowOutcome::Hit, c.t_cas),
@@ -177,6 +326,8 @@ impl firesim_core::snapshot::Snapshot for DramStats {
         w.put_u64(self.row_empty);
         w.put_u64(self.row_conflicts);
         w.put_u64(self.total_latency);
+        w.put_u64(self.refreshes);
+        w.put_u64(self.refresh_stall_cycles);
     }
     fn load(r: &mut firesim_core::snapshot::SnapshotReader<'_>) -> firesim_core::SimResult<Self> {
         Ok(DramStats {
@@ -184,20 +335,34 @@ impl firesim_core::snapshot::Snapshot for DramStats {
             row_empty: r.get_u64()?,
             row_conflicts: r.get_u64()?,
             total_latency: r.get_u64()?,
+            refreshes: r.get_u64()?,
+            refresh_stall_cycles: r.get_u64()?,
         })
     }
 }
 
 impl firesim_core::snapshot::Checkpoint for Dram {
+    /// Serialises the *materialised* state — every bank caught up to the
+    /// refresh horizon — so the bytes are independent of which model
+    /// produced them. Event-queue and reference snapshots are
+    /// interchangeable.
     fn save_state(
         &self,
         w: &mut firesim_core::snapshot::SnapshotWriter,
     ) -> firesim_core::SimResult<()> {
+        let due = self.due(self.horizon);
         w.put_usize(self.banks.len());
         for bank in &self.banks {
-            w.put(&bank.open_row);
-            w.put_u64(bank.ready_at);
+            let eff = if bank.refreshed_through < due {
+                bank.refreshed(due, self.config.t_refi, self.config.t_rfc)
+            } else {
+                *bank
+            };
+            w.put(&eff.open_row);
+            w.put_u64(eff.ready_at);
+            w.put_u64(eff.refresh_ready);
         }
+        w.put_u64(self.horizon);
         w.put(&self.stats);
         Ok(())
     }
@@ -216,8 +381,15 @@ impl firesim_core::snapshot::Checkpoint for Dram {
         for bank in &mut self.banks {
             bank.open_row = r.get()?;
             bank.ready_at = r.get_u64()?;
+            bank.refresh_ready = r.get_u64()?;
         }
+        self.horizon = r.get_u64()?;
         self.stats = r.get()?;
+        // Snapshots carry materialised banks: mark them caught up.
+        let due = self.due(self.horizon);
+        for bank in &mut self.banks {
+            bank.refreshed_through = due;
+        }
         Ok(())
     }
 }
@@ -225,9 +397,16 @@ impl firesim_core::snapshot::Checkpoint for Dram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use firesim_core::snapshot::{Checkpoint, SnapshotReader, SnapshotWriter};
 
     fn cfg() -> DramConfig {
-        DramConfig::default()
+        DramConfig::no_refresh()
+    }
+
+    fn snap(d: &Dram) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        d.save_state(&mut w).unwrap();
+        w.into_bytes()
     }
 
     #[test]
@@ -282,6 +461,90 @@ mod tests {
         let done1 = d.access(0, 0);
         let done2 = d.access(done1 + 1000, 0);
         assert_eq!(done2 - (done1 + 1000), d.latency(done2 + 5000, 0));
+    }
+
+    #[test]
+    fn refresh_closes_the_open_row() {
+        let c = DramConfig::default();
+        let mut d = Dram::new(c);
+        let lat_first = d.latency(0, 0);
+        // Past two tREFI deadlines (and clear of the second tRFC busy
+        // window): the row the first access opened has been closed by
+        // refresh, so this is Empty again, not Hit.
+        let lat_after = d.latency(2 * c.t_refi + c.t_rfc, 0);
+        assert_eq!(lat_after, lat_first);
+        assert_eq!(d.stats().row_hits, 0);
+        assert_eq!(d.stats().row_empty, 2);
+        assert_eq!(d.stats().refreshes, 2);
+    }
+
+    #[test]
+    fn request_near_deadline_waits_out_the_refresh() {
+        let c = DramConfig::default();
+        let mut d = Dram::new(c);
+        // Idle bank, request lands 10 cycles after the first deadline:
+        // the refresh occupies [t_refi, t_refi + t_rfc), so the request
+        // stalls until the busy window ends.
+        let now = c.t_refi + 10;
+        let lat = d.latency(now, 0);
+        let stall = (c.t_refi + c.t_rfc) - now;
+        assert_eq!(lat, stall + c.t_controller + c.t_rcd + c.t_cas + c.t_burst);
+        assert_eq!(d.stats().refresh_stall_cycles, stall);
+    }
+
+    #[test]
+    fn advance_to_commits_refreshes_without_requests() {
+        let c = DramConfig::default();
+        for reference in [false, true] {
+            let mut d = Dram::new(DramConfig {
+                reference_model: reference,
+                ..c
+            });
+            d.advance_to(10 * c.t_refi + 5);
+            assert_eq!(d.stats().refreshes, 10);
+            // Moving backwards is a no-op.
+            d.advance_to(c.t_refi);
+            assert_eq!(d.stats().refreshes, 10);
+        }
+    }
+
+    #[test]
+    fn event_and_reference_snapshots_are_identical() {
+        let mut ev = Dram::new(DramConfig::default());
+        let mut rf = Dram::new(DramConfig {
+            reference_model: true,
+            ..DramConfig::default()
+        });
+        let c = DramConfig::default();
+        // Interleave accesses, long idle jumps, and time-only advances.
+        let nows = [0, 100, c.t_refi + 3, 4 * c.t_refi, 4 * c.t_refi + 77];
+        for (i, &now) in nows.iter().enumerate() {
+            let addr = (i as u64) * 8 * 64 + 64;
+            assert_eq!(ev.access(now, addr), rf.access(now, addr), "access {i}");
+        }
+        ev.advance_to(9 * c.t_refi + 1);
+        rf.advance_to(9 * c.t_refi + 1);
+        assert_eq!(ev.stats(), rf.stats());
+        assert_eq!(snap(&ev), snap(&rf));
+    }
+
+    #[test]
+    fn snapshots_cross_restore_between_models() {
+        let c = DramConfig::default();
+        let mut ev = Dram::new(c);
+        ev.access(0, 0);
+        ev.access(c.t_refi * 3 + 9, 128);
+        ev.advance_to(c.t_refi * 5);
+        let bytes = snap(&ev);
+        let mut rf = Dram::new(DramConfig {
+            reference_model: true,
+            ..c
+        });
+        rf.restore_state(&mut SnapshotReader::new(&bytes)).unwrap();
+        // Continue both identically.
+        let now = c.t_refi * 6 + 13;
+        assert_eq!(ev.access(now, 64), rf.access(now, 64));
+        assert_eq!(snap(&ev), snap(&rf));
     }
 
     #[test]

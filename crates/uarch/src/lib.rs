@@ -29,6 +29,6 @@ pub mod memsys;
 pub mod timing;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use dram::{Dram, DramConfig};
-pub use memsys::{AccessKind, MemSystem, MemSystemConfig};
-pub use timing::{TickEvent, TimingConfig, TimingCore, TraceEntry};
+pub use dram::{Dram, DramConfig, DramStats, RowOutcome};
+pub use memsys::{AccessKind, MemSystem, MemSystemConfig, MemSystemStats};
+pub use timing::{SamplingConfig, TickEvent, TimingConfig, TimingCore, TraceEntry};

@@ -112,17 +112,19 @@ impl MemSystem {
     /// Panics if `core` is out of range for a core-side access.
     #[inline]
     pub fn access(&mut self, core: usize, kind: AccessKind, addr: u64, now: u64) -> u64 {
-        let (l1_result, is_store) = match kind {
-            AccessKind::Fetch => (Some(self.l1i[core].access(addr, false)), false),
-            AccessKind::Load => (Some(self.l1d[core].access(addr, false)), false),
-            AccessKind::Store => (Some(self.l1d[core].access(addr, true)), true),
-            AccessKind::Amo => (Some(self.l1d[core].access(addr, true)), true),
-            AccessKind::Dma => (None, false),
+        let (hit, is_store) = match kind {
+            // Fetches take the L1I's deferred-repeat fast path: straight-
+            // line code fetches the same line many times in a row.
+            AccessKind::Fetch => (self.l1i[core].access_fetch(addr), false),
+            AccessKind::Load => (self.l1d[core].access(addr, false).hit, false),
+            AccessKind::Store => (self.l1d[core].access(addr, true).hit, true),
+            AccessKind::Amo => (self.l1d[core].access(addr, true).hit, true),
+            AccessKind::Dma => return self.access_miss(false, false, addr, now),
         };
-
-        match l1_result {
-            Some(r) if r.hit => self.config.l1_hit_cycles,
-            other => self.access_miss(other.is_some(), is_store, addr, now),
+        if hit {
+            self.config.l1_hit_cycles
+        } else {
+            self.access_miss(true, is_store, addr, now)
         }
     }
 
@@ -143,6 +145,13 @@ impl MemSystem {
             }
         }
         latency
+    }
+
+    /// Advances the DRAM's notion of time to `cycle` without issuing a
+    /// request, keeping refresh bookkeeping current across idle spans.
+    /// O(1) under the event-queue DRAM model.
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.dram.advance_to(cycle);
     }
 
     /// Invalidates `addr` in every L1 data cache except `except_core`

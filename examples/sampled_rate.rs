@@ -1,0 +1,151 @@
+//! Run it sampled: the same blade, detailed vs sampled timing.
+//!
+//! ```text
+//! cargo run --release --example sampled_rate
+//! cargo run --release --example sampled_rate -- --windows 4096
+//! ```
+//!
+//! Sampled mode (`TimingConfig::sampling` on a blade, or
+//! `SimConfig::sampling` for a whole topology) alternates
+//! detailed-timing windows with CPI-estimated fast-forward spans:
+//! within each `detailed_window + fastforward` period the first part
+//! runs the full timing model and the rest retires instructions at the
+//! measured IPC without touching the pipeline, cache, or DRAM timing
+//! state. The NIC stays cycle-exact, so network experiments keep their
+//! latency semantics.
+//!
+//! This example runs one compute-bound blade both ways and prints the
+//! host wall-clock, the simulated-cycle rate, and the sampled run's
+//! IPC estimate with its 95% confidence interval next to the detailed
+//! run's ground truth. See DESIGN.md §18 for the error model and
+//! EXPERIMENTS.md ("Host performance — sampled timing") for committed
+//! numbers.
+
+use std::time::Instant;
+
+use firesim_blade::{programs, BladeConfig, RtlBlade, SamplingConfig};
+use firesim_core::{AgentCtx, Cycle, SimAgent, TokenWindow};
+use firesim_net::MacAddr;
+use firesim_riscv::asm::Assembler;
+use firesim_riscv::DRAM_BASE;
+
+const WINDOW: u32 = 3_200;
+
+/// Compute-bound workload: an xorshift generator steering a branchy
+/// detour with an L1-resident load — window-to-window IPC variance
+/// without memory-warming bias (DESIGN §18).
+fn compute_program() -> programs::Program {
+    let mut a = Assembler::new(DRAM_BASE);
+    a.li(5, 0x243F_6A88_85A3_08D3u64 as i64); // xorshift state
+    a.li(6, DRAM_BASE as i64 + 0x4_0000); // 2 KiB scratch, L1-resident
+    a.li(8, 0); // accumulator
+    a.label("loop");
+    a.slli(7, 5, 13);
+    a.xor(5, 5, 7);
+    a.srli(7, 5, 7);
+    a.xor(5, 5, 7);
+    a.slli(7, 5, 17);
+    a.xor(5, 5, 7);
+    a.add(8, 8, 5);
+    a.andi(7, 5, 8);
+    a.beq(7, 0, "skip");
+    a.mul(9, 5, 8);
+    a.xor(8, 8, 9);
+    a.andi(29, 5, 0x7f8);
+    a.add(29, 29, 6);
+    a.ld(30, 29, 0);
+    a.add(8, 8, 30);
+    a.label("skip");
+    a.andi(29, 5, 0x3f8);
+    a.add(29, 29, 6);
+    a.sd(8, 29, 0);
+    a.j("loop");
+    programs::Program {
+        image: a.assemble().expect("compute program assembles"),
+        dram_init: Vec::new(),
+        mailbox: (programs::MAILBOX, 8),
+    }
+}
+
+fn blade(sampling: Option<SamplingConfig>) -> RtlBlade {
+    let mut config = BladeConfig::single_core().with_dram_bytes(1 << 20);
+    config.timing.sampling = sampling;
+    let mut blade = RtlBlade::new("compute", MacAddr::from_node_index(0), config);
+    compute_program().install(&mut blade);
+    blade
+}
+
+struct Run {
+    secs: f64,
+    counters: Vec<(String, u64)>,
+}
+
+fn run(mut blade: RtlBlade, windows: u64) -> Run {
+    let t0 = Instant::now();
+    let mut now = 0u64;
+    for _ in 0..windows {
+        let mut ctx =
+            AgentCtx::standalone(Cycle::new(now), WINDOW, vec![TokenWindow::new(WINDOW)], 1);
+        SimAgent::advance(&mut blade, &mut ctx);
+        now += u64::from(WINDOW);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let mut counters = Vec::new();
+    SimAgent::app_counters(&blade, &mut counters);
+    Run { secs, counters }
+}
+
+fn counter(run: &Run, name: &str) -> u64 {
+    run.counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let windows: u64 = args
+        .iter()
+        .position(|a| a == "--windows")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| w.parse().expect("--windows takes a number"))
+        .unwrap_or(2_048);
+
+    let sampling = SamplingConfig {
+        detailed_window: 2_000,
+        fastforward: 6_000,
+    };
+
+    // Warm-up pass so first-touch allocation doesn't tilt the comparison.
+    run(blade(None), windows.min(128));
+
+    let detailed = run(blade(None), windows);
+    let sampled = run(blade(Some(sampling)), windows);
+
+    let cycles = counter(&detailed, "cycles");
+    assert_eq!(cycles, counter(&sampled, "cycles"), "target cycles differ");
+    let detailed_ipc = counter(&detailed, "retired") * 1_000 / cycles.max(1);
+
+    println!(
+        "target cycles: {cycles} ({windows} windows of {WINDOW}); \
+         sampling {}+{} (detailed quarter)",
+        sampling.detailed_window, sampling.fastforward
+    );
+    println!(
+        "detailed: {:6.2} ms  {:6.2} Mcyc/s  IPC {detailed_ipc}\u{2030}",
+        detailed.secs * 1e3,
+        cycles as f64 / detailed.secs / 1e6,
+    );
+    println!(
+        "sampled:  {:6.2} ms  {:6.2} Mcyc/s  IPC est {}\u{2030} \
+         (95% CI [{}\u{2030}, {}\u{2030}], {} windows)  speedup {:.2}x",
+        sampled.secs * 1e3,
+        cycles as f64 / sampled.secs / 1e6,
+        counter(&sampled, "sampling_ipc_est_permille"),
+        counter(&sampled, "sampling_ci_lo_permille"),
+        counter(&sampled, "sampling_ci_hi_permille"),
+        counter(&sampled, "sampling_windows"),
+        detailed.secs / sampled.secs,
+    );
+}

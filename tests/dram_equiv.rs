@@ -1,0 +1,393 @@
+//! Differential tests for the event-queue DRAM refresh model.
+//!
+//! The event-queue model (lazily-materialised refresh deadlines, O(1)
+//! `advance_to`, idle banks never visited) is a host-side optimisation
+//! only: it must be *bit-identical* to the retained per-deadline-scan
+//! reference (`DramConfig::reference_model`) — same latencies, same
+//! statistics, same snapshot bytes — the same contract
+//! `tests/timing_equiv.rs` enforces for the timing schedules. The
+//! blade-level tests then demand that a full RTL cluster's checkpoint
+//! is byte-identical across the two DRAM models, worker counts, and
+//! decode-cache settings.
+
+use firesim_blade::{programs, BladeConfig, RtlBlade};
+use firesim_core::snapshot::{Checkpoint, SnapshotWriter};
+use firesim_core::{Cycle, Frequency};
+use firesim_manager::{BladeSpec, SimConfig, Topology};
+use firesim_net::MacAddr;
+use firesim_uarch::{Dram, DramConfig};
+
+/// Deterministic splitmix-style generator (same construction as the
+/// other integration tests): seed-stable across platforms and runs.
+struct Rng {
+    s: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng {
+            s: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut z = self.s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.s = self.s.wrapping_add(1);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dram unit level
+// ---------------------------------------------------------------------------
+
+/// One step of a generated workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `access(now, addr)`.
+    Access(u64, u64),
+    /// `advance_to(cycle)` — a request-free time jump.
+    Advance(u64),
+}
+
+/// A seeded random workload: mostly-monotone request times with
+/// occasional long idle gaps and request-free `advance_to` jumps, over
+/// addresses that cover every bank (plus a hot single-bank range).
+fn random_ops(seed: u64, n: usize, cfg: &DramConfig) -> Vec<Op> {
+    let mut rng = Rng::new(seed);
+    let mut now = 0u64;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        now += match rng.below(10) {
+            // Back-to-back requests (bank busy windows overlap).
+            0..=5 => rng.below(64),
+            // Medium gap.
+            6..=7 => rng.below(1_000),
+            // Long idle gap: several refresh deadlines elapse untouched.
+            _ => cfg.t_refi.max(1) * (1 + rng.below(4)),
+        };
+        match rng.below(8) {
+            // Request-free advance (what the blade does at window ends).
+            0 => ops.push(Op::Advance(now + rng.below(2 * cfg.t_refi.max(1)))),
+            // Hot bank: same row over and over.
+            1..=2 => ops.push(Op::Access(now, 0x100 + rng.below(8) * 8)),
+            // Anywhere: all banks, many rows.
+            _ => ops.push(Op::Access(now, rng.below(1 << 24))),
+        }
+    }
+    ops
+}
+
+fn snapshot_dram(d: &Dram) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    d.save_state(&mut w).expect("dram snapshots");
+    w.into_bytes()
+}
+
+/// Runs `ops` through both models in lockstep, comparing every returned
+/// latency, the statistics, and the snapshot bytes after every step.
+fn assert_models_agree(cfg: DramConfig, ops: &[Op], label: &str) {
+    let mut event = Dram::new(DramConfig {
+        reference_model: false,
+        ..cfg
+    });
+    let mut reference = Dram::new(DramConfig {
+        reference_model: true,
+        ..cfg
+    });
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Access(now, addr) => {
+                let le = event.access(now, addr);
+                let lr = reference.access(now, addr);
+                assert_eq!(le, lr, "{label}: latency diverged at op {i} ({op:?})");
+            }
+            Op::Advance(cycle) => {
+                event.advance_to(cycle);
+                reference.advance_to(cycle);
+            }
+        }
+        assert_eq!(
+            event.stats(),
+            reference.stats(),
+            "{label}: stats diverged at op {i} ({op:?})"
+        );
+        assert_eq!(
+            snapshot_dram(&event),
+            snapshot_dram(&reference),
+            "{label}: snapshots diverged at op {i} ({op:?})"
+        );
+    }
+}
+
+#[test]
+fn random_streams_match_reference() {
+    let cfg = DramConfig::default();
+    for seed in 1..=8 {
+        let ops = random_ops(seed, 400, &cfg);
+        assert_models_agree(cfg, &ops, &format!("seed {seed}"));
+    }
+}
+
+/// A refresh-heavy configuration (tREFI barely larger than tRFC) makes
+/// the busy windows dominate: most requests land inside or right after
+/// a refresh, and long gaps skip dozens of deadlines at once.
+#[test]
+fn refresh_heavy_configuration_matches_reference() {
+    let cfg = DramConfig {
+        t_refi: 500,
+        t_rfc: 180,
+        ..DramConfig::default()
+    };
+    for seed in 10..=15 {
+        let ops = random_ops(seed, 300, &cfg);
+        assert_models_agree(cfg, &ops, &format!("refresh-heavy seed {seed}"));
+    }
+}
+
+/// Idle banks are exactly where the two implementations differ most:
+/// the reference walks every deadline into every bank while the event
+/// model never visits the idle ones. Hammer one bank while the other
+/// seven sit idle across hundreds of deadlines, with `advance_to`
+/// jumps mixed in, then touch a cold bank at the end.
+#[test]
+fn idle_banks_skip_identically() {
+    let cfg = DramConfig {
+        t_refi: 1_000,
+        t_rfc: 100,
+        ..DramConfig::default()
+    };
+    let mut ops = Vec::new();
+    let mut rng = Rng::new(99);
+    let mut now = 0u64;
+    for _ in 0..200 {
+        now += 1 + rng.below(3) * cfg.t_refi;
+        // Bank 0, single row.
+        ops.push(Op::Access(now, rng.below(64) * 8));
+        if rng.below(4) == 0 {
+            ops.push(Op::Advance(now + rng.below(5 * cfg.t_refi)));
+        }
+    }
+    // Cold banks at the very end: hundreds of missed refreshes collapse
+    // into the closed form on first touch.
+    for bank in 1..8u64 {
+        ops.push(Op::Access(now + bank, bank * cfg.row_bytes));
+    }
+    assert_models_agree(cfg, &ops, "idle-bank");
+}
+
+/// Snapshots taken mid-run — including with refresh deadlines pending —
+/// are identical across models and restore into *either* model, which
+/// then continues bit-identically.
+#[test]
+fn checkpoint_mid_refresh_cross_restores() {
+    let cfg = DramConfig {
+        t_refi: 700,
+        t_rfc: 150,
+        ..DramConfig::default()
+    };
+    let ops = random_ops(42, 300, &cfg);
+    let (head, tail) = ops.split_at(150);
+
+    let mut event = Dram::new(cfg);
+    let mut reference = Dram::new(DramConfig {
+        reference_model: true,
+        ..cfg
+    });
+    for op in head {
+        match *op {
+            Op::Access(now, addr) => {
+                event.access(now, addr);
+                reference.access(now, addr);
+            }
+            Op::Advance(c) => {
+                event.advance_to(c);
+                reference.advance_to(c);
+            }
+        }
+    }
+    let snap = snapshot_dram(&event);
+    assert_eq!(snap, snapshot_dram(&reference), "mid-run snapshots differ");
+
+    // Restore the event-model snapshot into a reference-model instance
+    // and vice versa; all four must then agree on the tail.
+    let mut from_event_into_ref = Dram::new(DramConfig {
+        reference_model: true,
+        ..cfg
+    });
+    let mut from_ref_into_event = Dram::new(cfg);
+    from_event_into_ref
+        .restore_state(&mut firesim_core::snapshot::SnapshotReader::new(&snap))
+        .expect("cross-restore into reference");
+    from_ref_into_event
+        .restore_state(&mut firesim_core::snapshot::SnapshotReader::new(&snap))
+        .expect("cross-restore into event");
+
+    let mut drams = [event, reference, from_event_into_ref, from_ref_into_event];
+    for (i, op) in tail.iter().enumerate() {
+        match *op {
+            Op::Access(now, addr) => {
+                let lats: Vec<u64> = drams.iter_mut().map(|d| d.access(now, addr)).collect();
+                assert!(
+                    lats.windows(2).all(|w| w[0] == w[1]),
+                    "tail op {i}: latencies diverged: {lats:?}"
+                );
+            }
+            Op::Advance(c) => drams.iter_mut().for_each(|d| d.advance_to(c)),
+        }
+    }
+    let final_snaps: Vec<Vec<u8>> = drams.iter().map(snapshot_dram).collect();
+    assert!(
+        final_snaps.windows(2).all(|w| w[0] == w[1]),
+        "final snapshots diverged after cross-restore"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Blade level
+// ---------------------------------------------------------------------------
+
+/// Builds the 2-node ping cluster with the given host/model knobs.
+fn build_ping_cluster(
+    host_threads: usize,
+    dram_reference: bool,
+    decode_cache: bool,
+) -> firesim_manager::Simulation {
+    let clock = Frequency::GHZ_3_2;
+    let pings = 3;
+    let blade_config = || {
+        let mut c = BladeConfig::single_core().with_dram_bytes(1 << 20);
+        c.mem.dram.reference_model = dram_reference;
+        c.timing.decode_cache = decode_cache;
+        c
+    };
+    let mut topo = Topology::new();
+    let tor = topo.add_switch("tor0");
+    let pinger = topo.add_server(
+        "pinger",
+        BladeSpec::Rtl {
+            config: blade_config(),
+            program: programs::ping_sender(
+                MacAddr::from_node_index(0),
+                MacAddr::from_node_index(1),
+                pings,
+                56,
+                clock.cycles_from_micros(10).as_u64(),
+            ),
+        },
+    );
+    let echo = topo.add_server(
+        "echo",
+        BladeSpec::Rtl {
+            config: blade_config(),
+            program: programs::echo_responder(pings),
+        },
+    );
+    topo.add_downlinks(tor, [pinger, echo]).unwrap();
+    let mut sim = topo
+        .build(SimConfig {
+            link_latency: clock.cycles_from_micros(2),
+            host_threads,
+            ..SimConfig::default()
+        })
+        .expect("valid topology");
+    sim.engine_mut().set_host_oversubscribe(true);
+    sim
+}
+
+/// Runs the cluster to completion and returns `(deterministic
+/// aggregates, full checkpoint bytes)`.
+fn run_ping_cluster(
+    host_threads: usize,
+    dram_reference: bool,
+    decode_cache: bool,
+) -> (String, Vec<u8>) {
+    let mut sim = build_ping_cluster(host_threads, dram_reference, decode_cache);
+    sim.run_until_done(Cycle::new(400_000_000)).expect("runs");
+    let aggregates = sim
+        .run_report(std::time::Duration::ZERO)
+        .deterministic_aggregates();
+    let bytes = sim.checkpoint().expect("checkpoints").to_bytes();
+    (aggregates, bytes)
+}
+
+/// The tentpole acceptance check: the event-queue DRAM produces
+/// byte-identical checkpoints to the reference model, across 1/2/4
+/// worker threads and with the decode cache on or off.
+#[test]
+fn blade_digest_identical_across_dram_models_and_workers() {
+    let (base_agg, base_bytes) = run_ping_cluster(1, false, true);
+    assert!(base_agg.contains("pinger"));
+    for host_threads in [1, 2, 4] {
+        for dram_reference in [false, true] {
+            if host_threads == 1 && !dram_reference {
+                continue; // the baseline itself
+            }
+            let (agg, bytes) = run_ping_cluster(host_threads, dram_reference, true);
+            assert_eq!(
+                agg, base_agg,
+                "aggregates diverged (threads {host_threads}, reference {dram_reference})"
+            );
+            assert_eq!(
+                bytes, base_bytes,
+                "checkpoint bytes diverged (threads {host_threads}, reference {dram_reference})"
+            );
+        }
+    }
+    // Decode cache off: a host-only knob — target aggregates and
+    // checkpoint bytes both stay identical (the decode cache is not
+    // target state and is not serialised).
+    let (agg, bytes) = run_ping_cluster(1, false, false);
+    assert_eq!(agg, base_agg, "decode cache changed target aggregates");
+    assert_eq!(bytes, base_bytes, "decode cache changed checkpoint bytes");
+}
+
+/// Refresh is on by default and must actually do something: a blade that
+/// runs for a while reports refreshes in its `host_dram_*` counters.
+#[test]
+fn refresh_counters_are_exported() {
+    let mut blade = RtlBlade::new(
+        "solo",
+        MacAddr::from_node_index(0),
+        BladeConfig::single_core().with_dram_bytes(1 << 20),
+    );
+    programs::boot_poweroff(100).install(&mut blade);
+    // Drive the blade standalone long enough to cross several tREFI
+    // deadlines (default 24 960 cycles apart).
+    let window = 3_200u32;
+    let mut now = 0u64;
+    for _ in 0..64 {
+        let mut ctx = firesim_core::AgentCtx::standalone(
+            Cycle::new(now),
+            window,
+            vec![firesim_core::TokenWindow::new(window)],
+            1,
+        );
+        firesim_core::SimAgent::advance(&mut blade, &mut ctx);
+        now += u64::from(window);
+    }
+    let mut counters = Vec::new();
+    firesim_core::SimAgent::app_counters(&blade, &mut counters);
+    let find = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    let refreshes = find("host_dram_refreshes");
+    assert!(
+        refreshes >= (now / 24_960).saturating_sub(1),
+        "expected ~{} refreshes, saw {refreshes}",
+        now / 24_960
+    );
+    // The stall attribution is present (may be zero if no request ever
+    // collided with a refresh window, but the counter must exist).
+    let _ = find("host_dram_refresh_stall_cycles");
+}
